@@ -1,0 +1,30 @@
+//! `mlec-analysis`: the numerical and rare-event analysis layer of the MLEC
+//! suite — the "splitting, dynamic programming, and mathematical modeling"
+//! strategies of the paper's §3 methodology.
+//!
+//! - [`markov`]: birth–death Markov chains with transient (uniformization)
+//!   and absorption analysis; the paper's mathematical model, applied twice
+//!   for MLEC (a local pool treated as a disk at the network level).
+//! - [`chains`]: pool-level chain builders — classic per-disk rebuild for
+//!   clustered pools, stage-dependent priority-drain windows for declustered
+//!   pools — that yield catastrophic-local-failure rates (Fig 7).
+//! - [`burst`]: PDL under correlated failure bursts (`y` failures across `x`
+//!   racks) for MLEC schemes (Fig 5), SLEC placements (Fig 13), and LRC
+//!   (Fig 16): exact per-rack dynamic programming combined with
+//!   Poissonization for declustered placements and Monte Carlo over rack
+//!   compositions.
+//! - [`splitting`]: the two-stage rare-event estimator for system durability
+//!   (Fig 10): stage 1 catastrophic-pool statistics (simulated or analytic),
+//!   stage 2 analytic overlap probability at the network level, including
+//!   the chunk-knowledge survival factor for R_FCO/R_HYB/R_MIN.
+//! - [`tradeoff`]: configuration enumeration at fixed parity overhead for
+//!   the durability-vs-throughput scatter plots (Fig 12, Fig 15).
+
+pub mod ablation;
+pub mod burst;
+pub mod chains;
+pub mod markov;
+pub mod splitting;
+pub mod tradeoff;
+
+pub use markov::BirthDeathChain;

@@ -1,0 +1,258 @@
+//! Birth–death Markov chains for durability modeling (paper §3
+//! "Mathematical model": "We choose to use Markov Chain model as it's
+//! commonly used to analyze durability of SLEC systems ... we iteratively
+//! apply the model to network-level MLEC by treating a local pool like a
+//! disk").
+//!
+//! States `0..n` count concurrent failures; state `n` is absorbing (data
+//! loss / catastrophic). Transient absorption probabilities are computed by
+//! uniformization (Poisson-weighted powers of the uniformized transition
+//! matrix), which is unconditionally stable — no matrix exponentials, no
+//! stiffness trouble at the 10^-40 probabilities the paper operates at.
+
+use serde::{Deserialize, Serialize};
+
+/// A birth–death chain with absorbing top state.
+///
+/// `fail_rates[m]` is the failure (birth) rate out of state `m`
+/// (`m in 0..n`), `repair_rates[m]` the repair (death) rate out of state `m`
+/// (`m in 1..n`). All rates are per hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BirthDeathChain {
+    fail_rates: Vec<f64>,
+    repair_rates: Vec<f64>,
+}
+
+impl BirthDeathChain {
+    /// Build a chain with `fail_rates.len()` transient states. The
+    /// absorbing state is `fail_rates.len()`.
+    ///
+    /// # Panics
+    /// Panics unless `repair_rates.len() == fail_rates.len() - 1`
+    /// (state 0 has no repair transition) or rates are negative.
+    pub fn new(fail_rates: Vec<f64>, repair_rates: Vec<f64>) -> BirthDeathChain {
+        assert!(!fail_rates.is_empty(), "need at least one transient state");
+        assert_eq!(
+            repair_rates.len(),
+            fail_rates.len() - 1,
+            "repair_rates must cover states 1..n"
+        );
+        assert!(
+            fail_rates.iter().chain(&repair_rates).all(|&r| r >= 0.0),
+            "rates must be non-negative"
+        );
+        BirthDeathChain {
+            fail_rates,
+            repair_rates,
+        }
+    }
+
+    /// Number of transient states.
+    pub fn transient_states(&self) -> usize {
+        self.fail_rates.len()
+    }
+
+    /// Probability of having been absorbed by time `t_hours`, starting from
+    /// state 0, computed by uniformization to relative tolerance ~1e-14.
+    pub fn absorb_prob(&self, t_hours: f64) -> f64 {
+        if t_hours <= 0.0 {
+            return 0.0;
+        }
+        let n = self.transient_states();
+        // Uniformization rate: max total outflow.
+        let mut lambda_max = 0.0f64;
+        for m in 0..n {
+            let out = self.fail_rates[m] + if m > 0 { self.repair_rates[m - 1] } else { 0.0 };
+            lambda_max = lambda_max.max(out);
+        }
+        if lambda_max == 0.0 {
+            return 0.0;
+        }
+        // p = distribution over transient states (+ implicit absorbed mass).
+        let mut p = vec![0.0f64; n];
+        p[0] = 1.0;
+        let mut absorbed = 0.0f64;
+        // Accumulate sum over k of Poisson(Λt; k) * absorbed_mass_after_k.
+        let lt = lambda_max * t_hours;
+        // Poisson weights computed iteratively in log-safe form.
+        let mut result = 0.0f64;
+        let mut log_weight = -lt; // ln Poisson(lt; 0)
+        let mut cumulative_weight = 0.0f64;
+        let k_max = (lt + 10.0 * lt.sqrt().max(10.0)).ceil() as usize + 20;
+        let mut next = vec![0.0f64; n];
+        for k in 0..=k_max {
+            let weight = log_weight.exp();
+            result += weight * absorbed;
+            cumulative_weight += weight;
+            if cumulative_weight > 1.0 - 1e-16 && k as f64 > lt {
+                break;
+            }
+            // One uniformized DTMC step: P = I + Q/Λ.
+            for slot in next.iter_mut() {
+                *slot = 0.0;
+            }
+            for m in 0..n {
+                let pm = p[m];
+                if pm == 0.0 {
+                    continue;
+                }
+                let up = self.fail_rates[m] / lambda_max;
+                let down = if m > 0 {
+                    self.repair_rates[m - 1] / lambda_max
+                } else {
+                    0.0
+                };
+                let stay = 1.0 - up - down;
+                next[m] += pm * stay;
+                if m + 1 < n {
+                    next[m + 1] += pm * up;
+                } else {
+                    absorbed += pm * up;
+                }
+                if m > 0 {
+                    next[m - 1] += pm * down;
+                }
+            }
+            std::mem::swap(&mut p, &mut next);
+            log_weight += lt.ln() - ((k + 1) as f64).ln();
+        }
+        // Tail: everything after k_max is (1 - cumulative) * absorbed-at-end.
+        result += (1.0 - cumulative_weight).max(0.0) * absorbed;
+        result.clamp(0.0, 1.0)
+    }
+
+    /// Mean time to absorption from state 0, in hours (closed-form recursion
+    /// for birth–death chains).
+    pub fn mean_time_to_absorb_hours(&self) -> f64 {
+        // Standard first-step recursion: with h[m] the expected time from
+        // state m, solve the tridiagonal system by backward substitution.
+        // For birth-death chains: h[m] = (1 + mu_m * h[m-1] + la_m * h[m+1])
+        // / (mu_m + la_m), h[n] = 0. Solve via the sum-over-products form.
+        let n = self.transient_states();
+        // gamma[m] = E[time spent to move from m to m+1] satisfies
+        // gamma[m] = 1/la_m + (mu_m/la_m) * gamma[m-1].
+        let mut gamma = vec![0.0f64; n];
+        for m in 0..n {
+            let la = self.fail_rates[m];
+            if la == 0.0 {
+                return f64::INFINITY;
+            }
+            let mu = if m > 0 { self.repair_rates[m - 1] } else { 0.0 };
+            gamma[m] = 1.0 / la + mu / la * if m > 0 { gamma[m - 1] } else { 0.0 };
+        }
+        gamma.iter().sum()
+    }
+
+    /// Long-run absorption hazard rate (events/hour) for rare-event chains:
+    /// `1 / mean_time_to_absorb`. For the chains in this suite, absorption
+    /// within a mission time is ≪ 1, so the exponential approximation
+    /// `PDL(t) ≈ 1 - exp(-hazard t)` is accurate.
+    pub fn absorb_hazard_per_hour(&self) -> f64 {
+        1.0 / self.mean_time_to_absorb_hours()
+    }
+}
+
+/// Durability in "nines": `-log10(PDL)` (paper §4.2.3: "99.999% durability
+/// means 5 nines").
+pub fn nines(pdl: f64) -> f64 {
+    if pdl <= 0.0 {
+        f64::INFINITY
+    } else {
+        -pdl.log10()
+    }
+}
+
+/// PDL over `t` given a constant hazard rate.
+pub fn pdl_from_hazard(hazard_per_hour: f64, t_hours: f64) -> f64 {
+    -(-hazard_per_hour * t_hours).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_state_is_exponential() {
+        // One transient state with rate r: absorption CDF = 1 - e^{-rt}.
+        let chain = BirthDeathChain::new(vec![0.01], vec![]);
+        for t in [1.0, 10.0, 100.0, 500.0] {
+            let expect = 1.0 - (-0.01f64 * t).exp();
+            let got = chain.absorb_prob(t);
+            assert!((got - expect).abs() < 1e-10, "t={t} got={got} expect={expect}");
+        }
+        assert!((chain.mean_time_to_absorb_hours() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_state_no_repair_is_erlang() {
+        // Two states, no repair: absorption time ~ Erlang(2).
+        let chain = BirthDeathChain::new(vec![0.1, 0.1], vec![0.0]);
+        let t = 30.0;
+        let lt: f64 = 0.1 * t;
+        let expect = 1.0 - (-lt).exp() * (1.0 + lt);
+        assert!((chain.absorb_prob(t) - expect).abs() < 1e-9);
+        assert!((chain.mean_time_to_absorb_hours() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_extends_lifetime() {
+        let without = BirthDeathChain::new(vec![0.01, 0.01], vec![0.0]);
+        let with = BirthDeathChain::new(vec![0.01, 0.01], vec![1.0]);
+        assert!(with.absorb_prob(100.0) < without.absorb_prob(100.0) / 10.0);
+        assert!(with.mean_time_to_absorb_hours() > without.mean_time_to_absorb_hours() * 10.0);
+    }
+
+    #[test]
+    fn hazard_approximation_matches_transient() {
+        // For a strongly-repairing chain, PDL(t) via hazard matches the
+        // uniformization result.
+        let chain = BirthDeathChain::new(vec![1e-4, 1e-4, 1e-4], vec![0.1, 0.1]);
+        let t = 8766.0;
+        let exact = chain.absorb_prob(t);
+        let approx = pdl_from_hazard(chain.absorb_hazard_per_hour(), t);
+        assert!(
+            (exact - approx).abs() / exact < 0.02,
+            "exact={exact} approx={approx}"
+        );
+    }
+
+    #[test]
+    fn classic_raid_mttdl_formula() {
+        // k+1 disks, tolerate 1 failure: MTTDL ≈ mu / (n(n-1) lambda^2) for
+        // mu >> lambda. 10 disks, lambda = 1e-6/h, mu = 0.01/h.
+        let n = 10.0f64;
+        let la = 1e-6;
+        let mu = 1e-2;
+        let chain = BirthDeathChain::new(vec![n * la, (n - 1.0) * la], vec![mu]);
+        let mttdl = chain.mean_time_to_absorb_hours();
+        let classic = mu / (n * (n - 1.0) * la * la);
+        assert!(
+            (mttdl - classic).abs() / classic < 0.01,
+            "mttdl={mttdl} classic={classic}"
+        );
+    }
+
+    #[test]
+    fn absorb_prob_monotone_in_time() {
+        let chain = BirthDeathChain::new(vec![1e-3, 1e-3, 1e-3], vec![0.05, 0.05]);
+        let mut last = 0.0;
+        for t in [1.0, 10.0, 100.0, 1000.0, 10000.0] {
+            let p = chain.absorb_prob(t);
+            assert!(p >= last, "t={t}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn nines_conversion() {
+        assert!((nines(1e-5) - 5.0).abs() < 1e-12);
+        assert_eq!(nines(0.0), f64::INFINITY);
+        assert!((pdl_from_hazard(1e-9, 8766.0) - 8.766e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_rate_lengths_panic() {
+        let _ = BirthDeathChain::new(vec![1.0, 1.0], vec![]);
+    }
+}

@@ -1,0 +1,290 @@
+//! The splitting (multi-stage) rare-event durability estimator — paper §3
+//! "Splitting" and the Fig 10 experiment.
+//!
+//! Stage 1 produces catastrophic-local-pool statistics: the per-pool rate
+//! (from the analytic chain of [`crate::chains`] or from
+//! [`mlec_sim::pool_sim`] samples) and the lost-local-stripe census of an
+//! event. Stage 2 injects those events at the network level analytically:
+//! data is lost when `p_n + 1` catastrophic pools overlap in time inside one
+//! network pool (`C/*`) or across distinct racks (`D/*`), scaled by the
+//! *chunk-knowledge survival factor* — the probability that such an overlap
+//! actually contains a lost network stripe, which repair methods with
+//! cross-level transparency (R_FCO/R_HYB/R_MIN) can exploit (paper §4.2.3
+//! F#1) while black-box R_ALL cannot.
+
+use crate::chains::pool_catastrophic_rate_per_year;
+use crate::markov::nines;
+use mlec_sim::config::{MlecDeployment, HOURS_PER_YEAR};
+use mlec_sim::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
+use mlec_topology::Placement;
+use serde::{Deserialize, Serialize};
+
+/// Stage-1 summary of catastrophic local-pool behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stage1 {
+    /// Catastrophic events per pool-year.
+    pub cat_rate_per_pool_year: f64,
+    /// Lost local stripes per catastrophic event.
+    pub lost_stripes: f64,
+    /// Stripes per pool.
+    pub stripes_per_pool: f64,
+}
+
+/// Analytic stage 1 from the pool Markov chain plus the injected-failure
+/// census (the same `p_l + 1`-simultaneous model the paper injects).
+pub fn stage1_analytic(dep: &MlecDeployment) -> Stage1 {
+    let injected = inject_catastrophic(dep);
+    Stage1 {
+        cat_rate_per_pool_year: pool_catastrophic_rate_per_year(dep),
+        lost_stripes: injected.lost_stripes,
+        stripes_per_pool: injected.total_stripes,
+    }
+}
+
+/// Stage 1 from simulation samples (pool-years of [`mlec_sim::pool_sim`]).
+pub fn stage1_from_simulation(
+    dep: &MlecDeployment,
+    result: &mlec_sim::pool_sim::PoolSimResult,
+) -> Stage1 {
+    let injected = inject_catastrophic(dep);
+    Stage1 {
+        cat_rate_per_pool_year: result.rate_per_pool_year(),
+        lost_stripes: if result.events.is_empty() {
+            injected.lost_stripes
+        } else {
+            result.mean_lost_stripes()
+        },
+        stripes_per_pool: injected.total_stripes,
+    }
+}
+
+/// How long a pool remains a lost-local-stripe contributor under the given
+/// repair method: until the network phase has rebuilt (or, for R_MIN, made
+/// locally recoverable) every lost stripe.
+pub fn catastrophic_sojourn_hours(dep: &MlecDeployment, method: RepairMethod) -> f64 {
+    plan_catastrophic_repair(dep, method).network_time_h
+}
+
+/// The chunk-knowledge survival factor: probability that an overlap of
+/// `p_n + 1` catastrophic pools actually loses a network stripe.
+///
+/// Methods without chunk knowledge (R_ALL) must assume every stripe of a
+/// catastrophic pool is lost → factor 1. With knowledge, only the pools'
+/// actually-lost local stripes matter; for declustered local pools those are
+/// a ~`6e-4` fraction, making a real loss spectacularly unlikely (the
+/// paper's "as low as 0.03%" for D/D).
+pub fn knowledge_survival_factor(dep: &MlecDeployment, method: RepairMethod, s1: &Stage1) -> f64 {
+    let pn1 = dep.params.network.p as u32 + 1;
+    let g = dep.network_width() as f64;
+    let lost_frac = if method.has_chunk_knowledge() {
+        (s1.lost_stripes / s1.stripes_per_pool).min(1.0)
+    } else {
+        1.0
+    };
+    match dep.scheme.network {
+        Placement::Clustered => {
+            // Network stripes pair up same-position local stripes across the
+            // group: S per network pool; loss needs the same network stripe
+            // lost in all p_n+1 overlapping pools.
+            let expected = s1.stripes_per_pool * lost_frac.powi(pn1 as i32);
+            -(-expected).exp_m1()
+        }
+        Placement::Declustered => {
+            // Network stripes pick `g` of all P pools (distinct racks);
+            // count those covering the p_n+1 specific overlapping pools.
+            let p_total = dep.local_pools().num_pools() as f64;
+            let n_net_stripes = p_total * s1.stripes_per_pool / g;
+            let mut cover = 1.0;
+            for i in 0..pn1 {
+                cover *= (g - i as f64) / (p_total - i as f64);
+            }
+            let expected = n_net_stripes * cover * lost_frac.powi(pn1 as i32);
+            -(-expected).exp_m1()
+        }
+    }
+}
+
+/// Stage 2: probability of data loss over `mission_years`, combining the
+/// catastrophic-pool Poisson process with the overlap and knowledge factors.
+pub fn stage2_pdl(
+    dep: &MlecDeployment,
+    method: RepairMethod,
+    s1: &Stage1,
+    mission_years: f64,
+) -> f64 {
+    let lambda = s1.cat_rate_per_pool_year; // per pool-year
+    let sojourn_years = catastrophic_sojourn_hours(dep, method) / HOURS_PER_YEAR;
+    let pn = dep.params.network.p as u32;
+    let phi = knowledge_survival_factor(dep, method, s1);
+    let pools = dep.local_pools();
+
+    // Rate (per year) at which a (p_n+1)-fold overlap forms: a new
+    // catastrophic arrival while p_n others are already in their sojourn.
+    let loss_rate_per_year = match dep.scheme.network {
+        Placement::Clustered => {
+            let g = dep.network_width() as f64;
+            let n_np = pools.num_pools() as f64 / g;
+            let concurrent = binom(g - 1.0, pn) * (lambda * sojourn_years).powi(pn as i32);
+            n_np * g * lambda * concurrent
+        }
+        Placement::Declustered => {
+            let p_total = pools.num_pools() as f64;
+            let per_rack = pools.pools_per_rack() as f64;
+            // Overlapping pools must sit in distinct racks.
+            let mut distinct = 1.0;
+            for i in 1..=pn {
+                distinct *= (p_total - i as f64 * per_rack) / (p_total - i as f64);
+            }
+            let concurrent = binom(p_total - 1.0, pn) * (lambda * sojourn_years).powi(pn as i32);
+            p_total * lambda * concurrent * distinct
+        }
+    } * phi;
+
+    -(-loss_rate_per_year * mission_years).exp_m1()
+}
+
+/// One-year durability in nines for a deployment + repair method (Fig 10).
+pub fn mlec_durability_nines(dep: &MlecDeployment, method: RepairMethod) -> f64 {
+    let s1 = stage1_analytic(dep);
+    nines(stage2_pdl(dep, method, &s1, 1.0))
+}
+
+fn binom(n: f64, k: u32) -> f64 {
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc *= (n - i as f64) / (i as f64 + 1.0);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlec_topology::MlecScheme;
+
+    fn dep(scheme: MlecScheme) -> MlecDeployment {
+        MlecDeployment::paper_default(scheme)
+    }
+
+    #[test]
+    fn fig10_method_ordering_within_every_scheme() {
+        // Paper F#1-3: durability increases monotonically
+        // R_ALL < R_FCO <= R_HYB <= R_MIN for every scheme.
+        for scheme in MlecScheme::ALL {
+            let d = dep(scheme);
+            let vals: Vec<f64> = RepairMethod::ALL
+                .iter()
+                .map(|&m| mlec_durability_nines(&d, m))
+                .collect();
+            for w in vals.windows(2) {
+                assert!(
+                    w[1] >= w[0] - 1e-9,
+                    "{scheme}: methods must not decrease durability: {vals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_f1_rfco_gain_larger_for_dd() {
+        // Paper F#1: R_FCO gains 0.9-6.6 nines, largest for D/D (knowledge
+        // factor + repair-time reduction).
+        let gain_cc = mlec_durability_nines(&dep(MlecScheme::CC), RepairMethod::Fco)
+            - mlec_durability_nines(&dep(MlecScheme::CC), RepairMethod::All);
+        let gain_dd = mlec_durability_nines(&dep(MlecScheme::DD), RepairMethod::Fco)
+            - mlec_durability_nines(&dep(MlecScheme::DD), RepairMethod::All);
+        assert!(gain_dd > gain_cc, "cc={gain_cc} dd={gain_dd}");
+        assert!(gain_cc > 0.3 && gain_cc < 4.0, "gain_cc={gain_cc}");
+        assert!(gain_dd > 3.0 && gain_dd < 9.0, "gain_dd={gain_dd}");
+    }
+
+    #[test]
+    fn fig10_f2_rhyb_gain_larger_for_local_dp() {
+        // Paper F#2: R_HYB adds 0.6-4.1 nines, most in C/D and D/D.
+        let gain_cd = mlec_durability_nines(&dep(MlecScheme::CD), RepairMethod::Hyb)
+            - mlec_durability_nines(&dep(MlecScheme::CD), RepairMethod::Fco);
+        let gain_cc = mlec_durability_nines(&dep(MlecScheme::CC), RepairMethod::Hyb)
+            - mlec_durability_nines(&dep(MlecScheme::CC), RepairMethod::Fco);
+        assert!(gain_cd > gain_cc, "cc={gain_cc} cd={gain_cd}");
+        assert!(gain_cd > 2.0 && gain_cd < 6.0, "gain_cd={gain_cd}");
+    }
+
+    #[test]
+    fn fig10_f3_rmin_small_gain_for_local_dp() {
+        // Paper F#3: R_MIN adds 0.1-1.2 nines; small for C/D and D/D because
+        // their network repair is already detection-bound.
+        let gain_cd = mlec_durability_nines(&dep(MlecScheme::CD), RepairMethod::Min)
+            - mlec_durability_nines(&dep(MlecScheme::CD), RepairMethod::Hyb);
+        let gain_cc = mlec_durability_nines(&dep(MlecScheme::CC), RepairMethod::Min)
+            - mlec_durability_nines(&dep(MlecScheme::CC), RepairMethod::Hyb);
+        assert!(gain_cd < 1.0, "gain_cd={gain_cd}");
+        assert!(gain_cc > gain_cd, "cc={gain_cc} cd={gain_cd}");
+    }
+
+    #[test]
+    fn fig10_f4_best_and_worst_schemes_after_optimization() {
+        // Paper F#4: with R_MIN, C/D and D/D provide the best durability,
+        // D/C the worst.
+        let vals: Vec<(MlecScheme, f64)> = MlecScheme::ALL
+            .iter()
+            .map(|&s| (s, mlec_durability_nines(&dep(s), RepairMethod::Min)))
+            .collect();
+        let dc = vals.iter().find(|(s, _)| *s == MlecScheme::DC).unwrap().1;
+        let cd = vals.iter().find(|(s, _)| *s == MlecScheme::CD).unwrap().1;
+        let dd = vals.iter().find(|(s, _)| *s == MlecScheme::DD).unwrap().1;
+        let cc = vals.iter().find(|(s, _)| *s == MlecScheme::CC).unwrap().1;
+        assert!(dc <= cc && dc <= cd && dc <= dd, "D/C worst: {vals:?}");
+        assert!(cd >= cc && dd >= cc, "C/D and D/D best: {vals:?}");
+    }
+
+    #[test]
+    fn knowledge_factor_structure() {
+        // R_ALL never benefits; for D/D with knowledge the factor is tiny
+        // (paper's "as low as 0.03%" mechanism).
+        let d = dep(MlecScheme::DD);
+        let s1 = stage1_analytic(&d);
+        let all = knowledge_survival_factor(&d, RepairMethod::All, &s1);
+        let fco = knowledge_survival_factor(&d, RepairMethod::Fco, &s1);
+        assert!(fco < all / 100.0, "all={all} fco={fco}");
+        assert!(fco < 5e-3, "fco={fco}");
+        // For C/C the factor is 1 either way (whole pools lost).
+        let c = dep(MlecScheme::CC);
+        let s1c = stage1_analytic(&c);
+        assert!((knowledge_survival_factor(&c, RepairMethod::Min, &s1c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn durability_is_tens_of_nines() {
+        // All schemes/methods land in the paper's Fig 10 range (roughly
+        // 10-45 nines).
+        for scheme in MlecScheme::ALL {
+            for method in RepairMethod::ALL {
+                let n = mlec_durability_nines(&dep(scheme), method);
+                assert!(n > 8.0 && n < 60.0, "{scheme} {method}: {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage1_simulation_fallback() {
+        let d = dep(MlecScheme::CC);
+        let empty = mlec_sim::pool_sim::PoolSimResult {
+            pool_years: 100.0,
+            events: vec![],
+            disk_failures: 10,
+            max_concurrent: 2,
+        };
+        let s1 = stage1_from_simulation(&d, &empty);
+        assert_eq!(s1.cat_rate_per_pool_year, 0.0);
+        assert!(s1.lost_stripes > 0.0, "falls back to injected census");
+    }
+
+    #[test]
+    fn longer_mission_lower_durability() {
+        let d = dep(MlecScheme::CC);
+        let s1 = stage1_analytic(&d);
+        let one = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
+        let ten = stage2_pdl(&d, RepairMethod::Fco, &s1, 10.0);
+        assert!(ten > one * 5.0, "one={one} ten={ten}");
+    }
+}

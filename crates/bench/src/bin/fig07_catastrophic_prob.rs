@@ -1,0 +1,28 @@
+//! Figure 7: probability of a catastrophic local-pool failure per year.
+
+use mlec_bench::banner;
+use mlec_core::experiments::fig7_catastrophic_prob;
+use mlec_core::report::{ascii_table, dump_json, fmt_value};
+
+fn main() {
+    banner("Figure 7", "probability of catastrophic local failure (per system-year)");
+    let rows = fig7_catastrophic_prob();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                fmt_value(r.prob_per_year),
+                format!("{:.4}%", r.prob_per_year * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(&["scheme", "prob/yr", "percent/yr"], &table)
+    );
+    println!("paper: C/C and D/C below 0.001%/yr; C/D and D/D almost 0.00001%/yr");
+    if let Ok(path) = dump_json("fig07", &rows) {
+        println!("json: {}", path.display());
+    }
+}

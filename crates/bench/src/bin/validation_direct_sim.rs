@@ -1,0 +1,92 @@
+//! Methodology validation (paper §6.2): run the *direct* whole-system
+//! simulation at inflated failure rates where data loss is observable, and
+//! compare against the splitting estimator's prediction at the same AFR.
+//!
+//! Usage: `validation_direct_sim [afr_pct=400] [years=2] [runs=40]`
+
+use mlec_bench::{arg_u64, banner};
+use mlec_core::analysis::markov::nines;
+use mlec_core::analysis::splitting::{stage1_analytic, stage2_pdl};
+use mlec_core::report::{ascii_table, dump_json, fmt_value};
+use mlec_core::sim::config::MlecDeployment;
+use mlec_core::sim::failure::FailureModel;
+use mlec_core::sim::system_sim::simulate_system;
+use mlec_core::sim::RepairMethod;
+use mlec_core::topology::MlecScheme;
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ValidationRow {
+    scheme: String,
+    afr: f64,
+    direct_loss_runs: u64,
+    total_runs: u64,
+    direct_pdl: f64,
+    splitting_pdl: f64,
+    catastrophic_pools_simulated: u64,
+}
+
+fn main() {
+    banner(
+        "Validation",
+        "direct system simulation vs splitting estimator at inflated AFR",
+    );
+    let afr = arg_u64("afr_pct", 75) as f64 / 100.0;
+    let years = arg_u64("years", 2) as f64;
+    let runs = arg_u64("runs", 40);
+    println!("AFR {afr}, mission {years} years, {runs} runs per scheme\n");
+
+    let mut rows = Vec::new();
+    for scheme in MlecScheme::ALL {
+        let mut dep = MlecDeployment::paper_default(scheme);
+        dep.config.afr = afr;
+        let model = FailureModel::Exponential { afr };
+        let results: Vec<_> = (0..runs)
+            .into_par_iter()
+            .map(|seed| simulate_system(&dep, &model, RepairMethod::Fco, years, seed))
+            .collect();
+        let losses = results.iter().filter(|r| r.lost_data()).count() as u64;
+        let cat: u64 = results.iter().map(|r| r.catastrophic_pools).sum();
+        let direct_pdl = losses as f64 / runs as f64;
+        let s1 = stage1_analytic(&dep);
+        let splitting_pdl = stage2_pdl(&dep, RepairMethod::Fco, &s1, years);
+        rows.push(ValidationRow {
+            scheme: scheme.name(),
+            afr,
+            direct_loss_runs: losses,
+            total_runs: runs,
+            direct_pdl,
+            splitting_pdl,
+            catastrophic_pools_simulated: cat,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{}/{}", r.direct_loss_runs, r.total_runs),
+                fmt_value(r.direct_pdl),
+                fmt_value(r.splitting_pdl),
+                format!("{:.1}", nines(r.splitting_pdl.max(1e-300))),
+                r.catastrophic_pools_simulated.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_table(
+            &["scheme", "losses", "direct PDL", "splitting PDL", "nines", "cat pools"],
+            &table
+        )
+    );
+    println!("reading: where direct PDL is measurable but < 1, splitting should agree within");
+    println!("an order of magnitude; splitting saturates to 1 earlier because its Poisson");
+    println!("overlap formula is an upper bound outside the rare-event regime it serves");
+    println!("(at the paper's 1% AFR, overlaps are ~20 orders rarer and the bound is tight).");
+    if let Ok(path) = dump_json("validation_direct_sim", &rows) {
+        println!("json: {}", path.display());
+    }
+}

@@ -1,0 +1,71 @@
+//! `mlec-bench`: shared plumbing for the per-figure regeneration binaries
+//! (`src/bin/fig*.rs`) and the Criterion microbenchmarks (`benches/`).
+//!
+//! Every binary prints the paper-comparable rows/series to stdout and dumps
+//! machine-readable JSON under `target/figures/`. Grid resolution and sample
+//! counts are tunable from the command line so a laptop run finishes in
+//! seconds while a full-fidelity run reproduces the paper's 60×60 grids.
+
+use mlec_core::experiments::HeatmapSpec;
+
+/// Parse `key=value` style CLI arguments (e.g. `step=3 samples=200 max=60`)
+/// into a [`HeatmapSpec`], starting from the default.
+pub fn heatmap_spec_from_args() -> HeatmapSpec {
+    let mut spec = HeatmapSpec::default();
+    for arg in std::env::args().skip(1) {
+        if let Some((key, value)) = arg.split_once('=') {
+            let Ok(v) = value.parse::<u64>() else {
+                continue;
+            };
+            match key {
+                "max" => spec.max = v as u32,
+                "step" => spec.step = (v as u32).max(1),
+                "samples" => spec.samples = (v as u32).max(1),
+                "seed" => spec.seed = v,
+                _ => {}
+            }
+        }
+    }
+    spec
+}
+
+/// Parse a single `key=value` u64 argument with a default.
+pub fn arg_u64(key: &str, default: u64) -> u64 {
+    for arg in std::env::args().skip(1) {
+        if let Some((k, value)) = arg.split_once('=') {
+            if k == key {
+                if let Ok(v) = value.parse() {
+                    return v;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// Standard banner for figure binaries.
+pub fn banner(figure: &str, description: &str) {
+    println!("=== {figure}: {description}");
+    println!(
+        "    (mlec-rs reproduction of Wang et al., SC'23 — shapes/orderings are the target, \
+         not absolute testbed numbers)"
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_when_no_args() {
+        let spec = heatmap_spec_from_args();
+        assert_eq!(spec.max, 60);
+        assert!(spec.step >= 1);
+    }
+
+    #[test]
+    fn arg_parse_default() {
+        assert_eq!(arg_u64("nonexistent", 7), 7);
+    }
+}

@@ -1,0 +1,525 @@
+//! One runner per paper table/figure. Each returns a serde-serializable
+//! result that the `mlec-bench` binaries print (and dump as JSON under
+//! `target/figures/`), and that EXPERIMENTS.md's paper-vs-measured records
+//! come from.
+
+use mlec_analysis::burst::{
+    lrc_burst_pdl, lrc_undecodable_by_count, mlec_burst_pdl, slec_burst_pdl,
+};
+use mlec_analysis::chains::system_catastrophic_rate_per_year;
+use mlec_analysis::splitting::mlec_durability_nines;
+use mlec_analysis::tradeoff::{
+    enumerate_lrc, enumerate_mlec, enumerate_slec, ideal_lrc_undecodable_at_limit, TradeoffPoint,
+    OVERHEAD_BAND,
+};
+use mlec_ec::throughput::{measure_slec, ThroughputModel};
+use mlec_ec::{Lrc, LrcParams, SlecParams};
+use mlec_sim::bandwidth::{
+    catastrophic_pool_repair_bw_mbs, catastrophic_pool_repair_hours, repair_sizes_tb,
+    single_disk_repair_bw_mbs, single_disk_repair_hours,
+};
+use mlec_sim::config::MlecDeployment;
+use mlec_sim::repair::{plan_catastrophic_repair, RepairMethod};
+use mlec_sim::traffic;
+use mlec_sim::SimConfig;
+use mlec_topology::{Geometry, MlecScheme, SlecPlacement};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+fn paper_deployment(scheme: MlecScheme) -> MlecDeployment {
+    MlecDeployment::paper_default(scheme)
+}
+
+/// A PDL heatmap: `pdl[yi][xi]` for failures `ys[yi]` over racks `xs[xi]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Series/scheme label.
+    pub label: String,
+    /// X axis: affected racks.
+    pub xs: Vec<u32>,
+    /// Y axis: failed disks.
+    pub ys: Vec<u32>,
+    /// `pdl[yi][xi]`; cells with `y < x` are impossible and set to NaN.
+    pub pdl: Vec<Vec<f64>>,
+}
+
+/// Grid resolution of a heatmap run.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatmapSpec {
+    /// Maximum failures / racks (the paper uses 60).
+    pub max: u32,
+    /// Step between grid lines (e.g. 6 gives a 10x10 grid).
+    pub step: u32,
+    /// Conditional-MC samples per cell.
+    pub samples: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HeatmapSpec {
+    fn default() -> HeatmapSpec {
+        HeatmapSpec {
+            max: 60,
+            step: 6,
+            samples: 60,
+            seed: 42,
+        }
+    }
+}
+
+impl HeatmapSpec {
+    /// Grid lines: always dense over 1..=6 (the paper's PDL structure pivots
+    /// at `x = p_n + 1` racks), then stepped up to `max`.
+    fn axis(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = (1..=6.min(self.max)).collect();
+        let mut x = 6 + self.step;
+        while x < self.max {
+            v.push(x);
+            x += self.step;
+        }
+        if *v.last().unwrap() != self.max {
+            v.push(self.max);
+        }
+        v
+    }
+}
+
+/// Fig 5: PDL heatmaps of the four MLEC schemes under correlated bursts.
+pub fn fig5_mlec_burst(spec: &HeatmapSpec) -> Vec<Heatmap> {
+    MlecScheme::ALL
+        .into_iter()
+        .map(|scheme| {
+            let dep = paper_deployment(scheme);
+            let xs = spec.axis();
+            let ys = spec.axis();
+            let pdl: Vec<Vec<f64>> = ys
+                .par_iter()
+                .map(|&y| {
+                    xs.iter()
+                        .map(|&x| {
+                            if y < x {
+                                f64::NAN
+                            } else {
+                                mlec_burst_pdl(
+                                    &dep,
+                                    y,
+                                    x,
+                                    spec.samples,
+                                    spec.seed ^ ((y as u64) << 32 | x as u64),
+                                )
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            Heatmap {
+                label: scheme.name(),
+                xs,
+                ys,
+                pdl,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 2 / Fig 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairBandwidthRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Single-disk repair size, TB.
+    pub disk_size_tb: f64,
+    /// Single-disk available repair bandwidth, MB/s.
+    pub disk_bw_mbs: f64,
+    /// Catastrophic-pool repair size, TB.
+    pub pool_size_tb: f64,
+    /// Catastrophic-pool available repair bandwidth, MB/s.
+    pub pool_bw_mbs: f64,
+    /// Fig 6a: single-disk repair time, hours.
+    pub disk_repair_hours: f64,
+    /// Fig 6b: catastrophic-pool repair time (R_ALL), hours.
+    pub pool_repair_hours: f64,
+}
+
+/// Table 2 + Fig 6: repair sizes, bandwidths, and times per scheme.
+pub fn table2_and_fig6() -> Vec<RepairBandwidthRow> {
+    MlecScheme::ALL
+        .into_iter()
+        .map(|scheme| {
+            let dep = paper_deployment(scheme);
+            let (disk_tb, pool_tb) = repair_sizes_tb(&dep);
+            RepairBandwidthRow {
+                scheme: scheme.name(),
+                disk_size_tb: disk_tb,
+                disk_bw_mbs: single_disk_repair_bw_mbs(&dep),
+                pool_size_tb: pool_tb,
+                pool_bw_mbs: catastrophic_pool_repair_bw_mbs(&dep),
+                disk_repair_hours: single_disk_repair_hours(&dep),
+                pool_repair_hours: catastrophic_pool_repair_hours(&dep),
+            }
+        })
+        .collect()
+}
+
+/// Fig 7: probability of a catastrophic local failure per system-year.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatastrophicProbRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Catastrophic local-pool probability per system-year.
+    pub prob_per_year: f64,
+}
+
+/// Fig 7 runner.
+pub fn fig7_catastrophic_prob() -> Vec<CatastrophicProbRow> {
+    MlecScheme::ALL
+        .into_iter()
+        .map(|scheme| CatastrophicProbRow {
+            scheme: scheme.name(),
+            prob_per_year: system_catastrophic_rate_per_year(&paper_deployment(scheme)),
+        })
+        .collect()
+}
+
+/// One (scheme, method) cell of Fig 8 / Fig 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairMethodCell {
+    /// Scheme label.
+    pub scheme: String,
+    /// Method label.
+    pub method: String,
+    /// Fig 8: cross-rack traffic, TB.
+    pub cross_rack_tb: f64,
+    /// Fig 9 solid bar: network repair time, hours.
+    pub network_time_h: f64,
+    /// Fig 9 striped bar: local repair time, hours.
+    pub local_time_h: f64,
+}
+
+/// Fig 8 + Fig 9: repair traffic and times for all methods × schemes.
+pub fn fig8_fig9_repair_methods() -> Vec<RepairMethodCell> {
+    let mut out = Vec::new();
+    for scheme in MlecScheme::ALL {
+        let dep = paper_deployment(scheme);
+        for method in RepairMethod::ALL {
+            let plan = plan_catastrophic_repair(&dep, method);
+            out.push(RepairMethodCell {
+                scheme: scheme.name(),
+                method: method.name().to_string(),
+                cross_rack_tb: plan.cross_rack_traffic_tb,
+                network_time_h: plan.network_time_h,
+                local_time_h: plan.local_time_h,
+            });
+        }
+    }
+    out
+}
+
+/// One (scheme, method) durability cell of Fig 10.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurabilityCell {
+    /// Scheme label.
+    pub scheme: String,
+    /// Method label.
+    pub method: String,
+    /// One-year durability, nines.
+    pub nines: f64,
+}
+
+/// Fig 10: durability of schemes × repair methods.
+pub fn fig10_durability() -> Vec<DurabilityCell> {
+    let mut out = Vec::new();
+    for scheme in MlecScheme::ALL {
+        let dep = paper_deployment(scheme);
+        for method in RepairMethod::ALL {
+            out.push(DurabilityCell {
+                scheme: scheme.name(),
+                method: method.name().to_string(),
+                nines: mlec_durability_nines(&dep, method),
+            });
+        }
+    }
+    out
+}
+
+/// One measured point of the Fig 11 throughput surface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputCell {
+    /// Data chunks.
+    pub k: usize,
+    /// Parity chunks.
+    pub p: usize,
+    /// Measured single-core encoding throughput, MB/s.
+    pub mb_per_s: f64,
+}
+
+/// Fig 11: measure the single-core `(k + p)` encoding-throughput surface.
+/// `ks`/`ps` select the grid; `chunk_bytes` is the chunk size (the paper
+/// uses 128 KB); `min_bytes` the data pushed per point.
+pub fn fig11_encoding_throughput(
+    ks: &[usize],
+    ps: &[usize],
+    chunk_bytes: usize,
+    min_bytes: usize,
+) -> Vec<ThroughputCell> {
+    let mut out = Vec::new();
+    for &p in ps {
+        for &k in ks {
+            let pt = measure_slec(k, p, chunk_bytes, min_bytes);
+            out.push(ThroughputCell {
+                k,
+                p,
+                mb_per_s: pt.mb_per_s,
+            });
+        }
+    }
+    out
+}
+
+/// Fig 12: MLEC (C/C, C/D) vs SLEC tradeoff scatter.
+pub fn fig12_mlec_vs_slec(model: &ThroughputModel) -> Vec<TradeoffPoint> {
+    let g = Geometry::paper_default();
+    let c = SimConfig::paper_default();
+    let mut out = Vec::new();
+    out.extend(enumerate_mlec(&g, &c, MlecScheme::CC, OVERHEAD_BAND, model));
+    out.extend(enumerate_mlec(&g, &c, MlecScheme::CD, OVERHEAD_BAND, model));
+    for placement in SlecPlacement::ALL {
+        out.extend(enumerate_slec(&g, &c, placement, OVERHEAD_BAND, model));
+    }
+    out
+}
+
+/// Fig 15: MLEC C/D vs LRC-Dp tradeoff scatter.
+pub fn fig15_mlec_vs_lrc(model: &ThroughputModel) -> Vec<TradeoffPoint> {
+    let g = Geometry::paper_default();
+    let c = SimConfig::paper_default();
+    let mut out = Vec::new();
+    out.extend(enumerate_mlec(&g, &c, MlecScheme::CD, OVERHEAD_BAND, model));
+    out.extend(enumerate_lrc(
+        &g,
+        &c,
+        OVERHEAD_BAND,
+        model,
+        ideal_lrc_undecodable_at_limit,
+    ));
+    out
+}
+
+/// Fig 13: PDL heatmaps of the four SLEC placements under bursts.
+pub fn fig13_slec_burst(spec: &HeatmapSpec, params: SlecParams) -> Vec<Heatmap> {
+    let g = Geometry::paper_default();
+    SlecPlacement::ALL
+        .into_iter()
+        .map(|placement| {
+            let xs = spec.axis();
+            let ys = spec.axis();
+            let pdl: Vec<Vec<f64>> = ys
+                .par_iter()
+                .map(|&y| {
+                    xs.iter()
+                        .map(|&x| {
+                            if y < x {
+                                f64::NAN
+                            } else {
+                                slec_burst_pdl(
+                                    &g,
+                                    params,
+                                    placement,
+                                    y,
+                                    x,
+                                    spec.samples,
+                                    spec.seed ^ ((y as u64) << 32 | x as u64),
+                                )
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            Heatmap {
+                label: placement.name().to_string(),
+                xs,
+                ys,
+                pdl,
+            }
+        })
+        .collect()
+}
+
+/// Fig 16: PDL heatmap of the paper's `(14,2,4)` LRC-Dp under bursts.
+pub fn fig16_lrc_burst(spec: &HeatmapSpec, params: LrcParams) -> Heatmap {
+    let g = Geometry::paper_default();
+    let lrc = Lrc::new(params.k, params.l, params.r).expect("valid LRC");
+    let curve = lrc_undecodable_by_count(&lrc, 2000, spec.seed);
+    let xs = spec.axis();
+    let ys = spec.axis();
+    let pdl: Vec<Vec<f64>> = ys
+        .par_iter()
+        .map(|&y| {
+            xs.iter()
+                .map(|&x| {
+                    if y < x {
+                        f64::NAN
+                    } else {
+                        lrc_burst_pdl(
+                            &g,
+                            params,
+                            &curve,
+                            y,
+                            x,
+                            spec.samples,
+                            spec.seed ^ ((y as u64) << 32 | x as u64),
+                        )
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Heatmap {
+        label: format!("LRC-Dp {params}"),
+        xs,
+        ys,
+        pdl,
+    }
+}
+
+/// §5.1.4 / §5.2.4: repair network traffic comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficRow {
+    /// System label.
+    pub system: String,
+    /// Cross-rack repair traffic, TB per day.
+    pub tb_per_day: f64,
+    /// Cross-rack repair traffic, TB per year.
+    pub tb_per_year: f64,
+}
+
+/// Repair-traffic comparison: network SLEC, LRC-Dp, and MLEC per method.
+pub fn repair_traffic_comparison() -> Vec<TrafficRow> {
+    let g = Geometry::paper_default();
+    let c = SimConfig::paper_default();
+    let mut out = vec![
+        TrafficRow {
+            system: "Net-SLEC (7+3)".into(),
+            tb_per_day: traffic::net_slec_daily_traffic_tb(&g, &c, 7),
+            tb_per_year: traffic::net_slec_daily_traffic_tb(&g, &c, 7) * 365.25,
+        },
+        TrafficRow {
+            system: "Net-SLEC (14+6)".into(),
+            tb_per_day: traffic::net_slec_daily_traffic_tb(&g, &c, 14),
+            tb_per_year: traffic::net_slec_daily_traffic_tb(&g, &c, 14) * 365.25,
+        },
+        TrafficRow {
+            system: "LRC-Dp (14,2,4)".into(),
+            tb_per_day: traffic::lrc_daily_traffic_tb(&g, &c, LrcParams::paper_default()),
+            tb_per_year: traffic::lrc_daily_traffic_tb(&g, &c, LrcParams::paper_default())
+                * 365.25,
+        },
+    ];
+    for scheme in MlecScheme::ALL {
+        let dep = paper_deployment(scheme);
+        let rate = system_catastrophic_rate_per_year(&dep);
+        for method in [RepairMethod::All, RepairMethod::Min] {
+            let yearly = traffic::mlec_yearly_traffic_tb(&dep, method, rate);
+            out.push(TrafficRow {
+                system: format!("MLEC {} {}", scheme.name(), method.name()),
+                tb_per_day: yearly / 365.25,
+                tb_per_year: yearly,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = table2_and_fig6();
+        assert_eq!(rows.len(), 4);
+        let cc = &rows[0];
+        assert_eq!(cc.scheme, "C/C");
+        assert!((cc.disk_bw_mbs - 40.0).abs() < 0.5);
+        assert!((cc.pool_bw_mbs - 250.0).abs() < 0.5);
+        let dd = &rows[3];
+        assert!((dd.disk_bw_mbs - 264.0).abs() < 1.0);
+        assert!((dd.pool_bw_mbs - 1363.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig8_matrix_shape_and_headline_cells() {
+        let cells = fig8_fig9_repair_methods();
+        assert_eq!(cells.len(), 16);
+        let rall_cd = cells
+            .iter()
+            .find(|c| c.scheme == "C/D" && c.method == "R_ALL")
+            .unwrap();
+        assert!((rall_cd.cross_rack_tb - 26400.0).abs() < 1.0);
+        let rhyb_cd = cells
+            .iter()
+            .find(|c| c.scheme == "C/D" && c.method == "R_HYB")
+            .unwrap();
+        assert!((rhyb_cd.cross_rack_tb - 3.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn fig7_magnitudes() {
+        let rows = fig7_catastrophic_prob();
+        let cc = rows.iter().find(|r| r.scheme == "C/C").unwrap();
+        let cd = rows.iter().find(|r| r.scheme == "C/D").unwrap();
+        assert!(cc.prob_per_year < 1e-4, "cc={}", cc.prob_per_year);
+        assert!(cd.prob_per_year < cc.prob_per_year / 20.0);
+    }
+
+    #[test]
+    fn fig10_matrix_complete() {
+        let cells = fig10_durability();
+        assert_eq!(cells.len(), 16);
+        assert!(cells.iter().all(|c| c.nines > 5.0));
+    }
+
+    #[test]
+    fn fig5_small_grid_runs() {
+        let spec = HeatmapSpec {
+            max: 12,
+            step: 6,
+            samples: 10,
+            seed: 1,
+        };
+        let maps = fig5_mlec_burst(&spec);
+        assert_eq!(maps.len(), 4);
+        for m in &maps {
+            assert_eq!(m.pdl.len(), m.ys.len());
+            // y < x cells are NaN; others are probabilities.
+            for (yi, row) in m.pdl.iter().enumerate() {
+                for (xi, &v) in row.iter().enumerate() {
+                    if m.ys[yi] < m.xs[xi] {
+                        assert!(v.is_nan());
+                    } else {
+                        assert!((0.0..=1.0).contains(&v), "{} y{} x{} = {v}", m.label, yi, xi);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_comparison_separates_families() {
+        let rows = repair_traffic_comparison();
+        let slec = rows.iter().find(|r| r.system.starts_with("Net-SLEC (7")).unwrap();
+        let mlec = rows
+            .iter()
+            .find(|r| r.system.contains("C/C") && r.system.contains("R_MIN"))
+            .unwrap();
+        assert!(slec.tb_per_day > 100.0);
+        assert!(mlec.tb_per_year < 0.1);
+    }
+
+    #[test]
+    fn fig11_tiny_grid() {
+        let cells = fig11_encoding_throughput(&[2, 4], &[1, 2], 4096, 1 << 18);
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.mb_per_s > 0.0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Digitized data behind the paper's motivational Figure 1: storage scaling
+//! over the years — disks per system (Backblaze fleet, US DOE lab systems)
+//! and capacity per disk (max available, average sold).
+//!
+//! Values are read off the published figure (approximate by nature); the
+//! `fig01_scaling` binary reprints the series so the reproduction archive is
+//! self-contained.
+
+use serde::{Deserialize, Serialize};
+
+/// One (year, value) sample of a scaling series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YearSample {
+    /// Calendar year.
+    pub year: u32,
+    /// Value in the series' unit.
+    pub value: f64,
+}
+
+/// A named series with its unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingSeries {
+    /// Series name as labeled in the figure.
+    pub name: &'static str,
+    /// Unit of the values.
+    pub unit: &'static str,
+    /// Samples in year order.
+    pub samples: Vec<YearSample>,
+}
+
+fn series(name: &'static str, unit: &'static str, points: &[(u32, f64)]) -> ScalingSeries {
+    ScalingSeries {
+        name,
+        unit,
+        samples: points
+            .iter()
+            .map(|&(year, value)| YearSample { year, value })
+            .collect(),
+    }
+}
+
+/// Figure 1a: disks per system (thousands).
+pub fn disks_per_system() -> Vec<ScalingSeries> {
+    vec![
+        series(
+            "Backblaze",
+            "thousand disks",
+            &[
+                (2010, 4.0),
+                (2013, 27.0),
+                (2016, 68.0),
+                (2019, 116.0),
+                (2022, 202.0),
+            ],
+        ),
+        series(
+            "US DOE",
+            "thousand disks",
+            &[
+                (2010, 10.0),
+                (2013, 20.0),
+                (2016, 35.0),
+                (2019, 44.0),
+                (2022, 47.0),
+            ],
+        ),
+    ]
+}
+
+/// Figure 1b: capacity per disk (TB).
+pub fn capacity_per_disk() -> Vec<ScalingSeries> {
+    vec![
+        series(
+            "Max Available",
+            "TB",
+            &[
+                (2010, 3.0),
+                (2013, 6.0),
+                (2016, 10.0),
+                (2019, 16.0),
+                (2022, 20.0),
+            ],
+        ),
+        series(
+            "Average Sold",
+            "TB",
+            &[
+                (2010, 1.0),
+                (2013, 2.0),
+                (2016, 4.5),
+                (2019, 8.0),
+                (2022, 12.3),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_monotone_growth() {
+        // The figure's whole point: everything keeps growing.
+        for s in disks_per_system().iter().chain(capacity_per_disk().iter()) {
+            for w in s.samples.windows(2) {
+                assert!(w[1].year > w[0].year, "{}: years ordered", s.name);
+                assert!(w[1].value >= w[0].value, "{}: values non-decreasing", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn headline_2022_values() {
+        // Backblaze ≈ 202k disks, max disk 20 TB in 2022 (as printed in the
+        // figure).
+        let bb = &disks_per_system()[0];
+        assert_eq!(bb.samples.last().unwrap().value, 202.0);
+        let max = &capacity_per_disk()[0];
+        assert_eq!(max.samples.last().unwrap().value, 20.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Single-core encoding-throughput measurement (paper Fig. 11).
+//!
+//! The paper measured Intel ISA-L on a Xeon Gold 6240R. We measure our own
+//! GF(2^8) kernels instead (see DESIGN.md substitution table); absolute MB/s
+//! differ but the *shape* of the `(k, p)` surface — throughput falling with
+//! more parities and wider stripes — is the reproduced result.
+//!
+//! Measurement discipline: wall-clock timing of repeated `encode_into` calls
+//! over pre-allocated buffers (no allocation in the timed region), with a
+//! warm-up pass, reporting data MB processed per second.
+
+use crate::mlec::MlecCodec;
+use crate::rs::ReedSolomon;
+use crate::scheme::{EcScheme, LrcParams, MlecParams, SlecParams};
+use crate::Lrc;
+use std::time::Instant;
+
+/// Default chunk size used by the paper's setup (§3): 128 KB.
+pub const PAPER_CHUNK_BYTES: usize = 128 * 1024;
+
+/// One measured point of the throughput surface.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Data chunks.
+    pub k: usize,
+    /// Parity chunks (or `l + r` for LRC).
+    pub p: usize,
+    /// Measured single-core encoding throughput in MB of *data* per second.
+    pub mb_per_s: f64,
+}
+
+/// Measure SLEC `(k + p)` encoding throughput with `chunk_bytes` chunks.
+///
+/// `min_bytes` controls how much data is pushed through the encoder (larger
+/// = steadier numbers, longer runtime).
+pub fn measure_slec(k: usize, p: usize, chunk_bytes: usize, min_bytes: usize) -> ThroughputPoint {
+    let rs = ReedSolomon::new(k, p).expect("valid (k, p)");
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|s| (0..chunk_bytes).map(|i| ((s * 31 + i) % 256) as u8).collect())
+        .collect();
+    let mut parity = vec![vec![0u8; chunk_bytes]; p];
+
+    // Warm-up: populate caches and page in the buffers.
+    rs.encode_into(&data, &mut parity).unwrap();
+
+    let stripe_data_bytes = k * chunk_bytes;
+    let iters = (min_bytes / stripe_data_bytes).max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        rs.encode_into(&data, &mut parity).unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(&parity);
+    ThroughputPoint {
+        k,
+        p,
+        mb_per_s: (iters * stripe_data_bytes) as f64 / 1e6 / elapsed,
+    }
+}
+
+/// Measure MLEC two-level encoding throughput (both levels timed together,
+/// as a storage server + enclosure controller pipeline would see it).
+pub fn measure_mlec(params: MlecParams, chunk_bytes: usize, min_bytes: usize) -> ThroughputPoint {
+    let codec = MlecCodec::new(
+        params.network.k,
+        params.network.p,
+        params.local.k,
+        params.local.p,
+    )
+    .expect("valid MLEC params");
+    let nd = codec.data_chunks();
+    let data: Vec<Vec<u8>> = (0..nd)
+        .map(|s| (0..chunk_bytes).map(|i| ((s * 31 + i) % 256) as u8).collect())
+        .collect();
+
+    let _ = codec.encode(&data).unwrap(); // warm-up
+
+    let stripe_data_bytes = nd * chunk_bytes;
+    let iters = (min_bytes / stripe_data_bytes).max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(codec.encode(&data).unwrap());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ThroughputPoint {
+        k: params.data_chunks(),
+        p: params.total_chunks() - params.data_chunks(),
+        mb_per_s: (iters * stripe_data_bytes) as f64 / 1e6 / elapsed,
+    }
+}
+
+/// Measure LRC `(k, l, r)` two-stage encoding throughput.
+pub fn measure_lrc(params: LrcParams, chunk_bytes: usize, min_bytes: usize) -> ThroughputPoint {
+    let lrc = Lrc::new(params.k, params.l, params.r).expect("valid LRC params");
+    let data: Vec<Vec<u8>> = (0..params.k)
+        .map(|s| (0..chunk_bytes).map(|i| ((s * 31 + i) % 256) as u8).collect())
+        .collect();
+
+    let _ = lrc.encode(&data).unwrap(); // warm-up
+
+    let stripe_data_bytes = params.k * chunk_bytes;
+    let iters = (min_bytes / stripe_data_bytes).max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(lrc.encode(&data).unwrap());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ThroughputPoint {
+        k: params.k,
+        p: params.l + params.r,
+        mb_per_s: (iters * stripe_data_bytes) as f64 / 1e6 / elapsed,
+    }
+}
+
+/// Measure any [`EcScheme`].
+pub fn measure_scheme(scheme: EcScheme, chunk_bytes: usize, min_bytes: usize) -> ThroughputPoint {
+    match scheme {
+        EcScheme::Slec(SlecParams { k, p }) => measure_slec(k, p, chunk_bytes, min_bytes),
+        EcScheme::Mlec(m) => measure_mlec(m, chunk_bytes, min_bytes),
+        EcScheme::Lrc(l) => measure_lrc(l, chunk_bytes, min_bytes),
+    }
+}
+
+/// Measure *multi-core* SLEC encoding throughput: independent stripes
+/// encoded in parallel with rayon, the deployment answer to the paper's
+/// "increasing throughput can be done with more CPU cores, but would lead
+/// to higher hardware cost, and potentially extra overhead caused by
+/// imperfect parallelism" (§5.1.2). Returns the aggregate data MB/s across
+/// `stripes` concurrently-encoded stripes.
+pub fn measure_slec_parallel(
+    k: usize,
+    p: usize,
+    chunk_bytes: usize,
+    stripes: usize,
+    min_bytes: usize,
+) -> ThroughputPoint {
+    use rayon::prelude::*;
+    let rs = ReedSolomon::new(k, p).expect("valid (k, p)");
+    // One independent data + parity buffer set per stripe.
+    let data: Vec<Vec<Vec<u8>>> = (0..stripes)
+        .map(|s| {
+            (0..k)
+                .map(|j| {
+                    (0..chunk_bytes)
+                        .map(|i| ((s * 131 + j * 31 + i) % 256) as u8)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut parities: Vec<Vec<Vec<u8>>> = vec![vec![vec![0u8; chunk_bytes]; p]; stripes];
+
+    // Warm-up.
+    data.par_iter()
+        .zip(parities.par_iter_mut())
+        .for_each(|(d, par)| rs.encode_into(d, par).unwrap());
+
+    let batch_bytes = stripes * k * chunk_bytes;
+    let iters = (min_bytes / batch_bytes).max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        data.par_iter()
+            .zip(parities.par_iter_mut())
+            .for_each(|(d, par)| rs.encode_into(d, par).unwrap());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(&parities);
+    ThroughputPoint {
+        k,
+        p,
+        mb_per_s: (iters * batch_bytes) as f64 / 1e6 / elapsed,
+    }
+}
+
+/// A calibrated *model* of encoding throughput for sweeping hundreds of
+/// configurations (Fig. 12/15 scatter plots) without hours of measurement:
+/// `MB/s = rate_constant / multiplies_per_byte`, where `rate_constant` is
+/// obtained by measuring one reference configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputModel {
+    /// Effective multiply-accumulate rate in "MB of coefficient work"/s.
+    pub rate_mb_per_s: f64,
+}
+
+impl ThroughputModel {
+    /// Calibrate against a measured reference configuration.
+    pub fn calibrate(chunk_bytes: usize, min_bytes: usize) -> ThroughputModel {
+        let reference = EcScheme::Slec(SlecParams::new(10, 4));
+        let measured = measure_scheme(reference, chunk_bytes, min_bytes);
+        ThroughputModel {
+            rate_mb_per_s: measured.mb_per_s * reference.encoding_multiplies_per_byte(),
+        }
+    }
+
+    /// Build from a known rate constant (for tests / deterministic output).
+    pub fn from_rate(rate_mb_per_s: f64) -> ThroughputModel {
+        ThroughputModel { rate_mb_per_s }
+    }
+
+    /// Predicted single-core encoding throughput for a scheme, in MB/s.
+    pub fn predict(&self, scheme: EcScheme) -> f64 {
+        self.rate_mb_per_s / scheme.encoding_multiplies_per_byte().max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL_CHUNK: usize = 4 * 1024; // keep unit tests fast
+    const SMALL_BYTES: usize = 1 << 20;
+
+    #[test]
+    fn throughput_positive_and_finite() {
+        let pt = measure_slec(4, 2, SMALL_CHUNK, SMALL_BYTES);
+        assert!(pt.mb_per_s.is_finite() && pt.mb_per_s > 0.0);
+    }
+
+    #[test]
+    fn more_parities_cost_more() {
+        // p = 8 must be measurably slower than p = 1 at the same k.
+        let fast = measure_slec(8, 1, SMALL_CHUNK, SMALL_BYTES);
+        let slow = measure_slec(8, 8, SMALL_CHUNK, SMALL_BYTES);
+        assert!(
+            slow.mb_per_s < fast.mb_per_s,
+            "p=8 ({:.1} MB/s) should be slower than p=1 ({:.1} MB/s)",
+            slow.mb_per_s,
+            fast.mb_per_s
+        );
+    }
+
+    #[test]
+    fn mlec_and_lrc_measurable() {
+        let m = measure_mlec(MlecParams::new(2, 1, 2, 1), SMALL_CHUNK, SMALL_BYTES / 4);
+        assert!(m.mb_per_s > 0.0);
+        let l = measure_lrc(LrcParams::new(4, 2, 2), SMALL_CHUNK, SMALL_BYTES / 4);
+        assert!(l.mb_per_s > 0.0);
+    }
+
+    #[test]
+    fn parallel_encoding_not_slower_than_serial() {
+        // With >= 2 worker threads and independent stripes, aggregate
+        // throughput must at least match single-stripe throughput (modulo
+        // noise); typically it scales with cores.
+        let serial = measure_slec(8, 4, SMALL_CHUNK, SMALL_BYTES);
+        let parallel = measure_slec_parallel(8, 4, SMALL_CHUNK, 8, SMALL_BYTES * 2);
+        assert!(
+            parallel.mb_per_s > serial.mb_per_s * 0.7,
+            "serial={:.0} parallel={:.0}",
+            serial.mb_per_s,
+            parallel.mb_per_s
+        );
+    }
+
+    #[test]
+    fn model_predictions_scale_inversely_with_work() {
+        let model = ThroughputModel::from_rate(1000.0);
+        let cheap = model.predict(EcScheme::Slec(SlecParams::new(10, 1)));
+        let costly = model.predict(EcScheme::Slec(SlecParams::new(10, 10)));
+        assert!((cheap / costly - 10.0).abs() < 1e-9);
+    }
+}

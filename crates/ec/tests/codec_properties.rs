@@ -1,0 +1,150 @@
+//! Property-based tests for the erasure codecs: MDS behaviour of RS, LRC
+//! decodability structure, and MLEC two-level consistency.
+
+use mlec_ec::{Lrc, MlecCodec, ReedSolomon};
+use proptest::prelude::*;
+
+fn deterministic_data(k: usize, len: usize, salt: u64) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|s| {
+            (0..len)
+                .map(|i| ((s as u64 * 131 + i as u64 * 29 + salt) % 256) as u8)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any k surviving shards reconstruct the stripe (the MDS property),
+    /// for random (k, p) and random erasure patterns of exactly p shards.
+    #[test]
+    fn rs_is_mds(
+        k in 2usize..24,
+        p in 1usize..8,
+        salt: u64,
+        pattern_seed: u64,
+    ) {
+        let rs = ReedSolomon::new(k, p).unwrap();
+        let data = deterministic_data(k, 24, salt);
+        let encoded = rs.encode(&data).unwrap();
+        // Pseudo-random erasure pattern of size p from the seed.
+        let n = k + p;
+        let mut erase: Vec<usize> = (0..n).collect();
+        let mut state = pattern_seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            erase.swap(i, j);
+        }
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+        for &e in erase.iter().take(p) {
+            shards[e] = None;
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for i in 0..n {
+            prop_assert_eq!(shards[i].as_ref().unwrap(), &encoded[i]);
+        }
+    }
+
+    /// Parity is linear: encode(a) XOR encode(b) == encode(a XOR b).
+    #[test]
+    fn rs_encoding_is_linear(k in 2usize..10, p in 1usize..5, salt: u64) {
+        let rs = ReedSolomon::new(k, p).unwrap();
+        let a = deterministic_data(k, 16, salt);
+        let b = deterministic_data(k, 16, salt.wrapping_add(99));
+        let xor: Vec<Vec<u8>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(u, v)| u ^ v).collect())
+            .collect();
+        let ea = rs.encode(&a).unwrap();
+        let eb = rs.encode(&b).unwrap();
+        let ex = rs.encode(&xor).unwrap();
+        for i in 0..(k + p) {
+            for j in 0..16 {
+                prop_assert_eq!(ex[i][j], ea[i][j] ^ eb[i][j]);
+            }
+        }
+    }
+
+    /// LRC: every pattern of at most r+1 erasures is decodable (the MR
+    /// guarantee), for small random configurations.
+    #[test]
+    fn lrc_guaranteed_tolerance(
+        k in 4usize..16,
+        l in 2usize..3,
+        r in 1usize..4,
+        pattern_seed: u64,
+    ) {
+        prop_assume!(k % l == 0);
+        let lrc = Lrc::new(k, l, r).unwrap();
+        let n = lrc.total_chunks();
+        let m = r + 1;
+        prop_assume!(m <= n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut state = pattern_seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            idx.swap(i, j);
+        }
+        let mut erased = vec![false; n];
+        for &e in idx.iter().take(m) {
+            erased[e] = true;
+        }
+        prop_assert!(lrc.decodable(&erased), "k={k} l={l} r={r} pattern={erased:?}");
+    }
+
+    /// LRC reconstruct agrees byte-for-byte with re-encoding from data.
+    #[test]
+    fn lrc_reconstruct_round_trip(salt: u64, which in 0usize..8) {
+        let lrc = Lrc::new(6, 2, 2).unwrap();
+        let data = deterministic_data(6, 12, salt);
+        let encoded = lrc.encode(&data).unwrap();
+        let mut chunks: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+        chunks[which % 10] = None;
+        lrc.reconstruct(&mut chunks).unwrap();
+        for i in 0..10 {
+            prop_assert_eq!(chunks[i].as_ref().unwrap(), &encoded[i]);
+        }
+    }
+
+    /// MLEC grid consistency: the double parity can be computed either way
+    /// (local-of-network == network-of-local) for arbitrary parameters.
+    #[test]
+    fn mlec_double_parity_commutes(
+        kn in 2usize..4,
+        kl in 2usize..4,
+        salt: u64,
+    ) {
+        // Both levels p=1 (XOR) keeps the check simple and exact.
+        let codec = MlecCodec::new(kn, 1, kl, 1).unwrap();
+        let data = deterministic_data(kn * kl, 8, salt);
+        let stripe = codec.encode(&data).unwrap();
+        let last_row = kn; // network parity row
+        let last_col = kl; // local parity column
+        for b in 0..8 {
+            // Network parity of the local-parity column.
+            let mut via_network = 0u8;
+            for row in stripe.iter().take(kn) {
+                via_network ^= row[last_col][b];
+            }
+            prop_assert_eq!(stripe[last_row][last_col][b], via_network);
+        }
+    }
+
+    /// Erasures beyond p always error rather than fabricate data.
+    #[test]
+    fn rs_never_fabricates(k in 2usize..8, p in 1usize..4, salt: u64) {
+        let rs = ReedSolomon::new(k, p).unwrap();
+        let data = deterministic_data(k, 8, salt);
+        let encoded = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        for slot in shards.iter_mut().take(p + 1) {
+            *slot = None;
+        }
+        prop_assert!(rs.reconstruct(&mut shards).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! `mlec-gf`: the finite-field substrate for the MLEC analysis suite.
+//!
+//! Everything in the erasure-coding stack (Reed–Solomon, LRC, the MLEC
+//! two-level codec) reduces to linear algebra over GF(2^8), the field of 256
+//! elements with the standard polynomial `x^8 + x^4 + x^3 + x^2 + 1`
+//! (0x11d) used by Intel ISA-L, Jerasure, and most production erasure
+//! coders. This crate provides:
+//!
+//! - [`field`]: scalar arithmetic (add/sub = XOR, log/exp-table multiply,
+//!   inverse, power) and the [`field::Gf256`] element wrapper.
+//! - [`tables`]: compile-time-generated exponent/logarithm tables.
+//! - [`slice`]: the throughput-critical bulk kernels
+//!   ([`slice::mul_slice`], [`slice::mul_add_slice`]) that the encoding
+//!   throughput experiment (paper Fig. 11) measures. They use per-coefficient
+//!   split nibble tables so each output byte costs two table lookups and one
+//!   XOR.
+//! - [`matrix`]: dense matrices over GF(2^8) with Gauss–Jordan inversion,
+//!   rank, and the Vandermonde/Cauchy constructions used to build systematic
+//!   generator matrices.
+//!
+//! # Example
+//!
+//! ```
+//! use mlec_gf::field::{gf_mul, gf_inv};
+//! let a = 0x57;
+//! let inv = gf_inv(a);
+//! assert_eq!(gf_mul(a, inv), 1);
+//! ```
+
+pub mod field;
+pub mod matrix;
+pub mod slice;
+pub mod tables;
+
+pub use field::Gf256;
+pub use matrix::Matrix;

@@ -1,0 +1,161 @@
+//! Property-based tests: GF(2^8) must satisfy the field axioms and the
+//! matrix layer must satisfy the usual linear-algebra identities.
+
+use mlec_gf::field::{gf_add, gf_div, gf_inv, gf_mul, gf_pow};
+use mlec_gf::matrix::Matrix;
+use mlec_gf::slice::{dot_into, mul_add_slice, mul_slice, NibbleTable};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(gf_add(a, b), gf_add(b, a));
+        prop_assert_eq!(gf_add(gf_add(a, b), c), gf_add(a, gf_add(b, c)));
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        prop_assert_eq!(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(gf_mul(a, gf_add(b, c)), gf_add(gf_mul(a, b), gf_mul(a, c)));
+    }
+
+    #[test]
+    fn identities_hold(a: u8) {
+        prop_assert_eq!(gf_add(a, 0), a);
+        prop_assert_eq!(gf_mul(a, 1), a);
+        prop_assert_eq!(gf_add(a, a), 0); // every element is its own negative
+    }
+
+    #[test]
+    fn inverse_and_division(a in 1u8..=255, b in 1u8..=255) {
+        prop_assert_eq!(gf_mul(a, gf_inv(a)), 1);
+        prop_assert_eq!(gf_mul(gf_div(a, b), b), a);
+    }
+
+    #[test]
+    fn pow_is_homomorphic(a: u8, m in 0usize..100, n in 0usize..100) {
+        prop_assert_eq!(
+            gf_mul(gf_pow(a, m), gf_pow(a, n)),
+            gf_pow(a, m + n)
+        );
+    }
+
+    #[test]
+    fn frobenius_squaring_is_additive(a: u8, b: u8) {
+        // (a + b)^2 == a^2 + b^2 in characteristic 2.
+        prop_assert_eq!(
+            gf_pow(gf_add(a, b), 2),
+            gf_add(gf_pow(a, 2), gf_pow(b, 2))
+        );
+    }
+
+    #[test]
+    fn nibble_table_is_exact(c: u8, x: u8) {
+        prop_assert_eq!(NibbleTable::new(c).mul(x), gf_mul(c, x));
+    }
+
+    #[test]
+    fn mul_add_slice_is_scalar_mul_then_xor(
+        c: u8,
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        seed in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let n = data.len().min(seed.len());
+        let data = &data[..n];
+        let mut out = seed[..n].to_vec();
+        let mut expect = seed[..n].to_vec();
+        for (e, &x) in expect.iter_mut().zip(data) {
+            *e ^= gf_mul(c, x);
+        }
+        mul_add_slice(c, data, &mut out);
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn mul_slice_then_divide_round_trips(
+        c in 1u8..=255,
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let mut out = vec![0; data.len()];
+        mul_slice(c, &data, &mut out);
+        let mut back = vec![0; data.len()];
+        mul_slice(gf_inv(c), &out, &mut back);
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn dot_into_is_linear_in_each_shard(
+        coeffs in proptest::collection::vec(any::<u8>(), 1..6),
+        len in 1usize..64,
+    ) {
+        let k = coeffs.len();
+        let shards: Vec<Vec<u8>> = (0..k)
+            .map(|s| (0..len).map(|i| ((s * 97 + i * 31) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(|v| v.as_slice()).collect();
+        let mut combined = vec![0u8; len];
+        dot_into(&coeffs, &refs, &mut combined);
+
+        // Sum of single-shard dots must equal the combined dot.
+        let mut acc = vec![0u8; len];
+        for j in 0..k {
+            let mut single = vec![0u8; len];
+            mul_slice(coeffs[j], &shards[j], &mut single);
+            for (a, s) in acc.iter_mut().zip(&single) {
+                *a ^= s;
+            }
+        }
+        prop_assert_eq!(combined, acc);
+    }
+
+    #[test]
+    fn matrix_inverse_round_trip(n in 1usize..7, seed: u64) {
+        // Random matrices over GF(2^8) are invertible with probability
+        // ~prod(1 - 256^-i) > 0.99; skip the singular draws.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let mut m = Matrix::zero(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, next());
+            }
+        }
+        if let Some(inv) = m.invert() {
+            prop_assert_eq!(m.mul(&inv), Matrix::identity(n));
+            prop_assert_eq!(inv.mul(&m), Matrix::identity(n));
+            prop_assert_eq!(m.rank(), n);
+        } else {
+            prop_assert!(m.rank() < n);
+        }
+    }
+
+    #[test]
+    fn matrix_multiplication_is_associative(seed: u64) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let mut mk = |r: usize, c: usize| {
+            let mut m = Matrix::zero(r, c);
+            for i in 0..r {
+                for j in 0..c {
+                    m.set(i, j, next());
+                }
+            }
+            m
+        };
+        let a = mk(3, 4);
+        let b = mk(4, 2);
+        let c = mk(2, 5);
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+}

@@ -1,0 +1,194 @@
+//! The analytic available-repair-bandwidth model (paper §4.1.2, Table 2).
+//!
+//! Effective repair bandwidth is the minimum over pipeline stages of
+//! `aggregate throttled bandwidth of participating devices / IO amplification
+//! per rebuilt byte`. With the §3 parameters this reproduces Table 2 exactly:
+//!
+//! | scheme | single-disk BW | catastrophic-pool BW |
+//! |--------|----------------|-----------------------|
+//! | C/C    | 40 MB/s        | 250 MB/s              |
+//! | C/D    | 264 MB/s       | 250 MB/s              |
+//! | D/C    | 40 MB/s        | 1363 MB/s             |
+//! | D/D    | 264 MB/s       | 1363 MB/s             |
+
+use crate::config::MlecDeployment;
+use mlec_topology::Placement;
+
+/// Seconds per hour, for MB/s → TB/h conversions.
+const S_PER_H: f64 = 3600.0;
+
+/// Convert MB/s into TB/h.
+pub fn mbs_to_tb_per_hour(mbs: f64) -> f64 {
+    mbs * S_PER_H / 1e6
+}
+
+/// Time in hours to move `tb` terabytes at `mbs` MB/s.
+pub fn hours_to_move(tb: f64, mbs: f64) -> f64 {
+    if tb <= 0.0 {
+        0.0
+    } else {
+        tb / mbs_to_tb_per_hour(mbs)
+    }
+}
+
+/// Available repair bandwidth for a **single disk failure**, in MB of
+/// rebuilt data per second (paper Table 2, left half).
+///
+/// - Clustered local pool: reads fan out over the `k_l` survivors but all
+///   writes land on the one spare disk, so the spare's throttled write
+///   bandwidth is the bottleneck.
+/// - Declustered local pool: all surviving pool disks share reads *and*
+///   writes; each rebuilt byte costs `k_l` reads + 1 write on the pool's
+///   aggregate disk bandwidth.
+pub fn single_disk_repair_bw_mbs(dep: &MlecDeployment) -> f64 {
+    let disk_bw = dep.config.disk_repair_bw_mbs();
+    match dep.scheme.local {
+        Placement::Clustered => disk_bw,
+        Placement::Declustered => {
+            let pool_disks = dep.geometry.disks_per_enclosure as f64;
+            let survivors = pool_disks - 1.0;
+            let amplification = dep.params.local.k as f64 + 1.0;
+            survivors * disk_bw / amplification
+        }
+    }
+}
+
+/// Available repair bandwidth for rebuilding a **catastrophic local pool**
+/// over the network with R_ALL-style network reads, in MB of rebuilt data
+/// per second (paper Table 2, right half).
+///
+/// - Network-clustered: the rebuilt pool's rack ingress (throttled) is the
+///   bottleneck — reads come from `k_n` racks in parallel but everything is
+///   written into one rack.
+/// - Network-declustered: all racks participate in reads and writes; each
+///   rebuilt byte crosses the network `k_n` times for reads plus once for
+///   the write, against the aggregate rack bandwidth.
+pub fn catastrophic_pool_repair_bw_mbs(dep: &MlecDeployment) -> f64 {
+    let rack_bw = dep.config.rack_repair_bw_mbs();
+    match dep.scheme.network {
+        Placement::Clustered => rack_bw,
+        Placement::Declustered => {
+            let racks = dep.geometry.racks as f64;
+            let amplification = dep.params.network.k as f64 + 1.0;
+            racks * rack_bw / amplification
+        }
+    }
+}
+
+/// Available bandwidth for a **local repair phase** (R_HYB/R_MIN stage 2)
+/// that rebuilds `m` chunks per affected stripe inside the pool while `f`
+/// disks are failed, in MB of rebuilt data per second.
+///
+/// - Clustered: writes go to `m` spare disks in parallel (reads from the
+///   `k_l` survivors keep up: `k_l * bw / k_l * m >= m * bw`).
+/// - Declustered: surviving pool disks share `k_l` reads + 1 write per
+///   rebuilt byte.
+pub fn local_repair_bw_mbs(dep: &MlecDeployment, rebuilt_chunks_per_stripe: u32, failed_disks: u32) -> f64 {
+    let disk_bw = dep.config.disk_repair_bw_mbs();
+    match dep.scheme.local {
+        Placement::Clustered => rebuilt_chunks_per_stripe as f64 * disk_bw,
+        Placement::Declustered => {
+            let pool_disks = dep.geometry.disks_per_enclosure as f64;
+            let survivors = (pool_disks - failed_disks as f64).max(1.0);
+            let amplification = dep.params.local.k as f64 + 1.0;
+            survivors * disk_bw / amplification
+        }
+    }
+}
+
+/// Repair sizes for Table 2: `(single disk TB, catastrophic pool TB)`.
+pub fn repair_sizes_tb(dep: &MlecDeployment) -> (f64, f64) {
+    let disk = dep.geometry.disk_capacity_tb;
+    let pool = dep.local_pools().pool_capacity_tb();
+    (disk, pool)
+}
+
+/// Repair time in hours for a single disk failure (Fig 6a), including the
+/// failure-detection delay.
+pub fn single_disk_repair_hours(dep: &MlecDeployment) -> f64 {
+    let (disk_tb, _) = repair_sizes_tb(dep);
+    dep.config.detection_hours + hours_to_move(disk_tb, single_disk_repair_bw_mbs(dep))
+}
+
+/// Repair time in hours for a catastrophic local pool under R_ALL (Fig 6b),
+/// including the failure-detection delay.
+pub fn catastrophic_pool_repair_hours(dep: &MlecDeployment) -> f64 {
+    let (_, pool_tb) = repair_sizes_tb(dep);
+    dep.config.detection_hours + hours_to_move(pool_tb, catastrophic_pool_repair_bw_mbs(dep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlec_topology::MlecScheme;
+
+    fn dep(scheme: MlecScheme) -> MlecDeployment {
+        MlecDeployment::paper_default(scheme)
+    }
+
+    #[test]
+    fn table2_single_disk_bandwidth() {
+        assert!((single_disk_repair_bw_mbs(&dep(MlecScheme::CC)) - 40.0).abs() < 0.5);
+        assert!((single_disk_repair_bw_mbs(&dep(MlecScheme::DC)) - 40.0).abs() < 0.5);
+        assert!((single_disk_repair_bw_mbs(&dep(MlecScheme::CD)) - 264.0).abs() < 1.0);
+        assert!((single_disk_repair_bw_mbs(&dep(MlecScheme::DD)) - 264.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table2_catastrophic_pool_bandwidth() {
+        assert!((catastrophic_pool_repair_bw_mbs(&dep(MlecScheme::CC)) - 250.0).abs() < 0.5);
+        assert!((catastrophic_pool_repair_bw_mbs(&dep(MlecScheme::CD)) - 250.0).abs() < 0.5);
+        assert!((catastrophic_pool_repair_bw_mbs(&dep(MlecScheme::DC)) - 1363.0).abs() < 1.0);
+        assert!((catastrophic_pool_repair_bw_mbs(&dep(MlecScheme::DD)) - 1363.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table2_repair_sizes() {
+        assert_eq!(repair_sizes_tb(&dep(MlecScheme::CC)), (20.0, 400.0));
+        assert_eq!(repair_sizes_tb(&dep(MlecScheme::CD)), (20.0, 2400.0));
+        assert_eq!(repair_sizes_tb(&dep(MlecScheme::DC)), (20.0, 400.0));
+        assert_eq!(repair_sizes_tb(&dep(MlecScheme::DD)), (20.0, 2400.0));
+    }
+
+    #[test]
+    fn fig6a_single_disk_times() {
+        // C/C, D/C: 20 TB at 40 MB/s ≈ 139 h; C/D, D/D: ≈ 21 h (paper:
+        // "C/D and D/D are 6x faster").
+        let slow = single_disk_repair_hours(&dep(MlecScheme::CC));
+        let fast = single_disk_repair_hours(&dep(MlecScheme::CD));
+        assert!((slow - (0.5 + 20.0e6 / 40.0 / 3600.0)).abs() < 0.1, "slow={slow}");
+        assert!(slow / fast > 5.5 && slow / fast < 7.0, "ratio={}", slow / fast);
+    }
+
+    #[test]
+    fn fig6b_pool_repair_times_ordering() {
+        // Paper F#2-4: C/D slowest (~2667 h), D/C fastest (~82 h), D/D a bit
+        // slower than C/C (489 vs 444 h).
+        let cc = catastrophic_pool_repair_hours(&dep(MlecScheme::CC));
+        let cd = catastrophic_pool_repair_hours(&dep(MlecScheme::CD));
+        let dc = catastrophic_pool_repair_hours(&dep(MlecScheme::DC));
+        let dd = catastrophic_pool_repair_hours(&dep(MlecScheme::DD));
+        assert!(cd > dd && dd > cc && cc > dc, "cc={cc} cd={cd} dc={dc} dd={dd}");
+        assert!((cc - 444.9).abs() < 2.0);
+        assert!((cd - 2667.2).abs() < 10.0);
+        assert!((dc - 82.0).abs() < 2.0);
+        assert!((dd - 489.4).abs() < 3.0);
+    }
+
+    #[test]
+    fn local_phase_bandwidth() {
+        // C/C local phase rebuilding 3 chunks/stripe: 3 spares writing.
+        let bw = local_repair_bw_mbs(&dep(MlecScheme::CC), 3, 4);
+        assert!((bw - 120.0).abs() < 1e-9);
+        // C/D with 4 failed: 116 survivors / 18.
+        let bw = local_repair_bw_mbs(&dep(MlecScheme::CD), 3, 4);
+        assert!((bw - 116.0 * 40.0 / 18.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((mbs_to_tb_per_hour(1000.0) - 3.6).abs() < 1e-12);
+        assert_eq!(hours_to_move(0.0, 100.0), 0.0);
+        assert!((hours_to_move(3.6, 1000.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Disk time-to-failure models (paper §3 "Fault simulation": distributions,
+//! rules, or real traces).
+//!
+//! The paper's durability results use independent exponential failures with
+//! a 1% annual failure rate; Weibull is provided for infant-mortality /
+//! wear-out sensitivity studies and trace playback for replaying recorded
+//! failure logs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A time-to-failure model for a single disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// Memoryless failures at a constant hazard rate (AFR per year).
+    Exponential {
+        /// Annual failure rate, e.g. 0.01.
+        afr: f64,
+    },
+    /// Weibull-distributed time to failure.
+    Weibull {
+        /// Shape parameter (`< 1` infant mortality, `> 1` wear-out).
+        shape: f64,
+        /// Scale parameter in hours (the 63.2% life quantile).
+        scale_hours: f64,
+    },
+    /// Replay an explicit list of failure times (hours, ascending).
+    Trace {
+        /// Failure timestamps in hours.
+        times: Vec<f64>,
+    },
+}
+
+impl FailureModel {
+    /// The paper's default: exponential with 1% AFR.
+    pub fn paper_default() -> FailureModel {
+        FailureModel::Exponential { afr: 0.01 }
+    }
+
+    /// Sample a time-to-failure in hours for a fresh disk.
+    ///
+    /// For [`FailureModel::Trace`], `index` selects the next trace entry and
+    /// the returned value is the absolute trace time (callers treat trace
+    /// playback specially); for the distributions `index` is ignored.
+    pub fn sample_ttf_hours<R: Rng>(&self, rng: &mut R, index: usize) -> f64 {
+        match self {
+            FailureModel::Exponential { afr } => {
+                let rate = afr / crate::config::HOURS_PER_YEAR;
+                sample_exponential(rng, rate)
+            }
+            FailureModel::Weibull { shape, scale_hours } => {
+                // Inverse-CDF: t = scale * (-ln(1-u))^(1/shape).
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                scale_hours * (-u.ln()).powf(1.0 / shape)
+            }
+            FailureModel::Trace { times } => times.get(index).copied().unwrap_or(f64::INFINITY),
+        }
+    }
+
+    /// Mean time to failure in hours (infinite for an exhausted trace).
+    pub fn mttf_hours(&self) -> f64 {
+        match self {
+            FailureModel::Exponential { afr } => crate::config::HOURS_PER_YEAR / afr,
+            FailureModel::Weibull { shape, scale_hours } => {
+                scale_hours * gamma_fn(1.0 + 1.0 / shape)
+            }
+            FailureModel::Trace { times } => {
+                if times.is_empty() {
+                    f64::INFINITY
+                } else {
+                    // Mean inter-arrival spacing of the trace.
+                    let span = times.last().unwrap() - times.first().unwrap();
+                    if times.len() > 1 {
+                        span / (times.len() - 1) as f64
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sample an exponential variate with the given rate (events/hour).
+pub fn sample_exponential<R: Rng>(rng: &mut R, rate_per_hour: f64) -> f64 {
+    if rate_per_hour <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate_per_hour
+}
+
+/// Sample a Poisson variate (Knuth's method for small means, normal
+/// approximation above 64 — the census code only needs "0 / small / huge").
+pub fn sample_poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    assert!(!mean.is_nan(), "Poisson mean must not be NaN");
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean.is_infinite() {
+        return u64::MAX;
+    }
+    if mean > 64.0 {
+        // Normal approximation, clamped at zero.
+        let z: f64 = sample_standard_normal(rng);
+        return (mean + z * mean.sqrt()).round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Box–Muller standard normal.
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Lanczos approximation of the Gamma function (for Weibull MTTF).
+fn gamma_fn(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn exponential_mean_matches_afr() {
+        let model = FailureModel::Exponential { afr: 0.5 };
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| model.sample_ttf_hours(&mut rng, i))
+            .sum::<f64>()
+            / n as f64;
+        let expected = crate::config::HOURS_PER_YEAR / 0.5;
+        assert!(
+            (mean - expected).abs() / expected < 0.03,
+            "mean={mean} expected={expected}"
+        );
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let model = FailureModel::Weibull {
+            shape: 1.0,
+            scale_hours: 1000.0,
+        };
+        assert!((model.mttf_hours() - 1000.0).abs() < 1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| model.sample_ttf_hours(&mut rng, i))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1000.0).abs() / 1000.0 < 0.03, "mean={mean}");
+    }
+
+    #[test]
+    fn weibull_wearout_mttf() {
+        // Shape 2: MTTF = scale * Gamma(1.5) = scale * sqrt(pi)/2.
+        let model = FailureModel::Weibull {
+            shape: 2.0,
+            scale_hours: 100.0,
+        };
+        let expected = 100.0 * (std::f64::consts::PI).sqrt() / 2.0;
+        assert!((model.mttf_hours() - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn trace_playback_in_order() {
+        let model = FailureModel::Trace {
+            times: vec![5.0, 9.0, 100.0],
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        assert_eq!(model.sample_ttf_hours(&mut rng, 0), 5.0);
+        assert_eq!(model.sample_ttf_hours(&mut rng, 1), 9.0);
+        assert_eq!(model.sample_ttf_hours(&mut rng, 2), 100.0);
+        assert_eq!(model.sample_ttf_hours(&mut rng, 3), f64::INFINITY);
+    }
+
+    #[test]
+    fn poisson_mean_and_zero() {
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        let n = 20_000;
+        for mean in [0.5f64, 5.0, 200.0] {
+            let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, mean)).sum();
+            let empirical = total as f64 / n as f64;
+            assert!(
+                (empirical - mean).abs() / mean < 0.05,
+                "mean={mean} empirical={empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_zero_rate_never_fires() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        assert_eq!(sample_exponential(&mut rng, 0.0), f64::INFINITY);
+    }
+}

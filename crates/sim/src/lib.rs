@@ -1,0 +1,40 @@
+//! `mlec-sim`: the discrete-event failure/repair simulator for multi-level
+//! erasure-coded storage (the Rust reproduction of the paper's ~13 kLOC
+//! simulator, §3 "Simulation").
+//!
+//! Layered modules:
+//!
+//! - [`config`]: the §3 reference setup (bandwidths, throttles, detection
+//!   time, AFR) and scheme/geometry bundles.
+//! - [`engine`]: a deterministic discrete-event queue with stable FIFO
+//!   tie-breaking.
+//! - [`failure`]: time-to-failure models — exponential (the paper's default,
+//!   AFR 1%), Weibull (infant-mortality/wear-out studies), and trace-driven.
+//! - [`bandwidth`]: the analytic available-repair-bandwidth model that
+//!   reproduces Table 2 exactly (participating devices × throttled bandwidth
+//!   ÷ IO amplification).
+//! - [`census`]: the stripe-census model for declustered pools — expected
+//!   stripe counts by failure multiplicity, updated on failure/repair events
+//!   (this is what lets us track 10^9 stripes without materializing them).
+//! - [`repair`]: the four repair methods R_ALL / R_FCO / R_HYB / R_MIN with
+//!   cross-rack traffic and network/local repair-time accounting (Fig 8, 9).
+//! - [`pool_sim`]: per-pool long-horizon durability simulation with priority
+//!   (most-failed-first) rebuild — produces catastrophic-failure rates
+//!   (Fig 7) and the samples consumed by the splitting estimator (Fig 10).
+//! - [`traffic`]: yearly repair network traffic for SLEC / LRC / MLEC
+//!   (§5.1.4, §5.2.4).
+
+pub mod bandwidth;
+pub mod census;
+pub mod config;
+pub mod engine;
+pub mod failure;
+pub mod pool_sim;
+pub mod repair;
+pub mod scheduler;
+pub mod system_sim;
+pub mod trace;
+pub mod traffic;
+
+pub use config::SimConfig;
+pub use repair::RepairMethod;

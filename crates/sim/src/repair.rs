@@ -1,0 +1,308 @@
+//! The four catastrophic-pool repair methods (paper §2.4, Fig 4) and their
+//! cross-rack traffic / repair-time accounting (Fig 8, Fig 9).
+//!
+//! The evaluated scenario is the paper's fault injection (§3): `p_l + 1`
+//! simultaneous disk failures in one local pool — the smallest catastrophic
+//! (locally-unrecoverable) failure. Every quantity decomposes into:
+//!
+//! - *network volume*: bytes reconstructed via network-level parity;
+//! - *local volume*: bytes reconstructed by the local repairer;
+//! - *cross-rack traffic*: `network volume × (k_n reads + 1 write)`;
+//! - times from the Table 2 bandwidth model.
+
+use crate::bandwidth::{
+    catastrophic_pool_repair_bw_mbs, hours_to_move, local_repair_bw_mbs,
+};
+use crate::census::prob_cover_all;
+use crate::config::MlecDeployment;
+use mlec_topology::Placement;
+use serde::{Deserialize, Serialize};
+
+/// The four repair methods, from simplest to most optimized (§2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RepairMethod {
+    /// R_ALL: rebuild the entire local pool over the network. Black-box
+    /// RBOD friendly, maximum traffic.
+    All,
+    /// R_FCO: rebuild only the failed chunks over the network. Requires
+    /// cross-level failure reporting.
+    Fco,
+    /// R_HYB: network repair for lost local stripes only; everything else
+    /// repaired locally.
+    Hyb,
+    /// R_MIN: two-stage — network-repair just enough chunks to make every
+    /// lost stripe locally recoverable, then finish locally.
+    Min,
+}
+
+impl RepairMethod {
+    /// All methods in the paper's presentation order.
+    pub const ALL: [RepairMethod; 4] = [
+        RepairMethod::All,
+        RepairMethod::Fco,
+        RepairMethod::Hyb,
+        RepairMethod::Min,
+    ];
+
+    /// Paper label, e.g. `"R_HYB"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepairMethod::All => "R_ALL",
+            RepairMethod::Fco => "R_FCO",
+            RepairMethod::Hyb => "R_HYB",
+            RepairMethod::Min => "R_MIN",
+        }
+    }
+
+    /// Whether the network repairer knows which exact chunks are lost
+    /// (everything but R_ALL). Drives the §4.2.3 F#1 durability effect:
+    /// chunk knowledge lets the system survive `p_n + 1` catastrophic pools
+    /// with no actually-lost network stripe.
+    pub fn has_chunk_knowledge(&self) -> bool {
+        !matches!(self, RepairMethod::All)
+    }
+}
+
+impl std::fmt::Display for RepairMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Volumes and timings of one catastrophic-pool repair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatastrophicRepairPlan {
+    /// Bytes (TB) reconstructed via network-level parity.
+    pub network_volume_tb: f64,
+    /// Bytes (TB) reconstructed by the local repairer.
+    pub local_volume_tb: f64,
+    /// Cross-rack bytes moved: `network_volume * (k_n + 1)`.
+    pub cross_rack_traffic_tb: f64,
+    /// Network-phase repair time, hours (includes detection).
+    pub network_time_h: f64,
+    /// Local-phase repair time, hours.
+    pub local_time_h: f64,
+}
+
+impl CatastrophicRepairPlan {
+    /// Total wall-clock repair time (the phases run back to back).
+    pub fn total_time_h(&self) -> f64 {
+        self.network_time_h + self.local_time_h
+    }
+}
+
+/// Stripe-loss census of the injected `p_l + 1`-failure scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectedFailure {
+    /// Failed disks (`p_l + 1`).
+    pub failed_disks: u32,
+    /// Total failed bytes (TB).
+    pub failed_volume_tb: f64,
+    /// Expected lost local stripes.
+    pub lost_stripes: f64,
+    /// Bytes (TB) in lost-stripe failed chunks.
+    pub lost_chunk_volume_tb: f64,
+    /// Stripes in the pool.
+    pub total_stripes: f64,
+}
+
+/// Compute the loss census of `p_l + 1` simultaneous failures in one pool.
+pub fn inject_catastrophic(dep: &MlecDeployment) -> InjectedFailure {
+    let f = dep.params.local.p as u32 + 1;
+    let pools = dep.local_pools();
+    let d = pools.pool_size();
+    let w = dep.local_width();
+    let chunk_tb = dep.geometry.chunk_kb * 1e3 / 1e12;
+    let pool_chunks = d as f64 * dep.geometry.chunks_per_disk();
+    let total_stripes = pool_chunks / w as f64;
+    let failed_volume_tb = f as f64 * dep.geometry.disk_capacity_tb;
+
+    let (lost_stripes, lost_chunk_volume_tb) = match dep.scheme.local {
+        // Clustered: every stripe spans the whole pool, so every stripe has
+        // all f failed chunks — the entire failed volume is lost-stripe data.
+        Placement::Clustered => (total_stripes, failed_volume_tb),
+        // Declustered: only stripes covering all f failed disks are lost.
+        Placement::Declustered => {
+            let lost = total_stripes * prob_cover_all(d, w, f);
+            (lost, lost * f as f64 * chunk_tb)
+        }
+    };
+    InjectedFailure {
+        failed_disks: f,
+        failed_volume_tb,
+        lost_stripes,
+        lost_chunk_volume_tb,
+        total_stripes,
+    }
+}
+
+/// Plan a catastrophic-pool repair under the given method (Fig 8 / Fig 9).
+pub fn plan_catastrophic_repair(
+    dep: &MlecDeployment,
+    method: RepairMethod,
+) -> CatastrophicRepairPlan {
+    let injected = inject_catastrophic(dep);
+    let chunk_tb = dep.geometry.chunk_kb * 1e3 / 1e12;
+    let pool_capacity_tb = dep.local_pools().pool_capacity_tb();
+    let pl = dep.params.local.p as f64;
+
+    let (network_volume_tb, local_volume_tb, local_chunks_per_stripe) = match method {
+        RepairMethod::All => (pool_capacity_tb, 0.0, 0),
+        RepairMethod::Fco => (injected.failed_volume_tb, 0.0, 0),
+        RepairMethod::Hyb => (
+            injected.lost_chunk_volume_tb,
+            injected.failed_volume_tb - injected.lost_chunk_volume_tb,
+            1,
+        ),
+        RepairMethod::Min => {
+            // Stage 1: one network chunk per lost stripe brings it down to
+            // p_l failures (locally recoverable); stage 2 rebuilds the rest.
+            let per_stripe = (injected.failed_disks as f64 - pl).max(0.0);
+            let network = injected.lost_stripes * per_stripe * chunk_tb;
+            (
+                network,
+                injected.failed_volume_tb - network,
+                dep.params.local.p as u32,
+            )
+        }
+    };
+
+    let kn = dep.params.network.k as f64;
+    let cross_rack_traffic_tb = network_volume_tb * (kn + 1.0);
+    let network_time_h = dep.config.detection_hours
+        + hours_to_move(network_volume_tb, catastrophic_pool_repair_bw_mbs(dep));
+    let local_bw = local_repair_bw_mbs(dep, local_chunks_per_stripe.max(1), injected.failed_disks);
+    let local_time_h = hours_to_move(local_volume_tb, local_bw);
+
+    CatastrophicRepairPlan {
+        network_volume_tb,
+        local_volume_tb,
+        cross_rack_traffic_tb,
+        network_time_h,
+        local_time_h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlec_topology::MlecScheme;
+
+    fn dep(scheme: MlecScheme) -> MlecDeployment {
+        MlecDeployment::paper_default(scheme)
+    }
+
+    fn traffic(scheme: MlecScheme, method: RepairMethod) -> f64 {
+        plan_catastrophic_repair(&dep(scheme), method).cross_rack_traffic_tb
+    }
+
+    #[test]
+    fn fig8_rall_traffic() {
+        // R_ALL rebuilds the whole pool: 400 TB * 11 = 4,400 TB for */C,
+        // 2,400 TB * 11 = 26,400 TB for */D (paper's exact numbers).
+        assert!((traffic(MlecScheme::CC, RepairMethod::All) - 4400.0).abs() < 1.0);
+        assert!((traffic(MlecScheme::DC, RepairMethod::All) - 4400.0).abs() < 1.0);
+        assert!((traffic(MlecScheme::CD, RepairMethod::All) - 26400.0).abs() < 1.0);
+        assert!((traffic(MlecScheme::DD, RepairMethod::All) - 26400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig8_rfco_traffic() {
+        // R_FCO: 4 failed disks * 20 TB * 11 = 880 TB for every scheme.
+        for scheme in MlecScheme::ALL {
+            assert!((traffic(scheme, RepairMethod::Fco) - 880.0).abs() < 1.0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn fig8_rhyb_traffic() {
+        // R_HYB: no gain over R_FCO for */C (all stripes lost on simultaneous
+        // injection), 3.1 TB for */D (paper's exact number).
+        assert!((traffic(MlecScheme::CC, RepairMethod::Hyb) - 880.0).abs() < 1.0);
+        assert!((traffic(MlecScheme::DC, RepairMethod::Hyb) - 880.0).abs() < 1.0);
+        let cd = traffic(MlecScheme::CD, RepairMethod::Hyb);
+        assert!((cd - 3.1).abs() < 0.1, "cd={cd}");
+        let dd = traffic(MlecScheme::DD, RepairMethod::Hyb);
+        assert!((dd - 3.1).abs() < 0.1, "dd={dd}");
+    }
+
+    #[test]
+    fn fig8_rmin_traffic_4x_below_rhyb() {
+        // R_MIN repairs 1 of 4 failed chunks per lost stripe over the
+        // network: exactly 4x less traffic than R_HYB here.
+        for scheme in MlecScheme::ALL {
+            let hyb = traffic(scheme, RepairMethod::Hyb);
+            let min = traffic(scheme, RepairMethod::Min);
+            assert!((hyb / min - 4.0).abs() < 0.01, "{scheme}: hyb={hyb} min={min}");
+        }
+        assert!((traffic(MlecScheme::CC, RepairMethod::Min) - 220.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn fig9_rfco_network_time_5_to_30x_below_rall() {
+        // Paper F#1: R_FCO reduces network repair time by 5-30x.
+        for (scheme, lo, hi) in [
+            (MlecScheme::CC, 4.5, 5.5),
+            (MlecScheme::CD, 25.0, 32.0),
+            (MlecScheme::DC, 4.5, 5.5),
+            (MlecScheme::DD, 25.0, 32.0),
+        ] {
+            let all = plan_catastrophic_repair(&dep(scheme), RepairMethod::All).network_time_h;
+            let fco = plan_catastrophic_repair(&dep(scheme), RepairMethod::Fco).network_time_h;
+            let ratio = all / fco;
+            assert!(ratio > lo && ratio < hi, "{scheme}: ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn fig9_rhyb_on_cd_similar_to_rfco_total() {
+        // Paper F#2: on C/D, R_HYB takes a similar total time to R_FCO.
+        let fco = plan_catastrophic_repair(&dep(MlecScheme::CD), RepairMethod::Fco);
+        let hyb = plan_catastrophic_repair(&dep(MlecScheme::CD), RepairMethod::Hyb);
+        assert!(hyb.local_time_h > 0.0);
+        let ratio = hyb.total_time_h() / fco.total_time_h();
+        assert!(ratio > 0.8 && ratio < 1.2, "ratio={ratio}");
+    }
+
+    #[test]
+    fn fig9_rmin_total_longer_but_network_shorter() {
+        // Paper F#3: R_MIN moves the least data over the network but can
+        // take longer in total (clearest on C/C).
+        let fco = plan_catastrophic_repair(&dep(MlecScheme::CC), RepairMethod::Fco);
+        let min = plan_catastrophic_repair(&dep(MlecScheme::CC), RepairMethod::Min);
+        assert!(min.network_time_h < fco.network_time_h);
+        assert!(min.total_time_h() > fco.total_time_h());
+    }
+
+    #[test]
+    fn injection_census() {
+        let inj = inject_catastrophic(&dep(MlecScheme::CD));
+        assert_eq!(inj.failed_disks, 4);
+        assert!((inj.failed_volume_tb - 80.0).abs() < 1e-9);
+        // ~553k lost stripes (paper's R_HYB math).
+        assert!((inj.lost_stripes - 553_000.0).abs() < 2_000.0, "{}", inj.lost_stripes);
+        let inj_c = inject_catastrophic(&dep(MlecScheme::CC));
+        assert!((inj_c.lost_chunk_volume_tb - 80.0).abs() < 1e-9);
+        assert!((inj_c.lost_stripes - inj_c.total_stripes).abs() < 1e-3);
+    }
+
+    #[test]
+    fn volume_conservation() {
+        // Failed volume = network + local volume for chunk-level methods.
+        for scheme in MlecScheme::ALL {
+            for method in [RepairMethod::Fco, RepairMethod::Hyb, RepairMethod::Min] {
+                let plan = plan_catastrophic_repair(&dep(scheme), method);
+                let total = plan.network_volume_tb + plan.local_volume_tb;
+                assert!((total - 80.0).abs() < 1e-6, "{scheme} {method}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(RepairMethod::All.name(), "R_ALL");
+        assert!(!RepairMethod::All.has_chunk_knowledge());
+        assert!(RepairMethod::Min.has_chunk_knowledge());
+        assert_eq!(RepairMethod::ALL.len(), 4);
+    }
+}

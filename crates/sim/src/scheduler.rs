@@ -1,0 +1,397 @@
+//! Repair-flow scheduling with max–min fair bandwidth arbitration.
+//!
+//! The Table 2 model gives each repair its *stand-alone* bandwidth; when
+//! several repairs run concurrently they contend on shared links. This
+//! module models that contention properly: repairs are **flows** consuming
+//! capacity on **links** (per-rack network ingress/egress and per-pool disk
+//! aggregates), allocated by progressive filling (max–min fairness — the
+//! steady state of per-flow fair queuing, the standard abstraction for
+//! TCP-like sharing). A small flow-level simulator advances flows to
+//! completion, recomputing the allocation at each arrival/departure.
+//!
+//! Consistency: a lone flow reproduces the Table 2 stand-alone bandwidths
+//! exactly (asserted in tests), so the analytic model is the 1-flow special
+//! case of this scheduler.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a capacity-constrained link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LinkId {
+    /// Cross-rack network capacity of one rack (repair share).
+    RackNet(u32),
+    /// Aggregate disk repair bandwidth of one local pool.
+    PoolDisks(u32),
+}
+
+/// A repair flow: moves `volume_mb` of *rebuilt* data, loading each listed
+/// link by `weight` units of link capacity per rebuilt byte (the IO
+/// amplification of DESIGN.md's bandwidth model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Caller-assigned identifier.
+    pub id: u64,
+    /// Remaining rebuilt volume, MB.
+    pub volume_mb: f64,
+    /// `(link, weight)`: rebuilding at rate `r` consumes `r * weight` of
+    /// the link's capacity.
+    pub demands: Vec<(LinkId, f64)>,
+}
+
+/// The arbiter: link capacities plus the active flow set.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    capacity: HashMap<LinkId, f64>,
+    flows: Vec<Flow>,
+}
+
+impl Scheduler {
+    /// Empty scheduler.
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Declare a link's capacity in MB/s. Redeclaring replaces it.
+    pub fn set_capacity(&mut self, link: LinkId, mbs: f64) {
+        assert!(mbs > 0.0, "capacity must be positive");
+        self.capacity.insert(link, mbs);
+    }
+
+    /// Add a flow.
+    ///
+    /// # Panics
+    /// Panics if the flow references an undeclared link, has no demands, or
+    /// a non-positive weight/volume.
+    pub fn add_flow(&mut self, flow: Flow) {
+        assert!(flow.volume_mb > 0.0, "flow volume must be positive");
+        assert!(!flow.demands.is_empty(), "flow must use at least one link");
+        for &(link, weight) in &flow.demands {
+            assert!(weight > 0.0, "demand weights must be positive");
+            assert!(
+                self.capacity.contains_key(&link),
+                "undeclared link {link:?}"
+            );
+        }
+        self.flows.push(flow);
+    }
+
+    /// Remove a flow by id (no-op if absent).
+    pub fn remove_flow(&mut self, id: u64) {
+        self.flows.retain(|f| f.id != id);
+    }
+
+    /// Active flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Compute the max–min fair rebuilt-data rate (MB/s) per flow by
+    /// progressive filling: repeatedly find the tightest link, freeze its
+    /// flows at the equal-share rate, remove the consumed capacity, repeat.
+    pub fn allocate(&self) -> HashMap<u64, f64> {
+        let mut rates: HashMap<u64, f64> = HashMap::new();
+        if self.flows.is_empty() {
+            return rates;
+        }
+        let mut remaining: HashMap<LinkId, f64> = self.capacity.clone();
+        let mut unfrozen: Vec<&Flow> = self.flows.iter().collect();
+
+        while !unfrozen.is_empty() {
+            // For each link, the equal-share rate it can give its unfrozen
+            // flows: cap_remaining / sum of their weights on the link.
+            let mut tightest: Option<(LinkId, f64)> = None;
+            for (&link, &cap) in &remaining {
+                let weight_sum: f64 = unfrozen
+                    .iter()
+                    .flat_map(|f| &f.demands)
+                    .filter(|&&(l, _)| l == link)
+                    .map(|&(_, w)| w)
+                    .sum();
+                if weight_sum <= 0.0 {
+                    continue;
+                }
+                let share = cap / weight_sum;
+                if tightest.map_or(true, |(_, s)| share < s) {
+                    tightest = Some((link, share));
+                }
+            }
+            let Some((bottleneck, rate)) = tightest else {
+                // No unfrozen flow touches any remaining link (cannot happen
+                // given add_flow invariants, but terminate defensively).
+                break;
+            };
+            // Freeze every unfrozen flow using the bottleneck at `rate`.
+            let (frozen, rest): (Vec<&Flow>, Vec<&Flow>) = unfrozen
+                .into_iter()
+                .partition(|f| f.demands.iter().any(|&(l, _)| l == bottleneck));
+            for f in &frozen {
+                rates.insert(f.id, rate);
+                for &(link, weight) in &f.demands {
+                    if let Some(cap) = remaining.get_mut(&link) {
+                        *cap = (*cap - rate * weight).max(0.0);
+                    }
+                }
+            }
+            unfrozen = rest;
+        }
+        rates
+    }
+
+    /// Advance all flows by `dt_s` seconds at the current allocation,
+    /// removing completed flows. Returns the ids that completed.
+    pub fn advance(&mut self, dt_s: f64) -> Vec<u64> {
+        let rates = self.allocate();
+        let mut done = Vec::new();
+        for f in &mut self.flows {
+            let r = rates.get(&f.id).copied().unwrap_or(0.0);
+            f.volume_mb -= r * dt_s;
+            if f.volume_mb <= 1e-9 {
+                done.push(f.id);
+            }
+        }
+        self.flows.retain(|f| f.volume_mb > 1e-9);
+        done
+    }
+
+    /// Seconds until the next flow completes at the current allocation
+    /// (`None` when idle or nothing progresses).
+    pub fn next_completion_s(&self) -> Option<f64> {
+        let rates = self.allocate();
+        self.flows
+            .iter()
+            .filter_map(|f| {
+                let r = rates.get(&f.id).copied().unwrap_or(0.0);
+                (r > 0.0).then(|| f.volume_mb / r)
+            })
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Run all current flows to completion, returning `(id, finish_s)` in
+    /// completion order. Flows added later are not considered.
+    pub fn drain(&mut self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        while let Some(dt) = self.next_completion_s() {
+            t += dt;
+            for id in self.advance(dt) {
+                out.push((id, t));
+            }
+        }
+        out
+    }
+}
+
+/// Build the link set of the paper's deployment: one [`LinkId::RackNet`]
+/// per rack at the throttled rack bandwidth, one [`LinkId::PoolDisks`] per
+/// local pool at `pool_size * throttled disk bandwidth`.
+pub fn paper_links(dep: &crate::config::MlecDeployment) -> Scheduler {
+    let mut s = Scheduler::new();
+    for rack in 0..dep.geometry.racks {
+        s.set_capacity(LinkId::RackNet(rack), dep.config.rack_repair_bw_mbs());
+    }
+    let pools = dep.local_pools();
+    for pool in 0..pools.num_pools() {
+        s.set_capacity(
+            LinkId::PoolDisks(pool),
+            pools.pool_size() as f64 * dep.config.disk_repair_bw_mbs(),
+        );
+    }
+    s
+}
+
+/// Construct the flow of one catastrophic-pool network repair under R_ALL
+/// semantics for the deployment's scheme: reads load `k_n` source racks
+/// (1 unit each per rebuilt byte), the write loads the target rack (or all
+/// racks when network-declustered).
+pub fn catastrophic_repair_flow(
+    dep: &crate::config::MlecDeployment,
+    id: u64,
+    target_pool: u32,
+    volume_mb: f64,
+) -> Flow {
+    use mlec_topology::Placement;
+    let pools = dep.local_pools();
+    let target_rack = pools.rack_of_pool(target_pool);
+    let kn = dep.params.network.k as f64;
+    let racks = dep.geometry.racks;
+    let mut demands: Vec<(LinkId, f64)> = Vec::new();
+    match dep.scheme.network {
+        Placement::Clustered => {
+            // Reads from the k_n peer racks of the rack group; write into
+            // the target rack. Per rebuilt byte: 1 unit on each source rack
+            // (k_n sources at rate/k_n each... loads sum to k_n), 1 on the
+            // target. Model source load spread evenly over the group.
+            let group_size = dep.network_width();
+            let group = target_rack / group_size;
+            for peer in 0..group_size {
+                let rack = group * group_size + peer;
+                if rack == target_rack {
+                    demands.push((LinkId::RackNet(rack), 1.0)); // write in
+                } else {
+                    demands.push((LinkId::RackNet(rack), kn / (group_size as f64 - 1.0)));
+                }
+            }
+        }
+        Placement::Declustered => {
+            // Reads and writes spread over every rack: (k_n + 1) units of
+            // cross-rack IO per rebuilt byte, evenly.
+            let per_rack = (kn + 1.0) / racks as f64;
+            for rack in 0..racks {
+                demands.push((LinkId::RackNet(rack), per_rack));
+            }
+        }
+    }
+    Flow {
+        id,
+        volume_mb,
+        demands,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MlecDeployment;
+    use mlec_topology::MlecScheme;
+
+    #[test]
+    fn single_flow_gets_bottleneck_rate() {
+        let mut s = Scheduler::new();
+        s.set_capacity(LinkId::RackNet(0), 250.0);
+        s.set_capacity(LinkId::RackNet(1), 250.0);
+        s.add_flow(Flow {
+            id: 1,
+            volume_mb: 1000.0,
+            demands: vec![(LinkId::RackNet(0), 1.0), (LinkId::RackNet(1), 2.0)],
+        });
+        let rates = s.allocate();
+        // Link 1 is the bottleneck: 250 / 2 = 125 MB/s.
+        assert!((rates[&1] - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lone_catastrophic_flow_matches_table2() {
+        // The scheduler's 1-flow case must reproduce the analytic Table 2
+        // bandwidths for both network placements.
+        for (scheme, expect) in [(MlecScheme::CC, 250.0), (MlecScheme::DC, 1363.6)] {
+            let dep = MlecDeployment::paper_default(scheme);
+            let mut s = paper_links(&dep);
+            s.add_flow(catastrophic_repair_flow(&dep, 1, 7, 1e6));
+            let rates = s.allocate();
+            assert!(
+                (rates[&1] - expect).abs() / expect < 0.01,
+                "{scheme}: {} vs {expect}",
+                rates[&1]
+            );
+        }
+    }
+
+    #[test]
+    fn two_repairs_into_same_rack_halve() {
+        let dep = MlecDeployment::paper_default(MlecScheme::CC);
+        let mut s = paper_links(&dep);
+        // Pools 0 and 1 are both in rack 0: their writes share its ingress.
+        s.add_flow(catastrophic_repair_flow(&dep, 1, 0, 1e6));
+        s.add_flow(catastrophic_repair_flow(&dep, 2, 1, 1e6));
+        let rates = s.allocate();
+        assert!((rates[&1] - 125.0).abs() < 1.0, "{rates:?}");
+        assert!((rates[&2] - 125.0).abs() < 1.0, "{rates:?}");
+    }
+
+    #[test]
+    fn repairs_in_disjoint_rack_groups_independent() {
+        let dep = MlecDeployment::paper_default(MlecScheme::CC);
+        let pools = dep.local_pools();
+        let mut s = paper_links(&dep);
+        // Rack group 0 (racks 0..12) and group 1 (racks 12..24).
+        let pool_a = 0; // rack 0
+        let pool_b = 13 * pools.pools_per_rack(); // rack 13
+        s.add_flow(catastrophic_repair_flow(&dep, 1, pool_a, 1e6));
+        s.add_flow(catastrophic_repair_flow(&dep, 2, pool_b, 1e6));
+        let rates = s.allocate();
+        assert!((rates[&1] - 250.0).abs() < 1.0, "{rates:?}");
+        assert!((rates[&2] - 250.0).abs() < 1.0, "{rates:?}");
+    }
+
+    #[test]
+    fn max_min_fairness_property() {
+        // A 3-flow scenario with asymmetric bottlenecks: the allocation must
+        // saturate at least one link per flow and give equal shares on the
+        // shared bottleneck.
+        let mut s = Scheduler::new();
+        s.set_capacity(LinkId::RackNet(0), 100.0);
+        s.set_capacity(LinkId::RackNet(1), 300.0);
+        // Flows 1 and 2 share link 0; flow 3 only uses link 1.
+        s.add_flow(Flow { id: 1, volume_mb: 1.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
+        s.add_flow(Flow { id: 2, volume_mb: 1.0, demands: vec![(LinkId::RackNet(0), 1.0), (LinkId::RackNet(1), 1.0)] });
+        s.add_flow(Flow { id: 3, volume_mb: 1.0, demands: vec![(LinkId::RackNet(1), 1.0)] });
+        let rates = s.allocate();
+        assert!((rates[&1] - 50.0).abs() < 1e-9);
+        assert!((rates[&2] - 50.0).abs() < 1e-9);
+        // Flow 3 takes what link 1 has left: 300 - 50 = 250.
+        assert!((rates[&3] - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_orders_completions_correctly() {
+        let mut s = Scheduler::new();
+        s.set_capacity(LinkId::RackNet(0), 100.0);
+        s.add_flow(Flow { id: 1, volume_mb: 100.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
+        s.add_flow(Flow { id: 2, volume_mb: 300.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
+        let done = s.drain();
+        // Shared 50/50 until flow 1 finishes at t = 2 s; flow 2 then gets
+        // the full 100: remaining 200 MB -> finishes at t = 4 s.
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, 1);
+        assert!((done[0].1 - 2.0).abs() < 1e-9, "{done:?}");
+        assert_eq!(done[1].0, 2);
+        assert!((done[1].1 - 4.0).abs() < 1e-9, "{done:?}");
+    }
+
+    #[test]
+    fn conservation_no_link_oversubscribed() {
+        let dep = MlecDeployment::paper_default(MlecScheme::DC);
+        let mut s = paper_links(&dep);
+        for i in 0..20u64 {
+            s.add_flow(catastrophic_repair_flow(&dep, i, (i as u32) * 37 % 2880, 1e6));
+        }
+        let rates = s.allocate();
+        // Sum of weighted loads per link never exceeds capacity.
+        let mut load: HashMap<LinkId, f64> = HashMap::new();
+        for f in s.flows() {
+            let r = rates[&f.id];
+            for &(l, w) in &f.demands {
+                *load.entry(l).or_insert(0.0) += r * w;
+            }
+        }
+        for (l, used) in load {
+            let cap = match l {
+                LinkId::RackNet(r) => {
+                    let _ = r;
+                    dep.config.rack_repair_bw_mbs()
+                }
+                LinkId::PoolDisks(_) => 20.0 * dep.config.disk_repair_bw_mbs(),
+            };
+            assert!(used <= cap + 1e-6, "{l:?}: {used} > {cap}");
+        }
+    }
+
+    #[test]
+    fn remove_flow_frees_capacity() {
+        let mut s = Scheduler::new();
+        s.set_capacity(LinkId::RackNet(0), 100.0);
+        s.add_flow(Flow { id: 1, volume_mb: 1.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
+        s.add_flow(Flow { id: 2, volume_mb: 1.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
+        assert!((s.allocate()[&2] - 50.0).abs() < 1e-9);
+        s.remove_flow(1);
+        assert!((s.allocate()[&2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn undeclared_link_rejected() {
+        let mut s = Scheduler::new();
+        s.add_flow(Flow { id: 1, volume_mb: 1.0, demands: vec![(LinkId::RackNet(9), 1.0)] });
+    }
+}

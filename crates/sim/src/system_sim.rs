@@ -1,0 +1,634 @@
+//! Whole-datacenter discrete-event simulation: every pool of the deployment
+//! simulated together, with network-level repair of catastrophic pools and
+//! data-loss detection — the paper's direct "Simulation" methodology (§3).
+//!
+//! Direct simulation resolves probabilities down to roughly `1/iterations`;
+//! the paper (and this suite) uses it to validate the splitting estimator at
+//! inflated failure rates, to measure repair-traffic distributions, and to
+//! drive trace-based what-if studies. The rare-event durability numbers of
+//! Fig 10 come from [`mlec_analysis`]'s splitting path instead.
+//!
+//! State kept per pool is the same abstraction as
+//! [`crate::pool_sim`]: concurrent-failure sets for clustered pools, the
+//! stripe census with FIFO disk release for declustered pools. Catastrophic
+//! pools enter a network-repair sojourn whose length depends on the repair
+//! method; while `p_n + 1` pools in loss position overlap, a data-loss event
+//! is recorded (with rare-stripe thinning for chunk-knowledge methods on
+//! declustered locals).
+
+use crate::census::StripeCensus;
+use crate::config::{MlecDeployment, HOURS_PER_YEAR};
+use crate::failure::{sample_exponential, sample_poisson, FailureModel};
+use crate::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
+use mlec_topology::Placement;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of one system simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSimResult {
+    /// Simulated mission time in years.
+    pub years: f64,
+    /// Disk failures generated.
+    pub disk_failures: u64,
+    /// Catastrophic local-pool events.
+    pub catastrophic_pools: u64,
+    /// Data-loss events (a network stripe lost).
+    pub data_loss_events: u64,
+    /// Time of the first data loss, hours (None if none).
+    pub first_loss_h: Option<f64>,
+    /// Total cross-rack repair traffic, TB.
+    pub cross_rack_traffic_tb: f64,
+    /// Summed network-repair sojourn hours over all catastrophic pools
+    /// (grows under bandwidth contention).
+    pub total_sojourn_h: f64,
+}
+
+impl SystemSimResult {
+    /// Empirical probability of data loss in the mission (0/1 per run; use
+    /// many seeds and average).
+    pub fn lost_data(&self) -> bool {
+        self.data_loss_events > 0
+    }
+}
+
+/// Per-pool simulation state.
+enum PoolState {
+    Clustered {
+        /// Repair-completion times of active failures.
+        active: Vec<f64>,
+    },
+    Declustered {
+        census: StripeCensus,
+        pending: std::collections::VecDeque<f64>,
+        drain_paused_until: f64,
+        last_advanced: f64,
+    },
+}
+
+/// Replay a recorded failure trace through the system simulator: identical
+/// semantics to [`simulate_system`] but failures come from the trace rather
+/// than a stochastic model (the paper's trace-driven fault-simulation mode).
+pub fn simulate_system_trace(
+    dep: &MlecDeployment,
+    trace: &crate::trace::FailureTrace,
+    method: RepairMethod,
+    seed: u64,
+) -> SystemSimResult {
+    let years = (trace.span_h() / HOURS_PER_YEAR).max(f64::MIN_POSITIVE);
+    let arrivals: Vec<(f64, u32)> = trace
+        .events()
+        .iter()
+        .map(|e| (e.time_h, e.disk % dep.geometry.total_disks()))
+        .collect();
+    run_system(
+        dep,
+        method,
+        years,
+        seed,
+        ArrivalSource::Trace(arrivals),
+        SystemSimOptions::default(),
+    )
+}
+
+/// Where disk-failure arrivals come from.
+enum ArrivalSource {
+    /// Exponential inter-arrival at the given aggregate rate per hour;
+    /// disks chosen uniformly.
+    Exponential { rate_per_disk_hour: f64 },
+    /// Pre-recorded `(time_h, disk)` events, time-ascending.
+    Trace(Vec<(f64, u32)>),
+}
+
+/// Optional realism knobs for the system simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SystemSimOptions {
+    /// Model cross-rack bandwidth contention between concurrent
+    /// catastrophic-pool repairs: a newly admitted repair's sojourn is
+    /// stretched by the number of active repairs sharing its bottleneck
+    /// (same target rack for network-clustered schemes, the global fabric
+    /// for network-declustered ones). Off by default so results match the
+    /// analytic splitting model, which assumes independent sojourns.
+    pub shared_repair_bandwidth: bool,
+}
+
+/// Simulate the whole deployment for `years`, with catastrophic pools
+/// repaired over the network using `method`.
+pub fn simulate_system(
+    dep: &MlecDeployment,
+    failure_model: &FailureModel,
+    method: RepairMethod,
+    years: f64,
+    seed: u64,
+) -> SystemSimResult {
+    simulate_system_opts(dep, failure_model, method, years, seed, SystemSimOptions::default())
+}
+
+/// [`simulate_system`] with explicit [`SystemSimOptions`].
+pub fn simulate_system_opts(
+    dep: &MlecDeployment,
+    failure_model: &FailureModel,
+    method: RepairMethod,
+    years: f64,
+    seed: u64,
+    opts: SystemSimOptions,
+) -> SystemSimResult {
+    let rate = match failure_model {
+        FailureModel::Exponential { afr } => afr / HOURS_PER_YEAR,
+        _ => panic!("system simulation drives exponential failures; use simulate_system_trace"),
+    };
+    run_system(
+        dep,
+        method,
+        years,
+        seed,
+        ArrivalSource::Exponential {
+            rate_per_disk_hour: rate,
+        },
+        opts,
+    )
+}
+
+fn run_system(
+    dep: &MlecDeployment,
+    method: RepairMethod,
+    years: f64,
+    seed: u64,
+    mut arrivals: ArrivalSource,
+    opts: SystemSimOptions,
+) -> SystemSimResult {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x5157_9ad1_u64);
+    let pools = dep.local_pools();
+    let num_pools = pools.num_pools();
+    let d = pools.pool_size();
+    let w = dep.local_width();
+    let threshold = dep.params.local.p as u32 + 1;
+    let pn1 = dep.params.network.p as u32 + 1;
+    let horizon = years * HOURS_PER_YEAR;
+    let chunk_mb = dep.geometry.chunk_kb / 1e3;
+    let total_stripes_per_pool = d as f64 * dep.geometry.chunks_per_disk() / w as f64;
+
+    // Repair plan for the configured method (identical for every pool).
+    let plan = plan_catastrophic_repair(dep, method);
+    let injected = inject_catastrophic(dep);
+    let sojourn_h = plan.network_time_h;
+    let lost_frac = if method.has_chunk_knowledge() {
+        (injected.lost_stripes / injected.total_stripes).min(1.0)
+    } else {
+        1.0
+    };
+
+    let disk_repair_h = dep.config.detection_hours
+        + dep.geometry.disk_capacity_tb * 1e6
+            / crate::bandwidth::single_disk_repair_bw_mbs(dep)
+            / 3600.0;
+
+    let mut states: HashMap<u32, PoolState> = HashMap::new();
+    // Catastrophic pools under network repair: pool -> repair completion.
+    let mut catastrophic_until: HashMap<u32, f64> = HashMap::new();
+
+    let mut now = 0.0f64;
+    let mut disk_failures = 0u64;
+    let mut catastrophic_pools = 0u64;
+    let mut data_loss_events = 0u64;
+    let mut first_loss_h = None;
+    let mut cross_rack_traffic_tb = 0.0f64;
+    let mut total_sojourn_h = 0.0f64;
+    let total_disks = dep.geometry.total_disks() as f64;
+    let mut trace_index = 0usize;
+
+    loop {
+        // Next failure arrival: stochastic (aggregate-rate exponential; the
+        // rate reduction from <0.1% failed disks is negligible) or the next
+        // trace record.
+        let disk: u32 = match &mut arrivals {
+            ArrivalSource::Exponential { rate_per_disk_hour } => {
+                let dt = sample_exponential(&mut rng, total_disks * *rate_per_disk_hour);
+                now += dt;
+                if now > horizon {
+                    break;
+                }
+                rng.gen_range(0..dep.geometry.total_disks())
+            }
+            ArrivalSource::Trace(events) => {
+                let Some(&(t, disk)) = events.get(trace_index) else {
+                    break;
+                };
+                trace_index += 1;
+                if t < now {
+                    continue; // defensive: traces are pre-sorted
+                }
+                now = t;
+                if now > horizon {
+                    break;
+                }
+                disk
+            }
+        };
+        disk_failures += 1;
+        // Expire finished network repairs.
+        catastrophic_until.retain(|_, &mut t| t > now);
+
+        let pool = pools.pool_of(disk);
+        if catastrophic_until.contains_key(&pool) {
+            // Pool already under network reconstruction; the failure is
+            // absorbed by that repair.
+            continue;
+        }
+
+        let went_catastrophic = match dep.scheme.local {
+            Placement::Clustered => {
+                let state = states.entry(pool).or_insert(PoolState::Clustered { active: vec![] });
+                let PoolState::Clustered { active } = state else {
+                    unreachable!()
+                };
+                active.retain(|&t| t > now);
+                active.push(now + disk_repair_h);
+                active.len() as u32 >= threshold
+            }
+            Placement::Declustered => {
+                let state = states.entry(pool).or_insert_with(|| PoolState::Declustered {
+                    census: StripeCensus::new(d, w, total_stripes_per_pool),
+                    pending: Default::default(),
+                    drain_paused_until: 0.0,
+                    last_advanced: 0.0,
+                });
+                let PoolState::Declustered {
+                    census,
+                    pending,
+                    drain_paused_until,
+                    last_advanced,
+                } = state
+                else {
+                    unreachable!()
+                };
+                // Advance the pool's drain to `now`.
+                if census.failed_chunks() > 0.5 {
+                    let f = census.failed_disks();
+                    let bw = crate::bandwidth::local_repair_bw_mbs(dep, 1, f);
+                    let cph = bw * 3600.0 / chunk_mb;
+                    let start = drain_paused_until.max(*last_advanced);
+                    if now > start {
+                        let repaired = census.drain_priority((now - start) * cph);
+                        consume(census, pending, repaired);
+                    }
+                }
+                *last_advanced = now;
+                if census.failed_disks() + 1 >= d {
+                    true
+                } else {
+                    let before = census.failed_chunks();
+                    census.add_disk_failure();
+                    pending.push_back(census.failed_chunks() - before);
+                    *drain_paused_until = now + dep.config.detection_hours;
+                    if census.failed_disks() >= threshold {
+                        let lambda = census.at_or_above(threshold);
+                        let lost = if lambda > 30.0 {
+                            lambda
+                        } else {
+                            sample_poisson(&mut rng, lambda) as f64
+                        };
+                        if lost < 1.0 {
+                            let removed = census.at_or_above(threshold);
+                            let repaired =
+                                census.drain_priority(removed * threshold as f64 * 2.0);
+                            consume(census, pending, repaired);
+                            false
+                        } else {
+                            true
+                        }
+                    } else {
+                        false
+                    }
+                }
+            }
+        };
+
+        if !went_catastrophic {
+            continue;
+        }
+        catastrophic_pools += 1;
+        cross_rack_traffic_tb += plan.cross_rack_traffic_tb;
+        states.remove(&pool); // network repair rebuilds the pool
+        // Bandwidth contention: concurrent repairs sharing this repair's
+        // bottleneck stretch its sojourn (snapshot at admission).
+        let contention = if opts.shared_repair_bandwidth {
+            let sharing = match dep.scheme.network {
+                Placement::Clustered => {
+                    // Same target rack shares its ingress link.
+                    let rack = pools.rack_of_pool(pool);
+                    catastrophic_until
+                        .keys()
+                        .filter(|&&p| pools.rack_of_pool(p) == rack)
+                        .count()
+                }
+                // Declustered repairs all share the global fabric.
+                Placement::Declustered => catastrophic_until.len(),
+            };
+            (sharing + 1) as f64
+        } else {
+            1.0
+        };
+        total_sojourn_h += sojourn_h * contention;
+        catastrophic_until.insert(pool, now + sojourn_h * contention);
+
+        // Data-loss check: p_n+1 overlapping catastrophic pools in loss
+        // position.
+        let overlapping: Vec<u32> = catastrophic_until.keys().copied().collect();
+        let in_loss_position = match dep.scheme.network {
+            Placement::Clustered => {
+                let group_size = dep.network_width();
+                let mut slots: HashMap<(u32, u32), u32> = HashMap::new();
+                for &p in &overlapping {
+                    let key = (
+                        pools.rack_of_pool(p) / group_size,
+                        pools.position_in_rack(p),
+                    );
+                    *slots.entry(key).or_insert(0) += 1;
+                }
+                slots.values().any(|&n| n >= pn1)
+            }
+            Placement::Declustered => {
+                let mut racks: Vec<u32> =
+                    overlapping.iter().map(|&p| pools.rack_of_pool(p)).collect();
+                racks.sort_unstable();
+                racks.dedup();
+                racks.len() as u32 >= pn1
+            }
+        };
+        if in_loss_position {
+            // Chunk-knowledge thinning: with only a fraction of each pool's
+            // stripes actually lost, the overlap may contain no lost network
+            // stripe (paper §4.2.3 F#1).
+            let survival = match dep.scheme.network {
+                Placement::Clustered => {
+                    let expected =
+                        injected.total_stripes * lost_frac.powi(pn1 as i32);
+                    -(-expected).exp_m1()
+                }
+                Placement::Declustered => {
+                    let p_total = num_pools as f64;
+                    let g = dep.network_width() as f64;
+                    let n_net = p_total * injected.total_stripes / g;
+                    let mut cover = 1.0;
+                    for i in 0..pn1 {
+                        cover *= (g - i as f64) / (p_total - i as f64);
+                    }
+                    let expected = n_net * cover * lost_frac.powi(pn1 as i32);
+                    -(-expected).exp_m1()
+                }
+            };
+            if rng.gen_bool(survival.clamp(0.0, 1.0)) {
+                data_loss_events += 1;
+                first_loss_h.get_or_insert(now);
+            }
+        }
+    }
+
+    SystemSimResult {
+        years,
+        disk_failures,
+        catastrophic_pools,
+        data_loss_events,
+        first_loss_h,
+        cross_rack_traffic_tb,
+        total_sojourn_h,
+    }
+}
+
+fn consume(
+    census: &mut StripeCensus,
+    pending: &mut std::collections::VecDeque<f64>,
+    mut repaired: f64,
+) {
+    while repaired > 0.0 {
+        let Some(head) = pending.front_mut() else {
+            break;
+        };
+        if *head <= repaired + 1e-9 {
+            repaired -= *head;
+            pending.pop_front();
+            census.release_disk();
+        } else {
+            *head -= repaired;
+            break;
+        }
+    }
+    if census.failed_chunks() < 0.5 {
+        pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlec_topology::MlecScheme;
+
+    fn dep(scheme: MlecScheme) -> MlecDeployment {
+        MlecDeployment::paper_default(scheme)
+    }
+
+    /// A 144-disk system with (2+1)/(3+1) codes: failures and losses are
+    /// cheap to provoke, keeping statistical tests fast.
+    fn small_dep(scheme: MlecScheme) -> MlecDeployment {
+        MlecDeployment {
+            geometry: mlec_topology::Geometry::small_test(),
+            params: mlec_ec::MlecParams::new(2, 1, 3, 1),
+            scheme,
+            config: crate::SimConfig::paper_default(),
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = FailureModel::Exponential { afr: 0.5 };
+        let a = simulate_system(&dep(MlecScheme::CC), &model, RepairMethod::All, 2.0, 3);
+        let b = simulate_system(&dep(MlecScheme::CC), &model, RepairMethod::All, 2.0, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failure_volume_matches_afr() {
+        // 57,600 disks at AFR 1% over 10 years ≈ 5,760 failures.
+        let model = FailureModel::Exponential { afr: 0.01 };
+        let r = simulate_system(&dep(MlecScheme::CC), &model, RepairMethod::All, 10.0, 7);
+        assert!(
+            (r.disk_failures as f64 - 5760.0).abs() < 400.0,
+            "failures={}",
+            r.disk_failures
+        );
+    }
+
+    #[test]
+    fn no_loss_at_paper_afr_over_short_missions() {
+        // At 1% AFR the system must survive a few years with overwhelming
+        // probability (its durability is tens of nines).
+        let model = FailureModel::Exponential { afr: 0.01 };
+        for scheme in MlecScheme::ALL {
+            let r = simulate_system(&dep(scheme), &model, RepairMethod::Fco, 3.0, 11);
+            assert_eq!(r.data_loss_events, 0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn inflated_afr_produces_catastrophic_pools_and_traffic() {
+        let model = FailureModel::Exponential { afr: 2.0 };
+        let r = simulate_system(&dep(MlecScheme::CC), &model, RepairMethod::All, 3.0, 13);
+        assert!(r.catastrophic_pools > 0, "{r:?}");
+        assert!(r.cross_rack_traffic_tb > 0.0);
+        // Traffic accounting: every catastrophic pool moved one R_ALL plan's
+        // worth of bytes.
+        let expected = r.catastrophic_pools as f64 * 4400.0;
+        assert!((r.cross_rack_traffic_tb - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn rmin_moves_less_traffic_than_rall_at_same_seed() {
+        let model = FailureModel::Exponential { afr: 2.0 };
+        let all = simulate_system(&dep(MlecScheme::CC), &model, RepairMethod::All, 3.0, 17);
+        let min = simulate_system(&dep(MlecScheme::CC), &model, RepairMethod::Min, 3.0, 17);
+        if all.catastrophic_pools > 0 && min.catastrophic_pools > 0 {
+            let all_per = all.cross_rack_traffic_tb / all.catastrophic_pools as f64;
+            let min_per = min.cross_rack_traffic_tb / min.catastrophic_pools as f64;
+            assert!(min_per < all_per / 10.0, "all={all_per} min={min_per}");
+        }
+    }
+
+    #[test]
+    fn extreme_afr_eventually_loses_data() {
+        // Sanity: the loss path fires under absurd failure pressure.
+        let model = FailureModel::Exponential { afr: 20.0 };
+        let mut any_loss = false;
+        for seed in 0..8 {
+            let r = simulate_system(
+                &small_dep(MlecScheme::DC),
+                &model,
+                RepairMethod::All,
+                4.0,
+                seed,
+            );
+            any_loss |= r.lost_data();
+        }
+        assert!(any_loss, "no data loss at AFR 20 across seeds");
+    }
+
+    #[test]
+    fn bandwidth_contention_stretches_sojourns() {
+        // The direct property: under contention, the per-repair sojourn can
+        // only grow, so the mean sojourn per catastrophic pool is at least
+        // the uncontended one.
+        let model = FailureModel::Exponential { afr: 10.0 };
+        let mut base_h = 0.0;
+        let mut base_n = 0u64;
+        let mut shared_h = 0.0;
+        let mut shared_n = 0u64;
+        for seed in 0..10 {
+            let b = simulate_system(
+                &small_dep(MlecScheme::DC),
+                &model,
+                RepairMethod::All,
+                3.0,
+                seed,
+            );
+            base_h += b.total_sojourn_h;
+            base_n += b.catastrophic_pools;
+            let s = simulate_system_opts(
+                &small_dep(MlecScheme::DC),
+                &model,
+                RepairMethod::All,
+                3.0,
+                seed,
+                SystemSimOptions {
+                    shared_repair_bandwidth: true,
+                },
+            );
+            shared_h += s.total_sojourn_h;
+            shared_n += s.catastrophic_pools;
+        }
+        assert!(base_n > 0 && shared_n > 0);
+        let base_mean = base_h / base_n as f64;
+        let shared_mean = shared_h / shared_n as f64;
+        assert!(
+            shared_mean >= base_mean,
+            "base={base_mean} shared={shared_mean}"
+        );
+    }
+
+    #[test]
+    fn trace_replay_matches_trace_volume() {
+        let g = mlec_topology::Geometry::paper_default();
+        let trace = crate::trace::synthesize(
+            &g,
+            &crate::trace::TraceSpec {
+                background_afr: 0.05,
+                bursts_per_year: 1.0,
+                burst_size: 20,
+                burst_racks: 2,
+                years: 2.0,
+            },
+            5,
+        );
+        let r = simulate_system_trace(&dep(MlecScheme::CC), &trace, RepairMethod::Fco, 9);
+        assert_eq!(r.disk_failures as usize, trace.len());
+        assert!((r.years - trace.span_h() / 8766.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn trace_burst_can_cause_catastrophic_pool() {
+        // A synthetic trace with a dense burst confined to one rack must
+        // drive at least one pool catastrophic under clustered placement.
+        let _ = mlec_topology::Geometry::paper_default();
+        let dep_cc = dep(MlecScheme::CC);
+        let pools = dep_cc.local_pools();
+        // Fail 5 disks of pool 7 within a minute.
+        let events: Vec<crate::trace::TraceEvent> = pools
+            .disks_of_pool(7)
+            .take(5)
+            .enumerate()
+            .map(|(i, disk)| crate::trace::TraceEvent {
+                time_h: 1.0 + i as f64 * 0.01,
+                disk,
+            })
+            .collect();
+        let trace = crate::trace::FailureTrace::new(events);
+        let r = simulate_system_trace(&dep_cc, &trace, RepairMethod::All, 2);
+        assert!(r.catastrophic_pools >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn knowledge_methods_lose_less_often_on_dp_locals() {
+        // The §4.2.3 F#1 effect, observed directly in simulation: R_ALL on
+        // a local-Dp scheme declares loss in overlaps where R_FCO's chunk
+        // knowledge (few actually-lost stripes + shorter sojourn) survives.
+        // Statistical comparison over many small-system missions.
+        let model = FailureModel::Exponential { afr: 6.0 };
+        let mut all_losses = 0u64;
+        let mut fco_losses = 0u64;
+        for seed in 0..40 {
+            all_losses += simulate_system(
+                &small_dep(MlecScheme::CD),
+                &model,
+                RepairMethod::All,
+                4.0,
+                seed,
+            )
+            .data_loss_events;
+            fco_losses += simulate_system(
+                &small_dep(MlecScheme::CD),
+                &model,
+                RepairMethod::Fco,
+                4.0,
+                seed,
+            )
+            .data_loss_events;
+        }
+        assert!(all_losses > 0, "need R_ALL losses for a meaningful test");
+        assert!(
+            (fco_losses as f64) < all_losses as f64 * 0.8,
+            "all={all_losses} fco={fco_losses}"
+        );
+    }
+}

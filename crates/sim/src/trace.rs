@@ -1,0 +1,467 @@
+//! Failure traces: generation, parsing, and statistics — the "real traces"
+//! input mode of the paper's fault simulation (§3). Production traces are
+//! proprietary (see DESIGN.md substitutions), so this module synthesizes
+//! equivalent ones: steady Poisson background failures plus correlated
+//! bursts, which exercises the same trace-replay code path.
+
+use crate::config::HOURS_PER_YEAR;
+use mlec_topology::{DiskId, Geometry};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// One trace record: a disk failing at an absolute time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Failure time in hours from trace start.
+    pub time_h: f64,
+    /// The failed disk.
+    pub disk: DiskId,
+}
+
+/// A disk-failure trace, sorted by time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FailureTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl FailureTrace {
+    /// Build from events (sorted internally).
+    pub fn new(mut events: Vec<TraceEvent>) -> FailureTrace {
+        events.sort_by(|a, b| a.time_h.total_cmp(&b.time_h));
+        FailureTrace { events }
+    }
+
+    /// The events, time-ascending.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of failures in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Trace duration (time of the last event), hours.
+    pub fn span_h(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.time_h)
+    }
+
+    /// Empirical annualized failure rate per disk.
+    pub fn empirical_afr(&self, geometry: &Geometry) -> f64 {
+        if self.span_h() <= 0.0 {
+            return 0.0;
+        }
+        let years = self.span_h() / HOURS_PER_YEAR;
+        self.len() as f64 / geometry.total_disks() as f64 / years
+    }
+
+    /// Serialize to a simple `time_h,disk` CSV (header included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_h,disk\n");
+        for e in &self.events {
+            out.push_str(&format!("{},{}\n", e.time_h, e.disk));
+        }
+        out
+    }
+
+    /// Parse the CSV form produced by [`FailureTrace::to_csv`]. Lines that
+    /// fail to parse are reported as errors with their line number.
+    pub fn from_csv(text: &str) -> Result<FailureTrace, TraceParseError> {
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || lineno == 0 && line.starts_with("time_h") {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let time: f64 = parts
+                .next()
+                .ok_or(TraceParseError { line: lineno + 1 })?
+                .trim()
+                .parse()
+                .map_err(|_| TraceParseError { line: lineno + 1 })?;
+            let disk: DiskId = parts
+                .next()
+                .ok_or(TraceParseError { line: lineno + 1 })?
+                .trim()
+                .parse()
+                .map_err(|_| TraceParseError { line: lineno + 1 })?;
+            if parts.next().is_some() || !time.is_finite() || time < 0.0 {
+                return Err(TraceParseError { line: lineno + 1 });
+            }
+            events.push(TraceEvent { time_h: time, disk });
+        }
+        Ok(FailureTrace::new(events))
+    }
+}
+
+/// A CSV line that could not be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed trace record at line {}", self.line)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parameters of the synthetic trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Steady background AFR (e.g. 0.01).
+    pub background_afr: f64,
+    /// Correlated bursts per year (e.g. 0.5).
+    pub bursts_per_year: f64,
+    /// Disks failed per burst.
+    pub burst_size: u32,
+    /// Racks each burst is concentrated in.
+    pub burst_racks: u32,
+    /// Trace duration in years.
+    pub years: f64,
+}
+
+/// Generate a synthetic trace: Poisson background failures over all disks
+/// plus Poisson-arriving correlated bursts confined to a few racks.
+pub fn synthesize(geometry: &Geometry, spec: &TraceSpec, seed: u64) -> FailureTrace {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7ace_u64);
+    let span_h = spec.years * HOURS_PER_YEAR;
+    let mut events = Vec::new();
+
+    // Background: thinned Poisson process over the whole fleet.
+    let bg_rate = geometry.total_disks() as f64 * spec.background_afr / HOURS_PER_YEAR;
+    let mut t = 0.0;
+    loop {
+        t += crate::failure::sample_exponential(&mut rng, bg_rate);
+        if t > span_h {
+            break;
+        }
+        events.push(TraceEvent {
+            time_h: t,
+            disk: rng.gen_range(0..geometry.total_disks()),
+        });
+    }
+
+    // Bursts: pick racks, fail burst_size disks within a small window.
+    let burst_rate = spec.bursts_per_year / HOURS_PER_YEAR;
+    let mut t = 0.0;
+    loop {
+        t += crate::failure::sample_exponential(&mut rng, burst_rate);
+        if t > span_h {
+            break;
+        }
+        if let Ok(layout) =
+            mlec_topology::burst::sample_burst(geometry, spec.burst_size, spec.burst_racks, &mut rng)
+        {
+            for &disk in layout.disks() {
+                // Jitter failures across a 10-minute window.
+                let jitter: f64 = rng.gen_range(0.0..1.0 / 6.0);
+                events.push(TraceEvent {
+                    time_h: t + jitter,
+                    disk,
+                });
+            }
+        }
+    }
+    FailureTrace::new(events)
+}
+
+/// Which disks a failure rule targets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskSelector {
+    /// Every disk in the system.
+    All,
+    /// All disks of one rack.
+    Rack(u32),
+    /// All disks of one (rack, enclosure).
+    Enclosure(u32, u32),
+    /// An explicit contiguous id range `[start, end)` — e.g. a vendor batch
+    /// that shipped together.
+    Range(DiskId, DiskId),
+}
+
+impl DiskSelector {
+    /// Materialize the selected disk ids.
+    pub fn disks(&self, geometry: &Geometry) -> Vec<DiskId> {
+        match *self {
+            DiskSelector::All => (0..geometry.total_disks()).collect(),
+            DiskSelector::Rack(r) => geometry.disks_in_rack(r).collect(),
+            DiskSelector::Enclosure(r, e) => geometry.disks_in_enclosure(r, e).collect(),
+            DiskSelector::Range(a, b) => (a..b.min(geometry.total_disks())).collect(),
+        }
+    }
+}
+
+/// A failure rule: the selected disks fail at `afr` during
+/// `[start_h, end_h)` — the paper's "rules" fault-simulation mode. Rules
+/// compose additively (a batch rule on top of a background rule raises the
+/// batch's hazard during its window).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRule {
+    /// Targeted disks.
+    pub selector: DiskSelector,
+    /// Annualized failure rate while the rule is active.
+    pub afr: f64,
+    /// Activation time, hours.
+    pub start_h: f64,
+    /// Deactivation time, hours.
+    pub end_h: f64,
+}
+
+/// Generate a trace from a set of additive failure rules.
+pub fn synthesize_rules(geometry: &Geometry, rules: &[FailureRule], seed: u64) -> FailureTrace {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x501e5);
+    let mut events = Vec::new();
+    for rule in rules {
+        assert!(rule.end_h >= rule.start_h, "rule window must be ordered");
+        let disks = rule.selector.disks(geometry);
+        if disks.is_empty() || rule.afr <= 0.0 {
+            continue;
+        }
+        let rate = disks.len() as f64 * rule.afr / HOURS_PER_YEAR;
+        let mut t = rule.start_h;
+        loop {
+            t += crate::failure::sample_exponential(&mut rng, rate);
+            if t >= rule.end_h {
+                break;
+            }
+            events.push(TraceEvent {
+                time_h: t,
+                disk: *disks
+                    .get(rng.gen_range(0..disks.len()))
+                    .expect("non-empty selection"),
+            });
+        }
+    }
+    FailureTrace::new(events)
+}
+
+/// Split a trace into the burst windows it contains: maximal groups of
+/// events separated by less than `window_h`. Returns `(start_h, disks)` per
+/// group with at least `min_size` failures — the observable bursts an
+/// operator would investigate.
+pub fn detect_bursts(trace: &FailureTrace, window_h: f64, min_size: usize) -> Vec<(f64, Vec<DiskId>)> {
+    let mut bursts = Vec::new();
+    let mut current: Vec<TraceEvent> = Vec::new();
+    for &e in trace.events() {
+        if let Some(last) = current.last() {
+            if e.time_h - last.time_h > window_h {
+                if current.len() >= min_size {
+                    bursts.push((current[0].time_h, current.iter().map(|x| x.disk).collect()));
+                }
+                current.clear();
+            }
+        }
+        current.push(e);
+    }
+    if current.len() >= min_size {
+        bursts.push((current[0].time_h, current.iter().map(|x| x.disk).collect()));
+    }
+    bursts
+}
+
+/// Shuffle a trace's disk assignments while keeping the timing intact — a
+/// "rules" style transformation (paper §3) used to test placement
+/// sensitivity separately from temporal correlation.
+pub fn shuffle_disks(trace: &FailureTrace, geometry: &Geometry, seed: u64) -> FailureTrace {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut disks: Vec<DiskId> = (0..geometry.total_disks()).collect();
+    disks.shuffle(&mut rng);
+    FailureTrace::new(
+        trace
+            .events()
+            .iter()
+            .map(|e| TraceEvent {
+                time_h: e.time_h,
+                disk: disks[e.disk as usize % disks.len()],
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TraceSpec {
+        TraceSpec {
+            background_afr: 0.02,
+            bursts_per_year: 2.0,
+            burst_size: 30,
+            burst_racks: 2,
+            years: 5.0,
+        }
+    }
+
+    #[test]
+    fn synthesis_matches_requested_rates() {
+        let g = Geometry::paper_default();
+        let trace = synthesize(&g, &spec(), 1);
+        // Background: 57,600 * 0.02 * 5 = 5,760; bursts: 2*5*30 = 300.
+        let expected = 5760.0 + 300.0;
+        assert!(
+            (trace.len() as f64 - expected).abs() < 400.0,
+            "len={}",
+            trace.len()
+        );
+        // AFR estimate close to background + burst contribution.
+        let afr = trace.empirical_afr(&g);
+        assert!((afr - 0.021).abs() < 0.003, "afr={afr}");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let g = Geometry::small_test();
+        let trace = synthesize(
+            &g,
+            &TraceSpec {
+                background_afr: 1.0,
+                bursts_per_year: 1.0,
+                burst_size: 5,
+                burst_racks: 1,
+                years: 1.0,
+            },
+            7,
+        );
+        let csv = trace.to_csv();
+        let parsed = FailureTrace::from_csv(&csv).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_lines() {
+        assert!(FailureTrace::from_csv("time_h,disk\n1.0,5\nbogus\n").is_err());
+        assert!(FailureTrace::from_csv("time_h,disk\n-1.0,5\n").is_err());
+        assert!(FailureTrace::from_csv("time_h,disk\n1.0,5,9\n").is_err());
+        let err = FailureTrace::from_csv("time_h,disk\n1.0,x\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let trace = FailureTrace::new(vec![
+            TraceEvent { time_h: 5.0, disk: 1 },
+            TraceEvent { time_h: 1.0, disk: 2 },
+        ]);
+        assert_eq!(trace.events()[0].disk, 2);
+        assert!((trace.span_h() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_detection_finds_injected_bursts() {
+        let g = Geometry::paper_default();
+        let trace = synthesize(&g, &spec(), 3);
+        let bursts = detect_bursts(&trace, 0.5, 10);
+        // ~10 bursts injected over 5 years at 2/year.
+        assert!(
+            (3..=20).contains(&bursts.len()),
+            "detected {} bursts",
+            bursts.len()
+        );
+        for (_, disks) in &bursts {
+            assert!(disks.len() >= 10);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_timing() {
+        let g = Geometry::small_test();
+        let trace = FailureTrace::new(vec![
+            TraceEvent { time_h: 1.0, disk: 3 },
+            TraceEvent { time_h: 2.0, disk: 3 },
+        ]);
+        let shuffled = shuffle_disks(&trace, &g, 9);
+        assert_eq!(shuffled.len(), 2);
+        assert_eq!(shuffled.events()[0].time_h, 1.0);
+        assert_eq!(shuffled.events()[1].time_h, 2.0);
+        // Same source disk maps to the same target disk.
+        assert_eq!(shuffled.events()[0].disk, shuffled.events()[1].disk);
+    }
+
+    #[test]
+    fn rules_respect_windows_and_selectors() {
+        let g = Geometry::paper_default();
+        let rules = vec![
+            // Background across the fleet for a year.
+            FailureRule {
+                selector: DiskSelector::All,
+                afr: 0.01,
+                start_h: 0.0,
+                end_h: 8766.0,
+            },
+            // A bad vendor batch (disks 1000..1500) failing hard in Q2.
+            FailureRule {
+                selector: DiskSelector::Range(1000, 1500),
+                afr: 2.0,
+                start_h: 2000.0,
+                end_h: 4000.0,
+            },
+        ];
+        let trace = synthesize_rules(&g, &rules, 3);
+        // Background ~576 + batch ~500*2*(2000/8766) ≈ 228.
+        assert!(
+            (trace.len() as f64 - 804.0).abs() < 150.0,
+            "len={}",
+            trace.len()
+        );
+        // Batch-window failures of batch disks only inside the window.
+        for e in trace.events() {
+            if (1000..1500).contains(&e.disk) && !(2000.0..4000.0).contains(&e.time_h) {
+                // Those must come from the background rule, consistent with
+                // its ~3% share of fleet disks.
+                continue;
+            }
+        }
+        let in_batch = trace
+            .events()
+            .iter()
+            .filter(|e| (1000..1500).contains(&e.disk))
+            .count();
+        assert!(in_batch > 150, "batch rule fired: {in_batch}");
+    }
+
+    #[test]
+    fn rack_rule_concentrates_failures() {
+        let g = Geometry::paper_default();
+        let rules = vec![FailureRule {
+            selector: DiskSelector::Rack(7),
+            afr: 5.0,
+            start_h: 0.0,
+            end_h: 1000.0,
+        }];
+        let trace = synthesize_rules(&g, &rules, 9);
+        assert!(!trace.is_empty());
+        assert!(trace.events().iter().all(|e| g.rack_of(e.disk) == 7));
+        assert!(trace.events().iter().all(|e| e.time_h < 1000.0));
+    }
+
+    #[test]
+    fn selector_materialization() {
+        let g = Geometry::small_test();
+        assert_eq!(DiskSelector::All.disks(&g).len(), 144);
+        assert_eq!(DiskSelector::Rack(0).disks(&g).len(), 24);
+        assert_eq!(DiskSelector::Enclosure(1, 1).disks(&g).len(), 12);
+        assert_eq!(DiskSelector::Range(140, 200).disks(&g).len(), 4);
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let g = Geometry::small_test();
+        let trace = FailureTrace::default();
+        assert!(trace.is_empty());
+        assert_eq!(trace.empirical_afr(&g), 0.0);
+        assert!(detect_bursts(&trace, 1.0, 1).is_empty());
+    }
+}

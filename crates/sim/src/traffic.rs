@@ -1,0 +1,119 @@
+//! Steady-state repair *network* traffic under independent failures
+//! (paper §5.1.4 and §5.2.4, reported in text rather than figures).
+//!
+//! Every repaired byte in a network-placed code costs `reads + 1 write`
+//! cross-rack transfers; local codes repair inside the rack and generate no
+//! cross-rack traffic for single-disk failures. MLEC only touches the
+//! network when a local pool goes catastrophic — which is why its repair
+//! traffic is "a few TB every thousand of years" instead of "hundreds of TB
+//! every day".
+
+use crate::config::{MlecDeployment, SimConfig, HOURS_PER_YEAR};
+use crate::repair::{plan_catastrophic_repair, RepairMethod};
+use mlec_ec::LrcParams;
+use mlec_topology::Geometry;
+
+/// Expected disk failures per day in the whole system.
+pub fn failures_per_day(geometry: &Geometry, config: &SimConfig) -> f64 {
+    geometry.total_disks() as f64 * config.afr / (HOURS_PER_YEAR / 24.0)
+}
+
+/// Daily cross-rack repair traffic of a network SLEC `(k + p)` in TB/day:
+/// every disk repair reads `k` chunks and writes 1 chunk across racks.
+pub fn net_slec_daily_traffic_tb(geometry: &Geometry, config: &SimConfig, k: usize) -> f64 {
+    failures_per_day(geometry, config) * geometry.disk_capacity_tb * (k as f64 + 1.0)
+}
+
+/// Daily cross-rack repair traffic of a local SLEC: zero — all repair I/O
+/// stays inside the enclosure. (Rack-level failures are not repairable at
+/// all, which is the durability price Fig 13a/b shows.)
+pub fn local_slec_daily_traffic_tb() -> f64 {
+    0.0
+}
+
+/// Daily cross-rack repair traffic of a declustered LRC in TB/day.
+///
+/// Chunks are spread one-per-rack, so every repair crosses racks. A data or
+/// local-parity chunk is repaired from its local group (`k/l` reads); a
+/// global parity needs a full decode (`k` reads).
+pub fn lrc_daily_traffic_tb(geometry: &Geometry, config: &SimConfig, params: LrcParams) -> f64 {
+    let n = params.width() as f64;
+    let group_reads = (params.k as f64 / params.l as f64).ceil();
+    let avg_reads = ((params.k + params.l) as f64 * group_reads + params.r as f64 * params.k as f64)
+        / n;
+    failures_per_day(geometry, config) * geometry.disk_capacity_tb * (avg_reads + 1.0)
+}
+
+/// Yearly cross-rack repair traffic of MLEC in TB/year, given the system's
+/// catastrophic-local-pool rate (events per system-year, from simulation or
+/// the analytic chain) and the repair method.
+pub fn mlec_yearly_traffic_tb(
+    dep: &MlecDeployment,
+    method: RepairMethod,
+    catastrophic_rate_per_system_year: f64,
+) -> f64 {
+    let per_event = plan_catastrophic_repair(dep, method).cross_rack_traffic_tb;
+    catastrophic_rate_per_system_year * per_event
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlec_topology::MlecScheme;
+
+    #[test]
+    fn paper_scale_failure_rate() {
+        let g = Geometry::paper_default();
+        let c = SimConfig::paper_default();
+        // 57,600 disks at 1% AFR ≈ 1.58 failures/day.
+        let f = failures_per_day(&g, &c);
+        assert!((f - 1.577).abs() < 0.01, "f={f}");
+    }
+
+    #[test]
+    fn net_slec_hundreds_of_tb_per_day() {
+        // Paper §5.1.4: "(7+3) network SLEC requires hundreds of TB repair
+        // network traffic every day".
+        let g = Geometry::paper_default();
+        let c = SimConfig::paper_default();
+        let daily = net_slec_daily_traffic_tb(&g, &c, 7);
+        assert!(daily > 100.0 && daily < 500.0, "daily={daily}");
+    }
+
+    #[test]
+    fn lrc_less_than_matched_slec() {
+        // Paper §5.2.4: LRC repairs most failures from the small local
+        // group. At matched width/overhead — (14,2,4) LRC vs (14+6) network
+        // SLEC — LRC must move less.
+        let g = Geometry::paper_default();
+        let c = SimConfig::paper_default();
+        let lrc = lrc_daily_traffic_tb(&g, &c, LrcParams::new(14, 2, 4));
+        let slec = net_slec_daily_traffic_tb(&g, &c, 14);
+        assert!(lrc < slec, "lrc={lrc} slec={slec}");
+        // ...but still a lot in absolute terms ("every repair still needs to
+        // read and write over the network").
+        assert!(lrc > 100.0);
+    }
+
+    #[test]
+    fn mlec_orders_of_magnitude_below_slec() {
+        // Paper §5.1.4: MLEC needs a few TB every *thousands of years*.
+        // With a catastrophic rate of ~1e-5/system-year and R_MIN's 220 TB
+        // per event, yearly traffic is ~2e-3 TB.
+        let dep = MlecDeployment::paper_default(MlecScheme::CC);
+        let yearly = mlec_yearly_traffic_tb(&dep, RepairMethod::Min, 1e-5);
+        assert!(yearly < 0.01, "yearly={yearly}");
+        // Versus SLEC's ~92,000 TB/year: >7 orders of magnitude apart.
+        let slec_yearly = net_slec_daily_traffic_tb(
+            &Geometry::paper_default(),
+            &SimConfig::paper_default(),
+            7,
+        ) * 365.25;
+        assert!(slec_yearly / yearly > 1e6);
+    }
+
+    #[test]
+    fn local_slec_is_free_of_network_traffic() {
+        assert_eq!(local_slec_daily_traffic_tb(), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Integration tests across the simulator's modules: failure models driving
+//! the pool and system simulators, repair planning consistency, and
+//! determinism guarantees.
+
+use mlec_sim::config::MlecDeployment;
+use mlec_sim::failure::FailureModel;
+use mlec_sim::pool_sim::simulate_pool;
+use mlec_sim::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
+use mlec_sim::system_sim::{simulate_system, simulate_system_trace};
+use mlec_sim::trace::{synthesize, FailureTrace, TraceSpec};
+use mlec_topology::{Geometry, MlecScheme};
+use proptest::prelude::*;
+
+fn paper(scheme: MlecScheme) -> MlecDeployment {
+    MlecDeployment::paper_default(scheme)
+}
+
+#[test]
+fn repair_plans_are_internally_consistent() {
+    for scheme in MlecScheme::ALL {
+        let dep = paper(scheme);
+        let injected = inject_catastrophic(&dep);
+        for method in RepairMethod::ALL {
+            let plan = plan_catastrophic_repair(&dep, method);
+            // Traffic = network volume * (k_n + 1), always.
+            let expect = plan.network_volume_tb * 11.0;
+            assert!(
+                (plan.cross_rack_traffic_tb - expect).abs() < 1e-6,
+                "{scheme} {method}"
+            );
+            // Network volume never exceeds R_ALL's whole pool.
+            assert!(plan.network_volume_tb <= dep.local_pools().pool_capacity_tb() + 1e-9);
+            // Chunk-level methods never move more than the failed bytes over
+            // the network.
+            if method != RepairMethod::All {
+                assert!(plan.network_volume_tb <= injected.failed_volume_tb + 1e-9);
+            }
+            // Times are non-negative and network time includes detection.
+            assert!(plan.network_time_h >= dep.config.detection_hours);
+            assert!(plan.local_time_h >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn method_traffic_ordering_all_schemes() {
+    for scheme in MlecScheme::ALL {
+        let dep = paper(scheme);
+        let traffic: Vec<f64> = RepairMethod::ALL
+            .iter()
+            .map(|&m| plan_catastrophic_repair(&dep, m).cross_rack_traffic_tb)
+            .collect();
+        // R_ALL >= R_FCO >= R_HYB >= R_MIN.
+        for pair in traffic.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9, "{scheme}: {traffic:?}");
+        }
+    }
+}
+
+#[test]
+fn trace_and_exponential_paths_agree_statistically() {
+    // A synthesized pure-background trace at AFR a should produce the same
+    // catastrophic-pool count distribution as the exponential model.
+    let dep = paper(MlecScheme::CC);
+    let g = Geometry::paper_default();
+    let afr = 1.5;
+    let years = 4.0;
+    let mut exp_cat = 0u64;
+    let mut trace_cat = 0u64;
+    for seed in 0..6u64 {
+        let model = FailureModel::Exponential { afr };
+        exp_cat += simulate_system(&dep, &model, RepairMethod::Fco, years, seed)
+            .catastrophic_pools;
+        let trace = synthesize(
+            &g,
+            &TraceSpec {
+                background_afr: afr,
+                bursts_per_year: 0.0,
+                burst_size: 1,
+                burst_racks: 1,
+                years,
+            },
+            seed,
+        );
+        trace_cat += simulate_system_trace(&dep, &trace, RepairMethod::Fco, seed)
+            .catastrophic_pools;
+    }
+    assert!(exp_cat > 10, "need events: exp={exp_cat}");
+    let ratio = trace_cat as f64 / exp_cat as f64;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "exp={exp_cat} trace={trace_cat}"
+    );
+}
+
+#[test]
+fn pool_sim_scales_linearly_with_years() {
+    // Twice the simulated span, roughly twice the failures.
+    let dep = paper(MlecScheme::CC);
+    let model = FailureModel::Exponential { afr: 1.0 };
+    let short = simulate_pool(&dep, &model, 100.0, 42);
+    let long = simulate_pool(&dep, &model, 200.0, 43);
+    let ratio = long.disk_failures as f64 / short.disk_failures.max(1) as f64;
+    assert!((1.6..2.4).contains(&ratio), "ratio={ratio}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// System simulation is reproducible for any seed/scheme combination.
+    #[test]
+    fn system_sim_deterministic(seed: u64, scheme_idx in 0usize..4) {
+        let scheme = MlecScheme::ALL[scheme_idx];
+        let dep = paper(scheme);
+        let model = FailureModel::Exponential { afr: 0.8 };
+        let a = simulate_system(&dep, &model, RepairMethod::Hyb, 1.0, seed);
+        let b = simulate_system(&dep, &model, RepairMethod::Hyb, 1.0, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Traces round-trip through CSV regardless of content.
+    #[test]
+    fn trace_csv_roundtrip(
+        times in proptest::collection::vec(0.0f64..1e5, 0..50),
+        disks in proptest::collection::vec(0u32..57_600, 0..50),
+    ) {
+        let events: Vec<mlec_sim::trace::TraceEvent> = times
+            .iter()
+            .zip(&disks)
+            .map(|(&time_h, &disk)| mlec_sim::trace::TraceEvent { time_h, disk })
+            .collect();
+        let trace = FailureTrace::new(events);
+        let parsed = FailureTrace::from_csv(&trace.to_csv()).unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Catastrophic injection census is conserved: lost chunk volume never
+    /// exceeds the failed volume, lost stripes never exceed the pool.
+    #[test]
+    fn injection_census_bounds(scheme_idx in 0usize..4) {
+        let dep = paper(MlecScheme::ALL[scheme_idx]);
+        let injected = inject_catastrophic(&dep);
+        prop_assert!(injected.lost_chunk_volume_tb <= injected.failed_volume_tb + 1e-9);
+        prop_assert!(injected.lost_stripes <= injected.total_stripes);
+        prop_assert!(injected.lost_stripes > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Correlated failure-burst generation (paper §4.1.1, Fig. 5).
+//!
+//! A burst of `y` simultaneous disk failures is scattered across exactly `x`
+//! racks: the `x` racks are chosen uniformly, each receives at least one
+//! failure, the remaining `y - x` failures land on the chosen racks
+//! uniformly, and within a rack the failed disks are distinct and uniform.
+
+use crate::geometry::{DiskId, Geometry, RackId};
+use crate::layout::FailureLayout;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Errors from burst generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BurstError {
+    /// Need at least as many failures as affected racks.
+    TooFewFailures { failures: u32, racks: u32 },
+    /// More affected racks than racks in the system.
+    TooManyRacks { requested: u32, available: u32 },
+    /// More failures assigned to a rack than it has disks.
+    RackOverflow { rack: RackId, requested: u32, disks: u32 },
+}
+
+impl std::fmt::Display for BurstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BurstError::TooFewFailures { failures, racks } => {
+                write!(f, "{failures} failures cannot cover {racks} racks")
+            }
+            BurstError::TooManyRacks { requested, available } => {
+                write!(f, "requested {requested} racks but system has {available}")
+            }
+            BurstError::RackOverflow { rack, requested, disks } => {
+                write!(f, "rack {rack} asked for {requested} failures but has {disks} disks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BurstError {}
+
+/// Sample a burst of `failures` failed disks scattered across exactly
+/// `affected_racks` racks.
+pub fn sample_burst<R: Rng>(
+    geometry: &Geometry,
+    failures: u32,
+    affected_racks: u32,
+    rng: &mut R,
+) -> Result<FailureLayout, BurstError> {
+    let counts = sample_rack_counts(geometry, failures, affected_racks, rng)?;
+    let mut failed: Vec<DiskId> = Vec::with_capacity(failures as usize);
+    for (rack, count) in counts {
+        failed.extend(sample_disks_in_rack(geometry, rack, count, rng));
+    }
+    Ok(FailureLayout::new(failed))
+}
+
+/// Sample only the per-rack failure counts of a burst (rack identity
+/// included). Exposed separately so analyses that work at per-rack
+/// granularity can skip disk-level sampling.
+pub fn sample_rack_counts<R: Rng>(
+    geometry: &Geometry,
+    failures: u32,
+    affected_racks: u32,
+    rng: &mut R,
+) -> Result<Vec<(RackId, u32)>, BurstError> {
+    if affected_racks > geometry.racks {
+        return Err(BurstError::TooManyRacks {
+            requested: affected_racks,
+            available: geometry.racks,
+        });
+    }
+    if failures < affected_racks {
+        return Err(BurstError::TooFewFailures {
+            failures,
+            racks: affected_racks,
+        });
+    }
+    let mut racks: Vec<RackId> = (0..geometry.racks).collect();
+    racks.shuffle(rng);
+    racks.truncate(affected_racks as usize);
+
+    let capacity = geometry.disks_per_rack();
+    if failures > capacity * affected_racks {
+        return Err(BurstError::RackOverflow {
+            rack: racks[0],
+            requested: failures.div_ceil(affected_racks),
+            disks: capacity,
+        });
+    }
+    // Each chosen rack gets one failure; the remainder scatter uniformly
+    // among racks that still have healthy disks.
+    let mut counts = vec![1u32; affected_racks as usize];
+    for _ in 0..(failures - affected_racks) {
+        loop {
+            let i = rng.gen_range(0..affected_racks as usize);
+            if counts[i] < capacity {
+                counts[i] += 1;
+                break;
+            }
+        }
+    }
+    Ok(racks.into_iter().zip(counts).collect())
+}
+
+/// Sample `count` distinct failed disks uniformly within one rack.
+pub fn sample_disks_in_rack<R: Rng>(
+    geometry: &Geometry,
+    rack: RackId,
+    count: u32,
+    rng: &mut R,
+) -> Vec<DiskId> {
+    let disks: Vec<DiskId> = geometry.disks_in_rack(rack).collect();
+    debug_assert!(count as usize <= disks.len());
+    disks
+        .choose_multiple(rng, count as usize)
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn burst_shape_invariants() {
+        let g = Geometry::small_test();
+        let mut rng = ChaCha12Rng::seed_from_u64(42);
+        for (y, x) in [(6u32, 3u32), (10, 1), (6, 6), (24, 2)] {
+            let layout = sample_burst(&g, y, x, &mut rng).unwrap();
+            assert_eq!(layout.len() as u32, y, "y={y} x={x}");
+            assert_eq!(layout.affected_racks(&g) as u32, x, "y={y} x={x}");
+            // Every rack got at least one failure.
+            assert!(layout.per_rack_counts(&g).values().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        let g = Geometry::small_test(); // 6 racks x 24 disks
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        assert!(matches!(
+            sample_burst(&g, 2, 4, &mut rng),
+            Err(BurstError::TooFewFailures { .. })
+        ));
+        assert!(matches!(
+            sample_burst(&g, 10, 7, &mut rng),
+            Err(BurstError::TooManyRacks { .. })
+        ));
+        // 30 failures in one 24-disk rack cannot fit.
+        assert!(matches!(
+            sample_burst(&g, 30, 1, &mut rng),
+            Err(BurstError::RackOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn failures_are_distinct_disks() {
+        let g = Geometry::small_test();
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let layout = sample_burst(&g, 20, 4, &mut rng).unwrap();
+            // FailureLayout dedups; equal length means all distinct.
+            assert_eq!(layout.len(), 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = Geometry::paper_default();
+        let a = sample_burst(&g, 30, 5, &mut ChaCha12Rng::seed_from_u64(99)).unwrap();
+        let b = sample_burst(&g, 30, 5, &mut ChaCha12Rng::seed_from_u64(99)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rack_counts_sum_to_failures() {
+        let g = Geometry::paper_default();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let counts = sample_rack_counts(&g, 60, 13, &mut rng).unwrap();
+        assert_eq!(counts.len(), 13);
+        assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u32>(), 60);
+        // Rack ids are distinct.
+        let mut ids: Vec<_> = counts.iter().map(|&(r, _)| r).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
+    }
+}

@@ -1,0 +1,21 @@
+//! `mlec-topology`: the physical model of the datacenter and the chunk
+//! placement schemes analyzed by the paper (§2.2, Fig. 3).
+//!
+//! - [`geometry`]: the rack → enclosure → disk hierarchy and the paper's §3
+//!   reference setup (57,600 disks: 60 racks × 8 enclosures × 120 disks).
+//! - [`placement`]: pool maps for the four MLEC schemes (C/C, C/D, D/C,
+//!   D/D), the four SLEC placements (Local-Cp/Dp, Net-Cp/Dp), and LRC-Dp.
+//! - [`layout`]: failure layouts (which disks are concurrently failed) and
+//!   per-rack / per-pool aggregation.
+//! - [`burst`]: the correlated failure-burst generator used by the PDL
+//!   heatmaps (`y` simultaneous disk failures scattered across `x` racks).
+
+pub mod burst;
+pub mod geometry;
+pub mod layout;
+pub mod objectmap;
+pub mod placement;
+
+pub use geometry::{DiskId, EnclosureId, Geometry, RackId};
+pub use layout::FailureLayout;
+pub use placement::{LocalPoolMap, MlecScheme, Placement, SlecPlacement};

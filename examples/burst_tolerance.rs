@@ -1,0 +1,40 @@
+//! Scenario: a datacenter operator expects correlated failure bursts (e.g.
+//! rack-level power events) and wants to know which MLEC scheme tolerates
+//! them best — the paper's §4.1.1 / Fig 5 analysis, interactively.
+//!
+//! Run with: `cargo run --release --example burst_tolerance`
+
+use mlec_core::topology::MlecScheme;
+use mlec_core::MlecSystem;
+
+fn main() {
+    println!("Burst tolerance: PDL when y disks fail simultaneously across x racks\n");
+
+    let bursts = [
+        (12u32, 12u32, "12 failures scattered over 12 racks"),
+        (12, 3, "12 failures concentrated in 3 racks"),
+        (60, 3, "60 failures in 3 racks (worst case: p_n+1 racks)"),
+        (60, 30, "60 failures scattered over 30 racks"),
+        (60, 1, "60 failures in a single rack (power event)"),
+    ];
+
+    println!(
+        "{:<50} {:>10} {:>10} {:>10} {:>10}",
+        "burst", "C/C", "C/D", "D/C", "D/D"
+    );
+    for (y, x, label) in bursts {
+        print!("{label:<50}");
+        for scheme in MlecScheme::ALL {
+            let system = MlecSystem::paper_default(scheme);
+            let pdl = system.burst_pdl(y, x, 200, 0xb0b5);
+            print!(" {:>9.2e}", pdl);
+        }
+        println!();
+    }
+
+    println!("\nReading the table (paper findings):");
+    println!("  - Scattering the same failures over more racks lowers PDL (F#2).");
+    println!("  - C/C is the most burst-tolerant; D/D the least (F#5-7).");
+    println!("  - Everything survives a single-rack event: network parity covers a full rack (F#3).");
+    println!("\nTakeaway #3 from the paper: systems seeing frequent correlated bursts should use C/C.");
+}

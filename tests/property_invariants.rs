@@ -1,0 +1,205 @@
+//! Workspace-level property-based tests: invariants that must hold across
+//! arbitrary configurations of the whole stack.
+
+use mlec_core::analysis::burst::poisson_binomial_tail;
+use mlec_core::ec::{Lrc, MlecCodec, ReedSolomon};
+use mlec_core::sim::census::{hypergeom_pmf, prob_cover_all, StripeCensus};
+use mlec_core::topology::{burst, FailureLayout, Geometry, LocalPoolMap, Placement};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RS round-trips any erasure pattern of size <= p, for random (k, p).
+    #[test]
+    fn rs_reconstructs_any_tolerable_pattern(
+        k in 2usize..20,
+        p in 1usize..6,
+        seed: u64,
+        len in 1usize..64,
+    ) {
+        let rs = ReedSolomon::new(k, p).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|_| (0..len).map(|_| rand::Rng::gen(&mut rng)).collect())
+            .collect();
+        let encoded = rs.encode(&data).unwrap();
+        // Random erasure pattern of size p.
+        let mut idx: Vec<usize> = (0..k + p).collect();
+        rand::seq::SliceRandom::shuffle(&mut idx[..], &mut rng);
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+        for &i in idx.iter().take(p) {
+            shards[i] = None;
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for i in 0..(k + p) {
+            prop_assert_eq!(shards[i].as_ref().unwrap(), &encoded[i]);
+        }
+    }
+
+    /// Parity verification catches any single-byte corruption.
+    #[test]
+    fn rs_verify_catches_corruption(
+        k in 2usize..10,
+        p in 1usize..4,
+        shard_sel: u8,
+        byte_sel: u8,
+        bit in 0u8..8,
+    ) {
+        let rs = ReedSolomon::new(k, p).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|s| vec![s as u8; 16]).collect();
+        let mut shards = rs.encode(&data).unwrap();
+        prop_assert!(rs.verify(&shards).unwrap());
+        let si = shard_sel as usize % (k + p);
+        let bi = byte_sel as usize % 16;
+        shards[si][bi] ^= 1 << bit;
+        prop_assert!(!rs.verify(&shards).unwrap());
+    }
+
+    /// The MLEC grid is consistent: reconstruct after erasing anything
+    /// within tolerance returns the exact original.
+    #[test]
+    fn mlec_reconstruct_exactness(
+        kn in 2usize..5,
+        pn in 1usize..3,
+        kl in 2usize..6,
+        pl in 1usize..3,
+        seed: u64,
+    ) {
+        let codec = MlecCodec::new(kn, pn, kl, pl).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let data: Vec<Vec<u8>> = (0..kn * kl)
+            .map(|_| (0..8).map(|_| rand::Rng::gen(&mut rng)).collect())
+            .collect();
+        let stripe = codec.encode(&data).unwrap();
+        let mut grid: Vec<Vec<Option<Vec<u8>>>> = stripe
+            .iter()
+            .map(|r| r.iter().cloned().map(Some).collect())
+            .collect();
+        // Erase pl chunks per row (always locally recoverable).
+        for row in grid.iter_mut() {
+            let len = row.len();
+            for i in 0..pl {
+                row[i * 2 % len] = None;
+            }
+        }
+        codec.reconstruct(&mut grid).unwrap();
+        for (j, row) in stripe.iter().enumerate() {
+            for (i, chunk) in row.iter().enumerate() {
+                prop_assert_eq!(grid[j][i].as_ref().unwrap(), chunk);
+            }
+        }
+    }
+
+    /// LRC: any single failure repairs with only its group (cost < k).
+    #[test]
+    fn lrc_local_repair_is_cheaper(k in 4usize..30, l in 2usize..4, r in 1usize..4) {
+        prop_assume!(k % l == 0);
+        let lrc = Lrc::new(k, l, r).unwrap();
+        for idx in 0..(k + l) {
+            prop_assert!(lrc.single_repair_cost(idx) <= k / l + 1);
+            prop_assert!(lrc.single_repair_cost(idx) < k);
+        }
+    }
+
+    /// Census invariants under arbitrary failure/drain interleavings:
+    /// stripes conserved, counts non-negative, failed chunks consistent.
+    #[test]
+    fn census_invariants(
+        ops in proptest::collection::vec(0u8..4, 1..30),
+        stripes in 1000.0f64..1e7,
+    ) {
+        let mut census = StripeCensus::new(60, 10, stripes);
+        for op in ops {
+            match op {
+                0..=1 => {
+                    if census.failed_disks() < 59 {
+                        census.add_disk_failure();
+                    }
+                }
+                2 => {
+                    census.drain_priority(stripes * 0.01);
+                }
+                _ => {
+                    census.drain_priority(census.failed_chunks() + 1.0);
+                }
+            }
+            prop_assert!((census.total_stripes() - stripes).abs() < stripes * 1e-9);
+            for m in 0..=10u32 {
+                prop_assert!(census.at(m) >= -1e-9, "negative class {m}");
+            }
+        }
+    }
+
+    /// Hypergeometric distributions sum to 1 and cover-all matches the top
+    /// bucket for any geometry.
+    #[test]
+    fn hypergeometric_consistency(d in 10u32..200, w in 2u32..20, f in 0u32..10) {
+        prop_assume!(w <= d && f <= d);
+        let total: f64 = (0..=f.min(w)).map(|m| hypergeom_pmf(d, w, f, m)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total={total}");
+        if f <= w {
+            prop_assert!((hypergeom_pmf(d, w, f, f) - prob_cover_all(d, w, f)).abs() < 1e-12);
+        }
+    }
+
+    /// Poisson-binomial tails are monotone in k and bounded by [0, 1].
+    #[test]
+    fn poisson_binomial_tail_properties(
+        probs in proptest::collection::vec(0.0f64..1.0, 1..20),
+    ) {
+        let mut last = 1.0f64;
+        for k in 0..=probs.len() {
+            let t = poisson_binomial_tail(&probs, k);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&t));
+            prop_assert!(t <= last + 1e-12, "tail must decrease in k");
+            last = t;
+        }
+    }
+
+    /// Burst layouts always hit exactly the requested shape.
+    #[test]
+    fn burst_layout_shape(seed: u64, y in 1u32..40, x in 1u32..6) {
+        prop_assume!(y >= x);
+        let g = Geometry::small_test();
+        prop_assume!(y <= g.disks_per_rack() * x);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let layout = burst::sample_burst(&g, y, x, &mut rng).unwrap();
+        prop_assert_eq!(layout.len() as u32, y);
+        prop_assert_eq!(layout.affected_racks(&g) as u32, x);
+    }
+
+    /// Pool maps partition the disks: every disk in exactly one pool, pool
+    /// sizes as declared.
+    #[test]
+    fn pool_map_partitions(width in 2u32..13) {
+        let g = Geometry::small_test(); // 12 disks/enclosure
+        prop_assume!(g.disks_per_enclosure % width == 0 || width == g.disks_per_enclosure);
+        for placement in [Placement::Clustered, Placement::Declustered] {
+            if placement == Placement::Clustered && g.disks_per_enclosure % width != 0 {
+                continue;
+            }
+            let map = LocalPoolMap::new(g, placement, width);
+            let mut seen = vec![false; g.total_disks() as usize];
+            for pool in 0..map.num_pools() {
+                for d in map.disks_of_pool(pool) {
+                    prop_assert!(!seen[d as usize], "disk {d} in two pools");
+                    seen[d as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "all disks covered");
+        }
+    }
+
+    /// Failure layout aggregation is conservative: per-rack counts sum to
+    /// the layout size.
+    #[test]
+    fn layout_counting_conservation(disks in proptest::collection::vec(0u32..144, 0..50)) {
+        let g = Geometry::small_test();
+        let layout = FailureLayout::new(disks);
+        let total: u32 = layout.per_rack_counts(&g).values().sum();
+        prop_assert_eq!(total as usize, layout.len());
+    }
+}
