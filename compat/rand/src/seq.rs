@@ -1,0 +1,123 @@
+//! Slice sampling helpers mirroring `rand::seq::SliceRandom`.
+
+use crate::{uniform_below, RngCore};
+
+/// Iterator over the elements selected by [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: std::vec::IntoIter<usize>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        self.indices.next().map(|i| &self.slice[i])
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.indices.size_hint()
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}
+
+/// Random selection and shuffling on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements chosen uniformly without replacement
+    /// (all of them if `amount >= len`), in random order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector: the first `amount`
+        // slots end up holding a uniform sample without replacement.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + uniform_below(rng, (self.len() - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        SliceChooseIter {
+            slice: self,
+            indices: indices.into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mix64, GOLDEN_GAMMA};
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = mix64(self.0.wrapping_add(GOLDEN_GAMMA));
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_sized() {
+        let mut rng = Counter(2);
+        let v: Vec<u32> = (0..30).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 12).copied().collect();
+        assert_eq!(picked.len(), 12);
+        let set: std::collections::BTreeSet<u32> = picked.iter().copied().collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn choose_multiple_clamps_to_len() {
+        let mut rng = Counter(3);
+        let v = [1u8, 2, 3];
+        assert_eq!(v.choose_multiple(&mut rng, 10).count(), 3);
+    }
+}

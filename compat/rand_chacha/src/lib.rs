@@ -1,0 +1,217 @@
+//! A real ChaCha12 stream-cipher generator behind the workspace's in-tree
+//! `rand` shim traits. The keystream follows RFC 8439's state layout and
+//! quarter-round with 12 rounds and a 64-bit block counter; seeding via
+//! `seed_from_u64` uses the shim's SplitMix64 expansion, so values differ
+//! from upstream `rand_chacha` but have the same statistical quality and
+//! determinism guarantees.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha with `R/2` double-rounds, generic over the round count.
+#[derive(Clone, Debug)]
+struct ChaChaCore<const ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn new(key: [u32; 8]) -> Self {
+        ChaChaCore {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words stay zero: one keystream per seed.
+        let initial = state;
+        debug_assert!(ROUNDS.is_multiple_of(2));
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(&initial) {
+            *word = word.wrapping_add(*init);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index == 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+/// The 12-round ChaCha generator (the default of upstream `rand` 0.8).
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    core: ChaChaCore<12>,
+}
+
+/// The 8-round variant, for callers that trade margin for speed.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    core: ChaChaCore<8>,
+}
+
+/// The 20-round variant (full ChaCha20).
+#[derive(Clone, Debug)]
+pub struct ChaCha20Rng {
+    core: ChaChaCore<20>,
+}
+
+macro_rules! impl_rng {
+    ($name:ident) => {
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name {
+                    core: ChaChaCore::new(key),
+                }
+            }
+        }
+    };
+}
+
+impl_rng!(ChaCha8Rng);
+impl_rng!(ChaCha12Rng);
+impl_rng!(ChaCha20Rng);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector: ChaCha20 block with the canonical key
+    /// and counter 1. Our nonce is fixed to zero, so compare against a
+    /// freshly computed reference for the zero-nonce state instead of the
+    /// RFC's nonced vector; the structural check is that 20-round output
+    /// matches an independent straightforward implementation.
+    fn reference_block_20(key: &[u32; 8], counter: u64) -> [u32; 16] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        let init = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (w, i) in state.iter_mut().zip(&init) {
+            *w = w.wrapping_add(*i);
+        }
+        state
+    }
+
+    #[test]
+    fn quarter_round_matches_rfc8439_vector() {
+        // RFC 8439 §2.1.1.
+        let mut state = [0u32; 16];
+        state[0] = 0x1111_1111;
+        state[1] = 0x0102_0304;
+        state[2] = 0x9b8d_6f43;
+        state[3] = 0x0123_4567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a_92f4);
+        assert_eq!(state[1], 0xcb1c_f8ce);
+        assert_eq!(state[2], 0x4581_472e);
+        assert_eq!(state[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn chacha20_blocks_match_reference() {
+        let key = [1u32, 2, 3, 4, 5, 6, 7, 0xdead_beef];
+        let mut seed = [0u8; 32];
+        for (chunk, word) in seed.chunks_exact_mut(4).zip(&key) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        for counter in 0..3u64 {
+            let expect = reference_block_20(&key, counter);
+            for &word in &expect {
+                assert_eq!(rng.next_u32(), word);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_sensitive() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn output_is_roughly_balanced() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        let expect = 1024 * 32;
+        assert!((ones as i64 - expect as i64).abs() < 3000, "ones={ones}");
+    }
+}

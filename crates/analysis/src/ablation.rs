@@ -18,10 +18,11 @@ use mlec_ec::LrcParams;
 use mlec_sim::bandwidth::single_disk_repair_bw_mbs;
 use mlec_sim::config::{MlecDeployment, HOURS_PER_YEAR};
 use mlec_sim::repair::RepairMethod;
-use serde::{Deserialize, Serialize};
+
+mlec_runner::impl_to_json!(AblationPoint { x, series, value });
 
 /// One sweep point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationPoint {
     /// The varied parameter's value (unit depends on the sweep).
     pub x: f64,
@@ -114,8 +115,7 @@ pub fn spare_policy_comparison(dep: &MlecDeployment) -> (f64, f64) {
         + dep.geometry.disk_capacity_tb * 1e6 / single_disk_repair_bw_mbs(dep) / 3600.0;
     let fail: Vec<f64> = (0..=pl).map(|m| (d - m as f64) * lambda).collect();
     let repair: Vec<f64> = (1..=pl).map(|m| m as f64 / t_disk).collect();
-    let parallel =
-        BirthDeathChain::new(fail, repair).absorb_hazard_per_hour() * HOURS_PER_YEAR;
+    let parallel = BirthDeathChain::new(fail, repair).absorb_hazard_per_hour() * HOURS_PER_YEAR;
     (serial, parallel)
 }
 
@@ -179,6 +179,9 @@ mod tests {
         // Note: rates are per *pool*; a Dp pool has 6x the disks, so compare
         // per disk: Dp per-disk rate must still undercut even the parallel-
         // spare Cp per-disk rate.
-        assert!(dp_rate / 120.0 < parallel / 20.0, "declustering beats spare parallelism");
+        assert!(
+            dp_rate / 120.0 < parallel / 20.0,
+            "declustering beats spare parallelism"
+        );
     }
 }

@@ -20,10 +20,9 @@ use mlec_topology::{Geometry, Placement, SlecPlacement};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 
 /// One heatmap cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurstCell {
     /// Total simultaneous disk failures (`y` axis).
     pub failures: u32,
@@ -51,7 +50,7 @@ pub fn poisson_binomial_tail(probs: &[f64], k: usize) -> f64 {
             let stay = dist[j] * (1.0 - p);
             let up = dist[j] * p;
             dist[j] = stay;
-            if j + 1 <= k {
+            if j < k {
                 dist[j + 1] += up;
             } else {
                 dist[j] += up; // cap bucket
@@ -143,7 +142,8 @@ pub fn dp_rack_no_cat_prob(
                 continue;
             }
             for f in 0..=(c as usize - t).min(encl_size as usize) {
-                let survive = 1.0 - dp_pool_cat_prob(encl_size, w, f as u32, threshold, stripes_per_encl);
+                let survive =
+                    1.0 - dp_pool_cat_prob(encl_size, w, f as u32, threshold, stripes_per_encl);
                 if survive <= 0.0 {
                     continue;
                 }
@@ -188,29 +188,32 @@ fn ln_add_exp(a: f64, b: f64) -> f64 {
     hi + (lo - hi).exp().ln_1p()
 }
 
-/// MLEC burst PDL (Fig 5) via conditional Monte Carlo + exact inner DP.
-pub fn mlec_burst_pdl(
+/// One conditional-Monte-Carlo sample of the MLEC burst PDL: draw a coarse
+/// per-rack failure layout from `rng`, then evaluate its loss probability
+/// exactly (per-rack DP + Poissonization). Averaging these over samples
+/// gives the Fig 5 cell value; [`mlec_burst_pdl`] is that loop, and the
+/// runner heatmaps feed per-trial seeds here instead.
+///
+/// Returns NaN when the `(failures, affected_racks)` cell is infeasible for
+/// the geometry.
+pub fn mlec_burst_sample(
     dep: &MlecDeployment,
     failures: u32,
     affected_racks: u32,
-    samples: u32,
-    seed: u64,
+    rng: &mut impl Rng,
 ) -> f64 {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let g = dep.geometry;
     let pools = dep.local_pools();
     let threshold = dep.params.local.p as u32 + 1;
     let pn1 = dep.params.network.p + 1;
     let w = dep.local_width();
-    let stripes_per_pool =
-        pools.pool_size() as f64 * g.chunks_per_disk() / w as f64;
+    let stripes_per_pool = pools.pool_size() as f64 * g.chunks_per_disk() / w as f64;
 
-    let mut total = 0.0f64;
-    for _ in 0..samples {
-        let Ok(counts) = sample_rack_counts(&g, failures, affected_racks, &mut rng) else {
-            return f64::NAN;
-        };
-        total += match dep.scheme.network {
+    let Ok(counts) = sample_rack_counts(&g, failures, affected_racks, rng) else {
+        return f64::NAN;
+    };
+    {
+        match dep.scheme.network {
             Placement::Clustered => {
                 // E[# (group, position) slots with >= p_n+1 catastrophic
                 // pools], Poissonized.
@@ -236,8 +239,7 @@ pub fn mlec_burst_pdl(
                 }
                 let mut expected = 0.0f64;
                 for rhos in per_group.values() {
-                    expected +=
-                        positions as f64 * poisson_binomial_tail(rhos, pn1);
+                    expected += positions as f64 * poisson_binomial_tail(rhos, pn1);
                 }
                 -(-expected).exp_m1()
             }
@@ -267,9 +269,83 @@ pub fn mlec_burst_pdl(
                     .collect();
                 poisson_binomial_tail(&pis, pn1)
             }
-        };
+        }
+    }
+}
+
+/// MLEC burst PDL (Fig 5) via conditional Monte Carlo + exact inner DP.
+pub fn mlec_burst_pdl(
+    dep: &MlecDeployment,
+    failures: u32,
+    affected_racks: u32,
+    samples: u32,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut total = 0.0f64;
+    for _ in 0..samples {
+        let v = mlec_burst_sample(dep, failures, affected_racks, &mut rng);
+        if v.is_nan() {
+            return f64::NAN;
+        }
+        total += v;
     }
     total / samples as f64
+}
+
+/// One disk-level Monte Carlo trial of the MLEC burst estimator: sample a
+/// concrete failed-disk layout and report whether it loses data. `None`
+/// when the cell is infeasible for the geometry.
+pub fn mlec_burst_direct_trial(
+    dep: &MlecDeployment,
+    failures: u32,
+    affected_racks: u32,
+    rng: &mut impl Rng,
+) -> Option<bool> {
+    let g = dep.geometry;
+    let pools = dep.local_pools();
+    let threshold = dep.params.local.p as u32 + 1;
+    let pn1 = dep.params.network.p as u32 + 1;
+    let w = dep.local_width();
+    let stripes_per_pool = pools.pool_size() as f64 * g.chunks_per_disk() / w as f64;
+
+    let layout = sample_burst(&g, failures, affected_racks, rng).ok()?;
+    // Catastrophic pools (Bernoulli thinning for declustered).
+    let mut cat_pools: Vec<u32> = Vec::new();
+    for (pool, count) in layout.per_pool_counts(&pools) {
+        if count < threshold {
+            continue;
+        }
+        let is_cat = match dep.scheme.local {
+            Placement::Clustered => true,
+            Placement::Declustered => {
+                let p = dp_pool_cat_prob(pools.pool_size(), w, count, threshold, stripes_per_pool);
+                rng.gen_bool(p.clamp(0.0, 1.0))
+            }
+        };
+        if is_cat {
+            cat_pools.push(pool);
+        }
+    }
+    Some(match dep.scheme.network {
+        Placement::Clustered => {
+            let group_size = dep.network_width();
+            let mut slots: std::collections::HashMap<(u32, u32), u32> =
+                std::collections::HashMap::new();
+            for &p in &cat_pools {
+                let rack = pools.rack_of_pool(p);
+                let key = (rack / group_size, pools.position_in_rack(p));
+                *slots.entry(key).or_insert(0) += 1;
+            }
+            slots.values().any(|&n| n >= pn1)
+        }
+        Placement::Declustered => {
+            let mut racks: Vec<u32> = cat_pools.iter().map(|&p| pools.rack_of_pool(p)).collect();
+            racks.sort_unstable();
+            racks.dedup();
+            racks.len() as u32 >= pn1
+        }
+    })
 }
 
 /// MLEC burst PDL by direct disk-level Monte Carlo (the cross-check for
@@ -282,72 +358,27 @@ pub fn mlec_burst_pdl_direct_mc(
     seed: u64,
 ) -> f64 {
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
-    let g = dep.geometry;
-    let pools = dep.local_pools();
-    let threshold = dep.params.local.p as u32 + 1;
-    let pn1 = dep.params.network.p as u32 + 1;
-    let w = dep.local_width();
-    let stripes_per_pool = pools.pool_size() as f64 * g.chunks_per_disk() / w as f64;
-
     let mut losses = 0u32;
     for _ in 0..trials {
-        let Ok(layout) = sample_burst(&g, failures, affected_racks, &mut rng) else {
-            return f64::NAN;
-        };
-        // Catastrophic pools (Bernoulli thinning for declustered).
-        let mut cat_pools: Vec<u32> = Vec::new();
-        for (pool, count) in layout.per_pool_counts(&pools) {
-            if count < threshold {
-                continue;
-            }
-            let is_cat = match dep.scheme.local {
-                Placement::Clustered => true,
-                Placement::Declustered => {
-                    let p = dp_pool_cat_prob(pools.pool_size(), w, count, threshold, stripes_per_pool);
-                    rng.gen_bool(p.clamp(0.0, 1.0))
-                }
-            };
-            if is_cat {
-                cat_pools.push(pool);
-            }
-        }
-        let loss = match dep.scheme.network {
-            Placement::Clustered => {
-                let group_size = dep.network_width();
-                let mut slots: std::collections::HashMap<(u32, u32), u32> =
-                    std::collections::HashMap::new();
-                for &p in &cat_pools {
-                    let rack = pools.rack_of_pool(p);
-                    let key = (rack / group_size, pools.position_in_rack(p));
-                    *slots.entry(key).or_insert(0) += 1;
-                }
-                slots.values().any(|&n| n >= pn1)
-            }
-            Placement::Declustered => {
-                let mut racks: Vec<u32> = cat_pools.iter().map(|&p| pools.rack_of_pool(p)).collect();
-                racks.sort_unstable();
-                racks.dedup();
-                racks.len() as u32 >= pn1
-            }
-        };
-        if loss {
-            losses += 1;
+        match mlec_burst_direct_trial(dep, failures, affected_racks, &mut rng) {
+            Some(true) => losses += 1,
+            Some(false) => {}
+            None => return f64::NAN,
         }
     }
     losses as f64 / trials as f64
 }
 
-/// SLEC burst PDL (Fig 13) for the four placements of a `(k+p)` code.
-pub fn slec_burst_pdl(
+/// One conditional-Monte-Carlo sample of the SLEC burst PDL (see
+/// [`mlec_burst_sample`] for the scheme). NaN when the cell is infeasible.
+pub fn slec_burst_sample(
     geometry: &Geometry,
     params: SlecParams,
     placement: SlecPlacement,
     failures: u32,
     affected_racks: u32,
-    samples: u32,
-    seed: u64,
+    rng: &mut impl Rng,
 ) -> f64 {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let w = params.width() as u32;
     let threshold = params.p as u32 + 1;
     let g = geometry;
@@ -355,12 +386,11 @@ pub fn slec_burst_pdl(
     let stripes_per_encl = chunks_per_encl / w as f64;
     let total_chunks = g.total_disks() as f64 * g.chunks_per_disk();
 
-    let mut total = 0.0f64;
-    for _ in 0..samples {
-        let Ok(counts) = sample_rack_counts(g, failures, affected_racks, &mut rng) else {
-            return f64::NAN;
-        };
-        total += match placement {
+    let Ok(counts) = sample_rack_counts(g, failures, affected_racks, rng) else {
+        return f64::NAN;
+    };
+    {
+        match placement {
             SlecPlacement::LocalCp => {
                 // Any clustered pool reaching p+1 failures is data loss.
                 let pools_per_rack = g.disks_per_rack() / w;
@@ -396,8 +426,8 @@ pub fn slec_burst_pdl(
                 }
                 let mut expected = 0.0f64;
                 for qs in per_group.values() {
-                    expected += g.disks_per_rack() as f64
-                        * poisson_binomial_tail(qs, threshold as usize);
+                    expected +=
+                        g.disks_per_rack() as f64 * poisson_binomial_tail(qs, threshold as usize);
                 }
                 -(-expected).exp_m1()
             }
@@ -408,7 +438,35 @@ pub fn slec_burst_pdl(
                 let n_stripes = total_chunks / w as f64;
                 -(-n_stripes * p_lost).exp_m1()
             }
-        };
+        }
+    }
+}
+
+/// SLEC burst PDL (Fig 13) for the four placements of a `(k+p)` code.
+pub fn slec_burst_pdl(
+    geometry: &Geometry,
+    params: SlecParams,
+    placement: SlecPlacement,
+    failures: u32,
+    affected_racks: u32,
+    samples: u32,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut total = 0.0f64;
+    for _ in 0..samples {
+        let v = slec_burst_sample(
+            geometry,
+            params,
+            placement,
+            failures,
+            affected_racks,
+            &mut rng,
+        );
+        if v.is_nan() {
+            return f64::NAN;
+        }
+        total += v;
     }
     total / samples as f64
 }
@@ -456,9 +514,7 @@ pub fn stripe_failure_distribution(
         }
     }
     let total = ln_choose(geometry.racks, w as u32);
-    (0..=cap)
-        .map(|m| (dp[w][m] - total).exp())
-        .collect()
+    (0..=cap).map(|m| (dp[w][m] - total).exp()).collect()
 }
 
 /// LRC burst PDL (Fig 16): declustered LRC with every chunk in a separate
@@ -474,24 +530,48 @@ pub fn lrc_burst_pdl(
     seed: u64,
 ) -> f64 {
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut total = 0.0f64;
+    for _ in 0..samples {
+        let v = lrc_burst_sample(
+            geometry,
+            params,
+            undecodable_by_count,
+            failures,
+            affected_racks,
+            &mut rng,
+        );
+        if v.is_nan() {
+            return f64::NAN;
+        }
+        total += v;
+    }
+    total / samples as f64
+}
+
+/// One conditional-Monte-Carlo sample of the LRC burst PDL. NaN when the
+/// cell is infeasible.
+pub fn lrc_burst_sample(
+    geometry: &Geometry,
+    params: LrcParams,
+    undecodable_by_count: &[f64],
+    failures: u32,
+    affected_racks: u32,
+    rng: &mut impl Rng,
+) -> f64 {
     let n = params.width() as u32;
     let total_chunks = geometry.total_disks() as f64 * geometry.chunks_per_disk();
     let n_stripes = total_chunks / n as f64;
 
-    let mut total = 0.0f64;
-    for _ in 0..samples {
-        let Ok(counts) = sample_rack_counts(geometry, failures, affected_racks, &mut rng) else {
-            return f64::NAN;
-        };
-        let dist = stripe_failure_distribution(geometry, &counts, n, n);
-        let p_lost: f64 = dist
-            .iter()
-            .enumerate()
-            .map(|(m, &p)| p * undecodable_by_count.get(m).copied().unwrap_or(1.0))
-            .sum();
-        total += -(-n_stripes * p_lost).exp_m1();
-    }
-    total / samples as f64
+    let Ok(counts) = sample_rack_counts(geometry, failures, affected_racks, rng) else {
+        return f64::NAN;
+    };
+    let dist = stripe_failure_distribution(geometry, &counts, n, n);
+    let p_lost: f64 = dist
+        .iter()
+        .enumerate()
+        .map(|(m, &p)| p * undecodable_by_count.get(m).copied().unwrap_or(1.0))
+        .sum();
+    -(-n_stripes * p_lost).exp_m1()
 }
 
 /// Estimate `P(an erasure pattern of m uniform chunk positions is
@@ -612,7 +692,10 @@ mod tests {
             .map(|&s| mlec_burst_pdl(&dep(s), 60, 3, 100, 5))
             .collect();
         let (cc, cd, dc, dd) = (cells[0], cells[1], cells[2], cells[3]);
-        assert!(dd >= cc && dd >= cd && dd >= dc, "cc={cc} cd={cd} dc={dc} dd={dd}");
+        assert!(
+            dd >= cc && dd >= cd && dd >= dc,
+            "cc={cc} cd={cd} dc={dc} dd={dd}"
+        );
         // And C/C is the most robust (F: "C/C performs the best").
         assert!(cc <= cd && cc <= dc, "cc={cc} cd={cd} dc={dc}");
     }

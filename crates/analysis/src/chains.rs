@@ -163,8 +163,7 @@ pub fn slec_durability_nines(
     let w = params.width() as u32;
     let lambda = config.disk_failure_rate_per_hour();
     let disk_bw = config.disk_repair_bw_mbs();
-    let t_disk = config.detection_hours
-        + geometry.disk_capacity_tb * 1e6 / disk_bw / 3600.0;
+    let t_disk = config.detection_hours + geometry.disk_capacity_tb * 1e6 / disk_bw / 3600.0;
     let (chain, pools) = match placement {
         P::LocalCp | P::NetCp => {
             let chain = generic_clustered_chain(w, params.p, lambda, t_disk);
@@ -247,8 +246,7 @@ pub fn lrc_durability_nines(
         single_bw,
         class_bw,
     );
-    let hazard =
-        chain.absorb_hazard_per_hour() * HOURS_PER_YEAR * undecodable_at_limit.max(1e-300);
+    let hazard = chain.absorb_hazard_per_hour() * HOURS_PER_YEAR * undecodable_at_limit.max(1e-300);
     crate::markov::nines(crate::markov::pdl_from_hazard(hazard, 1.0))
 }
 
@@ -296,8 +294,7 @@ mod tests {
         // drain faster), which is the priority-rebuild effect.
         let chain_dep = dep(MlecScheme::CD);
         let pools = chain_dep.local_pools();
-        let total_stripes =
-            pools.pool_size() as f64 * chain_dep.geometry.chunks_per_disk() / 20.0;
+        let total_stripes = pools.pool_size() as f64 * chain_dep.geometry.chunks_per_disk() / 20.0;
         let c2 = total_stripes * prob_cover_all(120, 20, 2) * 2.0;
         let c3 = total_stripes * prob_cover_all(120, 20, 3) * 3.0;
         assert!(c3 < c2, "class volumes must shrink: c2={c2} c3={c3}");
@@ -325,8 +322,18 @@ mod tests {
     fn slec_more_parities_more_nines() {
         let g = mlec_topology::Geometry::paper_default();
         let c = mlec_sim::SimConfig::paper_default();
-        let p2 = slec_durability_nines(&g, &c, mlec_ec::SlecParams::new(10, 2), mlec_topology::SlecPlacement::LocalCp);
-        let p5 = slec_durability_nines(&g, &c, mlec_ec::SlecParams::new(10, 5), mlec_topology::SlecPlacement::LocalCp);
+        let p2 = slec_durability_nines(
+            &g,
+            &c,
+            mlec_ec::SlecParams::new(10, 2),
+            mlec_topology::SlecPlacement::LocalCp,
+        );
+        let p5 = slec_durability_nines(
+            &g,
+            &c,
+            mlec_ec::SlecParams::new(10, 5),
+            mlec_topology::SlecPlacement::LocalCp,
+        );
         assert!(p5 > p2 + 5.0, "p2={p2} p5={p5}");
     }
 
@@ -336,7 +343,12 @@ mod tests {
         // should land in the same regime (tens of nines).
         let g = mlec_topology::Geometry::paper_default();
         let c = mlec_sim::SimConfig::paper_default();
-        let n = slec_durability_nines(&g, &c, mlec_ec::SlecParams::new(28, 12), mlec_topology::SlecPlacement::LocalCp);
+        let n = slec_durability_nines(
+            &g,
+            &c,
+            mlec_ec::SlecParams::new(28, 12),
+            mlec_topology::SlecPlacement::LocalCp,
+        );
         assert!(n > 20.0 && n < 60.0, "n={n}");
     }
 

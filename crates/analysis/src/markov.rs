@@ -10,14 +10,12 @@
 //! matrix), which is unconditionally stable — no matrix exponentials, no
 //! stiffness trouble at the 10^-40 probabilities the paper operates at.
 
-use serde::{Deserialize, Serialize};
-
 /// A birth–death chain with absorbing top state.
 ///
 /// `fail_rates[m]` is the failure (birth) rate out of state `m`
 /// (`m in 0..n`), `repair_rates[m]` the repair (death) rate out of state `m`
 /// (`m in 1..n`). All rates are per hour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BirthDeathChain {
     fail_rates: Vec<f64>,
     repair_rates: Vec<f64>,
@@ -178,7 +176,10 @@ mod tests {
         for t in [1.0, 10.0, 100.0, 500.0] {
             let expect = 1.0 - (-0.01f64 * t).exp();
             let got = chain.absorb_prob(t);
-            assert!((got - expect).abs() < 1e-10, "t={t} got={got} expect={expect}");
+            assert!(
+                (got - expect).abs() < 1e-10,
+                "t={t} got={got} expect={expect}"
+            );
         }
         assert!((chain.mean_time_to_absorb_hours() - 100.0).abs() < 1e-9);
     }

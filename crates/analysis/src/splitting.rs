@@ -14,13 +14,15 @@
 
 use crate::chains::pool_catastrophic_rate_per_year;
 use crate::markov::nines;
+use mlec_runner::{run, RunReport, RunSpec};
 use mlec_sim::config::{MlecDeployment, HOURS_PER_YEAR};
+use mlec_sim::failure::FailureModel;
 use mlec_sim::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
+use mlec_sim::trials::{PoolAcc, PoolTrial};
 use mlec_topology::Placement;
-use serde::{Deserialize, Serialize};
 
 /// Stage-1 summary of catastrophic local-pool behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stage1 {
     /// Catastrophic events per pool-year.
     pub cat_rate_per_pool_year: f64,
@@ -56,6 +58,38 @@ pub fn stage1_from_simulation(
         },
         stripes_per_pool: injected.total_stripes,
     }
+}
+
+/// Stage 1 from a runner-driven pool-simulation campaign: each trial
+/// simulates one pool for `years_per_trial`, executed by `mlec-runner`'s
+/// deterministic batched executor (per-trial seeds from the spec's seed
+/// stream, adaptive stopping on the catastrophic-event count, optional
+/// checkpoint/resume via the spec's manifest). Returns the stage-1 summary
+/// together with the full run report (Poisson CI on the rate, trial counts,
+/// throughput).
+pub fn stage1_via_runner(
+    dep: &MlecDeployment,
+    model: &FailureModel,
+    years_per_trial: f64,
+    spec: &RunSpec,
+) -> std::io::Result<(Stage1, RunReport<PoolAcc>)> {
+    let trial = PoolTrial {
+        dep,
+        model,
+        years_per_trial,
+    };
+    let report = run(&trial, spec)?;
+    let injected = inject_catastrophic(dep);
+    let s1 = Stage1 {
+        cat_rate_per_pool_year: report.acc.rate_per_pool_year(),
+        lost_stripes: if report.acc.events == 0 {
+            injected.lost_stripes
+        } else {
+            report.acc.mean_lost_stripes()
+        },
+        stripes_per_pool: injected.total_stripes,
+    };
+    Ok((s1, report))
 }
 
 /// How long a pool remains a lost-local-stripe contributor under the given
@@ -277,6 +311,28 @@ mod tests {
         let s1 = stage1_from_simulation(&d, &empty);
         assert_eq!(s1.cat_rate_per_pool_year, 0.0);
         assert!(s1.lost_stripes > 0.0, "falls back to injected census");
+    }
+
+    #[test]
+    fn stage1_via_runner_aggregates_pool_trials() {
+        use mlec_runner::StopRule;
+        let mut d = dep(MlecScheme::CC);
+        d.config.afr = 5.0;
+        let model = mlec_sim::failure::FailureModel::Exponential { afr: 5.0 };
+        let spec = RunSpec::new("splitting/stage1-unit", 9, StopRule::fixed(8));
+        let (s1, report) = stage1_via_runner(&d, &model, 100.0, &spec).unwrap();
+        assert_eq!(report.trials, 8);
+        assert!((report.acc.pool_years - 800.0).abs() < 1e-9);
+        assert_eq!(s1.cat_rate_per_pool_year, report.acc.rate_per_pool_year());
+        if report.acc.events == 0 {
+            // Falls back to the injected census, like stage1_from_simulation.
+            assert!(s1.lost_stripes > 0.0);
+        } else {
+            assert_eq!(s1.lost_stripes, report.acc.mean_lost_stripes());
+        }
+        // Stage 2 accepts the simulated stage 1 and yields a plausible PDL.
+        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
+        assert!((0.0..=1.0).contains(&pdl));
     }
 
     #[test]

@@ -16,10 +16,9 @@ use mlec_sim::config::MlecDeployment;
 use mlec_sim::repair::RepairMethod;
 use mlec_sim::SimConfig;
 use mlec_topology::{Geometry, MlecScheme, Placement, SlecPlacement};
-use serde::{Deserialize, Serialize};
 
 /// One point of the scatter plot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TradeoffPoint {
     /// Configuration label, e.g. `"(10+2)/(17+3)"`.
     pub label: String,
@@ -55,7 +54,9 @@ pub fn enumerate_mlec(
     for pn in 1..=3usize {
         for kn in 2..=30usize {
             let wn = kn + pn;
-            if scheme.network == Placement::Clustered && geometry.racks as usize % wn != 0 {
+            if scheme.network == Placement::Clustered
+                && !(geometry.racks as usize).is_multiple_of(wn)
+            {
                 continue;
             }
             if wn > geometry.racks as usize {
@@ -68,7 +69,7 @@ pub fn enumerate_mlec(
                     if wl > de {
                         continue;
                     }
-                    if scheme.local == Placement::Clustered && de % wl != 0 {
+                    if scheme.local == Placement::Clustered && !de.is_multiple_of(wl) {
                         continue;
                     }
                     let params = MlecParams::new(kn, pn, kl, pl);
@@ -111,9 +112,9 @@ pub fn enumerate_slec(
         for k in 2..=50usize {
             let w = k + p;
             let fits = match placement {
-                SlecPlacement::LocalCp => geometry.disks_per_enclosure as usize % w == 0,
+                SlecPlacement::LocalCp => (geometry.disks_per_enclosure as usize).is_multiple_of(w),
                 SlecPlacement::LocalDp => w <= geometry.disks_per_enclosure as usize,
-                SlecPlacement::NetCp => geometry.racks as usize % w == 0,
+                SlecPlacement::NetCp => (geometry.racks as usize).is_multiple_of(w),
                 SlecPlacement::NetDp => w <= geometry.racks as usize,
             };
             if !fits {
@@ -233,9 +234,8 @@ pub fn ideal_lrc_undecodable_at_limit(params: LrcParams) -> f64 {
         dp = next;
     }
     // Globals: remaining erasures hit global parities.
-    for used in 0..=m {
-        for res in 0..=m {
-            let p = dp[used][res];
+    for (used, row) in dp.iter().enumerate().take(m + 1) {
+        for (res, &p) in row.iter().enumerate().take(m + 1) {
             if p == 0.0 {
                 continue;
             }
@@ -258,6 +258,14 @@ pub fn ideal_lrc_undecodable_at_limit(params: LrcParams) -> f64 {
     (undec_prob / total_prob).clamp(0.0, 1.0)
 }
 
+mlec_runner::impl_to_json!(TradeoffPoint {
+    label,
+    family,
+    durability_nines,
+    throughput_mbs,
+    overhead,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,7 +285,12 @@ mod tests {
         let points = enumerate_mlec(&g, &c, MlecScheme::CC, OVERHEAD_BAND, &model);
         assert!(!points.is_empty());
         for p in &points {
-            assert!(in_band(p.overhead, OVERHEAD_BAND), "{}: {}", p.label, p.overhead);
+            assert!(
+                in_band(p.overhead, OVERHEAD_BAND),
+                "{}: {}",
+                p.label,
+                p.overhead
+            );
             // Even the weakest in-band config (single parity at both
             // levels, e.g. (3+1)/(23+1)) keeps a few nines.
             assert!(
@@ -297,7 +310,11 @@ mod tests {
         // Within a family, the most durable configs are slower encoders.
         let (g, c, model) = setup();
         let points = enumerate_slec(&g, &c, SlecPlacement::LocalCp, OVERHEAD_BAND, &model);
-        assert!(points.len() >= 3, "need a few configs, got {}", points.len());
+        assert!(
+            points.len() >= 3,
+            "need a few configs, got {}",
+            points.len()
+        );
         let most_durable = points
             .iter()
             .max_by(|a, b| a.durability_nines.total_cmp(&b.durability_nines))
@@ -337,7 +354,13 @@ mod tests {
     fn fig15_mlec_cd_beats_lrc_at_high_durability() {
         let (g, c, model) = setup();
         let mlec = enumerate_mlec(&g, &c, MlecScheme::CD, OVERHEAD_BAND, &model);
-        let lrc = enumerate_lrc(&g, &c, OVERHEAD_BAND, &model, ideal_lrc_undecodable_at_limit);
+        let lrc = enumerate_lrc(
+            &g,
+            &c,
+            OVERHEAD_BAND,
+            &model,
+            ideal_lrc_undecodable_at_limit,
+        );
         assert!(!lrc.is_empty());
         let best_mlec = mlec
             .iter()
@@ -370,7 +393,16 @@ mod tests {
     #[test]
     fn lrc_enumeration_has_paper_config() {
         let (g, c, model) = setup();
-        let points = enumerate_lrc(&g, &c, OVERHEAD_BAND, &model, ideal_lrc_undecodable_at_limit);
-        assert!(points.iter().any(|p| p.label == "(14,2,4)"), "paper's (14,2,4) at 43% overhead");
+        let points = enumerate_lrc(
+            &g,
+            &c,
+            OVERHEAD_BAND,
+            &model,
+            ideal_lrc_undecodable_at_limit,
+        );
+        assert!(
+            points.iter().any(|p| p.label == "(14,2,4)"),
+            "paper's (14,2,4) at 43% overhead"
+        );
     }
 }

@@ -5,9 +5,14 @@ use mlec_analysis::burst::{
     cp_rack_no_cat_prob, poisson_binomial_tail, pool_tail_prob, stripe_failure_distribution,
 };
 use mlec_analysis::markov::{nines, pdl_from_hazard, BirthDeathChain};
+use mlec_runner::{SeedStream, SplitMix64};
 use mlec_sim::census::{hypergeom_pmf, ln_choose};
 use mlec_topology::Geometry;
-use proptest::prelude::*;
+
+/// One RNG per (property, case), derived exactly like runner trial seeds.
+fn case_rng(property: &str, case: u64) -> SplitMix64 {
+    SplitMix64::new(SeedStream::new(0xA7A1515, property).trial_seed(case))
+}
 
 /// Brute-force P(no pool >= threshold) by enumerating every layout of `c`
 /// failures over `pools * pool_size` disks (tiny sizes only).
@@ -179,51 +184,52 @@ mod splitting_properties {
     use mlec_sim::config::MlecDeployment;
     use mlec_sim::repair::RepairMethod;
     use mlec_topology::MlecScheme;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// The survival factor is a probability and never higher for a
-        /// chunk-knowledge method than for R_ALL.
-        #[test]
-        fn survival_factor_bounds(scheme_idx in 0usize..4, method_idx in 0usize..4) {
-            let dep = MlecDeployment::paper_default(MlecScheme::ALL[scheme_idx]);
-            let method = RepairMethod::ALL[method_idx];
+    /// The survival factor is a probability and never higher for a
+    /// chunk-knowledge method than for R_ALL.
+    #[test]
+    fn survival_factor_bounds() {
+        for scheme in MlecScheme::ALL {
+            let dep = MlecDeployment::paper_default(scheme);
             let s1 = stage1_analytic(&dep);
-            let phi = knowledge_survival_factor(&dep, method, &s1);
-            prop_assert!((0.0..=1.0).contains(&phi));
             let phi_all = knowledge_survival_factor(&dep, RepairMethod::All, &s1);
-            prop_assert!(phi <= phi_all + 1e-12);
+            for method in RepairMethod::ALL {
+                let phi = knowledge_survival_factor(&dep, method, &s1);
+                assert!((0.0..=1.0).contains(&phi));
+                assert!(phi <= phi_all + 1e-12);
+            }
         }
+    }
 
-        /// Stage-2 PDL is monotone in mission time and in the sojourn (via
-        /// method ordering).
-        #[test]
-        fn stage2_monotonicity(scheme_idx in 0usize..4) {
-            let dep = MlecDeployment::paper_default(MlecScheme::ALL[scheme_idx]);
+    /// Stage-2 PDL is monotone in mission time and in the sojourn (via
+    /// method ordering).
+    #[test]
+    fn stage2_monotonicity() {
+        for scheme in MlecScheme::ALL {
+            let dep = MlecDeployment::paper_default(scheme);
             let s1 = stage1_analytic(&dep);
             let one = stage2_pdl(&dep, RepairMethod::Fco, &s1, 1.0);
             let five = stage2_pdl(&dep, RepairMethod::Fco, &s1, 5.0);
-            prop_assert!(five >= one);
+            assert!(five >= one);
             // Sojourn ordering follows method ordering.
             let mut last = f64::INFINITY;
             for m in RepairMethod::ALL {
                 let s = catastrophic_sojourn_hours(&dep, m);
-                prop_assert!(s <= last + 1e-9, "sojourns must not increase: {m}");
+                assert!(s <= last + 1e-9, "sojourns must not increase: {m}");
                 last = s;
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The Poisson-binomial tail interpolates between binomial tails.
-    #[test]
-    fn poisson_binomial_homogeneous_is_binomial(p in 0.01f64..0.99, n in 1usize..15, k in 0usize..15) {
-        prop_assume!(k <= n);
+/// The Poisson-binomial tail interpolates between binomial tails.
+#[test]
+fn poisson_binomial_homogeneous_is_binomial() {
+    for case in 0..32u64 {
+        let mut r = case_rng("poisson-binomial", case);
+        let p = 0.01 + r.next_f64() * 0.98;
+        let n = 1 + (r.next_u64() % 14) as usize;
+        let k = (r.next_u64() % (n as u64 + 1)) as usize;
         let probs = vec![p; n];
         let tail = poisson_binomial_tail(&probs, k);
         // Binomial tail via hypergeometric-free direct sum.
@@ -234,42 +240,62 @@ proptest! {
                 + (n - m) as f64 * (1.0 - p).ln())
             .exp();
         }
-        prop_assert!((tail - expect).abs() < 1e-9, "tail={tail} expect={expect}");
+        assert!((tail - expect).abs() < 1e-9, "tail={tail} expect={expect}");
     }
+}
 
-    /// Hazard-based PDL and chain PDL agree in the strongly-repairing
-    /// regime for arbitrary small chains.
-    #[test]
-    fn hazard_matches_uniformization(
-        lam in 1e-6f64..1e-4,
-        mu in 0.01f64..1.0,
-        states in 2usize..5,
-    ) {
+/// Hazard-based PDL and chain PDL agree in the strongly-repairing regime
+/// for arbitrary small chains.
+#[test]
+fn hazard_matches_uniformization() {
+    for case in 0..32u64 {
+        let mut r = case_rng("hazard", case);
+        let lam = 1e-6 + r.next_f64() * (1e-4 - 1e-6);
+        let mu = 0.01 + r.next_f64() * 0.99;
+        let states = 2 + (r.next_u64() % 3) as usize;
         let fail = vec![lam; states];
         let repair = vec![mu; states - 1];
         let chain = BirthDeathChain::new(fail, repair);
         let t = 8766.0;
         let exact = chain.absorb_prob(t);
         let approx = pdl_from_hazard(chain.absorb_hazard_per_hour(), t);
-        prop_assume!(exact > 1e-300);
+        if exact <= 1e-300 {
+            continue;
+        }
         let rel = (exact - approx).abs() / exact;
-        prop_assert!(rel < 0.05, "exact={exact} approx={approx}");
+        assert!(rel < 0.05, "exact={exact} approx={approx}");
     }
+}
 
-    /// nines() and pdl_from_hazard() are inverse-consistent.
-    #[test]
-    fn nines_inverts_powers(exp in 1.0f64..30.0) {
+/// nines() and pdl_from_hazard() are inverse-consistent.
+#[test]
+fn nines_inverts_powers() {
+    for case in 0..32u64 {
+        let mut r = case_rng("nines", case);
+        let exp = 1.0 + r.next_f64() * 29.0;
         let pdl = 10f64.powf(-exp);
-        prop_assert!((nines(pdl) - exp).abs() < 1e-9);
+        assert!((nines(pdl) - exp).abs() < 1e-9);
     }
+}
 
-    /// Hypergeometric pmf is symmetric: drawing w and marking f is the same
-    /// as drawing f and marking w.
-    #[test]
-    fn hypergeometric_symmetry(d in 10u32..100, w in 1u32..10, f in 1u32..10, m in 0u32..10) {
-        prop_assume!(w <= d && f <= d && m <= w.min(f));
+/// Hypergeometric pmf is symmetric: drawing w and marking f is the same as
+/// drawing f and marking w.
+#[test]
+fn hypergeometric_symmetry() {
+    let mut tested = 0;
+    for case in 0..128u64 {
+        let mut r = case_rng("hypergeom", case);
+        let d = 10 + (r.next_u64() % 90) as u32;
+        let w = 1 + (r.next_u64() % 9) as u32;
+        let f = 1 + (r.next_u64() % 9) as u32;
+        let m = (r.next_u64() % 10) as u32;
+        if !(w <= d && f <= d && m <= w.min(f)) {
+            continue;
+        }
         let a = hypergeom_pmf(d, w, f, m);
         let b = hypergeom_pmf(d, f, w, m);
-        prop_assert!((a - b).abs() < 1e-12, "a={a} b={b}");
+        assert!((a - b).abs() < 1e-12, "a={a} b={b}");
+        tested += 1;
     }
+    assert!(tested >= 32, "only {tested} admissible cases drawn");
 }

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the erasure codecs — the measured form of
-//! Fig 11 (encoding throughput vs (k, p)) plus MLEC/LRC encode and the
-//! reconstruction paths.
+//! Microbenchmarks of the erasure codecs — the measured form of Fig 11
+//! (encoding throughput vs (k, p)) plus MLEC/LRC encode and the
+//! reconstruction paths. Run with `cargo bench --bench encoding`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlec_bench::microbench::{bench, black_box, Group};
 use mlec_ec::{Lrc, MlecCodec, ReedSolomon};
 
 const CHUNK: usize = 128 * 1024; // the paper's §3 chunk size
@@ -13,114 +13,102 @@ fn data_chunks(k: usize, len: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn bench_rs_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rs_encode");
+fn bench_rs_encode() {
+    let group = Group::new("rs_encode");
     // A slice through the Fig 11 surface: growing k at p=3, growing p at k=10.
-    for (k, p) in [(5usize, 3usize), (10, 3), (17, 3), (30, 3), (10, 1), (10, 6), (10, 12)] {
+    for (k, p) in [
+        (5usize, 3usize),
+        (10, 3),
+        (17, 3),
+        (30, 3),
+        (10, 1),
+        (10, 6),
+        (10, 12),
+    ] {
         let rs = ReedSolomon::new(k, p).unwrap();
         let data = data_chunks(k, CHUNK);
         let mut parity = vec![vec![0u8; CHUNK]; p];
-        group.throughput(Throughput::Bytes((k * CHUNK) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{k}+{p}")),
-            &(k, p),
-            |b, _| b.iter(|| rs.encode_into(black_box(&data), black_box(&mut parity)).unwrap()),
-        );
+        group.bench_bytes(&format!("{k}+{p}"), (k * CHUNK) as u64, || {
+            rs.encode_into(black_box(&data), black_box(&mut parity))
+                .unwrap()
+        });
     }
-    group.finish();
 }
 
-fn bench_rs_reconstruct(c: &mut Criterion) {
+fn bench_rs_reconstruct() {
     let rs = ReedSolomon::new(17, 3).unwrap();
     let encoded = rs.encode(&data_chunks(17, CHUNK)).unwrap();
-    c.bench_function("rs_reconstruct_17+3_3erasures", |b| {
-        b.iter(|| {
-            let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
-            shards[0] = None;
-            shards[7] = None;
-            shards[19] = None;
-            rs.reconstruct(black_box(&mut shards)).unwrap();
-        })
+    bench("rs_reconstruct_17+3_3erasures", || {
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[7] = None;
+        shards[19] = None;
+        rs.reconstruct(black_box(&mut shards)).unwrap();
     });
 }
 
-fn bench_mlec_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mlec_encode");
+fn bench_mlec_encode() {
+    let group = Group::new("mlec_encode");
     // Paper default (10+2)/(17+3) at a reduced chunk to keep iterations fast.
     let chunk = 16 * 1024;
     for (kn, pn, kl, pl) in [(2usize, 1usize, 2usize, 1usize), (10, 2, 17, 3)] {
         let codec = MlecCodec::new(kn, pn, kl, pl).unwrap();
         let data = data_chunks(kn * kl, chunk);
-        group.throughput(Throughput::Bytes((kn * kl * chunk) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("({kn}+{pn})/({kl}+{pl})")),
-            &(),
-            |b, _| b.iter(|| black_box(codec.encode(black_box(&data)).unwrap())),
+        group.bench_bytes(
+            &format!("({kn}+{pn})/({kl}+{pl})"),
+            (kn * kl * chunk) as u64,
+            || {
+                black_box(codec.encode(black_box(&data)).unwrap());
+            },
         );
     }
-    group.finish();
 }
 
-fn bench_lrc_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lrc_encode");
+fn bench_lrc_encode() {
+    let group = Group::new("lrc_encode");
     let params = [(12usize, 2usize, 2usize), (14, 2, 4)];
     for (k, l, r) in params {
         let lrc = Lrc::new(k, l, r).unwrap();
         let data = data_chunks(k, CHUNK);
-        group.throughput(Throughput::Bytes((k * CHUNK) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("({k},{l},{r})")),
-            &(),
-            |b, _| b.iter(|| black_box(lrc.encode(black_box(&data)).unwrap())),
-        );
+        group.bench_bytes(&format!("({k},{l},{r})"), (k * CHUNK) as u64, || {
+            black_box(lrc.encode(black_box(&data)).unwrap());
+        });
     }
-    group.finish();
 }
 
-fn bench_parallel_encode(c: &mut Criterion) {
+fn bench_parallel_encode() {
     // Multi-core scaling of stripe-parallel encoding (paper §5.1.2: "more
     // CPU cores ... potentially extra overhead caused by imperfect
     // parallelism").
     use mlec_ec::throughput::measure_slec_parallel;
-    let mut group = c.benchmark_group("parallel_encode_17p3");
+    let group = Group::new("parallel_encode_17p3");
     for stripes in [1usize, 4, 16] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(stripes),
-            &stripes,
-            |b, &stripes| {
-                b.iter(|| {
-                    black_box(measure_slec_parallel(17, 3, 64 * 1024, stripes, 8 << 20))
-                })
-            },
-        );
+        group.bench(&stripes.to_string(), || {
+            black_box(measure_slec_parallel(17, 3, 64 * 1024, stripes, 8 << 20));
+        });
     }
-    group.finish();
 }
 
-fn bench_lrc_decodability(c: &mut Criterion) {
+fn bench_lrc_decodability() {
     let lrc = Lrc::new(14, 2, 4).unwrap();
     let n = lrc.total_chunks();
-    c.bench_function("lrc_decodable_rank_test_uncached", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            // Rotate the pattern so the memo rarely hits.
-            let mut erased = vec![false; n];
-            erased[i % n] = true;
-            erased[(i / n + i) % n] = true;
-            erased[(i * 7 + 3) % n] = true;
-            i += 1;
-            black_box(lrc.decodable(&erased))
-        })
+    let mut i = 0usize;
+    bench("lrc_decodable_rank_test_uncached", || {
+        // Rotate the pattern so the memo rarely hits.
+        let mut erased = vec![false; n];
+        erased[i % n] = true;
+        erased[(i / n + i) % n] = true;
+        erased[(i * 7 + 3) % n] = true;
+        i += 1;
+        black_box(lrc.decodable(&erased));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_rs_encode,
-    bench_rs_reconstruct,
-    bench_mlec_encode,
-    bench_lrc_encode,
-    bench_parallel_encode,
-    bench_lrc_decodability
-);
-criterion_main!(benches);
+fn main() {
+    bench_rs_encode();
+    bench_rs_reconstruct();
+    bench_mlec_encode();
+    bench_lrc_encode();
+    bench_parallel_encode();
+    bench_lrc_decodability();
+}

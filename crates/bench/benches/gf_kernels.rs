@@ -1,72 +1,65 @@
-//! Criterion microbenchmarks of the GF(2^8) substrate: the slice kernels
-//! that bound encoding throughput (Fig 11's inner loop) and the matrix
-//! operations behind decode planning.
+//! Microbenchmarks of the GF(2^8) substrate: the slice kernels that bound
+//! encoding throughput (Fig 11's inner loop) and the matrix operations
+//! behind decode planning. Run with `cargo bench --bench gf_kernels`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlec_bench::microbench::{bench, black_box, Group};
 use mlec_gf::matrix::Matrix;
 use mlec_gf::slice::{mul_add_slice, mul_slice, xor_slice};
 
-fn bench_mul_add_slice(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gf_mul_add_slice");
+fn bench_mul_add_slice() {
+    let group = Group::new("gf_mul_add_slice");
     for size in [4 * 1024, 128 * 1024, 1024 * 1024] {
         let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         let mut out = vec![0u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| mul_add_slice(black_box(0x57), black_box(&input), black_box(&mut out)))
+        group.bench_bytes(&size.to_string(), size as u64, || {
+            mul_add_slice(black_box(0x57), black_box(&input), black_box(&mut out))
         });
     }
-    group.finish();
 }
 
-fn bench_xor_slice(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gf_xor_slice");
+fn bench_xor_slice() {
+    let group = Group::new("gf_xor_slice");
     let size = 128 * 1024;
     let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
     let mut out = vec![0u8; size];
-    group.throughput(Throughput::Bytes(size as u64));
-    group.bench_function("128KiB", |b| {
-        b.iter(|| xor_slice(black_box(&input), black_box(&mut out)))
+    group.bench_bytes("128KiB", size as u64, || {
+        xor_slice(black_box(&input), black_box(&mut out))
     });
-    group.finish();
 }
 
-fn bench_mul_slice(c: &mut Criterion) {
+fn bench_mul_slice() {
+    let group = Group::new("gf_mul_slice");
     let size = 128 * 1024;
     let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
     let mut out = vec![0u8; size];
-    let mut group = c.benchmark_group("gf_mul_slice");
-    group.throughput(Throughput::Bytes(size as u64));
-    group.bench_function("128KiB", |b| {
-        b.iter(|| mul_slice(black_box(0x8e), black_box(&input), black_box(&mut out)))
+    group.bench_bytes("128KiB", size as u64, || {
+        mul_slice(black_box(0x8e), black_box(&input), black_box(&mut out))
     });
-    group.finish();
 }
 
-fn bench_matrix_invert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gf_matrix_invert");
+fn bench_matrix_invert() {
+    let group = Group::new("gf_matrix_invert");
     for n in [10usize, 20, 50] {
         // Cauchy matrices are always invertible.
         let m = Matrix::cauchy(n, n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(&m).invert().unwrap())
+        group.bench(&n.to_string(), || {
+            black_box(black_box(&m).invert().unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_matrix_rank(c: &mut Criterion) {
+fn bench_matrix_rank() {
     // The LRC decodability hot path: rank of a survivors x k matrix.
     let m = Matrix::vandermonde(20, 14);
-    c.bench_function("gf_matrix_rank_20x14", |b| b.iter(|| black_box(&m).rank()));
+    bench("gf_matrix_rank_20x14", || {
+        black_box(black_box(&m).rank());
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_mul_add_slice,
-    bench_xor_slice,
-    bench_mul_slice,
-    bench_matrix_invert,
-    bench_matrix_rank
-);
-criterion_main!(benches);
+fn main() {
+    bench_mul_add_slice();
+    bench_xor_slice();
+    bench_mul_slice();
+    bench_matrix_invert();
+    bench_matrix_rank();
+}

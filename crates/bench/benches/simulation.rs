@@ -1,11 +1,12 @@
-//! Criterion benchmarks of the simulation and analysis engines: event queue
-//! throughput, stripe-census updates, pool-year simulation rate (the paper's
-//! "years even with a 200-core simulation" motivation for splitting), and
-//! the rare-event analysis kernels.
+//! Microbenchmarks of the simulation and analysis engines: event queue
+//! throughput, stripe-census updates, pool-year simulation rate (the
+//! paper's "years even with a 200-core simulation" motivation for
+//! splitting), and the rare-event analysis kernels. Run with
+//! `cargo bench --bench simulation`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mlec_analysis::burst::mlec_burst_pdl;
 use mlec_analysis::chains::pool_chain;
+use mlec_bench::microbench::{bench, black_box};
 use mlec_sim::census::StripeCensus;
 use mlec_sim::config::MlecDeployment;
 use mlec_sim::engine::EventQueue;
@@ -13,78 +14,68 @@ use mlec_sim::failure::FailureModel;
 use mlec_sim::pool_sim::simulate_pool;
 use mlec_topology::MlecScheme;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u32 {
-                q.schedule(((i * 2654435761) % 100_000) as f64, i);
-            }
-            let mut count = 0;
-            while q.pop().is_some() {
-                count += 1;
-            }
-            black_box(count)
-        })
+fn bench_event_queue() {
+    bench("event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u32 {
+            q.schedule(((i * 2654435761) % 100_000) as f64, i);
+        }
+        let mut count = 0;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        black_box(count);
     });
 }
 
-fn bench_census_update(c: &mut Criterion) {
-    c.bench_function("census_fail_and_drain", |b| {
-        b.iter(|| {
-            let mut census = StripeCensus::new(120, 20, 9.375e8);
-            for _ in 0..4 {
-                census.add_disk_failure();
-            }
-            census.drain_priority(1e6);
-            black_box(census.failed_chunks())
-        })
+fn bench_census_update() {
+    bench("census_fail_and_drain", || {
+        let mut census = StripeCensus::new(120, 20, 9.375e8);
+        for _ in 0..4 {
+            census.add_disk_failure();
+        }
+        census.drain_priority(1e6);
+        black_box(census.failed_chunks());
     });
 }
 
-fn bench_pool_year_simulation(c: &mut Criterion) {
+fn bench_pool_year_simulation() {
     // Simulation rate in pool-years/second is the headline capacity number
     // for splitting stage 1.
-    let dep = MlecDeployment::paper_default(MlecScheme::CD);
     let model = FailureModel::Exponential { afr: 0.05 };
-    c.bench_function("dp_pool_sim_100y", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(simulate_pool(&dep, &model, 100.0, seed))
-        })
+    let dep = MlecDeployment::paper_default(MlecScheme::CD);
+    let mut seed = 0u64;
+    bench("dp_pool_sim_100y", || {
+        seed += 1;
+        black_box(simulate_pool(&dep, &model, 100.0, seed));
     });
     let dep_cp = MlecDeployment::paper_default(MlecScheme::CC);
-    c.bench_function("cp_pool_sim_100y", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(simulate_pool(&dep_cp, &model, 100.0, seed))
-        })
+    let mut seed = 0u64;
+    bench("cp_pool_sim_100y", || {
+        seed += 1;
+        black_box(simulate_pool(&dep_cp, &model, 100.0, seed));
     });
 }
 
-fn bench_markov_chain(c: &mut Criterion) {
+fn bench_markov_chain() {
     let dep = MlecDeployment::paper_default(MlecScheme::CD);
-    c.bench_function("pool_chain_hazard", |b| {
-        b.iter(|| black_box(pool_chain(&dep).absorb_hazard_per_hour()))
+    bench("pool_chain_hazard", || {
+        black_box(pool_chain(&dep).absorb_hazard_per_hour());
     });
 }
 
-fn bench_burst_cell(c: &mut Criterion) {
+fn bench_burst_cell() {
     // One Fig 5 heatmap cell (60 failures over 3 racks, 20 samples).
     let dep = MlecDeployment::paper_default(MlecScheme::DD);
-    c.bench_function("fig5_cell_dd_y60_x3", |b| {
-        b.iter(|| black_box(mlec_burst_pdl(&dep, 60, 3, 20, 7)))
+    bench("fig5_cell_dd_y60_x3", || {
+        black_box(mlec_burst_pdl(&dep, 60, 3, 20, 7));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_census_update,
-    bench_pool_year_simulation,
-    bench_markov_chain,
-    bench_burst_cell
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_census_update();
+    bench_pool_year_simulation();
+    bench_markov_chain();
+    bench_burst_cell();
+}

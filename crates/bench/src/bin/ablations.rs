@@ -15,19 +15,16 @@ fn print_points(title: &str, unit: &str, points: &[mlec_core::analysis::ablation
     println!("--- {title}");
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|p| {
-            vec![
-                p.series.clone(),
-                fmt_value(p.x),
-                format!("{:.1}", p.value),
-            ]
-        })
+        .map(|p| vec![p.series.clone(), fmt_value(p.x), format!("{:.1}", p.value)])
         .collect();
     println!("{}", ascii_table(&["series", unit, "nines"], &rows));
 }
 
 fn main() {
-    banner("Ablations", "detection time, throttle, AFR, and spare policy sweeps");
+    banner(
+        "Ablations",
+        "detection time, throttle, AFR, and spare policy sweeps",
+    );
 
     let cd = MlecDeployment::paper_default(MlecScheme::CD);
     let detection = detection_time_sweep(
@@ -43,16 +40,29 @@ fn main() {
 
     let cc = MlecDeployment::paper_default(MlecScheme::CC);
     let throttle = throttle_sweep(&cc, &[0.05, 0.1, 0.2, 0.4, 0.8]);
-    print_points("repair bandwidth throttle fraction (paper fixes 0.2)", "frac", &throttle);
+    print_points(
+        "repair bandwidth throttle fraction (paper fixes 0.2)",
+        "frac",
+        &throttle,
+    );
 
     let afr = afr_sweep(&cc, &[0.002, 0.005, 0.01, 0.02, 0.05]);
     print_points("annual disk failure rate (paper fixes 0.01)", "AFR", &afr);
 
     let (serial, parallel) = spare_policy_comparison(&cc);
     println!("--- clustered spare-rebuild policy (catastrophic events / pool-year)");
-    println!("  serial hot spare (deployed reality): {}", fmt_value(serial));
-    println!("  idealized parallel spares:           {}", fmt_value(parallel));
-    println!("  -> spare parallelism buys {:.1}x; declustering buys far more (Fig 7)\n", serial / parallel);
+    println!(
+        "  serial hot spare (deployed reality): {}",
+        fmt_value(serial)
+    );
+    println!(
+        "  idealized parallel spares:           {}",
+        fmt_value(parallel)
+    );
+    println!(
+        "  -> spare parallelism buys {:.1}x; declustering buys far more (Fig 7)\n",
+        serial / parallel
+    );
 
     let _ = dump_json("ablation_detection", &detection);
     let _ = dump_json("ablation_throttle", &throttle);

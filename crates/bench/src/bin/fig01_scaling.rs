@@ -25,7 +25,11 @@ fn main() {
             .collect();
         println!("{}", ascii_table(&headers, &rows));
         if let Ok(path) = dump_json(
-            if title.starts_with("(a)") { "fig01a" } else { "fig01b" },
+            if title.starts_with("(a)") {
+                "fig01a"
+            } else {
+                "fig01b"
+            },
             &series,
         ) {
             println!("json: {}\n", path.display());

@@ -2,20 +2,23 @@
 //! failure bursts (y failed disks scattered over x racks).
 //!
 //! Usage: `fig05_mlec_burst_pdl [max=60] [step=6] [samples=60] [seed=42]`
-//! — step=1 reproduces the paper's full 60x60 grid (slower).
+//! `[threads=0] [manifests=DIR]` — step=1 reproduces the paper's full
+//! 60x60 grid (slower); with `manifests=DIR` an interrupted run resumes
+//! from its JSONL checkpoints.
 
-use mlec_bench::{banner, heatmap_spec_from_args};
-use mlec_core::experiments::fig5_mlec_burst;
+use mlec_bench::{banner, heatmap_spec_from_args, runner_opts_from_args};
+use mlec_core::experiments::fig5_mlec_burst_with;
 use mlec_core::report::{dump_json, render_heatmap};
 
 fn main() {
     banner("Figure 5", "MLEC PDL under correlated failure bursts");
     let spec = heatmap_spec_from_args();
+    let opts = runner_opts_from_args();
     println!(
         "grid: 1..{} step {}, {} layout samples/cell\n",
         spec.max, spec.step, spec.samples
     );
-    let maps = fig5_mlec_burst(&spec);
+    let maps = fig5_mlec_burst_with(&spec, &opts);
     for map in &maps {
         println!("{}", render_heatmap(map));
     }

@@ -6,7 +6,10 @@ use mlec_core::experiments::fig8_fig9_repair_methods;
 use mlec_core::report::{ascii_table, dump_json, fmt_value};
 
 fn main() {
-    banner("Figure 8", "cross-rack repair traffic (TB) per method and scheme");
+    banner(
+        "Figure 8",
+        "cross-rack repair traffic (TB) per method and scheme",
+    );
     let cells = fig8_fig9_repair_methods();
     let schemes = ["C/C", "C/D", "D/C", "D/D"];
     let methods = ["R_ALL", "R_FCO", "R_HYB", "R_MIN"];

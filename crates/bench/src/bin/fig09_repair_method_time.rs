@@ -6,7 +6,10 @@ use mlec_core::experiments::fig8_fig9_repair_methods;
 use mlec_core::report::{ascii_table, dump_json};
 
 fn main() {
-    banner("Figure 9", "repair time split into network (-N) and local (-L) phases");
+    banner(
+        "Figure 9",
+        "repair time split into network (-N) and local (-L) phases",
+    );
     let cells = fig8_fig9_repair_methods();
     let rows: Vec<Vec<String>> = cells
         .iter()

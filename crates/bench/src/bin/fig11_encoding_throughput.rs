@@ -40,8 +40,14 @@ fn main() {
     }
     println!("\n(values: MB/s of data encoded; paper shape: falls with larger k and p)");
     let max = cells.iter().map(|c| c.mb_per_s).fold(0.0f64, f64::max);
-    let min = cells.iter().map(|c| c.mb_per_s).fold(f64::INFINITY, f64::min);
-    println!("range: {min:.0} .. {max:.0} MB/s ({:.1}x spread)", max / min);
+    let min = cells
+        .iter()
+        .map(|c| c.mb_per_s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "range: {min:.0} .. {max:.0} MB/s ({:.1}x spread)",
+        max / min
+    );
     if let Ok(path) = dump_json("fig11", &cells) {
         println!("json: {}", path.display());
     }

@@ -8,10 +8,16 @@ use mlec_core::experiments::fig12_mlec_vs_slec;
 use mlec_core::report::{ascii_table, dump_json};
 
 fn main() {
-    banner("Figure 12", "MLEC vs SLEC durability/throughput tradeoff (~30% overhead)");
+    banner(
+        "Figure 12",
+        "MLEC vs SLEC durability/throughput tradeoff (~30% overhead)",
+    );
     let mb = arg_u64("mb", 32) as usize * 1024 * 1024;
     let model = ThroughputModel::calibrate(128 * 1024, mb);
-    println!("calibrated kernel rate: {:.0} MB/s of multiply work\n", model.rate_mb_per_s);
+    println!(
+        "calibrated kernel rate: {:.0} MB/s of multiply work\n",
+        model.rate_mb_per_s
+    );
 
     let points = fig12_mlec_vs_slec(&model);
     for family in ["C/C", "C/D", "Loc-Cp-S", "Loc-Dp-S", "Net-Cp-S", "Net-Dp-S"] {

@@ -2,16 +2,21 @@
 //! four placements (Loc-Cp, Loc-Dp, Net-Cp, Net-Dp).
 //!
 //! Usage: `fig13_slec_burst_pdl [max=60] [step=6] [samples=60] [seed=42]`
+//! `[threads=0] [manifests=DIR]`
 
-use mlec_bench::{banner, heatmap_spec_from_args};
+use mlec_bench::{banner, heatmap_spec_from_args, runner_opts_from_args};
 use mlec_core::ec::SlecParams;
-use mlec_core::experiments::fig13_slec_burst;
+use mlec_core::experiments::fig13_slec_burst_with;
 use mlec_core::report::{dump_json, render_heatmap};
 
 fn main() {
-    banner("Figure 13", "SLEC PDL under correlated failure bursts, (7+3)");
+    banner(
+        "Figure 13",
+        "SLEC PDL under correlated failure bursts, (7+3)",
+    );
     let spec = heatmap_spec_from_args();
-    let maps = fig13_slec_burst(&spec, SlecParams::new(7, 3));
+    let opts = runner_opts_from_args();
+    let maps = fig13_slec_burst_with(&spec, SlecParams::new(7, 3), &opts);
     for map in &maps {
         println!("{}", render_heatmap(map));
     }

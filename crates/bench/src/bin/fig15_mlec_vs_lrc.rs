@@ -7,7 +7,10 @@ use mlec_core::experiments::fig15_mlec_vs_lrc;
 use mlec_core::report::{ascii_table, dump_json};
 
 fn main() {
-    banner("Figure 15", "MLEC C/D vs LRC-Dp durability/throughput tradeoff");
+    banner(
+        "Figure 15",
+        "MLEC C/D vs LRC-Dp durability/throughput tradeoff",
+    );
     let mb = arg_u64("mb", 32) as usize * 1024 * 1024;
     let model = ThroughputModel::calibrate(128 * 1024, mb);
     let points = fig15_mlec_vs_lrc(&model);

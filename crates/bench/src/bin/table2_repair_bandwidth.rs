@@ -25,11 +25,19 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["scheme", "disk TB", "disk BW MB/s", "pool TB", "pool BW MB/s"],
+            &[
+                "scheme",
+                "disk TB",
+                "disk BW MB/s",
+                "pool TB",
+                "pool BW MB/s"
+            ],
             &table
         )
     );
-    println!("paper: C/C 20/40/400/250  C/D 20/264/2400/250  D/C 20/40/400/1363  D/D 20/264/2400/1363");
+    println!(
+        "paper: C/C 20/40/400/250  C/D 20/264/2400/250  D/C 20/40/400/1363  D/D 20/264/2400/1363"
+    );
     if let Ok(path) = dump_json("table2", &rows) {
         println!("json: {}", path.display());
     }

@@ -15,7 +15,10 @@ use mlec_core::sim::RepairMethod;
 use mlec_core::topology::{Geometry, MlecScheme};
 
 fn main() {
-    banner("Trace tools", "synthesize, analyze, and replay a failure trace");
+    banner(
+        "Trace tools",
+        "synthesize, analyze, and replay a failure trace",
+    );
     let spec = TraceSpec {
         background_afr: arg_u64("afr_pct", 1) as f64 / 100.0,
         bursts_per_year: arg_u64("bursts_per_year_x10", 10) as f64 / 10.0,
@@ -34,7 +37,10 @@ fn main() {
     );
 
     let bursts = detect_bursts(&trace, 0.5, 5);
-    println!("detected {} bursts (>= 5 failures within 30 min):", bursts.len());
+    println!(
+        "detected {} bursts (>= 5 failures within 30 min):",
+        bursts.len()
+    );
     for (start, disks) in bursts.iter().take(10) {
         let racks: std::collections::BTreeSet<u32> =
             disks.iter().map(|&d| geometry.rack_of(d)).collect();
@@ -62,7 +68,12 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["scheme", "catastrophic pools", "data losses", "cross-rack TB"],
+            &[
+                "scheme",
+                "catastrophic pools",
+                "data losses",
+                "cross-rack TB"
+            ],
             &rows
         )
     );

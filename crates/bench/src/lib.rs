@@ -1,12 +1,15 @@
 //! `mlec-bench`: shared plumbing for the per-figure regeneration binaries
-//! (`src/bin/fig*.rs`) and the Criterion microbenchmarks (`benches/`).
+//! (`src/bin/fig*.rs`) and the self-contained microbenchmarks (`benches/`,
+//! timed by [`microbench`]).
 //!
 //! Every binary prints the paper-comparable rows/series to stdout and dumps
 //! machine-readable JSON under `target/figures/`. Grid resolution and sample
 //! counts are tunable from the command line so a laptop run finishes in
 //! seconds while a full-fidelity run reproduces the paper's 60×60 grids.
 
-use mlec_core::experiments::HeatmapSpec;
+pub mod microbench;
+
+use mlec_core::experiments::{HeatmapRunOpts, HeatmapSpec};
 
 /// Parse `key=value` style CLI arguments (e.g. `step=3 samples=200 max=60`)
 /// into a [`HeatmapSpec`], starting from the default.
@@ -27,6 +30,29 @@ pub fn heatmap_spec_from_args() -> HeatmapSpec {
         }
     }
     spec
+}
+
+/// Parse a single `key=value` string argument.
+pub fn arg_str(key: &str) -> Option<String> {
+    for arg in std::env::args().skip(1) {
+        if let Some((k, value)) = arg.split_once('=') {
+            if k == key {
+                return Some(value.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Parse the shared runner options of the Monte Carlo binaries:
+/// `threads=N` (0 = all cores) and `manifests=DIR` (enables JSONL
+/// checkpoint manifests under DIR; rerunning with the same arguments
+/// resumes an interrupted sweep from its last checkpoint).
+pub fn runner_opts_from_args() -> HeatmapRunOpts {
+    HeatmapRunOpts {
+        threads: arg_u64("threads", 0) as usize,
+        manifest_dir: arg_str("manifests").map(std::path::PathBuf::from),
+    }
 }
 
 /// Parse a single `key=value` u64 argument with a default.

@@ -1,0 +1,105 @@
+//! Minimal self-contained micro-benchmark harness for the `benches/`
+//! targets (`harness = false`): warm up, size the batch to a target wall
+//! time, time several batches, and report the median ns/iter (plus MB/s
+//! when a byte throughput is declared). No external framework needed.
+
+use std::time::Instant;
+
+/// Batches timed per measurement; the median is reported.
+const BATCHES: usize = 7;
+/// Target wall time per batch, seconds.
+const BATCH_SECONDS: f64 = 0.05;
+
+/// Re-export of the optimizer barrier the closures should wrap their
+/// results in.
+pub use std::hint::black_box;
+
+/// One named group of measurements, printed as aligned rows.
+pub struct Group {
+    title: String,
+}
+
+impl Group {
+    pub fn new(title: &str) -> Group {
+        println!("\n-- {title}");
+        Group {
+            title: title.to_string(),
+        }
+    }
+
+    /// Time `f` and print ns/iter.
+    pub fn bench<F: FnMut()>(&self, name: &str, f: F) {
+        let ns = time_ns_per_iter(f);
+        println!("{:<40} {:>14} ns/iter", self.row(name), group_digits(ns));
+    }
+
+    /// Time `f`, printing ns/iter and MB/s for `bytes` processed per iter.
+    pub fn bench_bytes<F: FnMut()>(&self, name: &str, bytes: u64, f: F) {
+        let ns = time_ns_per_iter(f);
+        let mbs = bytes as f64 / (ns as f64 / 1e9) / 1e6;
+        println!(
+            "{:<40} {:>14} ns/iter {:>10.0} MB/s",
+            self.row(name),
+            group_digits(ns),
+            mbs
+        );
+    }
+
+    fn row(&self, name: &str) -> String {
+        format!("{}/{}", self.title, name)
+    }
+}
+
+/// Time a standalone (ungrouped) benchmark.
+pub fn bench<F: FnMut()>(name: &str, f: F) {
+    let ns = time_ns_per_iter(f);
+    println!("{:<40} {:>14} ns/iter", name, group_digits(ns));
+}
+
+fn time_ns_per_iter<F: FnMut()>(mut f: F) -> u64 {
+    // Warm up and estimate a single iteration.
+    let start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while start.elapsed().as_secs_f64() < BATCH_SECONDS / 2.0 || warmup_iters < 3 {
+        f();
+        warmup_iters += 1;
+    }
+    let est = start.elapsed().as_secs_f64() / warmup_iters as f64;
+    let per_batch = ((BATCH_SECONDS / est) as u64).max(1);
+
+    let mut samples = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for _ in 0..per_batch {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as u64 / per_batch);
+    }
+    samples.sort_unstable();
+    samples[BATCHES / 2]
+}
+
+/// `1234567` -> `1,234,567` for readable ns columns.
+fn group_digits(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(7), "7");
+        assert_eq!(group_digits(1234), "1,234");
+        assert_eq!(group_digits(1234567), "1,234,567");
+    }
+}

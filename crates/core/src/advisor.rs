@@ -9,10 +9,9 @@
 use crate::MlecSystem;
 use mlec_sim::repair::RepairMethod;
 use mlec_topology::MlecScheme;
-use serde::{Deserialize, Serialize};
 
 /// How often the site observes correlated failure bursts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BurstExposure {
     /// Bursts are rare (well-conditioned power/cooling, small blast radius).
     Rare,
@@ -22,7 +21,7 @@ pub enum BurstExposure {
 }
 
 /// Operational capability of the storage team.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpsModel {
     /// Off-the-shelf RBODs; the network level cannot see inside enclosures.
     BlackBoxRbod,
@@ -31,7 +30,7 @@ pub enum OpsModel {
 }
 
 /// What the deployment optimizes for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Priority {
     /// Maximize durability (paper takeaway 6: HPC datasets where any lost
     /// chunk poisons petabytes).
@@ -41,7 +40,7 @@ pub enum Priority {
 }
 
 /// The advisor's inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SiteProfile {
     /// Burst regime at the site.
     pub bursts: BurstExposure,
@@ -54,7 +53,7 @@ pub struct SiteProfile {
 }
 
 /// A recommendation with its quantified rationale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recommendation {
     /// Recommended placement scheme.
     pub scheme: MlecScheme,
@@ -150,13 +149,11 @@ pub fn recommend(profile: &SiteProfile) -> Option<Recommendation> {
     }
     if profile.priority == Priority::Performance {
         rec.rationale.push(
-            "performance priority: ties broken toward less repair traffic (takeaway 5)"
-                .to_string(),
+            "performance priority: ties broken toward less repair traffic (takeaway 5)".to_string(),
         );
     } else {
-        rec.rationale.push(
-            "durability priority: ties broken toward more nines (takeaway 6)".to_string(),
-        );
+        rec.rationale
+            .push("durability priority: ties broken toward more nines (takeaway 6)".to_string());
     }
     Some(rec)
 }

@@ -1,10 +1,15 @@
-//! One runner per paper table/figure. Each returns a serde-serializable
-//! result that the `mlec-bench` binaries print (and dump as JSON under
-//! `target/figures/`), and that EXPERIMENTS.md's paper-vs-measured records
-//! come from.
+//! One runner per paper table/figure. Each returns a result the
+//! `mlec-bench` binaries print (and dump as JSON under `target/figures/`),
+//! and that EXPERIMENTS.md's paper-vs-measured records come from.
+//!
+//! Every Monte Carlo surface here executes through `mlec-runner`: a heatmap
+//! is one deterministic [`GridTrial`] run per scheme (trial index → grid
+//! cell, per-trial seeds from the run's seed stream), so cell estimates are
+//! bit-identical across thread counts and can checkpoint/resume via JSONL
+//! manifests.
 
 use mlec_analysis::burst::{
-    lrc_burst_pdl, lrc_undecodable_by_count, mlec_burst_pdl, slec_burst_pdl,
+    lrc_burst_sample, lrc_undecodable_by_count, mlec_burst_sample, slec_burst_sample,
 };
 use mlec_analysis::chains::system_catastrophic_rate_per_year;
 use mlec_analysis::splitting::mlec_durability_nines;
@@ -14,6 +19,7 @@ use mlec_analysis::tradeoff::{
 };
 use mlec_ec::throughput::{measure_slec, ThroughputModel};
 use mlec_ec::{Lrc, LrcParams, SlecParams};
+use mlec_runner::{run_with, trial_rng, GridTrial, Json, RunSpec, StopRule};
 use mlec_sim::bandwidth::{
     catastrophic_pool_repair_bw_mbs, catastrophic_pool_repair_hours, repair_sizes_tb,
     single_disk_repair_bw_mbs, single_disk_repair_hours,
@@ -23,15 +29,14 @@ use mlec_sim::repair::{plan_catastrophic_repair, RepairMethod};
 use mlec_sim::traffic;
 use mlec_sim::SimConfig;
 use mlec_topology::{Geometry, MlecScheme, SlecPlacement};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 fn paper_deployment(scheme: MlecScheme) -> MlecDeployment {
     MlecDeployment::paper_default(scheme)
 }
 
 /// A PDL heatmap: `pdl[yi][xi]` for failures `ys[yi]` over racks `xs[xi]`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Heatmap {
     /// Series/scheme label.
     pub label: String,
@@ -84,46 +89,116 @@ impl HeatmapSpec {
     }
 }
 
+/// Execution options for runner-driven heatmaps: worker threads and
+/// (optionally) a directory for per-map JSONL manifests so an interrupted
+/// sweep resumes where it stopped.
+#[derive(Debug, Clone, Default)]
+pub struct HeatmapRunOpts {
+    /// Worker threads; 0 = available parallelism.
+    pub threads: usize,
+    /// Directory for run manifests; `None` disables checkpointing.
+    pub manifest_dir: Option<PathBuf>,
+}
+
+impl HeatmapRunOpts {
+    fn manifest_path(&self, run_label: &str) -> Option<PathBuf> {
+        let dir = self.manifest_dir.as_ref()?;
+        Some(dir.join(format!("{}.jsonl", run_label.replace('/', "-"))))
+    }
+}
+
+/// One heatmap as one deterministic runner campaign: feasible `(y, x)`
+/// cells are flattened in row-major order, trial `i` draws one
+/// conditional-MC sample of cell `i / samples`, and the per-cell Welford
+/// means become the PDL matrix (`y < x` cells stay NaN: impossible burst).
+fn run_heatmap(
+    display_label: String,
+    run_label: &str,
+    spec: &HeatmapSpec,
+    opts: &HeatmapRunOpts,
+    config_hash: u64,
+    sample: impl Fn(u32, u32, &mut mlec_runner::TrialRng) -> f64 + Sync,
+) -> Heatmap {
+    let xs = spec.axis();
+    let ys = spec.axis();
+    let cells: Vec<(u32, u32)> = ys
+        .iter()
+        .flat_map(|&y| xs.iter().filter(move |&&x| y >= x).map(move |&x| (y, x)))
+        .collect();
+
+    let trial = GridTrial {
+        cells: cells.len(),
+        samples_per_cell: spec.samples as u64,
+        f: |cell: usize, seed: u64| {
+            let (y, x) = cells[cell];
+            let mut rng = trial_rng(seed);
+            sample(y, x, &mut rng)
+        },
+    };
+    let mut run_spec = RunSpec::new(run_label, spec.seed, StopRule::fixed(trial.total_trials()))
+        .threads(opts.threads)
+        .config_hash(config_hash);
+    if let Some(path) = opts.manifest_path(run_label) {
+        run_spec = run_spec.manifest(path);
+    }
+    let report = run_with(&trial, &run_spec, trial.empty()).expect("heatmap run");
+
+    let mut pdl = vec![vec![f64::NAN; xs.len()]; ys.len()];
+    let mut yi_of = std::collections::HashMap::new();
+    for (yi, &y) in ys.iter().enumerate() {
+        yi_of.insert(y, yi);
+    }
+    let mut xi_of = std::collections::HashMap::new();
+    for (xi, &x) in xs.iter().enumerate() {
+        xi_of.insert(x, xi);
+    }
+    for (cell, &(y, x)) in cells.iter().enumerate() {
+        pdl[yi_of[&y]][xi_of[&x]] = report.acc.cell(cell).mean();
+    }
+    Heatmap {
+        label: display_label,
+        xs,
+        ys,
+        pdl,
+    }
+}
+
+fn heatmap_config_hash(spec: &HeatmapSpec, extra: &str) -> u64 {
+    Json::obj(vec![
+        ("max", Json::U64(spec.max as u64)),
+        ("step", Json::U64(spec.step as u64)),
+        ("samples", Json::U64(spec.samples as u64)),
+        ("extra", Json::Str(extra.to_string())),
+    ])
+    .fingerprint()
+}
+
 /// Fig 5: PDL heatmaps of the four MLEC schemes under correlated bursts.
 pub fn fig5_mlec_burst(spec: &HeatmapSpec) -> Vec<Heatmap> {
+    fig5_mlec_burst_with(spec, &HeatmapRunOpts::default())
+}
+
+/// [`fig5_mlec_burst`] with explicit runner options (threads, manifests).
+pub fn fig5_mlec_burst_with(spec: &HeatmapSpec, opts: &HeatmapRunOpts) -> Vec<Heatmap> {
     MlecScheme::ALL
         .into_iter()
         .map(|scheme| {
             let dep = paper_deployment(scheme);
-            let xs = spec.axis();
-            let ys = spec.axis();
-            let pdl: Vec<Vec<f64>> = ys
-                .par_iter()
-                .map(|&y| {
-                    xs.iter()
-                        .map(|&x| {
-                            if y < x {
-                                f64::NAN
-                            } else {
-                                mlec_burst_pdl(
-                                    &dep,
-                                    y,
-                                    x,
-                                    spec.samples,
-                                    spec.seed ^ ((y as u64) << 32 | x as u64),
-                                )
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
-            Heatmap {
-                label: scheme.name(),
-                xs,
-                ys,
-                pdl,
-            }
+            let run_label = format!("fig05/{}", scheme.name().replace('/', ""));
+            run_heatmap(
+                scheme.name(),
+                &run_label,
+                spec,
+                opts,
+                heatmap_config_hash(spec, &scheme.name()),
+                |y, x, rng| mlec_burst_sample(&dep, y, x, rng),
+            )
         })
         .collect()
 }
 
 /// One row of Table 2 / Fig 6.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RepairBandwidthRow {
     /// Scheme label.
     pub scheme: String,
@@ -162,7 +237,7 @@ pub fn table2_and_fig6() -> Vec<RepairBandwidthRow> {
 }
 
 /// Fig 7: probability of a catastrophic local failure per system-year.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CatastrophicProbRow {
     /// Scheme label.
     pub scheme: String,
@@ -181,8 +256,78 @@ pub fn fig7_catastrophic_prob() -> Vec<CatastrophicProbRow> {
         .collect()
 }
 
+/// One simulated Fig 7 row: the catastrophic-pool rate measured by a
+/// runner-driven pool-simulation campaign, with its Poisson 95% interval.
+#[derive(Debug, Clone)]
+pub struct CatastrophicSimRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Simulated catastrophic events per pool-year.
+    pub rate_per_pool_year: f64,
+    /// 95% interval on the rate (Poisson counting statistics).
+    pub rate_ci_low: f64,
+    pub rate_ci_high: f64,
+    /// Catastrophic probability per system-year implied by the rate.
+    pub prob_per_system_year: f64,
+    /// Analytic (Markov-chain) counterpart at the same AFR, for comparison.
+    pub analytic_prob_per_system_year: f64,
+    /// Catastrophic events observed.
+    pub events: u64,
+    /// Pool-years simulated.
+    pub pool_years: f64,
+}
+
+/// Fig 7 `mode=sim`: measure each scheme's catastrophic-pool rate by
+/// direct pool simulation through `mlec-runner` (`afr` is inflated so
+/// events are observable; both columns use the same AFR, so the
+/// sim-vs-analytic comparison stays valid).
+pub fn fig7_catastrophic_prob_sim(
+    afr: f64,
+    years_per_trial: f64,
+    trials: u64,
+    seed: u64,
+    opts: &HeatmapRunOpts,
+) -> std::io::Result<Vec<CatastrophicSimRow>> {
+    // The trial budget is a stop rule, not run identity: trial seeds depend
+    // only on (root seed, label, index), so extending `trials` must resume
+    // an existing manifest rather than refuse it.
+    let config_hash = Json::obj(vec![
+        ("afr", Json::F64(afr)),
+        ("years_per_trial", Json::F64(years_per_trial)),
+    ])
+    .fingerprint();
+    let mut out = Vec::new();
+    for scheme in MlecScheme::ALL {
+        let mut dep = paper_deployment(scheme);
+        dep.config.afr = afr;
+        let model = mlec_sim::failure::FailureModel::Exponential { afr };
+        let run_label = format!("fig07/{}", scheme.name().replace('/', ""));
+        let mut spec = RunSpec::new(&run_label, seed, StopRule::fixed(trials))
+            .threads(opts.threads)
+            .config_hash(config_hash);
+        if let Some(path) = opts.manifest_path(&run_label) {
+            spec = spec.manifest(path);
+        }
+        let (s1, report) =
+            mlec_analysis::splitting::stage1_via_runner(&dep, &model, years_per_trial, &spec)?;
+        let pools = dep.local_pools().num_pools() as f64;
+        let summary = report.summary;
+        out.push(CatastrophicSimRow {
+            scheme: scheme.name(),
+            rate_per_pool_year: s1.cat_rate_per_pool_year,
+            rate_ci_low: summary.ci_low,
+            rate_ci_high: summary.ci_high,
+            prob_per_system_year: -(-s1.cat_rate_per_pool_year * pools).exp_m1(),
+            analytic_prob_per_system_year: -(-system_catastrophic_rate_per_year(&dep)).exp_m1(),
+            events: report.acc.events,
+            pool_years: report.acc.pool_years,
+        });
+    }
+    Ok(out)
+}
+
 /// One (scheme, method) cell of Fig 8 / Fig 9.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RepairMethodCell {
     /// Scheme label.
     pub scheme: String,
@@ -216,7 +361,7 @@ pub fn fig8_fig9_repair_methods() -> Vec<RepairMethodCell> {
 }
 
 /// One (scheme, method) durability cell of Fig 10.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DurabilityCell {
     /// Scheme label.
     pub scheme: String,
@@ -242,8 +387,77 @@ pub fn fig10_durability() -> Vec<DurabilityCell> {
     out
 }
 
+/// One simulated Fig 10 cell: durability with a *simulated* stage 1
+/// (pool-sim campaign through `mlec-runner`) next to the analytic one.
+#[derive(Debug, Clone)]
+pub struct DurabilitySimCell {
+    /// Scheme label.
+    pub scheme: String,
+    /// Method label.
+    pub method: String,
+    /// One-year durability (nines) with the simulated stage-1 rate.
+    pub nines_sim_stage1: f64,
+    /// One-year durability (nines) with the analytic stage-1 rate.
+    pub nines_analytic_stage1: f64,
+    /// Catastrophic events observed in stage 1.
+    pub events: u64,
+    /// Pool-years simulated in stage 1.
+    pub pool_years: f64,
+}
+
+/// Fig 10 `mode=sim`: the splitting estimator with stage 1 *measured* by a
+/// runner-driven pool-simulation campaign (one per scheme, shared across
+/// repair methods) instead of the pool Markov chain. `afr` is inflated so
+/// stage-1 events are observable; the analytic column uses the same AFR so
+/// the two stage-1 variants are directly comparable.
+pub fn fig10_durability_sim(
+    afr: f64,
+    years_per_trial: f64,
+    trials: u64,
+    seed: u64,
+    opts: &HeatmapRunOpts,
+) -> std::io::Result<Vec<DurabilitySimCell>> {
+    use mlec_analysis::splitting::{stage1_analytic, stage1_via_runner, stage2_pdl};
+    // `trials` deliberately excluded — see fig7_catastrophic_prob_sim.
+    let config_hash = Json::obj(vec![
+        ("afr", Json::F64(afr)),
+        ("years_per_trial", Json::F64(years_per_trial)),
+    ])
+    .fingerprint();
+    let mut out = Vec::new();
+    for scheme in MlecScheme::ALL {
+        let mut dep = paper_deployment(scheme);
+        dep.config.afr = afr;
+        let model = mlec_sim::failure::FailureModel::Exponential { afr };
+        let run_label = format!("fig10/{}", scheme.name().replace('/', ""));
+        let mut spec = RunSpec::new(&run_label, seed, StopRule::fixed(trials))
+            .threads(opts.threads)
+            .config_hash(config_hash);
+        if let Some(path) = opts.manifest_path(&run_label) {
+            spec = spec.manifest(path);
+        }
+        let (s1_sim, report) = stage1_via_runner(&dep, &model, years_per_trial, &spec)?;
+        let s1_analytic = stage1_analytic(&dep);
+        for method in RepairMethod::ALL {
+            out.push(DurabilitySimCell {
+                scheme: scheme.name(),
+                method: method.name().to_string(),
+                nines_sim_stage1: mlec_analysis::markov::nines(
+                    stage2_pdl(&dep, method, &s1_sim, 1.0).max(1e-300),
+                ),
+                nines_analytic_stage1: mlec_analysis::markov::nines(
+                    stage2_pdl(&dep, method, &s1_analytic, 1.0).max(1e-300),
+                ),
+                events: report.acc.events,
+                pool_years: report.acc.pool_years,
+            });
+        }
+    }
+    Ok(out)
+}
+
 /// One measured point of the Fig 11 throughput surface.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputCell {
     /// Data chunks.
     pub k: usize,
@@ -307,83 +521,61 @@ pub fn fig15_mlec_vs_lrc(model: &ThroughputModel) -> Vec<TradeoffPoint> {
 
 /// Fig 13: PDL heatmaps of the four SLEC placements under bursts.
 pub fn fig13_slec_burst(spec: &HeatmapSpec, params: SlecParams) -> Vec<Heatmap> {
+    fig13_slec_burst_with(spec, params, &HeatmapRunOpts::default())
+}
+
+/// [`fig13_slec_burst`] with explicit runner options (threads, manifests).
+pub fn fig13_slec_burst_with(
+    spec: &HeatmapSpec,
+    params: SlecParams,
+    opts: &HeatmapRunOpts,
+) -> Vec<Heatmap> {
     let g = Geometry::paper_default();
     SlecPlacement::ALL
         .into_iter()
         .map(|placement| {
-            let xs = spec.axis();
-            let ys = spec.axis();
-            let pdl: Vec<Vec<f64>> = ys
-                .par_iter()
-                .map(|&y| {
-                    xs.iter()
-                        .map(|&x| {
-                            if y < x {
-                                f64::NAN
-                            } else {
-                                slec_burst_pdl(
-                                    &g,
-                                    params,
-                                    placement,
-                                    y,
-                                    x,
-                                    spec.samples,
-                                    spec.seed ^ ((y as u64) << 32 | x as u64),
-                                )
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
-            Heatmap {
-                label: placement.name().to_string(),
-                xs,
-                ys,
-                pdl,
-            }
+            let run_label = format!("fig13/{}", placement.name());
+            run_heatmap(
+                placement.name().to_string(),
+                &run_label,
+                spec,
+                opts,
+                heatmap_config_hash(
+                    spec,
+                    &format!("{} {}+{}", placement.name(), params.k, params.p),
+                ),
+                |y, x, rng| slec_burst_sample(&g, params, placement, y, x, rng),
+            )
         })
         .collect()
 }
 
 /// Fig 16: PDL heatmap of the paper's `(14,2,4)` LRC-Dp under bursts.
 pub fn fig16_lrc_burst(spec: &HeatmapSpec, params: LrcParams) -> Heatmap {
+    fig16_lrc_burst_with(spec, params, &HeatmapRunOpts::default())
+}
+
+/// [`fig16_lrc_burst`] with explicit runner options (threads, manifests).
+pub fn fig16_lrc_burst_with(
+    spec: &HeatmapSpec,
+    params: LrcParams,
+    opts: &HeatmapRunOpts,
+) -> Heatmap {
     let g = Geometry::paper_default();
     let lrc = Lrc::new(params.k, params.l, params.r).expect("valid LRC");
     let curve = lrc_undecodable_by_count(&lrc, 2000, spec.seed);
-    let xs = spec.axis();
-    let ys = spec.axis();
-    let pdl: Vec<Vec<f64>> = ys
-        .par_iter()
-        .map(|&y| {
-            xs.iter()
-                .map(|&x| {
-                    if y < x {
-                        f64::NAN
-                    } else {
-                        lrc_burst_pdl(
-                            &g,
-                            params,
-                            &curve,
-                            y,
-                            x,
-                            spec.samples,
-                            spec.seed ^ ((y as u64) << 32 | x as u64),
-                        )
-                    }
-                })
-                .collect()
-        })
-        .collect();
-    Heatmap {
-        label: format!("LRC-Dp {params}"),
-        xs,
-        ys,
-        pdl,
-    }
+    run_heatmap(
+        format!("LRC-Dp {params}"),
+        "fig16/LRC-Dp",
+        spec,
+        opts,
+        heatmap_config_hash(spec, &format!("{params}")),
+        |y, x, rng| lrc_burst_sample(&g, params, &curve, y, x, rng),
+    )
 }
 
 /// §5.1.4 / §5.2.4: repair network traffic comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficRow {
     /// System label.
     pub system: String,
@@ -411,8 +603,7 @@ pub fn repair_traffic_comparison() -> Vec<TrafficRow> {
         TrafficRow {
             system: "LRC-Dp (14,2,4)".into(),
             tb_per_day: traffic::lrc_daily_traffic_tb(&g, &c, LrcParams::paper_default()),
-            tb_per_year: traffic::lrc_daily_traffic_tb(&g, &c, LrcParams::paper_default())
-                * 365.25,
+            tb_per_year: traffic::lrc_daily_traffic_tb(&g, &c, LrcParams::paper_default()) * 365.25,
         },
     ];
     for scheme in MlecScheme::ALL {
@@ -429,6 +620,57 @@ pub fn repair_traffic_comparison() -> Vec<TrafficRow> {
     }
     out
 }
+
+mlec_runner::impl_to_json!(Heatmap { label, xs, ys, pdl });
+mlec_runner::impl_to_json!(RepairBandwidthRow {
+    scheme,
+    disk_size_tb,
+    disk_bw_mbs,
+    pool_size_tb,
+    pool_bw_mbs,
+    disk_repair_hours,
+    pool_repair_hours,
+});
+mlec_runner::impl_to_json!(CatastrophicProbRow {
+    scheme,
+    prob_per_year
+});
+mlec_runner::impl_to_json!(CatastrophicSimRow {
+    scheme,
+    rate_per_pool_year,
+    rate_ci_low,
+    rate_ci_high,
+    prob_per_system_year,
+    analytic_prob_per_system_year,
+    events,
+    pool_years,
+});
+mlec_runner::impl_to_json!(DurabilitySimCell {
+    scheme,
+    method,
+    nines_sim_stage1,
+    nines_analytic_stage1,
+    events,
+    pool_years,
+});
+mlec_runner::impl_to_json!(RepairMethodCell {
+    scheme,
+    method,
+    cross_rack_tb,
+    network_time_h,
+    local_time_h,
+});
+mlec_runner::impl_to_json!(DurabilityCell {
+    scheme,
+    method,
+    nines
+});
+mlec_runner::impl_to_json!(ThroughputCell { k, p, mb_per_s });
+mlec_runner::impl_to_json!(TrafficRow {
+    system,
+    tb_per_day,
+    tb_per_year,
+});
 
 #[cfg(test)]
 mod tests {
@@ -497,7 +739,13 @@ mod tests {
                     if m.ys[yi] < m.xs[xi] {
                         assert!(v.is_nan());
                     } else {
-                        assert!((0.0..=1.0).contains(&v), "{} y{} x{} = {v}", m.label, yi, xi);
+                        assert!(
+                            (0.0..=1.0).contains(&v),
+                            "{} y{} x{} = {v}",
+                            m.label,
+                            yi,
+                            xi
+                        );
                     }
                 }
             }
@@ -507,7 +755,10 @@ mod tests {
     #[test]
     fn traffic_comparison_separates_families() {
         let rows = repair_traffic_comparison();
-        let slec = rows.iter().find(|r| r.system.starts_with("Net-SLEC (7")).unwrap();
+        let slec = rows
+            .iter()
+            .find(|r| r.system.starts_with("Net-SLEC (7"))
+            .unwrap();
         let mlec = rows
             .iter()
             .find(|r| r.system.contains("C/C") && r.system.contains("R_MIN"))

@@ -6,10 +6,8 @@
 //! `fig01_scaling` binary reprints the series so the reproduction archive is
 //! self-contained.
 
-use serde::{Deserialize, Serialize};
-
 /// One (year, value) sample of a scaling series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct YearSample {
     /// Calendar year.
     pub year: u32,
@@ -18,7 +16,7 @@ pub struct YearSample {
 }
 
 /// A named series with its unit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingSeries {
     /// Series name as labeled in the figure.
     pub name: &'static str,
@@ -95,6 +93,13 @@ pub fn capacity_per_disk() -> Vec<ScalingSeries> {
     ]
 }
 
+mlec_runner::impl_to_json!(YearSample { year, value });
+mlec_runner::impl_to_json!(ScalingSeries {
+    name,
+    unit,
+    samples
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,7 +110,11 @@ mod tests {
         for s in disks_per_system().iter().chain(capacity_per_disk().iter()) {
             for w in s.samples.windows(2) {
                 assert!(w[1].year > w[0].year, "{}: years ordered", s.name);
-                assert!(w[1].value >= w[0].value, "{}: values non-decreasing", s.name);
+                assert!(
+                    w[1].value >= w[0].value,
+                    "{}: values non-decreasing",
+                    s.name
+                );
             }
         }
     }

@@ -3,7 +3,7 @@
 //! plus JSON dumping for machine consumption.
 
 use crate::experiments::Heatmap;
-use serde::Serialize;
+use mlec_runner::ToJson;
 use std::path::Path;
 
 /// Render rows as an aligned ASCII table. `headers.len()` must match every
@@ -75,15 +75,14 @@ fn pdl_char(v: f64) -> char {
     }
 }
 
-/// Write any serializable result as pretty JSON under
+/// Write any [`ToJson`] result as pretty JSON under
 /// `target/figures/<name>.json`, creating the directory as needed. Returns
 /// the path written.
-pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn dump_json<T: ToJson + ?Sized>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
     let dir = Path::new("target").join("figures");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serializable result");
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, value.to_json().to_string_pretty())?;
     Ok(path)
 }
 
@@ -148,7 +147,7 @@ mod tests {
     fn fmt_value_ranges() {
         assert_eq!(fmt_value(0.0), "0");
         assert_eq!(fmt_value(1e-9), "1.00e-9");
-        assert_eq!(fmt_value(3.14159), "3.14");
+        assert_eq!(fmt_value(1.2345), "1.23");
         assert_eq!(fmt_value(1363.6), "1363.6");
     }
 }

@@ -14,8 +14,8 @@
 //! always recoverable) and the probabilistic ones the paper's PDL analysis
 //! relies on.
 
-use mlec_gf::field::gf_inv;
 use crate::EcError;
+use mlec_gf::field::gf_inv;
 use mlec_gf::matrix::Matrix;
 use mlec_gf::slice::dot_into;
 use std::collections::HashMap;
@@ -178,7 +178,9 @@ impl Lrc {
         }
         let len = data[0].as_ref().len();
         if data.iter().any(|d| d.as_ref().len() != len) {
-            return Err(EcError::ShapeMismatch("data chunks differ in length".into()));
+            return Err(EcError::ShapeMismatch(
+                "data chunks differ in length".into(),
+            ));
         }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_ref()).collect();
         let mut out: Vec<Vec<u8>> = data.iter().map(|d| d.as_ref().to_vec()).collect();
@@ -201,9 +203,7 @@ impl Lrc {
         if let Some(&v) = self.memo.lock().unwrap().get(&words) {
             return v;
         }
-        let surviving: Vec<usize> = (0..self.total_chunks())
-            .filter(|&i| !erased[i])
-            .collect();
+        let surviving: Vec<usize> = (0..self.total_chunks()).filter(|&i| !erased[i]).collect();
         let verdict = if surviving.len() < self.k {
             false
         } else {
@@ -255,11 +255,7 @@ impl Lrc {
         // members (incl. parity) survive.
         for (g, members) in self.groups.iter().enumerate() {
             let parity = self.k + g;
-            let mut lost: Vec<usize> = members
-                .iter()
-                .copied()
-                .filter(|&m| erased[m])
-                .collect();
+            let mut lost: Vec<usize> = members.iter().copied().filter(|&m| erased[m]).collect();
             if erased[parity] {
                 lost.push(parity);
             }
@@ -292,9 +288,7 @@ impl Lrc {
 
         if !global_targets.is_empty() {
             // One shared global decode: k independent surviving rows.
-            let surviving: Vec<usize> = (0..self.total_chunks())
-                .filter(|&i| !erased[i])
-                .collect();
+            let surviving: Vec<usize> = (0..self.total_chunks()).filter(|&i| !erased[i]).collect();
             let mut chosen: Vec<usize> = Vec::with_capacity(self.k);
             for &s in &surviving {
                 if chosen.len() == self.k {
@@ -368,8 +362,8 @@ impl Lrc {
             .collect();
         // Rebuild the data chunks first.
         let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.k);
-        for d in 0..self.k {
-            if let Some(buf) = &chunks[d] {
+        for (d, chunk) in chunks.iter().enumerate().take(self.k) {
+            if let Some(buf) = chunk {
                 data.push(buf.clone());
             } else {
                 let mut out = vec![0u8; len];
@@ -426,7 +420,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|s| (0..len).map(|i| ((s * 59 + i * 13 + 1) % 256) as u8).collect())
+            .map(|s| {
+                (0..len)
+                    .map(|i| ((s * 59 + i * 13 + 1) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -559,7 +557,10 @@ mod tests {
                 }
             }
         }
-        assert!(all3, "every 3-failure pattern must be decodable for (12,2,2)");
+        assert!(
+            all3,
+            "every 3-failure pattern must be decodable for (12,2,2)"
+        );
     }
 
     #[test]

@@ -80,17 +80,26 @@ impl MlecCodec {
         }
         let len = data[0].as_ref().len();
         if data.iter().any(|d| d.as_ref().len() != len) {
-            return Err(EcError::ShapeMismatch("data chunks differ in length".into()));
+            return Err(EcError::ShapeMismatch(
+                "data chunks differ in length".into(),
+            ));
         }
 
         // Step 1: network encode, position-by-position across network chunks.
         // rows[j][i] = local chunk i of network chunk j.
         let mut rows: Vec<Vec<Vec<u8>>> = (0..kn)
-            .map(|j| (0..kl).map(|i| data[j * kl + i].as_ref().to_vec()).collect())
+            .map(|j| {
+                (0..kl)
+                    .map(|i| data[j * kl + i].as_ref().to_vec())
+                    .collect()
+            })
             .collect();
         for _ in 0..self.network.parity_shards() {
             rows.push(vec![Vec::new(); kl]);
         }
+        // Column-major walk: `i` addresses position i of *every* row, so an
+        // iterator over `rows` can't express it.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..kl {
             let column: Vec<&[u8]> = (0..kn).map(|j| rows[j][i].as_slice()).collect();
             let mut parity = vec![vec![0u8; len]; self.network.parity_shards()];
@@ -230,10 +239,12 @@ impl MlecCodec {
             });
         }
         let kl = self.local.data_shards();
+        // Column-major walk across all rows — not expressible as a single
+        // iterator over `stripe`.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..kl {
             // Column i across all rows, as a network-level stripe.
-            let mut column: Vec<Option<Vec<u8>>> =
-                (0..nn).map(|j| stripe[j][i].clone()).collect();
+            let mut column: Vec<Option<Vec<u8>>> = (0..nn).map(|j| stripe[j][i].clone()).collect();
             let missing_before = column.iter().filter(|c| c.is_none()).count();
             if missing_before == 0 {
                 continue;
@@ -269,7 +280,11 @@ mod tests {
 
     fn sample_data(n: usize, len: usize) -> Vec<Vec<u8>> {
         (0..n)
-            .map(|s| (0..len).map(|i| ((s * 83 + i * 29 + 7) % 256) as u8).collect())
+            .map(|s| {
+                (0..len)
+                    .map(|i| ((s * 83 + i * 29 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -305,9 +320,12 @@ mod tests {
         let data = sample_data(4, 16);
         let stripe = codec.encode(&data).unwrap();
         // Network parity of the local parities (column 2).
-        for b in 0..16 {
-            let net_parity_of_local = stripe[0][2][b] ^ stripe[1][2][b];
-            assert_eq!(stripe[2][2][b], net_parity_of_local);
+        for (b, (&dp, (&l0, &l1))) in stripe[2][2]
+            .iter()
+            .zip(stripe[0][2].iter().zip(&stripe[1][2]))
+            .enumerate()
+        {
+            assert_eq!(dp, l0 ^ l1, "byte {b}");
         }
     }
 
@@ -358,9 +376,8 @@ mod tests {
         let mut grid = erase(&stripe);
         // Lose rows 0 and 3 completely (p_n = 2 tolerated), plus a single
         // chunk in row 1 (locally recoverable).
-        for i in 0..4 {
-            grid[0][i] = None;
-            grid[3][i] = None;
+        for row in [0, 3] {
+            grid[row].iter_mut().for_each(|c| *c = None);
         }
         grid[1][2] = None;
         codec.reconstruct(&mut grid).unwrap();
@@ -378,9 +395,8 @@ mod tests {
         let stripe = codec.encode(&data).unwrap();
         let mut grid = erase(&stripe);
         // Lose 2 entire rows with p_n = 1: unrecoverable.
-        for i in 0..3 {
-            grid[0][i] = None;
-            grid[2][i] = None;
+        for row in [0, 2] {
+            grid[row].iter_mut().for_each(|c| *c = None);
         }
         assert!(codec.reconstruct(&mut grid).is_err());
     }
@@ -426,9 +442,8 @@ mod tests {
         let stripe = codec.encode(&data).unwrap();
         let mut grid = erase(&stripe);
         // Lose two full rows with p_n = 1.
-        for i in 0..3 {
-            grid[0][i] = None;
-            grid[1][i] = None;
+        for row in [0, 1] {
+            grid[row].iter_mut().for_each(|c| *c = None);
         }
         assert!(codec.read_degraded(&grid, 0, 0).is_err());
     }

@@ -89,7 +89,9 @@ impl ReedSolomon {
         }
         let len = data[0].as_ref().len();
         if data.iter().any(|d| d.as_ref().len() != len) {
-            return Err(EcError::ShapeMismatch("data shards differ in length".into()));
+            return Err(EcError::ShapeMismatch(
+                "data shards differ in length".into(),
+            ));
         }
         Ok(len)
     }
@@ -98,8 +100,7 @@ impl ReedSolomon {
     /// parities computed).
     pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>, EcError> {
         let len = self.check_data_shape(data)?;
-        let mut shards: Vec<Vec<u8>> =
-            data.iter().map(|d| d.as_ref().to_vec()).collect();
+        let mut shards: Vec<Vec<u8>> = data.iter().map(|d| d.as_ref().to_vec()).collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_ref()).collect();
         for pi in 0..self.p {
             let mut parity = vec![0u8; len];
@@ -128,7 +129,9 @@ impl ReedSolomon {
             )));
         }
         if parity.iter().any(|b| b.len() != len) {
-            return Err(EcError::ShapeMismatch("parity buffer length mismatch".into()));
+            return Err(EcError::ShapeMismatch(
+                "parity buffer length mismatch".into(),
+            ));
         }
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_ref()).collect();
         for (pi, buf) in parity.iter_mut().enumerate() {
@@ -172,9 +175,7 @@ impl ReedSolomon {
                 shards.len()
             )));
         }
-        let present: Vec<usize> = (0..shards.len())
-            .filter(|&i| shards[i].is_some())
-            .collect();
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
         if present.len() < self.k {
             return Err(EcError::TooManyErasures {
                 present: present.len(),
@@ -261,9 +262,7 @@ impl ReedSolomon {
     ) -> Result<(), EcError> {
         assert!(shard < self.k, "only data shards can be updated");
         if old_data.len() != new_data.len() {
-            return Err(EcError::ShapeMismatch(
-                "old/new data lengths differ".into(),
-            ));
+            return Err(EcError::ShapeMismatch("old/new data lengths differ".into()));
         }
         if parity.len() != self.p {
             return Err(EcError::ShapeMismatch(format!(
@@ -273,13 +272,11 @@ impl ReedSolomon {
             )));
         }
         if parity.iter().any(|b| b.len() != old_data.len()) {
-            return Err(EcError::ShapeMismatch("parity buffer length mismatch".into()));
+            return Err(EcError::ShapeMismatch(
+                "parity buffer length mismatch".into(),
+            ));
         }
-        let delta: Vec<u8> = old_data
-            .iter()
-            .zip(new_data)
-            .map(|(o, n)| o ^ n)
-            .collect();
+        let delta: Vec<u8> = old_data.iter().zip(new_data).map(|(o, n)| o ^ n).collect();
         for (pi, buf) in parity.iter_mut().enumerate() {
             let coeff = self.generator.get(self.k + pi, shard);
             mul_add_slice(coeff, &delta, buf);
@@ -319,8 +316,8 @@ impl ReedSolomon {
         for (hi, &h) in rows.iter().enumerate() {
             // coeff = sum_j target_row[j] * inv[j][hi]
             let mut coeff = 0u8;
-            for j in 0..self.k {
-                coeff ^= mlec_gf::field::gf_mul(target_row[j], inv.get(j, hi));
+            for (j, &t) in target_row.iter().enumerate() {
+                coeff ^= mlec_gf::field::gf_mul(t, inv.get(j, hi));
             }
             mul_add_slice(coeff, shards[h].as_deref().unwrap(), &mut out);
         }
@@ -340,7 +337,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|s| (0..len).map(|i| ((s * 131 + i * 7 + 3) % 256) as u8).collect())
+            .map(|s| {
+                (0..len)
+                    .map(|i| ((s * 131 + i * 7 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -386,14 +387,18 @@ mod tests {
                 continue;
             }
             let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
-            for i in 0..n {
+            for (i, shard) in shards.iter_mut().enumerate() {
                 if mask & (1 << i) != 0 {
-                    shards[i] = None;
+                    *shard = None;
                 }
             }
             rs.reconstruct(&mut shards).unwrap();
             for i in 0..n {
-                assert_eq!(shards[i].as_ref().unwrap(), &encoded[i], "mask={mask:b} i={i}");
+                assert_eq!(
+                    shards[i].as_ref().unwrap(),
+                    &encoded[i],
+                    "mask={mask:b} i={i}"
+                );
             }
         }
     }
@@ -407,7 +412,13 @@ mod tests {
         shards[1] = None;
         shards[3] = None;
         let err = rs.reconstruct(&mut shards).unwrap_err();
-        assert_eq!(err, EcError::TooManyErasures { present: 2, needed: 3 });
+        assert_eq!(
+            err,
+            EcError::TooManyErasures {
+                present: 2,
+                needed: 3
+            }
+        );
     }
 
     #[test]
@@ -442,9 +453,11 @@ mod tests {
     fn incremental_update_shape_errors() {
         let rs = ReedSolomon::new(3, 1).unwrap();
         let mut parity = vec![vec![0u8; 4]];
-        assert!(rs.update_parity(0, &[1, 2], &[1, 2, 3], &mut parity).is_err());
         assert!(rs
-            .update_parity(0, &[1, 2, 3, 4], &[4, 3, 2, 1], &mut [].as_mut())
+            .update_parity(0, &[1, 2], &[1, 2, 3], &mut parity)
+            .is_err());
+        assert!(rs
+            .update_parity(0, &[1, 2, 3, 4], &[4, 3, 2, 1], [].as_mut())
             .is_err());
     }
 

@@ -4,10 +4,8 @@
 //! the topology, simulation, and analysis crates can reason about overhead
 //! and tolerance without touching byte-level codecs.
 
-use serde::{Deserialize, Serialize};
-
 /// Single-level erasure code parameters: `k` data + `p` parity chunks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlecParams {
     /// Data chunks per stripe.
     pub k: usize,
@@ -44,7 +42,7 @@ impl std::fmt::Display for SlecParams {
 }
 
 /// Two-level MLEC parameters `(k_n + p_n) / (k_l + p_l)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MlecParams {
     /// Network-level code.
     pub network: SlecParams,
@@ -100,7 +98,7 @@ impl std::fmt::Display for MlecParams {
 }
 
 /// `(k, l, r)` LRC parameters (Azure notation, paper §5.2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LrcParams {
     /// Data chunks.
     pub k: usize,
@@ -145,7 +143,7 @@ impl std::fmt::Display for LrcParams {
 }
 
 /// Any of the three code families compared in the paper (§5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EcScheme {
     /// Single-level erasure coding.
     Slec(SlecParams),

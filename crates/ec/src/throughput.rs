@@ -36,7 +36,11 @@ pub struct ThroughputPoint {
 pub fn measure_slec(k: usize, p: usize, chunk_bytes: usize, min_bytes: usize) -> ThroughputPoint {
     let rs = ReedSolomon::new(k, p).expect("valid (k, p)");
     let data: Vec<Vec<u8>> = (0..k)
-        .map(|s| (0..chunk_bytes).map(|i| ((s * 31 + i) % 256) as u8).collect())
+        .map(|s| {
+            (0..chunk_bytes)
+                .map(|i| ((s * 31 + i) % 256) as u8)
+                .collect()
+        })
         .collect();
     let mut parity = vec![vec![0u8; chunk_bytes]; p];
 
@@ -70,7 +74,11 @@ pub fn measure_mlec(params: MlecParams, chunk_bytes: usize, min_bytes: usize) ->
     .expect("valid MLEC params");
     let nd = codec.data_chunks();
     let data: Vec<Vec<u8>> = (0..nd)
-        .map(|s| (0..chunk_bytes).map(|i| ((s * 31 + i) % 256) as u8).collect())
+        .map(|s| {
+            (0..chunk_bytes)
+                .map(|i| ((s * 31 + i) % 256) as u8)
+                .collect()
+        })
         .collect();
 
     let _ = codec.encode(&data).unwrap(); // warm-up
@@ -93,7 +101,11 @@ pub fn measure_mlec(params: MlecParams, chunk_bytes: usize, min_bytes: usize) ->
 pub fn measure_lrc(params: LrcParams, chunk_bytes: usize, min_bytes: usize) -> ThroughputPoint {
     let lrc = Lrc::new(params.k, params.l, params.r).expect("valid LRC params");
     let data: Vec<Vec<u8>> = (0..params.k)
-        .map(|s| (0..chunk_bytes).map(|i| ((s * 31 + i) % 256) as u8).collect())
+        .map(|s| {
+            (0..chunk_bytes)
+                .map(|i| ((s * 31 + i) % 256) as u8)
+                .collect()
+        })
         .collect();
 
     let _ = lrc.encode(&data).unwrap(); // warm-up
@@ -122,7 +134,8 @@ pub fn measure_scheme(scheme: EcScheme, chunk_bytes: usize, min_bytes: usize) ->
 }
 
 /// Measure *multi-core* SLEC encoding throughput: independent stripes
-/// encoded in parallel with rayon, the deployment answer to the paper's
+/// encoded concurrently on scoped threads (one per stripe, capped at the
+/// machine's parallelism), the deployment answer to the paper's
 /// "increasing throughput can be done with more CPU cores, but would lead
 /// to higher hardware cost, and potentially extra overhead caused by
 /// imperfect parallelism" (§5.1.2). Returns the aggregate data MB/s across
@@ -134,7 +147,6 @@ pub fn measure_slec_parallel(
     stripes: usize,
     min_bytes: usize,
 ) -> ThroughputPoint {
-    use rayon::prelude::*;
     let rs = ReedSolomon::new(k, p).expect("valid (k, p)");
     // One independent data + parity buffer set per stripe.
     let data: Vec<Vec<Vec<u8>>> = (0..stripes)
@@ -150,18 +162,41 @@ pub fn measure_slec_parallel(
         .collect();
     let mut parities: Vec<Vec<Vec<u8>>> = vec![vec![vec![0u8; chunk_bytes]; p]; stripes];
 
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(stripes.max(1));
+    let encode_all = |parities: &mut Vec<Vec<Vec<u8>>>| {
+        std::thread::scope(|scope| {
+            // Static round-robin assignment of stripes to workers: each
+            // worker owns disjoint (data, parity) pairs, no locking needed.
+            let mut remaining: &mut [Vec<Vec<u8>>] = parities;
+            let mut start = 0usize;
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let count = (stripes - start) / (workers - w);
+                let (mine, rest) = remaining.split_at_mut(count);
+                remaining = rest;
+                let my_data = &data[start..start + count];
+                let rs = &rs;
+                handles.push(scope.spawn(move || {
+                    for (d, par) in my_data.iter().zip(mine.iter_mut()) {
+                        rs.encode_into(d, par).unwrap();
+                    }
+                }));
+                start += count;
+            }
+        });
+    };
+
     // Warm-up.
-    data.par_iter()
-        .zip(parities.par_iter_mut())
-        .for_each(|(d, par)| rs.encode_into(d, par).unwrap());
+    encode_all(&mut parities);
 
     let batch_bytes = stripes * k * chunk_bytes;
     let iters = (min_bytes / batch_bytes).max(1);
     let start = Instant::now();
     for _ in 0..iters {
-        data.par_iter()
-            .zip(parities.par_iter_mut())
-            .for_each(|(d, par)| rs.encode_into(d, par).unwrap());
+        encode_all(&mut parities);
     }
     let elapsed = start.elapsed().as_secs_f64();
     std::hint::black_box(&parities);

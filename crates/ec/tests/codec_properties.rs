@@ -1,8 +1,22 @@
-//! Property-based tests for the erasure codecs: MDS behaviour of RS, LRC
+//! Property tests for the erasure codecs: MDS behaviour of RS, LRC
 //! decodability structure, and MLEC two-level consistency.
+//!
+//! Cases are driven by `mlec-runner`'s deterministic seed stream (one
+//! substream per property, one seed per case), so every run exercises the
+//! same inputs.
 
 use mlec_ec::{Lrc, MlecCodec, ReedSolomon};
-use proptest::prelude::*;
+use mlec_runner::{SeedStream, SplitMix64};
+
+const CASES: u64 = 48;
+
+fn case_rng(property: &str, case: u64) -> SplitMix64 {
+    SplitMix64::new(SeedStream::new(0xEC0DEC, property).trial_seed(case))
+}
+
+fn in_range(r: &mut SplitMix64, lo: usize, hi: usize) -> usize {
+    lo + (r.next_u64() as usize) % (hi - lo)
+}
 
 fn deterministic_data(k: usize, len: usize, salt: u64) -> Vec<Vec<u8>> {
     (0..k)
@@ -14,43 +28,49 @@ fn deterministic_data(k: usize, len: usize, salt: u64) -> Vec<Vec<u8>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Fisher–Yates permutation of `0..n` from the case RNG.
+fn permutation(r: &mut SplitMix64, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (r.next_u64() as usize) % (i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
 
-    /// Any k surviving shards reconstruct the stripe (the MDS property),
-    /// for random (k, p) and random erasure patterns of exactly p shards.
-    #[test]
-    fn rs_is_mds(
-        k in 2usize..24,
-        p in 1usize..8,
-        salt: u64,
-        pattern_seed: u64,
-    ) {
+/// Any k surviving shards reconstruct the stripe (the MDS property), for
+/// random (k, p) and random erasure patterns of exactly p shards.
+#[test]
+fn rs_is_mds() {
+    for case in 0..CASES {
+        let mut r = case_rng("rs-mds", case);
+        let k = in_range(&mut r, 2, 24);
+        let p = in_range(&mut r, 1, 8);
+        let salt = r.next_u64();
         let rs = ReedSolomon::new(k, p).unwrap();
         let data = deterministic_data(k, 24, salt);
         let encoded = rs.encode(&data).unwrap();
-        // Pseudo-random erasure pattern of size p from the seed.
         let n = k + p;
-        let mut erase: Vec<usize> = (0..n).collect();
-        let mut state = pattern_seed | 1;
-        for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
-            erase.swap(i, j);
-        }
+        let erase = permutation(&mut r, n);
         let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
         for &e in erase.iter().take(p) {
             shards[e] = None;
         }
         rs.reconstruct(&mut shards).unwrap();
         for i in 0..n {
-            prop_assert_eq!(shards[i].as_ref().unwrap(), &encoded[i]);
+            assert_eq!(shards[i].as_ref().unwrap(), &encoded[i]);
         }
     }
+}
 
-    /// Parity is linear: encode(a) XOR encode(b) == encode(a XOR b).
-    #[test]
-    fn rs_encoding_is_linear(k in 2usize..10, p in 1usize..5, salt: u64) {
+/// Parity is linear: encode(a) XOR encode(b) == encode(a XOR b).
+#[test]
+fn rs_encoding_is_linear() {
+    for case in 0..CASES {
+        let mut r = case_rng("rs-linear", case);
+        let k = in_range(&mut r, 2, 10);
+        let p = in_range(&mut r, 1, 5);
+        let salt = r.next_u64();
         let rs = ReedSolomon::new(k, p).unwrap();
         let a = deterministic_data(k, 16, salt);
         let b = deterministic_data(k, 16, salt.wrapping_add(99));
@@ -64,42 +84,55 @@ proptest! {
         let ex = rs.encode(&xor).unwrap();
         for i in 0..(k + p) {
             for j in 0..16 {
-                prop_assert_eq!(ex[i][j], ea[i][j] ^ eb[i][j]);
+                assert_eq!(ex[i][j], ea[i][j] ^ eb[i][j]);
             }
         }
     }
+}
 
-    /// LRC: every pattern of at most r+1 erasures is decodable (the MR
-    /// guarantee), for small random configurations.
-    #[test]
-    fn lrc_guaranteed_tolerance(
-        k in 4usize..16,
-        l in 2usize..3,
-        r in 1usize..4,
-        pattern_seed: u64,
-    ) {
-        prop_assume!(k % l == 0);
-        let lrc = Lrc::new(k, l, r).unwrap();
-        let n = lrc.total_chunks();
-        let m = r + 1;
-        prop_assume!(m <= n);
-        let mut idx: Vec<usize> = (0..n).collect();
-        let mut state = pattern_seed | 1;
-        for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
-            idx.swap(i, j);
+/// LRC: every pattern of at most r+1 erasures is decodable (the MR
+/// guarantee), for small random configurations.
+#[test]
+fn lrc_guaranteed_tolerance() {
+    let mut tested = 0;
+    for case in 0..(CASES * 4) {
+        let mut r = case_rng("lrc-tolerance", case);
+        let k = in_range(&mut r, 4, 16);
+        let l = 2;
+        let rr = in_range(&mut r, 1, 4);
+        if !k.is_multiple_of(l) {
+            continue;
         }
+        let lrc = Lrc::new(k, l, rr).unwrap();
+        let n = lrc.total_chunks();
+        let m = rr + 1;
+        if m > n {
+            continue;
+        }
+        let idx = permutation(&mut r, n);
         let mut erased = vec![false; n];
         for &e in idx.iter().take(m) {
             erased[e] = true;
         }
-        prop_assert!(lrc.decodable(&erased), "k={k} l={l} r={r} pattern={erased:?}");
+        assert!(
+            lrc.decodable(&erased),
+            "k={k} l={l} r={rr} pattern={erased:?}"
+        );
+        tested += 1;
     }
+    assert!(
+        tested >= CASES as usize,
+        "only {tested} admissible cases drawn"
+    );
+}
 
-    /// LRC reconstruct agrees byte-for-byte with re-encoding from data.
-    #[test]
-    fn lrc_reconstruct_round_trip(salt: u64, which in 0usize..8) {
+/// LRC reconstruct agrees byte-for-byte with re-encoding from data.
+#[test]
+fn lrc_reconstruct_round_trip() {
+    for case in 0..CASES {
+        let mut r = case_rng("lrc-round-trip", case);
+        let salt = r.next_u64();
+        let which = in_range(&mut r, 0, 8);
         let lrc = Lrc::new(6, 2, 2).unwrap();
         let data = deterministic_data(6, 12, salt);
         let encoded = lrc.encode(&data).unwrap();
@@ -107,18 +140,20 @@ proptest! {
         chunks[which % 10] = None;
         lrc.reconstruct(&mut chunks).unwrap();
         for i in 0..10 {
-            prop_assert_eq!(chunks[i].as_ref().unwrap(), &encoded[i]);
+            assert_eq!(chunks[i].as_ref().unwrap(), &encoded[i]);
         }
     }
+}
 
-    /// MLEC grid consistency: the double parity can be computed either way
-    /// (local-of-network == network-of-local) for arbitrary parameters.
-    #[test]
-    fn mlec_double_parity_commutes(
-        kn in 2usize..4,
-        kl in 2usize..4,
-        salt: u64,
-    ) {
+/// MLEC grid consistency: the double parity can be computed either way
+/// (local-of-network == network-of-local) for arbitrary parameters.
+#[test]
+fn mlec_double_parity_commutes() {
+    for case in 0..CASES {
+        let mut r = case_rng("mlec-commutes", case);
+        let kn = in_range(&mut r, 2, 4);
+        let kl = in_range(&mut r, 2, 4);
+        let salt = r.next_u64();
         // Both levels p=1 (XOR) keeps the check simple and exact.
         let codec = MlecCodec::new(kn, 1, kl, 1).unwrap();
         let data = deterministic_data(kn * kl, 8, salt);
@@ -131,13 +166,19 @@ proptest! {
             for row in stripe.iter().take(kn) {
                 via_network ^= row[last_col][b];
             }
-            prop_assert_eq!(stripe[last_row][last_col][b], via_network);
+            assert_eq!(stripe[last_row][last_col][b], via_network);
         }
     }
+}
 
-    /// Erasures beyond p always error rather than fabricate data.
-    #[test]
-    fn rs_never_fabricates(k in 2usize..8, p in 1usize..4, salt: u64) {
+/// Erasures beyond p always error rather than fabricate data.
+#[test]
+fn rs_never_fabricates() {
+    for case in 0..CASES {
+        let mut r = case_rng("rs-never-fabricates", case);
+        let k = in_range(&mut r, 2, 8);
+        let p = in_range(&mut r, 1, 4);
+        let salt = r.next_u64();
         let rs = ReedSolomon::new(k, p).unwrap();
         let data = deterministic_data(k, 8, salt);
         let encoded = rs.encode(&data).unwrap();
@@ -145,6 +186,6 @@ proptest! {
         for slot in shards.iter_mut().take(p + 1) {
             *slot = None;
         }
-        prop_assert!(rs.reconstruct(&mut shards).is_err());
+        assert!(rs.reconstruct(&mut shards).is_err());
     }
 }

@@ -117,6 +117,8 @@ impl Add for Gf256 {
 }
 
 impl AddAssign for Gf256 {
+    // GF(2^8) addition IS xor — not a typo for `+`.
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -130,6 +132,8 @@ impl Sub for Gf256 {
 }
 
 impl SubAssign for Gf256 {
+    // Subtraction equals addition in characteristic 2.
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }

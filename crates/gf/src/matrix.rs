@@ -44,7 +44,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged matrix literal");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// An `rows x cols` Vandermonde matrix: entry `(i, j) = i^j`.
@@ -69,7 +73,10 @@ impl Matrix {
     /// # Panics
     /// Panics if `rows + cols > 256` (the x/y sets must be disjoint).
     pub fn cauchy(rows: usize, cols: usize) -> Matrix {
-        assert!(rows + cols <= 256, "Cauchy needs rows+cols <= 256 in GF(2^8)");
+        assert!(
+            rows + cols <= 256,
+            "Cauchy needs rows+cols <= 256 in GF(2^8)"
+        );
         let mut m = Matrix::zero(rows, cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -340,8 +347,8 @@ mod tests {
         let as_col = Matrix::from_rows(&[&[7], &[0], &[0x40], &[9], &[0xff]]);
         let prod = m.mul(&as_col);
         let prod_vec = m.mul_vec(&v);
-        for i in 0..3 {
-            assert_eq!(prod.get(i, 0), prod_vec[i]);
+        for (i, &pv) in prod_vec.iter().enumerate() {
+            assert_eq!(prod.get(i, 0), pv);
         }
     }
 

@@ -141,7 +141,11 @@ pub fn xor_slice(input: &[u8], out: &mut [u8]) {
 /// Panics if `coeffs.len() != inputs.len()` or any shard length differs from
 /// `out`.
 pub fn dot_into(coeffs: &[u8], inputs: &[&[u8]], out: &mut [u8]) {
-    assert_eq!(coeffs.len(), inputs.len(), "coefficient/shard count mismatch");
+    assert_eq!(
+        coeffs.len(),
+        inputs.len(),
+        "coefficient/shard count mismatch"
+    );
     out.fill(0);
     for (&c, input) in coeffs.iter().zip(inputs) {
         mul_add_slice(c, input, out);
@@ -217,7 +221,9 @@ mod tests {
 
     #[test]
     fn dot_into_is_linear_combination() {
-        let shards: Vec<Vec<u8>> = (0..4).map(|s| (0..16).map(|i| (s * 40 + i) as u8).collect()).collect();
+        let shards: Vec<Vec<u8>> = (0..4)
+            .map(|s| (0..16).map(|i| (s * 40 + i) as u8).collect())
+            .collect();
         let refs: Vec<&[u8]> = shards.iter().map(|v| v.as_slice()).collect();
         let coeffs = [3u8, 0, 1, 0x8e];
         let mut out = vec![0u8; 16];

@@ -1,99 +1,156 @@
-//! Property-based tests: GF(2^8) must satisfy the field axioms and the
-//! matrix layer must satisfy the usual linear-algebra identities.
+//! Property tests: GF(2^8) must satisfy the field axioms and the matrix
+//! layer must satisfy the usual linear-algebra identities.
+//!
+//! Cases are driven by `mlec-runner`'s deterministic seed stream (one
+//! substream per property, one seed per case) instead of a property-testing
+//! framework, so every run exercises the same inputs.
 
 use mlec_gf::field::{gf_add, gf_div, gf_inv, gf_mul, gf_pow};
 use mlec_gf::matrix::Matrix;
 use mlec_gf::slice::{dot_into, mul_add_slice, mul_slice, NibbleTable};
-use proptest::prelude::*;
+use mlec_runner::{SeedStream, SplitMix64};
 
-proptest! {
-    #[test]
-    fn addition_is_commutative_and_associative(a: u8, b: u8, c: u8) {
-        prop_assert_eq!(gf_add(a, b), gf_add(b, a));
-        prop_assert_eq!(gf_add(gf_add(a, b), c), gf_add(a, gf_add(b, c)));
+const CASES: u64 = 256;
+
+/// One RNG per (property, case), derived exactly like runner trial seeds.
+fn case_rng(property: &str, case: u64) -> SplitMix64 {
+    SplitMix64::new(SeedStream::new(0xF1E1D, property).trial_seed(case))
+}
+
+fn byte(r: &mut SplitMix64) -> u8 {
+    (r.next_u64() >> 56) as u8
+}
+
+fn in_range(r: &mut SplitMix64, lo: usize, hi: usize) -> usize {
+    lo + (r.next_u64() as usize) % (hi - lo)
+}
+
+fn bytes(r: &mut SplitMix64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| byte(r)).collect()
+}
+
+#[test]
+fn addition_is_commutative_and_associative() {
+    for case in 0..CASES {
+        let mut r = case_rng("add-axioms", case);
+        let (a, b, c) = (byte(&mut r), byte(&mut r), byte(&mut r));
+        assert_eq!(gf_add(a, b), gf_add(b, a));
+        assert_eq!(gf_add(gf_add(a, b), c), gf_add(a, gf_add(b, c)));
     }
+}
 
-    #[test]
-    fn multiplication_is_commutative_and_associative(a: u8, b: u8, c: u8) {
-        prop_assert_eq!(gf_mul(a, b), gf_mul(b, a));
-        prop_assert_eq!(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+#[test]
+fn multiplication_is_commutative_and_associative() {
+    for case in 0..CASES {
+        let mut r = case_rng("mul-axioms", case);
+        let (a, b, c) = (byte(&mut r), byte(&mut r), byte(&mut r));
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        assert_eq!(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
     }
+}
 
-    #[test]
-    fn multiplication_distributes_over_addition(a: u8, b: u8, c: u8) {
-        prop_assert_eq!(gf_mul(a, gf_add(b, c)), gf_add(gf_mul(a, b), gf_mul(a, c)));
+#[test]
+fn multiplication_distributes_over_addition() {
+    for case in 0..CASES {
+        let mut r = case_rng("distributive", case);
+        let (a, b, c) = (byte(&mut r), byte(&mut r), byte(&mut r));
+        assert_eq!(gf_mul(a, gf_add(b, c)), gf_add(gf_mul(a, b), gf_mul(a, c)));
     }
+}
 
-    #[test]
-    fn identities_hold(a: u8) {
-        prop_assert_eq!(gf_add(a, 0), a);
-        prop_assert_eq!(gf_mul(a, 1), a);
-        prop_assert_eq!(gf_add(a, a), 0); // every element is its own negative
+#[test]
+fn identities_hold() {
+    for a in 0..=255u8 {
+        assert_eq!(gf_add(a, 0), a);
+        assert_eq!(gf_mul(a, 1), a);
+        assert_eq!(gf_add(a, a), 0); // every element is its own negative
     }
+}
 
-    #[test]
-    fn inverse_and_division(a in 1u8..=255, b in 1u8..=255) {
-        prop_assert_eq!(gf_mul(a, gf_inv(a)), 1);
-        prop_assert_eq!(gf_mul(gf_div(a, b), b), a);
+#[test]
+fn inverse_and_division() {
+    for a in 1..=255u8 {
+        assert_eq!(gf_mul(a, gf_inv(a)), 1);
     }
-
-    #[test]
-    fn pow_is_homomorphic(a: u8, m in 0usize..100, n in 0usize..100) {
-        prop_assert_eq!(
-            gf_mul(gf_pow(a, m), gf_pow(a, n)),
-            gf_pow(a, m + n)
-        );
+    for case in 0..CASES {
+        let mut r = case_rng("division", case);
+        let a = in_range(&mut r, 1, 256) as u8;
+        let b = in_range(&mut r, 1, 256) as u8;
+        assert_eq!(gf_mul(gf_div(a, b), b), a);
     }
+}
 
-    #[test]
-    fn frobenius_squaring_is_additive(a: u8, b: u8) {
+#[test]
+fn pow_is_homomorphic() {
+    for case in 0..CASES {
+        let mut r = case_rng("pow", case);
+        let a = byte(&mut r);
+        let m = in_range(&mut r, 0, 100);
+        let n = in_range(&mut r, 0, 100);
+        assert_eq!(gf_mul(gf_pow(a, m), gf_pow(a, n)), gf_pow(a, m + n));
+    }
+}
+
+#[test]
+fn frobenius_squaring_is_additive() {
+    for case in 0..CASES {
+        let mut r = case_rng("frobenius", case);
+        let (a, b) = (byte(&mut r), byte(&mut r));
         // (a + b)^2 == a^2 + b^2 in characteristic 2.
-        prop_assert_eq!(
-            gf_pow(gf_add(a, b), 2),
-            gf_add(gf_pow(a, 2), gf_pow(b, 2))
-        );
+        assert_eq!(gf_pow(gf_add(a, b), 2), gf_add(gf_pow(a, 2), gf_pow(b, 2)));
     }
+}
 
-    #[test]
-    fn nibble_table_is_exact(c: u8, x: u8) {
-        prop_assert_eq!(NibbleTable::new(c).mul(x), gf_mul(c, x));
+#[test]
+fn nibble_table_is_exact() {
+    for c in 0..=255u8 {
+        let table = NibbleTable::new(c);
+        for x in 0..=255u8 {
+            assert_eq!(table.mul(x), gf_mul(c, x));
+        }
     }
+}
 
-    #[test]
-    fn mul_add_slice_is_scalar_mul_then_xor(
-        c: u8,
-        data in proptest::collection::vec(any::<u8>(), 0..256),
-        seed in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        let n = data.len().min(seed.len());
-        let data = &data[..n];
-        let mut out = seed[..n].to_vec();
-        let mut expect = seed[..n].to_vec();
-        for (e, &x) in expect.iter_mut().zip(data) {
+#[test]
+fn mul_add_slice_is_scalar_mul_then_xor() {
+    for case in 0..CASES {
+        let mut r = case_rng("mul-add-slice", case);
+        let c = byte(&mut r);
+        let n = in_range(&mut r, 0, 256);
+        let data = bytes(&mut r, n);
+        let seed = bytes(&mut r, n);
+        let mut out = seed.clone();
+        let mut expect = seed;
+        for (e, &x) in expect.iter_mut().zip(&data) {
             *e ^= gf_mul(c, x);
         }
-        mul_add_slice(c, data, &mut out);
-        prop_assert_eq!(out, expect);
+        mul_add_slice(c, &data, &mut out);
+        assert_eq!(out, expect);
     }
+}
 
-    #[test]
-    fn mul_slice_then_divide_round_trips(
-        c in 1u8..=255,
-        data in proptest::collection::vec(any::<u8>(), 1..128),
-    ) {
+#[test]
+fn mul_slice_then_divide_round_trips() {
+    for case in 0..CASES {
+        let mut r = case_rng("mul-slice-round-trip", case);
+        let c = in_range(&mut r, 1, 256) as u8;
+        let n = in_range(&mut r, 1, 128);
+        let data = bytes(&mut r, n);
         let mut out = vec![0; data.len()];
         mul_slice(c, &data, &mut out);
         let mut back = vec![0; data.len()];
         mul_slice(gf_inv(c), &out, &mut back);
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data);
     }
+}
 
-    #[test]
-    fn dot_into_is_linear_in_each_shard(
-        coeffs in proptest::collection::vec(any::<u8>(), 1..6),
-        len in 1usize..64,
-    ) {
-        let k = coeffs.len();
+#[test]
+fn dot_into_is_linear_in_each_shard() {
+    for case in 0..CASES {
+        let mut r = case_rng("dot-into", case);
+        let k = in_range(&mut r, 1, 6);
+        let len = in_range(&mut r, 1, 64);
+        let coeffs = bytes(&mut r, k);
         let shards: Vec<Vec<u8>> = (0..k)
             .map(|s| (0..len).map(|i| ((s * 97 + i * 31) % 256) as u8).collect())
             .collect();
@@ -110,45 +167,42 @@ proptest! {
                 *a ^= s;
             }
         }
-        prop_assert_eq!(combined, acc);
+        assert_eq!(combined, acc);
     }
+}
 
-    #[test]
-    fn matrix_inverse_round_trip(n in 1usize..7, seed: u64) {
-        // Random matrices over GF(2^8) are invertible with probability
-        // ~prod(1 - 256^-i) > 0.99; skip the singular draws.
-        let mut state = seed;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as u8
-        };
+#[test]
+fn matrix_inverse_round_trip() {
+    // Random matrices over GF(2^8) are invertible with probability
+    // ~prod(1 - 256^-i) > 0.99; singular draws exercise the rank branch.
+    for case in 0..CASES {
+        let mut r = case_rng("matrix-inverse", case);
+        let n = in_range(&mut r, 1, 7);
         let mut m = Matrix::zero(n, n);
-        for r in 0..n {
-            for c in 0..n {
-                m.set(r, c, next());
+        for row in 0..n {
+            for col in 0..n {
+                m.set(row, col, byte(&mut r));
             }
         }
         if let Some(inv) = m.invert() {
-            prop_assert_eq!(m.mul(&inv), Matrix::identity(n));
-            prop_assert_eq!(inv.mul(&m), Matrix::identity(n));
-            prop_assert_eq!(m.rank(), n);
+            assert_eq!(m.mul(&inv), Matrix::identity(n));
+            assert_eq!(inv.mul(&m), Matrix::identity(n));
+            assert_eq!(m.rank(), n);
         } else {
-            prop_assert!(m.rank() < n);
+            assert!(m.rank() < n);
         }
     }
+}
 
-    #[test]
-    fn matrix_multiplication_is_associative(seed: u64) {
-        let mut state = seed;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as u8
-        };
-        let mut mk = |r: usize, c: usize| {
-            let mut m = Matrix::zero(r, c);
-            for i in 0..r {
-                for j in 0..c {
-                    m.set(i, j, next());
+#[test]
+fn matrix_multiplication_is_associative() {
+    for case in 0..CASES {
+        let mut r = case_rng("matrix-assoc", case);
+        let mut mk = |rows: usize, cols: usize| {
+            let mut m = Matrix::zero(rows, cols);
+            for i in 0..rows {
+                for j in 0..cols {
+                    m.set(i, j, byte(&mut r));
                 }
             }
             m
@@ -156,6 +210,6 @@ proptest! {
         let a = mk(3, 4);
         let b = mk(4, 2);
         let c = mk(2, 5);
-        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
     }
 }

@@ -1,0 +1,492 @@
+//! The batched parallel executor.
+//!
+//! Trials are partitioned into fixed-size batches by trial index alone;
+//! worker threads claim batches from an atomic counter, accumulate each
+//! batch locally, and the round's batch accumulators merge in batch-index
+//! order. Stopping rules and checkpoints apply only at round boundaries
+//! (a round is a fixed number of batches). Consequences, by construction:
+//!
+//! * results are bit-identical for any worker-thread count;
+//! * a resumed run continues at the recorded trial count with the same
+//!   partitioning and merge order, so kill + resume reproduces an
+//!   uninterrupted run exactly;
+//! * adaptive stopping decisions are themselves deterministic, because
+//!   they observe only round-boundary states.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::manifest::{Checkpoint, Manifest, ManifestHeader};
+use crate::seed_stream::SeedStream;
+use crate::trial::{Accumulator, Summary, Trial};
+
+/// When to stop drawing trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// Never stop on precision before this many trials.
+    pub min_trials: u64,
+    /// Hard ceiling (always enforced).
+    pub max_trials: u64,
+    /// Stop once |std_err/mean| (or relative CI half-width for
+    /// proportions) drops below this.
+    pub target_rel_err: Option<f64>,
+    /// Stop once the absolute 95% CI half-width drops below this.
+    pub target_ci_half_width: Option<f64>,
+}
+
+impl StopRule {
+    /// Exactly `n` trials, no adaptive stopping.
+    pub fn fixed(n: u64) -> StopRule {
+        StopRule {
+            min_trials: n,
+            max_trials: n,
+            target_rel_err: None,
+            target_ci_half_width: None,
+        }
+    }
+
+    /// Adaptive: stop at `rel_err` relative precision, bounded by
+    /// `[min_trials, max_trials]`.
+    pub fn until_rel_err(rel_err: f64, min_trials: u64, max_trials: u64) -> StopRule {
+        StopRule {
+            min_trials,
+            max_trials,
+            target_rel_err: Some(rel_err),
+            target_ci_half_width: None,
+        }
+    }
+
+    fn precision_reached(&self, summary: &Summary) -> bool {
+        let rel_ok = match self.target_rel_err {
+            Some(target) => summary.rel_err <= target,
+            None => false,
+        };
+        let ci_ok = match self.target_ci_half_width {
+            Some(target) => (summary.ci_high - summary.ci_low) / 2.0 <= target,
+            None => false,
+        };
+        match (self.target_rel_err, self.target_ci_half_width) {
+            (None, None) => false,
+            _ => {
+                (self.target_rel_err.is_none() || rel_ok)
+                    && (self.target_ci_half_width.is_none() || ci_ok)
+            }
+        }
+    }
+}
+
+/// Full description of one run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Experiment label; part of the seed derivation, so different labels
+    /// draw independent trial streams from the same root seed.
+    pub label: String,
+    pub root_seed: u64,
+    /// Worker threads; 0 means `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Trials per batch. Per-trial seeds depend only on the trial index, so
+    /// every batch size sees the same observations; counting statistics are
+    /// bit-identical across batch sizes, floating-point merges agree to
+    /// rounding. For a fixed batch size, results are bit-identical across
+    /// thread counts. Stopping/checkpoint granularity is
+    /// `batch_size * batches_per_round` trials.
+    pub batch_size: u64,
+    /// Batches per round (stop checks and checkpoints happen per round).
+    pub batches_per_round: u64,
+    pub stop: StopRule,
+    /// Fingerprint of the experiment configuration; guards resume.
+    pub config_hash: u64,
+    /// Where to write the JSONL manifest; `None` disables checkpointing.
+    pub manifest_path: Option<PathBuf>,
+}
+
+impl RunSpec {
+    pub fn new(label: impl Into<String>, root_seed: u64, stop: StopRule) -> RunSpec {
+        RunSpec {
+            label: label.into(),
+            root_seed,
+            threads: 0,
+            batch_size: 64,
+            batches_per_round: 8,
+            stop,
+            config_hash: 0,
+            manifest_path: None,
+        }
+    }
+
+    pub fn threads(mut self, threads: usize) -> RunSpec {
+        self.threads = threads;
+        self
+    }
+
+    pub fn batch_size(mut self, batch_size: u64) -> RunSpec {
+        assert!(batch_size > 0);
+        self.batch_size = batch_size;
+        self
+    }
+
+    pub fn batches_per_round(mut self, batches: u64) -> RunSpec {
+        assert!(batches > 0);
+        self.batches_per_round = batches;
+        self
+    }
+
+    pub fn config_hash(mut self, hash: u64) -> RunSpec {
+        self.config_hash = hash;
+        self
+    }
+
+    pub fn manifest(mut self, path: impl Into<PathBuf>) -> RunSpec {
+        self.manifest_path = Some(path.into());
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// What a completed (or precision-converged) run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport<A> {
+    pub acc: A,
+    pub summary: Summary,
+    /// Total trials folded into `acc`, including resumed ones.
+    pub trials: u64,
+    /// Trials restored from the manifest rather than run in this session.
+    pub resumed_trials: u64,
+    /// Wall-clock of this session only.
+    pub elapsed_s: f64,
+    /// Throughput of this session (trials actually run / elapsed).
+    pub trials_per_sec: f64,
+    pub manifest_path: Option<PathBuf>,
+}
+
+/// Execute `trial` under `spec`. See the module docs for the determinism
+/// contract.
+pub fn run<T: Trial>(trial: &T, spec: &RunSpec) -> std::io::Result<RunReport<T::Acc>>
+where
+    T::Acc: Default,
+{
+    run_with(trial, spec, T::Acc::default())
+}
+
+/// Like [`run`], for accumulators without a meaningful `Default` (e.g.
+/// sized grids): `empty` is the zero-trial accumulator, also used for each
+/// batch.
+pub fn run_with<T: Trial>(
+    trial: &T,
+    spec: &RunSpec,
+    empty: T::Acc,
+) -> std::io::Result<RunReport<T::Acc>> {
+    let start = Instant::now();
+    let stream = SeedStream::new(spec.root_seed, &spec.label);
+
+    let mut manifest = None;
+    let mut acc = empty.clone();
+    let mut prior_elapsed = 0.0f64;
+    if let Some(path) = &spec.manifest_path {
+        let header = ManifestHeader {
+            label: spec.label.clone(),
+            config_hash: spec.config_hash,
+            root_seed: spec.root_seed,
+            batch_size: spec.batch_size,
+            batches_per_round: spec.batches_per_round,
+        };
+        let opened = Manifest::open(path, &header)?;
+        if let Some(cp) = opened.resume {
+            let restored = T::Acc::load(&cp.acc_state).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: cannot restore accumulator state", path.display()),
+                )
+            })?;
+            debug_assert_eq!(restored.trials(), cp.trials);
+            acc = restored;
+            prior_elapsed = cp.elapsed_s;
+        }
+        manifest = Some(opened.manifest);
+    }
+    let resumed_trials = acc.trials();
+
+    let threads = spec.effective_threads();
+    loop {
+        let done = acc.trials();
+        if done >= spec.stop.max_trials {
+            break;
+        }
+        if done >= spec.stop.min_trials && spec.stop.precision_reached(&acc.summary()) {
+            break;
+        }
+        // Batches cover `done..max_trials` starting from `done` itself.
+        // A checkpoint is usually batch-aligned (rounds are whole batches),
+        // but a round truncated by `max_trials` leaves a ragged count; a
+        // later resume with a larger budget must continue at `done`, never
+        // re-run earlier indices. When `done` IS aligned, this partition
+        // coincides with the uninterrupted run's, keeping resume
+        // bit-identical; a ragged resume shifts the merge tree only (same
+        // observations — seeds depend on the trial index alone).
+        let max_batches = (spec.stop.max_trials - done).div_ceil(spec.batch_size);
+        let round_batches = spec.batches_per_round.min(max_batches);
+
+        let slots: Vec<Mutex<Option<T::Acc>>> =
+            (0..round_batches).map(|_| Mutex::new(None)).collect();
+        let claim = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(round_batches as usize) {
+                scope.spawn(|| loop {
+                    let slot = claim.fetch_add(1, Ordering::Relaxed);
+                    if slot >= round_batches {
+                        break;
+                    }
+                    let lo = done + slot * spec.batch_size;
+                    let hi = (lo + spec.batch_size).min(spec.stop.max_trials);
+                    let mut local = empty.clone();
+                    for index in lo..hi {
+                        trial.run(index, stream.trial_seed(index), &mut local);
+                    }
+                    *slots[slot as usize].lock().unwrap() = Some(local);
+                });
+            }
+        });
+        // Merge in batch order: the only order-sensitive step, and it is
+        // fixed regardless of which thread ran which batch.
+        for slot in &slots {
+            let batch_acc = slot.lock().unwrap().take().expect("batch not run");
+            acc.merge(&batch_acc);
+        }
+
+        if let Some(manifest) = manifest.as_mut() {
+            let session_elapsed = start.elapsed().as_secs_f64();
+            let session_trials = acc.trials() - resumed_trials;
+            manifest.checkpoint(&Checkpoint {
+                trials: acc.trials(),
+                acc_state: acc.save(),
+                elapsed_s: prior_elapsed + session_elapsed,
+                trials_per_sec: session_trials as f64 / session_elapsed.max(1e-9),
+            })?;
+        }
+    }
+
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let summary = acc.summary();
+    let session_trials = acc.trials() - resumed_trials;
+    let trials_per_sec = session_trials as f64 / elapsed_s.max(1e-9);
+    if let Some(manifest) = manifest.as_mut() {
+        manifest.finalize(&summary, prior_elapsed + elapsed_s, trials_per_sec)?;
+    }
+    Ok(RunReport {
+        trials: acc.trials(),
+        resumed_trials,
+        summary,
+        acc,
+        elapsed_s,
+        trials_per_sec,
+        manifest_path: spec.manifest_path.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::trial::{FnTrial, HitTrial, MeanAcc};
+
+    fn noisy_mean_trial() -> FnTrial<impl Fn(u64) -> f64 + Sync> {
+        FnTrial(|seed| {
+            let mut rng = SplitMix64::new(seed);
+            // A skewed observable with a known mean of about 0.5.
+            rng.next_f64().powi(2) * 1.5
+        })
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let trial = noisy_mean_trial();
+        let base = run(
+            &trial,
+            &RunSpec::new("exec/threads", 9, StopRule::fixed(1003)).threads(1),
+        )
+        .unwrap();
+        for threads in [2, 3, 8] {
+            let other = run(
+                &trial,
+                &RunSpec::new("exec/threads", 9, StopRule::fixed(1003)).threads(threads),
+            )
+            .unwrap();
+            assert_eq!(other.trials, base.trials);
+            assert_eq!(other.acc, base.acc, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let trial = noisy_mean_trial();
+        let a = run(
+            &trial,
+            &RunSpec::new("exec/batch", 9, StopRule::fixed(500)).batch_size(7),
+        )
+        .unwrap();
+        let b = run(
+            &trial,
+            &RunSpec::new("exec/batch", 9, StopRule::fixed(500)).batch_size(128),
+        )
+        .unwrap();
+        assert_eq!(a.trials, 500);
+        assert_eq!(b.trials, 500);
+        assert_eq!(a.acc.trials(), 500);
+        // Observations are identical (seeds depend only on trial index);
+        // the Welford merge tree differs with the partition, so means agree
+        // to rounding, not to the bit (thread count, by contrast, leaves
+        // the partition and merge order fixed => bit-identical).
+        assert!((a.summary.mean - b.summary.mean).abs() < 1e-12);
+        assert!((a.summary.std_err - b.summary.std_err).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_size_is_exactly_invariant_for_counting_accumulators() {
+        let trial = HitTrial(|seed| {
+            let mut rng = SplitMix64::new(seed);
+            rng.next_f64() < 0.2
+        });
+        let a = run(
+            &trial,
+            &RunSpec::new("exec/hits", 3, StopRule::fixed(999)).batch_size(13),
+        )
+        .unwrap();
+        let b = run(
+            &trial,
+            &RunSpec::new("exec/hits", 3, StopRule::fixed(999)).batch_size(256),
+        )
+        .unwrap();
+        assert_eq!(a.acc, b.acc);
+    }
+
+    #[test]
+    fn adaptive_stopping_stops_between_bounds() {
+        let trial = noisy_mean_trial();
+        let report = run(
+            &trial,
+            &RunSpec::new(
+                "exec/adaptive",
+                11,
+                StopRule::until_rel_err(0.05, 100, 1_000_000),
+            ),
+        )
+        .unwrap();
+        assert!(report.trials >= 100);
+        assert!(report.trials < 1_000_000, "should converge well before max");
+        assert!(report.summary.rel_err <= 0.05);
+    }
+
+    #[test]
+    fn rare_event_proportion_converges() {
+        let trial = HitTrial(|seed| {
+            let mut rng = SplitMix64::new(seed);
+            rng.next_f64() < 0.01
+        });
+        let spec = RunSpec::new(
+            "exec/rare",
+            13,
+            StopRule {
+                min_trials: 1000,
+                max_trials: 200_000,
+                target_rel_err: Some(0.25),
+                target_ci_half_width: None,
+            },
+        );
+        let report = run(&trial, &spec).unwrap();
+        assert!(report.summary.ci_low <= 0.01 && 0.01 <= report.summary.ci_high);
+    }
+
+    #[test]
+    fn resume_from_manifest_is_bit_identical() {
+        let dir = std::env::temp_dir().join("mlec-runner-exec-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let trial = noisy_mean_trial();
+        // Uninterrupted reference run (no manifest).
+        let full = run(
+            &trial,
+            &RunSpec::new("exec/resume", 21, StopRule::fixed(2048)),
+        )
+        .unwrap();
+
+        // First half: run to 1024 trials, checkpointing.
+        let half = run(
+            &trial,
+            &RunSpec::new("exec/resume", 21, StopRule::fixed(1024)).manifest(&path),
+        )
+        .unwrap();
+        assert_eq!(half.trials, 1024);
+        assert_eq!(half.resumed_trials, 0);
+
+        // Second half: same spec with the full trial budget resumes.
+        let resumed = run(
+            &trial,
+            &RunSpec::new("exec/resume", 21, StopRule::fixed(2048)).manifest(&path),
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_trials, 1024);
+        assert_eq!(resumed.trials, 2048);
+        assert_eq!(resumed.acc, full.acc, "resume must be bit-identical");
+    }
+
+    #[test]
+    fn resume_from_ragged_checkpoint_runs_each_trial_once() {
+        // A checkpoint left by a max_trials-truncated round is not
+        // batch-aligned; extending the budget must continue at the recorded
+        // count, not re-run (or skip) earlier trial indices.
+        let dir = std::env::temp_dir().join("mlec-runner-exec-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged-resume.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let trial = HitTrial(|seed| {
+            let mut rng = SplitMix64::new(seed);
+            rng.next_f64() < 0.3
+        });
+        let spec = |trials: u64| {
+            RunSpec::new("exec/ragged-resume", 37, StopRule::fixed(trials)).batch_size(64)
+        };
+        // 130 = 2 whole batches + a ragged 2-trial tail.
+        let half = run(&trial, &spec(130).manifest(&path)).unwrap();
+        assert_eq!(half.trials, 130);
+        let resumed = run(&trial, &spec(200).manifest(&path)).unwrap();
+        assert_eq!(resumed.resumed_trials, 130);
+        assert_eq!(resumed.trials, 200);
+        // Counting accumulators are exact regardless of the batch
+        // partition, so the resumed run must equal a fresh one bit for bit.
+        let fresh = run(&trial, &spec(200)).unwrap();
+        assert_eq!(resumed.acc, fresh.acc);
+    }
+
+    #[test]
+    fn max_trials_not_multiple_of_batch_is_exact() {
+        let trial = noisy_mean_trial();
+        let report = run(
+            &trial,
+            &RunSpec::new("exec/ragged", 5, StopRule::fixed(130)).batch_size(64),
+        )
+        .unwrap();
+        assert_eq!(report.trials, 130);
+    }
+
+    #[test]
+    fn empty_run_reports_zero() {
+        let trial = noisy_mean_trial();
+        let report = run(&trial, &RunSpec::new("exec/empty", 5, StopRule::fixed(0))).unwrap();
+        assert_eq!(report.trials, 0);
+        assert_eq!(report.acc, MeanAcc::default());
+    }
+}

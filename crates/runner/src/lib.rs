@@ -1,0 +1,38 @@
+//! # mlec-runner — deterministic Monte Carlo orchestration
+//!
+//! The single way every experiment in this workspace executes trials:
+//!
+//! * [`seed_stream`] — SplitMix64-derived per-trial seeds keyed by
+//!   `(root_seed, experiment_label, trial_index)`, so results are
+//!   bit-identical regardless of thread count or batch size;
+//! * [`executor`] — a batched parallel executor over the generic
+//!   [`trial::Trial`] trait with adaptive stopping rules;
+//! * [`stats`] — streaming Welford mean/variance and Wilson confidence
+//!   intervals for rare-event proportions;
+//! * [`manifest`] — incremental JSONL run manifests enabling
+//!   checkpoint/resume of long runs;
+//! * [`json`] — the self-contained JSON layer used by manifests and figure
+//!   dumps.
+//!
+//! The crate is foundational (std-only): simulation and analysis crates
+//! depend on it and implement [`trial::Trial`] for their own types. With
+//! the default `external-rng` feature the per-trial generator is the
+//! workspace ChaCha12; disabling it leaves a fully self-contained
+//! SplitMix64 fallback.
+
+pub mod executor;
+pub mod json;
+pub mod manifest;
+pub mod rng;
+pub mod seed_stream;
+pub mod stats;
+pub mod trial;
+
+pub use executor::{run, run_with, RunReport, RunSpec, StopRule};
+pub use json::{Json, ToJson};
+pub use rng::{trial_rng, SplitMix64, TrialRng};
+pub use seed_stream::SeedStream;
+pub use stats::{Proportion, Welford};
+pub use trial::{
+    Accumulator, FnTrial, GridAcc, GridTrial, HitAcc, HitTrial, MeanAcc, Summary, Trial,
+};

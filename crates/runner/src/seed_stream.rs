@@ -1,0 +1,150 @@
+//! Deterministic per-trial seed derivation.
+//!
+//! Every experiment names a stream by `(root_seed, label)`; the stream then
+//! hands out one independent 64-bit seed per trial index (or per heatmap
+//! cell). Seeds are SplitMix64-derived: the trial sequence is exactly the
+//! SplitMix64 output stream started at a label-mixed base, so distinct
+//! indices always produce distinct seeds, and nothing depends on thread
+//! count, batch size, or evaluation order.
+//!
+//! This replaces the ad-hoc XOR mixes that used to live in `pool_sim`
+//! (`seed ^ 0x9e37_79b9_7f4a_7c15`), `system_sim` (`seed ^ 0x5157_9ad1`)
+//! and the heatmap cells (`seed ^ ((y << 32) | x)`, which collides whenever
+//! two cells share low bits).
+
+use crate::rng::{mix64, GOLDEN_GAMMA};
+
+/// FNV-1a 64-bit hash (label hashing; stable across platforms).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A named, rooted stream of per-trial seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    base: u64,
+}
+
+impl SeedStream {
+    /// Stream keyed by `(root_seed, label)`.
+    pub fn new(root_seed: u64, label: &str) -> SeedStream {
+        let tag = fnv1a(label.as_bytes());
+        SeedStream {
+            base: mix64(root_seed ^ mix64(tag)),
+        }
+    }
+
+    /// Seed for trial `index`: element `index` of the SplitMix64 stream
+    /// anchored at the label base. Injective in `index` because the
+    /// increment is odd and the finalizer is bijective.
+    #[inline]
+    pub fn trial_seed(&self, index: u64) -> u64 {
+        mix64(
+            self.base
+                .wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)),
+        )
+    }
+
+    /// Seed for a 2-D cell, e.g. a heatmap coordinate. Unlike
+    /// `(y << 32) | x` packing, both coordinates pass through a full
+    /// avalanche before combining, so grids of any shape get distinct,
+    /// decorrelated seeds.
+    #[inline]
+    pub fn cell_seed(&self, x: u64, y: u64) -> u64 {
+        self.derive(&[x, y])
+    }
+
+    /// Seed derived from an arbitrary word tuple (a generalized
+    /// `cell_seed`). The words are folded left-to-right through the mix,
+    /// each offset by its position so `[a, b]` and `[b, a]` differ.
+    pub fn derive(&self, words: &[u64]) -> u64 {
+        let mut h = self.base;
+        for (i, &w) in words.iter().enumerate() {
+            h = mix64(
+                h ^ w
+                    .wrapping_add(1)
+                    .wrapping_mul(GOLDEN_GAMMA)
+                    .wrapping_add(i as u64),
+            );
+        }
+        mix64(h.wrapping_add(GOLDEN_GAMMA))
+    }
+
+    /// A sub-stream for a nested phase (e.g. per splitting stage).
+    pub fn substream(&self, label: &str) -> SeedStream {
+        SeedStream {
+            base: mix64(self.base ^ mix64(fnv1a(label.as_bytes()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn trial_seeds_are_distinct_and_order_free() {
+        let s = SeedStream::new(42, "fig07/CD");
+        let forward: Vec<u64> = (0..10_000).map(|i| s.trial_seed(i)).collect();
+        let mut set = HashSet::new();
+        for &v in &forward {
+            assert!(set.insert(v));
+        }
+        // Recomputing any index in any order gives the same value.
+        assert_eq!(s.trial_seed(9_999), forward[9_999]);
+        assert_eq!(s.trial_seed(0), forward[0]);
+    }
+
+    #[test]
+    fn labels_and_roots_separate_streams() {
+        let a = SeedStream::new(42, "fig07/CD");
+        let b = SeedStream::new(42, "fig07/CC");
+        let c = SeedStream::new(43, "fig07/CD");
+        assert_ne!(a.trial_seed(0), b.trial_seed(0));
+        assert_ne!(a.trial_seed(0), c.trial_seed(0));
+        assert_ne!(b.trial_seed(0), c.trial_seed(0));
+    }
+
+    #[test]
+    fn cell_seeds_distinct_on_a_50x50_grid() {
+        // Regression for the old `(y << 32) | x` mix, which collides when
+        // cells share low bits. Every cell of a 50x50 grid must get its own
+        // seed.
+        let s = SeedStream::new(7, "heatmap");
+        let mut seen = HashSet::new();
+        for y in 0..50u64 {
+            for x in 0..50u64 {
+                assert!(seen.insert(s.cell_seed(x, y)), "collision at ({x}, {y})");
+            }
+        }
+        assert_eq!(seen.len(), 2500);
+    }
+
+    #[test]
+    fn derive_is_position_sensitive() {
+        let s = SeedStream::new(1, "t");
+        assert_ne!(s.derive(&[3, 5]), s.derive(&[5, 3]));
+        assert_ne!(s.derive(&[0]), s.derive(&[0, 0]));
+    }
+
+    #[test]
+    fn substream_differs_from_parent() {
+        let s = SeedStream::new(1, "splitting");
+        let sub = s.substream("stage1");
+        assert_ne!(s.trial_seed(0), sub.trial_seed(0));
+        assert_eq!(sub, s.substream("stage1"));
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

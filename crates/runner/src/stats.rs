@@ -1,0 +1,279 @@
+//! Streaming statistics: Welford mean/variance with exact parallel merge,
+//! and Wilson score intervals for rare-event proportions.
+
+use crate::json::Json;
+
+/// Welford's online mean/variance accumulator.
+///
+/// Merging follows Chan et al.'s pairwise update, so batch-wise accumulation
+/// merged in a fixed order is deterministic. State round-trips through JSON
+/// bit-exactly (floats are stored as raw bit patterns), which is what makes
+/// checkpoint/resume reproduce uninterrupted runs to the last ulp.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let nf = n as f64;
+        self.mean += delta * (other.n as f64 / nf);
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64 / nf);
+        self.n = n;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// |std_err / mean|; infinite when the mean is zero, NaN before two
+    /// samples.
+    pub fn rel_err(&self) -> f64 {
+        let se = self.std_err();
+        if self.mean == 0.0 {
+            if se == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (se / self.mean).abs()
+        }
+    }
+
+    /// Bit-exact state for manifests.
+    pub fn save(&self) -> Json {
+        Json::obj(vec![
+            ("n", Json::U64(self.n)),
+            ("mean_bits", Json::U64(self.mean.to_bits())),
+            ("m2_bits", Json::U64(self.m2.to_bits())),
+        ])
+    }
+
+    pub fn load(value: &Json) -> Option<Welford> {
+        Some(Welford {
+            n: value.get("n")?.as_u64()?,
+            mean: f64::from_bits(value.get("mean_bits")?.as_u64()?),
+            m2: f64::from_bits(value.get("m2_bits")?.as_u64()?),
+        })
+    }
+}
+
+/// Counter for rare-event proportions with Wilson score intervals.
+///
+/// The Wilson interval stays honest at tiny hit counts (even zero hits),
+/// where the Wald interval collapses to width zero — exactly the regime of
+/// catastrophic-failure estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Proportion {
+    trials: u64,
+    hits: u64,
+}
+
+impl Proportion {
+    pub fn new() -> Proportion {
+        Proportion::default()
+    }
+
+    #[inline]
+    pub fn push(&mut self, hit: bool) {
+        self.trials += 1;
+        self.hits += hit as u64;
+    }
+
+    pub fn merge(&mut self, other: &Proportion) {
+        self.trials += other.trials;
+        self.hits += other.hits;
+    }
+
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            f64::NAN
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson score interval at critical value `z` (1.96 for 95%).
+    pub fn wilson(&self, z: f64) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.hits as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Half-width of the 95% Wilson interval.
+    pub fn wilson_half_width(&self) -> f64 {
+        let (lo, hi) = self.wilson(1.96);
+        (hi - lo) / 2.0
+    }
+
+    /// Relative half-width against the point estimate (infinite until the
+    /// first hit) — the natural stopping criterion for rare events.
+    pub fn rel_half_width(&self) -> f64 {
+        if self.hits == 0 {
+            f64::INFINITY
+        } else {
+            self.wilson_half_width() / self.estimate()
+        }
+    }
+
+    pub fn save(&self) -> Json {
+        Json::obj(vec![
+            ("trials", Json::U64(self.trials)),
+            ("hits", Json::U64(self.hits)),
+        ])
+    }
+
+    pub fn load(value: &Json) -> Option<Proportion> {
+        Some(Proportion {
+            trials: value.get("trials")?.as_u64()?,
+            hits: value.get("hits")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let mut rng = SplitMix64::new(3);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.next_f64() * 10.0 - 2.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut rng = SplitMix64::new(4);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.next_f64()).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..317] {
+            left.push(x);
+        }
+        for &x in &xs[317..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_state_round_trips_bit_exact() {
+        let mut w = Welford::new();
+        for i in 0..97 {
+            w.push((i as f64).sin());
+        }
+        let back = Welford::load(&w.save()).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn wilson_brackets_true_p() {
+        // 10_000 Bernoulli(0.03) trials: the 95% interval should contain
+        // 0.03 for this fixed seed.
+        let mut rng = SplitMix64::new(5);
+        let mut prop = Proportion::new();
+        for _ in 0..10_000 {
+            prop.push(rng.next_f64() < 0.03);
+        }
+        let (lo, hi) = prop.wilson(1.96);
+        assert!(lo < 0.03 && 0.03 < hi, "({lo}, {hi})");
+        assert!(hi - lo < 0.02);
+    }
+
+    #[test]
+    fn wilson_zero_hits_still_informative() {
+        let mut prop = Proportion::new();
+        for _ in 0..1000 {
+            prop.push(false);
+        }
+        let (lo, hi) = prop.wilson(1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.01, "hi={hi}");
+        assert!(prop.rel_half_width().is_infinite());
+    }
+}

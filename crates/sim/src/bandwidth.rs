@@ -83,7 +83,11 @@ pub fn catastrophic_pool_repair_bw_mbs(dep: &MlecDeployment) -> f64 {
 ///   `k_l` survivors keep up: `k_l * bw / k_l * m >= m * bw`).
 /// - Declustered: surviving pool disks share `k_l` reads + 1 write per
 ///   rebuilt byte.
-pub fn local_repair_bw_mbs(dep: &MlecDeployment, rebuilt_chunks_per_stripe: u32, failed_disks: u32) -> f64 {
+pub fn local_repair_bw_mbs(
+    dep: &MlecDeployment,
+    rebuilt_chunks_per_stripe: u32,
+    failed_disks: u32,
+) -> f64 {
     let disk_bw = dep.config.disk_repair_bw_mbs();
     match dep.scheme.local {
         Placement::Clustered => rebuilt_chunks_per_stripe as f64 * disk_bw,
@@ -156,8 +160,15 @@ mod tests {
         // "C/D and D/D are 6x faster").
         let slow = single_disk_repair_hours(&dep(MlecScheme::CC));
         let fast = single_disk_repair_hours(&dep(MlecScheme::CD));
-        assert!((slow - (0.5 + 20.0e6 / 40.0 / 3600.0)).abs() < 0.1, "slow={slow}");
-        assert!(slow / fast > 5.5 && slow / fast < 7.0, "ratio={}", slow / fast);
+        assert!(
+            (slow - (0.5 + 20.0e6 / 40.0 / 3600.0)).abs() < 0.1,
+            "slow={slow}"
+        );
+        assert!(
+            slow / fast > 5.5 && slow / fast < 7.0,
+            "ratio={}",
+            slow / fast
+        );
     }
 
     #[test]
@@ -168,7 +179,10 @@ mod tests {
         let cd = catastrophic_pool_repair_hours(&dep(MlecScheme::CD));
         let dc = catastrophic_pool_repair_hours(&dep(MlecScheme::DC));
         let dd = catastrophic_pool_repair_hours(&dep(MlecScheme::DD));
-        assert!(cd > dd && dd > cc && cc > dc, "cc={cc} cd={cd} dc={dc} dd={dd}");
+        assert!(
+            cd > dd && dd > cc && cc > dc,
+            "cc={cc} cd={cd} dc={dc} dd={dd}"
+        );
         assert!((cc - 444.9).abs() < 2.0);
         assert!((cd - 2667.2).abs() < 10.0);
         assert!((dc - 82.0).abs() < 2.0);

@@ -18,17 +18,13 @@
 //! traffic analysis (Fig 8): expected lost stripes when `p_l + 1` disks fail
 //! simultaneously.
 
-use serde::{Deserialize, Serialize};
-
 /// Probability that a random declustered stripe of width `w` in a `d`-disk
 /// pool covers **all** of `f` specific failed disks.
 pub fn prob_cover_all(d: u32, w: u32, f: u32) -> f64 {
     if f > w || f > d {
         return 0.0;
     }
-    (0..f).fold(1.0, |acc, i| {
-        acc * (w - i) as f64 / (d - i) as f64
-    })
+    (0..f).fold(1.0, |acc, i| acc * (w - i) as f64 / (d - i) as f64)
 }
 
 /// Hypergeometric pmf: probability that a random `w`-subset of `d` disks
@@ -81,7 +77,7 @@ pub fn ln_factorial(n: u32) -> f64 {
 
 /// Expected-value census of stripes by failure multiplicity in one
 /// declustered pool.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StripeCensus {
     /// Pool size in disks.
     pub pool_disks: u32,

@@ -3,13 +3,12 @@
 
 use mlec_ec::MlecParams;
 use mlec_topology::{Geometry, MlecScheme};
-use serde::{Deserialize, Serialize};
 
 /// Hours in one (Julian) year, the unit conversions use throughout.
 pub const HOURS_PER_YEAR: f64 = 8766.0;
 
 /// Bandwidth, throttling, detection, and failure-rate parameters (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Raw per-disk I/O bandwidth in MB/s (200 in the paper).
     pub disk_bw_mbs: f64,
@@ -60,7 +59,7 @@ impl Default for SimConfig {
 
 /// Everything needed to simulate one MLEC deployment: physical geometry,
 /// code parameters, placement scheme, and environment knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MlecDeployment {
     /// Physical shape of the datacenter.
     pub geometry: Geometry,

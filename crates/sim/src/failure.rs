@@ -7,10 +7,9 @@
 //! failure logs.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A time-to-failure model for a single disk.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FailureModel {
     /// Memoryless failures at a constant hazard rate (AFR per year).
     Exponential {
@@ -128,6 +127,8 @@ fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
 fn gamma_fn(x: f64) -> f64 {
     // Coefficients for g = 7, n = 9.
     const G: f64 = 7.0;
+    // Canonical published coefficients, kept verbatim.
+    #[allow(clippy::excessive_precision)]
     const C: [f64; 9] = [
         0.99999999999980993,
         676.5203681218851,

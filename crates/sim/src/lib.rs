@@ -23,6 +23,8 @@
 //!   (Fig 7) and the samples consumed by the splitting estimator (Fig 10).
 //! - [`traffic`]: yearly repair network traffic for SLEC / LRC / MLEC
 //!   (§5.1.4, §5.2.4).
+//! - [`trials`]: [`mlec_runner::Trial`] adapters so pool/system simulations
+//!   run through the deterministic batched executor (`mlec-runner`).
 
 pub mod bandwidth;
 pub mod census;
@@ -35,6 +37,7 @@ pub mod scheduler;
 pub mod system_sim;
 pub mod trace;
 pub mod traffic;
+pub mod trials;
 
 pub use config::SimConfig;
 pub use repair::RepairMethod;

@@ -26,10 +26,9 @@ use crate::failure::{sample_exponential, sample_poisson, FailureModel};
 use mlec_topology::Placement;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 
 /// One catastrophic local-pool failure observed by the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatastrophicEvent {
     /// Simulation time of the event, hours.
     pub time_h: f64,
@@ -40,7 +39,7 @@ pub struct CatastrophicEvent {
 }
 
 /// Aggregate result of a pool simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoolSimResult {
     /// Simulated pool-years.
     pub pool_years: f64,
@@ -135,8 +134,7 @@ fn simulate_clustered_pool(
     let repair_hours = dep.config.detection_hours
         + dep.geometry.disk_capacity_tb * 1e6 / dep.config.disk_repair_bw_mbs() / 3600.0;
     let horizon = years * HOURS_PER_YEAR;
-    let total_stripes =
-        d as f64 * dep.geometry.chunks_per_disk() / dep.local_width() as f64;
+    let total_stripes = d as f64 * dep.geometry.chunks_per_disk() / dep.local_width() as f64;
 
     let mut now = 0.0f64;
     // Repair-completion times of currently failed disks.
@@ -186,7 +184,9 @@ fn simulate_declustered_pool(
     years: f64,
     seed: u64,
 ) -> PoolSimResult {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut rng = ChaCha12Rng::seed_from_u64(
+        mlec_runner::SeedStream::new(seed, "pool_sim/declustered").trial_seed(0),
+    );
     let pools = dep.local_pools();
     let d = pools.pool_size();
     let w = dep.local_width();
@@ -234,9 +234,8 @@ fn simulate_declustered_pool(
         let f = census.failed_disks();
         let next_fail = now + sample_exponential(&mut rng, (d - f) as f64 * rate);
         // Time at which the current drain would finish everything.
-        let drain_rate_chunks_per_h = crate::bandwidth::local_repair_bw_mbs(dep, 1, f)
-            * 3600.0
-            / chunk_mb;
+        let drain_rate_chunks_per_h =
+            crate::bandwidth::local_repair_bw_mbs(dep, 1, f) * 3600.0 / chunk_mb;
         let remaining_chunks = census.failed_chunks();
         let drain_done = if remaining_chunks > 0.5 {
             // Floor the step so floating-point rounding at large `now` can
@@ -307,8 +306,7 @@ fn simulate_declustered_pool(
                     // the catastrophic multiplicity: zero those classes
                     // (drain clears the top classes first by construction).
                     let removed = census.at_or_above(threshold);
-                    let repaired =
-                        census.drain_priority(removed * threshold as f64 * 2.0);
+                    let repaired = census.drain_priority(removed * threshold as f64 * 2.0);
                     consume_drain(&mut census, &mut pending, repaired);
                 }
             }
@@ -371,7 +369,10 @@ mod tests {
         assert!(r.events.iter().all(|e| e.concurrent_failures >= 4));
         // Every Cp catastrophic event loses all stripes.
         let stripes = 20.0 * 156.25e6 / 20.0;
-        assert!(r.events.iter().all(|e| (e.lost_stripes - stripes).abs() < 1.0));
+        assert!(r
+            .events
+            .iter()
+            .all(|e| (e.lost_stripes - stripes).abs() < 1.0));
     }
 
     #[test]
@@ -428,8 +429,16 @@ mod tests {
         let r = PoolSimResult {
             pool_years: 50.0,
             events: vec![
-                CatastrophicEvent { time_h: 1.0, concurrent_failures: 4, lost_stripes: 10.0 },
-                CatastrophicEvent { time_h: 2.0, concurrent_failures: 4, lost_stripes: 20.0 },
+                CatastrophicEvent {
+                    time_h: 1.0,
+                    concurrent_failures: 4,
+                    lost_stripes: 10.0,
+                },
+                CatastrophicEvent {
+                    time_h: 2.0,
+                    concurrent_failures: 4,
+                    lost_stripes: 20.0,
+                },
             ],
             disk_failures: 100,
             max_concurrent: 4,

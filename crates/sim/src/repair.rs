@@ -10,16 +10,13 @@
 //! - *cross-rack traffic*: `network volume × (k_n reads + 1 write)`;
 //! - times from the Table 2 bandwidth model.
 
-use crate::bandwidth::{
-    catastrophic_pool_repair_bw_mbs, hours_to_move, local_repair_bw_mbs,
-};
+use crate::bandwidth::{catastrophic_pool_repair_bw_mbs, hours_to_move, local_repair_bw_mbs};
 use crate::census::prob_cover_all;
 use crate::config::MlecDeployment;
 use mlec_topology::Placement;
-use serde::{Deserialize, Serialize};
 
 /// The four repair methods, from simplest to most optimized (§2.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RepairMethod {
     /// R_ALL: rebuild the entire local pool over the network. Black-box
     /// RBOD friendly, maximum traffic.
@@ -70,7 +67,7 @@ impl std::fmt::Display for RepairMethod {
 }
 
 /// Volumes and timings of one catastrophic-pool repair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatastrophicRepairPlan {
     /// Bytes (TB) reconstructed via network-level parity.
     pub network_volume_tb: f64,
@@ -210,7 +207,10 @@ mod tests {
     fn fig8_rfco_traffic() {
         // R_FCO: 4 failed disks * 20 TB * 11 = 880 TB for every scheme.
         for scheme in MlecScheme::ALL {
-            assert!((traffic(scheme, RepairMethod::Fco) - 880.0).abs() < 1.0, "{scheme}");
+            assert!(
+                (traffic(scheme, RepairMethod::Fco) - 880.0).abs() < 1.0,
+                "{scheme}"
+            );
         }
     }
 
@@ -233,7 +233,10 @@ mod tests {
         for scheme in MlecScheme::ALL {
             let hyb = traffic(scheme, RepairMethod::Hyb);
             let min = traffic(scheme, RepairMethod::Min);
-            assert!((hyb / min - 4.0).abs() < 0.01, "{scheme}: hyb={hyb} min={min}");
+            assert!(
+                (hyb / min - 4.0).abs() < 0.01,
+                "{scheme}: hyb={hyb} min={min}"
+            );
         }
         assert!((traffic(MlecScheme::CC, RepairMethod::Min) - 220.0).abs() < 0.5);
     }
@@ -280,7 +283,11 @@ mod tests {
         assert_eq!(inj.failed_disks, 4);
         assert!((inj.failed_volume_tb - 80.0).abs() < 1e-9);
         // ~553k lost stripes (paper's R_HYB math).
-        assert!((inj.lost_stripes - 553_000.0).abs() < 2_000.0, "{}", inj.lost_stripes);
+        assert!(
+            (inj.lost_stripes - 553_000.0).abs() < 2_000.0,
+            "{}",
+            inj.lost_stripes
+        );
         let inj_c = inject_catastrophic(&dep(MlecScheme::CC));
         assert!((inj_c.lost_chunk_volume_tb - 80.0).abs() < 1e-9);
         assert!((inj_c.lost_stripes - inj_c.total_stripes).abs() < 1e-3);

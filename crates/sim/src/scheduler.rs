@@ -13,11 +13,10 @@
 //! exactly (asserted in tests), so the analytic model is the 1-flow special
 //! case of this scheduler.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a capacity-constrained link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LinkId {
     /// Cross-rack network capacity of one rack (repair share).
     RackNet(u32),
@@ -28,7 +27,7 @@ pub enum LinkId {
 /// A repair flow: moves `volume_mb` of *rebuilt* data, loading each listed
 /// link by `weight` units of link capacity per rebuilt byte (the IO
 /// amplification of DESIGN.md's bandwidth model).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Flow {
     /// Caller-assigned identifier.
     pub id: u64,
@@ -112,7 +111,7 @@ impl Scheduler {
                     continue;
                 }
                 let share = cap / weight_sum;
-                if tightest.map_or(true, |(_, s)| share < s) {
+                if tightest.is_none_or(|(_, s)| share < s) {
                     tightest = Some((link, share));
                 }
             }
@@ -323,9 +322,21 @@ mod tests {
         s.set_capacity(LinkId::RackNet(0), 100.0);
         s.set_capacity(LinkId::RackNet(1), 300.0);
         // Flows 1 and 2 share link 0; flow 3 only uses link 1.
-        s.add_flow(Flow { id: 1, volume_mb: 1.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
-        s.add_flow(Flow { id: 2, volume_mb: 1.0, demands: vec![(LinkId::RackNet(0), 1.0), (LinkId::RackNet(1), 1.0)] });
-        s.add_flow(Flow { id: 3, volume_mb: 1.0, demands: vec![(LinkId::RackNet(1), 1.0)] });
+        s.add_flow(Flow {
+            id: 1,
+            volume_mb: 1.0,
+            demands: vec![(LinkId::RackNet(0), 1.0)],
+        });
+        s.add_flow(Flow {
+            id: 2,
+            volume_mb: 1.0,
+            demands: vec![(LinkId::RackNet(0), 1.0), (LinkId::RackNet(1), 1.0)],
+        });
+        s.add_flow(Flow {
+            id: 3,
+            volume_mb: 1.0,
+            demands: vec![(LinkId::RackNet(1), 1.0)],
+        });
         let rates = s.allocate();
         assert!((rates[&1] - 50.0).abs() < 1e-9);
         assert!((rates[&2] - 50.0).abs() < 1e-9);
@@ -337,8 +348,16 @@ mod tests {
     fn drain_orders_completions_correctly() {
         let mut s = Scheduler::new();
         s.set_capacity(LinkId::RackNet(0), 100.0);
-        s.add_flow(Flow { id: 1, volume_mb: 100.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
-        s.add_flow(Flow { id: 2, volume_mb: 300.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
+        s.add_flow(Flow {
+            id: 1,
+            volume_mb: 100.0,
+            demands: vec![(LinkId::RackNet(0), 1.0)],
+        });
+        s.add_flow(Flow {
+            id: 2,
+            volume_mb: 300.0,
+            demands: vec![(LinkId::RackNet(0), 1.0)],
+        });
         let done = s.drain();
         // Shared 50/50 until flow 1 finishes at t = 2 s; flow 2 then gets
         // the full 100: remaining 200 MB -> finishes at t = 4 s.
@@ -354,7 +373,12 @@ mod tests {
         let dep = MlecDeployment::paper_default(MlecScheme::DC);
         let mut s = paper_links(&dep);
         for i in 0..20u64 {
-            s.add_flow(catastrophic_repair_flow(&dep, i, (i as u32) * 37 % 2880, 1e6));
+            s.add_flow(catastrophic_repair_flow(
+                &dep,
+                i,
+                (i as u32) * 37 % 2880,
+                1e6,
+            ));
         }
         let rates = s.allocate();
         // Sum of weighted loads per link never exceeds capacity.
@@ -381,8 +405,16 @@ mod tests {
     fn remove_flow_frees_capacity() {
         let mut s = Scheduler::new();
         s.set_capacity(LinkId::RackNet(0), 100.0);
-        s.add_flow(Flow { id: 1, volume_mb: 1.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
-        s.add_flow(Flow { id: 2, volume_mb: 1.0, demands: vec![(LinkId::RackNet(0), 1.0)] });
+        s.add_flow(Flow {
+            id: 1,
+            volume_mb: 1.0,
+            demands: vec![(LinkId::RackNet(0), 1.0)],
+        });
+        s.add_flow(Flow {
+            id: 2,
+            volume_mb: 1.0,
+            demands: vec![(LinkId::RackNet(0), 1.0)],
+        });
         assert!((s.allocate()[&2] - 50.0).abs() < 1e-9);
         s.remove_flow(1);
         assert!((s.allocate()[&2] - 100.0).abs() < 1e-9);
@@ -392,6 +424,10 @@ mod tests {
     #[should_panic]
     fn undeclared_link_rejected() {
         let mut s = Scheduler::new();
-        s.add_flow(Flow { id: 1, volume_mb: 1.0, demands: vec![(LinkId::RackNet(9), 1.0)] });
+        s.add_flow(Flow {
+            id: 1,
+            volume_mb: 1.0,
+            demands: vec![(LinkId::RackNet(9), 1.0)],
+        });
     }
 }

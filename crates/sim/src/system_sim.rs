@@ -24,11 +24,10 @@ use mlec_topology::Placement;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Result of one system simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemSimResult {
     /// Simulated mission time in years.
     pub years: f64,
@@ -104,7 +103,7 @@ enum ArrivalSource {
 }
 
 /// Optional realism knobs for the system simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SystemSimOptions {
     /// Model cross-rack bandwidth contention between concurrent
     /// catastrophic-pool repairs: a newly admitted repair's sojourn is
@@ -124,7 +123,14 @@ pub fn simulate_system(
     years: f64,
     seed: u64,
 ) -> SystemSimResult {
-    simulate_system_opts(dep, failure_model, method, years, seed, SystemSimOptions::default())
+    simulate_system_opts(
+        dep,
+        failure_model,
+        method,
+        years,
+        seed,
+        SystemSimOptions::default(),
+    )
 }
 
 /// [`simulate_system`] with explicit [`SystemSimOptions`].
@@ -160,7 +166,8 @@ fn run_system(
     mut arrivals: ArrivalSource,
     opts: SystemSimOptions,
 ) -> SystemSimResult {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x5157_9ad1_u64);
+    let mut rng =
+        ChaCha12Rng::seed_from_u64(mlec_runner::SeedStream::new(seed, "system_sim").trial_seed(0));
     let pools = dep.local_pools();
     let num_pools = pools.num_pools();
     let d = pools.pool_size();
@@ -241,7 +248,9 @@ fn run_system(
 
         let went_catastrophic = match dep.scheme.local {
             Placement::Clustered => {
-                let state = states.entry(pool).or_insert(PoolState::Clustered { active: vec![] });
+                let state = states
+                    .entry(pool)
+                    .or_insert(PoolState::Clustered { active: vec![] });
                 let PoolState::Clustered { active } = state else {
                     unreachable!()
                 };
@@ -250,12 +259,14 @@ fn run_system(
                 active.len() as u32 >= threshold
             }
             Placement::Declustered => {
-                let state = states.entry(pool).or_insert_with(|| PoolState::Declustered {
-                    census: StripeCensus::new(d, w, total_stripes_per_pool),
-                    pending: Default::default(),
-                    drain_paused_until: 0.0,
-                    last_advanced: 0.0,
-                });
+                let state = states
+                    .entry(pool)
+                    .or_insert_with(|| PoolState::Declustered {
+                        census: StripeCensus::new(d, w, total_stripes_per_pool),
+                        pending: Default::default(),
+                        drain_paused_until: 0.0,
+                        last_advanced: 0.0,
+                    });
                 let PoolState::Declustered {
                     census,
                     pending,
@@ -293,8 +304,7 @@ fn run_system(
                         };
                         if lost < 1.0 {
                             let removed = census.at_or_above(threshold);
-                            let repaired =
-                                census.drain_priority(removed * threshold as f64 * 2.0);
+                            let repaired = census.drain_priority(removed * threshold as f64 * 2.0);
                             consume(census, pending, repaired);
                             false
                         } else {
@@ -313,8 +323,8 @@ fn run_system(
         catastrophic_pools += 1;
         cross_rack_traffic_tb += plan.cross_rack_traffic_tb;
         states.remove(&pool); // network repair rebuilds the pool
-        // Bandwidth contention: concurrent repairs sharing this repair's
-        // bottleneck stretch its sojourn (snapshot at admission).
+                              // Bandwidth contention: concurrent repairs sharing this repair's
+                              // bottleneck stretch its sojourn (snapshot at admission).
         let contention = if opts.shared_repair_bandwidth {
             let sharing = match dep.scheme.network {
                 Placement::Clustered => {
@@ -365,8 +375,7 @@ fn run_system(
             // stripe (paper §4.2.3 F#1).
             let survival = match dep.scheme.network {
                 Placement::Clustered => {
-                    let expected =
-                        injected.total_stripes * lost_frac.powi(pn1 as i32);
+                    let expected = injected.total_stripes * lost_frac.powi(pn1 as i32);
                     -(-expected).exp_m1()
                 }
                 Placement::Declustered => {

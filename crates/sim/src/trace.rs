@@ -10,10 +10,9 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use serde::{Deserialize, Serialize};
 
 /// One trace record: a disk failing at an absolute time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Failure time in hours from trace start.
     pub time_h: f64,
@@ -22,7 +21,7 @@ pub struct TraceEvent {
 }
 
 /// A disk-failure trace, sorted by time.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FailureTrace {
     events: Vec<TraceEvent>,
 }
@@ -119,7 +118,7 @@ impl std::fmt::Display for TraceParseError {
 impl std::error::Error for TraceParseError {}
 
 /// Parameters of the synthetic trace generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSpec {
     /// Steady background AFR (e.g. 0.01).
     pub background_afr: f64,
@@ -136,7 +135,9 @@ pub struct TraceSpec {
 /// Generate a synthetic trace: Poisson background failures over all disks
 /// plus Poisson-arriving correlated bursts confined to a few racks.
 pub fn synthesize(geometry: &Geometry, spec: &TraceSpec, seed: u64) -> FailureTrace {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7ace_u64);
+    let mut rng = ChaCha12Rng::seed_from_u64(
+        mlec_runner::SeedStream::new(seed, "trace/synthesize").trial_seed(0),
+    );
     let span_h = spec.years * HOURS_PER_YEAR;
     let mut events = Vec::new();
 
@@ -162,9 +163,12 @@ pub fn synthesize(geometry: &Geometry, spec: &TraceSpec, seed: u64) -> FailureTr
         if t > span_h {
             break;
         }
-        if let Ok(layout) =
-            mlec_topology::burst::sample_burst(geometry, spec.burst_size, spec.burst_racks, &mut rng)
-        {
+        if let Ok(layout) = mlec_topology::burst::sample_burst(
+            geometry,
+            spec.burst_size,
+            spec.burst_racks,
+            &mut rng,
+        ) {
             for &disk in layout.disks() {
                 // Jitter failures across a 10-minute window.
                 let jitter: f64 = rng.gen_range(0.0..1.0 / 6.0);
@@ -179,7 +183,7 @@ pub fn synthesize(geometry: &Geometry, spec: &TraceSpec, seed: u64) -> FailureTr
 }
 
 /// Which disks a failure rule targets.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DiskSelector {
     /// Every disk in the system.
     All,
@@ -208,7 +212,7 @@ impl DiskSelector {
 /// `[start_h, end_h)` — the paper's "rules" fault-simulation mode. Rules
 /// compose additively (a batch rule on top of a background rule raises the
 /// batch's hazard during its window).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailureRule {
     /// Targeted disks.
     pub selector: DiskSelector,
@@ -222,7 +226,9 @@ pub struct FailureRule {
 
 /// Generate a trace from a set of additive failure rules.
 pub fn synthesize_rules(geometry: &Geometry, rules: &[FailureRule], seed: u64) -> FailureTrace {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x501e5);
+    let mut rng = ChaCha12Rng::seed_from_u64(
+        mlec_runner::SeedStream::new(seed, "trace/synthesize_rules").trial_seed(0),
+    );
     let mut events = Vec::new();
     for rule in rules {
         assert!(rule.end_h >= rule.start_h, "rule window must be ordered");
@@ -252,7 +258,11 @@ pub fn synthesize_rules(geometry: &Geometry, rules: &[FailureRule], seed: u64) -
 /// events separated by less than `window_h`. Returns `(start_h, disks)` per
 /// group with at least `min_size` failures — the observable bursts an
 /// operator would investigate.
-pub fn detect_bursts(trace: &FailureTrace, window_h: f64, min_size: usize) -> Vec<(f64, Vec<DiskId>)> {
+pub fn detect_bursts(
+    trace: &FailureTrace,
+    window_h: f64,
+    min_size: usize,
+) -> Vec<(f64, Vec<DiskId>)> {
     let mut bursts = Vec::new();
     let mut current: Vec<TraceEvent> = Vec::new();
     for &e in trace.events() {
@@ -352,8 +362,14 @@ mod tests {
     #[test]
     fn events_are_time_sorted() {
         let trace = FailureTrace::new(vec![
-            TraceEvent { time_h: 5.0, disk: 1 },
-            TraceEvent { time_h: 1.0, disk: 2 },
+            TraceEvent {
+                time_h: 5.0,
+                disk: 1,
+            },
+            TraceEvent {
+                time_h: 1.0,
+                disk: 2,
+            },
         ]);
         assert_eq!(trace.events()[0].disk, 2);
         assert!((trace.span_h() - 5.0).abs() < 1e-12);
@@ -379,8 +395,14 @@ mod tests {
     fn shuffle_preserves_timing() {
         let g = Geometry::small_test();
         let trace = FailureTrace::new(vec![
-            TraceEvent { time_h: 1.0, disk: 3 },
-            TraceEvent { time_h: 2.0, disk: 3 },
+            TraceEvent {
+                time_h: 1.0,
+                disk: 3,
+            },
+            TraceEvent {
+                time_h: 2.0,
+                disk: 3,
+            },
         ]);
         let shuffled = shuffle_disks(&trace, &g, 9);
         assert_eq!(shuffled.len(), 2);

@@ -39,8 +39,8 @@ pub fn local_slec_daily_traffic_tb() -> f64 {
 pub fn lrc_daily_traffic_tb(geometry: &Geometry, config: &SimConfig, params: LrcParams) -> f64 {
     let n = params.width() as f64;
     let group_reads = (params.k as f64 / params.l as f64).ceil();
-    let avg_reads = ((params.k + params.l) as f64 * group_reads + params.r as f64 * params.k as f64)
-        / n;
+    let avg_reads =
+        ((params.k + params.l) as f64 * group_reads + params.r as f64 * params.k as f64) / n;
     failures_per_day(geometry, config) * geometry.disk_capacity_tb * (avg_reads + 1.0)
 }
 
@@ -104,11 +104,9 @@ mod tests {
         let yearly = mlec_yearly_traffic_tb(&dep, RepairMethod::Min, 1e-5);
         assert!(yearly < 0.01, "yearly={yearly}");
         // Versus SLEC's ~92,000 TB/year: >7 orders of magnitude apart.
-        let slec_yearly = net_slec_daily_traffic_tb(
-            &Geometry::paper_default(),
-            &SimConfig::paper_default(),
-            7,
-        ) * 365.25;
+        let slec_yearly =
+            net_slec_daily_traffic_tb(&Geometry::paper_default(), &SimConfig::paper_default(), 7)
+                * 365.25;
         assert!(slec_yearly / yearly > 1e6);
     }
 

@@ -1,0 +1,289 @@
+//! [`mlec_runner::Trial`] implementations for the simulators, making
+//! `pool_sim` and `system_sim` runnable through the deterministic batched
+//! executor (seed streams, adaptive stopping, checkpoint/resume).
+
+use crate::config::MlecDeployment;
+use crate::failure::FailureModel;
+use crate::pool_sim::simulate_pool;
+use crate::repair::RepairMethod;
+use crate::system_sim::{simulate_system_opts, SystemSimOptions};
+use mlec_runner::{Accumulator, Json, Proportion, Summary, Trial, Welford};
+
+/// One trial = one pool simulated for `years_per_trial` (splitting stage 1).
+pub struct PoolTrial<'a> {
+    pub dep: &'a MlecDeployment,
+    pub model: &'a FailureModel,
+    pub years_per_trial: f64,
+}
+
+/// Aggregate pool-simulation statistics. The primary statistic is the
+/// catastrophic-event rate per pool-year, with a Poisson-count confidence
+/// interval; lost stripes per event accumulate in a Welford estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoolAcc {
+    pub trials: u64,
+    pub pool_years: f64,
+    pub events: u64,
+    pub disk_failures: u64,
+    pub max_concurrent: u32,
+    pub lost_stripes: Welford,
+}
+
+impl PoolAcc {
+    /// Catastrophic events per pool-year.
+    pub fn rate_per_pool_year(&self) -> f64 {
+        if self.pool_years > 0.0 {
+            self.events as f64 / self.pool_years
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Mean lost local stripes per catastrophic event (0 if none).
+    pub fn mean_lost_stripes(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.lost_stripes.mean()
+        }
+    }
+}
+
+impl Trial for PoolTrial<'_> {
+    type Acc = PoolAcc;
+
+    fn run(&self, _index: u64, seed: u64, acc: &mut PoolAcc) {
+        let result = simulate_pool(self.dep, self.model, self.years_per_trial, seed);
+        acc.trials += 1;
+        acc.pool_years += result.pool_years;
+        acc.events += result.events.len() as u64;
+        acc.disk_failures += result.disk_failures;
+        acc.max_concurrent = acc.max_concurrent.max(result.max_concurrent);
+        for event in &result.events {
+            acc.lost_stripes.push(event.lost_stripes);
+        }
+    }
+}
+
+impl Accumulator for PoolAcc {
+    fn merge(&mut self, other: &Self) {
+        self.trials += other.trials;
+        self.pool_years += other.pool_years;
+        self.events += other.events;
+        self.disk_failures += other.disk_failures;
+        self.max_concurrent = self.max_concurrent.max(other.max_concurrent);
+        self.lost_stripes.merge(&other.lost_stripes);
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    fn summary(&self) -> Summary {
+        // Poisson counting statistics: se(rate) = sqrt(events)/exposure.
+        let rate = self.rate_per_pool_year();
+        let se = if self.pool_years > 0.0 {
+            (self.events as f64).sqrt() / self.pool_years
+        } else {
+            f64::NAN
+        };
+        Summary {
+            trials: self.trials,
+            mean: rate,
+            std_err: se,
+            ci_low: (rate - 1.96 * se).max(0.0),
+            ci_high: rate + 1.96 * se,
+            rel_err: if self.events == 0 {
+                f64::INFINITY
+            } else {
+                1.0 / (self.events as f64).sqrt()
+            },
+        }
+    }
+
+    fn save(&self) -> Json {
+        Json::obj(vec![
+            ("trials", Json::U64(self.trials)),
+            ("pool_years_bits", Json::U64(self.pool_years.to_bits())),
+            ("events", Json::U64(self.events)),
+            ("disk_failures", Json::U64(self.disk_failures)),
+            ("max_concurrent", Json::U64(self.max_concurrent as u64)),
+            ("lost_stripes", self.lost_stripes.save()),
+        ])
+    }
+
+    fn load(value: &Json) -> Option<Self> {
+        Some(PoolAcc {
+            trials: value.get("trials")?.as_u64()?,
+            pool_years: f64::from_bits(value.get("pool_years_bits")?.as_u64()?),
+            events: value.get("events")?.as_u64()?,
+            disk_failures: value.get("disk_failures")?.as_u64()?,
+            max_concurrent: value.get("max_concurrent")?.as_u64()? as u32,
+            lost_stripes: Welford::load(value.get("lost_stripes")?)?,
+        })
+    }
+}
+
+/// One trial = one full-system mission simulation.
+pub struct SystemTrial<'a> {
+    pub dep: &'a MlecDeployment,
+    pub model: &'a FailureModel,
+    pub method: RepairMethod,
+    pub years: f64,
+    pub opts: SystemSimOptions,
+}
+
+/// Aggregate system-simulation statistics. The primary statistic is the
+/// probability a mission loses data (Wilson CI — the rare-event target of
+/// the validation experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LossAcc {
+    pub loss: Proportion,
+    pub catastrophic_pools: u64,
+    pub data_loss_events: u64,
+    pub disk_failures: u64,
+    pub cross_rack_traffic_tb: Welford,
+    pub total_sojourn_h: Welford,
+}
+
+impl Trial for SystemTrial<'_> {
+    type Acc = LossAcc;
+
+    fn run(&self, _index: u64, seed: u64, acc: &mut LossAcc) {
+        let result = simulate_system_opts(
+            self.dep,
+            self.model,
+            self.method,
+            self.years,
+            seed,
+            self.opts,
+        );
+        acc.loss.push(result.lost_data());
+        acc.catastrophic_pools += result.catastrophic_pools;
+        acc.data_loss_events += result.data_loss_events;
+        acc.disk_failures += result.disk_failures;
+        acc.cross_rack_traffic_tb.push(result.cross_rack_traffic_tb);
+        acc.total_sojourn_h.push(result.total_sojourn_h);
+    }
+}
+
+impl Accumulator for LossAcc {
+    fn merge(&mut self, other: &Self) {
+        self.loss.merge(&other.loss);
+        self.catastrophic_pools += other.catastrophic_pools;
+        self.data_loss_events += other.data_loss_events;
+        self.disk_failures += other.disk_failures;
+        self.cross_rack_traffic_tb
+            .merge(&other.cross_rack_traffic_tb);
+        self.total_sojourn_h.merge(&other.total_sojourn_h);
+    }
+
+    fn trials(&self) -> u64 {
+        self.loss.trials()
+    }
+
+    fn summary(&self) -> Summary {
+        let (lo, hi) = self.loss.wilson(1.96);
+        Summary {
+            trials: self.loss.trials(),
+            mean: self.loss.estimate(),
+            std_err: self.loss.wilson_half_width() / 1.96,
+            ci_low: lo,
+            ci_high: hi,
+            rel_err: self.loss.rel_half_width(),
+        }
+    }
+
+    fn save(&self) -> Json {
+        Json::obj(vec![
+            ("loss", self.loss.save()),
+            ("catastrophic_pools", Json::U64(self.catastrophic_pools)),
+            ("data_loss_events", Json::U64(self.data_loss_events)),
+            ("disk_failures", Json::U64(self.disk_failures)),
+            ("cross_rack_traffic_tb", self.cross_rack_traffic_tb.save()),
+            ("total_sojourn_h", self.total_sojourn_h.save()),
+        ])
+    }
+
+    fn load(value: &Json) -> Option<Self> {
+        Some(LossAcc {
+            loss: Proportion::load(value.get("loss")?)?,
+            catastrophic_pools: value.get("catastrophic_pools")?.as_u64()?,
+            data_loss_events: value.get("data_loss_events")?.as_u64()?,
+            disk_failures: value.get("disk_failures")?.as_u64()?,
+            cross_rack_traffic_tb: Welford::load(value.get("cross_rack_traffic_tb")?)?,
+            total_sojourn_h: Welford::load(value.get("total_sojourn_h")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlec_runner::{run, RunSpec, StopRule};
+    use mlec_topology::MlecScheme;
+
+    #[test]
+    fn pool_trial_runs_through_executor_deterministically() {
+        let dep = MlecDeployment::paper_default(MlecScheme::CC);
+        let model = FailureModel::Exponential { afr: 4.0 };
+        let trial = PoolTrial {
+            dep: &dep,
+            model: &model,
+            years_per_trial: 20.0,
+        };
+        let a = run(
+            &trial,
+            &RunSpec::new("trials/pool", 77, StopRule::fixed(24)).threads(1),
+        )
+        .unwrap();
+        let b = run(
+            &trial,
+            &RunSpec::new("trials/pool", 77, StopRule::fixed(24)).threads(4),
+        )
+        .unwrap();
+        assert_eq!(a.acc, b.acc);
+        assert!((a.acc.pool_years - 24.0 * 20.0).abs() < 1e-9);
+        assert!(a.acc.disk_failures > 0);
+    }
+
+    #[test]
+    fn pool_acc_round_trips_through_json() {
+        let dep = MlecDeployment::paper_default(MlecScheme::CD);
+        let model = FailureModel::Exponential { afr: 2.0 };
+        let trial = PoolTrial {
+            dep: &dep,
+            model: &model,
+            years_per_trial: 50.0,
+        };
+        let report = run(
+            &trial,
+            &RunSpec::new("trials/pool-json", 3, StopRule::fixed(8)),
+        )
+        .unwrap();
+        let back = PoolAcc::load(&report.acc.save()).unwrap();
+        assert_eq!(back, report.acc);
+    }
+
+    #[test]
+    fn system_trial_loss_proportion_is_sane() {
+        let dep = MlecDeployment::paper_default(MlecScheme::CC);
+        let model = FailureModel::Exponential { afr: 1.0 };
+        let trial = SystemTrial {
+            dep: &dep,
+            model: &model,
+            method: RepairMethod::Fco,
+            years: 0.5,
+            opts: SystemSimOptions::default(),
+        };
+        let report = run(
+            &trial,
+            &RunSpec::new("trials/system", 5, StopRule::fixed(6)),
+        )
+        .unwrap();
+        assert_eq!(report.trials, 6);
+        let s = report.summary;
+        assert!((0.0..=1.0).contains(&s.mean));
+        assert!(s.ci_low <= s.mean && s.mean <= s.ci_high);
+    }
+}

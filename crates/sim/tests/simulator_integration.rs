@@ -2,6 +2,7 @@
 //! the pool and system simulators, repair planning consistency, and
 //! determinism guarantees.
 
+use mlec_runner::{SeedStream, SplitMix64};
 use mlec_sim::config::MlecDeployment;
 use mlec_sim::failure::FailureModel;
 use mlec_sim::pool_sim::simulate_pool;
@@ -9,7 +10,6 @@ use mlec_sim::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMeth
 use mlec_sim::system_sim::{simulate_system, simulate_system_trace};
 use mlec_sim::trace::{synthesize, FailureTrace, TraceSpec};
 use mlec_topology::{Geometry, MlecScheme};
-use proptest::prelude::*;
 
 fn paper(scheme: MlecScheme) -> MlecDeployment {
     MlecDeployment::paper_default(scheme)
@@ -69,8 +69,7 @@ fn trace_and_exponential_paths_agree_statistically() {
     let mut trace_cat = 0u64;
     for seed in 0..6u64 {
         let model = FailureModel::Exponential { afr };
-        exp_cat += simulate_system(&dep, &model, RepairMethod::Fco, years, seed)
-            .catastrophic_pools;
+        exp_cat += simulate_system(&dep, &model, RepairMethod::Fco, years, seed).catastrophic_pools;
         let trace = synthesize(
             &g,
             &TraceSpec {
@@ -82,8 +81,8 @@ fn trace_and_exponential_paths_agree_statistically() {
             },
             seed,
         );
-        trace_cat += simulate_system_trace(&dep, &trace, RepairMethod::Fco, seed)
-            .catastrophic_pools;
+        trace_cat +=
+            simulate_system_trace(&dep, &trace, RepairMethod::Fco, seed).catastrophic_pools;
     }
     assert!(exp_cat > 10, "need events: exp={exp_cat}");
     let ratio = trace_cat as f64 / exp_cat as f64;
@@ -104,44 +103,53 @@ fn pool_sim_scales_linearly_with_years() {
     assert!((1.6..2.4).contains(&ratio), "ratio={ratio}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// One RNG per (property, case), derived exactly like runner trial seeds.
+fn case_rng(property: &str, case: u64) -> SplitMix64 {
+    SplitMix64::new(SeedStream::new(0x51417E5, property).trial_seed(case))
+}
 
-    /// System simulation is reproducible for any seed/scheme combination.
-    #[test]
-    fn system_sim_deterministic(seed: u64, scheme_idx in 0usize..4) {
-        let scheme = MlecScheme::ALL[scheme_idx];
+/// System simulation is reproducible for any seed/scheme combination.
+#[test]
+fn system_sim_deterministic() {
+    for case in 0..16u64 {
+        let mut r = case_rng("system-deterministic", case);
+        let seed = r.next_u64();
+        let scheme = MlecScheme::ALL[(r.next_u64() % 4) as usize];
         let dep = paper(scheme);
         let model = FailureModel::Exponential { afr: 0.8 };
         let a = simulate_system(&dep, &model, RepairMethod::Hyb, 1.0, seed);
         let b = simulate_system(&dep, &model, RepairMethod::Hyb, 1.0, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Traces round-trip through CSV regardless of content.
-    #[test]
-    fn trace_csv_roundtrip(
-        times in proptest::collection::vec(0.0f64..1e5, 0..50),
-        disks in proptest::collection::vec(0u32..57_600, 0..50),
-    ) {
-        let events: Vec<mlec_sim::trace::TraceEvent> = times
-            .iter()
-            .zip(&disks)
-            .map(|(&time_h, &disk)| mlec_sim::trace::TraceEvent { time_h, disk })
+/// Traces round-trip through CSV regardless of content.
+#[test]
+fn trace_csv_roundtrip() {
+    for case in 0..16u64 {
+        let mut r = case_rng("trace-csv", case);
+        let n = (r.next_u64() % 50) as usize;
+        let events: Vec<mlec_sim::trace::TraceEvent> = (0..n)
+            .map(|_| mlec_sim::trace::TraceEvent {
+                time_h: r.next_f64() * 1e5,
+                disk: (r.next_u64() % 57_600) as u32,
+            })
             .collect();
         let trace = FailureTrace::new(events);
         let parsed = FailureTrace::from_csv(&trace.to_csv()).unwrap();
-        prop_assert_eq!(parsed, trace);
+        assert_eq!(parsed, trace);
     }
+}
 
-    /// Catastrophic injection census is conserved: lost chunk volume never
-    /// exceeds the failed volume, lost stripes never exceed the pool.
-    #[test]
-    fn injection_census_bounds(scheme_idx in 0usize..4) {
-        let dep = paper(MlecScheme::ALL[scheme_idx]);
+/// Catastrophic injection census is conserved: lost chunk volume never
+/// exceeds the failed volume, lost stripes never exceed the pool.
+#[test]
+fn injection_census_bounds() {
+    for scheme in MlecScheme::ALL {
+        let dep = paper(scheme);
         let injected = inject_catastrophic(&dep);
-        prop_assert!(injected.lost_chunk_volume_tb <= injected.failed_volume_tb + 1e-9);
-        prop_assert!(injected.lost_stripes <= injected.total_stripes);
-        prop_assert!(injected.lost_stripes > 0.0);
+        assert!(injected.lost_chunk_volume_tb <= injected.failed_volume_tb + 1e-9);
+        assert!(injected.lost_stripes <= injected.total_stripes);
+        assert!(injected.lost_stripes > 0.0);
     }
 }

@@ -18,7 +18,11 @@ pub enum BurstError {
     /// More affected racks than racks in the system.
     TooManyRacks { requested: u32, available: u32 },
     /// More failures assigned to a rack than it has disks.
-    RackOverflow { rack: RackId, requested: u32, disks: u32 },
+    RackOverflow {
+        rack: RackId,
+        requested: u32,
+        disks: u32,
+    },
 }
 
 impl std::fmt::Display for BurstError {
@@ -27,11 +31,21 @@ impl std::fmt::Display for BurstError {
             BurstError::TooFewFailures { failures, racks } => {
                 write!(f, "{failures} failures cannot cover {racks} racks")
             }
-            BurstError::TooManyRacks { requested, available } => {
+            BurstError::TooManyRacks {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} racks but system has {available}")
             }
-            BurstError::RackOverflow { rack, requested, disks } => {
-                write!(f, "rack {rack} asked for {requested} failures but has {disks} disks")
+            BurstError::RackOverflow {
+                rack,
+                requested,
+                disks,
+            } => {
+                write!(
+                    f,
+                    "rack {rack} asked for {requested} failures but has {disks} disks"
+                )
             }
         }
     }

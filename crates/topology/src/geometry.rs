@@ -5,8 +5,6 @@
 //! `d % disks_per_enclosure`. All placement schemes are defined in terms of
 //! these coordinates.
 
-use serde::{Deserialize, Serialize};
-
 /// Global disk index in `[0, total_disks)`.
 pub type DiskId = u32;
 /// Rack index in `[0, racks)`.
@@ -15,7 +13,7 @@ pub type RackId = u32;
 pub type EnclosureId = u32;
 
 /// Physical shape and capacity parameters of the simulated datacenter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Geometry {
     /// Number of racks.
     pub racks: u32,
@@ -112,7 +110,11 @@ impl Geometry {
     }
 
     /// Iterator over all disks in a (rack, enclosure).
-    pub fn disks_in_enclosure(&self, rack: RackId, enclosure: EnclosureId) -> std::ops::Range<DiskId> {
+    pub fn disks_in_enclosure(
+        &self,
+        rack: RackId,
+        enclosure: EnclosureId,
+    ) -> std::ops::Range<DiskId> {
         let start = self.disk_at(rack, enclosure, 0);
         start..start + self.disks_per_enclosure
     }
@@ -153,7 +155,9 @@ mod tests {
         assert!(rack1.iter().all(|&d| g.rack_of(d) == 1));
         let encl: Vec<DiskId> = g.disks_in_enclosure(2, 1).collect();
         assert_eq!(encl.len(), g.disks_per_enclosure as usize);
-        assert!(encl.iter().all(|&d| g.rack_of(d) == 2 && g.enclosure_of(d) == 1));
+        assert!(encl
+            .iter()
+            .all(|&d| g.rack_of(d) == 2 && g.enclosure_of(d) == 1));
     }
 
     #[test]

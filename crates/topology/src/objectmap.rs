@@ -11,11 +11,10 @@
 
 use crate::geometry::{DiskId, Geometry, RackId};
 use crate::placement::{LocalPoolMap, MlecScheme, NetworkPoolMap, Placement};
-use serde::{Deserialize, Serialize};
 
 /// Code parameters the mapper needs (decoupled from `mlec-ec` to keep the
 /// layering acyclic: topology must not depend on the codec crate's types).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MapperCode {
     /// Network-level data chunks.
     pub kn: u32,
@@ -55,7 +54,7 @@ impl MapperCode {
 }
 
 /// The physical location of one chunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkLocation {
     /// Network stripe index.
     pub network_stripe: u64,
@@ -95,10 +94,9 @@ impl ObjectMapper {
     ) -> ObjectMapper {
         let pools = LocalPoolMap::new(geometry, scheme.local, code.local_width());
         let network_pools = match scheme.network {
-            Placement::Clustered => Some(NetworkPoolMap::new_clustered(
-                &pools,
-                code.network_width(),
-            )),
+            Placement::Clustered => {
+                Some(NetworkPoolMap::new_clustered(&pools, code.network_width()))
+            }
             Placement::Declustered => None,
         };
         ObjectMapper {
@@ -114,8 +112,8 @@ impl ObjectMapper {
 
     /// Logical data capacity addressable by the mapper, in bytes.
     pub fn logical_capacity_bytes(&self) -> u64 {
-        let total_chunks = self.geometry.total_disks() as u64
-            * self.geometry.chunks_per_disk() as u64;
+        let total_chunks =
+            self.geometry.total_disks() as u64 * self.geometry.chunks_per_disk() as u64;
         let stripes = total_chunks / (self.code.network_width() * self.code.local_width()) as u64;
         stripes * self.code.stripe_data_bytes(self.chunk_bytes)
     }
@@ -141,9 +139,8 @@ impl ObjectMapper {
     /// All `(kn+pn) x (kl+pl)` chunk locations of a network stripe — what a
     /// repair coordinator enumerates when planning R_FCO/R_MIN reads.
     pub fn stripe_chunks(&self, network_stripe: u64) -> Vec<ChunkLocation> {
-        let mut out = Vec::with_capacity(
-            (self.code.network_width() * self.code.local_width()) as usize,
-        );
+        let mut out =
+            Vec::with_capacity((self.code.network_width() * self.code.local_width()) as usize);
         for row in 0..self.code.network_width() {
             for col in 0..self.code.local_width() {
                 out.push(self.chunk_at(network_stripe, row, col));
@@ -190,11 +187,9 @@ impl ObjectMapper {
                     self.code.network_width(),
                     row,
                 );
-                let pool_in_rack = (hash3(
-                    self.seed,
-                    network_stripe.wrapping_add(row as u64),
-                    0x900d,
-                ) % self.pools.pools_per_rack() as u64) as u32;
+                let pool_in_rack =
+                    (hash3(self.seed, network_stripe.wrapping_add(row as u64), 0x900d)
+                        % self.pools.pools_per_rack() as u64) as u32;
                 rack * self.pools.pools_per_rack() + pool_in_rack
             }
             (None, Placement::Clustered) => unreachable!("clustered network keeps a pool map"),
@@ -366,18 +361,12 @@ mod tests {
     #[test]
     fn clustered_rows_stay_in_their_network_pool() {
         let m = mapper(MlecScheme::CC);
-        let pools = LocalPoolMap::new(
-            Geometry::paper_default(),
-            Placement::Clustered,
-            20,
-        );
+        let pools = LocalPoolMap::new(Geometry::paper_default(), Placement::Clustered, 20);
         let np = NetworkPoolMap::new_clustered(&pools, 12);
         for stripe in [0u64, 41, 500] {
             let chunks = m.stripe_chunks(stripe);
-            let mut network_pools: Vec<u32> = chunks
-                .iter()
-                .map(|c| np.network_pool_of(c.pool))
-                .collect();
+            let mut network_pools: Vec<u32> =
+                chunks.iter().map(|c| np.network_pool_of(c.pool)).collect();
             network_pools.sort_unstable();
             network_pools.dedup();
             assert_eq!(network_pools.len(), 1, "one network pool per stripe");
@@ -420,7 +409,10 @@ mod tests {
         let raw = 57_600.0 * 20e12;
         let expect = raw * 170.0 / 240.0;
         let got = cap as f64;
-        assert!((got - expect).abs() / expect < 1e-6, "cap={got} expect={expect}");
+        assert!(
+            (got - expect).abs() / expect < 1e-6,
+            "cap={got} expect={expect}"
+        );
     }
 
     #[test]

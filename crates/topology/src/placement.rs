@@ -16,10 +16,9 @@
 //!   `k_n + p_n` local pools in distinct racks).
 
 use crate::geometry::{DiskId, Geometry, RackId};
-use serde::{Deserialize, Serialize};
 
 /// Clustered or declustered parity placement (paper Fig. 2d/2e).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Every `width` disks form a pool; a stripe occupies the entire pool.
     Clustered,
@@ -39,7 +38,7 @@ impl Placement {
 }
 
 /// One of the four MLEC placement schemes (network level / local level).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MlecScheme {
     /// Placement at the network (inter-rack) level.
     pub network: Placement,
@@ -85,7 +84,7 @@ impl std::fmt::Display for MlecScheme {
 }
 
 /// SLEC placements compared in §5.1.3 (Fig. 13).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlecPlacement {
     /// Clustered pools inside an enclosure; no rack tolerance.
     LocalCp,
@@ -401,13 +400,16 @@ mod tests {
         assert_eq!(net.pools_per_network_pool(), 12);
         // Local pools at the same position in racks 0 and 11 share a network
         // pool; racks 11 and 12 do not.
-        let p_rack0 = 0 * 48 + 7;
+        let p_rack0 = 7; // rack 0 * 48 pools/rack + position 7
         let p_rack11 = 11 * 48 + 7;
         let p_rack12 = 12 * 48 + 7;
         assert_eq!(net.network_pool_of(p_rack0), net.network_pool_of(p_rack11));
         assert_ne!(net.network_pool_of(p_rack0), net.network_pool_of(p_rack12));
         // Different positions in the same rack group are different pools.
-        assert_ne!(net.network_pool_of(p_rack0), net.network_pool_of(p_rack0 + 1));
+        assert_ne!(
+            net.network_pool_of(p_rack0),
+            net.network_pool_of(p_rack0 + 1)
+        );
     }
 
     #[test]

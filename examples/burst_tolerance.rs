@@ -35,6 +35,10 @@ fn main() {
     println!("\nReading the table (paper findings):");
     println!("  - Scattering the same failures over more racks lowers PDL (F#2).");
     println!("  - C/C is the most burst-tolerant; D/D the least (F#5-7).");
-    println!("  - Everything survives a single-rack event: network parity covers a full rack (F#3).");
-    println!("\nTakeaway #3 from the paper: systems seeing frequent correlated bursts should use C/C.");
+    println!(
+        "  - Everything survives a single-rack event: network parity covers a full rack (F#3)."
+    );
+    println!(
+        "\nTakeaway #3 from the paper: systems seeing frequent correlated bursts should use C/C."
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
         .map(|i| format!("local chunk {i:02} of a (17+3) stripe!").into_bytes())
         .collect();
     let encoded = rs.encode(&data).unwrap();
-    println!("RS(17+3): encoded 17 data chunks into {} shards", encoded.len());
+    println!(
+        "RS(17+3): encoded 17 data chunks into {} shards",
+        encoded.len()
+    );
     let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
     shards[2] = None;
     shards[9] = None;
@@ -58,7 +61,10 @@ fn main() {
     let lrc = Lrc::new(4, 2, 2).unwrap();
     let data: Vec<Vec<u8>> = (1..=4).map(|i| format!("a{i}").into_bytes()).collect();
     let chunks = lrc.encode(&data).unwrap();
-    println!("LRC(4,2,2): {} chunks (4 data + 2 local + 2 global parities)", chunks.len());
+    println!(
+        "LRC(4,2,2): {} chunks (4 data + 2 local + 2 global parities)",
+        chunks.len()
+    );
     println!(
         "  single-failure repair cost: {} chunks (group) vs 4 for a plain (4+2) RS",
         lrc.single_repair_cost(0)

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example durability_report`
 
 use mlec_core::analysis::chains::{pool_catastrophic_rate_per_year, pool_chain};
-use mlec_core::analysis::splitting::{stage1_from_simulation, stage2_pdl};
 use mlec_core::analysis::markov::nines;
+use mlec_core::analysis::splitting::{stage1_from_simulation, stage2_pdl};
 use mlec_core::sim::config::MlecDeployment;
 use mlec_core::sim::failure::FailureModel;
 use mlec_core::sim::pool_sim::simulate_pool;
@@ -74,7 +74,10 @@ fn main() {
         s1.cat_rate_per_pool_year
     );
     let pdl = stage2_pdl(&dep, RepairMethod::Fco, &s1, 1.0);
-    println!("  system durability at this AFR under R_FCO: {:.1} nines", nines(pdl));
+    println!(
+        "  system durability at this AFR under R_FCO: {:.1} nines",
+        nines(pdl)
+    );
 
     // 4. Chain internals, for the curious.
     let dep = MlecDeployment::paper_default(MlecScheme::CD);

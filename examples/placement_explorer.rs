@@ -46,8 +46,7 @@ fn main() {
         42,
     );
     let chunks = mapper.stripe_chunks(12345);
-    let racks: std::collections::BTreeSet<u32> =
-        chunks.iter().map(|c| mapper.rack_of(c)).collect();
+    let racks: std::collections::BTreeSet<u32> = chunks.iter().map(|c| mapper.rack_of(c)).collect();
     println!(
         "\nD/D network stripe 12345 spans {} chunks in {} racks: {:?}",
         chunks.len(),

@@ -33,7 +33,10 @@ fn main() {
     // The headline repair-method tradeoff on C/D: traffic vs time.
     let system = MlecSystem::paper_default(MlecScheme::CD);
     println!("repair methods on C/D (catastrophic pool, p_l+1 = 4 failed disks):");
-    println!("  {:8} {:>14} {:>12} {:>12}", "method", "cross-rack TB", "network h", "local h");
+    println!(
+        "  {:8} {:>14} {:>12} {:>12}",
+        "method", "cross-rack TB", "network h", "local h"
+    );
     for method in RepairMethod::ALL {
         let plan = system.plan_catastrophic_repair(method);
         println!(

@@ -28,7 +28,11 @@ fn main() {
                 plan.network_time_h,
                 plan.local_time_h,
                 nines,
-                if method.has_chunk_knowledge() { "yes" } else { "no (black-box RBOD ok)" },
+                if method.has_chunk_knowledge() {
+                    "yes"
+                } else {
+                    "no (black-box RBOD ok)"
+                },
             );
         }
         println!();

@@ -28,9 +28,8 @@ fn paper_default_mlec_codec_survives_its_design_tolerance() {
         .map(|row| row.iter().cloned().map(Some).collect())
         .collect();
     // Kill rows 0 and 5 entirely (2 lost local stripes = p_n tolerated).
-    for i in 0..20 {
-        grid[0][i] = None;
-        grid[5][i] = None;
+    for row in [0, 5] {
+        grid[row].iter_mut().for_each(|c| *c = None);
     }
     // And 3 random chunks in every other row (p_l tolerated locally).
     for (j, row) in grid.iter_mut().enumerate() {

@@ -22,10 +22,24 @@ fn table2_full_reproduction() {
     ];
     for (scheme, disk_tb, disk_bw, pool_tb, pool_bw) in expect {
         let row = rows.iter().find(|r| r.scheme == scheme).unwrap();
-        assert!((row.disk_size_tb - disk_tb).abs() < 0.5, "{scheme} disk size");
-        assert!((row.disk_bw_mbs - disk_bw).abs() < 1.0, "{scheme} disk bw: {}", row.disk_bw_mbs);
-        assert!((row.pool_size_tb - pool_tb).abs() < 0.5, "{scheme} pool size");
-        assert!((row.pool_bw_mbs - pool_bw).abs() < 1.0, "{scheme} pool bw: {}", row.pool_bw_mbs);
+        assert!(
+            (row.disk_size_tb - disk_tb).abs() < 0.5,
+            "{scheme} disk size"
+        );
+        assert!(
+            (row.disk_bw_mbs - disk_bw).abs() < 1.0,
+            "{scheme} disk bw: {}",
+            row.disk_bw_mbs
+        );
+        assert!(
+            (row.pool_size_tb - pool_tb).abs() < 0.5,
+            "{scheme} pool size"
+        );
+        assert!(
+            (row.pool_bw_mbs - pool_bw).abs() < 1.0,
+            "{scheme} pool bw: {}",
+            row.pool_bw_mbs
+        );
     }
 }
 
@@ -96,8 +110,14 @@ fn fig10_all_findings() {
         .iter()
         .map(|s| get(s, "R_FCO") - get(s, "R_ALL"))
         .collect();
-    assert!(fco_gains.iter().cloned().fold(f64::NAN, f64::max) > 4.0, "{fco_gains:?}");
-    assert!(fco_gains.iter().cloned().fold(f64::NAN, f64::min) > 0.3, "{fco_gains:?}");
+    assert!(
+        fco_gains.iter().cloned().fold(f64::NAN, f64::max) > 4.0,
+        "{fco_gains:?}"
+    );
+    assert!(
+        fco_gains.iter().cloned().fold(f64::NAN, f64::min) > 0.3,
+        "{fco_gains:?}"
+    );
     // F#4: with R_MIN, C/D and D/D best, D/C worst.
     assert!(get("D/C", "R_MIN") <= get("C/C", "R_MIN"));
     assert!(get("C/D", "R_MIN") >= get("C/C", "R_MIN"));
