@@ -14,9 +14,10 @@
 
 use crate::chains::pool_catastrophic_rate_per_year;
 use crate::markov::nines;
-use mlec_runner::{run, RunReport, RunSpec};
+use mlec_runner::{run, RunReport, RunSpec, POISSON_ZERO_EVENT_UPPER_95};
 use mlec_sim::config::{MlecDeployment, HOURS_PER_YEAR};
 use mlec_sim::failure::FailureModel;
+use mlec_sim::importance::FailureBias;
 use mlec_sim::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
 use mlec_sim::trials::{PoolAcc, PoolTrial};
 use mlec_topology::Placement;
@@ -24,12 +25,17 @@ use mlec_topology::Placement;
 /// Stage-1 summary of catastrophic local-pool behaviour.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stage1 {
-    /// Catastrophic events per pool-year.
+    /// Catastrophic events per pool-year. When `unobserved` is set this is
+    /// the Poisson 95% *upper bound* on the rate, not a point estimate.
     pub cat_rate_per_pool_year: f64,
     /// Lost local stripes per catastrophic event.
     pub lost_stripes: f64,
     /// Stripes per pool.
     pub stripes_per_pool: f64,
+    /// True when a simulation campaign observed zero events and the rate is
+    /// the zero-event upper bound — downstream `stage2_pdl` then yields a
+    /// PDL upper bound, i.e. a durability *lower* bound (never ∞ nines).
+    pub unobserved: bool,
 }
 
 /// Analytic stage 1 from the pool Markov chain plus the injected-failure
@@ -40,54 +46,82 @@ pub fn stage1_analytic(dep: &MlecDeployment) -> Stage1 {
         cat_rate_per_pool_year: pool_catastrophic_rate_per_year(dep),
         lost_stripes: injected.lost_stripes,
         stripes_per_pool: injected.total_stripes,
+        unobserved: false,
     }
 }
 
 /// Stage 1 from simulation samples (pool-years of [`mlec_sim::pool_sim`]).
+///
+/// A campaign that observed zero events reports the Poisson 95% upper bound
+/// `-ln(0.05)/pool_years` with `unobserved` set, instead of a rate of 0 that
+/// would silently turn into ∞ nines downstream.
 pub fn stage1_from_simulation(
     dep: &MlecDeployment,
     result: &mlec_sim::pool_sim::PoolSimResult,
 ) -> Stage1 {
     let injected = inject_catastrophic(dep);
+    let unobserved = result.events.is_empty();
+    let rate = if unobserved {
+        if result.pool_years > 0.0 {
+            POISSON_ZERO_EVENT_UPPER_95 / result.pool_years
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        result.rate_per_pool_year()
+    };
     Stage1 {
-        cat_rate_per_pool_year: result.rate_per_pool_year(),
-        lost_stripes: if result.events.is_empty() {
+        cat_rate_per_pool_year: rate,
+        lost_stripes: if unobserved {
             injected.lost_stripes
         } else {
             result.mean_lost_stripes()
         },
         stripes_per_pool: injected.total_stripes,
+        unobserved,
     }
 }
 
 /// Stage 1 from a runner-driven pool-simulation campaign: each trial
-/// simulates one pool for `years_per_trial`, executed by `mlec-runner`'s
-/// deterministic batched executor (per-trial seeds from the spec's seed
-/// stream, adaptive stopping on the catastrophic-event count, optional
-/// checkpoint/resume via the spec's manifest). Returns the stage-1 summary
-/// together with the full run report (Poisson CI on the rate, trial counts,
-/// throughput).
+/// simulates one pool for `years_per_trial` with importance-sampled failure
+/// arrivals under `bias` ([`FailureBias::NONE`] for direct simulation),
+/// executed by `mlec-runner`'s deterministic batched executor (per-trial
+/// seeds from the spec's seed stream, adaptive stopping on the weighted
+/// rate's relative error, optional checkpoint/resume via the spec's
+/// manifest). Returns the stage-1 summary together with the full run report
+/// (compound-Poisson CI on the weighted rate, ESS, trial counts).
+///
+/// Zero observed events yield the Poisson 95% upper bound with `unobserved`
+/// set, exactly like [`stage1_from_simulation`].
 pub fn stage1_via_runner(
     dep: &MlecDeployment,
     model: &FailureModel,
     years_per_trial: f64,
+    bias: FailureBias,
     spec: &RunSpec,
 ) -> std::io::Result<(Stage1, RunReport<PoolAcc>)> {
     let trial = PoolTrial {
         dep,
         model,
         years_per_trial,
+        bias,
     };
     let report = run(&trial, spec)?;
     let injected = inject_catastrophic(dep);
+    let unobserved = report.acc.events() == 0;
     let s1 = Stage1 {
-        cat_rate_per_pool_year: report.acc.rate_per_pool_year(),
-        lost_stripes: if report.acc.events == 0 {
+        cat_rate_per_pool_year: if unobserved {
+            report.acc.rate.zero_event_upper_95()
+        } else {
+            report.acc.rate_per_pool_year()
+        },
+        lost_stripes: if unobserved {
             injected.lost_stripes
         } else {
             report.acc.mean_lost_stripes()
         },
         stripes_per_pool: injected.total_stripes,
+        unobserved,
     };
     Ok((s1, report))
 }
@@ -301,16 +335,30 @@ mod tests {
 
     #[test]
     fn stage1_simulation_fallback() {
+        // Zero observed events must yield the Poisson 95% upper bound and
+        // the unobserved flag — never a rate of 0 that becomes ∞ nines.
         let d = dep(MlecScheme::CC);
         let empty = mlec_sim::pool_sim::PoolSimResult {
             pool_years: 100.0,
             events: vec![],
             disk_failures: 10,
             max_concurrent: 2,
+            excursions: 1,
+            excursion_weight: 1.0,
         };
         let s1 = stage1_from_simulation(&d, &empty);
-        assert_eq!(s1.cat_rate_per_pool_year, 0.0);
+        assert!(s1.unobserved);
+        let expect = POISSON_ZERO_EVENT_UPPER_95 / 100.0;
+        assert!(
+            (s1.cat_rate_per_pool_year - expect).abs() < 1e-15,
+            "rate={}",
+            s1.cat_rate_per_pool_year
+        );
         assert!(s1.lost_stripes > 0.0, "falls back to injected census");
+        // The bound flows through stage 2 into a finite durability floor.
+        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
+        assert!(pdl > 0.0 && pdl < 1.0, "pdl={pdl}");
+        assert!(nines(pdl).is_finite());
     }
 
     #[test]
@@ -320,19 +368,40 @@ mod tests {
         d.config.afr = 5.0;
         let model = mlec_sim::failure::FailureModel::Exponential { afr: 5.0 };
         let spec = RunSpec::new("splitting/stage1-unit", 9, StopRule::fixed(8));
-        let (s1, report) = stage1_via_runner(&d, &model, 100.0, &spec).unwrap();
+        let (s1, report) = stage1_via_runner(&d, &model, 100.0, FailureBias::NONE, &spec).unwrap();
         assert_eq!(report.trials, 8);
-        assert!((report.acc.pool_years - 800.0).abs() < 1e-9);
-        assert_eq!(s1.cat_rate_per_pool_year, report.acc.rate_per_pool_year());
-        if report.acc.events == 0 {
+        assert!((report.acc.pool_years() - 800.0).abs() < 1e-9);
+        if report.acc.events() == 0 {
             // Falls back to the injected census, like stage1_from_simulation.
+            assert!(s1.unobserved);
             assert!(s1.lost_stripes > 0.0);
         } else {
+            assert!(!s1.unobserved);
+            assert_eq!(s1.cat_rate_per_pool_year, report.acc.rate_per_pool_year());
             assert_eq!(s1.lost_stripes, report.acc.mean_lost_stripes());
         }
         // Stage 2 accepts the simulated stage 1 and yields a plausible PDL.
         let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
         assert!((0.0..=1.0).contains(&pdl));
+    }
+
+    #[test]
+    fn stage1_via_runner_importance_sampled_at_paper_afr() {
+        // The tentpole end-to-end: at the true 1% AFR a biased campaign
+        // observes weighted events and stage 2 reports finite nines.
+        use mlec_runner::StopRule;
+        let d = dep(MlecScheme::CC);
+        let model = mlec_sim::failure::FailureModel::Exponential { afr: 0.01 };
+        let bias = FailureBias::auto(&d, &model);
+        let spec = RunSpec::new("splitting/stage1-is", 11, StopRule::fixed(16));
+        let (s1, report) = stage1_via_runner(&d, &model, 50.0, bias, &spec).unwrap();
+        assert!(report.acc.events() > 0, "auto bias must observe events");
+        assert!(!s1.unobserved);
+        assert!(s1.cat_rate_per_pool_year > 0.0);
+        assert!(report.acc.rate.ess() > 0.0);
+        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
+        assert!(pdl > 0.0, "pdl={pdl}");
+        assert!(nines(pdl).is_finite());
     }
 
     #[test]

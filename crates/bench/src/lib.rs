@@ -69,6 +69,37 @@ pub fn arg_u64(key: &str, default: u64) -> u64 {
     default
 }
 
+/// Parse a single `key=value` f64 argument with a default.
+pub fn arg_f64(key: &str, default: f64) -> f64 {
+    for arg in std::env::args().skip(1) {
+        if let Some((k, value)) = arg.split_once('=') {
+            if k == key {
+                if let Ok(v) = value.parse() {
+                    return v;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// Parse the `bias=` knob of the importance-sampled simulation modes:
+/// absent or `bias=auto` → `None` (auto-select per scheme), `bias=1` →
+/// direct simulation, `bias=B` → degraded-state multiplier `B`.
+pub fn bias_from_args() -> Option<f64> {
+    let raw = arg_str("bias")?;
+    if raw == "auto" {
+        return None;
+    }
+    match raw.parse::<f64>() {
+        Ok(b) if b.is_finite() && b > 0.0 => Some(b),
+        _ => {
+            eprintln!("warning: ignoring invalid bias={raw} (want auto or a positive number)");
+            None
+        }
+    }
+}
+
 /// Standard banner for figure binaries.
 pub fn banner(figure: &str, description: &str) {
     println!("=== {figure}: {description}");

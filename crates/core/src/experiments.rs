@@ -25,6 +25,7 @@ use mlec_sim::bandwidth::{
     single_disk_repair_bw_mbs, single_disk_repair_hours,
 };
 use mlec_sim::config::MlecDeployment;
+use mlec_sim::importance::FailureBias;
 use mlec_sim::repair::{plan_catastrophic_repair, RepairMethod};
 use mlec_sim::traffic;
 use mlec_sim::SimConfig;
@@ -257,50 +258,84 @@ pub fn fig7_catastrophic_prob() -> Vec<CatastrophicProbRow> {
 }
 
 /// One simulated Fig 7 row: the catastrophic-pool rate measured by a
-/// runner-driven pool-simulation campaign, with its Poisson 95% interval.
+/// runner-driven pool-simulation campaign, with its compound-Poisson 95%
+/// interval (plain Poisson under unbiased simulation).
 #[derive(Debug, Clone)]
 pub struct CatastrophicSimRow {
     /// Scheme label.
     pub scheme: String,
-    /// Simulated catastrophic events per pool-year.
+    /// Simulated (weighted) catastrophic events per pool-year; the Poisson
+    /// 95% upper bound when `unobserved` is set.
     pub rate_per_pool_year: f64,
-    /// 95% interval on the rate (Poisson counting statistics).
+    /// 95% interval on the rate (compound-Poisson statistics).
     pub rate_ci_low: f64,
     pub rate_ci_high: f64,
     /// Catastrophic probability per system-year implied by the rate.
     pub prob_per_system_year: f64,
     /// Analytic (Markov-chain) counterpart at the same AFR, for comparison.
     pub analytic_prob_per_system_year: f64,
-    /// Catastrophic events observed.
+    /// Catastrophic events observed (raw count).
     pub events: u64,
+    /// Likelihood-weighted event total (equals `events` when unbiased).
+    pub weighted_events: f64,
+    /// Effective sample size of the weighted events.
+    pub ess: f64,
+    /// Mean likelihood weight per excursion (≈1 when correctly weighted).
+    pub mean_weight: f64,
+    /// Importance-sampling multiplier applied while the pool was degraded.
+    pub bias: f64,
     /// Pool-years simulated.
     pub pool_years: f64,
+    /// True when zero events were observed and the rate is an upper bound.
+    pub unobserved: bool,
+}
+
+/// Resolve the `bias=` knob for a scheme: `None` picks
+/// [`FailureBias::auto`] for the deployment/model, `Some(1.0)` forces
+/// direct simulation, any other multiplier biases the degraded state.
+fn resolve_bias(
+    bias: Option<f64>,
+    dep: &MlecDeployment,
+    model: &mlec_sim::failure::FailureModel,
+) -> FailureBias {
+    match bias {
+        None => FailureBias::auto(dep, model),
+        Some(1.0) => FailureBias::NONE,
+        Some(b) => FailureBias::degraded_only(b),
+    }
 }
 
 /// Fig 7 `mode=sim`: measure each scheme's catastrophic-pool rate by
-/// direct pool simulation through `mlec-runner` (`afr` is inflated so
-/// events are observable; both columns use the same AFR, so the
-/// sim-vs-analytic comparison stays valid).
+/// pool simulation through `mlec-runner`. With importance sampling
+/// (`bias = None` for auto, or an explicit degraded-state multiplier) this
+/// works at the paper's true 1% AFR; both columns use the same AFR, so the
+/// sim-vs-analytic comparison stays valid.
 pub fn fig7_catastrophic_prob_sim(
     afr: f64,
     years_per_trial: f64,
     trials: u64,
     seed: u64,
+    bias: Option<f64>,
     opts: &HeatmapRunOpts,
 ) -> std::io::Result<Vec<CatastrophicSimRow>> {
-    // The trial budget is a stop rule, not run identity: trial seeds depend
-    // only on (root seed, label, index), so extending `trials` must resume
-    // an existing manifest rather than refuse it.
-    let config_hash = Json::obj(vec![
-        ("afr", Json::F64(afr)),
-        ("years_per_trial", Json::F64(years_per_trial)),
-    ])
-    .fingerprint();
     let mut out = Vec::new();
     for scheme in MlecScheme::ALL {
         let mut dep = paper_deployment(scheme);
         dep.config.afr = afr;
         let model = mlec_sim::failure::FailureModel::Exponential { afr };
+        let fb = resolve_bias(bias, &dep, &model);
+        // The trial budget is a stop rule, not run identity: trial seeds
+        // depend only on (root seed, label, index), so extending `trials`
+        // must resume an existing manifest rather than refuse it. The
+        // resolved bias multiplier IS run identity (it changes every trial
+        // result), so it goes into the hash — per scheme, because auto
+        // bias differs across schemes.
+        let config_hash = Json::obj(vec![
+            ("afr", Json::F64(afr)),
+            ("years_per_trial", Json::F64(years_per_trial)),
+            ("bias_degraded", Json::F64(fb.degraded)),
+        ])
+        .fingerprint();
         let run_label = format!("fig07/{}", scheme.name().replace('/', ""));
         let mut spec = RunSpec::new(&run_label, seed, StopRule::fixed(trials))
             .threads(opts.threads)
@@ -309,7 +344,7 @@ pub fn fig7_catastrophic_prob_sim(
             spec = spec.manifest(path);
         }
         let (s1, report) =
-            mlec_analysis::splitting::stage1_via_runner(&dep, &model, years_per_trial, &spec)?;
+            mlec_analysis::splitting::stage1_via_runner(&dep, &model, years_per_trial, fb, &spec)?;
         let pools = dep.local_pools().num_pools() as f64;
         let summary = report.summary;
         out.push(CatastrophicSimRow {
@@ -319,8 +354,13 @@ pub fn fig7_catastrophic_prob_sim(
             rate_ci_high: summary.ci_high,
             prob_per_system_year: -(-s1.cat_rate_per_pool_year * pools).exp_m1(),
             analytic_prob_per_system_year: -(-system_catastrophic_rate_per_year(&dep)).exp_m1(),
-            events: report.acc.events,
-            pool_years: report.acc.pool_years,
+            events: report.acc.events(),
+            weighted_events: report.acc.rate.weighted_events(),
+            ess: report.acc.rate.ess(),
+            mean_weight: report.acc.mean_excursion_weight(),
+            bias: fb.degraded,
+            pool_years: report.acc.pool_years(),
+            unobserved: s1.unobserved,
         });
     }
     Ok(out)
@@ -395,40 +435,55 @@ pub struct DurabilitySimCell {
     pub scheme: String,
     /// Method label.
     pub method: String,
-    /// One-year durability (nines) with the simulated stage-1 rate.
+    /// One-year durability (nines) with the simulated stage-1 rate; a
+    /// durability *lower bound* when `unobserved` is set.
     pub nines_sim_stage1: f64,
     /// One-year durability (nines) with the analytic stage-1 rate.
     pub nines_analytic_stage1: f64,
-    /// Catastrophic events observed in stage 1.
+    /// Catastrophic events observed in stage 1 (raw count).
     pub events: u64,
+    /// Likelihood-weighted event total (equals `events` when unbiased).
+    pub weighted_events: f64,
+    /// Effective sample size of the weighted events.
+    pub ess: f64,
+    /// Importance-sampling multiplier applied while the pool was degraded.
+    pub bias: f64,
     /// Pool-years simulated in stage 1.
     pub pool_years: f64,
+    /// True when stage 1 observed zero events (sim nines are a lower bound
+    /// from the Poisson zero-event rate bound, not ∞).
+    pub unobserved: bool,
 }
 
 /// Fig 10 `mode=sim`: the splitting estimator with stage 1 *measured* by a
 /// runner-driven pool-simulation campaign (one per scheme, shared across
-/// repair methods) instead of the pool Markov chain. `afr` is inflated so
-/// stage-1 events are observable; the analytic column uses the same AFR so
-/// the two stage-1 variants are directly comparable.
+/// repair methods) instead of the pool Markov chain. With importance
+/// sampling (`bias = None` for auto) stage-1 events are observable at the
+/// paper's true 1% AFR; the analytic column uses the same AFR so the two
+/// stage-1 variants are directly comparable.
 pub fn fig10_durability_sim(
     afr: f64,
     years_per_trial: f64,
     trials: u64,
     seed: u64,
+    bias: Option<f64>,
     opts: &HeatmapRunOpts,
 ) -> std::io::Result<Vec<DurabilitySimCell>> {
     use mlec_analysis::splitting::{stage1_analytic, stage1_via_runner, stage2_pdl};
-    // `trials` deliberately excluded — see fig7_catastrophic_prob_sim.
-    let config_hash = Json::obj(vec![
-        ("afr", Json::F64(afr)),
-        ("years_per_trial", Json::F64(years_per_trial)),
-    ])
-    .fingerprint();
     let mut out = Vec::new();
     for scheme in MlecScheme::ALL {
         let mut dep = paper_deployment(scheme);
         dep.config.afr = afr;
         let model = mlec_sim::failure::FailureModel::Exponential { afr };
+        let fb = resolve_bias(bias, &dep, &model);
+        // `trials` deliberately excluded, resolved bias deliberately
+        // included — see fig7_catastrophic_prob_sim.
+        let config_hash = Json::obj(vec![
+            ("afr", Json::F64(afr)),
+            ("years_per_trial", Json::F64(years_per_trial)),
+            ("bias_degraded", Json::F64(fb.degraded)),
+        ])
+        .fingerprint();
         let run_label = format!("fig10/{}", scheme.name().replace('/', ""));
         let mut spec = RunSpec::new(&run_label, seed, StopRule::fixed(trials))
             .threads(opts.threads)
@@ -436,7 +491,7 @@ pub fn fig10_durability_sim(
         if let Some(path) = opts.manifest_path(&run_label) {
             spec = spec.manifest(path);
         }
-        let (s1_sim, report) = stage1_via_runner(&dep, &model, years_per_trial, &spec)?;
+        let (s1_sim, report) = stage1_via_runner(&dep, &model, years_per_trial, fb, &spec)?;
         let s1_analytic = stage1_analytic(&dep);
         for method in RepairMethod::ALL {
             out.push(DurabilitySimCell {
@@ -448,8 +503,12 @@ pub fn fig10_durability_sim(
                 nines_analytic_stage1: mlec_analysis::markov::nines(
                     stage2_pdl(&dep, method, &s1_analytic, 1.0).max(1e-300),
                 ),
-                events: report.acc.events,
-                pool_years: report.acc.pool_years,
+                events: report.acc.events(),
+                weighted_events: report.acc.rate.weighted_events(),
+                ess: report.acc.rate.ess(),
+                bias: fb.degraded,
+                pool_years: report.acc.pool_years(),
+                unobserved: s1_sim.unobserved,
             });
         }
     }
@@ -643,7 +702,12 @@ mlec_runner::impl_to_json!(CatastrophicSimRow {
     prob_per_system_year,
     analytic_prob_per_system_year,
     events,
+    weighted_events,
+    ess,
+    mean_weight,
+    bias,
     pool_years,
+    unobserved,
 });
 mlec_runner::impl_to_json!(DurabilitySimCell {
     scheme,
@@ -651,7 +715,11 @@ mlec_runner::impl_to_json!(DurabilitySimCell {
     nines_sim_stage1,
     nines_analytic_stage1,
     events,
+    weighted_events,
+    ess,
+    bias,
     pool_years,
+    unobserved,
 });
 mlec_runner::impl_to_json!(RepairMethodCell {
     scheme,

@@ -1,7 +1,15 @@
 //! Streaming statistics: Welford mean/variance with exact parallel merge,
-//! and Wilson score intervals for rare-event proportions.
+//! Wilson score intervals for rare-event proportions, and weighted variants
+//! ([`WeightedWelford`], [`WeightedRate`]) for importance-sampled campaigns
+//! where every observation carries a likelihood-ratio weight.
 
 use crate::json::Json;
+
+/// `-ln(0.05)`: the exact 95% Poisson upper bound on a rate after observing
+/// zero events over unit exposure.
+/// `-ln(0.05)`: the 95% upper confidence bound on a Poisson mean when zero
+/// events were observed (divide by the exposure to get a rate bound).
+pub const POISSON_ZERO_EVENT_UPPER_95: f64 = 2.995_732_273_553_991;
 
 /// Welford's online mean/variance accumulator.
 ///
@@ -79,9 +87,14 @@ impl Welford {
         }
     }
 
-    /// |std_err / mean|; infinite when the mean is zero, NaN before two
-    /// samples.
+    /// |std_err / mean|; infinite when the mean is zero or before two
+    /// samples (an empty or single-sample accumulator has not converged —
+    /// returning NaN here would silently defeat `rel_err <= target`
+    /// stopping rules, since every NaN comparison is false).
     pub fn rel_err(&self) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
         let se = self.std_err();
         if self.mean == 0.0 {
             if se == 0.0 {
@@ -108,6 +121,272 @@ impl Welford {
             n: value.get("n")?.as_u64()?,
             mean: f64::from_bits(value.get("mean_bits")?.as_u64()?),
             m2: f64::from_bits(value.get("m2_bits")?.as_u64()?),
+        })
+    }
+}
+
+/// Weighted Welford mean/variance accumulator (West's incremental
+/// algorithm with reliability weights).
+///
+/// Built for importance sampling: each observation `x` carries a
+/// likelihood-ratio weight `w`, the mean estimates `E[w x] / E[w]`, and
+/// [`WeightedWelford::ess`] reports the effective sample size
+/// `(Σw)² / Σw²` — the number of unweighted samples the weighted set is
+/// worth. With all weights 1 it reduces to [`Welford`] exactly. Merging
+/// follows the same pairwise update, so batch-order merges are
+/// deterministic, and state round-trips through JSON bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WeightedWelford {
+    n: u64,
+    sum_w: f64,
+    sum_w2: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl WeightedWelford {
+    pub fn new() -> WeightedWelford {
+        WeightedWelford::default()
+    }
+
+    /// Fold in observation `x` with weight `w > 0` (non-positive weights
+    /// are ignored: a zero-weight sample carries no information).
+    #[inline]
+    pub fn push(&mut self, x: f64, w: f64) {
+        if w.is_nan() || w <= 0.0 {
+            return;
+        }
+        self.n += 1;
+        self.sum_w += w;
+        self.sum_w2 += w * w;
+        let delta = x - self.mean;
+        self.mean += delta * (w / self.sum_w);
+        self.m2 += w * delta * (x - self.mean);
+    }
+
+    pub fn merge(&mut self, other: &WeightedWelford) {
+        if other.sum_w == 0.0 {
+            return;
+        }
+        if self.sum_w == 0.0 {
+            *self = *other;
+            return;
+        }
+        let sum_w = self.sum_w + other.sum_w;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (other.sum_w / sum_w);
+        self.m2 += other.m2 + delta * delta * (self.sum_w * other.sum_w / sum_w);
+        self.sum_w = sum_w;
+        self.sum_w2 += other.sum_w2;
+        self.n += other.n;
+    }
+
+    /// Observations folded in (regardless of weight).
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Total weight `Σw`.
+    pub fn total_weight(&self) -> f64 {
+        self.sum_w
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased (reliability-weights) sample variance.
+    pub fn variance(&self) -> f64 {
+        let denom = self.sum_w - self.sum_w2 / self.sum_w;
+        if self.n < 2 || denom.is_nan() || denom <= 0.0 {
+            f64::NAN
+        } else {
+            self.m2 / denom
+        }
+    }
+
+    /// Effective sample size `(Σw)² / Σw²`; 0 before the first sample.
+    pub fn ess(&self) -> f64 {
+        if self.sum_w2 > 0.0 {
+            self.sum_w * self.sum_w / self.sum_w2
+        } else {
+            0.0
+        }
+    }
+
+    /// Standard error of the weighted mean, using the effective sample
+    /// size in place of the raw count.
+    pub fn std_err(&self) -> f64 {
+        let ess = self.ess();
+        if ess > 0.0 {
+            (self.variance() / ess).sqrt()
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Bit-exact state for manifests.
+    pub fn save(&self) -> Json {
+        Json::obj(vec![
+            ("n", Json::U64(self.n)),
+            ("sum_w_bits", Json::U64(self.sum_w.to_bits())),
+            ("sum_w2_bits", Json::U64(self.sum_w2.to_bits())),
+            ("mean_bits", Json::U64(self.mean.to_bits())),
+            ("m2_bits", Json::U64(self.m2.to_bits())),
+        ])
+    }
+
+    pub fn load(value: &Json) -> Option<WeightedWelford> {
+        Some(WeightedWelford {
+            n: value.get("n")?.as_u64()?,
+            sum_w: f64::from_bits(value.get("sum_w_bits")?.as_u64()?),
+            sum_w2: f64::from_bits(value.get("sum_w2_bits")?.as_u64()?),
+            mean: f64::from_bits(value.get("mean_bits")?.as_u64()?),
+            m2: f64::from_bits(value.get("m2_bits")?.as_u64()?),
+        })
+    }
+}
+
+/// Weighted rare-event rate over a continuous exposure (events per
+/// pool-year, say), where each event carries a likelihood-ratio weight.
+///
+/// The estimate is `Σw / exposure`; its standard error uses the
+/// compound-Poisson approximation `se = sqrt(Σw²) / exposure`, which for
+/// unit weights reduces to the classic counting-statistics
+/// `sqrt(N) / exposure`. All state is plain sums, so batch-order merges
+/// are deterministic and JSON round-trips are bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WeightedRate {
+    exposure: f64,
+    events: u64,
+    sum_w: f64,
+    sum_w2: f64,
+}
+
+impl WeightedRate {
+    pub fn new() -> WeightedRate {
+        WeightedRate::default()
+    }
+
+    /// Add observation time (pool-years, disk-hours, ...) with no event.
+    #[inline]
+    pub fn add_exposure(&mut self, exposure: f64) {
+        self.exposure += exposure;
+    }
+
+    /// Record one event with likelihood weight `w > 0` (non-positive
+    /// weights are ignored).
+    #[inline]
+    pub fn push(&mut self, w: f64) {
+        if w.is_nan() || w <= 0.0 {
+            return;
+        }
+        self.events += 1;
+        self.sum_w += w;
+        self.sum_w2 += w * w;
+    }
+
+    pub fn merge(&mut self, other: &WeightedRate) {
+        self.exposure += other.exposure;
+        self.events += other.events;
+        self.sum_w += other.sum_w;
+        self.sum_w2 += other.sum_w2;
+    }
+
+    /// Raw (unweighted) event count.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total observation time.
+    pub fn exposure(&self) -> f64 {
+        self.exposure
+    }
+
+    /// Weighted event count `Σw`.
+    pub fn weighted_events(&self) -> f64 {
+        self.sum_w
+    }
+
+    /// Weighted rate `Σw / exposure`; 0 with no exposure (an empty or
+    /// zero-trial resume must not yield NaN in reports).
+    pub fn rate(&self) -> f64 {
+        if self.exposure > 0.0 {
+            self.sum_w / self.exposure
+        } else {
+            0.0
+        }
+    }
+
+    /// Standard error of the rate; 0 with no exposure.
+    pub fn std_err(&self) -> f64 {
+        if self.exposure > 0.0 {
+            self.sum_w2.sqrt() / self.exposure
+        } else {
+            0.0
+        }
+    }
+
+    /// Normal-approximation 95% interval on the rate, clamped at zero.
+    pub fn ci95(&self) -> (f64, f64) {
+        let rate = self.rate();
+        let half = 1.96 * self.std_err();
+        ((rate - half).max(0.0), rate + half)
+    }
+
+    /// `se / rate`; infinite until the first event (the natural rare-event
+    /// stopping criterion, matching `1/sqrt(N)` for unit weights).
+    pub fn rel_err(&self) -> f64 {
+        if self.sum_w > 0.0 {
+            self.sum_w2.sqrt() / self.sum_w
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Effective sample size `(Σw)² / Σw²` of the event weights; 0 before
+    /// the first event.
+    pub fn ess(&self) -> f64 {
+        if self.sum_w2 > 0.0 {
+            self.sum_w * self.sum_w / self.sum_w2
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact Poisson 95% upper bound on the rate after observing **zero**
+    /// events: `-ln(0.05) / exposure`. Infinite with no exposure. For a
+    /// biased (importance-sampled) process this is conservative: biasing
+    /// only makes events more likely, so zero biased events bounds the
+    /// true rate at least as tightly.
+    pub fn zero_event_upper_95(&self) -> f64 {
+        if self.exposure > 0.0 {
+            POISSON_ZERO_EVENT_UPPER_95 / self.exposure
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Bit-exact state for manifests.
+    pub fn save(&self) -> Json {
+        Json::obj(vec![
+            ("exposure_bits", Json::U64(self.exposure.to_bits())),
+            ("events", Json::U64(self.events)),
+            ("sum_w_bits", Json::U64(self.sum_w.to_bits())),
+            ("sum_w2_bits", Json::U64(self.sum_w2.to_bits())),
+        ])
+    }
+
+    pub fn load(value: &Json) -> Option<WeightedRate> {
+        Some(WeightedRate {
+            exposure: f64::from_bits(value.get("exposure_bits")?.as_u64()?),
+            events: value.get("events")?.as_u64()?,
+            sum_w: f64::from_bits(value.get("sum_w_bits")?.as_u64()?),
+            sum_w2: f64::from_bits(value.get("sum_w2_bits")?.as_u64()?),
         })
     }
 }
@@ -263,6 +542,142 @@ mod tests {
         let (lo, hi) = prop.wilson(1.96);
         assert!(lo < 0.03 && 0.03 < hi, "({lo}, {hi})");
         assert!(hi - lo < 0.02);
+    }
+
+    #[test]
+    fn rel_err_is_infinite_before_two_samples() {
+        // NaN here would make `rel_err <= target` stopping rules silently
+        // false-converge-never/always; empty accumulators must read as
+        // "not converged", not NaN.
+        let mut w = Welford::new();
+        assert!(w.rel_err().is_infinite());
+        w.push(3.5);
+        assert!(w.rel_err().is_infinite());
+        w.push(4.5);
+        assert!(w.rel_err().is_finite());
+    }
+
+    #[test]
+    fn weighted_welford_unit_weights_match_welford() {
+        let mut rng = SplitMix64::new(8);
+        let mut plain = Welford::new();
+        let mut weighted = WeightedWelford::new();
+        for _ in 0..3000 {
+            let x = rng.next_f64() * 4.0 - 1.0;
+            plain.push(x);
+            weighted.push(x, 1.0);
+        }
+        assert_eq!(weighted.count(), plain.count());
+        assert!((weighted.mean() - plain.mean()).abs() < 1e-12);
+        assert!((weighted.variance() - plain.variance()).abs() < 1e-9);
+        assert!((weighted.ess() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_welford_matches_two_pass() {
+        let mut rng = SplitMix64::new(9);
+        let data: Vec<(f64, f64)> = (0..2000)
+            .map(|_| (rng.next_f64() * 10.0, rng.next_f64() + 0.1))
+            .collect();
+        let mut w = WeightedWelford::new();
+        for &(x, wt) in &data {
+            w.push(x, wt);
+        }
+        let sum_w: f64 = data.iter().map(|&(_, wt)| wt).sum();
+        let mean = data.iter().map(|&(x, wt)| x * wt).sum::<f64>() / sum_w;
+        let m2: f64 = data.iter().map(|&(x, wt)| wt * (x - mean).powi(2)).sum();
+        let sum_w2: f64 = data.iter().map(|&(_, wt)| wt * wt).sum();
+        let var = m2 / (sum_w - sum_w2 / sum_w);
+        assert!((w.mean() - mean).abs() < 1e-10);
+        assert!((w.variance() - var).abs() < 1e-8);
+        assert!((w.ess() - sum_w * sum_w / sum_w2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_welford_merge_equals_sequential_and_round_trips() {
+        let mut rng = SplitMix64::new(10);
+        let data: Vec<(f64, f64)> = (0..800)
+            .map(|_| (rng.next_f64(), rng.next_f64() * 2.0 + 0.01))
+            .collect();
+        let mut whole = WeightedWelford::new();
+        for &(x, wt) in &data {
+            whole.push(x, wt);
+        }
+        let mut left = WeightedWelford::new();
+        let mut right = WeightedWelford::new();
+        for &(x, wt) in &data[..271] {
+            left.push(x, wt);
+        }
+        for &(x, wt) in &data[271..] {
+            right.push(x, wt);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        let back = WeightedWelford::load(&left.save()).unwrap();
+        assert_eq!(back, left);
+    }
+
+    #[test]
+    fn weighted_welford_ignores_non_positive_weights() {
+        let mut w = WeightedWelford::new();
+        w.push(5.0, 0.0);
+        w.push(5.0, -1.0);
+        w.push(5.0, f64::NAN);
+        assert_eq!(w.count(), 0);
+        assert!(w.mean().is_nan());
+        w.push(7.0, 2.0);
+        assert_eq!(w.mean(), 7.0);
+    }
+
+    #[test]
+    fn weighted_rate_unit_weights_match_poisson_counting() {
+        let mut r = WeightedRate::new();
+        r.add_exposure(50.0);
+        r.push(1.0);
+        r.push(1.0);
+        assert_eq!(r.events(), 2);
+        assert!((r.rate() - 0.04).abs() < 1e-15);
+        assert!((r.std_err() - 2.0f64.sqrt() / 50.0).abs() < 1e-15);
+        assert!((r.rel_err() - 1.0 / 2.0f64.sqrt()).abs() < 1e-15);
+        assert!((r.ess() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_rate_zero_exposure_yields_no_nan() {
+        let r = WeightedRate::new();
+        assert_eq!(r.rate(), 0.0);
+        assert_eq!(r.std_err(), 0.0);
+        assert_eq!(r.ci95(), (0.0, 0.0));
+        assert!(r.rel_err().is_infinite());
+        assert_eq!(r.ess(), 0.0);
+        assert!(r.zero_event_upper_95().is_infinite());
+    }
+
+    #[test]
+    fn weighted_rate_zero_event_upper_bound() {
+        let mut r = WeightedRate::new();
+        r.add_exposure(100.0);
+        // -ln(0.05)/100: the exact 95% Poisson upper bound at zero events.
+        assert!((r.zero_event_upper_95() - 0.02995732273553991).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_rate_merge_and_round_trip() {
+        let mut a = WeightedRate::new();
+        a.add_exposure(10.0);
+        a.push(0.25);
+        let mut b = WeightedRate::new();
+        b.add_exposure(30.0);
+        b.push(0.5);
+        b.push(0.125);
+        a.merge(&b);
+        assert_eq!(a.events(), 3);
+        assert!((a.exposure() - 40.0).abs() < 1e-15);
+        assert!((a.weighted_events() - 0.875).abs() < 1e-15);
+        let back = WeightedRate::load(&a.save()).unwrap();
+        assert_eq!(back, a);
     }
 
     #[test]

@@ -123,8 +123,11 @@ fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// Lanczos approximation of the Gamma function (for Weibull MTTF).
-fn gamma_fn(x: f64) -> f64 {
+/// Lanczos approximation of the Gamma function (for Weibull MTTF and the
+/// pool simulator's Weibull renewal rate — the truncated Stirling series
+/// this crate once used for the latter was off by ~0.2% near `x = 1`,
+/// silently biasing every Weibull per-disk rate).
+pub(crate) fn gamma_fn(x: f64) -> f64 {
     // Coefficients for g = 7, n = 9.
     const G: f64 = 7.0;
     // Canonical published coefficients, kept verbatim.
@@ -200,6 +203,52 @@ mod tests {
         };
         let expected = 100.0 * (std::f64::consts::PI).sqrt() / 2.0;
         assert!((model.mttf_hours() - expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn lanczos_gamma_matches_known_values() {
+        // The accuracy bar the pool simulator's Weibull rate depends on:
+        // a truncated Stirling series is ~2e-3 off near x = 1; Lanczos is
+        // good to ~1e-13 relative everywhere we evaluate it.
+        let cases = [
+            (0.5, std::f64::consts::PI.sqrt()),
+            (1.0, 1.0),
+            (1.5, std::f64::consts::PI.sqrt() / 2.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (4.0, 6.0),
+            (5.0, 24.0),
+            (7.5, 1871.254305797788),
+        ];
+        for (x, expect) in cases {
+            let got = gamma_fn(x);
+            assert!(
+                ((got - expect) / expect).abs() < 1e-12,
+                "Gamma({x}) = {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn lanczos_gamma_beats_truncated_stirling_near_one() {
+        // Regression for the statistical_gamma bug: the old one-term
+        // Stirling series was ~0.2% off at Gamma(1 + 1/shape) for shape
+        // near 1, the exact regime every Weibull per-disk rate lives in.
+        let stirling = |v: f64| -> f64 {
+            ((v - 0.5) * v.ln() - v + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * v))
+                .exp()
+        };
+        let x = 1.1; // Gamma(1 + 1/shape) for a shape-10 wear-out Weibull
+        let exact = gamma_fn(x);
+        let old = stirling(x);
+        assert!(
+            ((exact - 0.951_350_769_866_873_2) / exact).abs() < 1e-12,
+            "exact={exact}"
+        );
+        assert!(
+            ((old - exact) / exact).abs() > 1e-3,
+            "Stirling at {x} should be visibly wrong: old={old} exact={exact}"
+        );
     }
 
     #[test]

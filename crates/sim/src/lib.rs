@@ -18,6 +18,9 @@
 //!   (this is what lets us track 10^9 stripes without materializing them).
 //! - [`repair`]: the four repair methods R_ALL / R_FCO / R_HYB / R_MIN with
 //!   cross-rack traffic and network/local repair-time accounting (Fig 8, 9).
+//! - [`importance`]: forced-failure importance sampling — state-dependent
+//!   rate multipliers with exact likelihood-ratio weights, so `pool_sim`
+//!   observes catastrophes at the paper's true 1% AFR.
 //! - [`pool_sim`]: per-pool long-horizon durability simulation with priority
 //!   (most-failed-first) rebuild — produces catastrophic-failure rates
 //!   (Fig 7) and the samples consumed by the splitting estimator (Fig 10).
@@ -31,6 +34,7 @@ pub mod census;
 pub mod config;
 pub mod engine;
 pub mod failure;
+pub mod importance;
 pub mod pool_sim;
 pub mod repair;
 pub mod scheduler;

@@ -4,47 +4,77 @@
 
 use crate::config::MlecDeployment;
 use crate::failure::FailureModel;
-use crate::pool_sim::simulate_pool;
+use crate::importance::FailureBias;
+use crate::pool_sim::simulate_pool_biased;
 use crate::repair::RepairMethod;
 use crate::system_sim::{simulate_system_opts, SystemSimOptions};
-use mlec_runner::{Accumulator, Json, Proportion, Summary, Trial, Welford};
+use mlec_runner::{
+    Accumulator, Json, Proportion, Summary, Trial, WeightedRate, WeightedWelford, Welford,
+};
 
-/// One trial = one pool simulated for `years_per_trial` (splitting stage 1).
+/// One trial = one pool simulated for `years_per_trial` (splitting stage 1),
+/// optionally with importance-sampled failure arrivals ([`FailureBias`] —
+/// use [`FailureBias::NONE`] for direct simulation).
 pub struct PoolTrial<'a> {
     pub dep: &'a MlecDeployment,
     pub model: &'a FailureModel,
     pub years_per_trial: f64,
+    pub bias: FailureBias,
 }
 
 /// Aggregate pool-simulation statistics. The primary statistic is the
-/// catastrophic-event rate per pool-year, with a Poisson-count confidence
-/// interval; lost stripes per event accumulate in a Welford estimator.
+/// weighted catastrophic-event rate per pool-year with a compound-Poisson
+/// confidence interval and ESS ([`WeightedRate`]); lost stripes per event
+/// accumulate in a weighted Welford estimator. Under unbiased simulation all
+/// weights are exactly 1.0 and the estimates reduce to the plain Poisson
+/// counting statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PoolAcc {
     pub trials: u64,
-    pub pool_years: f64,
-    pub events: u64,
     pub disk_failures: u64,
     pub max_concurrent: u32,
-    pub lost_stripes: Welford,
+    /// Weighted catastrophic-event rate over the simulated pool-years.
+    pub rate: WeightedRate,
+    /// Weighted lost-stripe distribution over catastrophic events.
+    pub lost_stripes: WeightedWelford,
+    /// Completed likelihood-ratio excursions across all trials.
+    pub excursions: u64,
+    /// Sum of final excursion weights (mean ≈ 1 is the unbiasedness check).
+    pub excursion_weight: f64,
 }
 
 impl PoolAcc {
-    /// Catastrophic events per pool-year.
-    pub fn rate_per_pool_year(&self) -> f64 {
-        if self.pool_years > 0.0 {
-            self.events as f64 / self.pool_years
-        } else {
-            f64::NAN
-        }
+    /// Catastrophic events observed (raw count, not weighted).
+    pub fn events(&self) -> u64 {
+        self.rate.events()
     }
 
-    /// Mean lost local stripes per catastrophic event (0 if none).
+    /// Simulated pool-years of exposure.
+    pub fn pool_years(&self) -> f64 {
+        self.rate.exposure()
+    }
+
+    /// Weighted catastrophic events per pool-year (0 with no exposure).
+    pub fn rate_per_pool_year(&self) -> f64 {
+        self.rate.rate()
+    }
+
+    /// Weighted mean lost local stripes per catastrophic event (0 if none).
     pub fn mean_lost_stripes(&self) -> f64 {
-        if self.events == 0 {
+        if self.rate.events() == 0 {
             0.0
         } else {
             self.lost_stripes.mean()
+        }
+    }
+
+    /// Mean final likelihood weight per excursion (≈1 when correctly
+    /// weighted; 0 before any excursion completes).
+    pub fn mean_excursion_weight(&self) -> f64 {
+        if self.excursions == 0 {
+            0.0
+        } else {
+            self.excursion_weight / self.excursions as f64
         }
     }
 }
@@ -53,26 +83,30 @@ impl Trial for PoolTrial<'_> {
     type Acc = PoolAcc;
 
     fn run(&self, _index: u64, seed: u64, acc: &mut PoolAcc) {
-        let result = simulate_pool(self.dep, self.model, self.years_per_trial, seed);
+        let result =
+            simulate_pool_biased(self.dep, self.model, self.years_per_trial, seed, self.bias);
         acc.trials += 1;
-        acc.pool_years += result.pool_years;
-        acc.events += result.events.len() as u64;
+        acc.rate.add_exposure(result.pool_years);
         acc.disk_failures += result.disk_failures;
         acc.max_concurrent = acc.max_concurrent.max(result.max_concurrent);
         for event in &result.events {
-            acc.lost_stripes.push(event.lost_stripes);
+            acc.rate.push(event.weight);
+            acc.lost_stripes.push(event.lost_stripes, event.weight);
         }
+        acc.excursions += result.excursions;
+        acc.excursion_weight += result.excursion_weight;
     }
 }
 
 impl Accumulator for PoolAcc {
     fn merge(&mut self, other: &Self) {
         self.trials += other.trials;
-        self.pool_years += other.pool_years;
-        self.events += other.events;
         self.disk_failures += other.disk_failures;
         self.max_concurrent = self.max_concurrent.max(other.max_concurrent);
+        self.rate.merge(&other.rate);
         self.lost_stripes.merge(&other.lost_stripes);
+        self.excursions += other.excursions;
+        self.excursion_weight += other.excursion_weight;
     }
 
     fn trials(&self) -> u64 {
@@ -80,46 +114,43 @@ impl Accumulator for PoolAcc {
     }
 
     fn summary(&self) -> Summary {
-        // Poisson counting statistics: se(rate) = sqrt(events)/exposure.
-        let rate = self.rate_per_pool_year();
-        let se = if self.pool_years > 0.0 {
-            (self.events as f64).sqrt() / self.pool_years
-        } else {
-            f64::NAN
-        };
+        // Compound-Poisson statistics: se(rate) = sqrt(sum w^2)/exposure,
+        // reducing to sqrt(events)/exposure at unit weights.
+        let (ci_low, ci_high) = self.rate.ci95();
         Summary {
             trials: self.trials,
-            mean: rate,
-            std_err: se,
-            ci_low: (rate - 1.96 * se).max(0.0),
-            ci_high: rate + 1.96 * se,
-            rel_err: if self.events == 0 {
-                f64::INFINITY
-            } else {
-                1.0 / (self.events as f64).sqrt()
-            },
+            mean: self.rate.rate(),
+            std_err: self.rate.std_err(),
+            ci_low,
+            ci_high,
+            rel_err: self.rate.rel_err(),
         }
     }
 
     fn save(&self) -> Json {
         Json::obj(vec![
             ("trials", Json::U64(self.trials)),
-            ("pool_years_bits", Json::U64(self.pool_years.to_bits())),
-            ("events", Json::U64(self.events)),
             ("disk_failures", Json::U64(self.disk_failures)),
             ("max_concurrent", Json::U64(self.max_concurrent as u64)),
+            ("rate", self.rate.save()),
             ("lost_stripes", self.lost_stripes.save()),
+            ("excursions", Json::U64(self.excursions)),
+            (
+                "excursion_weight_bits",
+                Json::U64(self.excursion_weight.to_bits()),
+            ),
         ])
     }
 
     fn load(value: &Json) -> Option<Self> {
         Some(PoolAcc {
             trials: value.get("trials")?.as_u64()?,
-            pool_years: f64::from_bits(value.get("pool_years_bits")?.as_u64()?),
-            events: value.get("events")?.as_u64()?,
             disk_failures: value.get("disk_failures")?.as_u64()?,
             max_concurrent: value.get("max_concurrent")?.as_u64()? as u32,
-            lost_stripes: Welford::load(value.get("lost_stripes")?)?,
+            rate: WeightedRate::load(value.get("rate")?)?,
+            lost_stripes: WeightedWelford::load(value.get("lost_stripes")?)?,
+            excursions: value.get("excursions")?.as_u64()?,
+            excursion_weight: f64::from_bits(value.get("excursion_weight_bits")?.as_u64()?),
         })
     }
 }
@@ -231,6 +262,7 @@ mod tests {
             dep: &dep,
             model: &model,
             years_per_trial: 20.0,
+            bias: FailureBias::NONE,
         };
         let a = run(
             &trial,
@@ -243,8 +275,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.acc, b.acc);
-        assert!((a.acc.pool_years - 24.0 * 20.0).abs() < 1e-9);
+        assert!((a.acc.pool_years() - 24.0 * 20.0).abs() < 1e-9);
         assert!(a.acc.disk_failures > 0);
+    }
+
+    #[test]
+    fn weighted_pool_trial_is_thread_count_invariant() {
+        // Importance-sampled campaigns must stay bit-identical across
+        // worker-thread counts: weighted sums merge in batch order.
+        let dep = MlecDeployment::paper_default(MlecScheme::CC);
+        let model = FailureModel::Exponential { afr: 0.01 };
+        let bias = FailureBias::auto(&dep, &model);
+        let trial = PoolTrial {
+            dep: &dep,
+            model: &model,
+            years_per_trial: 25.0,
+            bias,
+        };
+        let a = run(
+            &trial,
+            &RunSpec::new("trials/pool-is", 77, StopRule::fixed(32)).threads(1),
+        )
+        .unwrap();
+        let b = run(
+            &trial,
+            &RunSpec::new("trials/pool-is", 77, StopRule::fixed(32)).threads(4),
+        )
+        .unwrap();
+        assert_eq!(a.acc, b.acc);
+        assert_eq!(
+            a.acc.rate.rate().to_bits(),
+            b.acc.rate.rate().to_bits(),
+            "weighted rate must be bit-identical"
+        );
+        assert!(
+            a.acc.events() > 0,
+            "auto bias must observe events at 1% AFR"
+        );
+        let mw = a.acc.mean_excursion_weight();
+        assert!(mw > 0.1 && mw < 10.0, "mean excursion weight {mw}");
     }
 
     #[test]
@@ -255,6 +324,7 @@ mod tests {
             dep: &dep,
             model: &model,
             years_per_trial: 50.0,
+            bias: FailureBias::degraded_only(20.0),
         };
         let report = run(
             &trial,

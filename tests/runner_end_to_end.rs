@@ -8,6 +8,7 @@ use mlec_analysis::splitting::stage1_via_runner;
 use mlec_runner::{run, RunSpec, StopRule};
 use mlec_sim::config::MlecDeployment;
 use mlec_sim::failure::FailureModel;
+use mlec_sim::importance::FailureBias;
 use mlec_sim::system_sim::SystemSimOptions;
 use mlec_sim::trials::{PoolTrial, SystemTrial};
 use mlec_sim::RepairMethod;
@@ -61,6 +62,7 @@ fn pool_campaign_resumes_from_manifest_bit_identically() {
         dep: &dep,
         model: &model,
         years_per_trial: 25.0,
+        bias: FailureBias::NONE,
     };
     let spec = |trials: u64| {
         RunSpec::new("e2e/resume", 23, StopRule::fixed(trials))
@@ -84,6 +86,56 @@ fn pool_campaign_resumes_from_manifest_bit_identically() {
     assert_eq!(resumed.acc, full.acc, "resume must be bit-identical");
 }
 
+/// An importance-sampled pool campaign at the paper's true 1% AFR resumes
+/// from its JSONL manifest bit-identically: the weighted accumulator
+/// (likelihood-weighted rate sums, weighted lost-stripe Welford, excursion
+/// diagnostics) round-trips exactly, across a thread-count change.
+#[test]
+fn weighted_pool_campaign_resumes_from_manifest_bit_identically() {
+    let dir = std::env::temp_dir().join("mlec-e2e-resume-weighted");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pool-resume-weighted.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let dep = MlecDeployment::paper_default(MlecScheme::CC);
+    let model = FailureModel::Exponential { afr: 0.01 };
+    let bias = FailureBias::auto(&dep, &model);
+    let trial = PoolTrial {
+        dep: &dep,
+        model: &model,
+        years_per_trial: 25.0,
+        bias,
+    };
+    let spec = |trials: u64| {
+        RunSpec::new("e2e/resume-weighted", 29, StopRule::fixed(trials))
+            .batch_size(4)
+            .batches_per_round(1)
+            .config_hash(0xB1A5)
+    };
+
+    // Uninterrupted reference run.
+    let full = run(&trial, &spec(32)).unwrap();
+    assert!(full.acc.events() > 0, "auto bias must observe events");
+    assert!(full.acc.rate.ess() > 0.0);
+
+    // "Killed" run: stops at half, checkpointing every round.
+    let half = run(&trial, &spec(16).threads(1).manifest(&path)).unwrap();
+    assert_eq!(half.trials, 16);
+
+    // Resume with the full budget on a different thread count.
+    let resumed = run(&trial, &spec(32).threads(3).manifest(&path)).unwrap();
+    assert_eq!(resumed.resumed_trials, 16);
+    assert_eq!(resumed.trials, 32);
+    assert_eq!(
+        resumed.acc, full.acc,
+        "weighted resume must be bit-identical"
+    );
+    assert_eq!(
+        resumed.acc.rate_per_pool_year().to_bits(),
+        full.acc.rate_per_pool_year().to_bits()
+    );
+}
+
 /// The runner-driven splitting stage 1 converges on the pool Markov chain:
 /// with an adaptive stop at 30% relative precision, the simulated
 /// catastrophic rate's 95% interval — widened by the documented sim-vs-chain
@@ -97,12 +149,12 @@ fn stage1_through_runner_converges_to_markov_chain() {
     let spec = RunSpec::new("e2e/convergence", 31, StopRule::until_rel_err(0.30, 24, 96))
         .batch_size(8)
         .batches_per_round(1);
-    let (s1, report) = stage1_via_runner(&dep, &model, 500.0, &spec).unwrap();
+    let (s1, report) = stage1_via_runner(&dep, &model, 500.0, FailureBias::NONE, &spec).unwrap();
 
     assert!(
-        report.acc.events > 10,
+        report.acc.events() > 10,
         "need observable events, got {}",
-        report.acc.events
+        report.acc.events()
     );
     assert_eq!(s1.cat_rate_per_pool_year, report.acc.rate_per_pool_year());
 
