@@ -1,71 +1,6 @@
-//! Ablation sweeps over the design parameters the paper fixes or discusses:
-//! detection time (§5.2.2), repair-bandwidth throttle (§3's 20%), AFR, and
-//! the clustered spare-rebuild policy.
+//! Compatibility shim for `mlec run ablations` — same arguments, same
+//! output; see `mlec info ablations` for the parameter schema.
 
-use mlec_bench::banner;
-use mlec_core::analysis::ablation::{
-    afr_sweep, detection_time_sweep, spare_policy_comparison, throttle_sweep,
-};
-use mlec_core::ec::LrcParams;
-use mlec_core::report::{ascii_table, dump_json, fmt_value};
-use mlec_core::sim::config::MlecDeployment;
-use mlec_core::topology::MlecScheme;
-
-fn print_points(title: &str, unit: &str, points: &[mlec_core::analysis::ablation::AblationPoint]) {
-    println!("--- {title}");
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| vec![p.series.clone(), fmt_value(p.x), format!("{:.1}", p.value)])
-        .collect();
-    println!("{}", ascii_table(&["series", unit, "nines"], &rows));
-}
-
-fn main() {
-    banner(
-        "Ablations",
-        "detection time, throttle, AFR, and spare policy sweeps",
-    );
-
-    let cd = MlecDeployment::paper_default(MlecScheme::CD);
-    let detection = detection_time_sweep(
-        &cd,
-        LrcParams::paper_default(),
-        &[1.0, 0.5, 0.25, 1.0 / 12.0, 1.0 / 60.0],
-    );
-    print_points(
-        "failure detection time (h) vs durability (paper §5.2.2)",
-        "hours",
-        &detection,
-    );
-
-    let cc = MlecDeployment::paper_default(MlecScheme::CC);
-    let throttle = throttle_sweep(&cc, &[0.05, 0.1, 0.2, 0.4, 0.8]);
-    print_points(
-        "repair bandwidth throttle fraction (paper fixes 0.2)",
-        "frac",
-        &throttle,
-    );
-
-    let afr = afr_sweep(&cc, &[0.002, 0.005, 0.01, 0.02, 0.05]);
-    print_points("annual disk failure rate (paper fixes 0.01)", "AFR", &afr);
-
-    let (serial, parallel) = spare_policy_comparison(&cc);
-    println!("--- clustered spare-rebuild policy (catastrophic events / pool-year)");
-    println!(
-        "  serial hot spare (deployed reality): {}",
-        fmt_value(serial)
-    );
-    println!(
-        "  idealized parallel spares:           {}",
-        fmt_value(parallel)
-    );
-    println!(
-        "  -> spare parallelism buys {:.1}x; declustering buys far more (Fig 7)\n",
-        serial / parallel
-    );
-
-    let _ = dump_json("ablation_detection", &detection);
-    let _ = dump_json("ablation_throttle", &throttle);
-    let _ = dump_json("ablation_afr", &afr);
-    println!("json: target/figures/ablation_*.json");
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("ablations")
 }

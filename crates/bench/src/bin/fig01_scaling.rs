@@ -1,38 +1,6 @@
-//! Figure 1: storage scaling over the years (motivational data).
+//! Compatibility shim for `mlec run fig01` — same arguments, same
+//! output; see `mlec info fig01` for the parameter schema.
 
-use mlec_bench::banner;
-use mlec_core::figdata;
-use mlec_core::report::{ascii_table, dump_json};
-
-fn main() {
-    banner("Figure 1", "storage scaling over the years");
-    for (title, series) in [
-        ("(a) Disks per system", figdata::disks_per_system()),
-        ("(b) Capacity per disk", figdata::capacity_per_disk()),
-    ] {
-        println!("{title}");
-        let years: Vec<u32> = series[0].samples.iter().map(|s| s.year).collect();
-        let mut headers = vec!["series", "unit"];
-        let year_strs: Vec<String> = years.iter().map(|y| y.to_string()).collect();
-        headers.extend(year_strs.iter().map(|s| s.as_str()));
-        let rows: Vec<Vec<String>> = series
-            .iter()
-            .map(|s| {
-                let mut row = vec![s.name.to_string(), s.unit.to_string()];
-                row.extend(s.samples.iter().map(|p| format!("{:.1}", p.value)));
-                row
-            })
-            .collect();
-        println!("{}", ascii_table(&headers, &rows));
-        if let Ok(path) = dump_json(
-            if title.starts_with("(a)") {
-                "fig01a"
-            } else {
-                "fig01b"
-            },
-            &series,
-        ) {
-            println!("json: {}\n", path.display());
-        }
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig01")
 }

@@ -1,33 +1,6 @@
-//! Figure 5: PDL heatmaps of the four MLEC schemes under correlated
-//! failure bursts (y failed disks scattered over x racks).
-//!
-//! Usage: `fig05_mlec_burst_pdl [max=60] [step=6] [samples=60] [seed=42]`
-//! `[threads=0] [manifests=DIR]` — step=1 reproduces the paper's full
-//! 60x60 grid (slower); with `manifests=DIR` an interrupted run resumes
-//! from its JSONL checkpoints.
+//! Compatibility shim for `mlec run fig05` — same arguments, same
+//! output; see `mlec info fig05` for the parameter schema.
 
-use mlec_bench::{banner, heatmap_spec_from_args, runner_opts_from_args};
-use mlec_core::experiments::fig5_mlec_burst_with;
-use mlec_core::report::{dump_json, render_heatmap};
-
-fn main() {
-    banner("Figure 5", "MLEC PDL under correlated failure bursts");
-    let spec = heatmap_spec_from_args();
-    let opts = runner_opts_from_args();
-    println!(
-        "grid: 1..{} step {}, {} layout samples/cell\n",
-        spec.max, spec.step, spec.samples
-    );
-    let maps = fig5_mlec_burst_with(&spec, &opts);
-    for map in &maps {
-        println!("{}", render_heatmap(map));
-    }
-    println!("paper findings to check against:");
-    println!("  F#2: fixed y, more racks => lower PDL (rows get greener rightward)");
-    println!("  F#3: C/C: PDL=0 for x <= p_n=2 racks");
-    println!("  F#4: worst cells at x = p_n+1 = 3 racks, y = 60");
-    println!("  F#5-7: C/D and D/C redder than C/C; D/D reddest overall");
-    if let Ok(path) = dump_json("fig05", &maps) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig05")
 }

@@ -1,33 +1,6 @@
-//! Figure 6: repair time under (a) a single disk failure and (b) a
-//! catastrophic local failure, for the four MLEC schemes (R_ALL).
+//! Compatibility shim for `mlec run fig06` — same arguments, same
+//! output; see `mlec info fig06` for the parameter schema.
 
-use mlec_bench::banner;
-use mlec_core::experiments::table2_and_fig6;
-use mlec_core::report::{ascii_table, dump_json};
-
-fn main() {
-    banner("Figure 6", "repair time per MLEC scheme (R_ALL)");
-    let rows = table2_and_fig6();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.clone(),
-                format!("{:.1}", r.disk_repair_hours),
-                format!("{:.1}", r.pool_repair_hours),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(
-            &["scheme", "(a) single disk, h", "(b) catastrophic pool, h"],
-            &table
-        )
-    );
-    println!("paper shape: (a) C/C≈D/C≈150h, C/D≈D/D≈25h (6x faster);");
-    println!("             (b) C/D slowest (~2.7Kh), D/C fastest (~82h), D/D slightly above C/C");
-    if let Ok(path) = dump_json("fig06", &rows) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig06")
 }

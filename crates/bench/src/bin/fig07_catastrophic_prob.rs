@@ -1,122 +1,6 @@
-//! Figure 7: probability of a catastrophic local-pool failure per year.
-//!
-//! Usage: `fig07_catastrophic_prob [mode=analytic]`
-//!
-//! `mode=sim` measures the rate by pool simulation through `mlec-runner`
-//! instead of the Markov chain, with importance-sampled failure arrivals so
-//! it runs at the paper's true 1% AFR by default:
-//! `fig07_catastrophic_prob mode=sim [afr_pct=1] [years=20] [trials=64]`
-//! `[bias=auto|B] [seed=42] [threads=0] [manifests=DIR]`
-//!
-//! `bias=auto` (the default) picks a per-scheme degraded-state rate
-//! multiplier; `bias=1` forces direct (unweighted) simulation; any other
-//! `bias=B` multiplies failure arrivals by `B` while the pool is degraded,
-//! with exact likelihood-ratio reweighting either way.
+//! Compatibility shim for `mlec run fig07` — same arguments, same
+//! output; see `mlec info fig07` for the parameter schema.
 
-use mlec_bench::{arg_f64, arg_str, arg_u64, banner, bias_from_args, runner_opts_from_args};
-use mlec_core::experiments::{fig7_catastrophic_prob, fig7_catastrophic_prob_sim};
-use mlec_core::report::{ascii_table, dump_json, fmt_value};
-
-fn main() {
-    banner(
-        "Figure 7",
-        "probability of catastrophic local failure (per system-year)",
-    );
-    if arg_str("mode").as_deref() == Some("sim") {
-        run_sim();
-        return;
-    }
-    let rows = fig7_catastrophic_prob();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.clone(),
-                fmt_value(r.prob_per_year),
-                format!("{:.4}%", r.prob_per_year * 100.0),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(&["scheme", "prob/yr", "percent/yr"], &table)
-    );
-    println!("paper: C/C and D/C below 0.001%/yr; C/D and D/D almost 0.00001%/yr");
-    if let Ok(path) = dump_json("fig07", &rows) {
-        println!("json: {}", path.display());
-    }
-}
-
-fn run_sim() {
-    let afr = arg_f64("afr_pct", 1.0) / 100.0;
-    let years = arg_u64("years", 20) as f64;
-    let trials = arg_u64("trials", 64);
-    let seed = arg_u64("seed", 42);
-    let bias = bias_from_args();
-    let opts = runner_opts_from_args();
-    let bias_desc = match bias {
-        None => "auto".to_string(),
-        Some(b) => format!("{b}"),
-    };
-    println!(
-        "sim mode: AFR {afr}, {trials} pool trials x {years} years per scheme, \
-         bias {bias_desc}, root seed {seed}\n"
-    );
-    let rows = match fig7_catastrophic_prob_sim(afr, years, trials, seed, bias, &opts) {
-        Ok(rows) => rows,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.clone(),
-                format!("{}/{:.0}y", r.events, r.pool_years),
-                format!("{:.0}", r.bias),
-                format!("{:.1}", r.ess),
-                if r.unobserved {
-                    format!("<{}", fmt_value(r.rate_per_pool_year))
-                } else {
-                    fmt_value(r.rate_per_pool_year)
-                },
-                format!(
-                    "[{}, {}]",
-                    fmt_value(r.rate_ci_low),
-                    fmt_value(r.rate_ci_high)
-                ),
-                if r.unobserved {
-                    format!("<{}", fmt_value(r.prob_per_system_year))
-                } else {
-                    fmt_value(r.prob_per_system_year)
-                },
-                fmt_value(r.analytic_prob_per_system_year),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(
-            &[
-                "scheme",
-                "events",
-                "bias",
-                "ESS",
-                "rate/pool-yr",
-                "95% CI",
-                "sim prob/sys-yr",
-                "chain prob/sys-yr"
-            ],
-            &table
-        )
-    );
-    println!("reading: rates are likelihood-ratio reweighted (unbiased at any bias); ESS is");
-    println!("the effective sample size of the weighted events. `<x` marks a zero-event");
-    println!("campaign reporting the Poisson 95% upper bound instead of a point estimate;");
-    println!("where events > 0 the chain prediction should sit inside (or near) the CI.");
-    if let Ok(path) = dump_json("fig07_sim", &rows) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig07")
 }

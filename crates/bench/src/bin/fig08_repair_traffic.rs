@@ -1,39 +1,6 @@
-//! Figure 8: cross-rack network traffic of the four repair methods on the
-//! four MLEC schemes (catastrophic pool with p_l+1 simultaneous failures).
+//! Compatibility shim for `mlec run fig08` — same arguments, same
+//! output; see `mlec info fig08` for the parameter schema.
 
-use mlec_bench::banner;
-use mlec_core::experiments::fig8_fig9_repair_methods;
-use mlec_core::report::{ascii_table, dump_json, fmt_value};
-
-fn main() {
-    banner(
-        "Figure 8",
-        "cross-rack repair traffic (TB) per method and scheme",
-    );
-    let cells = fig8_fig9_repair_methods();
-    let schemes = ["C/C", "C/D", "D/C", "D/D"];
-    let methods = ["R_ALL", "R_FCO", "R_HYB", "R_MIN"];
-    let rows: Vec<Vec<String>> = methods
-        .iter()
-        .map(|m| {
-            let mut row = vec![m.to_string()];
-            for s in schemes {
-                let cell = cells
-                    .iter()
-                    .find(|c| c.scheme == s && c.method == *m)
-                    .expect("cell exists");
-                row.push(fmt_value(cell.cross_rack_tb));
-            }
-            row
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(&["method", "C/C", "C/D", "D/C", "D/D"], &rows)
-    );
-    println!("paper: R_ALL 4400/26400/4400/26400; R_FCO 880 everywhere;");
-    println!("       R_HYB 880/3.1/880/3.1; R_MIN = R_HYB / 4");
-    if let Ok(path) = dump_json("fig08", &cells) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig08")
 }

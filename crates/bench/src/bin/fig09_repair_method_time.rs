@@ -1,38 +1,6 @@
-//! Figure 9: network-level (-N) and local (-L) repair time of the four
-//! repair methods on the four MLEC schemes.
+//! Compatibility shim for `mlec run fig09` — same arguments, same
+//! output; see `mlec info fig09` for the parameter schema.
 
-use mlec_bench::banner;
-use mlec_core::experiments::fig8_fig9_repair_methods;
-use mlec_core::report::{ascii_table, dump_json};
-
-fn main() {
-    banner(
-        "Figure 9",
-        "repair time split into network (-N) and local (-L) phases",
-    );
-    let cells = fig8_fig9_repair_methods();
-    let rows: Vec<Vec<String>> = cells
-        .iter()
-        .map(|c| {
-            vec![
-                c.scheme.clone(),
-                c.method.clone(),
-                format!("{:.1}", c.network_time_h),
-                format!("{:.1}", c.local_time_h),
-                format!("{:.1}", c.network_time_h + c.local_time_h),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(
-            &["scheme", "method", "network h", "local h", "total h"],
-            &rows
-        )
-    );
-    println!("paper: R_FCO cuts network time 5-30x vs R_ALL; R_HYB trades network for");
-    println!("       local time; R_MIN has the least network time but can take longest in total");
-    if let Ok(path) = dump_json("fig09", &cells) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig09")
 }

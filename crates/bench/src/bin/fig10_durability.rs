@@ -1,147 +1,6 @@
-//! Figure 10: one-year durability (nines) of the four MLEC schemes under
-//! the four repair methods, via the splitting estimator.
-//!
-//! Usage: `fig10_durability [mode=analytic]`
-//!
-//! `mode=sim` replaces the analytic stage 1 (pool Markov chain) with a
-//! pool-simulation campaign through `mlec-runner`, importance-sampled so
-//! catastrophic events are observable at the paper's true 1% AFR:
-//! `fig10_durability mode=sim [afr_pct=1] [years=20] [trials=64]`
-//! `[bias=auto|B] [seed=42] [threads=0] [manifests=DIR] [require_events=0]`
-//!
-//! `bias=auto` (the default) picks a per-scheme degraded-state rate
-//! multiplier; `bias=1` forces direct simulation. `require_events=N` exits
-//! non-zero unless every scheme observed at least `N` catastrophic events
-//! (the CI smoke gate).
+//! Compatibility shim for `mlec run fig10` — same arguments, same
+//! output; see `mlec info fig10` for the parameter schema.
 
-use mlec_bench::{arg_f64, arg_str, arg_u64, banner, bias_from_args, runner_opts_from_args};
-use mlec_core::experiments::{fig10_durability, fig10_durability_sim};
-use mlec_core::report::{ascii_table, dump_json};
-
-const SCHEMES: [&str; 4] = ["C/C", "C/D", "D/C", "D/D"];
-const METHODS: [&str; 4] = ["R_ALL", "R_FCO", "R_HYB", "R_MIN"];
-
-fn main() {
-    banner(
-        "Figure 10",
-        "durability (nines) per scheme and repair method",
-    );
-    if arg_str("mode").as_deref() == Some("sim") {
-        run_sim();
-        return;
-    }
-    let cells = fig10_durability();
-    let rows: Vec<Vec<String>> = METHODS
-        .iter()
-        .map(|m| {
-            let mut row = vec![m.to_string()];
-            for s in SCHEMES {
-                let cell = cells
-                    .iter()
-                    .find(|c| c.scheme == s && c.method == *m)
-                    .expect("cell exists");
-                row.push(format!("{:.1}", cell.nines));
-            }
-            row
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(&["method", "C/C", "C/D", "D/C", "D/D"], &rows)
-    );
-    println!("paper: R_FCO +0.9-6.6 nines over R_ALL; R_HYB +0.6-4.1; R_MIN +0.1-1.2;");
-    println!("       after optimization C/D and D/D best, D/C worst");
-    if let Ok(path) = dump_json("fig10", &cells) {
-        println!("json: {}", path.display());
-    }
-}
-
-fn run_sim() {
-    let afr = arg_f64("afr_pct", 1.0) / 100.0;
-    let years = arg_u64("years", 20) as f64;
-    let trials = arg_u64("trials", 64);
-    let seed = arg_u64("seed", 42);
-    let bias = bias_from_args();
-    let require_events = arg_u64("require_events", 0);
-    let opts = runner_opts_from_args();
-    let bias_desc = match bias {
-        None => "auto".to_string(),
-        Some(b) => format!("{b}"),
-    };
-    println!("sim mode: AFR {afr}, stage 1 from {trials} pool trials x {years} years per scheme,");
-    println!(
-        "bias {bias_desc}, root seed {seed}; cells show nines as sim-stage1 (analytic-stage1);"
-    );
-    println!("`>=x` marks a zero-event durability lower bound\n");
-    let cells = match fig10_durability_sim(afr, years, trials, seed, bias, &opts) {
-        Ok(cells) => cells,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
-    let rows: Vec<Vec<String>> = METHODS
-        .iter()
-        .map(|m| {
-            let mut row = vec![m.to_string()];
-            for s in SCHEMES {
-                let cell = cells
-                    .iter()
-                    .find(|c| c.scheme == s && c.method == *m)
-                    .expect("cell exists");
-                row.push(format!(
-                    "{}{:.1} ({:.1})",
-                    if cell.unobserved { ">=" } else { "" },
-                    cell.nines_sim_stage1,
-                    cell.nines_analytic_stage1
-                ));
-            }
-            row
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(&["method", "C/C", "C/D", "D/C", "D/D"], &rows)
-    );
-    for s in SCHEMES {
-        if let Some(c) = cells.iter().find(|c| c.scheme == s) {
-            println!(
-                "  {s}: {} events ({:.3e} weighted, ESS {:.1}) over {:.0} pool-years, bias {:.0}{}",
-                c.events,
-                c.weighted_events,
-                c.ess,
-                c.pool_years,
-                c.bias,
-                if c.unobserved {
-                    " — unobserved: nines are the Poisson 95% lower bound"
-                } else {
-                    ""
-                }
-            );
-        }
-    }
-    println!("\nreading: stage-1 rates are likelihood-ratio reweighted, so the sim column is");
-    println!("unbiased at any bias; ESS is the effective sample size of the weighted events.");
-    println!("Zero-event schemes report a durability lower bound (never infinite nines).");
-    if let Ok(path) = dump_json("fig10_sim", &cells) {
-        println!("json: {}", path.display());
-    }
-    if require_events > 0 {
-        let mut failed = false;
-        for s in SCHEMES {
-            if let Some(c) = cells.iter().find(|c| c.scheme == s) {
-                if c.events < require_events {
-                    eprintln!(
-                        "require_events={require_events}: {s} observed only {} events",
-                        c.events
-                    );
-                    failed = true;
-                }
-            }
-        }
-        if failed {
-            std::process::exit(1);
-        }
-        println!("require_events={require_events}: satisfied for all schemes");
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig10")
 }

@@ -1,54 +1,6 @@
-//! Figure 11: single-core encoding throughput for (k+p) SLEC, measured on
-//! our pure-Rust GF(2^8) kernels (ISA-L substitute — shapes comparable,
-//! absolute MB/s differ).
-//!
-//! Usage: `fig11_encoding_throughput [kmax=50] [pmax=15] [kstep=4] [pstep=2]
-//! [chunk_kb=128] [mb=64]`
+//! Compatibility shim for `mlec run fig11` — same arguments, same
+//! output; see `mlec info fig11` for the parameter schema.
 
-use mlec_bench::{arg_u64, banner};
-use mlec_core::experiments::fig11_encoding_throughput;
-use mlec_core::report::dump_json;
-
-fn main() {
-    banner("Figure 11", "single-core (k+p) encoding throughput heatmap");
-    let kmax = arg_u64("kmax", 50) as usize;
-    let pmax = arg_u64("pmax", 15) as usize;
-    let kstep = arg_u64("kstep", 4).max(1) as usize;
-    let pstep = arg_u64("pstep", 2).max(1) as usize;
-    let chunk = arg_u64("chunk_kb", 128) as usize * 1024;
-    let min_bytes = arg_u64("mb", 64) as usize * 1024 * 1024;
-
-    let ks: Vec<usize> = (2..=kmax).step_by(kstep).collect();
-    let ps: Vec<usize> = (1..=pmax).step_by(pstep).collect();
-    println!("grid: k in {ks:?}\n      p in {ps:?}\n");
-
-    let cells = fig11_encoding_throughput(&ks, &ps, chunk, min_bytes);
-
-    // Render the heatmap rows (p down the side, k across).
-    print!("{:>6}", "p\\k");
-    for &k in &ks {
-        print!("{k:>7}");
-    }
-    println!();
-    for &p in ps.iter().rev() {
-        print!("{p:>6}");
-        for &k in &ks {
-            let cell = cells.iter().find(|c| c.k == k && c.p == p).unwrap();
-            print!("{:>7.0}", cell.mb_per_s);
-        }
-        println!();
-    }
-    println!("\n(values: MB/s of data encoded; paper shape: falls with larger k and p)");
-    let max = cells.iter().map(|c| c.mb_per_s).fold(0.0f64, f64::max);
-    let min = cells
-        .iter()
-        .map(|c| c.mb_per_s)
-        .fold(f64::INFINITY, f64::min);
-    println!(
-        "range: {min:.0} .. {max:.0} MB/s ({:.1}x spread)",
-        max / min
-    );
-    if let Ok(path) = dump_json("fig11", &cells) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig11")
 }

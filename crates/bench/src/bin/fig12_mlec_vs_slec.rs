@@ -1,47 +1,6 @@
-//! Figure 12: MLEC vs SLEC durability/throughput tradeoff at ~30% parity
-//! overhead. Throughput is predicted by the calibrated cost model
-//! (validated against Fig 11's direct measurements).
+//! Compatibility shim for `mlec run fig12` — same arguments, same
+//! output; see `mlec info fig12` for the parameter schema.
 
-use mlec_bench::{arg_u64, banner};
-use mlec_core::ec::throughput::ThroughputModel;
-use mlec_core::experiments::fig12_mlec_vs_slec;
-use mlec_core::report::{ascii_table, dump_json};
-
-fn main() {
-    banner(
-        "Figure 12",
-        "MLEC vs SLEC durability/throughput tradeoff (~30% overhead)",
-    );
-    let mb = arg_u64("mb", 32) as usize * 1024 * 1024;
-    let model = ThroughputModel::calibrate(128 * 1024, mb);
-    println!(
-        "calibrated kernel rate: {:.0} MB/s of multiply work\n",
-        model.rate_mb_per_s
-    );
-
-    let points = fig12_mlec_vs_slec(&model);
-    for family in ["C/C", "C/D", "Loc-Cp-S", "Loc-Dp-S", "Net-Cp-S", "Net-Dp-S"] {
-        let mut fam: Vec<_> = points.iter().filter(|p| p.family == family).collect();
-        fam.sort_by(|a, b| a.durability_nines.total_cmp(&b.durability_nines));
-        println!("series {family} ({} configs):", fam.len());
-        let rows: Vec<Vec<String>> = fam
-            .iter()
-            .map(|p| {
-                vec![
-                    p.label.clone(),
-                    format!("{:.1}", p.durability_nines),
-                    format!("{:.0}", p.throughput_mbs),
-                    format!("{:.0}%", p.overhead * 100.0),
-                ]
-            })
-            .collect();
-        println!(
-            "{}",
-            ascii_table(&["config", "nines", "MB/s", "overhead"], &rows)
-        );
-    }
-    println!("paper F#2: above ~20 nines, MLEC sustains much higher throughput than SLEC");
-    if let Ok(path) = dump_json("fig12", &points) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig12")
 }

@@ -1,29 +1,6 @@
-//! Figure 13: PDL of (7+3) SLEC under correlated failure bursts for the
-//! four placements (Loc-Cp, Loc-Dp, Net-Cp, Net-Dp).
-//!
-//! Usage: `fig13_slec_burst_pdl [max=60] [step=6] [samples=60] [seed=42]`
-//! `[threads=0] [manifests=DIR]`
+//! Compatibility shim for `mlec run fig13` — same arguments, same
+//! output; see `mlec info fig13` for the parameter schema.
 
-use mlec_bench::{banner, heatmap_spec_from_args, runner_opts_from_args};
-use mlec_core::ec::SlecParams;
-use mlec_core::experiments::fig13_slec_burst_with;
-use mlec_core::report::{dump_json, render_heatmap};
-
-fn main() {
-    banner(
-        "Figure 13",
-        "SLEC PDL under correlated failure bursts, (7+3)",
-    );
-    let spec = heatmap_spec_from_args();
-    let opts = runner_opts_from_args();
-    let maps = fig13_slec_burst_with(&spec, SlecParams::new(7, 3), &opts);
-    for map in &maps {
-        println!("{}", render_heatmap(map));
-    }
-    println!("paper: local SLEC susceptible to localized bursts (left edge red),");
-    println!("       network SLEC susceptible to scattered bursts (diagonal red),");
-    println!("       Dp variants worse than Cp in their respective failure regimes");
-    if let Ok(path) = dump_json("fig13", &maps) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig13")
 }

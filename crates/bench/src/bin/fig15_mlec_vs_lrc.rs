@@ -1,41 +1,6 @@
-//! Figure 15: MLEC C/D vs LRC-Dp durability/throughput tradeoff at ~30%
-//! parity overhead.
+//! Compatibility shim for `mlec run fig15` — same arguments, same
+//! output; see `mlec info fig15` for the parameter schema.
 
-use mlec_bench::{arg_u64, banner};
-use mlec_core::ec::throughput::ThroughputModel;
-use mlec_core::experiments::fig15_mlec_vs_lrc;
-use mlec_core::report::{ascii_table, dump_json};
-
-fn main() {
-    banner(
-        "Figure 15",
-        "MLEC C/D vs LRC-Dp durability/throughput tradeoff",
-    );
-    let mb = arg_u64("mb", 32) as usize * 1024 * 1024;
-    let model = ThroughputModel::calibrate(128 * 1024, mb);
-    let points = fig15_mlec_vs_lrc(&model);
-    for family in ["C/D", "LRC-Dp"] {
-        let mut fam: Vec<_> = points.iter().filter(|p| p.family == family).collect();
-        fam.sort_by(|a, b| a.durability_nines.total_cmp(&b.durability_nines));
-        println!("series {family} ({} configs):", fam.len());
-        let rows: Vec<Vec<String>> = fam
-            .iter()
-            .map(|p| {
-                vec![
-                    p.label.clone(),
-                    format!("{:.1}", p.durability_nines),
-                    format!("{:.0}", p.throughput_mbs),
-                    format!("{:.0}%", p.overhead * 100.0),
-                ]
-            })
-            .collect();
-        println!(
-            "{}",
-            ascii_table(&["config", "nines", "MB/s", "overhead"], &rows)
-        );
-    }
-    println!("paper F#1: MLEC reaches high durability with higher encoding throughput than LRC");
-    if let Ok(path) = dump_json("fig15", &points) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig15")
 }

@@ -1,24 +1,6 @@
-//! Figure 16: PDL of the (14,2,4) declustered LRC under correlated bursts.
-//!
-//! Usage: `fig16_lrc_burst_pdl [max=60] [step=6] [samples=60] [seed=42]`
-//! `[threads=0] [manifests=DIR]`
+//! Compatibility shim for `mlec run fig16` — same arguments, same
+//! output; see `mlec info fig16` for the parameter schema.
 
-use mlec_bench::{banner, heatmap_spec_from_args, runner_opts_from_args};
-use mlec_core::ec::LrcParams;
-use mlec_core::experiments::fig16_lrc_burst_with;
-use mlec_core::report::{dump_json, render_heatmap};
-
-fn main() {
-    banner(
-        "Figure 16",
-        "LRC-Dp (14,2,4) PDL under correlated failure bursts",
-    );
-    let spec = heatmap_spec_from_args();
-    let opts = runner_opts_from_args();
-    let map = fig16_lrc_burst_with(&spec, LrcParams::paper_default(), &opts);
-    println!("{}", render_heatmap(&map));
-    println!("paper: pattern similar to Net-Dp SLEC — susceptible to highly scattered bursts");
-    if let Ok(path) = dump_json("fig16", &map) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("fig16")
 }

@@ -1,199 +1,6 @@
-//! One-page reproduction summary: every headline number of the paper next
-//! to this repository's result, using the fast analytic paths only (the
-//! heatmaps and measured-throughput surfaces have their own binaries).
+//! Compatibility shim for `mlec run paper_summary` — same arguments, same
+//! output; see `mlec info paper_summary` for the parameter schema.
 
-use mlec_bench::banner;
-use mlec_core::experiments::{
-    fig10_durability, fig7_catastrophic_prob, fig8_fig9_repair_methods, table2_and_fig6,
-};
-use mlec_core::report::ascii_table;
-use mlec_core::sim::traffic;
-use mlec_core::sim::SimConfig;
-use mlec_core::topology::Geometry;
-
-fn main() {
-    banner(
-        "Reproduction summary",
-        "paper headline numbers vs this repository",
-    );
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut add = |exp: &str, what: &str, paper: &str, ours: String| {
-        rows.push(vec![exp.into(), what.into(), paper.into(), ours]);
-    };
-
-    let t2 = table2_and_fig6();
-    let get = |s: &str| t2.iter().find(|r| r.scheme == s).unwrap();
-    add(
-        "Table 2",
-        "C/D single-disk repair BW",
-        "264 MB/s",
-        format!("{:.0} MB/s", get("C/D").disk_bw_mbs),
-    );
-    add(
-        "Table 2",
-        "D/C pool repair BW",
-        "1363 MB/s",
-        format!("{:.0} MB/s", get("D/C").pool_bw_mbs),
-    );
-    add(
-        "Fig 6a",
-        "single-disk repair speedup */D vs */C",
-        "~6x",
-        format!(
-            "{:.1}x",
-            get("C/C").disk_repair_hours / get("C/D").disk_repair_hours
-        ),
-    );
-    add(
-        "Fig 6b",
-        "pool repair speedup D/C vs C/C",
-        "~5x",
-        format!(
-            "{:.1}x",
-            get("C/C").pool_repair_hours / get("D/C").pool_repair_hours
-        ),
-    );
-
-    let f7 = fig7_catastrophic_prob();
-    let p = |s: &str| f7.iter().find(|r| r.scheme == s).unwrap().prob_per_year;
-    add(
-        "Fig 7",
-        "catastrophic prob, */C",
-        "< 0.001%/yr",
-        format!("{:.4}%/yr", p("C/C") * 100.0),
-    );
-    add(
-        "Fig 7",
-        "catastrophic prob, */D",
-        "~0.00001%/yr",
-        format!("{:.5}%/yr", p("C/D") * 100.0),
-    );
-
-    let f8 = fig8_fig9_repair_methods();
-    let traffic_of = |s: &str, m: &str| {
-        f8.iter()
-            .find(|c| c.scheme == s && c.method == m)
-            .unwrap()
-            .cross_rack_tb
-    };
-    add(
-        "Fig 8",
-        "R_ALL traffic on C/D",
-        "26,400 TB",
-        format!("{:.0} TB", traffic_of("C/D", "R_ALL")),
-    );
-    add(
-        "Fig 8",
-        "R_FCO traffic (all schemes)",
-        "880 TB",
-        format!("{:.0} TB", traffic_of("C/C", "R_FCO")),
-    );
-    add(
-        "Fig 8",
-        "R_HYB traffic on */D",
-        "3.1 TB",
-        format!("{:.1} TB", traffic_of("C/D", "R_HYB")),
-    );
-    add(
-        "Fig 8",
-        "R_MIN vs R_HYB reduction",
-        ">= 4x",
-        format!(
-            "{:.1}x",
-            traffic_of("C/C", "R_HYB") / traffic_of("C/C", "R_MIN")
-        ),
-    );
-
-    let f9_net = |s: &str, m: &str| {
-        f8.iter()
-            .find(|c| c.scheme == s && c.method == m)
-            .unwrap()
-            .network_time_h
-    };
-    add(
-        "Fig 9",
-        "R_FCO network-time cut vs R_ALL",
-        "5-30x",
-        format!(
-            "{:.0}x-{:.0}x",
-            f9_net("C/C", "R_ALL") / f9_net("C/C", "R_FCO"),
-            f9_net("C/D", "R_ALL") / f9_net("C/D", "R_FCO")
-        ),
-    );
-
-    let f10 = fig10_durability();
-    let nines = |s: &str, m: &str| {
-        f10.iter()
-            .find(|c| c.scheme == s && c.method == m)
-            .unwrap()
-            .nines
-    };
-    let fco_gains: Vec<f64> = ["C/C", "C/D", "D/C", "D/D"]
-        .iter()
-        .map(|s| nines(s, "R_FCO") - nines(s, "R_ALL"))
-        .collect();
-    add(
-        "Fig 10",
-        "R_FCO durability gain",
-        "+0.9-6.6 nines",
-        format!(
-            "+{:.1}-{:.1} nines",
-            fco_gains.iter().cloned().fold(f64::NAN, f64::min),
-            fco_gains.iter().cloned().fold(f64::NAN, f64::max)
-        ),
-    );
-    let min_gains: Vec<f64> = ["C/C", "C/D", "D/C", "D/D"]
-        .iter()
-        .map(|s| nines(s, "R_MIN") - nines(s, "R_HYB"))
-        .collect();
-    add(
-        "Fig 10",
-        "R_MIN durability gain",
-        "+0.1-1.2 nines",
-        format!(
-            "+{:.1}-{:.1} nines",
-            min_gains.iter().cloned().fold(f64::NAN, f64::min),
-            min_gains.iter().cloned().fold(f64::NAN, f64::max)
-        ),
-    );
-    add(
-        "Fig 10",
-        "best / worst scheme with R_MIN",
-        "C/D,D/D / D/C",
-        format!(
-            "{:.1},{:.1} / {:.1} nines",
-            nines("C/D", "R_MIN"),
-            nines("D/D", "R_MIN"),
-            nines("D/C", "R_MIN")
-        ),
-    );
-
-    let g = Geometry::paper_default();
-    let c = SimConfig::paper_default();
-    add(
-        "§5.1.4",
-        "(7+3) net-SLEC repair traffic",
-        "100s of TB/day",
-        format!(
-            "{:.0} TB/day",
-            traffic::net_slec_daily_traffic_tb(&g, &c, 7)
-        ),
-    );
-    let mlec_yearly = traffic::mlec_yearly_traffic_tb(
-        &mlec_core::sim::config::MlecDeployment::paper_default(mlec_core::topology::MlecScheme::CC),
-        mlec_core::sim::RepairMethod::Min,
-        p("C/C"),
-    );
-    add(
-        "§5.1.4",
-        "MLEC repair traffic",
-        "few TB / 1000s of years",
-        format!("{:.1e} TB/yr", mlec_yearly),
-    );
-
-    println!(
-        "{}",
-        ascii_table(&["experiment", "quantity", "paper", "ours"], &rows)
-    );
-    println!("Full per-figure details: EXPERIMENTS.md; regeneration commands in README.md.");
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("paper_summary")
 }

@@ -1,30 +1,6 @@
-//! §5.1.4 / §5.2.4: steady-state repair network traffic comparison across
-//! network SLEC, LRC-Dp, and MLEC (all repair methods).
+//! Compatibility shim for `mlec run sec514` — same arguments, same
+//! output; see `mlec info sec514` for the parameter schema.
 
-use mlec_bench::banner;
-use mlec_core::experiments::repair_traffic_comparison;
-use mlec_core::report::{ascii_table, dump_json, fmt_value};
-
-fn main() {
-    banner(
-        "Sections 5.1.4 & 5.2.4",
-        "repair network traffic: SLEC vs LRC vs MLEC",
-    );
-    let rows = repair_traffic_comparison();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.system.clone(),
-                fmt_value(r.tb_per_day),
-                fmt_value(r.tb_per_year),
-            ]
-        })
-        .collect();
-    println!("{}", ascii_table(&["system", "TB/day", "TB/year"], &table));
-    println!("paper: network SLEC needs hundreds of TB/day; LRC less but still substantial;");
-    println!("       MLEC needs a few TB every thousands of years");
-    if let Ok(path) = dump_json("sec514_sec524_traffic", &rows) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("sec514")
 }

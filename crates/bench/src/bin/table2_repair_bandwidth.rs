@@ -1,44 +1,6 @@
-//! Table 2: repair size and available repair bandwidth per MLEC scheme.
+//! Compatibility shim for `mlec run table2` — same arguments, same
+//! output; see `mlec info table2` for the parameter schema.
 
-use mlec_bench::banner;
-use mlec_core::experiments::table2_and_fig6;
-use mlec_core::report::{ascii_table, dump_json};
-
-fn main() {
-    banner(
-        "Table 2",
-        "repair size and available repair bandwidth (single disk / catastrophic pool)",
-    );
-    let rows = table2_and_fig6();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.clone(),
-                format!("{:.0}", r.disk_size_tb),
-                format!("{:.0}", r.disk_bw_mbs),
-                format!("{:.0}", r.pool_size_tb),
-                format!("{:.0}", r.pool_bw_mbs),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(
-            &[
-                "scheme",
-                "disk TB",
-                "disk BW MB/s",
-                "pool TB",
-                "pool BW MB/s"
-            ],
-            &table
-        )
-    );
-    println!(
-        "paper: C/C 20/40/400/250  C/D 20/264/2400/250  D/C 20/40/400/1363  D/D 20/264/2400/1363"
-    );
-    if let Ok(path) = dump_json("table2", &rows) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("table2")
 }

@@ -1,88 +1,6 @@
-//! Failure-trace tooling: synthesize a trace, print its statistics and
-//! detected bursts, and replay it through the system simulator — the
-//! paper's trace-driven fault-simulation mode end to end.
-//!
-//! Usage: `trace_tools [afr_pct=1] [bursts_per_year_x10=10] [burst_size=60]
-//! [burst_racks=1] [years=5] [out=]`
-//! (pass `out=/path/trace.csv` to also write the trace)
+//! Compatibility shim for `mlec run trace` — same arguments, same
+//! output; see `mlec info trace` for the parameter schema.
 
-use mlec_bench::{arg_u64, banner};
-use mlec_core::report::ascii_table;
-use mlec_core::sim::config::MlecDeployment;
-use mlec_core::sim::system_sim::simulate_system_trace;
-use mlec_core::sim::trace::{detect_bursts, synthesize, TraceSpec};
-use mlec_core::sim::RepairMethod;
-use mlec_core::topology::{Geometry, MlecScheme};
-
-fn main() {
-    banner(
-        "Trace tools",
-        "synthesize, analyze, and replay a failure trace",
-    );
-    let spec = TraceSpec {
-        background_afr: arg_u64("afr_pct", 1) as f64 / 100.0,
-        bursts_per_year: arg_u64("bursts_per_year_x10", 10) as f64 / 10.0,
-        burst_size: arg_u64("burst_size", 60) as u32,
-        burst_racks: arg_u64("burst_racks", 1) as u32,
-        years: arg_u64("years", 5) as f64,
-    };
-    let geometry = Geometry::paper_default();
-    let trace = synthesize(&geometry, &spec, arg_u64("seed", 42));
-
-    println!(
-        "synthesized {} failures over {:.1} years (empirical AFR {:.3}%)\n",
-        trace.len(),
-        spec.years,
-        trace.empirical_afr(&geometry) * 100.0
-    );
-
-    let bursts = detect_bursts(&trace, 0.5, 5);
-    println!(
-        "detected {} bursts (>= 5 failures within 30 min):",
-        bursts.len()
-    );
-    for (start, disks) in bursts.iter().take(10) {
-        let racks: std::collections::BTreeSet<u32> =
-            disks.iter().map(|&d| geometry.rack_of(d)).collect();
-        println!(
-            "  t={start:>9.1}h  {} disks across {} racks",
-            disks.len(),
-            racks.len()
-        );
-    }
-
-    println!("\nreplaying the trace against each scheme (R_MIN):");
-    let rows: Vec<Vec<String>> = MlecScheme::ALL
-        .into_iter()
-        .map(|scheme| {
-            let dep = MlecDeployment::paper_default(scheme);
-            let r = simulate_system_trace(&dep, &trace, RepairMethod::Min, 1);
-            vec![
-                scheme.name(),
-                r.catastrophic_pools.to_string(),
-                r.data_loss_events.to_string(),
-                format!("{:.2}", r.cross_rack_traffic_tb),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(
-            &[
-                "scheme",
-                "catastrophic pools",
-                "data losses",
-                "cross-rack TB"
-            ],
-            &rows
-        )
-    );
-
-    if let Some(path) = std::env::args()
-        .skip(1)
-        .find_map(|a| a.strip_prefix("out=").map(String::from))
-    {
-        std::fs::write(&path, trace.to_csv()).expect("write trace CSV");
-        println!("trace written to {path}");
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("trace")
 }

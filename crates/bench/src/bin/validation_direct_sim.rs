@@ -1,151 +1,6 @@
-//! Methodology validation (paper §6.2): run the *direct* whole-system
-//! simulation at inflated failure rates where data loss is observable, and
-//! compare against the splitting estimator's prediction at the same AFR.
-//!
-//! The per-scheme mission ensemble executes through `mlec-runner`: trial
-//! seeds come from the run's seed stream, the loss probability carries a
-//! Wilson 95% interval, and with `manifests=DIR` an interrupted campaign
-//! resumes from its JSONL checkpoint with bit-identical results.
-//!
-//! Usage: `validation_direct_sim [afr_pct=75] [years=2] [runs=40]`
-//!        `[seed=42] [threads=0] [manifests=DIR]`
+//! Compatibility shim for `mlec run validation` — same arguments, same
+//! output; see `mlec info validation` for the parameter schema.
 
-use mlec_bench::{arg_u64, banner, runner_opts_from_args};
-use mlec_core::analysis::markov::nines;
-use mlec_core::analysis::splitting::{stage1_analytic, stage2_pdl};
-use mlec_core::report::{ascii_table, dump_json, fmt_value};
-use mlec_core::sim::config::MlecDeployment;
-use mlec_core::sim::failure::FailureModel;
-use mlec_core::sim::system_sim::SystemSimOptions;
-use mlec_core::sim::trials::SystemTrial;
-use mlec_core::sim::RepairMethod;
-use mlec_core::topology::MlecScheme;
-use mlec_runner::{impl_to_json, run, Json, RunSpec, StopRule};
-
-struct ValidationRow {
-    scheme: String,
-    afr: f64,
-    direct_loss_runs: u64,
-    total_runs: u64,
-    direct_pdl: f64,
-    wilson_low: f64,
-    wilson_high: f64,
-    splitting_pdl: f64,
-    catastrophic_pools_simulated: u64,
-}
-
-impl_to_json!(ValidationRow {
-    scheme,
-    afr,
-    direct_loss_runs,
-    total_runs,
-    direct_pdl,
-    wilson_low,
-    wilson_high,
-    splitting_pdl,
-    catastrophic_pools_simulated,
-});
-
-fn main() {
-    banner(
-        "Validation",
-        "direct system simulation vs splitting estimator at inflated AFR",
-    );
-    let afr = arg_u64("afr_pct", 75) as f64 / 100.0;
-    let years = arg_u64("years", 2) as f64;
-    let runs = arg_u64("runs", 40);
-    let seed = arg_u64("seed", 42);
-    let opts = runner_opts_from_args();
-    println!("AFR {afr}, mission {years} years, {runs} runs per scheme, root seed {seed}\n");
-
-    let config_hash = Json::obj(vec![
-        ("afr", Json::F64(afr)),
-        ("years", Json::F64(years)),
-        ("runs", Json::U64(runs)),
-    ])
-    .fingerprint();
-
-    let mut rows = Vec::new();
-    for scheme in MlecScheme::ALL {
-        let mut dep = MlecDeployment::paper_default(scheme);
-        dep.config.afr = afr;
-        let model = FailureModel::Exponential { afr };
-        let trial = SystemTrial {
-            dep: &dep,
-            model: &model,
-            method: RepairMethod::Fco,
-            years,
-            opts: SystemSimOptions::default(),
-        };
-        let label = format!("validation/{}", scheme.name().replace('/', ""));
-        let mut spec = RunSpec::new(&label, seed, StopRule::fixed(runs))
-            .threads(opts.threads)
-            .config_hash(config_hash);
-        if let Some(dir) = &opts.manifest_dir {
-            spec = spec.manifest(dir.join(format!("{}.jsonl", label.replace('/', "-"))));
-        }
-        let report = run(&trial, &spec).expect("validation run");
-        if report.resumed_trials > 0 {
-            println!(
-                "  [{label}: resumed {} of {} trials from manifest]",
-                report.resumed_trials, report.trials
-            );
-        }
-
-        let s1 = stage1_analytic(&dep);
-        let splitting_pdl = stage2_pdl(&dep, RepairMethod::Fco, &s1, years);
-        let summary = report.summary;
-        rows.push(ValidationRow {
-            scheme: scheme.name(),
-            afr,
-            direct_loss_runs: report.acc.loss.hits(),
-            total_runs: report.trials,
-            direct_pdl: summary.mean,
-            wilson_low: summary.ci_low,
-            wilson_high: summary.ci_high,
-            splitting_pdl,
-            catastrophic_pools_simulated: report.acc.catastrophic_pools,
-        });
-    }
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.scheme.clone(),
-                format!("{}/{}", r.direct_loss_runs, r.total_runs),
-                fmt_value(r.direct_pdl),
-                format!(
-                    "[{}, {}]",
-                    fmt_value(r.wilson_low),
-                    fmt_value(r.wilson_high)
-                ),
-                fmt_value(r.splitting_pdl),
-                format!("{:.1}", nines(r.splitting_pdl.max(1e-300))),
-                r.catastrophic_pools_simulated.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        ascii_table(
-            &[
-                "scheme",
-                "losses",
-                "direct PDL",
-                "wilson 95%",
-                "splitting PDL",
-                "nines",
-                "cat pools"
-            ],
-            &table
-        )
-    );
-    println!("reading: where direct PDL is measurable but < 1, splitting should agree within");
-    println!("an order of magnitude; splitting saturates to 1 earlier because its Poisson");
-    println!("overlap formula is an upper bound outside the rare-event regime it serves");
-    println!("(at the paper's 1% AFR, overlaps are ~20 orders rarer and the bound is tight).");
-    if let Ok(path) = dump_json("validation_direct_sim", &rows) {
-        println!("json: {}", path.display());
-    }
+fn main() -> std::process::ExitCode {
+    mlec_bench::shim("validation")
 }

@@ -1,106 +1,20 @@
-//! `mlec-bench`: shared plumbing for the per-figure regeneration binaries
-//! (`src/bin/fig*.rs`) and the self-contained microbenchmarks (`benches/`,
-//! timed by [`microbench`]).
+//! `mlec-bench`: the `mlec` experiment driver, the per-figure
+//! compatibility shims (`src/bin/fig*.rs`), and the self-contained
+//! microbenchmarks (`benches/`, timed by [`microbench`]).
 //!
-//! Every binary prints the paper-comparable rows/series to stdout and dumps
-//! machine-readable JSON under `target/figures/`. Grid resolution and sample
-//! counts are tunable from the command line so a laptop run finishes in
-//! seconds while a full-fidelity run reproduces the paper's 60×60 grids.
+//! All execution goes through `mlec_core::registry`: arguments are parsed
+//! once against each experiment's declared schema, so unknown keys,
+//! malformed values, and unsupported modes exit non-zero instead of being
+//! silently ignored. Every experiment prints the paper-comparable
+//! rows/series to stdout and dumps machine-readable JSON under
+//! `target/figures/` (tunable with `out=DIR`).
 
 pub mod microbench;
 
-use mlec_core::experiments::{HeatmapRunOpts, HeatmapSpec};
+use mlec_core::registry::{self, ExperimentError, RunOutcome};
+use std::process::ExitCode;
 
-/// Parse `key=value` style CLI arguments (e.g. `step=3 samples=200 max=60`)
-/// into a [`HeatmapSpec`], starting from the default.
-pub fn heatmap_spec_from_args() -> HeatmapSpec {
-    let mut spec = HeatmapSpec::default();
-    for arg in std::env::args().skip(1) {
-        if let Some((key, value)) = arg.split_once('=') {
-            let Ok(v) = value.parse::<u64>() else {
-                continue;
-            };
-            match key {
-                "max" => spec.max = v as u32,
-                "step" => spec.step = (v as u32).max(1),
-                "samples" => spec.samples = (v as u32).max(1),
-                "seed" => spec.seed = v,
-                _ => {}
-            }
-        }
-    }
-    spec
-}
-
-/// Parse a single `key=value` string argument.
-pub fn arg_str(key: &str) -> Option<String> {
-    for arg in std::env::args().skip(1) {
-        if let Some((k, value)) = arg.split_once('=') {
-            if k == key {
-                return Some(value.to_string());
-            }
-        }
-    }
-    None
-}
-
-/// Parse the shared runner options of the Monte Carlo binaries:
-/// `threads=N` (0 = all cores) and `manifests=DIR` (enables JSONL
-/// checkpoint manifests under DIR; rerunning with the same arguments
-/// resumes an interrupted sweep from its last checkpoint).
-pub fn runner_opts_from_args() -> HeatmapRunOpts {
-    HeatmapRunOpts {
-        threads: arg_u64("threads", 0) as usize,
-        manifest_dir: arg_str("manifests").map(std::path::PathBuf::from),
-    }
-}
-
-/// Parse a single `key=value` u64 argument with a default.
-pub fn arg_u64(key: &str, default: u64) -> u64 {
-    for arg in std::env::args().skip(1) {
-        if let Some((k, value)) = arg.split_once('=') {
-            if k == key {
-                if let Ok(v) = value.parse() {
-                    return v;
-                }
-            }
-        }
-    }
-    default
-}
-
-/// Parse a single `key=value` f64 argument with a default.
-pub fn arg_f64(key: &str, default: f64) -> f64 {
-    for arg in std::env::args().skip(1) {
-        if let Some((k, value)) = arg.split_once('=') {
-            if k == key {
-                if let Ok(v) = value.parse() {
-                    return v;
-                }
-            }
-        }
-    }
-    default
-}
-
-/// Parse the `bias=` knob of the importance-sampled simulation modes:
-/// absent or `bias=auto` → `None` (auto-select per scheme), `bias=1` →
-/// direct simulation, `bias=B` → degraded-state multiplier `B`.
-pub fn bias_from_args() -> Option<f64> {
-    let raw = arg_str("bias")?;
-    if raw == "auto" {
-        return None;
-    }
-    match raw.parse::<f64>() {
-        Ok(b) if b.is_finite() && b > 0.0 => Some(b),
-        _ => {
-            eprintln!("warning: ignoring invalid bias={raw} (want auto or a positive number)");
-            None
-        }
-    }
-}
-
-/// Standard banner for figure binaries.
+/// Standard banner printed before an experiment's report.
 pub fn banner(figure: &str, description: &str) {
     println!("=== {figure}: {description}");
     println!(
@@ -110,19 +24,52 @@ pub fn banner(figure: &str, description: &str) {
     println!();
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn default_spec_when_no_args() {
-        let spec = heatmap_spec_from_args();
-        assert_eq!(spec.max, 60);
-        assert!(spec.step >= 1);
+fn print_outcome(outcome: &RunOutcome) {
+    banner(outcome.info.title, outcome.info.description);
+    print!("{}", outcome.text);
+    for path in &outcome.artifact_paths {
+        println!("json: {}", path.display());
     }
+}
 
-    #[test]
-    fn arg_parse_default() {
-        assert_eq!(arg_u64("nonexistent", 7), 7);
+/// Run a registered experiment with explicit `key=value` arguments,
+/// printing its banner, report, artifact paths, and any gate failures.
+/// Exit status: `0` success, `1` failed gates or campaign I/O, `2`
+/// unresolvable name/arguments.
+pub fn execute_status(name: &str, raw_args: &[String]) -> u8 {
+    match registry::run_experiment(name, raw_args) {
+        Ok(outcome) => {
+            print_outcome(&outcome);
+            if outcome.gate_failures.is_empty() {
+                0
+            } else {
+                for failure in &outcome.gate_failures {
+                    eprintln!("{failure}");
+                }
+                1
+            }
+        }
+        Err(e @ (ExperimentError::Io(_) | ExperimentError::Dump(_))) => {
+            eprintln!("error: {e}");
+            1
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("hint: `mlec info {name}` lists the accepted parameters");
+            2
+        }
     }
+}
+
+/// [`execute_status`] as an [`ExitCode`].
+pub fn execute_with(name: &str, raw_args: &[String]) -> ExitCode {
+    ExitCode::from(execute_status(name, raw_args))
+}
+
+/// Entry point of the per-figure compatibility shims: forward this
+/// process's `key=value` arguments to the named registry experiment
+/// (identical to `mlec run <name> [args…]`).
+pub fn shim(name: &str) -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    execute_with(name, &args)
 }

@@ -19,7 +19,7 @@ use mlec_analysis::tradeoff::{
 };
 use mlec_ec::throughput::{measure_slec, ThroughputModel};
 use mlec_ec::{Lrc, LrcParams, SlecParams};
-use mlec_runner::{run_with, trial_rng, GridTrial, Json, RunSpec, StopRule};
+use mlec_runner::{run_with, trial_rng, GridOrder, GridTrial, HitTrial, Json, RunSpec, StopRule};
 use mlec_sim::bandwidth::{
     catastrophic_pool_repair_bw_mbs, catastrophic_pool_repair_hours, repair_sizes_tb,
     single_disk_repair_bw_mbs, single_disk_repair_hours,
@@ -47,6 +47,9 @@ pub struct Heatmap {
     pub ys: Vec<u32>,
     /// `pdl[yi][xi]`; cells with `y < x` are impossible and set to NaN.
     pub pdl: Vec<Vec<f64>>,
+    /// Conditional-MC trials actually executed (less than the full budget
+    /// when an adaptive precision target fired).
+    pub trials: u64,
 }
 
 /// Grid resolution of a heatmap run.
@@ -56,10 +59,19 @@ pub struct HeatmapSpec {
     pub max: u32,
     /// Step between grid lines (e.g. 6 gives a 10x10 grid).
     pub step: u32,
-    /// Conditional-MC samples per cell.
+    /// Conditional-MC samples per cell (an upper bound when `rel_err` is
+    /// set).
     pub samples: u32,
     /// Base RNG seed.
     pub seed: u64,
+    /// Adaptive precision target: stop when the pooled grid estimate
+    /// reaches this relative standard error ([`StopRule::until_rel_err`]).
+    /// Cells are then sampled interleaved (one sweep of the grid per pass)
+    /// so every cell keeps an equal share of the spent budget. `None` runs
+    /// the fixed per-cell budget in blocked order.
+    pub rel_err: Option<f64>,
+    /// Minimum samples per cell before an adaptive stop may fire.
+    pub min_samples: u32,
 }
 
 impl Default for HeatmapSpec {
@@ -69,6 +81,8 @@ impl Default for HeatmapSpec {
             step: 6,
             samples: 60,
             seed: 42,
+            rel_err: None,
+            min_samples: 8,
         }
     }
 }
@@ -130,13 +144,25 @@ fn run_heatmap(
     let trial = GridTrial {
         cells: cells.len(),
         samples_per_cell: spec.samples as u64,
+        order: match spec.rel_err {
+            Some(_) => GridOrder::Interleaved,
+            None => GridOrder::Blocked,
+        },
         f: |cell: usize, seed: u64| {
             let (y, x) = cells[cell];
             let mut rng = trial_rng(seed);
             sample(y, x, &mut rng)
         },
     };
-    let mut run_spec = RunSpec::new(run_label, spec.seed, StopRule::fixed(trial.total_trials()))
+    let stop = match spec.rel_err {
+        Some(rel) => StopRule::until_rel_err(
+            rel,
+            cells.len() as u64 * spec.min_samples.min(spec.samples) as u64,
+            trial.total_trials(),
+        ),
+        None => StopRule::fixed(trial.total_trials()),
+    };
+    let mut run_spec = RunSpec::new(run_label, spec.seed, stop)
         .threads(opts.threads)
         .config_hash(config_hash);
     if let Some(path) = opts.manifest_path(run_label) {
@@ -161,17 +187,25 @@ fn run_heatmap(
         xs,
         ys,
         pdl,
+        trials: report.trials,
     }
 }
 
 fn heatmap_config_hash(spec: &HeatmapSpec, extra: &str) -> u64 {
-    Json::obj(vec![
+    let mut fields = vec![
         ("max", Json::U64(spec.max as u64)),
         ("step", Json::U64(spec.step as u64)),
-        ("samples", Json::U64(spec.samples as u64)),
-        ("extra", Json::Str(extra.to_string())),
-    ])
-    .fingerprint()
+    ];
+    match spec.rel_err {
+        // Fixed budget: `samples` is run identity (blocked order maps
+        // trial index -> cell through it).
+        None => fields.push(("samples", Json::U64(spec.samples as u64))),
+        // Adaptive: the budget is a stop rule, not identity (a resumed run
+        // may extend it), but the interleaved index -> cell mapping is.
+        Some(_) => fields.push(("order", Json::Str("interleaved".to_string()))),
+    }
+    fields.push(("extra", Json::Str(extra.to_string())));
+    Json::obj(fields).fingerprint()
 }
 
 /// Fig 5: PDL heatmaps of the four MLEC schemes under correlated bursts.
@@ -400,6 +434,102 @@ pub fn fig8_fig9_repair_methods() -> Vec<RepairMethodCell> {
     out
 }
 
+/// One (scheme, method) cell of Fig 8 / Fig 9 `mode=sim`: the analytic
+/// repair plan next to per-catastrophic-pool traffic and sojourn measured
+/// by whole-system simulation at an inflated AFR.
+#[derive(Debug, Clone)]
+pub struct RepairMethodSimCell {
+    /// Scheme label.
+    pub scheme: String,
+    /// Method label.
+    pub method: String,
+    /// Analytic plan: cross-rack traffic per catastrophic pool, TB.
+    pub plan_cross_rack_tb: f64,
+    /// Analytic plan: network repair time per catastrophic pool, hours.
+    pub plan_network_time_h: f64,
+    /// Measured: mean cross-rack traffic per catastrophic pool, TB.
+    pub sim_cross_rack_tb: f64,
+    /// Measured: mean network-repair sojourn per catastrophic pool, hours.
+    pub sim_network_time_h: f64,
+    /// Catastrophic pools observed across all missions.
+    pub catastrophic_pools: u64,
+    /// Missions simulated.
+    pub missions: u64,
+}
+
+/// Fig 8 + Fig 9 `mode=sim`: measure per-catastrophic-pool repair traffic
+/// and sojourn by running whole-system missions through `mlec-runner` (one
+/// campaign per scheme × method, at an AFR inflated enough to observe
+/// catastrophic pools directly). The analytic plan of
+/// [`fig8_fig9_repair_methods`] sits beside the measurement; they must
+/// agree because the simulator charges repairs from the same plan — the
+/// sim columns confirm the event accounting, catastrophe frequencies and
+/// determinism of the pipeline, not an independent physical model.
+pub fn fig8_fig9_repair_methods_sim(
+    afr: f64,
+    years_per_trial: f64,
+    trials: u64,
+    seed: u64,
+    opts: &HeatmapRunOpts,
+) -> std::io::Result<Vec<RepairMethodSimCell>> {
+    let mut out = Vec::new();
+    for scheme in MlecScheme::ALL {
+        let mut dep = paper_deployment(scheme);
+        dep.config.afr = afr;
+        let model = mlec_sim::failure::FailureModel::Exponential { afr };
+        for method in RepairMethod::ALL {
+            let plan = plan_catastrophic_repair(&dep, method);
+            let trial = mlec_sim::trials::SystemTrial {
+                dep: &dep,
+                model: &model,
+                method,
+                years: years_per_trial,
+                opts: mlec_sim::system_sim::SystemSimOptions::default(),
+            };
+            // Trial budget excluded (a resumed run may extend it), the
+            // physics included — see fig7_catastrophic_prob_sim.
+            let config_hash = Json::obj(vec![
+                ("afr", Json::F64(afr)),
+                ("years_per_trial", Json::F64(years_per_trial)),
+                ("method", Json::Str(method.name().to_string())),
+            ])
+            .fingerprint();
+            let run_label = format!("fig08/{}-{}", scheme.name().replace('/', ""), method.name());
+            let mut spec = RunSpec::new(&run_label, seed, StopRule::fixed(trials))
+                .threads(opts.threads)
+                .config_hash(config_hash);
+            if let Some(path) = opts.manifest_path(&run_label) {
+                spec = spec.manifest(path);
+            }
+            let report = mlec_runner::run(&trial, &spec)?;
+            let acc = &report.acc;
+            let cat = acc.catastrophic_pools;
+            let missions = report.trials;
+            let total_traffic = acc.cross_rack_traffic_tb.mean() * missions as f64;
+            let total_sojourn = acc.total_sojourn_h.mean() * missions as f64;
+            out.push(RepairMethodSimCell {
+                scheme: scheme.name(),
+                method: method.name().to_string(),
+                plan_cross_rack_tb: plan.cross_rack_traffic_tb,
+                plan_network_time_h: plan.network_time_h,
+                sim_cross_rack_tb: if cat > 0 {
+                    total_traffic / cat as f64
+                } else {
+                    f64::NAN
+                },
+                sim_network_time_h: if cat > 0 {
+                    total_sojourn / cat as f64
+                } else {
+                    f64::NAN
+                },
+                catastrophic_pools: cat,
+                missions,
+            });
+        }
+    }
+    Ok(out)
+}
+
 /// One (scheme, method) durability cell of Fig 10.
 #[derive(Debug, Clone)]
 pub struct DurabilityCell {
@@ -578,6 +708,220 @@ pub fn fig15_mlec_vs_lrc(model: &ThroughputModel) -> Vec<TradeoffPoint> {
     out
 }
 
+/// One burst-PDL cross-check row of Fig 12 `mode=sim`: the paper's
+/// flagship configuration of a Fig 12 family, with its stress-cell burst
+/// PDL measured by an adaptive conditional-MC campaign.
+#[derive(Debug, Clone)]
+pub struct BurstCheckRow {
+    /// Configuration label, e.g. `"(10+2)/(17+3)"`.
+    pub label: String,
+    /// Series name, e.g. `"C/D"` or `"Loc-Cp-S"`.
+    pub family: String,
+    /// Burst PDL at the stress cell (mean over conditional-MC samples).
+    pub burst_pdl: f64,
+    /// 95% CI half-width of the estimate.
+    pub ci_half_width: f64,
+    /// Conditional-MC samples spent (less than the budget when the
+    /// adaptive precision target fired).
+    pub trials: u64,
+    /// Achieved relative standard error.
+    pub rel_err: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn burst_check_campaign(
+    run_label: &str,
+    display: (&str, &str),
+    rel_err: f64,
+    min_samples: u64,
+    samples: u64,
+    seed: u64,
+    opts: &HeatmapRunOpts,
+    config_hash: u64,
+    sample: impl Fn(&mut mlec_runner::TrialRng) -> f64 + Sync,
+) -> std::io::Result<BurstCheckRow> {
+    let trial = mlec_runner::FnTrial(|seed: u64| {
+        let mut rng = trial_rng(seed);
+        sample(&mut rng)
+    });
+    let mut spec = RunSpec::new(
+        run_label,
+        seed,
+        StopRule::until_rel_err(rel_err, min_samples, samples),
+    )
+    .threads(opts.threads)
+    .config_hash(config_hash);
+    if let Some(path) = opts.manifest_path(run_label) {
+        spec = spec.manifest(path);
+    }
+    let report = mlec_runner::run(&trial, &spec)?;
+    let s = report.summary;
+    Ok(BurstCheckRow {
+        label: display.0.to_string(),
+        family: display.1.to_string(),
+        burst_pdl: s.mean,
+        ci_half_width: (s.ci_high - s.ci_low) / 2.0,
+        trials: s.trials,
+        rel_err: s.rel_err,
+    })
+}
+
+/// Fig 12 `mode=sim`: the analytic tradeoff scatter of
+/// [`fig12_mlec_vs_slec`] plus a burst-PDL cross-check — for the paper's
+/// flagship configuration of each family, one adaptive conditional-MC
+/// campaign through `mlec-runner` measures the PDL of a `(failures,
+/// racks)` stress burst with a [`StopRule::until_rel_err`] precision
+/// target.
+#[allow(clippy::too_many_arguments)]
+pub fn fig12_mlec_vs_slec_sim(
+    model: &ThroughputModel,
+    failures: u32,
+    racks: u32,
+    rel_err: f64,
+    min_samples: u64,
+    samples: u64,
+    seed: u64,
+    opts: &HeatmapRunOpts,
+) -> std::io::Result<(Vec<TradeoffPoint>, Vec<BurstCheckRow>)> {
+    let points = fig12_mlec_vs_slec(model);
+    let g = Geometry::paper_default();
+    let mut rows = Vec::new();
+    let hash = |extra: &str| {
+        Json::obj(vec![
+            ("y", Json::U64(failures as u64)),
+            ("x", Json::U64(racks as u64)),
+            ("extra", Json::Str(extra.to_string())),
+        ])
+        .fingerprint()
+    };
+    for scheme in [MlecScheme::CC, MlecScheme::CD] {
+        let dep = paper_deployment(scheme);
+        let label = dep.params.to_string();
+        rows.push(burst_check_campaign(
+            &format!("fig12/{}", scheme.name().replace('/', "")),
+            (&label, &scheme.name()),
+            rel_err,
+            min_samples,
+            samples,
+            seed,
+            opts,
+            hash(&scheme.name()),
+            |rng| mlec_burst_sample(&dep, failures, racks, rng),
+        )?);
+    }
+    let slec = SlecParams::new(7, 3);
+    for placement in SlecPlacement::ALL {
+        rows.push(burst_check_campaign(
+            &format!("fig12/{}", placement.name()),
+            (&slec.to_string(), &format!("{}-S", placement.name())),
+            rel_err,
+            min_samples,
+            samples,
+            seed,
+            opts,
+            hash(&format!("{} {}", placement.name(), slec)),
+            |rng| slec_burst_sample(&g, slec, placement, failures, racks, rng),
+        )?);
+    }
+    Ok((points, rows))
+}
+
+/// One sampled LRC undecodability row of Fig 15 `mode=sim`.
+#[derive(Debug, Clone)]
+pub struct LrcUndecodableRow {
+    /// Configuration label, e.g. `"(14,2,4)"`.
+    pub label: String,
+    /// Analytic `P(undecodable | r + 2 uniform erasures)`.
+    pub analytic: f64,
+    /// Sampled estimate (exact rank tests through the runner).
+    pub sampled: f64,
+    /// Rank tests spent.
+    pub trials: u64,
+    /// Achieved relative CI half-width.
+    pub rel_err: f64,
+}
+
+/// Fig 15 `mode=sim`: the tradeoff scatter with every LRC point's
+/// undecodability thinning *measured* instead of assumed — one adaptive
+/// `mlec-runner` campaign of exact rank tests per LRC configuration
+/// (uniform `r + 2`-erasure patterns, [`StopRule::until_rel_err`]),
+/// feeding [`enumerate_lrc`] the sampled `P(undecodable)`. The MLEC C/D
+/// series stays analytic, as in the paper. Returns the scatter and the
+/// per-configuration sampled-vs-analytic rows.
+pub fn fig15_mlec_vs_lrc_sim(
+    model: &ThroughputModel,
+    rel_err: f64,
+    min_samples: u64,
+    samples: u64,
+    seed: u64,
+    opts: &HeatmapRunOpts,
+) -> std::io::Result<(Vec<TradeoffPoint>, Vec<LrcUndecodableRow>)> {
+    let g = Geometry::paper_default();
+    let c = SimConfig::paper_default();
+    let rows = std::cell::RefCell::new(Vec::new());
+    let io_err = std::cell::RefCell::new(None);
+    let mut points = enumerate_mlec(&g, &c, MlecScheme::CD, OVERHEAD_BAND, model);
+    points.extend(enumerate_lrc(&g, &c, OVERHEAD_BAND, model, |params| {
+        let analytic = ideal_lrc_undecodable_at_limit(params);
+        if io_err.borrow().is_some() {
+            return analytic;
+        }
+        let lrc = Lrc::new(params.k, params.l, params.r).expect("enumerated LRC is valid");
+        let m = params.r + 2;
+        let n = lrc.total_chunks();
+        let trial = HitTrial(|seed: u64| {
+            use rand::Rng as _;
+            let mut rng = trial_rng(seed);
+            let mut erased = vec![false; n];
+            // Uniform m-subset via partial Fisher-Yates over chunk indices.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..m {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+                erased[idx[i]] = true;
+            }
+            !lrc.decodable(&erased)
+        });
+        let run_label = format!("fig15/lrc-{}-{}-{}", params.k, params.l, params.r);
+        let config_hash = Json::obj(vec![
+            ("params", Json::Str(params.to_string())),
+            ("erasures", Json::U64(m as u64)),
+        ])
+        .fingerprint();
+        let mut spec = RunSpec::new(
+            &run_label,
+            seed,
+            StopRule::until_rel_err(rel_err, min_samples, samples),
+        )
+        .threads(opts.threads)
+        .config_hash(config_hash);
+        if let Some(path) = opts.manifest_path(&run_label) {
+            spec = spec.manifest(path);
+        }
+        match mlec_runner::run(&trial, &spec) {
+            Ok(report) => {
+                let s = report.summary;
+                rows.borrow_mut().push(LrcUndecodableRow {
+                    label: params.to_string(),
+                    analytic,
+                    sampled: s.mean,
+                    trials: s.trials,
+                    rel_err: s.rel_err,
+                });
+                s.mean
+            }
+            Err(e) => {
+                *io_err.borrow_mut() = Some(e);
+                analytic
+            }
+        }
+    }));
+    if let Some(e) = io_err.into_inner() {
+        return Err(e);
+    }
+    Ok((points, rows.into_inner()))
+}
+
 /// Fig 13: PDL heatmaps of the four SLEC placements under bursts.
 pub fn fig13_slec_burst(spec: &HeatmapSpec, params: SlecParams) -> Vec<Heatmap> {
     fig13_slec_burst_with(spec, params, &HeatmapRunOpts::default())
@@ -680,7 +1024,38 @@ pub fn repair_traffic_comparison() -> Vec<TrafficRow> {
     out
 }
 
-mlec_runner::impl_to_json!(Heatmap { label, xs, ys, pdl });
+mlec_runner::impl_to_json!(Heatmap {
+    label,
+    xs,
+    ys,
+    pdl,
+    trials
+});
+mlec_runner::impl_to_json!(RepairMethodSimCell {
+    scheme,
+    method,
+    plan_cross_rack_tb,
+    plan_network_time_h,
+    sim_cross_rack_tb,
+    sim_network_time_h,
+    catastrophic_pools,
+    missions,
+});
+mlec_runner::impl_to_json!(BurstCheckRow {
+    label,
+    family,
+    burst_pdl,
+    ci_half_width,
+    trials,
+    rel_err,
+});
+mlec_runner::impl_to_json!(LrcUndecodableRow {
+    label,
+    analytic,
+    sampled,
+    trials,
+    rel_err,
+});
 mlec_runner::impl_to_json!(RepairBandwidthRow {
     scheme,
     disk_size_tb,
@@ -796,6 +1171,7 @@ mod tests {
             step: 6,
             samples: 10,
             seed: 1,
+            ..HeatmapSpec::default()
         };
         let maps = fig5_mlec_burst(&spec);
         assert_eq!(maps.len(), 4);

@@ -18,6 +18,8 @@
 pub mod advisor;
 pub mod experiments;
 pub mod figdata;
+pub mod figures;
+pub mod registry;
 pub mod report;
 
 pub use mlec_analysis as analysis;

@@ -75,15 +75,60 @@ fn pdl_char(v: f64) -> char {
     }
 }
 
-/// Write any [`ToJson`] result as pretty JSON under
-/// `target/figures/<name>.json`, creating the directory as needed. Returns
-/// the path written.
-pub fn dump_json<T: ToJson + ?Sized>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
-    let dir = Path::new("target").join("figures");
-    std::fs::create_dir_all(&dir)?;
+/// Failure to write a JSON artifact: the path attempted plus the
+/// underlying I/O error. Callers must surface it (the figure data is the
+/// point of a run), not silently drop the artifact.
+#[derive(Debug)]
+pub struct DumpError {
+    /// The artifact path the write targeted.
+    pub path: std::path::PathBuf,
+    /// The I/O failure.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for DumpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed to write artifact {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for DumpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Write any [`ToJson`] result as pretty JSON at `<dir>/<name>.json`,
+/// creating `dir` (and any missing parents) as needed. Returns the path
+/// written.
+pub fn dump_json_in<T: ToJson + ?Sized>(
+    dir: &Path,
+    name: &str,
+    value: &T,
+) -> Result<std::path::PathBuf, DumpError> {
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, value.to_json().to_string_pretty())?;
-    Ok(path)
+    let write = |p: &Path| -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(p, value.to_json().to_string_pretty())
+    };
+    match write(&path) {
+        Ok(()) => Ok(path),
+        Err(source) => Err(DumpError { path, source }),
+    }
+}
+
+/// [`dump_json_in`] at the default artifact directory,
+/// `target/figures/<name>.json`.
+pub fn dump_json<T: ToJson + ?Sized>(
+    name: &str,
+    value: &T,
+) -> Result<std::path::PathBuf, DumpError> {
+    dump_json_in(&Path::new("target").join("figures"), name, value)
 }
 
 /// Format a float with engineering-friendly precision: probabilities in
@@ -126,6 +171,7 @@ mod tests {
             xs: vec![1, 2],
             ys: vec![1, 2],
             pdl: vec![vec![0.0, f64::NAN], vec![1e-4, 1.0]],
+            trials: 0,
         };
         let s = render_heatmap(&map);
         assert!(s.contains("test"));
@@ -141,6 +187,33 @@ mod tests {
         for w in chars.windows(2) {
             assert!(w[0] <= w[1], "{chars:?}");
         }
+    }
+
+    #[test]
+    fn dump_json_creates_nested_dirs_and_reports_typed_errors() {
+        let base = std::env::temp_dir().join(format!("mlec-dump-{}", std::process::id()));
+        let nested = base.join("deep").join("figures");
+        let map = Heatmap {
+            label: "t".into(),
+            xs: vec![1],
+            ys: vec![1],
+            pdl: vec![vec![0.5]],
+            trials: 1,
+        };
+        let path = dump_json_in(&nested, "probe", &map).unwrap();
+        assert!(path.ends_with("deep/figures/probe.json"));
+        assert!(std::fs::read_to_string(&path).unwrap().contains("\"pdl\""));
+        std::fs::remove_dir_all(&base).unwrap();
+
+        // A directory we cannot create (a file in the way) must surface a
+        // typed error naming the artifact path.
+        let blocker = base.join("blocked");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::write(&blocker, b"not a dir").unwrap();
+        let err = dump_json_in(&blocker, "probe", &map).unwrap_err();
+        assert!(err.path.ends_with("blocked/probe.json"));
+        assert!(err.to_string().contains("probe.json"));
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub use rng::{trial_rng, SplitMix64, TrialRng};
 pub use seed_stream::SeedStream;
 pub use stats::{Proportion, WeightedRate, WeightedWelford, Welford, POISSON_ZERO_EVENT_UPPER_95};
 pub use trial::{
-    Accumulator, FnTrial, GridAcc, GridTrial, HitAcc, HitTrial, MeanAcc, Summary, Trial,
+    Accumulator, FnTrial, GridAcc, GridOrder, GridTrial, HitAcc, HitTrial, MeanAcc, Summary, Trial,
 };

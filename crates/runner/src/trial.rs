@@ -237,19 +237,37 @@ impl Accumulator for GridAcc {
     }
 }
 
+/// How a [`GridTrial`] maps the global trial index onto grid cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridOrder {
+    /// Cell `i / samples_per_cell`: all samples of cell 0, then cell 1, …
+    /// The right choice for fixed budgets — each cell's seed block is
+    /// contiguous, so shrinking or growing `samples_per_cell` preserves the
+    /// seeds of the samples that remain.
+    #[default]
+    Blocked,
+    /// Cell `i % cells`: one sample of every cell per grid sweep. The right
+    /// choice under adaptive stopping ([`crate::StopRule`] with a relative
+    /// precision target): whenever the run stops, every cell has received
+    /// the same number of samples, give or take one sweep.
+    Interleaved,
+}
+
 /// Adapter running a closure `(cell, seed) -> f64` over every cell of a
-/// grid in one deterministic run: trial index `i` evaluates cell
-/// `i / samples_per_cell`, so a full run performs `samples_per_cell`
+/// grid in one deterministic run: trial index `i` evaluates the cell given
+/// by [`GridOrder`], so a full run performs `samples_per_cell`
 /// observations of each of `cells` cells, and checkpoint/resume and thread
 /// counts behave exactly as for scalar trials.
 pub struct GridTrial<F: Fn(usize, u64) -> f64 + Sync> {
     pub cells: usize,
     pub samples_per_cell: u64,
+    pub order: GridOrder,
     pub f: F,
 }
 
 impl<F: Fn(usize, u64) -> f64 + Sync> GridTrial<F> {
-    /// The fixed trial budget covering the whole grid.
+    /// The trial budget covering the whole grid (an upper bound under
+    /// adaptive stopping).
     pub fn total_trials(&self) -> u64 {
         self.cells as u64 * self.samples_per_cell
     }
@@ -264,7 +282,10 @@ impl<F: Fn(usize, u64) -> f64 + Sync> Trial for GridTrial<F> {
     type Acc = GridAcc;
 
     fn run(&self, index: u64, seed: u64, acc: &mut GridAcc) {
-        let cell = (index / self.samples_per_cell) as usize;
+        let cell = match self.order {
+            GridOrder::Blocked => (index / self.samples_per_cell) as usize,
+            GridOrder::Interleaved => (index % self.cells as u64) as usize,
+        };
         debug_assert!(cell < self.cells, "trial index beyond the grid budget");
         acc.push(cell, (self.f)(cell, seed));
     }
@@ -312,6 +333,7 @@ mod tests {
         let trial = GridTrial {
             cells: 5,
             samples_per_cell: 40,
+            order: GridOrder::Blocked,
             // Observation = the cell index itself: means must come out exact.
             f: |cell, _seed| cell as f64,
         };
@@ -337,6 +359,7 @@ mod tests {
         let trial = GridTrial {
             cells: 9,
             samples_per_cell: 64,
+            order: GridOrder::default(),
             f: |cell, seed| SplitMix64::new(seed).next_f64() + cell as f64,
         };
         let stop = StopRule::fixed(trial.total_trials());
@@ -353,6 +376,38 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.acc, b.acc);
+    }
+
+    #[test]
+    fn interleaved_grid_balances_cells_under_adaptive_stop() {
+        use crate::{run_with, RunSpec, StopRule};
+        let trial = GridTrial {
+            cells: 7,
+            samples_per_cell: 4096,
+            order: GridOrder::Interleaved,
+            // Low-variance observations: the precision target fires long
+            // before the budget is exhausted.
+            f: |cell, seed| cell as f64 + 1.0 + 1e-3 * (seed % 7) as f64,
+        };
+        let stop = StopRule::until_rel_err(0.05, 7 * 8, trial.total_trials());
+        let report = run_with(
+            &trial,
+            &RunSpec::new("grid/adaptive", 11, stop).batch_size(13),
+            trial.empty(),
+        )
+        .unwrap();
+        assert!(report.trials < trial.total_trials(), "{}", report.trials);
+        let counts: Vec<u64> = (0..7).map(|i| report.acc.cell(i).count()).collect();
+        let (lo, hi) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        // One interleaved sweep covers every cell once; a partial final
+        // batch can leave at most one sweep of imbalance per batch row.
+        assert!(hi - lo <= 2, "unbalanced cells: {counts:?}");
+        for i in 0..7 {
+            assert!(
+                (report.acc.cell(i).mean() - (i as f64 + 1.0)).abs() < 0.01,
+                "cell {i}"
+            );
+        }
     }
 
     #[test]

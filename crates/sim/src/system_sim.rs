@@ -15,9 +15,17 @@
 //! method; while `p_n + 1` pools in loss position overlap, a data-loss event
 //! is recorded (with rare-stripe thinning for chunk-knowledge methods on
 //! declustered locals).
+//!
+//! Next-event selection runs on [`crate::engine::EventQueue`]: disk-failure
+//! arrivals and network-repair completions are scheduled events, with FIFO
+//! tie-breaking at equal timestamps. The RNG draw order (inter-arrival gap,
+//! then disk index, then per-pool processing draws) matches the original
+//! hand-rolled loop exactly, so fixed-seed results are bit-identical — see
+//! the `golden_*` tests below.
 
 use crate::census::StripeCensus;
 use crate::config::{MlecDeployment, HOURS_PER_YEAR};
+use crate::engine::EventQueue;
 use crate::failure::{sample_exponential, sample_poisson, FailureModel};
 use crate::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
 use mlec_topology::Placement;
@@ -158,12 +166,50 @@ pub fn simulate_system_opts(
     )
 }
 
+/// Events driving the system simulation.
+enum Event {
+    /// A disk failure. `disk` is pre-recorded for trace arrivals and drawn
+    /// at pop time for stochastic ones (preserving the RNG draw order of
+    /// the pre-event-queue implementation: gap, then disk).
+    Arrival { disk: Option<u32> },
+    /// A catastrophic pool's network reconstruction completed.
+    NetworkRepairDone { pool: u32 },
+}
+
+/// Schedule the next failure arrival: a fresh exponential gap from `now`,
+/// or the next in-order trace record (records behind the clock are skipped,
+/// uncounted — traces are pre-sorted, so this is defensive only).
+fn schedule_next_arrival(
+    queue: &mut EventQueue<Event>,
+    arrivals: &ArrivalSource,
+    rng: &mut ChaCha12Rng,
+    trace_index: &mut usize,
+    total_disks: f64,
+) {
+    match arrivals {
+        ArrivalSource::Exponential { rate_per_disk_hour } => {
+            let dt = sample_exponential(rng, total_disks * rate_per_disk_hour);
+            queue.schedule_in(dt, Event::Arrival { disk: None });
+        }
+        ArrivalSource::Trace(events) => {
+            while let Some(&(t, disk)) = events.get(*trace_index) {
+                *trace_index += 1;
+                if t < queue.now() {
+                    continue;
+                }
+                queue.schedule(t, Event::Arrival { disk: Some(disk) });
+                break;
+            }
+        }
+    }
+}
+
 fn run_system(
     dep: &MlecDeployment,
     method: RepairMethod,
     years: f64,
     seed: u64,
-    mut arrivals: ArrivalSource,
+    arrivals: ArrivalSource,
     opts: SystemSimOptions,
 ) -> SystemSimResult {
     let mut rng =
@@ -195,9 +241,12 @@ fn run_system(
 
     let mut states: HashMap<u32, PoolState> = HashMap::new();
     // Catastrophic pools under network repair: pool -> repair completion.
+    // Entries are removed by their `NetworkRepairDone` event; at equal
+    // timestamps the completion pops before the arrival (FIFO tie-break on
+    // insertion order), so an arrival never sees a repair that finished at
+    // its own timestamp.
     let mut catastrophic_until: HashMap<u32, f64> = HashMap::new();
 
-    let mut now = 0.0f64;
     let mut disk_failures = 0u64;
     let mut catastrophic_pools = 0u64;
     let mut data_loss_events = 0u64;
@@ -207,42 +256,46 @@ fn run_system(
     let total_disks = dep.geometry.total_disks() as f64;
     let mut trace_index = 0usize;
 
-    loop {
-        // Next failure arrival: stochastic (aggregate-rate exponential; the
-        // rate reduction from <0.1% failed disks is negligible) or the next
-        // trace record.
-        let disk: u32 = match &mut arrivals {
-            ArrivalSource::Exponential { rate_per_disk_hour } => {
-                let dt = sample_exponential(&mut rng, total_disks * *rate_per_disk_hour);
-                now += dt;
-                if now > horizon {
-                    break;
-                }
-                rng.gen_range(0..dep.geometry.total_disks())
+    // Failure arrivals: stochastic (aggregate-rate exponential; the rate
+    // reduction from <0.1% failed disks is negligible) or trace records.
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    schedule_next_arrival(
+        &mut queue,
+        &arrivals,
+        &mut rng,
+        &mut trace_index,
+        total_disks,
+    );
+
+    while let Some((now, event)) = queue.pop() {
+        let disk: u32 = match event {
+            Event::NetworkRepairDone { pool } => {
+                catastrophic_until.remove(&pool);
+                continue;
             }
-            ArrivalSource::Trace(events) => {
-                let Some(&(t, disk)) = events.get(trace_index) else {
-                    break;
-                };
-                trace_index += 1;
-                if t < now {
-                    continue; // defensive: traces are pre-sorted
-                }
-                now = t;
+            Event::Arrival { disk } => {
                 if now > horizon {
                     break;
                 }
-                disk
+                match disk {
+                    Some(d) => d,
+                    None => rng.gen_range(0..dep.geometry.total_disks()),
+                }
             }
         };
         disk_failures += 1;
-        // Expire finished network repairs.
-        catastrophic_until.retain(|_, &mut t| t > now);
 
         let pool = pools.pool_of(disk);
         if catastrophic_until.contains_key(&pool) {
             // Pool already under network reconstruction; the failure is
             // absorbed by that repair.
+            schedule_next_arrival(
+                &mut queue,
+                &arrivals,
+                &mut rng,
+                &mut trace_index,
+                total_disks,
+            );
             continue;
         }
 
@@ -318,6 +371,13 @@ fn run_system(
         };
 
         if !went_catastrophic {
+            schedule_next_arrival(
+                &mut queue,
+                &arrivals,
+                &mut rng,
+                &mut trace_index,
+                total_disks,
+            );
             continue;
         }
         catastrophic_pools += 1;
@@ -344,6 +404,10 @@ fn run_system(
         };
         total_sojourn_h += sojourn_h * contention;
         catastrophic_until.insert(pool, now + sojourn_h * contention);
+        queue.schedule(
+            now + sojourn_h * contention,
+            Event::NetworkRepairDone { pool },
+        );
 
         // Data-loss check: p_n+1 overlapping catastrophic pools in loss
         // position.
@@ -395,6 +459,13 @@ fn run_system(
                 first_loss_h.get_or_insert(now);
             }
         }
+        schedule_next_arrival(
+            &mut queue,
+            &arrivals,
+            &mut rng,
+            &mut trace_index,
+            total_disks,
+        );
     }
 
     SystemSimResult {
@@ -449,6 +520,109 @@ mod tests {
             scheme,
             config: crate::SimConfig::paper_default(),
         }
+    }
+
+    /// Bit-identical goldens captured from the pre-event-queue loop (hand
+    /// rolled next-event selection). The EventQueue port must reproduce
+    /// every counter and the exact f64 bits of the first-loss timestamp.
+    #[test]
+    fn golden_small_system_matches_pre_eventqueue_loop() {
+        // (seed, disk_failures, catastrophic, losses, first_loss bits,
+        //  traffic TB, sojourn h)
+        let expect = [
+            (
+                0u64,
+                11525u64,
+                4095u64,
+                4059u64,
+                Some(4629182367612455520u64),
+                982800.0,
+                184047.5,
+            ),
+            (
+                1,
+                11559,
+                4120,
+                4091,
+                Some(4634701570660637926),
+                988800.0,
+                185171.111111,
+            ),
+            (
+                2,
+                11600,
+                4152,
+                4107,
+                Some(4632270670623875367),
+                996480.0,
+                186609.333333,
+            ),
+            (
+                3,
+                11623,
+                4160,
+                4125,
+                Some(4626115151872540084),
+                998400.0,
+                186968.888889,
+            ),
+        ];
+        let model = FailureModel::Exponential { afr: 20.0 };
+        for (seed, df, cat, loss, first_bits, traffic, sojourn) in expect {
+            let r = simulate_system(
+                &small_dep(MlecScheme::DC),
+                &model,
+                RepairMethod::All,
+                4.0,
+                seed,
+            );
+            assert_eq!(r.disk_failures, df, "seed {seed}");
+            assert_eq!(r.catastrophic_pools, cat, "seed {seed}");
+            assert_eq!(r.data_loss_events, loss, "seed {seed}");
+            assert_eq!(r.first_loss_h.map(f64::to_bits), first_bits, "seed {seed}");
+            assert!(
+                (r.cross_rack_traffic_tb - traffic).abs() < 1e-3,
+                "seed {seed}: {r:?}"
+            );
+            assert!(
+                (r.total_sojourn_h - sojourn).abs() < 1e-3,
+                "seed {seed}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_paper_scale_matches_pre_eventqueue_loop() {
+        let model = FailureModel::Exponential { afr: 1.0 };
+        let r = simulate_system(&dep(MlecScheme::CD), &model, RepairMethod::Fco, 2.0, 7);
+        assert_eq!(r.disk_failures, 115255);
+        assert_eq!(r.catastrophic_pools, 44);
+        assert_eq!(r.data_loss_events, 0);
+        assert_eq!(r.first_loss_h, None);
+        assert!((r.cross_rack_traffic_tb - 38720.0).abs() < 1e-3, "{r:?}");
+        assert!((r.total_sojourn_h - 3933.111111).abs() < 1e-3, "{r:?}");
+    }
+
+    #[test]
+    fn golden_trace_replay_matches_pre_eventqueue_loop() {
+        let g = mlec_topology::Geometry::paper_default();
+        let trace = crate::trace::synthesize(
+            &g,
+            &crate::trace::TraceSpec {
+                background_afr: 0.05,
+                bursts_per_year: 1.0,
+                burst_size: 20,
+                burst_racks: 2,
+                years: 2.0,
+            },
+            5,
+        );
+        let r = simulate_system_trace(&dep(MlecScheme::CC), &trace, RepairMethod::Fco, 9);
+        assert_eq!(r.disk_failures, 5889);
+        assert_eq!(r.catastrophic_pools, 0);
+        assert_eq!(r.data_loss_events, 0);
+        assert_eq!(r.cross_rack_traffic_tb, 0.0);
+        assert_eq!(r.total_sojourn_h, 0.0);
     }
 
     #[test]
