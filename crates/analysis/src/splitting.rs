@@ -100,11 +100,29 @@ pub fn stage1_via_runner(
     bias: FailureBias,
     spec: &RunSpec,
 ) -> std::io::Result<(Stage1, RunReport<PoolAcc>)> {
+    stage1_via_runner_logged(dep, model, years_per_trial, bias, spec, None)
+}
+
+/// [`stage1_via_runner`] with an optional per-trial JSONL event log: every
+/// disk failure, repair step, and catastrophe of every trial is streamed to
+/// `event_log` (tagged with the spec's run label and trial index), and the
+/// returned accumulator carries the degraded-time totals. Logging does not
+/// perturb the simulation: results are bit-identical with or without a sink.
+pub fn stage1_via_runner_logged(
+    dep: &MlecDeployment,
+    model: &FailureModel,
+    years_per_trial: f64,
+    bias: FailureBias,
+    spec: &RunSpec,
+    event_log: Option<&mlec_sim::trials::EventLogSink>,
+) -> std::io::Result<(Stage1, RunReport<PoolAcc>)> {
     let trial = PoolTrial {
         dep,
         model,
         years_per_trial,
         bias,
+        event_log,
+        log_label: &spec.label,
     };
     let report = run(&trial, spec)?;
     let injected = inject_catastrophic(dep);

@@ -1,0 +1,66 @@
+//! Cross-check: the kernel-driven clustered pool simulator against the
+//! analytic birth-death machinery in `mlec_analysis::markov`.
+//!
+//! The simulator repairs each failed disk independently after a fixed
+//! `detection + capacity/bw` window, so the matching Markov chain
+//! de-escalates state `m` at rate `m / t_disk` (every in-flight rebuild is
+//! its own clock). To leading order in `lambda * t_disk` this exponential
+//! chain has the same absorption hazard as the deterministic-window renewal
+//! process the simulator implements: the dominant path `0 -> 1 -> ... ->
+//! p_l + 1` contributes `prod_m (d - m) lambda t / m` either way (ordered
+//! uniform arrivals inside one window vs. the `1/m!` from racing `m`
+//! exponential repair clocks).
+//!
+//! Note this is deliberately *not* `chains::clustered_pool_chain`, which
+//! models the paper's serialized spare-disk rebuild (one write target) and
+//! therefore predicts a higher rate than the simulator's parallel-repair
+//! dynamics.
+
+use mlec_analysis::markov::BirthDeathChain;
+use mlec_analysis::splitting::stage1_via_runner;
+use mlec_runner::{RunSpec, StopRule};
+use mlec_sim::config::{MlecDeployment, HOURS_PER_YEAR};
+use mlec_sim::failure::FailureModel;
+use mlec_sim::importance::FailureBias;
+use mlec_topology::MlecScheme;
+
+#[test]
+fn clustered_pool_rate_matches_markov_chain() {
+    // AFR high enough that catastrophes are directly observable without
+    // importance sampling, low enough that lambda * t_disk stays small
+    // (~1.6e-2) and the exponential-repair approximation holds well inside
+    // the Monte Carlo error.
+    let afr = 1.0;
+    let mut dep = MlecDeployment::paper_default(MlecScheme::CC);
+    dep.config.afr = afr;
+    let model = FailureModel::Exponential { afr };
+
+    let spec = RunSpec::new("markov-cross-check", 2024, StopRule::fixed(512)).threads(0);
+    let (_s1, report) =
+        stage1_via_runner(&dep, &model, 25.0, FailureBias::NONE, &spec).expect("runner campaign");
+    assert!(
+        report.acc.events() >= 100,
+        "campaign too small to be a meaningful check: {} events",
+        report.acc.events()
+    );
+
+    let d = dep.local_pools().pool_size() as f64;
+    let pl = dep.params.local.p;
+    let lambda = dep.config.disk_failure_rate_per_hour();
+    let t_disk = dep.config.detection_hours
+        + dep.geometry.disk_capacity_tb * 1e6 / dep.config.disk_repair_bw_mbs() / 3600.0;
+    let fail: Vec<f64> = (0..=pl).map(|m| (d - m as f64) * lambda).collect();
+    let repair: Vec<f64> = (1..=pl).map(|m| m as f64 / t_disk).collect();
+    let chain = BirthDeathChain::new(fail, repair);
+    let chain_rate = chain.absorb_hazard_per_hour() * HOURS_PER_YEAR;
+
+    let sim_rate = report.acc.rate_per_pool_year();
+    let (lo, hi) = report.acc.rate.ci95();
+    assert!(
+        lo <= chain_rate && chain_rate <= hi,
+        "chain rate {chain_rate:.4e}/pool-yr outside sim 95% CI [{lo:.4e}, {hi:.4e}] \
+         (sim point {sim_rate:.4e}, {} events over {:.0} pool-years)",
+        report.acc.events(),
+        report.acc.pool_years()
+    );
+}

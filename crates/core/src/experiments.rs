@@ -113,12 +113,24 @@ pub struct HeatmapRunOpts {
     pub threads: usize,
     /// Directory for run manifests; `None` disables checkpointing.
     pub manifest_dir: Option<PathBuf>,
+    /// Path for a per-trial JSONL event log (`trace=` knob on the sim
+    /// figures); `None` disables event logging. Logging never perturbs the
+    /// simulation — results are bit-identical either way.
+    pub event_log: Option<PathBuf>,
 }
 
 impl HeatmapRunOpts {
     fn manifest_path(&self, run_label: &str) -> Option<PathBuf> {
         let dir = self.manifest_dir.as_ref()?;
         Some(dir.join(format!("{}.jsonl", run_label.replace('/', "-"))))
+    }
+
+    /// Open the configured event-log sink, if any.
+    fn event_log_sink(&self) -> std::io::Result<Option<mlec_sim::trials::EventLogSink>> {
+        match &self.event_log {
+            Some(path) => Ok(Some(mlec_sim::trials::EventLogSink::to_file(path)?)),
+            None => Ok(None),
+        }
     }
 }
 
@@ -320,6 +332,8 @@ pub struct CatastrophicSimRow {
     pub bias: f64,
     /// Pool-years simulated.
     pub pool_years: f64,
+    /// Fraction of simulated time the pool spent degraded (≥1 disk failed).
+    pub degraded_frac: f64,
     /// True when zero events were observed and the rate is an upper bound.
     pub unobserved: bool,
 }
@@ -353,6 +367,7 @@ pub fn fig7_catastrophic_prob_sim(
     opts: &HeatmapRunOpts,
 ) -> std::io::Result<Vec<CatastrophicSimRow>> {
     let mut out = Vec::new();
+    let sink = opts.event_log_sink()?;
     for scheme in MlecScheme::ALL {
         let mut dep = paper_deployment(scheme);
         dep.config.afr = afr;
@@ -377,8 +392,14 @@ pub fn fig7_catastrophic_prob_sim(
         if let Some(path) = opts.manifest_path(&run_label) {
             spec = spec.manifest(path);
         }
-        let (s1, report) =
-            mlec_analysis::splitting::stage1_via_runner(&dep, &model, years_per_trial, fb, &spec)?;
+        let (s1, report) = mlec_analysis::splitting::stage1_via_runner_logged(
+            &dep,
+            &model,
+            years_per_trial,
+            fb,
+            &spec,
+            sink.as_ref(),
+        )?;
         let pools = dep.local_pools().num_pools() as f64;
         let summary = report.summary;
         out.push(CatastrophicSimRow {
@@ -394,6 +415,7 @@ pub fn fig7_catastrophic_prob_sim(
             mean_weight: report.acc.mean_excursion_weight(),
             bias: fb.degraded,
             pool_years: report.acc.pool_years(),
+            degraded_frac: report.acc.degraded_fraction(),
             unobserved: s1.unobserved,
         });
     }
@@ -485,6 +507,8 @@ pub fn fig8_fig9_repair_methods_sim(
                 method,
                 years: years_per_trial,
                 opts: mlec_sim::system_sim::SystemSimOptions::default(),
+                event_log: None,
+                log_label: "",
             };
             // Trial budget excluded (a resumed run may extend it), the
             // physics included — see fig7_catastrophic_prob_sim.
@@ -580,6 +604,8 @@ pub struct DurabilitySimCell {
     pub bias: f64,
     /// Pool-years simulated in stage 1.
     pub pool_years: f64,
+    /// Fraction of stage-1 simulated time the pool spent degraded.
+    pub degraded_frac: f64,
     /// True when stage 1 observed zero events (sim nines are a lower bound
     /// from the Poisson zero-event rate bound, not ∞).
     pub unobserved: bool,
@@ -599,8 +625,9 @@ pub fn fig10_durability_sim(
     bias: Option<f64>,
     opts: &HeatmapRunOpts,
 ) -> std::io::Result<Vec<DurabilitySimCell>> {
-    use mlec_analysis::splitting::{stage1_analytic, stage1_via_runner, stage2_pdl};
+    use mlec_analysis::splitting::{stage1_analytic, stage1_via_runner_logged, stage2_pdl};
     let mut out = Vec::new();
+    let sink = opts.event_log_sink()?;
     for scheme in MlecScheme::ALL {
         let mut dep = paper_deployment(scheme);
         dep.config.afr = afr;
@@ -621,7 +648,8 @@ pub fn fig10_durability_sim(
         if let Some(path) = opts.manifest_path(&run_label) {
             spec = spec.manifest(path);
         }
-        let (s1_sim, report) = stage1_via_runner(&dep, &model, years_per_trial, fb, &spec)?;
+        let (s1_sim, report) =
+            stage1_via_runner_logged(&dep, &model, years_per_trial, fb, &spec, sink.as_ref())?;
         let s1_analytic = stage1_analytic(&dep);
         for method in RepairMethod::ALL {
             out.push(DurabilitySimCell {
@@ -638,6 +666,7 @@ pub fn fig10_durability_sim(
                 ess: report.acc.rate.ess(),
                 bias: fb.degraded,
                 pool_years: report.acc.pool_years(),
+                degraded_frac: report.acc.degraded_fraction(),
                 unobserved: s1_sim.unobserved,
             });
         }
@@ -1082,6 +1111,7 @@ mlec_runner::impl_to_json!(CatastrophicSimRow {
     mean_weight,
     bias,
     pool_years,
+    degraded_frac,
     unobserved,
 });
 mlec_runner::impl_to_json!(DurabilitySimCell {
@@ -1094,6 +1124,7 @@ mlec_runner::impl_to_json!(DurabilitySimCell {
     ess,
     bias,
     pool_years,
+    degraded_frac,
     unobserved,
 });
 mlec_runner::impl_to_json!(RepairMethodCell {

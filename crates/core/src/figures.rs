@@ -13,7 +13,7 @@ use crate::experiments::{
     fig12_mlec_vs_slec_sim, fig13_slec_burst_with, fig15_mlec_vs_lrc, fig15_mlec_vs_lrc_sim,
     fig16_lrc_burst_with, fig5_mlec_burst_with, fig7_catastrophic_prob, fig7_catastrophic_prob_sim,
     fig8_fig9_repair_methods, fig8_fig9_repair_methods_sim, repair_traffic_comparison,
-    table2_and_fig6, HeatmapSpec, RepairMethodSimCell,
+    table2_and_fig6, HeatmapRunOpts, HeatmapSpec, RepairMethodSimCell,
 };
 use crate::figdata;
 use crate::registry::{
@@ -357,6 +357,12 @@ static FIG07_INFO: ExperimentInfo = ExperimentInfo {
             "auto",
             "degraded-state failure acceleration: auto, 1 (direct), or a multiplier (mode=sim)"
         ),
+        (
+            "trace",
+            Str,
+            "",
+            "write per-trial JSONL event logs to this path (mode=sim; empty = off)"
+        ),
     ],
     fast: &[("trials", "8"), ("years", "25")],
 };
@@ -390,6 +396,21 @@ fn run_fig07(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
     Ok(out)
 }
 
+/// The context's runner options plus the figure-local `trace=` knob: a
+/// non-empty value streams per-trial JSONL event logs to that path.
+fn runner_with_event_log(ctx: &ExperimentCtx, out: &mut ExperimentOutput) -> HeatmapRunOpts {
+    let mut runner = ctx.runner.clone();
+    let trace = ctx.str("trace");
+    if !trace.is_empty() {
+        runner.event_log = Some(std::path::PathBuf::from(trace));
+        w!(
+            out.text,
+            "event log: streaming per-trial JSONL to {trace}\n"
+        );
+    }
+    runner
+}
+
 fn run_fig07_sim(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
     let afr = ctx.f64("afr_pct") / 100.0;
     let years = ctx.u64("years") as f64;
@@ -406,7 +427,8 @@ fn run_fig07_sim(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentErro
         "sim mode: AFR {afr}, {trials} pool trials x {years} years per scheme, \
          bias {bias_desc}, root seed {seed}\n"
     );
-    let rows = fig7_catastrophic_prob_sim(afr, years, trials, seed, bias, &ctx.runner)?;
+    let runner = runner_with_event_log(ctx, &mut out);
+    let rows = fig7_catastrophic_prob_sim(afr, years, trials, seed, bias, &runner)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -431,6 +453,7 @@ fn run_fig07_sim(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentErro
                     fmt_value(r.prob_per_system_year)
                 },
                 fmt_value(r.analytic_prob_per_system_year),
+                format!("{:.2e}", r.degraded_frac),
             ]
         })
         .collect();
@@ -446,7 +469,8 @@ fn run_fig07_sim(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentErro
                 "rate/pool-yr",
                 "95% CI",
                 "sim prob/sys-yr",
-                "chain prob/sys-yr"
+                "chain prob/sys-yr",
+                "degraded"
             ],
             &table
         )
@@ -757,6 +781,12 @@ static FIG10_INFO: ExperimentInfo = ExperimentInfo {
             "0",
             "fail (non-zero exit) unless every scheme observed this many events (mode=sim)"
         ),
+        (
+            "trace",
+            Str,
+            "",
+            "write per-trial JSONL event logs to this path (mode=sim; empty = off)"
+        ),
     ],
     fast: &[("trials", "8"), ("years", "25")],
 };
@@ -822,7 +852,8 @@ fn run_fig10_sim(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentErro
         out.text,
         "`>=x` marks a zero-event durability lower bound\n"
     );
-    let cells = fig10_durability_sim(afr, years, trials, seed, bias, &ctx.runner)?;
+    let runner = runner_with_event_log(ctx, &mut out);
+    let cells = fig10_durability_sim(afr, years, trials, seed, bias, &runner)?;
     let rows: Vec<Vec<String>> = METHODS
         .iter()
         .map(|m| {
@@ -851,12 +882,14 @@ fn run_fig10_sim(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentErro
         if let Some(c) = cells.iter().find(|c| c.scheme == s) {
             w!(
                 out.text,
-                "  {s}: {} events ({:.3e} weighted, ESS {:.1}) over {:.0} pool-years, bias {:.0}{}",
+                "  {s}: {} events ({:.3e} weighted, ESS {:.1}) over {:.0} pool-years, \
+                 bias {:.0}, degraded {:.2e}{}",
                 c.events,
                 c.weighted_events,
                 c.ess,
                 c.pool_years,
                 c.bias,
+                c.degraded_frac,
                 if c.unobserved {
                     " — unobserved: nines are the Poisson 95% lower bound"
                 } else {
@@ -1726,6 +1759,8 @@ fn run_validation(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentErr
             method: RepairMethod::Fco,
             years,
             opts: SystemSimOptions::default(),
+            event_log: None,
+            log_label: "",
         };
         let label = format!("validation/{}", scheme.name().replace('/', ""));
         let mut spec = RunSpec::new(&label, seed, StopRule::fixed(runs))

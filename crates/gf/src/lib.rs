@@ -9,7 +9,7 @@
 //! - [`field`]: scalar arithmetic (add/sub = XOR, log/exp-table multiply,
 //!   inverse, power) and the [`field::Gf256`] element wrapper.
 //! - [`tables`]: compile-time-generated exponent/logarithm tables.
-//! - [`slice`]: the throughput-critical bulk kernels
+//! - [`mod@slice`]: the throughput-critical bulk kernels
 //!   ([`slice::mul_slice`], [`slice::mul_add_slice`]) that the encoding
 //!   throughput experiment (paper Fig. 11) measures. They use per-coefficient
 //!   split nibble tables so each output byte costs two table lookups and one

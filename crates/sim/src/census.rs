@@ -197,6 +197,36 @@ impl StripeCensus {
         self.failed_disks = self.failed_disks.saturating_sub(1);
     }
 
+    /// Consume `repaired` chunks of completed drain against a FIFO of
+    /// per-failure outstanding chunk volumes, releasing (oldest first) every
+    /// disk whose volume is fully covered — the spare-drain disk-exit model
+    /// shared by the pool and system simulators.
+    ///
+    /// A head entry within `1e-9` chunks of the remaining budget counts as
+    /// covered (floating-point slack at the 10^8 expected-count scale); a
+    /// partial head is reduced in place and stops the walk. The helper never
+    /// clears the FIFO wholesale — callers that treat a fully-drained census
+    /// as all-healthy do that themselves.
+    pub fn consume_drain(
+        &mut self,
+        pending: &mut std::collections::VecDeque<f64>,
+        mut repaired: f64,
+    ) {
+        while repaired > 0.0 {
+            let Some(head) = pending.front_mut() else {
+                break;
+            };
+            if *head <= repaired + 1e-9 {
+                repaired -= *head;
+                pending.pop_front();
+                self.release_disk();
+            } else {
+                *head -= repaired;
+                break;
+            }
+        }
+    }
+
     /// Hours needed to drain everything at or above multiplicity `m`, given
     /// a repair rate in chunks/hour.
     pub fn drain_hours_at_or_above(&self, m: u32, chunks_per_hour: f64) -> f64 {
@@ -310,6 +340,67 @@ mod tests {
         assert!((repaired - chunks).abs() < 1e-6);
         assert_eq!(census.failed_disks(), 0);
         assert!((census.at(0) - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn consume_drain_releases_head_exactly_equal_to_repaired() {
+        // Epsilon boundary: a head entry exactly equal to the repaired
+        // budget is covered (<= repaired + 1e-9) and its disk released.
+        let mut census = StripeCensus::new(120, 20, 1e6);
+        census.add_disk_failure();
+        census.add_disk_failure();
+        let mut pending: std::collections::VecDeque<f64> = [100.0, 50.0].into_iter().collect();
+        census.consume_drain(&mut pending, 100.0);
+        assert_eq!(census.failed_disks(), 1, "exact head released");
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0], 50.0, "second entry untouched");
+    }
+
+    #[test]
+    fn consume_drain_releases_zero_volume_head_for_free() {
+        // A zero-volume head entry (a failure that added no outstanding
+        // chunks) is released by any positive budget without consuming it.
+        let mut census = StripeCensus::new(120, 20, 1e6);
+        census.add_disk_failure();
+        census.add_disk_failure();
+        let mut pending: std::collections::VecDeque<f64> = [0.0, 30.0].into_iter().collect();
+        census.consume_drain(&mut pending, 30.0);
+        assert_eq!(
+            census.failed_disks(),
+            0,
+            "both released: 0.0 free, 30.0 exact"
+        );
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn consume_drain_zero_budget_is_a_noop_even_with_zero_volume_head() {
+        // `repaired == 0.0` never enters the loop (`while repaired > 0.0`),
+        // so even a zero-volume head stays queued — the original simulators
+        // only release on actual drain progress.
+        let mut census = StripeCensus::new(120, 20, 1e6);
+        census.add_disk_failure();
+        let mut pending: std::collections::VecDeque<f64> = [0.0].into_iter().collect();
+        census.consume_drain(&mut pending, 0.0);
+        assert_eq!(census.failed_disks(), 1);
+        assert_eq!(pending.len(), 1);
+    }
+
+    #[test]
+    fn consume_drain_within_epsilon_and_partial_head() {
+        let mut census = StripeCensus::new(120, 20, 1e6);
+        census.add_disk_failure();
+        census.add_disk_failure();
+        // Head within 1e-9 of the budget: covered. Second head larger than
+        // the leftover: reduced in place, walk stops.
+        let mut pending: std::collections::VecDeque<f64> =
+            [100.0 + 5e-10, 40.0].into_iter().collect();
+        census.consume_drain(&mut pending, 100.0);
+        assert_eq!(census.failed_disks(), 1, "head within epsilon released");
+        assert_eq!(pending.len(), 1);
+        // The leftover budget went slightly negative (-5e-10), so the
+        // second entry is untouched.
+        assert_eq!(pending[0], 40.0);
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! Time is `f64` hours. Events at equal times pop in insertion (FIFO) order
 //! via a monotone sequence number, which keeps simulations bit-reproducible
 //! under a fixed RNG seed regardless of heap internals.
+//!
+//! The queue schedules *what happens when*; randomness and importance
+//! weighting for failure arrivals are owned by
+//! [`crate::kernel::HazardKernel`], which `system_sim` consults each time
+//! it schedules the next arrival into this queue.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -44,6 +44,11 @@
 //! With [`FailureBias::NONE`] every multiplier is 1, `ln L` stays exactly
 //! 0.0, and the biased simulator is bit-identical to the direct one (the
 //! RNG consumes the same draws).
+//!
+//! Simulators do not drive [`PathWeight`] directly: the
+//! [`crate::kernel::HazardKernel`] is the single owner of the
+//! exposure/event calls (and of the RNG stream they must stay in lockstep
+//! with), so the likelihood-ratio bookkeeping lives in exactly one place.
 
 use crate::config::MlecDeployment;
 use crate::failure::FailureModel;

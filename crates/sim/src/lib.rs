@@ -21,9 +21,15 @@
 //! - [`importance`]: forced-failure importance sampling — state-dependent
 //!   rate multipliers with exact likelihood-ratio weights, so `pool_sim`
 //!   observes catastrophes at the paper's true 1% AFR.
+//! - [`kernel`]: the shared hazard kernel — one owner for the RNG stream,
+//!   bias application, likelihood-ratio bookkeeping, excursion/regeneration
+//!   accounting, and horizon censoring. Simulators plug in as
+//!   [`kernel::PoolPolicy`] implementations and observe events through
+//!   [`kernel::SimObserver`] hooks.
 //! - [`pool_sim`]: per-pool long-horizon durability simulation with priority
-//!   (most-failed-first) rebuild — produces catastrophic-failure rates
-//!   (Fig 7) and the samples consumed by the splitting estimator (Fig 10).
+//!   (most-failed-first) rebuild — the clustered/declustered pool policies
+//!   driven by the kernel — produces catastrophic-failure rates (Fig 7) and
+//!   the samples consumed by the splitting estimator (Fig 10).
 //! - [`traffic`]: yearly repair network traffic for SLEC / LRC / MLEC
 //!   (§5.1.4, §5.2.4).
 //! - [`trials`]: [`mlec_runner::Trial`] adapters so pool/system simulations
@@ -35,6 +41,7 @@ pub mod config;
 pub mod engine;
 pub mod failure;
 pub mod importance;
+pub mod kernel;
 pub mod pool_sim;
 pub mod repair;
 pub mod scheduler;

@@ -37,8 +37,11 @@
 
 use crate::census::StripeCensus;
 use crate::config::{MlecDeployment, HOURS_PER_YEAR};
-use crate::failure::{sample_exponential, sample_poisson, FailureModel};
-use crate::importance::{FailureBias, PathWeight};
+use crate::failure::{sample_poisson, FailureModel};
+use crate::importance::FailureBias;
+use crate::kernel::{
+    run_pool_policy, FailureOutcome, HazardKernel, NoopObserver, PoolPolicy, SimObserver,
+};
 use mlec_topology::Placement;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -149,9 +152,68 @@ pub fn simulate_pool_biased(
     seed: u64,
     bias: FailureBias,
 ) -> PoolSimResult {
+    simulate_pool_observed(dep, failure_model, years, seed, bias, &mut NoopObserver)
+}
+
+/// [`simulate_pool_biased`] with a [`SimObserver`] attached: per-event
+/// callbacks for failures/repairs/catastrophes plus degraded-interval
+/// accounting. Observers never consume randomness, so results are
+/// bit-identical with any observer (and with [`NoopObserver`] the
+/// monomorphized code is the unobserved simulator).
+pub fn simulate_pool_observed<O: SimObserver>(
+    dep: &MlecDeployment,
+    failure_model: &FailureModel,
+    years: f64,
+    seed: u64,
+    bias: FailureBias,
+    observer: &mut O,
+) -> PoolSimResult {
     match dep.scheme.local {
-        Placement::Clustered => simulate_clustered_pool(dep, failure_model, years, seed, bias),
-        Placement::Declustered => simulate_declustered_pool(dep, failure_model, years, seed, bias),
+        Placement::Clustered => {
+            // The clustered simulator predates the seed-stream convention
+            // and seeds its ChaCha12 stream raw; changing this would shift
+            // every fixed-seed golden.
+            let rng = ChaCha12Rng::seed_from_u64(seed);
+            let mut kernel = HazardKernel::new(rng, bias, years * HOURS_PER_YEAR);
+            let mut policy = ClusteredPolicy::new(dep, failure_model);
+            finish_pool_run(
+                run_pool_policy(&mut kernel, &mut policy, observer),
+                &kernel,
+                policy.max_concurrent(),
+                years,
+            )
+        }
+        Placement::Declustered => {
+            let rng = ChaCha12Rng::seed_from_u64(
+                mlec_runner::SeedStream::new(seed, "pool_sim/declustered").trial_seed(0),
+            );
+            let mut kernel = HazardKernel::new(rng, bias, years * HOURS_PER_YEAR);
+            let mut policy = DeclusteredPolicy::new(dep, failure_model);
+            finish_pool_run(
+                run_pool_policy(&mut kernel, &mut policy, observer),
+                &kernel,
+                policy.max_concurrent(),
+                years,
+            )
+        }
+    }
+}
+
+/// Assemble a [`PoolSimResult`] from the kernel's bookkeeping and the
+/// policy's concurrency accounting.
+fn finish_pool_run(
+    events: Vec<CatastrophicEvent>,
+    kernel: &HazardKernel,
+    max_concurrent: u32,
+    years: f64,
+) -> PoolSimResult {
+    PoolSimResult {
+        pool_years: years,
+        events,
+        disk_failures: kernel.disk_failures(),
+        max_concurrent,
+        excursions: kernel.excursions(),
+        excursion_weight: kernel.excursion_weight(),
     }
 }
 
@@ -173,265 +235,275 @@ fn per_disk_rate(model: &FailureModel) -> f64 {
     }
 }
 
-fn simulate_clustered_pool(
-    dep: &MlecDeployment,
-    failure_model: &FailureModel,
-    years: f64,
-    seed: u64,
-    bias: FailureBias,
-) -> PoolSimResult {
-    let mut rng = ChaCha12Rng::seed_from_u64(seed);
-    let pools = dep.local_pools();
-    let d = pools.pool_size();
-    let threshold = dep.params.local.p as u32 + 1;
-    let rate = per_disk_rate(failure_model);
-    let repair_hours = dep.config.detection_hours
-        + dep.geometry.disk_capacity_tb * 1e6 / dep.config.disk_repair_bw_mbs() / 3600.0;
-    let horizon = years * HOURS_PER_YEAR;
-    let total_stripes = d as f64 * dep.geometry.chunks_per_disk() / dep.local_width() as f64;
+/// The clustered pool as a [`PoolPolicy`]: per-disk rebuilds tracked
+/// directly (a `Vec` of repair-completion times), catastrophe when
+/// `p_l + 1` failures overlap — at which point every stripe spans the pool
+/// and all are lost.
+pub struct ClusteredPolicy {
+    /// Pool size in disks.
+    d: u32,
+    /// Catastrophic threshold `p_l + 1`.
+    threshold: u32,
+    /// Per-disk failure rate, events/hour.
+    rate: f64,
+    /// Deterministic single-disk rebuild time, hours.
+    repair_hours: f64,
+    /// Stripes in the pool (all lost at catastrophe).
+    total_stripes: f64,
+    /// Repair-completion times of currently failed disks.
+    active: Vec<f64>,
+    max_concurrent: u32,
+}
 
-    let mut now = 0.0f64;
-    // Repair-completion times of currently failed disks.
-    let mut active: Vec<f64> = Vec::new();
-    let mut events = Vec::new();
-    let mut disk_failures = 0u64;
-    let mut max_concurrent = 0u32;
-    let mut pw = PathWeight::new();
-    let mut excursions = 0u64;
-    let mut excursion_weight = 0.0f64;
-
-    loop {
-        let f = active.len() as u32;
-        let mult = bias.multiplier(f);
-        let true_rate = (d - f) as f64 * rate;
-        let next_fail = now + sample_exponential(&mut rng, mult * true_rate);
-        let next_repair = active.iter().copied().fold(f64::INFINITY, f64::min);
-        if next_fail.min(next_repair) > horizon {
-            // Censored interval to the horizon, then close the in-progress
-            // excursion (valid by optional stopping at a bounded time).
-            pw.exposure(mult, true_rate, horizon - now);
-            excursions += 1;
-            excursion_weight += pw.weight();
-            break;
+impl ClusteredPolicy {
+    /// Policy state for one clustered pool of the deployment.
+    pub fn new(dep: &MlecDeployment, failure_model: &FailureModel) -> ClusteredPolicy {
+        let d = dep.local_pools().pool_size();
+        ClusteredPolicy {
+            d,
+            threshold: dep.params.local.p as u32 + 1,
+            rate: per_disk_rate(failure_model),
+            repair_hours: dep.config.detection_hours
+                + dep.geometry.disk_capacity_tb * 1e6 / dep.config.disk_repair_bw_mbs() / 3600.0,
+            total_stripes: d as f64 * dep.geometry.chunks_per_disk() / dep.local_width() as f64,
+            active: Vec::new(),
+            max_concurrent: 0,
         }
-        if next_repair <= next_fail {
-            pw.exposure(mult, true_rate, next_repair - now);
-            now = next_repair;
-            active.retain(|&t| t > now);
-            if active.is_empty() {
-                // Back to all-healthy: regeneration point, weight resets.
-                excursions += 1;
-                excursion_weight += pw.weight();
-                pw.reset();
-            }
-        } else {
-            pw.exposure(mult, true_rate, next_fail - now);
-            now = next_fail;
-            disk_failures += 1;
-            pw.event(mult);
-            active.push(now + repair_hours);
-            max_concurrent = max_concurrent.max(active.len() as u32);
-            if active.len() as u32 >= threshold {
-                // Every stripe spans the pool: all stripes are lost.
-                events.push(CatastrophicEvent {
-                    time_h: now,
-                    concurrent_failures: active.len() as u32,
-                    lost_stripes: total_stripes,
-                    weight: pw.weight(),
-                });
-                active.clear(); // network repair resets the pool
-                excursions += 1;
-                excursion_weight += pw.weight();
-                pw.reset();
-            }
-        }
-    }
-
-    PoolSimResult {
-        pool_years: years,
-        events,
-        disk_failures,
-        max_concurrent,
-        excursions,
-        excursion_weight,
     }
 }
 
-fn simulate_declustered_pool(
-    dep: &MlecDeployment,
-    failure_model: &FailureModel,
-    years: f64,
-    seed: u64,
-    bias: FailureBias,
-) -> PoolSimResult {
-    let mut rng = ChaCha12Rng::seed_from_u64(
-        mlec_runner::SeedStream::new(seed, "pool_sim/declustered").trial_seed(0),
-    );
-    let pools = dep.local_pools();
-    let d = pools.pool_size();
-    let w = dep.local_width();
-    let threshold = dep.params.local.p as u32 + 1;
-    let rate = per_disk_rate(failure_model);
-    let horizon = years * HOURS_PER_YEAR;
-    let chunk_mb = dep.geometry.chunk_kb / 1e3;
-    let total_stripes = d as f64 * dep.geometry.chunks_per_disk() / w as f64;
+impl PoolPolicy for ClusteredPolicy {
+    fn failed_disks(&self) -> u32 {
+        self.active.len() as u32
+    }
 
-    let mut census = StripeCensus::new(d, w, total_stripes);
-    let mut now = 0.0f64;
-    // Repair is paused until the most recent failure is detected.
-    let mut drain_paused_until = 0.0f64;
-    // FIFO of per-failure outstanding chunk volumes: when cumulative drain
-    // covers the head entry, that disk's data is fully in spare space and
-    // the disk is released (it no longer constrains stripe placement).
-    let mut pending: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
-    let mut events = Vec::new();
-    let mut disk_failures = 0u64;
-    let mut max_concurrent = 0u32;
-    let mut pw = PathWeight::new();
-    let mut excursions = 0u64;
-    let mut excursion_weight = 0.0f64;
+    fn failure_rate(&self, failed: u32) -> f64 {
+        (self.d - failed) as f64 * self.rate
+    }
 
-    // Consume `repaired` chunks of drain from the FIFO, releasing disks
-    // whose volumes are fully covered.
-    fn consume_drain(
-        census: &mut StripeCensus,
-        pending: &mut std::collections::VecDeque<f64>,
-        mut repaired: f64,
-    ) {
-        while repaired > 0.0 {
-            let Some(head) = pending.front_mut() else {
-                break;
-            };
-            if *head <= repaired + 1e-9 {
-                repaired -= *head;
-                pending.pop_front();
-                census.release_disk();
-            } else {
-                *head -= repaired;
-                break;
+    fn next_repair_event(&self, _now: f64) -> f64 {
+        self.active.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn failure_wins_ties(&self) -> bool {
+        // At a tie the repair is handled first: an arrival never sees a
+        // rebuild that finished at its own timestamp.
+        false
+    }
+
+    fn on_repair_progress(&mut self, _from: f64, _to: f64) {}
+
+    fn on_repair_event(&mut self, now: f64, _failed_before: u32) -> bool {
+        self.active.retain(|&t| t > now);
+        // Back to all-healthy: regeneration point, weight resets.
+        self.active.is_empty()
+    }
+
+    fn on_failure(&mut self, kernel: &mut HazardKernel) -> FailureOutcome {
+        self.active.push(kernel.now() + self.repair_hours);
+        self.max_concurrent = self.max_concurrent.max(self.active.len() as u32);
+        if self.active.len() as u32 >= self.threshold {
+            // Every stripe spans the pool: all stripes are lost.
+            let concurrent_failures = self.active.len() as u32;
+            self.active.clear(); // network repair resets the pool
+            FailureOutcome::Catastrophic {
+                concurrent_failures,
+                lost_stripes: self.total_stripes,
             }
+        } else {
+            FailureOutcome::Continue
         }
     }
 
-    loop {
-        let f = census.failed_disks();
-        let mult = bias.multiplier(f);
-        let true_rate = (d - f) as f64 * rate;
-        let next_fail = now + sample_exponential(&mut rng, mult * true_rate);
+    fn max_concurrent(&self) -> u32 {
+        self.max_concurrent
+    }
+}
+
+/// The declustered pool as a [`PoolPolicy`]: the [`StripeCensus`]
+/// expected-value model with priority (most-failed-first) drain, FIFO
+/// spare-drain disk release, detection-delay repair pauses, and Poisson
+/// rare-stripe sampling at the catastrophic boundary.
+pub struct DeclusteredPolicy {
+    /// Pool size in disks.
+    d: u32,
+    /// Local stripe width `k_l + p_l`.
+    w: u32,
+    /// Catastrophic threshold `p_l + 1`.
+    threshold: u32,
+    /// Per-disk failure rate, events/hour.
+    rate: f64,
+    /// Stripes in the pool.
+    total_stripes: f64,
+    /// Detection delay added after every failure, hours.
+    detection_hours: f64,
+    /// Drain bandwidth at `f` failed disks, chunks/hour (interval-start
+    /// convention: recomputed per step, held constant over it).
+    drain_rate: DrainRate,
+    census: StripeCensus,
+    /// Repair is paused until the most recent failure is detected.
+    drain_paused_until: f64,
+    /// FIFO of per-failure outstanding chunk volumes: when cumulative drain
+    /// covers the head entry, that disk's data is fully in spare space and
+    /// the disk is released (it no longer constrains stripe placement).
+    pending: std::collections::VecDeque<f64>,
+    max_concurrent: u32,
+}
+
+/// The declustered drain-rate model, captured from the deployment so the
+/// policy carries no deployment borrow.
+struct DrainRate {
+    /// Precomputed `local_repair_bw_mbs(dep, 1, f) * 3600 / chunk_mb` for
+    /// each failed-disk count `f` in `0..=d`.
+    chunks_per_hour: Vec<f64>,
+}
+
+impl DrainRate {
+    fn new(dep: &MlecDeployment, d: u32, chunk_mb: f64) -> DrainRate {
+        DrainRate {
+            chunks_per_hour: (0..=d)
+                .map(|f| crate::bandwidth::local_repair_bw_mbs(dep, 1, f) * 3600.0 / chunk_mb)
+                .collect(),
+        }
+    }
+
+    fn at(&self, failed: u32) -> f64 {
+        self.chunks_per_hour[failed as usize]
+    }
+}
+
+impl DeclusteredPolicy {
+    /// Policy state for one declustered pool of the deployment.
+    pub fn new(dep: &MlecDeployment, failure_model: &FailureModel) -> DeclusteredPolicy {
+        let pools = dep.local_pools();
+        let d = pools.pool_size();
+        let w = dep.local_width();
+        let chunk_mb = dep.geometry.chunk_kb / 1e3;
+        let total_stripes = d as f64 * dep.geometry.chunks_per_disk() / w as f64;
+        DeclusteredPolicy {
+            d,
+            w,
+            threshold: dep.params.local.p as u32 + 1,
+            rate: per_disk_rate(failure_model),
+            total_stripes,
+            detection_hours: dep.config.detection_hours,
+            drain_rate: DrainRate::new(dep, d, chunk_mb),
+            census: StripeCensus::new(d, w, total_stripes),
+            drain_paused_until: 0.0,
+            pending: std::collections::VecDeque::new(),
+            max_concurrent: 0,
+        }
+    }
+
+    /// Reset to healthy after a catastrophe (the network level rebuilds the
+    /// pool); repair of future failures resumes immediately.
+    fn reset_after_catastrophe(&mut self, now: f64) {
+        self.census = StripeCensus::new(self.d, self.w, self.total_stripes);
+        self.pending.clear();
+        self.drain_paused_until = now;
+    }
+}
+
+impl PoolPolicy for DeclusteredPolicy {
+    fn failed_disks(&self) -> u32 {
+        self.census.failed_disks()
+    }
+
+    fn failure_rate(&self, failed: u32) -> f64 {
+        (self.d - failed) as f64 * self.rate
+    }
+
+    fn next_repair_event(&self, now: f64) -> f64 {
         // Time at which the current drain would finish everything.
-        let drain_rate_chunks_per_h =
-            crate::bandwidth::local_repair_bw_mbs(dep, 1, f) * 3600.0 / chunk_mb;
-        let remaining_chunks = census.failed_chunks();
-        let drain_done = if remaining_chunks > 0.5 {
+        let remaining_chunks = self.census.failed_chunks();
+        if remaining_chunks > 0.5 {
+            let rate = self.drain_rate.at(self.census.failed_disks());
             // Floor the step so floating-point rounding at large `now` can
             // never produce a zero-length step (which would livelock).
-            (drain_paused_until.max(now) + remaining_chunks / drain_rate_chunks_per_h)
-                .max(now + 1e-6)
+            (self.drain_paused_until.max(now) + remaining_chunks / rate).max(now + 1e-6)
         } else {
             f64::INFINITY
-        };
-
-        let step_to = next_fail.min(drain_done);
-        if step_to > horizon {
-            pw.exposure(mult, true_rate, horizon - now);
-            excursions += 1;
-            excursion_weight += pw.weight();
-            break;
-        }
-        // The failure intensity is held at the interval-start value over
-        // [now, step_to] by both the direct and the biased simulator, so
-        // this survival factor is the exact likelihood ratio.
-        pw.exposure(mult, true_rate, step_to - now);
-
-        // Apply the drain that happened over [now, step_to].
-        let drain_start = drain_paused_until.max(now);
-        if step_to > drain_start && remaining_chunks > 1e-9 {
-            let budget = (step_to - drain_start) * drain_rate_chunks_per_h;
-            let repaired = census.drain_priority(budget);
-            consume_drain(&mut census, &mut pending, repaired);
-            if census.failed_chunks() < 0.5 {
-                pending.clear();
-            }
-        }
-        now = step_to;
-
-        if next_fail <= drain_done {
-            // A new disk failure escalates the census.
-            disk_failures += 1;
-            pw.event(mult);
-            if census.failed_disks() + 1 >= d {
-                // Essentially every disk is down: unconditionally
-                // catastrophic (nothing left to place stripes on).
-                events.push(CatastrophicEvent {
-                    time_h: now,
-                    concurrent_failures: d,
-                    lost_stripes: total_stripes,
-                    weight: pw.weight(),
-                });
-                census = StripeCensus::new(d, w, total_stripes);
-                pending.clear();
-                drain_paused_until = now;
-                excursions += 1;
-                excursion_weight += pw.weight();
-                pw.reset();
-                continue;
-            }
-            let before = census.failed_chunks();
-            census.add_disk_failure();
-            pending.push_back(census.failed_chunks() - before);
-            max_concurrent = max_concurrent.max(census.failed_disks());
-            drain_paused_until = now + dep.config.detection_hours;
-            if census.failed_disks() >= threshold {
-                let lambda = census.at_or_above(threshold);
-                let lost = if lambda > 30.0 {
-                    lambda
-                } else {
-                    sample_poisson(&mut rng, lambda) as f64
-                };
-                if lost >= 1.0 {
-                    events.push(CatastrophicEvent {
-                        time_h: now,
-                        concurrent_failures: census.failed_disks(),
-                        lost_stripes: lost,
-                        weight: pw.weight(),
-                    });
-                    // Network repair resets the pool to healthy.
-                    census = StripeCensus::new(d, w, total_stripes);
-                    pending.clear();
-                    drain_paused_until = now;
-                    excursions += 1;
-                    excursion_weight += pw.weight();
-                    pw.reset();
-                } else {
-                    // Rare-stripe sampling says no stripe actually reached
-                    // the catastrophic multiplicity: zero those classes
-                    // (drain clears the top classes first by construction).
-                    let removed = census.at_or_above(threshold);
-                    let repaired = census.drain_priority(removed * threshold as f64 * 2.0);
-                    consume_drain(&mut census, &mut pending, repaired);
-                    if census.failed_disks() == 0 {
-                        excursions += 1;
-                        excursion_weight += pw.weight();
-                        pw.reset();
-                    }
-                }
-            }
-        } else if f > 0 && census.failed_disks() == 0 {
-            // A pure drain step finished every outstanding chunk: back to
-            // all-healthy, regeneration point.
-            excursions += 1;
-            excursion_weight += pw.weight();
-            pw.reset();
         }
     }
 
-    PoolSimResult {
-        pool_years: years,
-        events,
-        disk_failures,
-        max_concurrent,
-        excursions,
-        excursion_weight,
+    fn failure_wins_ties(&self) -> bool {
+        // At a tie the failure is handled first (after the interval's drain
+        // has been applied by `on_repair_progress`).
+        true
+    }
+
+    fn on_repair_progress(&mut self, from: f64, to: f64) {
+        // Apply the drain that happened over [from, to]; the rate is held
+        // at the interval-start value (the same convention the exposure
+        // accounting uses, so the likelihood ratio stays exact).
+        let remaining_chunks = self.census.failed_chunks();
+        let drain_start = self.drain_paused_until.max(from);
+        if to > drain_start && remaining_chunks > 1e-9 {
+            let budget = (to - drain_start) * self.drain_rate.at(self.census.failed_disks());
+            let repaired = self.census.drain_priority(budget);
+            self.census.consume_drain(&mut self.pending, repaired);
+            if self.census.failed_chunks() < 0.5 {
+                self.pending.clear();
+            }
+        }
+    }
+
+    fn on_repair_event(&mut self, _now: f64, failed_before: u32) -> bool {
+        // A pure drain step (already applied by `on_repair_progress`)
+        // finished every outstanding chunk: back to all-healthy.
+        failed_before > 0 && self.census.failed_disks() == 0
+    }
+
+    fn on_failure(&mut self, kernel: &mut HazardKernel) -> FailureOutcome {
+        let now = kernel.now();
+        if self.census.failed_disks() + 1 >= self.d {
+            // Essentially every disk is down: unconditionally catastrophic
+            // (nothing left to place stripes on). Deliberately not counted
+            // into max_concurrent, mirroring the original loop.
+            self.reset_after_catastrophe(now);
+            return FailureOutcome::Catastrophic {
+                concurrent_failures: self.d,
+                lost_stripes: self.total_stripes,
+            };
+        }
+        let before = self.census.failed_chunks();
+        self.census.add_disk_failure();
+        self.pending.push_back(self.census.failed_chunks() - before);
+        self.max_concurrent = self.max_concurrent.max(self.census.failed_disks());
+        self.drain_paused_until = now + self.detection_hours;
+        if self.census.failed_disks() >= self.threshold {
+            let lambda = self.census.at_or_above(self.threshold);
+            let lost = if lambda > 30.0 {
+                lambda
+            } else {
+                sample_poisson(kernel.rng(), lambda) as f64
+            };
+            if lost >= 1.0 {
+                let concurrent_failures = self.census.failed_disks();
+                // Network repair resets the pool to healthy.
+                self.reset_after_catastrophe(now);
+                return FailureOutcome::Catastrophic {
+                    concurrent_failures,
+                    lost_stripes: lost,
+                };
+            }
+            // Rare-stripe sampling says no stripe actually reached the
+            // catastrophic multiplicity: zero those classes (drain clears
+            // the top classes first by construction).
+            let removed = self.census.at_or_above(self.threshold);
+            let repaired = self
+                .census
+                .drain_priority(removed * self.threshold as f64 * 2.0);
+            self.census.consume_drain(&mut self.pending, repaired);
+            if self.census.failed_disks() == 0 {
+                return FailureOutcome::Regenerated;
+            }
+        }
+        FailureOutcome::Continue
+    }
+
+    fn max_concurrent(&self) -> u32 {
+        self.max_concurrent
     }
 }
 

@@ -6,7 +6,7 @@
 //! the paper (and this suite) uses it to validate the splitting estimator at
 //! inflated failure rates, to measure repair-traffic distributions, and to
 //! drive trace-based what-if studies. The rare-event durability numbers of
-//! Fig 10 come from [`mlec_analysis`]'s splitting path instead.
+//! Fig 10 come from `mlec-analysis`'s splitting path instead.
 //!
 //! State kept per pool is the same abstraction as
 //! [`crate::pool_sim`]: concurrent-failure sets for clustered pools, the
@@ -18,15 +18,19 @@
 //!
 //! Next-event selection runs on [`crate::engine::EventQueue`]: disk-failure
 //! arrivals and network-repair completions are scheduled events, with FIFO
-//! tie-breaking at equal timestamps. The RNG draw order (inter-arrival gap,
-//! then disk index, then per-pool processing draws) matches the original
-//! hand-rolled loop exactly, so fixed-seed results are bit-identical — see
-//! the `golden_*` tests below.
+//! tie-breaking at equal timestamps. Failure arrivals come from the shared
+//! [`crate::kernel::HazardKernel`] through a [`ArrivalSource`] (stochastic
+//! or trace-replay); the RNG draw order (inter-arrival gap, then disk
+//! index, then per-pool processing draws) matches the original hand-rolled
+//! loop exactly, so fixed-seed results are bit-identical — see the
+//! `golden_*` kernel-invariance tests below.
 
 use crate::census::StripeCensus;
 use crate::config::{MlecDeployment, HOURS_PER_YEAR};
 use crate::engine::EventQueue;
-use crate::failure::{sample_exponential, sample_poisson, FailureModel};
+use crate::failure::{sample_poisson, FailureModel};
+use crate::importance::FailureBias;
+use crate::kernel::{ArrivalSource, HazardKernel, NoopObserver, SimObserver};
 use crate::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
 use mlec_topology::Placement;
 use rand::Rng;
@@ -85,29 +89,27 @@ pub fn simulate_system_trace(
     method: RepairMethod,
     seed: u64,
 ) -> SystemSimResult {
+    simulate_system_trace_observed(dep, trace, method, seed, &mut NoopObserver)
+}
+
+/// [`simulate_system_trace`] with a [`SimObserver`] attached.
+pub fn simulate_system_trace_observed<O: SimObserver>(
+    dep: &MlecDeployment,
+    trace: &crate::trace::FailureTrace,
+    method: RepairMethod,
+    seed: u64,
+    observer: &mut O,
+) -> SystemSimResult {
     let years = (trace.span_h() / HOURS_PER_YEAR).max(f64::MIN_POSITIVE);
-    let arrivals: Vec<(f64, u32)> = trace
-        .events()
-        .iter()
-        .map(|e| (e.time_h, e.disk % dep.geometry.total_disks()))
-        .collect();
     run_system(
         dep,
         method,
         years,
         seed,
-        ArrivalSource::Trace(arrivals),
+        trace.arrival_source(dep.geometry.total_disks()),
         SystemSimOptions::default(),
+        observer,
     )
-}
-
-/// Where disk-failure arrivals come from.
-enum ArrivalSource {
-    /// Exponential inter-arrival at the given aggregate rate per hour;
-    /// disks chosen uniformly.
-    Exponential { rate_per_disk_hour: f64 },
-    /// Pre-recorded `(time_h, disk)` events, time-ascending.
-    Trace(Vec<(f64, u32)>),
 }
 
 /// Optional realism knobs for the system simulator.
@@ -150,6 +152,30 @@ pub fn simulate_system_opts(
     seed: u64,
     opts: SystemSimOptions,
 ) -> SystemSimResult {
+    simulate_system_observed(
+        dep,
+        failure_model,
+        method,
+        years,
+        seed,
+        opts,
+        &mut NoopObserver,
+    )
+}
+
+/// [`simulate_system_opts`] with a [`SimObserver`] attached: per-event
+/// callbacks for disk failures, catastrophic pools, network-repair
+/// completions, and data-loss events, plus degraded-interval accounting of
+/// each pool's network-repair sojourn.
+pub fn simulate_system_observed<O: SimObserver>(
+    dep: &MlecDeployment,
+    failure_model: &FailureModel,
+    method: RepairMethod,
+    years: f64,
+    seed: u64,
+    opts: SystemSimOptions,
+    observer: &mut O,
+) -> SystemSimResult {
     let rate = match failure_model {
         FailureModel::Exponential { afr } => afr / HOURS_PER_YEAR,
         _ => panic!("system simulation drives exponential failures; use simulate_system_trace"),
@@ -159,10 +185,11 @@ pub fn simulate_system_opts(
         method,
         years,
         seed,
-        ArrivalSource::Exponential {
-            rate_per_disk_hour: rate,
-        },
+        // One aggregate arrival process over every disk in the deployment;
+        // the same product the pre-kernel loop computed per draw.
+        ArrivalSource::exponential(dep.geometry.total_disks() as f64 * rate),
         opts,
+        observer,
     )
 }
 
@@ -176,51 +203,51 @@ enum Event {
     NetworkRepairDone { pool: u32 },
 }
 
-/// Schedule the next failure arrival: a fresh exponential gap from `now`,
-/// or the next in-order trace record (records behind the clock are skipped,
-/// uncounted — traces are pre-sorted, so this is defensive only).
+/// Schedule the next failure arrival from the kernel-backed source: a fresh
+/// exponential gap from `queue.now()` (one RNG draw through the kernel), or
+/// the next in-order trace record.
 fn schedule_next_arrival(
     queue: &mut EventQueue<Event>,
-    arrivals: &ArrivalSource,
-    rng: &mut ChaCha12Rng,
-    trace_index: &mut usize,
-    total_disks: f64,
+    arrivals: &mut ArrivalSource,
+    kernel: &mut HazardKernel,
 ) {
-    match arrivals {
-        ArrivalSource::Exponential { rate_per_disk_hour } => {
-            let dt = sample_exponential(rng, total_disks * rate_per_disk_hour);
-            queue.schedule_in(dt, Event::Arrival { disk: None });
-        }
-        ArrivalSource::Trace(events) => {
-            while let Some(&(t, disk)) = events.get(*trace_index) {
-                *trace_index += 1;
-                if t < queue.now() {
-                    continue;
-                }
-                queue.schedule(t, Event::Arrival { disk: Some(disk) });
-                break;
-            }
-        }
+    if let Some((t, disk)) = arrivals.next_arrival(kernel, queue.now()) {
+        queue.schedule(t, Event::Arrival { disk });
     }
 }
 
-fn run_system(
+/// A catastrophic pool's in-flight network reconstruction.
+struct RepairInFlight {
+    /// Scheduled completion time, hours.
+    done_h: f64,
+    /// Admission time, hours (for degraded-interval accounting).
+    admitted_h: f64,
+    /// Concurrently failed disks when the pool went catastrophic.
+    concurrent: u32,
+}
+
+fn run_system<O: SimObserver>(
     dep: &MlecDeployment,
     method: RepairMethod,
     years: f64,
     seed: u64,
-    arrivals: ArrivalSource,
+    mut arrivals: ArrivalSource,
     opts: SystemSimOptions,
+    observer: &mut O,
 ) -> SystemSimResult {
-    let mut rng =
+    let rng =
         ChaCha12Rng::seed_from_u64(mlec_runner::SeedStream::new(seed, "system_sim").trial_seed(0));
+    // Unbiased kernel: with multiplier 1 the exposure/jump accounting is a
+    // no-op and the arrival draws are bit-identical to raw sampling; the
+    // kernel still owns the RNG stream and the failure counter.
+    let mut kernel = HazardKernel::new(rng, FailureBias::NONE, years * HOURS_PER_YEAR);
     let pools = dep.local_pools();
     let num_pools = pools.num_pools();
     let d = pools.pool_size();
     let w = dep.local_width();
     let threshold = dep.params.local.p as u32 + 1;
     let pn1 = dep.params.network.p as u32 + 1;
-    let horizon = years * HOURS_PER_YEAR;
+    let horizon = kernel.horizon();
     let chunk_mb = dep.geometry.chunk_kb / 1e3;
     let total_stripes_per_pool = d as f64 * dep.geometry.chunks_per_disk() / w as f64;
 
@@ -240,37 +267,30 @@ fn run_system(
             / 3600.0;
 
     let mut states: HashMap<u32, PoolState> = HashMap::new();
-    // Catastrophic pools under network repair: pool -> repair completion.
-    // Entries are removed by their `NetworkRepairDone` event; at equal
-    // timestamps the completion pops before the arrival (FIFO tie-break on
-    // insertion order), so an arrival never sees a repair that finished at
-    // its own timestamp.
-    let mut catastrophic_until: HashMap<u32, f64> = HashMap::new();
+    // Catastrophic pools under network repair. Entries are removed by their
+    // `NetworkRepairDone` event; at equal timestamps the completion pops
+    // before the arrival (FIFO tie-break on insertion order), so an arrival
+    // never sees a repair that finished at its own timestamp.
+    let mut catastrophic_until: HashMap<u32, RepairInFlight> = HashMap::new();
 
-    let mut disk_failures = 0u64;
     let mut catastrophic_pools = 0u64;
     let mut data_loss_events = 0u64;
     let mut first_loss_h = None;
     let mut cross_rack_traffic_tb = 0.0f64;
     let mut total_sojourn_h = 0.0f64;
-    let total_disks = dep.geometry.total_disks() as f64;
-    let mut trace_index = 0usize;
 
     // Failure arrivals: stochastic (aggregate-rate exponential; the rate
     // reduction from <0.1% failed disks is negligible) or trace records.
     let mut queue: EventQueue<Event> = EventQueue::new();
-    schedule_next_arrival(
-        &mut queue,
-        &arrivals,
-        &mut rng,
-        &mut trace_index,
-        total_disks,
-    );
+    schedule_next_arrival(&mut queue, &mut arrivals, &mut kernel);
 
     while let Some((now, event)) = queue.pop() {
         let disk: u32 = match event {
             Event::NetworkRepairDone { pool } => {
-                catastrophic_until.remove(&pool);
+                if let Some(repair) = catastrophic_until.remove(&pool) {
+                    observer.on_degraded_interval(repair.admitted_h, now, repair.concurrent);
+                    observer.on_repair(now, 0);
+                }
                 continue;
             }
             Event::Arrival { disk } => {
@@ -279,27 +299,25 @@ fn run_system(
                 }
                 match disk {
                     Some(d) => d,
-                    None => rng.gen_range(0..dep.geometry.total_disks()),
+                    None => kernel.rng().gen_range(0..dep.geometry.total_disks()),
                 }
             }
         };
-        disk_failures += 1;
+        kernel.advance_to(now);
+        kernel.record_failure();
 
         let pool = pools.pool_of(disk);
         if catastrophic_until.contains_key(&pool) {
             // Pool already under network reconstruction; the failure is
             // absorbed by that repair.
-            schedule_next_arrival(
-                &mut queue,
-                &arrivals,
-                &mut rng,
-                &mut trace_index,
-                total_disks,
-            );
+            observer.on_disk_failure(now, 0);
+            schedule_next_arrival(&mut queue, &mut arrivals, &mut kernel);
             continue;
         }
 
-        let went_catastrophic = match dep.scheme.local {
+        // `(went_catastrophic, failed-disk count of the pool after this
+        // failure)` — the count feeds the observer hooks.
+        let (went_catastrophic, pool_failed) = match dep.scheme.local {
             Placement::Clustered => {
                 let state = states
                     .entry(pool)
@@ -309,7 +327,8 @@ fn run_system(
                 };
                 active.retain(|&t| t > now);
                 active.push(now + disk_repair_h);
-                active.len() as u32 >= threshold
+                let f = active.len() as u32;
+                (f >= threshold, f)
             }
             Placement::Declustered => {
                 let state = states
@@ -337,51 +356,54 @@ fn run_system(
                     let start = drain_paused_until.max(*last_advanced);
                     if now > start {
                         let repaired = census.drain_priority((now - start) * cph);
-                        consume(census, pending, repaired);
+                        census.consume_drain(pending, repaired);
+                        if census.failed_chunks() < 0.5 {
+                            pending.clear();
+                        }
                     }
                 }
                 *last_advanced = now;
                 if census.failed_disks() + 1 >= d {
-                    true
+                    (true, d)
                 } else {
                     let before = census.failed_chunks();
                     census.add_disk_failure();
                     pending.push_back(census.failed_chunks() - before);
                     *drain_paused_until = now + dep.config.detection_hours;
-                    if census.failed_disks() >= threshold {
+                    let f = census.failed_disks();
+                    if f >= threshold {
                         let lambda = census.at_or_above(threshold);
                         let lost = if lambda > 30.0 {
                             lambda
                         } else {
-                            sample_poisson(&mut rng, lambda) as f64
+                            sample_poisson(kernel.rng(), lambda) as f64
                         };
                         if lost < 1.0 {
                             let removed = census.at_or_above(threshold);
                             let repaired = census.drain_priority(removed * threshold as f64 * 2.0);
-                            consume(census, pending, repaired);
-                            false
+                            census.consume_drain(pending, repaired);
+                            if census.failed_chunks() < 0.5 {
+                                pending.clear();
+                            }
+                            (false, census.failed_disks())
                         } else {
-                            true
+                            (true, f)
                         }
                     } else {
-                        false
+                        (false, f)
                     }
                 }
             }
         };
+        observer.on_disk_failure(now, pool_failed);
 
         if !went_catastrophic {
-            schedule_next_arrival(
-                &mut queue,
-                &arrivals,
-                &mut rng,
-                &mut trace_index,
-                total_disks,
-            );
+            schedule_next_arrival(&mut queue, &mut arrivals, &mut kernel);
             continue;
         }
         catastrophic_pools += 1;
         cross_rack_traffic_tb += plan.cross_rack_traffic_tb;
+        observer.on_catastrophe(now, pool_failed, injected.lost_stripes, 1.0);
         states.remove(&pool); // network repair rebuilds the pool
                               // Bandwidth contention: concurrent repairs sharing this repair's
                               // bottleneck stretch its sojourn (snapshot at admission).
@@ -403,7 +425,14 @@ fn run_system(
             1.0
         };
         total_sojourn_h += sojourn_h * contention;
-        catastrophic_until.insert(pool, now + sojourn_h * contention);
+        catastrophic_until.insert(
+            pool,
+            RepairInFlight {
+                done_h: now + sojourn_h * contention,
+                admitted_h: now,
+                concurrent: pool_failed,
+            },
+        );
         queue.schedule(
             now + sojourn_h * contention,
             Event::NetworkRepairDone { pool },
@@ -454,51 +483,33 @@ fn run_system(
                     -(-expected).exp_m1()
                 }
             };
-            if rng.gen_bool(survival.clamp(0.0, 1.0)) {
+            if kernel.rng().gen_bool(survival.clamp(0.0, 1.0)) {
                 data_loss_events += 1;
                 first_loss_h.get_or_insert(now);
+                observer.on_data_loss(now);
             }
         }
-        schedule_next_arrival(
-            &mut queue,
-            &arrivals,
-            &mut rng,
-            &mut trace_index,
-            total_disks,
+        schedule_next_arrival(&mut queue, &mut arrivals, &mut kernel);
+    }
+
+    // Censored degraded intervals for pools still under network repair at
+    // the end of the run.
+    for repair in catastrophic_until.values() {
+        observer.on_degraded_interval(
+            repair.admitted_h,
+            repair.done_h.min(horizon),
+            repair.concurrent,
         );
     }
 
     SystemSimResult {
         years,
-        disk_failures,
+        disk_failures: kernel.disk_failures(),
         catastrophic_pools,
         data_loss_events,
         first_loss_h,
         cross_rack_traffic_tb,
         total_sojourn_h,
-    }
-}
-
-fn consume(
-    census: &mut StripeCensus,
-    pending: &mut std::collections::VecDeque<f64>,
-    mut repaired: f64,
-) {
-    while repaired > 0.0 {
-        let Some(head) = pending.front_mut() else {
-            break;
-        };
-        if *head <= repaired + 1e-9 {
-            repaired -= *head;
-            pending.pop_front();
-            census.release_disk();
-        } else {
-            *head -= repaired;
-            break;
-        }
-    }
-    if census.failed_chunks() < 0.5 {
-        pending.clear();
     }
 }
 
@@ -522,11 +533,13 @@ mod tests {
         }
     }
 
-    /// Bit-identical goldens captured from the pre-event-queue loop (hand
-    /// rolled next-event selection). The EventQueue port must reproduce
-    /// every counter and the exact f64 bits of the first-loss timestamp.
+    /// Kernel-invariance goldens: bit-identical values captured from the
+    /// original hand-rolled loop (pre-EventQueue, pre-HazardKernel). Every
+    /// structural port since — event-queue next-event selection, then the
+    /// shared hazard kernel with `ArrivalSource` — must reproduce every
+    /// counter and the exact f64 bits of the first-loss timestamp.
     #[test]
-    fn golden_small_system_matches_pre_eventqueue_loop() {
+    fn golden_small_system_kernel_invariance() {
         // (seed, disk_failures, catastrophic, losses, first_loss bits,
         //  traffic TB, sojourn h)
         let expect = [
@@ -591,8 +604,9 @@ mod tests {
         }
     }
 
+    /// Kernel-invariance golden at paper scale (57,600 disks).
     #[test]
-    fn golden_paper_scale_matches_pre_eventqueue_loop() {
+    fn golden_paper_scale_kernel_invariance() {
         let model = FailureModel::Exponential { afr: 1.0 };
         let r = simulate_system(&dep(MlecScheme::CD), &model, RepairMethod::Fco, 2.0, 7);
         assert_eq!(r.disk_failures, 115255);
@@ -603,8 +617,9 @@ mod tests {
         assert!((r.total_sojourn_h - 3933.111111).abs() < 1e-3, "{r:?}");
     }
 
+    /// Kernel-invariance golden for the trace-replay arrival source.
     #[test]
-    fn golden_trace_replay_matches_pre_eventqueue_loop() {
+    fn golden_trace_replay_kernel_invariance() {
         let g = mlec_topology::Geometry::paper_default();
         let trace = crate::trace::synthesize(
             &g,

@@ -53,6 +53,19 @@ impl FailureTrace {
         self.events.last().map_or(0.0, |e| e.time_h)
     }
 
+    /// The trace as a kernel [`ArrivalSource`](crate::kernel::ArrivalSource)
+    /// for the system simulator: `(time_h, disk)` records, with disk ids
+    /// folded into `0..total_disks` so traces recorded on a larger fleet
+    /// replay on a smaller one.
+    pub fn arrival_source(&self, total_disks: DiskId) -> crate::kernel::ArrivalSource {
+        crate::kernel::ArrivalSource::trace(
+            self.events
+                .iter()
+                .map(|e| (e.time_h, e.disk % total_disks))
+                .collect(),
+        )
+    }
+
     /// Empirical annualized failure rate per disk.
     pub fn empirical_afr(&self, geometry: &Geometry) -> f64 {
         if self.span_h() <= 0.0 {

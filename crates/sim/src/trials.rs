@@ -1,16 +1,162 @@
 //! [`mlec_runner::Trial`] implementations for the simulators, making
 //! `pool_sim` and `system_sim` runnable through the deterministic batched
 //! executor (seed streams, adaptive stopping, checkpoint/resume).
+//!
+//! The trials drive the simulators through the [`SimObserver`] hook layer:
+//! attach an [`EventLogSink`] to stream per-trial JSONL event logs, and the
+//! accumulators pick up degraded-time accounting either way. Observers never
+//! consume randomness, so attaching one cannot perturb fixed-seed results.
 
 use crate::config::MlecDeployment;
 use crate::failure::FailureModel;
 use crate::importance::FailureBias;
-use crate::pool_sim::simulate_pool_biased;
+use crate::kernel::SimObserver;
+use crate::pool_sim::simulate_pool_observed;
 use crate::repair::RepairMethod;
-use crate::system_sim::{simulate_system_opts, SystemSimOptions};
+use crate::system_sim::{simulate_system_observed, SystemSimOptions};
 use mlec_runner::{
     Accumulator, Json, Proportion, Summary, Trial, WeightedRate, WeightedWelford, Welford,
 };
+
+/// A shared, thread-safe sink for per-trial JSONL event logs.
+///
+/// Worker threads buffer each trial's records locally and append them in one
+/// locked write, so lines never interleave mid-trial (trial blocks may appear
+/// in any order across threads; each line carries its trial index).
+pub struct EventLogSink {
+    out: std::sync::Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl EventLogSink {
+    /// A sink over any writer (a file, a `Vec<u8>` in tests, ...).
+    pub fn new(writer: Box<dyn std::io::Write + Send>) -> EventLogSink {
+        EventLogSink {
+            out: std::sync::Mutex::new(writer),
+        }
+    }
+
+    /// A sink writing (buffered) to `path`, truncating any existing file.
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<EventLogSink> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(EventLogSink::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    fn append(&self, block: &str) {
+        use std::io::Write;
+        let mut out = self.out.lock().expect("event log lock");
+        // Log I/O failure must not abort a long simulation campaign; the
+        // JSONL is diagnostics, the manifest is the durable result.
+        let _ = out.write_all(block.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+/// A [`SimObserver`] that accumulates degraded-time/event counters for one
+/// trial and (optionally) buffers JSONL event records for an
+/// [`EventLogSink`]. Call [`TrialObserver::finish`] after the simulation to
+/// emit the buffered block plus a `trial_end` summary record.
+pub struct TrialObserver<'a> {
+    sink: Option<&'a EventLogSink>,
+    label: &'a str,
+    trial: u64,
+    buf: String,
+    /// Total hours spent degraded: pool sims count time with ≥1 disk
+    /// failed; system sims count per-pool network-reconstruction sojourns.
+    pub degraded_hours: f64,
+    /// Disk failures observed.
+    pub failures: u64,
+    /// Repair completions observed.
+    pub repairs: u64,
+    /// Catastrophic pool events observed.
+    pub catastrophes: u64,
+    /// Network data-loss events observed (system sims only).
+    pub data_losses: u64,
+}
+
+impl<'a> TrialObserver<'a> {
+    /// An observer for trial `trial` of the run labelled `label`, logging to
+    /// `sink` when one is given (counters accumulate either way).
+    pub fn new(sink: Option<&'a EventLogSink>, label: &'a str, trial: u64) -> TrialObserver<'a> {
+        TrialObserver {
+            sink,
+            label,
+            trial,
+            buf: String::new(),
+            degraded_hours: 0.0,
+            failures: 0,
+            repairs: 0,
+            catastrophes: 0,
+            data_losses: 0,
+        }
+    }
+
+    fn record(&mut self, body: std::fmt::Arguments<'_>) {
+        if self.sink.is_some() {
+            use std::fmt::Write;
+            let _ = writeln!(
+                self.buf,
+                "{{\"label\":\"{}\",\"trial\":{},{}}}",
+                self.label, self.trial, body
+            );
+        }
+    }
+
+    /// Emit the trial's buffered records plus a `trial_end` summary line.
+    pub fn finish(mut self) {
+        let (degraded, failures, repairs, catastrophes, losses) = (
+            self.degraded_hours,
+            self.failures,
+            self.repairs,
+            self.catastrophes,
+            self.data_losses,
+        );
+        self.record(format_args!(
+            "\"kind\":\"trial_end\",\"degraded_hours\":{degraded},\"failures\":{failures},\
+             \"repairs\":{repairs},\"catastrophes\":{catastrophes},\"data_losses\":{losses}"
+        ));
+        if let Some(sink) = self.sink {
+            sink.append(&self.buf);
+        }
+    }
+}
+
+impl SimObserver for TrialObserver<'_> {
+    fn on_disk_failure(&mut self, time_h: f64, concurrent: u32) {
+        self.failures += 1;
+        self.record(format_args!(
+            "\"kind\":\"disk_failure\",\"time_h\":{time_h},\"concurrent\":{concurrent}"
+        ));
+    }
+
+    fn on_repair(&mut self, time_h: f64, concurrent: u32) {
+        self.repairs += 1;
+        self.record(format_args!(
+            "\"kind\":\"repair\",\"time_h\":{time_h},\"concurrent\":{concurrent}"
+        ));
+    }
+
+    fn on_catastrophe(&mut self, time_h: f64, concurrent: u32, lost_stripes: f64, weight: f64) {
+        self.catastrophes += 1;
+        self.record(format_args!(
+            "\"kind\":\"catastrophe\",\"time_h\":{time_h},\"concurrent\":{concurrent},\
+             \"lost_stripes\":{lost_stripes},\"weight\":{weight}"
+        ));
+    }
+
+    fn on_data_loss(&mut self, time_h: f64) {
+        self.data_losses += 1;
+        self.record(format_args!("\"kind\":\"data_loss\",\"time_h\":{time_h}"));
+    }
+
+    fn on_degraded_interval(&mut self, from_h: f64, to_h: f64, _failed_disks: u32) {
+        self.degraded_hours += to_h - from_h;
+    }
+}
 
 /// One trial = one pool simulated for `years_per_trial` (splitting stage 1),
 /// optionally with importance-sampled failure arrivals ([`FailureBias`] —
@@ -20,6 +166,11 @@ pub struct PoolTrial<'a> {
     pub model: &'a FailureModel,
     pub years_per_trial: f64,
     pub bias: FailureBias,
+    /// Optional per-trial JSONL event log (`None` = no logging; the
+    /// simulation is bit-identical either way).
+    pub event_log: Option<&'a EventLogSink>,
+    /// Label stamped on every event-log line (e.g. `fig10/CC`).
+    pub log_label: &'a str,
 }
 
 /// Aggregate pool-simulation statistics. The primary statistic is the
@@ -41,6 +192,9 @@ pub struct PoolAcc {
     pub excursions: u64,
     /// Sum of final excursion weights (mean ≈ 1 is the unbiasedness check).
     pub excursion_weight: f64,
+    /// Pool-hours spent with at least one disk failed, across all trials
+    /// (observer-backed degraded-state accounting).
+    pub degraded_hours: f64,
 }
 
 impl PoolAcc {
@@ -77,14 +231,32 @@ impl PoolAcc {
             self.excursion_weight / self.excursions as f64
         }
     }
+
+    /// Fraction of simulated time the pool spent degraded (≥1 disk failed);
+    /// 0 with no exposure.
+    pub fn degraded_fraction(&self) -> f64 {
+        let hours = self.pool_years() * crate::config::HOURS_PER_YEAR;
+        if hours <= 0.0 {
+            0.0
+        } else {
+            self.degraded_hours / hours
+        }
+    }
 }
 
 impl Trial for PoolTrial<'_> {
     type Acc = PoolAcc;
 
-    fn run(&self, _index: u64, seed: u64, acc: &mut PoolAcc) {
-        let result =
-            simulate_pool_biased(self.dep, self.model, self.years_per_trial, seed, self.bias);
+    fn run(&self, index: u64, seed: u64, acc: &mut PoolAcc) {
+        let mut observer = TrialObserver::new(self.event_log, self.log_label, index);
+        let result = simulate_pool_observed(
+            self.dep,
+            self.model,
+            self.years_per_trial,
+            seed,
+            self.bias,
+            &mut observer,
+        );
         acc.trials += 1;
         acc.rate.add_exposure(result.pool_years);
         acc.disk_failures += result.disk_failures;
@@ -95,6 +267,8 @@ impl Trial for PoolTrial<'_> {
         }
         acc.excursions += result.excursions;
         acc.excursion_weight += result.excursion_weight;
+        acc.degraded_hours += observer.degraded_hours;
+        observer.finish();
     }
 }
 
@@ -107,6 +281,7 @@ impl Accumulator for PoolAcc {
         self.lost_stripes.merge(&other.lost_stripes);
         self.excursions += other.excursions;
         self.excursion_weight += other.excursion_weight;
+        self.degraded_hours += other.degraded_hours;
     }
 
     fn trials(&self) -> u64 {
@@ -139,6 +314,10 @@ impl Accumulator for PoolAcc {
                 "excursion_weight_bits",
                 Json::U64(self.excursion_weight.to_bits()),
             ),
+            (
+                "degraded_hours_bits",
+                Json::U64(self.degraded_hours.to_bits()),
+            ),
         ])
     }
 
@@ -151,6 +330,12 @@ impl Accumulator for PoolAcc {
             lost_stripes: WeightedWelford::load(value.get("lost_stripes")?)?,
             excursions: value.get("excursions")?.as_u64()?,
             excursion_weight: f64::from_bits(value.get("excursion_weight_bits")?.as_u64()?),
+            // Pre-observer manifests lack this field; resume them as zero
+            // rather than refusing to load.
+            degraded_hours: value
+                .get("degraded_hours_bits")
+                .and_then(Json::as_u64)
+                .map_or(0.0, f64::from_bits),
         })
     }
 }
@@ -162,6 +347,11 @@ pub struct SystemTrial<'a> {
     pub method: RepairMethod,
     pub years: f64,
     pub opts: SystemSimOptions,
+    /// Optional per-trial JSONL event log (`None` = no logging; the
+    /// simulation is bit-identical either way).
+    pub event_log: Option<&'a EventLogSink>,
+    /// Label stamped on every event-log line (e.g. `fig07/sys/CC`).
+    pub log_label: &'a str,
 }
 
 /// Aggregate system-simulation statistics. The primary statistic is the
@@ -175,19 +365,24 @@ pub struct LossAcc {
     pub disk_failures: u64,
     pub cross_rack_traffic_tb: Welford,
     pub total_sojourn_h: Welford,
+    /// Pool-hours spent under network reconstruction, across all trials
+    /// (observer-backed degraded-state accounting).
+    pub degraded_hours: f64,
 }
 
 impl Trial for SystemTrial<'_> {
     type Acc = LossAcc;
 
-    fn run(&self, _index: u64, seed: u64, acc: &mut LossAcc) {
-        let result = simulate_system_opts(
+    fn run(&self, index: u64, seed: u64, acc: &mut LossAcc) {
+        let mut observer = TrialObserver::new(self.event_log, self.log_label, index);
+        let result = simulate_system_observed(
             self.dep,
             self.model,
             self.method,
             self.years,
             seed,
             self.opts,
+            &mut observer,
         );
         acc.loss.push(result.lost_data());
         acc.catastrophic_pools += result.catastrophic_pools;
@@ -195,6 +390,8 @@ impl Trial for SystemTrial<'_> {
         acc.disk_failures += result.disk_failures;
         acc.cross_rack_traffic_tb.push(result.cross_rack_traffic_tb);
         acc.total_sojourn_h.push(result.total_sojourn_h);
+        acc.degraded_hours += observer.degraded_hours;
+        observer.finish();
     }
 }
 
@@ -207,6 +404,7 @@ impl Accumulator for LossAcc {
         self.cross_rack_traffic_tb
             .merge(&other.cross_rack_traffic_tb);
         self.total_sojourn_h.merge(&other.total_sojourn_h);
+        self.degraded_hours += other.degraded_hours;
     }
 
     fn trials(&self) -> u64 {
@@ -233,6 +431,10 @@ impl Accumulator for LossAcc {
             ("disk_failures", Json::U64(self.disk_failures)),
             ("cross_rack_traffic_tb", self.cross_rack_traffic_tb.save()),
             ("total_sojourn_h", self.total_sojourn_h.save()),
+            (
+                "degraded_hours_bits",
+                Json::U64(self.degraded_hours.to_bits()),
+            ),
         ])
     }
 
@@ -244,6 +446,12 @@ impl Accumulator for LossAcc {
             disk_failures: value.get("disk_failures")?.as_u64()?,
             cross_rack_traffic_tb: Welford::load(value.get("cross_rack_traffic_tb")?)?,
             total_sojourn_h: Welford::load(value.get("total_sojourn_h")?)?,
+            // Pre-observer manifests lack this field; resume them as zero
+            // rather than refusing to load.
+            degraded_hours: value
+                .get("degraded_hours_bits")
+                .and_then(Json::as_u64)
+                .map_or(0.0, f64::from_bits),
         })
     }
 }
@@ -263,6 +471,8 @@ mod tests {
             model: &model,
             years_per_trial: 20.0,
             bias: FailureBias::NONE,
+            event_log: None,
+            log_label: "",
         };
         let a = run(
             &trial,
@@ -291,6 +501,8 @@ mod tests {
             model: &model,
             years_per_trial: 25.0,
             bias,
+            event_log: None,
+            log_label: "",
         };
         let a = run(
             &trial,
@@ -325,6 +537,8 @@ mod tests {
             model: &model,
             years_per_trial: 50.0,
             bias: FailureBias::degraded_only(20.0),
+            event_log: None,
+            log_label: "",
         };
         let report = run(
             &trial,
@@ -345,6 +559,8 @@ mod tests {
             method: RepairMethod::Fco,
             years: 0.5,
             opts: SystemSimOptions::default(),
+            event_log: None,
+            log_label: "",
         };
         let report = run(
             &trial,

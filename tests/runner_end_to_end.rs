@@ -32,6 +32,8 @@ fn system_campaign_is_thread_count_invariant() {
         method: RepairMethod::Fco,
         years: 0.25,
         opts: SystemSimOptions::default(),
+        event_log: None,
+        log_label: "",
     };
     let spec = |threads| {
         RunSpec::new("e2e/threads", 17, StopRule::fixed(12))
@@ -63,6 +65,8 @@ fn pool_campaign_resumes_from_manifest_bit_identically() {
         model: &model,
         years_per_trial: 25.0,
         bias: FailureBias::NONE,
+        event_log: None,
+        log_label: "",
     };
     let spec = |trials: u64| {
         RunSpec::new("e2e/resume", 23, StopRule::fixed(trials))
@@ -105,6 +109,8 @@ fn weighted_pool_campaign_resumes_from_manifest_bit_identically() {
         model: &model,
         years_per_trial: 25.0,
         bias,
+        event_log: None,
+        log_label: "",
     };
     let spec = |trials: u64| {
         RunSpec::new("e2e/resume-weighted", 29, StopRule::fixed(trials))
