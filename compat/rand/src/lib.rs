@@ -5,14 +5,14 @@
 //!
 //! Only determinism is promised, not value-compatibility with upstream
 //! `rand`: generators seeded through [`SeedableRng::seed_from_u64`] expand
-//! the seed with SplitMix64 rather than upstream's PCG32 expansion.
+//! the seed with `SplitMix64` rather than upstream's PCG32 expansion.
 
 pub mod seq;
 
-/// The odd constant from SplitMix64 (2^64 / phi).
+/// The odd constant from `SplitMix64` (2^64 / phi).
 const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// Finalizer of SplitMix64: a bijective avalanche mix of a 64-bit word.
+/// Finalizer of `SplitMix64`: a bijective avalanche mix of a 64-bit word.
 #[inline]
 pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -45,7 +45,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
         (**self).next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
@@ -55,7 +55,7 @@ pub trait SeedableRng: Sized {
 
     fn from_seed(seed: Self::Seed) -> Self;
 
-    /// Expand a 64-bit state into a full seed via the SplitMix64 stream.
+    /// Expand a 64-bit state into a full seed via the `SplitMix64` stream.
     fn seed_from_u64(state: u64) -> Self {
         let mut seed = Self::Seed::default();
         let mut s = state;

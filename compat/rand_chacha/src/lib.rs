@@ -1,7 +1,7 @@
-//! A real ChaCha12 stream-cipher generator behind the workspace's in-tree
+//! A real `ChaCha12` stream-cipher generator behind the workspace's in-tree
 //! `rand` shim traits. The keystream follows RFC 8439's state layout and
 //! quarter-round with 12 rounds and a 64-bit block counter; seeding via
-//! `seed_from_u64` uses the shim's SplitMix64 expansion, so values differ
+//! `seed_from_u64` uses the shim's `SplitMix64` expansion, so values differ
 //! from upstream `rand_chacha` but have the same statistical quality and
 //! determinism guarantees.
 
@@ -21,7 +21,7 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-/// ChaCha with `R/2` double-rounds, generic over the round count.
+/// `ChaCha` with `R/2` double-rounds, generic over the round count.
 #[derive(Clone, Debug)]
 struct ChaChaCore<const ROUNDS: usize> {
     key: [u32; 8],
@@ -80,7 +80,7 @@ impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
     }
 }
 
-/// The 12-round ChaCha generator (the default of upstream `rand` 0.8).
+/// The 12-round `ChaCha` generator (the default of upstream `rand` 0.8).
 #[derive(Clone, Debug)]
 pub struct ChaCha12Rng {
     core: ChaChaCore<12>,
@@ -92,7 +92,7 @@ pub struct ChaCha8Rng {
     core: ChaChaCore<8>,
 }
 
-/// The 20-round variant (full ChaCha20).
+/// The 20-round variant (full `ChaCha20`).
 #[derive(Clone, Debug)]
 pub struct ChaCha20Rng {
     core: ChaChaCore<20>,
@@ -136,7 +136,7 @@ impl_rng!(ChaCha20Rng);
 mod tests {
     use super::*;
 
-    /// RFC 8439 §2.3.2 test vector: ChaCha20 block with the canonical key
+    /// RFC 8439 §2.3.2 test vector: `ChaCha20` block with the canonical key
     /// and counter 1. Our nonce is fixed to zero, so compare against a
     /// freshly computed reference for the zero-nonce state instead of the
     /// RFC's nonced vector; the structural check is that 20-round output

@@ -62,8 +62,8 @@ pub fn poisson_binomial_tail(probs: &[f64], k: usize) -> f64 {
     dist[k]
 }
 
-/// Hypergeometric tail: `P(a specific pool of `pool_size` disks contains at
-/// least `threshold` of the `c` failures uniform over `rack_disks` disks)`.
+/// Hypergeometric tail: `P(a specific pool of ``pool_size`` disks contains at
+/// least `threshold` of the `c` failures uniform over ``rack_disks`` disks)`.
 pub fn pool_tail_prob(rack_disks: u32, pool_size: u32, c: u32, threshold: u32) -> f64 {
     (threshold..=c.min(pool_size))
         .map(|m| hypergeom_pmf(rack_disks, pool_size, c, m))
@@ -219,8 +219,8 @@ pub fn mlec_burst_sample(
                 // pools], Poissonized.
                 let group_size = dep.network_width();
                 let positions = pools.pools_per_rack();
-                let mut per_group: std::collections::HashMap<u32, Vec<f64>> =
-                    std::collections::HashMap::new();
+                let mut per_group: std::collections::BTreeMap<u32, Vec<f64>> =
+                    std::collections::BTreeMap::new();
                 for &(rack, c) in &counts {
                     let rho = match dep.scheme.local {
                         Placement::Clustered => {
@@ -330,8 +330,8 @@ pub fn mlec_burst_direct_trial(
     Some(match dep.scheme.network {
         Placement::Clustered => {
             let group_size = dep.network_width();
-            let mut slots: std::collections::HashMap<(u32, u32), u32> =
-                std::collections::HashMap::new();
+            let mut slots: std::collections::BTreeMap<(u32, u32), u32> =
+                std::collections::BTreeMap::new();
             for &p in &cat_pools {
                 let rack = pools.rack_of_pool(p);
                 let key = (rack / group_size, pools.position_in_rack(p));
@@ -416,8 +416,8 @@ pub fn slec_burst_sample(
             }
             SlecPlacement::NetCp => {
                 // Pools are one disk per rack across a group of `w` racks.
-                let mut per_group: std::collections::HashMap<u32, Vec<f64>> =
-                    std::collections::HashMap::new();
+                let mut per_group: std::collections::BTreeMap<u32, Vec<f64>> =
+                    std::collections::BTreeMap::new();
                 for &(rack, c) in &counts {
                     per_group
                         .entry(rack / w)
@@ -595,7 +595,7 @@ pub fn lrc_undecodable_by_count(lrc: &Lrc, samples_per_count: u32, seed: u64) ->
         for _ in 0..samples_per_count {
             let mut erased = vec![false; n];
             // Floyd's algorithm for a uniform m-subset.
-            let mut chosen = std::collections::HashSet::new();
+            let mut chosen = std::collections::BTreeSet::new();
             for j in (n - m)..n {
                 let t = rng.gen_range(0..=j);
                 let pick = if chosen.insert(t) { t } else { j };

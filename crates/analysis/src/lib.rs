@@ -16,7 +16,7 @@
 //! - [`splitting`]: the two-stage rare-event estimator for system durability
 //!   (Fig 10): stage 1 catastrophic-pool statistics (simulated or analytic),
 //!   stage 2 analytic overlap probability at the network level, including
-//!   the chunk-knowledge survival factor for R_FCO/R_HYB/R_MIN.
+//!   the chunk-knowledge survival factor for `R_FCO/R_HYB/R_MIN`.
 //! - [`tradeoff`]: configuration enumeration at fixed parity overhead for
 //!   the durability-vs-throughput scatter plots (Fig 12, Fig 15).
 

@@ -86,9 +86,7 @@ impl BirthDeathChain {
                 break;
             }
             // One uniformized DTMC step: P = I + Q/Λ.
-            for slot in next.iter_mut() {
-                *slot = 0.0;
-            }
+            next.fill(0.0);
             for m in 0..n {
                 let pm = p[m];
                 if pm == 0.0 {

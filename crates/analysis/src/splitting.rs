@@ -9,8 +9,8 @@
 //! network pool (`C/*`) or across distinct racks (`D/*`), scaled by the
 //! *chunk-knowledge survival factor* — the probability that such an overlap
 //! actually contains a lost network stripe, which repair methods with
-//! cross-level transparency (R_FCO/R_HYB/R_MIN) can exploit (paper §4.2.3
-//! F#1) while black-box R_ALL cannot.
+//! cross-level transparency (`R_FCO/R_HYB/R_MIN`) can exploit (paper §4.2.3
+//! F#1) while black-box `R_ALL` cannot.
 
 use crate::chains::pool_catastrophic_rate_per_year;
 use crate::markov::nines;
@@ -145,7 +145,7 @@ pub fn stage1_via_runner_logged(
 }
 
 /// How long a pool remains a lost-local-stripe contributor under the given
-/// repair method: until the network phase has rebuilt (or, for R_MIN, made
+/// repair method: until the network phase has rebuilt (or, for `R_MIN`, made
 /// locally recoverable) every lost stripe.
 pub fn catastrophic_sojourn_hours(dep: &MlecDeployment, method: RepairMethod) -> f64 {
     plan_catastrophic_repair(dep, method).network_time_h
@@ -154,7 +154,7 @@ pub fn catastrophic_sojourn_hours(dep: &MlecDeployment, method: RepairMethod) ->
 /// The chunk-knowledge survival factor: probability that an overlap of
 /// `p_n + 1` catastrophic pools actually loses a network stripe.
 ///
-/// Methods without chunk knowledge (R_ALL) must assume every stripe of a
+/// Methods without chunk knowledge (`R_ALL`) must assume every stripe of a
 /// catastrophic pool is lost → factor 1. With knowledge, only the pools'
 /// actually-lost local stripes matter; for declustered local pools those are
 /// a ~`6e-4` fraction, making a real loss spectacularly unlikely (the

@@ -134,8 +134,7 @@ fn stripe_distribution_against_monte_carlo() {
             let q = counts
                 .iter()
                 .find(|&&(rack, _)| rack == r)
-                .map(|&(_, c)| c as f64 / g.disks_per_rack() as f64)
-                .unwrap_or(0.0);
+                .map_or(0.0, |&(_, c)| c as f64 / g.disks_per_rack() as f64);
             if rng.gen_bool(q) {
                 failed += 1;
             }
@@ -186,7 +185,7 @@ mod splitting_properties {
     use mlec_topology::MlecScheme;
 
     /// The survival factor is a probability and never higher for a
-    /// chunk-knowledge method than for R_ALL.
+    /// chunk-knowledge method than for `R_ALL`.
     #[test]
     fn survival_factor_bounds() {
         for scheme in MlecScheme::ALL {
@@ -267,7 +266,7 @@ fn hazard_matches_uniformization() {
     }
 }
 
-/// nines() and pdl_from_hazard() are inverse-consistent.
+/// `nines()` and `pdl_from_hazard()` are inverse-consistent.
 #[test]
 fn nines_inverts_powers() {
     for case in 0..32u64 {

@@ -30,7 +30,7 @@ fn bench_rs_encode() {
         let mut parity = vec![vec![0u8; CHUNK]; p];
         group.bench_bytes(&format!("{k}+{p}"), (k * CHUNK) as u64, || {
             rs.encode_into(black_box(&data), black_box(&mut parity))
-                .unwrap()
+                .unwrap();
         });
     }
 }

@@ -12,7 +12,7 @@ fn bench_mul_add_slice() {
         let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         let mut out = vec![0u8; size];
         group.bench_bytes(&size.to_string(), size as u64, || {
-            mul_add_slice(black_box(0x57), black_box(&input), black_box(&mut out))
+            mul_add_slice(black_box(0x57), black_box(&input), black_box(&mut out));
         });
     }
 }
@@ -23,7 +23,7 @@ fn bench_xor_slice() {
     let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
     let mut out = vec![0u8; size];
     group.bench_bytes("128KiB", size as u64, || {
-        xor_slice(black_box(&input), black_box(&mut out))
+        xor_slice(black_box(&input), black_box(&mut out));
     });
 }
 
@@ -33,7 +33,7 @@ fn bench_mul_slice() {
     let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
     let mut out = vec![0u8; size];
     group.bench_bytes("128KiB", size as u64, || {
-        mul_slice(black_box(0x8e), black_box(&input), black_box(&mut out))
+        mul_slice(black_box(0x8e), black_box(&input), black_box(&mut out));
     });
 }
 

@@ -153,7 +153,7 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
-        Some("help") | Some("--help") | Some("-h") => {
+        Some("help" | "--help" | "-h") => {
             usage();
             ExitCode::SUCCESS
         }

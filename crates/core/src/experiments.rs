@@ -183,11 +183,11 @@ fn run_heatmap(
     let report = run_with(&trial, &run_spec, trial.empty()).expect("heatmap run");
 
     let mut pdl = vec![vec![f64::NAN; xs.len()]; ys.len()];
-    let mut yi_of = std::collections::HashMap::new();
+    let mut yi_of = std::collections::BTreeMap::new();
     for (yi, &y) in ys.iter().enumerate() {
         yi_of.insert(y, yi);
     }
-    let mut xi_of = std::collections::HashMap::new();
+    let mut xi_of = std::collections::BTreeMap::new();
     for (xi, &x) in xs.iter().enumerate() {
         xi_of.insert(x, xi);
     }
@@ -259,7 +259,7 @@ pub struct RepairBandwidthRow {
     pub pool_bw_mbs: f64,
     /// Fig 6a: single-disk repair time, hours.
     pub disk_repair_hours: f64,
-    /// Fig 6b: catastrophic-pool repair time (R_ALL), hours.
+    /// Fig 6b: catastrophic-pool repair time (`R_ALL`), hours.
     pub pool_repair_hours: f64,
 }
 

@@ -173,9 +173,9 @@ fn run_fig01(_ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> 
     ] {
         w!(out.text, "{title}");
         let years: Vec<u32> = series[0].samples.iter().map(|s| s.year).collect();
-        let year_strs: Vec<String> = years.iter().map(|y| y.to_string()).collect();
+        let year_strs: Vec<String> = years.iter().map(std::string::ToString::to_string).collect();
         let mut headers = vec!["series", "unit"];
-        headers.extend(year_strs.iter().map(|s| s.as_str()));
+        headers.extend(year_strs.iter().map(std::string::String::as_str));
         let rows: Vec<Vec<String>> = series
             .iter()
             .map(|s| {

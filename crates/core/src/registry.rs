@@ -441,7 +441,7 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
+        list.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -515,7 +515,7 @@ mod tests {
                 match p.kind {
                     ParamKind::U64 => assert_eq!(ctx.u64(p.name).to_string(), p.default),
                     ParamKind::F64 => {
-                        assert_eq!(ctx.f64(p.name), p.default.parse::<f64>().unwrap())
+                        assert_eq!(ctx.f64(p.name), p.default.parse::<f64>().unwrap());
                     }
                     ParamKind::Str => assert_eq!(ctx.str(p.name), p.default),
                 }

@@ -26,7 +26,10 @@ pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let header_cells: Vec<String> = headers
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     out.push_str(&fmt_row(&header_cells, &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));

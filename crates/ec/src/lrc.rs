@@ -182,7 +182,7 @@ impl Lrc {
                 "data chunks differ in length".into(),
             ));
         }
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_ref()).collect();
+        let refs: Vec<&[u8]> = data.iter().map(std::convert::AsRef::as_ref).collect();
         let mut out: Vec<Vec<u8>> = data.iter().map(|d| d.as_ref().to_vec()).collect();
         for row in self.k..self.total_chunks() {
             let mut chunk = vec![0u8; len];
@@ -328,7 +328,7 @@ impl Lrc {
                 chunks.len()
             )));
         }
-        let erased: Vec<bool> = chunks.iter().map(|c| c.is_none()).collect();
+        let erased: Vec<bool> = chunks.iter().map(std::option::Option::is_none).collect();
         if erased.iter().all(|&e| !e) {
             return Ok(());
         }
@@ -371,7 +371,7 @@ impl Lrc {
                 data.push(out);
             }
         }
-        let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let data_refs: Vec<&[u8]> = data.iter().map(std::vec::Vec::as_slice).collect();
         for i in 0..self.total_chunks() {
             if chunks[i].is_none() {
                 if i < self.k {

@@ -121,7 +121,7 @@ impl MlecCodec {
 
     /// Degraded read: return the content of chunk `(row, col)` from a
     /// stripe with erasures, touching as few chunks as possible — the read
-    /// path equivalent of R_MIN's repair planning. Preference order:
+    /// path equivalent of `R_MIN`'s repair planning. Preference order:
     ///
     /// 1. the chunk itself if present (zero extra reads);
     /// 2. local decode within its row when the row is locally recoverable
@@ -227,7 +227,7 @@ impl MlecCodec {
         // network, chunk position by chunk position, then re-encode local
         // parities of those rows.
         let lost_rows: Vec<usize> = (0..nn)
-            .filter(|&j| stripe[j].iter().any(|c| c.is_none()))
+            .filter(|&j| stripe[j].iter().any(std::option::Option::is_none))
             .collect();
         if lost_rows.is_empty() {
             return Ok((local_repaired, network_repaired));

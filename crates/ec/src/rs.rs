@@ -101,7 +101,7 @@ impl ReedSolomon {
     pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>, EcError> {
         let len = self.check_data_shape(data)?;
         let mut shards: Vec<Vec<u8>> = data.iter().map(|d| d.as_ref().to_vec()).collect();
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_ref()).collect();
+        let refs: Vec<&[u8]> = data.iter().map(std::convert::AsRef::as_ref).collect();
         for pi in 0..self.p {
             let mut parity = vec![0u8; len];
             dot_into(self.parity_row(pi), &refs, &mut parity);
@@ -133,7 +133,7 @@ impl ReedSolomon {
                 "parity buffer length mismatch".into(),
             ));
         }
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_ref()).collect();
+        let refs: Vec<&[u8]> = data.iter().map(std::convert::AsRef::as_ref).collect();
         for (pi, buf) in parity.iter_mut().enumerate() {
             dot_into(self.generator.row(self.k + pi), &refs, buf);
         }
@@ -151,7 +151,7 @@ impl ReedSolomon {
         }
         let data = &shards[..self.k];
         let len = self.check_data_shape(data)?;
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let refs: Vec<&[u8]> = data.iter().map(std::vec::Vec::as_slice).collect();
         let mut scratch = vec![0u8; len];
         for pi in 0..self.p {
             dot_into(self.parity_row(pi), &refs, &mut scratch);
@@ -287,7 +287,7 @@ impl ReedSolomon {
     /// Decode with an explicit helper set: reconstruct shard `target` using
     /// exactly the shards listed in `helpers` (must contain at least `k`
     /// live shards). Returns the rebuilt shard. This models repair methods
-    /// that choose *which* chunks to read (e.g. R_MIN's stage 1).
+    /// that choose *which* chunks to read (e.g. `R_MIN`'s stage 1).
     pub fn reconstruct_one(
         &self,
         shards: &[Option<Vec<u8>>],
@@ -518,7 +518,7 @@ mod tests {
         let rs = ReedSolomon::new(3, 2).unwrap();
         let data = vec![vec![], vec![], vec![]];
         let encoded = rs.encode(&data).unwrap();
-        assert!(encoded.iter().all(|s| s.is_empty()));
+        assert!(encoded.iter().all(std::vec::Vec::is_empty));
         let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
         shards[1] = None;
         rs.reconstruct(&mut shards).unwrap();

@@ -163,8 +163,7 @@ pub fn measure_slec_parallel(
     let mut parities: Vec<Vec<Vec<u8>>> = vec![vec![vec![0u8; chunk_bytes]; p]; stripes];
 
     let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .min(stripes.max(1));
     let encode_all = |parities: &mut Vec<Vec<Vec<u8>>>| {
         std::thread::scope(|scope| {

@@ -26,6 +26,20 @@
 //! let inv = gf_inv(a);
 //! assert_eq!(gf_mul(a, inv), 1);
 //! ```
+//!
+//! # Unsafe code
+//!
+//! The only `unsafe` in the workspace lives in [`mod@slice`]: the
+//! u64-batched inner loops of [`slice::xor_slice`] and
+//! [`slice::mul_add_slice`] use unaligned pointer reads/writes. Every
+//! block carries a `// SAFETY:` comment and a `debug_assert!` bounds
+//! invariant (both enforced by `cargo xtask lint`), and the kernels run
+//! under Miri in CI (`cargo miri test -p mlec-gf`) with
+//! `#[cfg(miri)]`-scaled exhaustive tests.
+
+// Unsafe hygiene: every unsafe operation inside an unsafe fn still needs
+// its own unsafe block (and its own SAFETY comment).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod field;
 pub mod matrix;

@@ -291,6 +291,17 @@ mod tests {
     }
 
     #[test]
+    fn invert_round_trips_scaled() {
+        // Same Gauss–Jordan path at a workload-scaled size: 16×16
+        // natively, 6×6 under Miri (the interpreter is ~1000× slower).
+        let n = if cfg!(miri) { 6 } else { 16 };
+        let m = Matrix::vandermonde(n, n);
+        let inv = m.invert().expect("vandermonde must be invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(n));
+        assert_eq!(inv.mul(&m), Matrix::identity(n));
+    }
+
+    #[test]
     fn singular_matrix_has_no_inverse() {
         let m = Matrix::from_rows(&[&[1, 2], &[1, 2]]);
         assert!(m.invert().is_none());

@@ -97,38 +97,70 @@ pub fn mul_add_slice(c: u8, input: &[u8], out: &mut [u8]) {
         1 => xor_slice(input, out),
         _ => {
             let t = NibbleTable::new(c);
-            // Process in blocks of 8 to give the optimizer unrollable bodies
-            // without relying on unstable SIMD.
-            let mut chunks_in = input.chunks_exact(8);
-            let mut chunks_out = out.chunks_exact_mut(8);
-            for (ci, co) in (&mut chunks_in).zip(&mut chunks_out) {
-                for j in 0..8 {
-                    co[j] ^= t.mul(ci[j]);
+            let len = input.len();
+            // The u64 batch loop covers exactly `words * 8` bytes; the
+            // scalar tail below finishes the rest.
+            let words = len / 8;
+            let src = input.as_ptr();
+            let dst = out.as_mut_ptr();
+            for w in 0..words {
+                let off = w * 8;
+                // Bounds invariant of the batch: the widest access touches
+                // bytes `off..off + 8`, and `off + 8 <= words * 8 <= len`.
+                debug_assert!(off + 8 <= len, "u64 batch out of bounds");
+                // SAFETY: `off + 8 <= len` (invariant above) keeps the
+                // 8-byte unaligned read inside `input`, whose length was
+                // asserted equal to `out`'s; reads via raw pointer impose
+                // no alignment beyond the unaligned load itself.
+                let x = unsafe { src.add(off).cast::<u64>().read_unaligned() };
+                // Shift-based lane extraction/packing is its own inverse
+                // regardless of endianness, so `z` holds `t.mul` of each
+                // byte of `x` in matching lanes.
+                let mut z = 0u64;
+                for lane in 0..8 {
+                    let byte = (x >> (lane * 8)) as u8;
+                    z |= u64::from(t.mul(byte)) << (lane * 8);
+                }
+                // SAFETY: same bounds invariant on `out` (equal length,
+                // `off + 8 <= len`). `input` and `out` come from a shared
+                // and an exclusive reference respectively, so the source
+                // and destination regions cannot overlap.
+                unsafe {
+                    let y = dst.add(off).cast::<u64>().read_unaligned();
+                    dst.add(off).cast::<u64>().write_unaligned(y ^ z);
                 }
             }
-            for (o, &x) in chunks_out
-                .into_remainder()
-                .iter_mut()
-                .zip(chunks_in.remainder())
-            {
-                *o ^= t.mul(x);
+            for i in words * 8..len {
+                out[i] ^= t.mul(input[i]);
             }
         }
     }
 }
 
-/// `out[i] ^= input[i]`, vectorized over `u64` words where alignment allows.
+/// `out[i] ^= input[i]`, batched over unaligned `u64` words.
 pub fn xor_slice(input: &[u8], out: &mut [u8]) {
     assert_eq!(input.len(), out.len(), "slice length mismatch");
-    let mut in8 = input.chunks_exact(8);
-    let mut out8 = out.chunks_exact_mut(8);
-    for (ci, co) in (&mut in8).zip(&mut out8) {
-        let a = u64::from_ne_bytes(ci.try_into().unwrap());
-        let b = u64::from_ne_bytes((&*co).try_into().unwrap());
-        co.copy_from_slice(&(a ^ b).to_ne_bytes());
+    let len = input.len();
+    let words = len / 8;
+    let src = input.as_ptr();
+    let dst = out.as_mut_ptr();
+    for w in 0..words {
+        let off = w * 8;
+        // Bounds invariant of the batch: bytes `off..off + 8` with
+        // `off + 8 <= words * 8 <= len`.
+        debug_assert!(off + 8 <= len, "u64 batch out of bounds");
+        // SAFETY: `off + 8 <= len` (invariant above) keeps both 8-byte
+        // unaligned accesses inside their slices (lengths asserted equal);
+        // the shared `input` borrow and exclusive `out` borrow guarantee
+        // the regions are disjoint.
+        unsafe {
+            let a = src.add(off).cast::<u64>().read_unaligned();
+            let b = dst.add(off).cast::<u64>().read_unaligned();
+            dst.add(off).cast::<u64>().write_unaligned(a ^ b);
+        }
     }
-    for (o, &x) in out8.into_remainder().iter_mut().zip(in8.remainder()) {
-        *o ^= x;
+    for i in words * 8..len {
+        out[i] ^= input[i];
     }
 }
 
@@ -157,6 +189,18 @@ mod tests {
     use super::*;
     use crate::field::gf_mul;
 
+    /// Coefficients the exhaustive cross-checks sweep. Under Miri the
+    /// interpreter is ~1000× slower than native, so the sweep shrinks to
+    /// the structurally interesting cases (zero, one, a generator, values
+    /// exercising both nibbles, the top element); natively it is all 256.
+    fn sweep_coeffs() -> Vec<u8> {
+        if cfg!(miri) {
+            vec![0, 1, 2, 0x1d, 0x53, 0x80, 0xff]
+        } else {
+            (0..=255).collect()
+        }
+    }
+
     fn reference_mul_add(c: u8, input: &[u8], out: &mut [u8]) {
         for (o, &x) in out.iter_mut().zip(input) {
             *o ^= gf_mul(c, x);
@@ -165,7 +209,7 @@ mod tests {
 
     #[test]
     fn nibble_table_matches_scalar_mul() {
-        for c in 0..=255u8 {
+        for c in sweep_coeffs() {
             let t = NibbleTable::new(c);
             for x in 0..=255u8 {
                 assert_eq!(t.mul(x), gf_mul(c, x), "c={c} x={x}");
@@ -199,6 +243,38 @@ mod tests {
     }
 
     #[test]
+    fn mul_add_slice_unaligned_offsets() {
+        // The u64 batch loop reads/writes through unaligned pointers; run
+        // it over every sub-slice start offset so Miri sees genuinely
+        // misaligned u64 accesses (and the scalar tail at every phase).
+        let backing: Vec<u8> = (0..64).map(|i| (i * 29 + 3) as u8).collect();
+        let mut out_backing = [0x5au8; 64];
+        for start in 0..9usize {
+            for c in sweep_coeffs() {
+                let input = &backing[start..];
+                let mut fast = out_backing[start..].to_vec();
+                let mut slow = fast.clone();
+                mul_add_slice(c, input, &mut fast);
+                reference_mul_add(c, input, &mut slow);
+                assert_eq!(fast, slow, "c={c} start={start}");
+                out_backing[start..].copy_from_slice(&fast);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_slice_unaligned_offsets() {
+        let backing: Vec<u8> = (0..64).map(|i| (i * 13 + 7) as u8).collect();
+        for start in 0..9usize {
+            let input = &backing[start..];
+            let mut fast: Vec<u8> = (0..input.len()).map(|i| (i * 5) as u8).collect();
+            let expect: Vec<u8> = fast.iter().zip(input).map(|(y, x)| y ^ x).collect();
+            xor_slice(input, &mut fast);
+            assert_eq!(fast, expect, "start={start}");
+        }
+    }
+
+    #[test]
     fn mul_slice_zero_and_one_fast_paths() {
         let input = [1u8, 2, 3, 4, 5];
         let mut out = [9u8; 5];
@@ -224,7 +300,7 @@ mod tests {
         let shards: Vec<Vec<u8>> = (0..4)
             .map(|s| (0..16).map(|i| (s * 40 + i) as u8).collect())
             .collect();
-        let refs: Vec<&[u8]> = shards.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[u8]> = shards.iter().map(std::vec::Vec::as_slice).collect();
         let coeffs = [3u8, 0, 1, 0x8e];
         let mut out = vec![0u8; 16];
         dot_into(&coeffs, &refs, &mut out);

@@ -29,7 +29,7 @@ pub struct StopRule {
     pub min_trials: u64,
     /// Hard ceiling (always enforced).
     pub max_trials: u64,
-    /// Stop once |std_err/mean| (or relative CI half-width for
+    /// Stop once |`std_err/mean`| (or relative CI half-width for
     /// proportions) drops below this.
     pub target_rel_err: Option<f64>,
     /// Stop once the absolute 95% CI half-width drops below this.
@@ -147,9 +147,7 @@ impl RunSpec {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         }
     }
 }

@@ -17,8 +17,8 @@
 //! The crate is foundational (std-only): simulation and analysis crates
 //! depend on it and implement [`trial::Trial`] for their own types. With
 //! the default `external-rng` feature the per-trial generator is the
-//! workspace ChaCha12; disabling it leaves a fully self-contained
-//! SplitMix64 fallback.
+//! workspace `ChaCha12`; disabling it leaves a fully self-contained
+//! `SplitMix64` fallback.
 
 pub mod executor;
 pub mod json;

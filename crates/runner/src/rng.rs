@@ -1,16 +1,16 @@
-//! The runner's own generators: SplitMix64 and the trial-RNG selection.
+//! The runner's own generators: `SplitMix64` and the trial-RNG selection.
 //!
 //! With the default `external-rng` feature the per-trial generator is the
-//! workspace ChaCha12; without it the runner is fully self-contained and
+//! workspace `ChaCha12`; without it the runner is fully self-contained and
 //! uses [`SplitMix64`] directly. Either way every trial draws its own
 //! generator from a single `u64` produced by
 //! [`crate::seed_stream::SeedStream`], so the feature only changes the
 //! stream cipher, never the orchestration.
 
-/// 2^64 / phi, the odd increment of the SplitMix64 sequence.
+/// 2^64 / phi, the odd increment of the `SplitMix64` sequence.
 pub const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// SplitMix64's bijective finalizer (Stafford variant 13): a cheap,
+/// `SplitMix64`'s bijective finalizer (Stafford variant 13): a cheap,
 /// statistically strong avalanche mix of one 64-bit word.
 #[inline]
 pub fn mix64(mut z: u64) -> u64 {
@@ -19,7 +19,7 @@ pub fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The SplitMix64 generator (Steele, Lea & Flood, OOPSLA'14): one add and
+/// The `SplitMix64` generator (Steele, Lea & Flood, OOPSLA'14): one add and
 /// one mix per output, equidistributed over the full 2^64 period.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitMix64 {

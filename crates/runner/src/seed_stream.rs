@@ -3,7 +3,7 @@
 //! Every experiment names a stream by `(root_seed, label)`; the stream then
 //! hands out one independent 64-bit seed per trial index (or per heatmap
 //! cell). Seeds are SplitMix64-derived: the trial sequence is exactly the
-//! SplitMix64 output stream started at a label-mixed base, so distinct
+//! `SplitMix64` output stream started at a label-mixed base, so distinct
 //! indices always produce distinct seeds, and nothing depends on thread
 //! count, batch size, or evaluation order.
 //!
@@ -39,7 +39,7 @@ impl SeedStream {
         }
     }
 
-    /// Seed for trial `index`: element `index` of the SplitMix64 stream
+    /// Seed for trial `index`: element `index` of the `SplitMix64` stream
     /// anchored at the label base. Injective in `index` because the
     /// increment is odd and the finalizer is bijective.
     #[inline]

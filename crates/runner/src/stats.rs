@@ -87,7 +87,7 @@ impl Welford {
         }
     }
 
-    /// |std_err / mean|; infinite when the mean is zero or before two
+    /// |`std_err` / mean|; infinite when the mean is zero or before two
     /// samples (an empty or single-sample accumulator has not converged —
     /// returning NaN here would silently defeat `rel_err <= target`
     /// stopping rules, since every NaN comparison is false).

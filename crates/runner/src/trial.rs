@@ -48,7 +48,7 @@ pub struct Summary {
     /// 95% interval (Wilson for proportions, normal for means).
     pub ci_low: f64,
     pub ci_high: f64,
-    /// Relative precision: |std_err/mean| or relative CI half-width.
+    /// Relative precision: |`std_err/mean`| or relative CI half-width.
     pub rel_err: f64,
 }
 
@@ -186,7 +186,7 @@ impl GridAcc {
 
     /// Per-cell means, in cell order.
     pub fn means(&self) -> Vec<f64> {
-        self.cells.iter().map(|w| w.mean()).collect()
+        self.cells.iter().map(super::stats::Welford::mean).collect()
     }
 }
 
@@ -199,7 +199,7 @@ impl Accumulator for GridAcc {
     }
 
     fn trials(&self) -> u64 {
-        self.cells.iter().map(|w| w.count()).sum()
+        self.cells.iter().map(super::stats::Welford::count).sum()
     }
 
     /// Summary over the pooled observations of every cell (adaptive
@@ -222,7 +222,7 @@ impl Accumulator for GridAcc {
     }
 
     fn save(&self) -> Json {
-        Json::Arr(self.cells.iter().map(|w| w.save()).collect())
+        Json::Arr(self.cells.iter().map(super::stats::Welford::save).collect())
     }
 
     fn load(value: &Json) -> Option<Self> {

@@ -75,7 +75,7 @@ pub fn catastrophic_pool_repair_bw_mbs(dep: &MlecDeployment) -> f64 {
     }
 }
 
-/// Available bandwidth for a **local repair phase** (R_HYB/R_MIN stage 2)
+/// Available bandwidth for a **local repair phase** (`R_HYB/R_MIN` stage 2)
 /// that rebuilds `m` chunks per affected stripe inside the pool while `f`
 /// disks are failed, in MB of rebuilt data per second.
 ///
@@ -114,7 +114,7 @@ pub fn single_disk_repair_hours(dep: &MlecDeployment) -> f64 {
     dep.config.detection_hours + hours_to_move(disk_tb, single_disk_repair_bw_mbs(dep))
 }
 
-/// Repair time in hours for a catastrophic local pool under R_ALL (Fig 6b),
+/// Repair time in hours for a catastrophic local pool under `R_ALL` (Fig 6b),
 /// including the failure-detection delay.
 pub fn catastrophic_pool_repair_hours(dep: &MlecDeployment) -> f64 {
     let (_, pool_tb) = repair_sizes_tb(dep);

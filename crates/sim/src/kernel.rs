@@ -5,7 +5,7 @@
 //! hand-rolled the same four concerns: biased-exponential failure-arrival
 //! sampling, exact likelihood-ratio [`PathWeight`] exposure accounting,
 //! excursion/regeneration bookkeeping, and horizon censoring. The
-//! [`HazardKernel`] owns all of them — plus the ChaCha12 RNG stream they
+//! [`HazardKernel`] owns all of them — plus the `ChaCha12` RNG stream they
 //! draw from — so the simulators reduce to *policies over the kernel*:
 //!
 //! - the pool simulators implement [`PoolPolicy`] (state transitions, loss
@@ -70,7 +70,7 @@ pub struct NoopObserver;
 
 impl SimObserver for NoopObserver {}
 
-/// The shared hazard-process kernel: one ChaCha12 stream, state-dependent
+/// The shared hazard-process kernel: one `ChaCha12` stream, state-dependent
 /// [`FailureBias`] application, exact likelihood-ratio exposure/jump
 /// accounting, excursion bookkeeping, and horizon censoring.
 ///
@@ -111,6 +111,36 @@ impl HazardKernel {
             excursions: 0,
             excursion_weight: 0.0,
         }
+    }
+
+    /// A kernel seeded raw: `seed` feeds `ChaCha12Rng::seed_from_u64`
+    /// directly. This is the clustered pool simulator's historical
+    /// convention; the draw stream is bit-identical to pre-kernel code.
+    ///
+    /// Together with [`Self::from_seed_stream`] this keeps every RNG
+    /// construction inside this module — the `rng-confinement` lint
+    /// (`cargo xtask lint`) rejects `ChaCha`/`SeedableRng` anywhere else
+    /// in the simulators.
+    pub fn from_seed(seed: u64, bias: FailureBias, horizon_h: f64) -> HazardKernel {
+        use rand::SeedableRng as _;
+        HazardKernel::new(ChaCha12Rng::seed_from_u64(seed), bias, horizon_h)
+    }
+
+    /// A kernel seeded through the runner's [`mlec_runner::SeedStream`]
+    /// convention: the stream is labeled, and trial 0 of the derived
+    /// stream seeds the `ChaCha12` generator (the declustered-pool and
+    /// system simulators' convention).
+    pub fn from_seed_stream(
+        seed: u64,
+        label: &str,
+        bias: FailureBias,
+        horizon_h: f64,
+    ) -> HazardKernel {
+        HazardKernel::from_seed(
+            mlec_runner::SeedStream::new(seed, label).trial_seed(0),
+            bias,
+            horizon_h,
+        )
     }
 
     /// Current simulation clock, hours.

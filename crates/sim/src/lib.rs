@@ -16,7 +16,7 @@
 //! - [`census`]: the stripe-census model for declustered pools — expected
 //!   stripe counts by failure multiplicity, updated on failure/repair events
 //!   (this is what lets us track 10^9 stripes without materializing them).
-//! - [`repair`]: the four repair methods R_ALL / R_FCO / R_HYB / R_MIN with
+//! - [`repair`]: the four repair methods `R_ALL` / `R_FCO` / `R_HYB` / `R_MIN` with
 //!   cross-rack traffic and network/local repair-time accounting (Fig 8, 9).
 //! - [`importance`]: forced-failure importance sampling — state-dependent
 //!   rate multipliers with exact likelihood-ratio weights, so `pool_sim`

@@ -43,8 +43,6 @@ use crate::kernel::{
     run_pool_policy, FailureOutcome, HazardKernel, NoopObserver, PoolPolicy, SimObserver,
 };
 use mlec_topology::Placement;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 
 /// One catastrophic local-pool failure observed by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,8 +171,7 @@ pub fn simulate_pool_observed<O: SimObserver>(
             // The clustered simulator predates the seed-stream convention
             // and seeds its ChaCha12 stream raw; changing this would shift
             // every fixed-seed golden.
-            let rng = ChaCha12Rng::seed_from_u64(seed);
-            let mut kernel = HazardKernel::new(rng, bias, years * HOURS_PER_YEAR);
+            let mut kernel = HazardKernel::from_seed(seed, bias, years * HOURS_PER_YEAR);
             let mut policy = ClusteredPolicy::new(dep, failure_model);
             finish_pool_run(
                 run_pool_policy(&mut kernel, &mut policy, observer),
@@ -184,10 +181,12 @@ pub fn simulate_pool_observed<O: SimObserver>(
             )
         }
         Placement::Declustered => {
-            let rng = ChaCha12Rng::seed_from_u64(
-                mlec_runner::SeedStream::new(seed, "pool_sim/declustered").trial_seed(0),
+            let mut kernel = HazardKernel::from_seed_stream(
+                seed,
+                "pool_sim/declustered",
+                bias,
+                years * HOURS_PER_YEAR,
             );
-            let mut kernel = HazardKernel::new(rng, bias, years * HOURS_PER_YEAR);
             let mut policy = DeclusteredPolicy::new(dep, failure_model);
             finish_pool_run(
                 run_pool_policy(&mut kernel, &mut policy, observer),
@@ -636,7 +635,7 @@ mod tests {
             "1% AFR should be unobservable directly"
         );
         let bias = FailureBias::auto(&d, &model);
-        assert!(bias.degraded > 10.0, "auto bias={:?}", bias);
+        assert!(bias.degraded > 10.0, "auto bias={bias:?}");
         let biased = simulate_pool_biased(&d, &model, 500.0, 23, bias);
         assert!(
             !biased.events.is_empty(),

@@ -18,16 +18,16 @@ use mlec_topology::Placement;
 /// The four repair methods, from simplest to most optimized (§2.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RepairMethod {
-    /// R_ALL: rebuild the entire local pool over the network. Black-box
+    /// `R_ALL`: rebuild the entire local pool over the network. Black-box
     /// RBOD friendly, maximum traffic.
     All,
-    /// R_FCO: rebuild only the failed chunks over the network. Requires
+    /// `R_FCO`: rebuild only the failed chunks over the network. Requires
     /// cross-level failure reporting.
     Fco,
-    /// R_HYB: network repair for lost local stripes only; everything else
+    /// `R_HYB`: network repair for lost local stripes only; everything else
     /// repaired locally.
     Hyb,
-    /// R_MIN: two-stage — network-repair just enough chunks to make every
+    /// `R_MIN`: two-stage — network-repair just enough chunks to make every
     /// lost stripe locally recoverable, then finish locally.
     Min,
 }
@@ -52,7 +52,7 @@ impl RepairMethod {
     }
 
     /// Whether the network repairer knows which exact chunks are lost
-    /// (everything but R_ALL). Drives the §4.2.3 F#1 durability effect:
+    /// (everything but `R_ALL`). Drives the §4.2.3 F#1 durability effect:
     /// chunk knowledge lets the system survive `p_n + 1` catastrophic pools
     /// with no actually-lost network stripe.
     pub fn has_chunk_knowledge(&self) -> bool {

@@ -13,7 +13,7 @@
 //! exactly (asserted in tests), so the analytic model is the 1-flow special
 //! case of this scheduler.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a capacity-constrained link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,7 +41,7 @@ pub struct Flow {
 /// The arbiter: link capacities plus the active flow set.
 #[derive(Debug, Clone, Default)]
 pub struct Scheduler {
-    capacity: HashMap<LinkId, f64>,
+    capacity: BTreeMap<LinkId, f64>,
     flows: Vec<Flow>,
 }
 
@@ -88,12 +88,12 @@ impl Scheduler {
     /// Compute the max–min fair rebuilt-data rate (MB/s) per flow by
     /// progressive filling: repeatedly find the tightest link, freeze its
     /// flows at the equal-share rate, remove the consumed capacity, repeat.
-    pub fn allocate(&self) -> HashMap<u64, f64> {
-        let mut rates: HashMap<u64, f64> = HashMap::new();
+    pub fn allocate(&self) -> BTreeMap<u64, f64> {
+        let mut rates: BTreeMap<u64, f64> = BTreeMap::new();
         if self.flows.is_empty() {
             return rates;
         }
-        let mut remaining: HashMap<LinkId, f64> = self.capacity.clone();
+        let mut remaining: BTreeMap<LinkId, f64> = self.capacity.clone();
         let mut unfrozen: Vec<&Flow> = self.flows.iter().collect();
 
         while !unfrozen.is_empty() {
@@ -163,7 +163,7 @@ impl Scheduler {
                 let r = rates.get(&f.id).copied().unwrap_or(0.0);
                 (r > 0.0).then(|| f.volume_mb / r)
             })
-            .min_by(|a, b| a.total_cmp(b))
+            .min_by(f64::total_cmp)
     }
 
     /// Run all current flows to completion, returning `(id, finish_s)` in
@@ -199,7 +199,7 @@ pub fn paper_links(dep: &crate::config::MlecDeployment) -> Scheduler {
     s
 }
 
-/// Construct the flow of one catastrophic-pool network repair under R_ALL
+/// Construct the flow of one catastrophic-pool network repair under `R_ALL`
 /// semantics for the deployment's scheme: reads load `k_n` source racks
 /// (1 unit each per rebuilt byte), the write loads the target rack (or all
 /// racks when network-declustered).
@@ -382,7 +382,7 @@ mod tests {
         }
         let rates = s.allocate();
         // Sum of weighted loads per link never exceeds capacity.
-        let mut load: HashMap<LinkId, f64> = HashMap::new();
+        let mut load: BTreeMap<LinkId, f64> = BTreeMap::new();
         for f in s.flows() {
             let r = rates[&f.id];
             for &(l, w) in &f.demands {

@@ -34,9 +34,7 @@ use crate::kernel::{ArrivalSource, HazardKernel, NoopObserver, SimObserver};
 use crate::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
 use mlec_topology::Placement;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of one system simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -235,12 +233,15 @@ fn run_system<O: SimObserver>(
     opts: SystemSimOptions,
     observer: &mut O,
 ) -> SystemSimResult {
-    let rng =
-        ChaCha12Rng::seed_from_u64(mlec_runner::SeedStream::new(seed, "system_sim").trial_seed(0));
     // Unbiased kernel: with multiplier 1 the exposure/jump accounting is a
     // no-op and the arrival draws are bit-identical to raw sampling; the
     // kernel still owns the RNG stream and the failure counter.
-    let mut kernel = HazardKernel::new(rng, FailureBias::NONE, years * HOURS_PER_YEAR);
+    let mut kernel = HazardKernel::from_seed_stream(
+        seed,
+        "system_sim",
+        FailureBias::NONE,
+        years * HOURS_PER_YEAR,
+    );
     let pools = dep.local_pools();
     let num_pools = pools.num_pools();
     let d = pools.pool_size();
@@ -266,12 +267,12 @@ fn run_system<O: SimObserver>(
             / crate::bandwidth::single_disk_repair_bw_mbs(dep)
             / 3600.0;
 
-    let mut states: HashMap<u32, PoolState> = HashMap::new();
+    let mut states: BTreeMap<u32, PoolState> = BTreeMap::new();
     // Catastrophic pools under network repair. Entries are removed by their
     // `NetworkRepairDone` event; at equal timestamps the completion pops
     // before the arrival (FIFO tie-break on insertion order), so an arrival
     // never sees a repair that finished at its own timestamp.
-    let mut catastrophic_until: HashMap<u32, RepairInFlight> = HashMap::new();
+    let mut catastrophic_until: BTreeMap<u32, RepairInFlight> = BTreeMap::new();
 
     let mut catastrophic_pools = 0u64;
     let mut data_loss_events = 0u64;
@@ -444,7 +445,7 @@ fn run_system<O: SimObserver>(
         let in_loss_position = match dep.scheme.network {
             Placement::Clustered => {
                 let group_size = dep.network_width();
-                let mut slots: HashMap<(u32, u32), u32> = HashMap::new();
+                let mut slots: BTreeMap<(u32, u32), u32> = BTreeMap::new();
                 for &p in &overlapping {
                     let key = (
                         pools.rack_of_pool(p) / group_size,

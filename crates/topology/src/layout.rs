@@ -3,7 +3,7 @@
 
 use crate::geometry::{DiskId, Geometry, RackId};
 use crate::placement::LocalPoolMap;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A set of concurrently failed disks.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -35,8 +35,8 @@ impl FailureLayout {
     }
 
     /// Failed-disk count per rack (racks with zero failures omitted).
-    pub fn per_rack_counts(&self, geometry: &Geometry) -> HashMap<RackId, u32> {
-        let mut counts = HashMap::new();
+    pub fn per_rack_counts(&self, geometry: &Geometry) -> BTreeMap<RackId, u32> {
+        let mut counts = BTreeMap::new();
         for &d in &self.failed {
             *counts.entry(geometry.rack_of(d)).or_insert(0) += 1;
         }
@@ -49,8 +49,8 @@ impl FailureLayout {
     }
 
     /// Failed-disk count per local pool (pools with zero failures omitted).
-    pub fn per_pool_counts(&self, pools: &LocalPoolMap) -> HashMap<u32, u32> {
-        let mut counts = HashMap::new();
+    pub fn per_pool_counts(&self, pools: &LocalPoolMap) -> BTreeMap<u32, u32> {
+        let mut counts = BTreeMap::new();
         for &d in &self.failed {
             *counts.entry(pools.pool_of(d)).or_insert(0) += 1;
         }

@@ -137,7 +137,7 @@ impl ObjectMapper {
     }
 
     /// All `(kn+pn) x (kl+pl)` chunk locations of a network stripe — what a
-    /// repair coordinator enumerates when planning R_FCO/R_MIN reads.
+    /// repair coordinator enumerates when planning `R_FCO/R_MIN` reads.
     pub fn stripe_chunks(&self, network_stripe: u64) -> Vec<ChunkLocation> {
         let mut out =
             Vec::with_capacity((self.code.network_width() * self.code.local_width()) as usize);
@@ -224,7 +224,7 @@ impl ObjectMapper {
     }
 }
 
-/// SplitMix64 — a well-distributed 64-bit mixer.
+/// `SplitMix64` — a well-distributed 64-bit mixer.
 fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -249,8 +249,7 @@ fn distinct_sample(key: u64, n: u32, count: u32, index: u32) -> u32 {
         touched
             .iter()
             .find(|&&(k, _)| k == i)
-            .map(|&(_, v)| v)
-            .unwrap_or(i)
+            .map_or(i, |&(_, v)| v)
     };
     let mut result = 0;
     for step in 0..=index {

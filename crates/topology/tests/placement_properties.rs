@@ -100,7 +100,7 @@ fn objectmap_invariants() {
     }
 }
 
-/// locate() is consistent with stripe_chunks().
+/// `locate()` is consistent with `stripe_chunks()`.
 #[test]
 fn locate_agrees_with_stripe_enumeration() {
     for case in 0..CASES {

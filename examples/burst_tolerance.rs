@@ -27,7 +27,7 @@ fn main() {
         for scheme in MlecScheme::ALL {
             let system = MlecSystem::paper_default(scheme);
             let pdl = system.burst_pdl(y, x, 200, 0xb0b5);
-            print!(" {:>9.2e}", pdl);
+            print!(" {pdl:>9.2e}");
         }
         println!();
     }

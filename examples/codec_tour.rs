@@ -46,7 +46,7 @@ fn main() {
         .map(|row| row.iter().cloned().map(Some).collect())
         .collect();
     // Lose the entire first enclosure (rack R1): a lost local stripe.
-    for chunk in grid[0].iter_mut() {
+    for chunk in &mut grid[0] {
         *chunk = None;
     }
     // Plus a single chunk in row 1: locally recoverable.

@@ -93,7 +93,7 @@ fn mlec_reconstruct_exactness() {
             .map(|row| row.iter().cloned().map(Some).collect())
             .collect();
         // Erase pl chunks per row (always locally recoverable).
-        for row in grid.iter_mut() {
+        for row in &mut grid {
             let len = row.len();
             for i in 0..pl {
                 row[i * 2 % len] = None;

@@ -145,7 +145,7 @@ fn weighted_pool_campaign_resumes_from_manifest_bit_identically() {
 /// The runner-driven splitting stage 1 converges on the pool Markov chain:
 /// with an adaptive stop at 30% relative precision, the simulated
 /// catastrophic rate's 95% interval — widened by the documented sim-vs-chain
-/// model tolerance (0.4x..2.5x, see tests/sim_vs_model.rs) — brackets the
+/// model tolerance (0.4x..2.5x, see `tests/sim_vs_model.rs`) — brackets the
 /// analytic rate.
 #[test]
 fn stage1_through_runner_converges_to_markov_chain() {

@@ -1,0 +1,347 @@
+//! A minimal Rust lexer: just enough token structure for architectural
+//! lints — identifiers, punctuation, string/char/number literals, comments
+//! (kept, with text, for the SAFETY-comment lint), lifetimes — each tagged
+//! with its 1-based source line.
+//!
+//! The build environment is offline, so this replaces `syn`. It is *not* a
+//! full lexer (no floating-point literal gymnastics, no `macro_rules!`
+//! fragment awareness); it only promises that comments, strings and raw
+//! strings never leak tokens, which is what keeps the lints sound.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including raw `r#ident`, without the `r#`).
+    Ident(String),
+    /// Single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+    /// String literal content, quotes and prefixes stripped (`"x"`,
+    /// `r#"x"#`, `b"x"` all yield `Str("x")`).
+    Str(String),
+    /// Character, byte, or numeric literal (content irrelevant to lints).
+    Lit,
+    /// Comment, full text including delimiters (`//…` or `/*…*/`).
+    Comment(String),
+    /// Lifetime (`'a`), name irrelevant to lints.
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// Lex `src` into a token stream. Unterminated constructs lex to the end
+/// of input rather than erroring: lints prefer degraded output over
+/// refusing to scan a file.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    b: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.b.get(self.i).copied();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c.is_alphabetic() || c == '_' => self.ident_or_prefixed(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::Comment(text), line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        loop {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(c) = self.bump() {
+                text.push(c);
+            } else {
+                break; // unterminated
+            }
+        }
+        self.push(Tok::Comment(text), line);
+    }
+
+    /// A `"…"` string starting at the current `"`.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    content.push(c);
+                    if let Some(e) = self.bump() {
+                        content.push(e);
+                    }
+                }
+                _ => content.push(c),
+            }
+        }
+        self.push(Tok::Str(content), line);
+    }
+
+    /// A raw string starting at the current `#`-or-`"` (prefix `r`/`br`
+    /// already consumed by the caller).
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut content = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Need `hashes` consecutive '#' to close.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        content.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            content.push(c);
+        }
+        self.push(Tok::Str(content), line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then to closing '.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Lit, line);
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // `'a'` is a char literal, `'a` (no closing quote after the
+                // identifier) is a lifetime.
+                let mut k = 0usize;
+                while matches!(self.peek(k), Some(c) if c.is_alphanumeric() || c == '_') {
+                    k += 1;
+                }
+                if self.peek(k) == Some('\'') {
+                    for _ in 0..=k {
+                        self.bump();
+                    }
+                    self.push(Tok::Lit, line);
+                } else {
+                    for _ in 0..k {
+                        self.bump();
+                    }
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            Some(_) => {
+                // `'('` and friends: char literal.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::Lit, line);
+            }
+            None => self.push(Tok::Lit, line),
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        // Digits plus alphanumeric suffix chars; dots are left to punct
+        // (`1.5` lexes as Lit '.' Lit — harmless for these lints).
+        while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        self.push(Tok::Lit, line);
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            name.push(self.peek(0).unwrap());
+            self.bump();
+        }
+        match (name.as_str(), self.peek(0)) {
+            // Raw / byte string prefixes.
+            ("r" | "br" | "b", Some('"')) => self.prefixed_string(&name),
+            ("r" | "br", Some('#')) => {
+                // `r#"…"#` raw string vs `r#ident` raw identifier.
+                if matches!(self.peek(1), Some(c) if c == '"' || c == '#') {
+                    self.raw_string();
+                } else {
+                    self.bump(); // the #
+                    let mut raw = String::new();
+                    while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                        raw.push(self.peek(0).unwrap());
+                        self.bump();
+                    }
+                    self.push(Tok::Ident(raw), line);
+                }
+            }
+            // Byte char literal `b'x'`.
+            ("b", Some('\'')) => {
+                self.char_or_lifetime();
+                // Rewrite the just-pushed token's line (it is a Lit).
+                if let Some(last) = self.out.last_mut() {
+                    last.line = line;
+                }
+            }
+            _ => self.push(Tok::Ident(name), line),
+        }
+    }
+
+    fn prefixed_string(&mut self, prefix: &str) {
+        if prefix.starts_with('r') || prefix == "br" {
+            self.raw_string();
+        } else {
+            self.string();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r###"
+            // HashMap in a comment
+            /* nested /* HashMap */ still comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" string"#;
+            let real = BTreeMap::new();
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn string_contents_are_kept() {
+        let toks = lex(r#"ctx.u64("trials")"#);
+        assert!(toks.iter().any(|t| t.tok == Tok::Str("trials".to_string())));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_in_string() {
+        let ids = idents(r#"let x = "a \" HashMap"; keep"#);
+        assert_eq!(ids, vec!["let", "x", "keep"]);
+    }
+}

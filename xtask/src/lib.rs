@@ -1,0 +1,56 @@
+//! In-tree static analysis for the mlec workspace.
+//!
+//! `cargo xtask lint` runs a registry of architectural lints (L1–L5, see
+//! DESIGN.md "Enforced invariants") over the production sources and fails
+//! on any finding not suppressed — with a reason — in `lints.allow.toml`.
+//!
+//! The engine is dependency-free by necessity (the build environment has
+//! no crates.io registry): a minimal hand-rolled lexer ([`lexer`]) stands
+//! in for `syn`, and the lints operate on token streams with
+//! `#[cfg(test)]` masking rather than a full AST. That is enough for the
+//! invariants enforced here, which are all "this name must not appear in
+//! this scope" or small structural patterns.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+use diag::Diagnostic;
+use std::path::Path;
+
+/// Engine-level failure (bad workspace, malformed allow file) — distinct
+/// from lint findings, and mapped to exit code 2 by the CLI.
+#[derive(Debug)]
+pub struct EngineError(pub String);
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Run every registered lint over the workspace at `root`, apply the
+/// suppressions in `<root>/lints.allow.toml` (if present), and return the
+/// surviving diagnostics sorted by path, line, and lint name.
+pub fn run_lints(root: &Path) -> Result<Vec<Diagnostic>, EngineError> {
+    let ws = source::Workspace::load(root)
+        .map_err(|e| EngineError(format!("loading workspace at {}: {e}", root.display())))?;
+    let mut diags = Vec::new();
+    for lint in lints::all() {
+        lint.check(&ws, &mut diags);
+    }
+    let allow_path = root.join("lints.allow.toml");
+    let known = lints::known_names();
+    let allow = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| EngineError(format!("reading {}: {e}", allow_path.display())))?;
+        allow::AllowFile::parse(&text, &known).map_err(|e| EngineError(e.to_string()))?
+    } else {
+        allow::AllowFile::default()
+    };
+    let mut kept = allow.apply(diags);
+    kept.sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
+    Ok(kept)
+}

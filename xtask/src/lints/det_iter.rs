@@ -1,0 +1,59 @@
+//! L3 `deterministic-iteration`: `std::collections::HashMap`/`HashSet`
+//! iteration order is randomized per process (`SipHash` with a random
+//! key), so any result that iterates one — even only to sum floats —
+//! silently loses bit-identical reproducibility. Rather than attempt
+//! reachability analysis, the lint bans the types outright in every
+//! crate that produces results (`sim`, `analysis`, `core`, `topology`):
+//! `BTreeMap`/`BTreeSet` iterate in key order, and the few lookup-only
+//! maps that genuinely need hashing can be suppressed in
+//! `lints.allow.toml` with a reason.
+
+use super::Lint;
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::Workspace;
+
+const FORBIDDEN: &[&str] = &["HashMap", "HashSet"];
+
+const SCOPE: &[&str] = &[
+    "crates/sim/src/",
+    "crates/analysis/src/",
+    "crates/core/src/",
+    "crates/topology/src/",
+];
+
+/// L3: no nondeterministically ordered collections in result paths.
+pub struct DeterministicIteration;
+
+impl Lint for DeterministicIteration {
+    fn name(&self) -> &'static str {
+        "deterministic-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet in result-producing crates (iteration order breaks goldens)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+                continue;
+            }
+            for (_, t) in file.code() {
+                if let Tok::Ident(name) = &t.tok {
+                    if FORBIDDEN.contains(&name.as_str()) {
+                        out.push(Diagnostic {
+                            lint: self.name(),
+                            path: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`{name}` has randomized iteration order; use BTreeMap/BTreeSet \
+                                 (or sorted iteration) so fixed-seed results stay bit-identical"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

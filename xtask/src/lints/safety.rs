@@ -1,0 +1,116 @@
+//! L4 `safety-comment`: every `unsafe` block, function, impl, or trait
+//! must carry an attached `// SAFETY:` comment (or `# Safety` doc
+//! section) justifying it, and every crate containing unsafe code must
+//! opt into `#![deny(unsafe_op_in_unsafe_fn)]` so operations inside
+//! `unsafe fn` still need their own block and justification.
+//!
+//! Attachment rule: walking backwards from the `unsafe` keyword, a
+//! comment containing the marker must appear before any statement
+//! boundary (`;`, `{`, `}`) — i.e. the comment sits on the statement or
+//! item that introduces the unsafe code. Test code is policed too:
+//! unsound test scaffolding invalidates exactly the guarantees the
+//! suite exists to check.
+
+use super::Lint;
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::{SourceFile, Workspace};
+use std::collections::BTreeMap;
+
+/// L4: SAFETY comments on unsafe code + `unsafe_op_in_unsafe_fn`.
+pub struct SafetyComments;
+
+impl Lint for SafetyComments {
+    fn name(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "unsafe code needs // SAFETY: comments and #![deny(unsafe_op_in_unsafe_fn)]"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // crate root rel-path -> first file containing unsafe code.
+        let mut unsafe_crates: BTreeMap<String, String> = BTreeMap::new();
+        for file in &ws.files {
+            for (i, t) in file.tokens.iter().enumerate() {
+                if matches!(&t.tok, Tok::Ident(s) if s == "unsafe") {
+                    if let Some(root) = crate_root(&file.rel) {
+                        unsafe_crates
+                            .entry(root)
+                            .or_insert_with(|| file.rel.clone());
+                    }
+                    if !has_attached_safety_comment(file, i) {
+                        out.push(Diagnostic {
+                            lint: self.name(),
+                            path: file.rel.clone(),
+                            line: t.line,
+                            message: "`unsafe` without an attached `// SAFETY:` comment \
+                                      justifying why the invariants hold"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        for (root, witness) in unsafe_crates {
+            let denied = ws.file(&root).is_some_and(denies_unsafe_op);
+            if !denied {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    path: root.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate contains unsafe code ({witness}) but its root does not declare \
+                         #![deny(unsafe_op_in_unsafe_fn)]"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The crate-root file owning `rel` (`crates/X/src/lib.rs` or
+/// `src/lib.rs`).
+fn crate_root(rel: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let krate = rest.split('/').next()?;
+        return Some(format!("crates/{krate}/src/lib.rs"));
+    }
+    if rel.starts_with("src/") {
+        return Some("src/lib.rs".to_string());
+    }
+    None
+}
+
+/// Does the crate root carry `deny(... unsafe_op_in_unsafe_fn ...)`?
+fn denies_unsafe_op(root: &SourceFile) -> bool {
+    let sig: Vec<&Tok> = root
+        .tokens
+        .iter()
+        .map(|t| &t.tok)
+        .filter(|t| !matches!(t, Tok::Comment(_)))
+        .collect();
+    sig.iter().enumerate().any(|(i, t)| {
+        matches!(t, Tok::Ident(s) if s == "unsafe_op_in_unsafe_fn")
+            && sig[i.saturating_sub(4)..i]
+                .iter()
+                .any(|p| matches!(p, Tok::Ident(s) if s == "deny"))
+    })
+}
+
+/// Walk backwards from the `unsafe` token at `idx`: accept if a comment
+/// containing `SAFETY` or `# Safety` appears before any `;`/`{`/`}`.
+fn has_attached_safety_comment(file: &SourceFile, idx: usize) -> bool {
+    for t in file.tokens[..idx].iter().rev() {
+        match &t.tok {
+            Tok::Comment(text) if text.contains("SAFETY") || text.contains("# Safety") => {
+                return true;
+            }
+            Tok::Comment(_) => {}
+            Tok::Punct(';' | '{' | '}') => return false,
+            _ => {}
+        }
+    }
+    false
+}

@@ -1,0 +1,278 @@
+//! Source model for the lint engine: lexed files with `#[cfg(test)]`
+//! masking, and the workspace walker that decides what gets linted.
+
+use crate::lexer::{lex, Tok, Token};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` — token `i` belongs to a `#[cfg(test)]`- or
+    /// `#[test]`-gated item (lints about production determinism skip
+    /// these regions).
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lex `src` under the given workspace-relative path.
+    pub fn parse(rel: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let test_mask = test_mask(&tokens);
+        SourceFile {
+            rel: rel.to_string(),
+            tokens,
+            test_mask,
+        }
+    }
+
+    /// Significant tokens (no comments) outside test regions, with their
+    /// indices into `self.tokens`.
+    pub fn code(&self) -> Vec<(usize, &Token)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !self.test_mask[*i] && !matches!(t.tok, Tok::Comment(_)))
+            .collect()
+    }
+}
+
+/// Compute the test mask: any item (through its full brace/semicolon
+/// extent) whose attributes mention `test` — `#[cfg(test)]`,
+/// `#[cfg(any(test, …))]`, `#[test]` — is masked, attributes included.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        // Inner attribute `#![…]` applies to the enclosing module/crate,
+        // never gates the next item; skip over it.
+        let inner = matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('!')));
+        if inner {
+            j += 1;
+        }
+        if !matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('['))) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, mut gated) = scan_attr(tokens, j);
+        if inner {
+            gated = false;
+        }
+        if !gated {
+            i = attr_end;
+            continue;
+        }
+        // Consume any further attributes, then the gated item itself.
+        let mut k = attr_end;
+        while matches!(tokens.get(k).map(|t| &t.tok), Some(Tok::Punct('#')))
+            && matches!(tokens.get(k + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            let (next_end, _) = scan_attr(tokens, k + 1);
+            k = next_end;
+        }
+        let item_end = scan_item(tokens, k);
+        for m in mask.iter_mut().take(item_end).skip(attr_start) {
+            *m = true;
+        }
+        i = item_end;
+    }
+    mask
+}
+
+/// Scan a bracketed attribute starting at the `[` at index `open`.
+/// Returns `(index past the closing ], attribute mentions `test`)`.
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, has_test);
+                }
+            }
+            Tok::Ident(s) if s == "test" || s == "miri" => has_test = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, has_test)
+}
+
+/// Scan one item starting at `start`: ends at the first `;` at brace depth
+/// zero, or at the `}` closing the first opened brace. Returns the index
+/// one past the end.
+fn scan_item(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The workspace under analysis: every `.rs` file below `crates/*/src/`
+/// plus the root crate's `src/`. `compat/` (vendored offline stand-ins
+/// for crates.io) and `xtask/` itself are intentionally out of scope, as
+/// are test/bench/example targets — per-lint path scoping narrows
+/// further.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Root directory the `rel` paths are relative to.
+    pub root: PathBuf,
+    /// Loaded files, sorted by `rel` (deterministic lint output).
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Load the lintable files under `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in sorted_dir(&crates_dir)? {
+                let src = entry.join("src");
+                if src.is_dir() {
+                    load_tree(root, &src, &mut files)?;
+                }
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            load_tree(root, &root_src, &mut files)?;
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The loaded file at exactly this relative path, if any.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn load_tree(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for path in sorted_dir(dir)? {
+        if path.is_dir() {
+            load_tree(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("path under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = std::fs::read_to_string(&path)?;
+            out.push(SourceFile::parse(&rel, &src));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "pub fn real() { HashMap::new(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { HashSet::new(); }\n}\n",
+        );
+        let visible: Vec<&str> = f
+            .code()
+            .iter()
+            .filter_map(|(_, t)| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(visible.contains(&"HashMap"));
+        assert!(!visible.contains(&"HashSet"));
+    }
+
+    #[test]
+    fn test_attribute_masks_single_fn() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "#[test]\nfn t() { Instant::now(); }\nfn real() { keep(); }\n",
+        );
+        let visible: Vec<&str> = f
+            .code()
+            .iter()
+            .filter_map(|(_, t)| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!visible.contains(&"Instant"));
+        assert!(visible.contains(&"keep"));
+    }
+
+    #[test]
+    fn inner_deny_attr_does_not_mask_file() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "#![deny(unsafe_op_in_unsafe_fn)]\nfn real() { body(); }\n",
+        );
+        let visible = f.code().len();
+        assert!(visible > 3, "inner attribute must not gate the file");
+    }
+
+    #[test]
+    fn cfg_test_use_statement_is_masked() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nuse std::collections::HashMap;\nfn real() {}\n",
+        );
+        let visible: Vec<&str> = f
+            .code()
+            .iter()
+            .filter_map(|(_, t)| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!visible.contains(&"HashMap"));
+        assert!(visible.contains(&"real"));
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a real violation suppressed by the adjacent allow file.
+
+pub fn simulate() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

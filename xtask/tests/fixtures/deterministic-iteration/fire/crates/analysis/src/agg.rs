@@ -1,0 +1,11 @@
+//! Fixture: HashMap in a result-producing crate.
+
+use std::collections::HashMap;
+
+pub fn aggregate(samples: &[(u32, f64)]) -> f64 {
+    let mut by_rack: HashMap<u32, f64> = HashMap::new();
+    for (rack, pdl) in samples {
+        *by_rack.entry(*rack).or_insert(0.0) += pdl;
+    }
+    by_rack.values().sum()
+}

@@ -1,0 +1,23 @@
+//! Fixture near-miss: BTreeMap in scope, HashMap only in test code.
+
+use std::collections::BTreeMap;
+
+pub fn aggregate(samples: &[(u32, f64)]) -> f64 {
+    let mut by_rack: BTreeMap<u32, f64> = BTreeMap::new();
+    for (rack, pdl) in samples {
+        *by_rack.entry(*rack).or_insert(0.0) += pdl;
+    }
+    by_rack.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_map_in_tests_is_fine() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture near-miss: HashMap in a crate outside the result-path scope
+//! (viz renders, it does not produce result artifacts).
+
+use std::collections::HashMap;
+
+pub fn color_cache() -> HashMap<u32, [u8; 3]> {
+    HashMap::new()
+}

@@ -1,0 +1,7 @@
+//! Fixture: reads the wall clock and the environment in a result path.
+
+pub fn simulate() -> u64 {
+    let t0 = std::time::Instant::now();
+    let bump: u64 = std::env::var("SIM_BUMP").unwrap().parse().unwrap();
+    t0.elapsed().as_nanos() as u64 + bump
+}

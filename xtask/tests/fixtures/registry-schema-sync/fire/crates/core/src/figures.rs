@@ -1,0 +1,27 @@
+//! Fixture: the run fn reads `samples` (through a helper) but the schema
+//! declares only `max` and `seed`.
+
+static FIG99_INFO: ExperimentInfo = ExperimentInfo {
+    name: "fig99",
+    title: "Figure 99",
+    description: "fixture",
+    paper_ref: "none",
+    modes: &[Mode::Sim],
+    params: params![
+        ("max", U64, "60", "grid limit"),
+        ("seed", U64, "42", "root seed")
+    ],
+    fast: &[],
+};
+
+fn spec(ctx: &ExperimentCtx) -> (u64, u64) {
+    (ctx.u64("max"), ctx.u64("samples"))
+}
+
+fn run_fig99(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
+    let (max, samples) = spec(ctx);
+    let seed = ctx.u64("seed");
+    Ok(render(max, samples, seed))
+}
+
+experiment!(Fig99, FIG99_INFO, run_fig99);

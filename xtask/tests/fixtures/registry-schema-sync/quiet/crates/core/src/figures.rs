@@ -1,0 +1,46 @@
+//! Fixture near-miss: every read — direct, through a helper, and through
+//! a shared `&[ParamSpec]` static reference — is declared.
+
+static SHARED_PARAMS: &[ParamSpec] = params![
+    ("max", U64, "60", "grid limit"),
+    ("samples", U64, "100", "samples per cell"),
+    ("seed", U64, "42", "root seed")
+];
+
+static FIG98_INFO: ExperimentInfo = ExperimentInfo {
+    name: "fig98",
+    title: "Figure 98",
+    description: "fixture",
+    paper_ref: "none",
+    modes: &[Mode::Sim],
+    params: SHARED_PARAMS,
+    fast: &[],
+};
+
+static FIG99_INFO: ExperimentInfo = ExperimentInfo {
+    name: "fig99",
+    title: "Figure 99",
+    description: "fixture",
+    paper_ref: "none",
+    modes: &[Mode::Sim],
+    params: params![("bias", Bias, "none", "failure bias")],
+    fast: &[],
+};
+
+fn spec(ctx: &ExperimentCtx) -> (u64, u64) {
+    (ctx.u64("max"), ctx.u64("samples"))
+}
+
+fn run_fig98(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
+    let (max, samples) = spec(ctx);
+    let seed = ctx.u64("seed");
+    Ok(render(max, samples, seed))
+}
+
+fn run_fig99(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
+    let bias = ctx.bias();
+    Ok(render_bias(bias))
+}
+
+experiment!(Fig98, FIG98_INFO, run_fig98);
+experiment!(Fig99, FIG99_INFO, run_fig99);

@@ -1,0 +1,6 @@
+//! Fixture: constructs an RNG stream outside the hazard kernel.
+
+pub fn simulate(seed: u64) -> f64 {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    sample_exponential(&mut rng, 1.0)
+}

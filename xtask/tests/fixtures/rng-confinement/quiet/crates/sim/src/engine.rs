@@ -1,0 +1,15 @@
+//! Fixture near-miss: forbidden names appear only in a comment and in
+//! test code — neither is a violation.
+
+// Draw order is owned by the kernel; do NOT construct a ChaCha12Rng here.
+pub fn simulate(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_stream() {
+        let _rng = ChaCha12Rng::seed_from_u64(7);
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture crate root: contains unsafe code but no
+//! deny(unsafe_op_in_unsafe_fn) attribute.
+
+pub mod slice;

@@ -1,0 +1,6 @@
+//! Fixture: an unsafe block with no attached SAFETY comment.
+
+pub fn read_first(bytes: &[u8]) -> u64 {
+    assert!(bytes.len() >= 8);
+    unsafe { bytes.as_ptr().cast::<u64>().read_unaligned() }
+}

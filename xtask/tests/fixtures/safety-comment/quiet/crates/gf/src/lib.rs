@@ -1,0 +1,5 @@
+//! Fixture crate root with the required deny attribute.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod slice;

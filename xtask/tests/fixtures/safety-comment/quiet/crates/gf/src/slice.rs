@@ -1,0 +1,8 @@
+//! Fixture near-miss: the same unsafe block, properly justified.
+
+pub fn read_first(bytes: &[u8]) -> u64 {
+    assert!(bytes.len() >= 8);
+    // SAFETY: the assert above guarantees at least 8 readable bytes, and
+    // read_unaligned has no alignment requirement.
+    unsafe { bytes.as_ptr().cast::<u64>().read_unaligned() }
+}

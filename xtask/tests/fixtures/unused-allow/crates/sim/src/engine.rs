@@ -1,0 +1,5 @@
+//! Fixture: clean code under an allow file whose entry matches nothing.
+
+pub fn simulate(seed: u64) -> u64 {
+    seed.rotate_left(13)
+}
