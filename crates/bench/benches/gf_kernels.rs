@@ -1,65 +1,65 @@
 //! Microbenchmarks of the GF(2^8) substrate: the slice kernels that bound
 //! encoding throughput (Fig 11's inner loop) and the matrix operations
-//! behind decode planning. Run with `cargo bench --bench gf_kernels`.
+//! behind decode planning. Run with `cargo bench --bench gf_kernels`;
+//! `-- --fast --check BENCH_gf.json` gates against the committed
+//! baseline, `-- --json BENCH_gf.json` refreshes it.
 
-use mlec_bench::microbench::{bench, black_box, Group};
+use mlec_bench::microbench::{black_box, Harness};
 use mlec_gf::matrix::Matrix;
 use mlec_gf::slice::{mul_add_slice, mul_slice, xor_slice};
 
-fn bench_mul_add_slice() {
-    let group = Group::new("gf_mul_add_slice");
+fn bench_mul_add_slice(h: &mut Harness) {
     for size in [4 * 1024, 128 * 1024, 1024 * 1024] {
         let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         let mut out = vec![0u8; size];
-        group.bench_bytes(&size.to_string(), size as u64, || {
+        h.bench_bytes(&format!("gf_mul_add_slice/{size}"), size as u64, || {
             mul_add_slice(black_box(0x57), black_box(&input), black_box(&mut out));
         });
     }
 }
 
-fn bench_xor_slice() {
-    let group = Group::new("gf_xor_slice");
+fn bench_xor_slice(h: &mut Harness) {
     let size = 128 * 1024;
     let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
     let mut out = vec![0u8; size];
-    group.bench_bytes("128KiB", size as u64, || {
+    h.bench_bytes("gf_xor_slice/128KiB", size as u64, || {
         xor_slice(black_box(&input), black_box(&mut out));
     });
 }
 
-fn bench_mul_slice() {
-    let group = Group::new("gf_mul_slice");
+fn bench_mul_slice(h: &mut Harness) {
     let size = 128 * 1024;
     let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
     let mut out = vec![0u8; size];
-    group.bench_bytes("128KiB", size as u64, || {
+    h.bench_bytes("gf_mul_slice/128KiB", size as u64, || {
         mul_slice(black_box(0x8e), black_box(&input), black_box(&mut out));
     });
 }
 
-fn bench_matrix_invert() {
-    let group = Group::new("gf_matrix_invert");
+fn bench_matrix_invert(h: &mut Harness) {
     for n in [10usize, 20, 50] {
         // Cauchy matrices are always invertible.
         let m = Matrix::cauchy(n, n);
-        group.bench(&n.to_string(), || {
+        h.bench(&format!("gf_matrix_invert/{n}"), || {
             black_box(black_box(&m).invert().unwrap());
         });
     }
 }
 
-fn bench_matrix_rank() {
+fn bench_matrix_rank(h: &mut Harness) {
     // The LRC decodability hot path: rank of a survivors x k matrix.
     let m = Matrix::vandermonde(20, 14);
-    bench("gf_matrix_rank_20x14", || {
+    h.bench("gf_matrix_rank/20x14", || {
         black_box(black_box(&m).rank());
     });
 }
 
-fn main() {
-    bench_mul_add_slice();
-    bench_xor_slice();
-    bench_mul_slice();
-    bench_matrix_invert();
-    bench_matrix_rank();
+fn main() -> std::process::ExitCode {
+    let mut h = Harness::from_args();
+    bench_mul_add_slice(&mut h);
+    bench_xor_slice(&mut h);
+    bench_mul_slice(&mut h);
+    bench_matrix_invert(&mut h);
+    bench_matrix_rank(&mut h);
+    h.finish()
 }

@@ -1,0 +1,83 @@
+//! Microbenchmarks of the `mlec-store` serving path: stripe encoding,
+//! the put/get fast paths (cached and uncached), degraded reads, and a
+//! short end-to-end trace replay. Run with `cargo bench --bench store`;
+//! `-- --fast --check BENCH_store.json` gates against the committed
+//! baseline, `-- --json BENCH_store.json` refreshes it.
+//!
+//! These time the *code* (map lookups, cache, GF decode, arbiter math) —
+//! op latencies inside the store remain virtual and deterministic.
+
+use mlec_bench::microbench::{black_box, Harness};
+use mlec_runner::SeedStream;
+use mlec_store::{payload_for, run_store_bench, BenchSpec, MemBackend, MlecStore, StoreConfig};
+
+fn store_with(cache_chunks: usize) -> MlecStore<MemBackend> {
+    let mut cfg = StoreConfig::small_test();
+    cfg.cache_chunks = cache_chunks;
+    MlecStore::new(cfg, MemBackend::new()).unwrap()
+}
+
+fn main() -> std::process::ExitCode {
+    let mut h = Harness::from_args();
+    let pay = SeedStream::new(42, "bench/store");
+    let cfg = StoreConfig::small_test();
+    let plen = cfg.payload_bytes();
+    let payload = payload_for(&pay, 0, 0, plen);
+
+    h.bench_bytes("store_payload_synth/32KiB", plen as u64, || {
+        black_box(payload_for(black_box(&pay), 1, 0, plen));
+    });
+
+    let encoder = store_with(0);
+    h.bench_bytes("store_encode/32KiB", plen as u64, || {
+        black_box(encoder.encode_payload(black_box(&payload)).unwrap());
+    });
+
+    let mut store = store_with(0);
+    let stripe = store.encode_payload(&payload).unwrap();
+    let mut now = 0u64;
+    h.bench_bytes("store_put_encoded/32KiB", plen as u64, || {
+        now += 1_000;
+        black_box(store.put_encoded(0, black_box(&stripe), now).unwrap());
+    });
+
+    let mut uncached = store_with(0);
+    uncached.put(7, &payload, 0).unwrap();
+    h.bench_bytes("store_get/uncached/32KiB", plen as u64, || {
+        now += 1_000;
+        black_box(uncached.get(7, now).unwrap());
+    });
+
+    let mut cached = store_with(4096);
+    cached.put(7, &payload, 0).unwrap();
+    h.bench_bytes("store_get/cached/32KiB", plen as u64, || {
+        now += 1_000;
+        black_box(cached.get(7, now).unwrap());
+    });
+
+    let mut degraded = store_with(0);
+    degraded.put(7, &payload, 0).unwrap();
+    // Kill whole racks until one of the object's rows is actually lost
+    // (stopping at the first hit keeps the stripe within tolerance).
+    let geometry = degraded.config().geometry;
+    for rack in 0..geometry.racks {
+        if degraded.lost_chunks() > 0 {
+            break;
+        }
+        let kill: Vec<u32> = geometry.disks_in_rack(rack).collect();
+        degraded.kill_disks(&kill, 1_000);
+    }
+    assert!(degraded.get(7, 2_000).unwrap().degraded);
+    h.bench_bytes("store_get/degraded/32KiB", plen as u64, || {
+        now += 1_000;
+        black_box(degraded.get(7, now).unwrap());
+    });
+
+    let mut spec = BenchSpec::small(200);
+    spec.load.objects = 32;
+    h.bench("store_replay/200ops", || {
+        black_box(run_store_bench(black_box(&spec)).unwrap());
+    });
+
+    h.finish()
+}

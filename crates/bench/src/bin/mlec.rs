@@ -28,7 +28,9 @@ fn usage() {
 }
 
 fn list() {
-    let rows: Vec<Vec<String>> = REGISTRY
+    // Sorted by name so the listing is stable as the registry grows
+    // (REGISTRY itself stays in the paper's presentation order).
+    let mut rows: Vec<Vec<String>> = REGISTRY
         .iter()
         .map(|exp| {
             let info = exp.info();
@@ -44,6 +46,7 @@ fn list() {
             ]
         })
         .collect();
+    rows.sort();
     print!(
         "{}",
         ascii_table(&["name", "modes", "title", "description"], &rows)
@@ -53,7 +56,12 @@ fn list() {
 
 fn info(name: &str) -> ExitCode {
     let Some(exp) = registry::find(name) else {
-        eprintln!("error: unknown experiment `{name}` (run `mlec list`)");
+        match registry::suggest(name) {
+            Some(s) => eprintln!(
+                "error: unknown experiment `{name}` — did you mean `{s}`? (run `mlec list`)"
+            ),
+            None => eprintln!("error: unknown experiment `{name}` (run `mlec list`)"),
+        }
         return ExitCode::from(2);
     };
     let info = exp.info();

@@ -2,13 +2,27 @@
 //! targets (`harness = false`): warm up, size the batch to a target wall
 //! time, time several batches, and report the median ns/iter (plus MB/s
 //! when a byte throughput is declared). No external framework needed.
+//!
+//! Baseline-tracked targets use [`Harness`], which adds three flags after
+//! `cargo bench --bench <name> --`:
+//!
+//! - `--fast` — shorter batches (CI smoke budget);
+//! - `--json PATH` — dump `{name: ns_per_iter}` results as JSON;
+//! - `--check PATH` — compare against a committed baseline and exit
+//!   non-zero on a > `--max-regress` percent slowdown (default 25).
 
+use mlec_runner::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// Batches timed per measurement; the median is reported.
 const BATCHES: usize = 7;
 /// Target wall time per batch, seconds.
 const BATCH_SECONDS: f64 = 0.05;
+/// `--fast` budgets: fewer batches, shorter wall time each.
+const FAST_BATCHES: usize = 5;
+const FAST_BATCH_SECONDS: f64 = 0.02;
 
 /// Re-export of the optimizer barrier the closures should wrap their
 /// results in.
@@ -56,19 +70,28 @@ pub fn bench<F: FnMut()>(name: &str, f: F) {
     println!("{:<40} {:>14} ns/iter", name, group_digits(ns));
 }
 
-fn time_ns_per_iter<F: FnMut()>(mut f: F) -> u64 {
+fn time_ns_per_iter<F: FnMut()>(f: F) -> u64 {
+    samples_with_budget(f, BATCHES, BATCH_SECONDS)[BATCHES / 2]
+}
+
+fn time_min_with_budget<F: FnMut()>(f: F, batches: usize, batch_seconds: f64) -> u64 {
+    samples_with_budget(f, batches, batch_seconds)[0]
+}
+
+/// Sorted per-batch ns/iter samples under the given budget.
+fn samples_with_budget<F: FnMut()>(mut f: F, batches: usize, batch_seconds: f64) -> Vec<u64> {
     // Warm up and estimate a single iteration.
     let start = Instant::now();
     let mut warmup_iters = 0u64;
-    while start.elapsed().as_secs_f64() < BATCH_SECONDS / 2.0 || warmup_iters < 3 {
+    while start.elapsed().as_secs_f64() < batch_seconds / 2.0 || warmup_iters < 3 {
         f();
         warmup_iters += 1;
     }
     let est = start.elapsed().as_secs_f64() / warmup_iters as f64;
-    let per_batch = ((BATCH_SECONDS / est) as u64).max(1);
+    let per_batch = ((batch_seconds / est) as u64).max(1);
 
-    let mut samples = Vec::with_capacity(BATCHES);
-    for _ in 0..BATCHES {
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
         let t = Instant::now();
         for _ in 0..per_batch {
             f();
@@ -76,7 +99,153 @@ fn time_ns_per_iter<F: FnMut()>(mut f: F) -> u64 {
         samples.push(t.elapsed().as_nanos() as u64 / per_batch);
     }
     samples.sort_unstable();
-    samples[BATCHES / 2]
+    samples
+}
+
+/// A baseline-tracked bench binary: records every measurement by name,
+/// optionally dumps them as JSON, and optionally gates against a
+/// committed baseline file.
+pub struct Harness {
+    fast: bool,
+    json: Option<PathBuf>,
+    check: Option<PathBuf>,
+    max_regress_pct: f64,
+    results: Vec<(String, u64)>,
+}
+
+impl Harness {
+    /// Parse the process arguments (`--fast`, `--json PATH`,
+    /// `--check PATH`, `--max-regress PCT`). Unknown flags — such as the
+    /// `--bench` cargo forwards — are ignored.
+    pub fn from_args() -> Harness {
+        let mut h = Harness {
+            fast: false,
+            json: None,
+            check: None,
+            max_regress_pct: 25.0,
+            results: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--fast" => h.fast = true,
+                "--json" => h.json = Some(PathBuf::from(args.next().expect("--json PATH"))),
+                "--check" => h.check = Some(PathBuf::from(args.next().expect("--check PATH"))),
+                "--max-regress" => {
+                    h.max_regress_pct = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-regress PCT");
+                }
+                _ => {}
+            }
+        }
+        h
+    }
+
+    /// Time `f`, print ns/iter, and record it under `name`.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
+        let ns = self.measure(f);
+        println!("{name:<40} {:>14} ns/iter", group_digits(ns));
+        self.results.push((name.to_string(), ns));
+    }
+
+    /// Like [`Harness::bench`], also printing MB/s for `bytes` per iter.
+    pub fn bench_bytes<F: FnMut()>(&mut self, name: &str, bytes: u64, f: F) {
+        let ns = self.measure(f);
+        let mbs = bytes as f64 / (ns as f64 / 1e9) / 1e6;
+        println!(
+            "{name:<40} {:>14} ns/iter {mbs:>10.0} MB/s",
+            group_digits(ns)
+        );
+        self.results.push((name.to_string(), ns));
+    }
+
+    /// Baseline-tracked measurements use the *minimum* over batches, not
+    /// the median: timing noise only ever inflates a batch, so the min is
+    /// the stable statistic to regression-gate on.
+    fn measure<F: FnMut()>(&self, f: F) -> u64 {
+        if self.fast {
+            time_min_with_budget(f, FAST_BATCHES, FAST_BATCH_SECONDS)
+        } else {
+            time_min_with_budget(f, BATCHES, BATCH_SECONDS)
+        }
+    }
+
+    /// Results recorded so far, in execution order.
+    pub fn results(&self) -> &[(String, u64)] {
+        &self.results
+    }
+
+    /// Dump (`--json`) and gate (`--check`), returning the process exit
+    /// code: failure iff any baseline comparison regressed beyond the
+    /// threshold or the baseline is unreadable.
+    pub fn finish(self) -> ExitCode {
+        if let Some(path) = &self.json {
+            let obj = Json::Obj(
+                self.results
+                    .iter()
+                    .map(|(n, ns)| (n.clone(), Json::U64(*ns)))
+                    .collect(),
+            );
+            if let Err(e) = std::fs::write(path, obj.to_string_pretty() + "\n") {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("\nresults written to {}", path.display());
+        }
+        let Some(path) = &self.check else {
+            return ExitCode::SUCCESS;
+        };
+        match self.check_against(path) {
+            Ok(()) => {
+                println!("baseline check passed ({})", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("regression: {f}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    fn check_against(&self, path: &PathBuf) -> Result<(), Vec<String>> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| vec![format!("cannot read baseline {}: {e}", path.display())])?;
+        let baseline = Json::parse(&text)
+            .map_err(|e| vec![format!("bad baseline {}: {e}", path.display())])?;
+        let Json::Obj(entries) = &baseline else {
+            return Err(vec![format!(
+                "{}: baseline must be an object",
+                path.display()
+            )]);
+        };
+        let mut failures = Vec::new();
+        for (name, value) in entries {
+            let Some(base_ns) = value.as_u64().filter(|&ns| ns > 0) else {
+                failures.push(format!("{name}: baseline entry is not a positive integer"));
+                continue;
+            };
+            let Some((_, ns)) = self.results.iter().find(|(n, _)| n == name) else {
+                failures.push(format!("{name}: in the baseline but not measured"));
+                continue;
+            };
+            let pct = (*ns as f64 / base_ns as f64 - 1.0) * 100.0;
+            if pct > self.max_regress_pct {
+                failures.push(format!(
+                    "{name}: {ns} ns/iter vs baseline {base_ns} ({pct:+.1}% > {:.0}%)",
+                    self.max_regress_pct
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures)
+        }
+    }
 }
 
 /// `1234567` -> `1,234,567` for readable ns columns.
@@ -101,5 +270,57 @@ mod tests {
         assert_eq!(group_digits(7), "7");
         assert_eq!(group_digits(1234), "1,234");
         assert_eq!(group_digits(1234567), "1,234,567");
+    }
+
+    fn harness_with(results: &[(&str, u64)], max_regress_pct: f64) -> Harness {
+        Harness {
+            fast: false,
+            json: None,
+            check: None,
+            max_regress_pct,
+            results: results
+                .iter()
+                .map(|(n, v)| ((*n).to_string(), *v))
+                .collect(),
+        }
+    }
+
+    fn baseline_file(name: &str, content: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mlec-microbench-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.json", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn baseline_check_passes_within_threshold() {
+        let path = baseline_file("pass", r#"{"a": 100, "b": 200}"#);
+        // +24% and -50%: both inside a 25% regression budget.
+        let h = harness_with(&[("a", 124), ("b", 100)], 25.0);
+        assert!(h.check_against(&path).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn baseline_check_fails_on_regression_and_missing_result() {
+        let path = baseline_file("fail", r#"{"a": 100, "gone": 50}"#);
+        let h = harness_with(&[("a", 130)], 25.0);
+        let failures = h.check_against(&path).unwrap_err();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("a: 130")));
+        assert!(failures.iter().any(|f| f.contains("gone")));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn baseline_check_rejects_unreadable_baseline() {
+        let h = harness_with(&[("a", 1)], 25.0);
+        assert!(h
+            .check_against(&PathBuf::from("/nonexistent/b.json"))
+            .is_err());
+        let path = baseline_file("garbage", "not json");
+        assert!(h.check_against(&path).is_err());
+        let _ = std::fs::remove_file(path);
     }
 }

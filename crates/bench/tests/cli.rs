@@ -26,6 +26,7 @@ const ALL_EXPERIMENTS: &[&str] = &[
     "paper_summary",
     "validation",
     "trace",
+    "store_bench",
 ];
 
 fn mlec(args: &[&str]) -> Output {
@@ -71,6 +72,22 @@ fn list_enumerates_every_registered_experiment() {
 }
 
 #[test]
+fn list_output_is_sorted_by_name() {
+    let out = mlec(&["list"]);
+    assert_eq!(status(&out), 0);
+    let text = stdout(&out);
+    let names: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.split_whitespace().next())
+        .filter(|first| ALL_EXPERIMENTS.contains(first))
+        .collect();
+    assert_eq!(names.len(), ALL_EXPERIMENTS.len(), "rows missing:\n{text}");
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "`mlec list` rows must be sorted by name");
+}
+
+#[test]
 fn info_prints_parameter_schema() {
     let out = mlec(&["info", "fig10"]);
     assert_eq!(status(&out), 0);
@@ -85,6 +102,20 @@ fn unknown_experiment_exits_2() {
     let out = mlec(&["run", "fig99"]);
     assert_eq!(status(&out), 2);
     assert!(stderr(&out).contains("unknown experiment `fig99`"));
+}
+
+#[test]
+fn unknown_experiment_gets_a_did_you_mean() {
+    let out = mlec(&["run", "store_benh"]);
+    assert_eq!(status(&out), 2);
+    let err = stderr(&out);
+    assert!(
+        err.contains("did you mean `store_bench`"),
+        "missing suggestion in: {err}"
+    );
+    let out = mlec(&["info", "validatoin"]);
+    assert_eq!(status(&out), 2);
+    assert!(stderr(&out).contains("did you mean `validation`"));
 }
 
 #[test]
@@ -239,6 +270,56 @@ fn fig08_sim_mode_golden() {
     assert!(text.contains("   C/D   R_ALL  26400.0      26400.0         10         1"));
     assert!(text.contains("   D/D   R_MIN     0.78         0.78          6         1"));
     assert!(dir.join("fig08_sim.json").is_file());
+}
+
+#[test]
+fn store_bench_smoke_kill_gates_and_thread_invariant_oplog() {
+    let dir = scratch("store-smoke");
+    let base = [
+        "run",
+        "store_bench",
+        "ops=2000",
+        "objects=256",
+        "kill_at=600",
+        "verify_every=16",
+        "require_degraded=1",
+    ];
+    let mut logs = Vec::new();
+    for threads in ["1", "4"] {
+        let oplog = dir.join(format!("t{threads}.jsonl"));
+        let mut args: Vec<String> = base.iter().map(|s| (*s).to_string()).collect();
+        args.push(format!("threads={threads}"));
+        args.push(format!("oplog={}", oplog.display()));
+        args.push(format!("out={}", dir.display()));
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let out = mlec(&argv);
+        assert_eq!(status(&out), 0, "stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("rebuild"), "no rebuild phase in:\n{text}");
+        assert!(
+            text.contains("degraded reads"),
+            "no degraded reads:\n{text}"
+        );
+        logs.push(std::fs::read(&oplog).expect("op log written"));
+    }
+    assert!(!logs[0].is_empty());
+    assert_eq!(logs[0], logs[1], "op log differs across thread counts");
+    assert!(dir.join("store_bench.json").is_file(), "artifact missing");
+}
+
+#[test]
+fn store_bench_gate_fails_without_a_kill() {
+    // require_degraded=1 with no injection: nothing degrades, exit 1.
+    let out = mlec(&[
+        "run",
+        "store_bench",
+        "ops=300",
+        "objects=64",
+        "verify_every=0",
+        "require_degraded=1",
+    ]);
+    assert_eq!(status(&out), 1, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("require_degraded"));
 }
 
 #[test]

@@ -1966,3 +1966,366 @@ fn run_trace(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
 }
 
 experiment!(TraceTools, TRACE_INFO, run_trace);
+
+// ---------------------------------------------------------------- store
+
+static STORE_BENCH_INFO: ExperimentInfo = ExperimentInfo {
+    name: "store_bench",
+    title: "Store bench",
+    description: "trace-driven object-store replay: rebuild vs foreground tail latency",
+    paper_ref: "§3 (bandwidth model), §5 (repair/foreground interference)",
+    modes: &[Mode::Sim],
+    params: params![
+        ("ops", U64, "1000000", "trace operations to replay"),
+        (
+            "objects",
+            U64,
+            "4096",
+            "distinct objects, preloaded at version 0 before the trace"
+        ),
+        (
+            "zipf",
+            F64,
+            "1.0",
+            "Zipf(s) popularity skew of the object draw"
+        ),
+        ("put_pct", U64, "10", "percent of ops that are puts"),
+        ("delete_pct", U64, "0", "percent of ops that are deletes"),
+        (
+            "ops_per_sec",
+            U64,
+            "50000",
+            "trace arrival rate in virtual time"
+        ),
+        (
+            "kill_at",
+            U64,
+            "0",
+            "inject the failure when this op index is reached (0 = never)"
+        ),
+        (
+            "kill_racks",
+            U64,
+            "1",
+            "whole racks killed at the injection"
+        ),
+        (
+            "kill_disks",
+            U64,
+            "0",
+            "extra disks killed in the next surviving rack"
+        ),
+        ("batch", U64, "1024", "ops prepared per parallel batch"),
+        (
+            "verify_every",
+            U64,
+            "64",
+            "verify read-back bytes on every Nth op (0 = final sweep only)"
+        ),
+        (
+            "seed",
+            U64,
+            "42",
+            "root seed for trace and payload derivation"
+        ),
+        ("backend", Str, "mem", "chunk backend: `mem` or `file`"),
+        (
+            "dir",
+            Str,
+            "",
+            "chunk directory for backend=file ('' = <out>/store_chunks)"
+        ),
+        (
+            "oplog",
+            Str,
+            "",
+            "write the deterministic JSONL op log to this path ('' = don't)"
+        ),
+        (
+            "trace",
+            Str,
+            "",
+            "replay this trace file instead of synthesizing ('' = synthesize)"
+        ),
+        (
+            "require_degraded",
+            U64,
+            "0",
+            "1 = fail unless the kill caused degraded reads and a completed rebuild"
+        ),
+        (
+            "timing",
+            U64,
+            "0",
+            "1 = also report wall-clock replay throughput (reporting only)"
+        ),
+    ],
+    fast: &[
+        ("ops", "2000"),
+        ("objects", "256"),
+        ("kill_at", "600"),
+        ("verify_every", "16"),
+    ],
+};
+
+fn store_err(e: mlec_store::StoreError) -> ExperimentError {
+    ExperimentError::Io(std::io::Error::other(e.to_string()))
+}
+
+fn store_bench_spec(ctx: &ExperimentCtx) -> Result<mlec_store::BenchSpec, ExperimentError> {
+    use mlec_store::{BackendChoice, BenchSpec, KillSpec, LoadSpec, StoreConfig};
+
+    let backend = match ctx.str("backend") {
+        "mem" => BackendChoice::Mem,
+        "file" => {
+            let dir = ctx.str("dir");
+            let dir = if dir.is_empty() {
+                ctx.out_dir.join("store_chunks")
+            } else {
+                std::path::PathBuf::from(dir)
+            };
+            BackendChoice::File(dir)
+        }
+        other => {
+            return Err(ExperimentError::BadValue {
+                name: "backend".to_string(),
+                value: other.to_string(),
+                expected: "`mem` or `file`".to_string(),
+            })
+        }
+    };
+    let kill_at = ctx.u64("kill_at");
+    let trace = ctx.str("trace");
+    let trace_text = if trace.is_empty() {
+        None
+    } else {
+        Some(std::fs::read_to_string(trace)?)
+    };
+    let oplog = ctx.str("oplog");
+    Ok(BenchSpec {
+        store: StoreConfig::small_test(),
+        load: LoadSpec {
+            ops: ctx.u64("ops"),
+            objects: ctx.u64("objects"),
+            zipf_s: ctx.f64("zipf"),
+            put_pct: ctx.u64("put_pct") as u32,
+            delete_pct: ctx.u64("delete_pct") as u32,
+            ops_per_sec: ctx.u64("ops_per_sec"),
+        },
+        kill: (kill_at > 0).then(|| KillSpec {
+            at_op: kill_at,
+            racks: ctx.u64("kill_racks") as u32,
+            disks: ctx.u64("kill_disks") as u32,
+        }),
+        threads: ctx.runner.threads.max(1),
+        batch: ctx.u64("batch").max(1) as usize,
+        verify_every: ctx.u64("verify_every"),
+        seed: ctx.u64("seed"),
+        backend,
+        oplog: (!oplog.is_empty()).then(|| std::path::PathBuf::from(oplog)),
+        trace_text,
+        timing: ctx.u64("timing") != 0,
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_store_bench_exp(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
+    let spec = store_bench_spec(ctx)?;
+    let report = mlec_store::run_store_bench(&spec).map_err(store_err)?;
+    let mut out = ExperimentOutput::new();
+
+    let cfg = &spec.store;
+    w!(
+        out.text,
+        "({}+{})/({}+{}) {} over {} racks, {} objects × {} B, seed {}",
+        cfg.code.kn,
+        cfg.code.pn,
+        cfg.code.kl,
+        cfg.code.pl,
+        cfg.scheme.name(),
+        cfg.geometry.racks,
+        spec.load.objects,
+        cfg.payload_bytes(),
+        spec.seed
+    );
+    w!(
+        out.text,
+        "{} ops replayed: {} puts, {} gets, {} deletes, {} misses",
+        report.ops,
+        report.puts,
+        report.gets,
+        report.deletes,
+        report.misses
+    );
+    w!(
+        out.text,
+        "verified bit-exact: {} inline + {} final sweep; cache hit rate {:.1}%\n",
+        report.verified_inline,
+        report.verified_final,
+        report.cache_hit_rate * 100.0
+    );
+
+    let rows: Vec<Vec<String>> = report
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.phase.to_string(),
+                p.count.to_string(),
+                format!("{:.0}", p.mean_us),
+                p.p50_us.to_string(),
+                p.p99_us.to_string(),
+                p.p999_us.to_string(),
+                p.max_us.to_string(),
+            ]
+        })
+        .collect();
+    w!(
+        out.text,
+        "{}",
+        ascii_table(
+            &["phase", "ops", "mean µs", "p50", "p99", "p999", "max"],
+            &rows
+        )
+    );
+
+    if let Some(kill_us) = report.kill_time_us {
+        w!(
+            out.text,
+            "\nfailure injected at t={kill_us} µs: {} chunks lost",
+            report.lost_chunks
+        );
+        w!(
+            out.text,
+            "degraded reads {} (all verified), failed gets {}",
+            report.degraded_reads,
+            report.failed_gets
+        );
+        match report.rebuild_done_us {
+            Some(done) => w!(
+                out.text,
+                "rebuild finished at t={done} µs: {} stripes repaired ({} local + {} network \
+                 chunks), {} skipped, {} unrecoverable",
+                report.repaired_stripes,
+                report.repaired_local_chunks,
+                report.repaired_network_chunks,
+                report.skipped_stripes,
+                report.unrecoverable_stripes
+            ),
+            None => w!(out.text, "rebuild did not finish within the trace"),
+        }
+        if let (Some(steady), Some(rebuild)) = (report.phase("steady"), report.phase("rebuild")) {
+            w!(
+                out.text,
+                "interference: rebuild p99 {} µs vs steady p99 {} µs ({:+.1}%), p999 {} vs {}",
+                rebuild.p99_us,
+                steady.p99_us,
+                (rebuild.p99_us as f64 / steady.p99_us.max(1) as f64 - 1.0) * 100.0,
+                rebuild.p999_us,
+                steady.p999_us
+            );
+        }
+    }
+    w!(
+        out.text,
+        "\narbiter traffic: foreground {} I/Os / {} B, repair {} I/Os / {} B",
+        report.foreground_ios,
+        report.foreground_bytes,
+        report.repair_ios,
+        report.repair_bytes
+    );
+    if report.oplog_records > 0 {
+        w!(
+            out.text,
+            "op log: {} records (bit-identical across thread counts)",
+            report.oplog_records
+        );
+    }
+    if let Some(secs) = report.wall_secs {
+        w!(
+            out.text,
+            "wall clock: {:.2} s ({:.0} ops/s replayed)",
+            secs,
+            report.ops as f64 / secs.max(1e-9)
+        );
+    }
+
+    if ctx.u64("require_degraded") != 0 {
+        if report.degraded_reads == 0 {
+            out.gate_failures
+                .push("gate: require_degraded=1 but no read was degraded".to_string());
+        }
+        if report.kill_time_us.is_some() && report.rebuild_done_us.is_none() {
+            out.gate_failures
+                .push("gate: require_degraded=1 but the rebuild never finished".to_string());
+        }
+        if report.failed_gets > 0 || report.unrecoverable_stripes > 0 {
+            out.gate_failures.push(format!(
+                "gate: {} failed gets, {} unrecoverable stripes",
+                report.failed_gets, report.unrecoverable_stripes
+            ));
+        }
+    }
+
+    let phases: Vec<Json> = report
+        .phases
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("phase".to_string(), Json::Str(p.phase.to_string())),
+                ("count".to_string(), Json::U64(p.count)),
+                ("mean_us".to_string(), Json::F64(p.mean_us)),
+                ("p50_us".to_string(), Json::U64(p.p50_us)),
+                ("p99_us".to_string(), Json::U64(p.p99_us)),
+                ("p999_us".to_string(), Json::U64(p.p999_us)),
+                ("max_us".to_string(), Json::U64(p.max_us)),
+            ])
+        })
+        .collect();
+    // Deliberately excludes `wall_secs`: artifacts stay deterministic.
+    let artifact = Json::obj(vec![
+        ("ops", Json::U64(report.ops)),
+        ("puts", Json::U64(report.puts)),
+        ("gets", Json::U64(report.gets)),
+        ("deletes", Json::U64(report.deletes)),
+        ("misses", Json::U64(report.misses)),
+        ("degraded_reads", Json::U64(report.degraded_reads)),
+        ("failed_gets", Json::U64(report.failed_gets)),
+        ("verified_inline", Json::U64(report.verified_inline)),
+        ("verified_final", Json::U64(report.verified_final)),
+        ("phases", Json::Arr(phases)),
+        (
+            "kill_time_us",
+            report.kill_time_us.map_or(Json::Null, Json::U64),
+        ),
+        ("lost_chunks", Json::U64(report.lost_chunks)),
+        (
+            "rebuild_done_us",
+            report.rebuild_done_us.map_or(Json::Null, Json::U64),
+        ),
+        ("repaired_stripes", Json::U64(report.repaired_stripes)),
+        ("skipped_stripes", Json::U64(report.skipped_stripes)),
+        (
+            "unrecoverable_stripes",
+            Json::U64(report.unrecoverable_stripes),
+        ),
+        (
+            "repaired_local_chunks",
+            Json::U64(report.repaired_local_chunks),
+        ),
+        (
+            "repaired_network_chunks",
+            Json::U64(report.repaired_network_chunks),
+        ),
+        ("cache_hit_rate", Json::F64(report.cache_hit_rate)),
+        ("foreground_ios", Json::U64(report.foreground_ios)),
+        ("foreground_bytes", Json::U64(report.foreground_bytes)),
+        ("repair_ios", Json::U64(report.repair_ios)),
+        ("repair_bytes", Json::U64(report.repair_bytes)),
+        ("oplog_records", Json::U64(report.oplog_records)),
+    ]);
+    out.artifacts.push(("store_bench".to_string(), artifact));
+    Ok(out)
+}
+
+experiment!(StoreBench, STORE_BENCH_INFO, run_store_bench_exp);

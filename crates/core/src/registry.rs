@@ -163,9 +163,15 @@ pub enum ExperimentError {
 impl fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExperimentError::UnknownExperiment(n) => {
-                write!(f, "unknown experiment `{n}` (run `mlec list`)")
-            }
+            ExperimentError::UnknownExperiment(n) => match suggest(n) {
+                Some(s) => {
+                    write!(
+                        f,
+                        "unknown experiment `{n}` — did you mean `{s}`? (run `mlec list`)"
+                    )
+                }
+                None => write!(f, "unknown experiment `{n}` (run `mlec list`)"),
+            },
             ExperimentError::BadArg(a) => {
                 write!(f, "bad argument `{a}`: expected key=value")
             }
@@ -391,11 +397,49 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::figures::PaperSummary,
     &crate::figures::Validation,
     &crate::figures::TraceTools,
+    &crate::figures::StoreBench,
 ];
 
 /// Look up an experiment by registry name.
 pub fn find(name: &str) -> Option<&'static dyn Experiment> {
     REGISTRY.iter().copied().find(|e| e.info().name == name)
+}
+
+/// Edit distance between two short ASCII names (classic two-row DP).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<u8>, Vec<u8>) = (a.bytes().collect(), b.bytes().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The registered name closest to `name`, when close enough to be a
+/// plausible typo (edit distance ≤ 2, or a unique prefix). Ties break
+/// toward the lexicographically first candidate so the suggestion is
+/// stable.
+pub fn suggest(name: &str) -> Option<&'static str> {
+    let mut names: Vec<&'static str> = REGISTRY.iter().map(|e| e.info().name).collect();
+    names.sort_unstable();
+    let prefixed: Vec<&&str> = names.iter().filter(|n| n.starts_with(name)).collect();
+    if let [only] = prefixed[..] {
+        if !name.is_empty() {
+            return Some(only);
+        }
+    }
+    names
+        .iter()
+        .map(|n| (edit_distance(name, n), *n))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, n)| (d, n))
+        .map(|(_, n)| n)
 }
 
 /// Result of [`run_experiment`]: the rendered report plus where the
@@ -480,6 +524,7 @@ mod tests {
             ("## Fig 15 ", "fig15"),
             ("## Fig 16 ", "fig16"),
             ("## §5.1.4", "sec514"),
+            ("## store_bench", "store_bench"),
         ];
         for (heading, name) in expected {
             assert!(doc.contains(heading), "EXPERIMENTS.md lost `{heading}`");
@@ -565,6 +610,19 @@ mod tests {
             run_experiment("fig06", &args(&["--verbose"])),
             Err(ExperimentError::BadArg(_))
         ));
+    }
+
+    #[test]
+    fn unknown_experiment_suggests_a_close_name() {
+        assert_eq!(suggest("store_benc"), Some("store_bench"));
+        assert_eq!(suggest("fig5"), Some("fig05"));
+        assert_eq!(suggest("storebench"), Some("store_bench"));
+        assert_eq!(suggest("zzzzzz"), None);
+        let msg = run_experiment("store_benchh", &[]).unwrap_err().to_string();
+        assert!(msg.contains("did you mean `store_bench`"), "{msg}");
+        // A hopeless name still gets the plain error.
+        let msg = run_experiment("frobnicate", &[]).unwrap_err().to_string();
+        assert!(!msg.contains("did you mean"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! The shared bandwidth arbiter: virtual-time token accounting for disks
+//! and rack uplinks.
+//!
+//! Foreground serving and online repair compete for the *same* physical
+//! resources, parameterized exactly like the system simulator
+//! ([`mlec_sim::SimConfig`]): per-disk raw bandwidth (§3: 200 MB/s), per-rack
+//! cross-rack bandwidth (10 Gbps), and the repair throttle fraction (20%).
+//! Each disk and each rack uplink is modeled as a FIFO server with a
+//! `busy_until` clock in virtual microseconds; a transfer reserves
+//! `seek + bytes/rate` on the device starting at
+//! `max(now, busy_until)`. Repair transfers use the same clocks — that is
+//! the point: a foreground read landing behind a rebuild read waits, which
+//! is where rebuild-phase tail latency comes from. The repair *throttle*
+//! (20% duty cycle) is enforced by the repair scheduler pacing its
+//! streams, not by a second set of clocks, mirroring the paper's
+//! "repair traffic capped at 20%" semantics.
+//!
+//! All arithmetic is integer/deterministic: virtual time is a pure
+//! function of the op trace, never of the machine running it.
+
+use mlec_sim::SimConfig;
+use mlec_topology::{DiskId, RackId};
+use std::collections::BTreeMap;
+
+/// Who is asking for bandwidth (accounting only; both lanes share clocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Client-facing put/get/delete traffic.
+    Foreground,
+    /// Rebuild reads/writes issued by the repair scheduler.
+    Repair,
+}
+
+/// Per-device virtual-time bandwidth accounting.
+#[derive(Debug)]
+pub struct BandwidthArbiter {
+    disk_busy_until: BTreeMap<DiskId, u64>,
+    rack_busy_until: BTreeMap<RackId, u64>,
+    /// Disk throughput in bytes per virtual microsecond (= MB/s).
+    disk_bytes_per_us: f64,
+    /// Rack uplink throughput in bytes per virtual microsecond.
+    rack_bytes_per_us: f64,
+    /// Fixed per-I/O positioning cost on a disk, µs.
+    seek_us: u64,
+    /// Fraction of device bandwidth repair may consume (scheduler pacing).
+    repair_fraction: f64,
+    foreground_ios: u64,
+    repair_ios: u64,
+    foreground_bytes: u64,
+    repair_bytes: u64,
+}
+
+impl BandwidthArbiter {
+    /// Arbiter over the §3 bandwidth parameters plus a per-I/O seek cost.
+    pub fn new(sim: &SimConfig, seek_us: u64) -> BandwidthArbiter {
+        BandwidthArbiter {
+            disk_busy_until: BTreeMap::new(),
+            rack_busy_until: BTreeMap::new(),
+            // MB/s is numerically bytes/µs.
+            disk_bytes_per_us: sim.disk_bw_mbs,
+            rack_bytes_per_us: sim.rack_net_gbps * 1e9 / 8.0 / 1e6,
+            seek_us,
+            repair_fraction: sim.repair_fraction,
+            foreground_ios: 0,
+            repair_ios: 0,
+            foreground_bytes: 0,
+            repair_bytes: 0,
+        }
+    }
+
+    /// Duration of one disk I/O of `bytes`, µs (seek + transfer).
+    pub fn disk_io_us(&self, bytes: usize) -> u64 {
+        self.seek_us + (bytes as f64 / self.disk_bytes_per_us).ceil() as u64
+    }
+
+    /// Reserve a disk I/O starting no earlier than `now`; returns the
+    /// completion time. The disk is busy until then.
+    pub fn disk_io(&mut self, disk: DiskId, bytes: usize, now: u64, lane: Lane) -> u64 {
+        let free = self.disk_busy_until.get(&disk).copied().unwrap_or(0);
+        let start = free.max(now);
+        let end = start + self.disk_io_us(bytes);
+        self.disk_busy_until.insert(disk, end);
+        match lane {
+            Lane::Foreground => {
+                self.foreground_ios += 1;
+                self.foreground_bytes += bytes as u64;
+            }
+            Lane::Repair => {
+                self.repair_ios += 1;
+                self.repair_bytes += bytes as u64;
+            }
+        }
+        end
+    }
+
+    /// Reserve a cross-rack transfer of `bytes` on `rack`'s uplink
+    /// starting no earlier than `now`; returns the completion time.
+    pub fn rack_xfer(&mut self, rack: RackId, bytes: usize, now: u64) -> u64 {
+        let free = self.rack_busy_until.get(&rack).copied().unwrap_or(0);
+        let start = free.max(now);
+        let end = start + (bytes as f64 / self.rack_bytes_per_us).ceil() as u64;
+        self.rack_busy_until.insert(rack, end);
+        end
+    }
+
+    /// Pacing gap the repair scheduler must leave idle after occupying a
+    /// device for `busy_us`, so repair consumes at most `repair_fraction`
+    /// of the device: `busy * (1/f - 1)`.
+    pub fn repair_pacing_gap_us(&self, busy_us: u64) -> u64 {
+        if self.repair_fraction >= 1.0 {
+            return 0;
+        }
+        (busy_us as f64 * (1.0 / self.repair_fraction - 1.0)).ceil() as u64
+    }
+
+    /// `(ios, bytes)` moved by the foreground lane.
+    pub fn foreground_totals(&self) -> (u64, u64) {
+        (self.foreground_ios, self.foreground_bytes)
+    }
+
+    /// `(ios, bytes)` moved by the repair lane.
+    pub fn repair_totals(&self) -> (u64, u64) {
+        (self.repair_ios, self.repair_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arbiter() -> BandwidthArbiter {
+        BandwidthArbiter::new(&SimConfig::paper_default(), 400)
+    }
+
+    #[test]
+    fn disk_fifo_queues_back_to_back() {
+        let mut a = arbiter();
+        // 200 MB/s: a 4 KiB transfer is ceil(4096/200) = 21 µs + 400 seek.
+        let end1 = a.disk_io(3, 4096, 1_000, Lane::Foreground);
+        assert_eq!(end1, 1_000 + 400 + 21);
+        // Second I/O on the same disk queues behind the first.
+        let end2 = a.disk_io(3, 4096, 1_000, Lane::Foreground);
+        assert_eq!(end2, end1 + 421);
+        // A different disk is idle.
+        let end3 = a.disk_io(4, 4096, 1_000, Lane::Repair);
+        assert_eq!(end3, 1_421);
+        assert_eq!(a.foreground_totals(), (2, 8192));
+        assert_eq!(a.repair_totals(), (1, 4096));
+    }
+
+    #[test]
+    fn rack_uplink_shares_one_clock() {
+        let mut a = arbiter();
+        // 10 Gbps = 1250 bytes/µs: 125_000 bytes take 100 µs.
+        let end1 = a.rack_xfer(0, 125_000, 0);
+        assert_eq!(end1, 100);
+        let end2 = a.rack_xfer(0, 125_000, 0);
+        assert_eq!(end2, 200);
+    }
+
+    #[test]
+    fn repair_pacing_enforces_duty_cycle() {
+        let a = arbiter();
+        // 20% fraction: 100 µs busy needs 400 µs idle.
+        assert_eq!(a.repair_pacing_gap_us(100), 400);
+    }
+
+    #[test]
+    fn idle_device_starts_at_now() {
+        let mut a = arbiter();
+        let end = a.disk_io(7, 0, 5_000, Lane::Foreground);
+        assert_eq!(end, 5_400); // seek only
+    }
+}

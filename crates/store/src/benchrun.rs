@@ -1,0 +1,576 @@
+//! The trace-driven benchmark loop: batched prepare, serial apply,
+//! per-phase tail-latency accounting.
+//!
+//! Each batch of trace ops is *prepared* in parallel ([`crate::iocore`]):
+//! put payloads are synthesized and erasure-encoded, expected read-back
+//! bytes regenerated for verification — all pure functions of
+//! `(object, version)` via seed streams, so no payload is ever stored
+//! twice. The ops are then *applied* serially in trace order against the
+//! store, which advances virtual time, pumps the repair scheduler, and
+//! yields one latency sample per op. Phases split at the failure
+//! injection: `steady` before the kill, `rebuild` from the kill until the
+//! last queued stripe is rebuilt, `recovered` after — the
+//! rebuild-vs-foreground interference measurement is the comparison of
+//! the `rebuild` histogram against `steady`.
+
+use crate::backend::{ChunkBackend, FileBackend, MemBackend};
+use crate::histogram::LatencyHistogram;
+use crate::iocore::{batches, par_map};
+use crate::loadgen::{KillSpec, LoadGen, LoadSpec, OpKind, TraceOp};
+use crate::oplog::{OpLog, OpRecord};
+use crate::store::{MlecStore, StoreConfig};
+use crate::StoreError;
+use mlec_ec::mlec::MlecStripe;
+use mlec_runner::{SeedStream, SplitMix64};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Which chunk backend the benchmark runs against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// In-memory chunks (default: byte movement without filesystem noise).
+    Mem,
+    /// One file per chunk under the given directory.
+    File(PathBuf),
+}
+
+/// Full benchmark specification.
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    /// Store deployment and environment.
+    pub store: StoreConfig,
+    /// Workload shape.
+    pub load: LoadSpec,
+    /// Optional mid-trace failure injection.
+    pub kill: Option<KillSpec>,
+    /// Prepare-phase threads (never affects results, only speed).
+    pub threads: usize,
+    /// Ops prepared per batch.
+    pub batch: usize,
+    /// Verify read-back bytes on every op whose index is a multiple of
+    /// this (0 disables inline verification; the final sweep always runs).
+    pub verify_every: u64,
+    /// Root seed for trace, payload, and placement derivation.
+    pub seed: u64,
+    /// Chunk backend.
+    pub backend: BackendChoice,
+    /// Optional JSONL op-log path.
+    pub oplog: Option<PathBuf>,
+    /// Optional external trace to replay instead of synthesizing.
+    pub trace_text: Option<String>,
+    /// Measure wall-clock replay throughput (reporting only; never part
+    /// of deterministic artifacts).
+    pub timing: bool,
+}
+
+impl BenchSpec {
+    /// A small deterministic benchmark of `ops` operations.
+    pub fn small(ops: u64) -> BenchSpec {
+        BenchSpec {
+            store: StoreConfig::small_test(),
+            load: LoadSpec {
+                ops,
+                objects: 256,
+                zipf_s: 1.0,
+                put_pct: 10,
+                delete_pct: 0,
+                ops_per_sec: 50_000,
+            },
+            kill: None,
+            threads: 1,
+            batch: 1024,
+            verify_every: 16,
+            seed: 42,
+            backend: BackendChoice::Mem,
+            oplog: None,
+            trace_text: None,
+            timing: false,
+        }
+    }
+}
+
+/// Latency summary of one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSummary {
+    /// `steady`, `rebuild`, or `recovered`.
+    pub phase: &'static str,
+    /// Ops completed in the phase.
+    pub count: u64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: u64,
+    /// 99th percentile latency, µs.
+    pub p99_us: u64,
+    /// 99.9th percentile latency, µs.
+    pub p999_us: u64,
+    /// Worst latency, µs.
+    pub max_us: u64,
+}
+
+/// Everything a benchmark run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreBenchReport {
+    /// Trace ops replayed.
+    pub ops: u64,
+    /// Puts applied.
+    pub puts: u64,
+    /// Gets applied (including misses).
+    pub gets: u64,
+    /// Deletes applied (including misses).
+    pub deletes: u64,
+    /// Gets/deletes of objects that did not exist at that point.
+    pub misses: u64,
+    /// Reads that decoded instead of reading directly.
+    pub degraded_reads: u64,
+    /// Reads that exceeded the code's tolerance.
+    pub failed_gets: u64,
+    /// Inline read-back verifications that passed.
+    pub verified_inline: u64,
+    /// Final-sweep verifications that passed.
+    pub verified_final: u64,
+    /// Per-phase latency summaries, in `steady`/`rebuild`/`recovered` order.
+    pub phases: Vec<PhaseSummary>,
+    /// Virtual time of the failure injection, if any.
+    pub kill_time_us: Option<u64>,
+    /// Chunks destroyed by the injection.
+    pub lost_chunks: u64,
+    /// Virtual time the rebuild finished, if damage was repaired.
+    pub rebuild_done_us: Option<u64>,
+    /// Stripes rebuilt.
+    pub repaired_stripes: u64,
+    /// Queued stripes that needed no work (overwritten or deleted).
+    pub skipped_stripes: u64,
+    /// Stripes beyond tolerance.
+    pub unrecoverable_stripes: u64,
+    /// Chunks repaired by local decode.
+    pub repaired_local_chunks: u64,
+    /// Chunks repaired over the network.
+    pub repaired_network_chunks: u64,
+    /// Chunk-cache hit rate over the run.
+    pub cache_hit_rate: f64,
+    /// Foreground `(ios, bytes)` through the bandwidth arbiter.
+    pub foreground_ios: u64,
+    /// Foreground bytes moved.
+    pub foreground_bytes: u64,
+    /// Repair I/Os through the arbiter.
+    pub repair_ios: u64,
+    /// Repair bytes moved.
+    pub repair_bytes: u64,
+    /// Records written to the op log (0 when not requested).
+    pub oplog_records: u64,
+    /// Wall-clock replay duration when `timing` was requested — reporting
+    /// only, deliberately absent from deterministic comparisons.
+    pub wall_secs: Option<f64>,
+}
+
+impl StoreBenchReport {
+    /// The summary of `phase`, if any ops completed in it.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSummary> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+}
+
+/// The object payload for `(obj, version)` — a pure function, so
+/// verification regenerates expected bytes instead of storing them.
+pub fn payload_for(stream: &SeedStream, obj: u64, version: u64, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(stream.derive(&[obj, version]));
+    let mut out = Vec::with_capacity(len);
+    while out.len() + 8 <= len {
+        out.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    while out.len() < len {
+        out.push(rng.next_u64() as u8);
+    }
+    out
+}
+
+/// One op with its serially-assigned context, ready for parallel prepare.
+struct PrepIn {
+    op: TraceOp,
+    /// Version a put will be assigned (predicted serially).
+    put_version: Option<u64>,
+    /// Version to verify a get against, when sampled for verification.
+    verify_version: Option<u64>,
+}
+
+/// The pure prepare result for one op.
+struct Prep {
+    op: TraceOp,
+    stripe: Option<MlecStripe>,
+    expected: Option<Vec<u8>>,
+}
+
+/// Run a store benchmark to completion.
+pub fn run_store_bench(spec: &BenchSpec) -> Result<StoreBenchReport, StoreError> {
+    spec.load.validate()?;
+    match &spec.backend {
+        BackendChoice::Mem => {
+            let store = MlecStore::new(spec.store, MemBackend::new())?;
+            run_inner(store, spec)
+        }
+        BackendChoice::File(dir) => {
+            let store = MlecStore::new(spec.store, FileBackend::open(dir.clone())?)?;
+            run_inner(store, spec)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_inner<B: ChunkBackend>(
+    mut store: MlecStore<B>,
+    spec: &BenchSpec,
+) -> Result<StoreBenchReport, StoreError> {
+    let trace_stream = SeedStream::new(spec.seed, "store/trace");
+    let pay_stream = SeedStream::new(spec.seed, "store/payload");
+    let gen = match &spec.trace_text {
+        Some(text) => LoadGen::replay(text, &spec.load)?,
+        None => LoadGen::synthetic(spec.load, trace_stream)?,
+    };
+    let plen = store.config().payload_bytes();
+    let chunk_bytes = store.config().chunk_bytes;
+    // Cloned so prepare threads can encode without touching the store.
+    let codec = store.codec().clone();
+    let encode = |payload: &[u8]| -> MlecStripe {
+        let chunks: Vec<&[u8]> = payload.chunks(chunk_bytes).collect();
+        codec
+            .encode(&chunks)
+            .expect("payload length is exact by construction")
+    };
+    let stopwatch = spec.timing.then(crate::stopwatch::Stopwatch::start);
+
+    // Pre-load every object at version 0 (uncharged: data that existed
+    // before the measured window).
+    let preload_batch = 512u64;
+    for (lo, hi) in batches(spec.load.objects, preload_batch) {
+        let objs: Vec<u64> = (lo..hi).collect();
+        let encoded: Vec<(u64, MlecStripe)> = par_map(&objs, spec.threads, |&obj| {
+            let payload = payload_for(&pay_stream, obj, 0, plen);
+            (obj, encode(&payload))
+        });
+        for (obj, stripe) in &encoded {
+            store.preload_encoded(*obj, stripe)?;
+        }
+    }
+
+    let mut oplog = match &spec.oplog {
+        Some(path) => Some(OpLog::create(path)?),
+        None => None,
+    };
+    let mut hists: BTreeMap<&'static str, LatencyHistogram> = BTreeMap::new();
+    let mut expected_versions: BTreeMap<u64, u64> =
+        (0..spec.load.objects).map(|o| (o, 0)).collect();
+    let overhead = store.config().overhead_us;
+
+    let (mut puts, mut gets, mut deletes, mut misses) = (0u64, 0u64, 0u64, 0u64);
+    let mut failed_gets = 0u64;
+    let mut verified_inline = 0u64;
+    let mut kill_time_us: Option<u64> = None;
+    let mut lost_chunks = 0u64;
+
+    for (lo, hi) in batches(gen.len(), spec.batch as u64) {
+        // Serial pre-pass: predict versions so prepare can be pure.
+        let mut inputs: Vec<PrepIn> = Vec::with_capacity((hi - lo) as usize);
+        for index in lo..hi {
+            let op = gen.op(index);
+            let (put_version, verify_version) = match op.kind {
+                OpKind::Put => {
+                    let v = expected_versions.get(&op.object).map_or(0, |v| v + 1);
+                    expected_versions.insert(op.object, v);
+                    (Some(v), None)
+                }
+                OpKind::Get => {
+                    let live = expected_versions.get(&op.object).copied();
+                    let sampled = spec.verify_every > 0 && index % spec.verify_every == 0;
+                    (None, if sampled { live } else { None })
+                }
+                OpKind::Delete => {
+                    expected_versions.remove(&op.object);
+                    (None, None)
+                }
+            };
+            inputs.push(PrepIn {
+                op,
+                put_version,
+                verify_version,
+            });
+        }
+
+        // Parallel prepare: pure payload synthesis + encode.
+        let prepared: Vec<Prep> = par_map(&inputs, spec.threads, |inp| {
+            let stripe = inp.put_version.map(|v| {
+                let payload = payload_for(&pay_stream, inp.op.object, v, plen);
+                encode(&payload)
+            });
+            let expected = inp
+                .verify_version
+                .map(|v| payload_for(&pay_stream, inp.op.object, v, plen));
+            Prep {
+                op: inp.op,
+                stripe,
+                expected,
+            }
+        });
+
+        // Serial apply, strictly in trace order.
+        for prep in &prepared {
+            let op = prep.op;
+            if kill_time_us.is_none() {
+                if let Some(kill) = &spec.kill {
+                    if kill.at_op == op.index {
+                        lost_chunks = inject_kill(&mut store, kill, op.at_us);
+                        kill_time_us = Some(op.at_us);
+                    }
+                }
+            }
+            store.pump_repairs(op.at_us);
+            let phase: &'static str = match kill_time_us {
+                None => "steady",
+                Some(_) => match store.repair().done_at() {
+                    Some(done) if done <= op.at_us => "recovered",
+                    _ => "rebuild",
+                },
+            };
+
+            let (latency, degraded, chunks_read) = match op.kind {
+                OpKind::Put => {
+                    puts += 1;
+                    let stripe = prep.stripe.as_ref().expect("puts are prepared");
+                    let res = store.put_encoded(op.object, stripe, op.at_us)?;
+                    (res.latency_us, false, 0)
+                }
+                OpKind::Get => {
+                    gets += 1;
+                    match store.get(op.object, op.at_us) {
+                        Ok(got) => {
+                            if let Some(expected) = &prep.expected {
+                                if &got.payload != expected {
+                                    return Err(StoreError::CorruptPayload(op.object));
+                                }
+                                verified_inline += 1;
+                            }
+                            (got.latency_us, got.degraded, got.chunks_read)
+                        }
+                        Err(StoreError::UnknownObject(_)) => {
+                            misses += 1;
+                            (overhead, false, 0)
+                        }
+                        Err(StoreError::Unrecoverable { .. }) => {
+                            failed_gets += 1;
+                            (overhead, true, 0)
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                OpKind::Delete => {
+                    deletes += 1;
+                    match store.delete(op.object, op.at_us) {
+                        Ok(latency) => (latency, false, 0),
+                        Err(StoreError::UnknownObject(_)) => {
+                            misses += 1;
+                            (overhead, false, 0)
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+            };
+            hists.entry(phase).or_default().record(latency);
+            if let Some(log) = &mut oplog {
+                log.log(&OpRecord {
+                    op: op.index,
+                    at_us: op.at_us,
+                    kind: op.kind,
+                    object: op.object,
+                    latency_us: latency,
+                    degraded,
+                    chunks_read,
+                    phase,
+                })?;
+            }
+        }
+    }
+
+    // Drain outstanding rebuilds, then verify every live object end to end.
+    store.pump_repairs(u64::MAX);
+    let end_of_time = gen
+        .len()
+        .saturating_mul(1_000_000 / spec.load.ops_per_sec.max(1))
+        .max(store.repair().done_at().unwrap_or(0))
+        + 1;
+    let mut verified_final = 0u64;
+    let live: Vec<(u64, u64)> = expected_versions.iter().map(|(&o, &v)| (o, v)).collect();
+    for (obj, version) in live {
+        let got = store.get(obj, end_of_time)?;
+        if got.payload != payload_for(&pay_stream, obj, version, plen) {
+            return Err(StoreError::CorruptPayload(obj));
+        }
+        verified_final += 1;
+    }
+
+    let oplog_records = match oplog {
+        Some(log) => log.finish()?,
+        None => 0,
+    };
+    let mut phases = Vec::new();
+    for name in ["steady", "rebuild", "recovered"] {
+        if let Some(h) = hists.get(name) {
+            phases.push(PhaseSummary {
+                phase: name,
+                count: h.count(),
+                mean_us: h.mean(),
+                p50_us: h.quantile(0.5),
+                p99_us: h.quantile(0.99),
+                p999_us: h.quantile(0.999),
+                max_us: h.max(),
+            });
+        }
+    }
+    let (foreground_ios, foreground_bytes) = store.arbiter().foreground_totals();
+    let (repair_ios, repair_bytes) = store.arbiter().repair_totals();
+    let (repaired_local_chunks, repaired_network_chunks) = store.repaired_chunks();
+    Ok(StoreBenchReport {
+        ops: gen.len(),
+        puts,
+        gets,
+        deletes,
+        misses,
+        degraded_reads: store.degraded_reads(),
+        failed_gets,
+        verified_inline,
+        verified_final,
+        phases,
+        kill_time_us,
+        lost_chunks,
+        rebuild_done_us: store.repair().done_at().filter(|_| kill_time_us.is_some()),
+        repaired_stripes: store.repair().repaired_stripes,
+        skipped_stripes: store.repair().skipped_stripes,
+        unrecoverable_stripes: store.repair().unrecoverable_stripes,
+        repaired_local_chunks,
+        repaired_network_chunks,
+        cache_hit_rate: store.cache().hit_rate(),
+        foreground_ios,
+        foreground_bytes,
+        repair_ios,
+        repair_bytes,
+        oplog_records,
+        wall_secs: stopwatch.map(|sw| sw.elapsed_secs()),
+    })
+}
+
+/// Apply a [`KillSpec`]: whole racks first, then leading disks of the
+/// first surviving rack. Returns total chunks lost.
+fn inject_kill<B: ChunkBackend>(store: &mut MlecStore<B>, kill: &KillSpec, at: u64) -> u64 {
+    let geometry = store.config().geometry;
+    let mut lost = store.kill_racks(kill.racks, at);
+    if kill.disks > 0 {
+        let rack = kill.racks.min(geometry.racks.saturating_sub(1));
+        let disks: Vec<u32> = geometry
+            .disks_in_rack(rack)
+            .take(kill.disks as usize)
+            .collect();
+        lost += store.kill_disks(&disks, at);
+    }
+    lost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_run_completes_and_verifies() {
+        let spec = BenchSpec::small(2_000);
+        let report = run_store_bench(&spec).unwrap();
+        assert_eq!(report.ops, 2_000);
+        assert_eq!(report.puts + report.gets + report.deletes, 2_000);
+        assert_eq!(report.misses, 0);
+        assert_eq!(report.degraded_reads, 0);
+        assert_eq!(report.failed_gets, 0);
+        assert!(report.verified_inline > 0);
+        assert_eq!(report.verified_final, 256);
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].phase, "steady");
+        assert_eq!(report.phases[0].count, 2_000);
+        assert!(report.phases[0].p50_us > 0);
+        assert!(report.kill_time_us.is_none());
+        assert!(report.rebuild_done_us.is_none());
+        assert!(report.cache_hit_rate > 0.0, "Zipf reuse must hit the cache");
+    }
+
+    #[test]
+    fn kill_produces_degraded_reads_and_a_rebuild() {
+        let mut spec = BenchSpec::small(4_000);
+        spec.kill = Some(KillSpec {
+            at_op: 1_000,
+            racks: 1,
+            disks: 0,
+        });
+        let report = run_store_bench(&spec).unwrap();
+        assert!(report.lost_chunks > 0);
+        assert!(report.degraded_reads > 0, "reads must hit damaged stripes");
+        assert_eq!(report.failed_gets, 0, "one rack is within tolerance");
+        assert_eq!(report.unrecoverable_stripes, 0);
+        assert!(report.rebuild_done_us.is_some(), "rebuild must finish");
+        assert!(report.repaired_stripes > 0);
+        assert!(report.repaired_local_chunks + report.repaired_network_chunks > 0);
+        // All three phases appear and account for every op.
+        let total: u64 = report.phases.iter().map(|p| p.count).sum();
+        assert_eq!(total, 4_000);
+        assert!(report.phase("steady").is_some());
+        assert!(report.phase("rebuild").is_some());
+        // Every live object still round-trips bit-exactly.
+        assert_eq!(report.verified_final, 256);
+    }
+
+    #[test]
+    fn identical_specs_give_identical_reports() {
+        let mut spec = BenchSpec::small(1_500);
+        spec.kill = Some(KillSpec {
+            at_op: 500,
+            racks: 1,
+            disks: 0,
+        });
+        let a = run_store_bench(&spec).unwrap();
+        let b = run_store_bench(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_report() {
+        let mut spec = BenchSpec::small(1_500);
+        spec.kill = Some(KillSpec {
+            at_op: 400,
+            racks: 1,
+            disks: 0,
+        });
+        spec.threads = 1;
+        let single = run_store_bench(&spec).unwrap();
+        spec.threads = 8;
+        let multi = run_store_bench(&spec).unwrap();
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn replayed_trace_matches_synthetic() {
+        let spec = BenchSpec::small(800);
+        let stream = SeedStream::new(spec.seed, "store/trace");
+        let gen = LoadGen::synthetic(spec.load, stream).unwrap();
+        let mut replay_spec = spec.clone();
+        replay_spec.trace_text = Some(gen.to_trace_text());
+        let a = run_store_bench(&spec).unwrap();
+        let b = run_store_bench(&replay_spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deletes_produce_misses_not_failures() {
+        let mut spec = BenchSpec::small(2_000);
+        spec.load.delete_pct = 20;
+        let report = run_store_bench(&spec).unwrap();
+        assert!(report.deletes > 0);
+        assert!(report.misses > 0, "gets after deletes must miss");
+        assert_eq!(report.failed_gets, 0);
+        // Final sweep only covers still-live objects.
+        assert!(report.verified_final <= 256);
+    }
+}

@@ -1,0 +1,83 @@
+//! The batched I/O core: deterministic parallelism for the serving path.
+//!
+//! The store's state machine (backend, cache, bandwidth clocks, repair
+//! queue) must be mutated strictly in op order or virtual time stops being
+//! a pure function of the trace. What *can* run on many threads is the
+//! pure per-op work: synthesizing put payloads, erasure-encoding stripes,
+//! and verifying read-back bytes. This module provides that split:
+//! [`par_map`] fans a batch of items over a scoped thread pool in
+//! contiguous slices and reassembles results in input order, so the output
+//! is identical for any thread count — including 1 — which is exactly the
+//! property the op-log determinism test pins down.
+
+/// Map `f` over `items` on up to `threads` scoped threads, preserving
+/// input order exactly.
+///
+/// Items are split into contiguous slices (one per thread); each thread
+/// maps its slice independently and the results are concatenated in slice
+/// order. `f` must be pure for the thread-count invariance to mean
+/// anything — nothing enforces that here beyond the `Fn(&T)` signature.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for slice in items.chunks(chunk) {
+            let f = &f;
+            handles.push(scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()));
+        }
+        for handle in handles {
+            out.extend(handle.join().expect("prepare thread panicked"));
+        }
+    });
+    out
+}
+
+/// Batch boundaries for a trace of `total` ops in batches of `batch`:
+/// yields `(start, end)` index pairs covering `0..total`.
+pub fn batches(total: u64, batch: u64) -> impl Iterator<Item = (u64, u64)> {
+    let batch = batch.max(1);
+    (0..total.div_ceil(batch)).map(move |i| (i * batch, ((i + 1) * batch).min(total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1usize, 2, 3, 7, 16, 64] {
+            let got = par_map(&items, threads, |&x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_edge_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn batches_cover_the_range_exactly() {
+        let got: Vec<(u64, u64)> = batches(10, 4).collect();
+        assert_eq!(got, vec![(0, 4), (4, 8), (8, 10)]);
+        let whole: Vec<(u64, u64)> = batches(5, 100).collect();
+        assert_eq!(whole, vec![(0, 5)]);
+        assert_eq!(batches(0, 4).count(), 0);
+        // batch=0 is clamped rather than looping forever.
+        assert_eq!(batches(3, 0).count(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! JSONL per-op logging with a byte-stable format.
+//!
+//! One line per trace op, fields in a fixed order, integers only — so two
+//! replays of the same trace produce *bit-identical* files regardless of
+//! thread count or backend. The determinism tests compare these files
+//! byte for byte; any formatting drift (field order, float rendering,
+//! locale) would be a correctness bug, which is why records go through
+//! this one serializer instead of ad-hoc `format!` calls.
+
+use crate::loadgen::OpKind;
+use crate::StoreError;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// One logged operation (all times virtual microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Trace index of the op.
+    pub op: u64,
+    /// Virtual arrival time.
+    pub at_us: u64,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Object id.
+    pub object: u64,
+    /// Virtual completion latency.
+    pub latency_us: u64,
+    /// Did the read take a degraded path?
+    pub degraded: bool,
+    /// Extra surviving chunks fetched to decode (0 for healthy ops).
+    pub chunks_read: u64,
+    /// Phase the op completed in: `steady`, `rebuild`, or `recovered`.
+    pub phase: &'static str,
+}
+
+impl OpRecord {
+    /// Render the record as its canonical JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let kind = match self.kind {
+            OpKind::Put => "put",
+            OpKind::Get => "get",
+            OpKind::Delete => "del",
+        };
+        format!(
+            "{{\"op\":{},\"t_us\":{},\"kind\":\"{}\",\"obj\":{},\"lat_us\":{},\
+             \"degraded\":{},\"chunks\":{},\"phase\":\"{}\"}}",
+            self.op,
+            self.at_us,
+            kind,
+            self.object,
+            self.latency_us,
+            self.degraded,
+            self.chunks_read,
+            self.phase
+        )
+    }
+}
+
+/// Buffered JSONL op-log writer.
+#[derive(Debug)]
+pub struct OpLog {
+    out: BufWriter<std::fs::File>,
+    records: u64,
+}
+
+impl OpLog {
+    /// Create (truncating) an op log at `path`.
+    pub fn create(path: &Path) -> Result<OpLog, StoreError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(OpLog {
+            out: BufWriter::new(std::fs::File::create(path)?),
+            records: 0,
+        })
+    }
+
+    /// Append one record as a JSON line.
+    pub fn log(&mut self, rec: &OpRecord) -> Result<(), StoreError> {
+        self.out.write_all(rec.to_json_line().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flush and return how many records were written.
+    pub fn finish(mut self) -> Result<u64, StoreError> {
+        self.out.flush()?;
+        Ok(self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_line_is_stable() {
+        let rec = OpRecord {
+            op: 7,
+            at_us: 140,
+            kind: OpKind::Get,
+            object: 42,
+            latency_us: 475,
+            degraded: true,
+            chunks_read: 3,
+            phase: "rebuild",
+        };
+        assert_eq!(
+            rec.to_json_line(),
+            "{\"op\":7,\"t_us\":140,\"kind\":\"get\",\"obj\":42,\"lat_us\":475,\
+             \"degraded\":true,\"chunks\":3,\"phase\":\"rebuild\"}"
+        );
+    }
+
+    #[test]
+    fn file_round_trip_counts_records() {
+        let dir = std::env::temp_dir()
+            .join("mlec-store-tests")
+            .join(format!("oplog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ops.jsonl");
+        let mut log = OpLog::create(&path).unwrap();
+        for op in 0..3u64 {
+            log.log(&OpRecord {
+                op,
+                at_us: op * 20,
+                kind: OpKind::Put,
+                object: op,
+                latency_us: 100,
+                degraded: false,
+                chunks_read: 0,
+                phase: "steady",
+            })
+            .unwrap();
+        }
+        assert_eq!(log.finish().unwrap(), 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.ends_with('\n'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,46 @@
+//! Wall-clock stopwatch for throughput reporting — the store's only
+//! contact with real time.
+//!
+//! Everything the benchmark *records* (op latencies, phases, the op log)
+//! is virtual time from the [`crate::arbiter`]; this stopwatch exists only
+//! so `store_bench timing=1` can print how fast the replay itself ran
+//! (ops/sec of the harness, not of the modeled system). It is a
+//! measurement surface, never a result path: nothing derived from it may
+//! enter artifacts, gates, or logs that determinism tests compare. The
+//! `no-wall-clock` lint allowlists exactly this file for that reason.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,769 @@
+//! The object store proper: put/get/degraded-get/delete over the
+//! two-level codec, with failure injection and online repair.
+//!
+//! One object occupies exactly one network stripe (object id == network
+//! stripe index), placed by the deterministic
+//! [`mlec_topology::objectmap::ObjectMapper`] and stored chunk-by-chunk in
+//! a pluggable [`crate::backend::ChunkBackend`]. Every byte moved charges
+//! the [`crate::arbiter::BandwidthArbiter`]'s virtual clocks, so op
+//! latencies are a pure function of the op sequence — never of threads,
+//! backend speed, or wall time.
+//!
+//! Failure model: killing a disk (or a whole rack) *loses* its chunks —
+//! they are removed from the backend and tracked in a `lost` set — and the
+//! disk is immediately replaced by an empty spare with the same id, so
+//! later writes land normally. Reads of a damaged stripe take a degraded
+//! path mirroring the codec's preference order: decode within the row
+//! when the row is locally recoverable (cheap, rack-local), else decode
+//! the column over the network, else fetch the whole surviving grid and
+//! reconstruct. Affected stripes are queued on the
+//! [`crate::repair::RepairScheduler`] and rebuilt in the background,
+//! competing with foreground traffic for the same bandwidth.
+
+use crate::arbiter::{BandwidthArbiter, Lane};
+use crate::backend::{chunk_key, ChunkBackend, ChunkKey};
+use crate::cache::ChunkCache;
+use crate::repair::RepairScheduler;
+use crate::StoreError;
+use mlec_ec::mlec::MlecStripe;
+use mlec_ec::MlecCodec;
+use mlec_sim::SimConfig;
+use mlec_topology::objectmap::{ChunkLocation, MapperCode, ObjectMapper};
+use mlec_topology::{DiskId, Geometry, MlecScheme};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything that shapes a store instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Physical shape of the deployment.
+    pub geometry: Geometry,
+    /// `(k_n + p_n) / (k_l + p_l)` code parameters.
+    pub code: MapperCode,
+    /// Placement scheme for both levels.
+    pub scheme: MlecScheme,
+    /// §3 bandwidth/throttle environment shared with the simulators.
+    pub sim: SimConfig,
+    /// Chunk payload size in bytes.
+    pub chunk_bytes: usize,
+    /// LRU cache capacity in chunks (0 disables).
+    pub cache_chunks: usize,
+    /// Per-I/O disk positioning cost, µs.
+    pub seek_us: u64,
+    /// Fixed software overhead added to every op, µs.
+    pub overhead_us: u64,
+    /// Failure detection delay before repair may start, µs (the
+    /// store-scale analogue of the paper's 30-minute window).
+    pub detect_us: u64,
+    /// Concurrent rebuild streams.
+    pub repair_streams: u32,
+    /// Seed of the deterministic declustered placement.
+    pub placement_seed: u64,
+}
+
+impl StoreConfig {
+    /// A small fast deployment for benchmarks and tests: 864 disks
+    /// (6 racks × 2 × 12), a `(2+1)/(4+2)` code, declustered at both
+    /// levels, 4 KiB chunks.
+    pub fn small_test() -> StoreConfig {
+        StoreConfig {
+            geometry: Geometry::small_test(),
+            code: MapperCode {
+                kn: 2,
+                pn: 1,
+                kl: 4,
+                pl: 2,
+            },
+            scheme: MlecScheme::DD,
+            sim: SimConfig::paper_default(),
+            chunk_bytes: 4096,
+            cache_chunks: 4096,
+            seek_us: 400,
+            overhead_us: 50,
+            detect_us: 200_000,
+            repair_streams: 4,
+            placement_seed: 0x510e,
+        }
+    }
+
+    /// Bytes of data per object (`k_n * k_l * chunk_bytes`).
+    pub fn payload_bytes(&self) -> usize {
+        self.code.kn as usize * self.code.kl as usize * self.chunk_bytes
+    }
+}
+
+/// Outcome of a put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutResult {
+    /// Version written (0 for the first put of an object).
+    pub version: u64,
+    /// Virtual completion latency, µs.
+    pub latency_us: u64,
+}
+
+/// Outcome of a get.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetResult {
+    /// The object's bytes.
+    pub payload: Vec<u8>,
+    /// Virtual completion latency, µs.
+    pub latency_us: u64,
+    /// Whether any chunk had to be decoded rather than read.
+    pub degraded: bool,
+    /// Surviving chunks fetched beyond the object's own present data
+    /// chunks (0 for a healthy read).
+    pub chunks_read: u64,
+}
+
+/// The MLEC object store over a chunk backend.
+#[derive(Debug)]
+pub struct MlecStore<B: ChunkBackend> {
+    cfg: StoreConfig,
+    mapper: ObjectMapper,
+    codec: MlecCodec,
+    backend: B,
+    cache: ChunkCache,
+    arbiter: BandwidthArbiter,
+    repair: RepairScheduler,
+    /// Current version per live object.
+    versions: BTreeMap<u64, u64>,
+    /// Which chunks each disk holds (drives kill + rebuild bookkeeping).
+    by_disk: BTreeMap<DiskId, BTreeSet<ChunkKey>>,
+    /// Chunks destroyed by failures and not yet rebuilt.
+    lost: BTreeSet<ChunkKey>,
+    degraded_reads: u64,
+    repaired_local_chunks: u64,
+    repaired_network_chunks: u64,
+    read_buf: Vec<u8>,
+}
+
+impl<B: ChunkBackend> MlecStore<B> {
+    /// Build a store over `backend`.
+    pub fn new(cfg: StoreConfig, backend: B) -> Result<MlecStore<B>, StoreError> {
+        let mapper = ObjectMapper::new(
+            cfg.geometry,
+            cfg.code,
+            cfg.scheme,
+            cfg.chunk_bytes as u64,
+            cfg.placement_seed,
+        );
+        let codec = MlecCodec::new(
+            cfg.code.kn as usize,
+            cfg.code.pn as usize,
+            cfg.code.kl as usize,
+            cfg.code.pl as usize,
+        )?;
+        Ok(MlecStore {
+            cache: ChunkCache::new(cfg.cache_chunks),
+            arbiter: BandwidthArbiter::new(&cfg.sim, cfg.seek_us),
+            repair: RepairScheduler::new(cfg.repair_streams),
+            cfg,
+            mapper,
+            codec,
+            backend,
+            versions: BTreeMap::new(),
+            by_disk: BTreeMap::new(),
+            lost: BTreeSet::new(),
+            degraded_reads: 0,
+            repaired_local_chunks: 0,
+            repaired_network_chunks: 0,
+            read_buf: Vec::new(),
+        })
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// The codec (for encoding payloads off-thread).
+    pub fn codec(&self) -> &MlecCodec {
+        &self.codec
+    }
+
+    /// Encode a payload into a stripe grid — pure, callable off-thread.
+    pub fn encode_payload(&self, payload: &[u8]) -> Result<MlecStripe, StoreError> {
+        if payload.len() != self.cfg.payload_bytes() {
+            return Err(StoreError::BadSpec(format!(
+                "payload is {} bytes, expected {}",
+                payload.len(),
+                self.cfg.payload_bytes()
+            )));
+        }
+        let chunks: Vec<&[u8]> = payload.chunks(self.cfg.chunk_bytes).collect();
+        Ok(self.codec.encode(&chunks)?)
+    }
+
+    /// Write object `obj` from a pre-encoded stripe grid. Returns the new
+    /// version and the virtual latency.
+    pub fn put_encoded(
+        &mut self,
+        obj: u64,
+        stripe: &MlecStripe,
+        now: u64,
+    ) -> Result<PutResult, StoreError> {
+        let (nw, lw) = (self.cfg.code.network_width(), self.cfg.code.local_width());
+        if stripe.len() != nw as usize || stripe.iter().any(|r| r.len() != lw as usize) {
+            return Err(StoreError::BadSpec(format!(
+                "stripe grid is not {nw} x {lw}"
+            )));
+        }
+        let start = now + self.cfg.overhead_us;
+        let mut end = start;
+        for row in 0..nw {
+            for col in 0..lw {
+                let loc = self.mapper.chunk_at(obj, row, col);
+                let key = chunk_key(obj, row, col);
+                let data = &stripe[row as usize][col as usize];
+                // Chunk travels the rack uplink, then lands on the disk.
+                let rack = self.mapper.rack_of(&loc);
+                let arrived = self.arbiter.rack_xfer(rack, data.len(), start);
+                end =
+                    end.max(
+                        self.arbiter
+                            .disk_io(loc.disk, data.len(), arrived, Lane::Foreground),
+                    );
+                self.backend.write_chunk(key, data)?;
+                self.cache.invalidate(key);
+                self.by_disk.entry(loc.disk).or_default().insert(key);
+                // Overwriting heals any lost chunks of this stripe.
+                self.lost.remove(&key);
+            }
+        }
+        let version = self.versions.get(&obj).map_or(0, |v| v + 1);
+        self.versions.insert(obj, version);
+        Ok(PutResult {
+            version,
+            latency_us: end - now,
+        })
+    }
+
+    /// Encode and write object `obj`.
+    pub fn put(&mut self, obj: u64, payload: &[u8], now: u64) -> Result<PutResult, StoreError> {
+        let stripe = self.encode_payload(payload)?;
+        self.put_encoded(obj, &stripe, now)
+    }
+
+    /// Bulk-load an object without charging the bandwidth clocks: the
+    /// benchmark's pre-population step, which models data that existed
+    /// before the measured window opened. Indistinguishable from a put at
+    /// version 0 in every other respect.
+    pub fn preload_encoded(&mut self, obj: u64, stripe: &MlecStripe) -> Result<(), StoreError> {
+        let (nw, lw) = (self.cfg.code.network_width(), self.cfg.code.local_width());
+        if stripe.len() != nw as usize || stripe.iter().any(|r| r.len() != lw as usize) {
+            return Err(StoreError::BadSpec(format!(
+                "stripe grid is not {nw} x {lw}"
+            )));
+        }
+        for row in 0..nw {
+            for col in 0..lw {
+                let loc = self.mapper.chunk_at(obj, row, col);
+                let key = chunk_key(obj, row, col);
+                self.backend
+                    .write_chunk(key, &stripe[row as usize][col as usize])?;
+                self.by_disk.entry(loc.disk).or_default().insert(key);
+            }
+        }
+        self.versions.insert(obj, 0);
+        Ok(())
+    }
+
+    /// Read object `obj`, taking a degraded path when chunks are lost.
+    pub fn get(&mut self, obj: u64, now: u64) -> Result<GetResult, StoreError> {
+        if !self.versions.contains_key(&obj) {
+            return Err(StoreError::UnknownObject(obj));
+        }
+        let (kn, kl) = (self.cfg.code.kn, self.cfg.code.kl);
+        let start = now + self.cfg.overhead_us;
+        let any_lost =
+            (0..kn).any(|row| (0..kl).any(|col| self.lost.contains(&chunk_key(obj, row, col))));
+        if !any_lost {
+            return self.get_healthy(obj, now, start);
+        }
+        self.degraded_reads += 1;
+        self.get_degraded(obj, now, start)
+    }
+
+    /// Fast path: every data chunk is present.
+    fn get_healthy(&mut self, obj: u64, now: u64, start: u64) -> Result<GetResult, StoreError> {
+        let (kn, kl) = (self.cfg.code.kn, self.cfg.code.kl);
+        let mut payload = Vec::with_capacity(self.cfg.payload_bytes());
+        let mut end = start;
+        for row in 0..kn {
+            for col in 0..kl {
+                let key = chunk_key(obj, row, col);
+                if let Some(bytes) = self.cache.get(key) {
+                    payload.extend_from_slice(bytes);
+                    continue;
+                }
+                let loc = self.mapper.chunk_at(obj, row, col);
+                if !self.backend.read_chunk(key, &mut self.read_buf)? {
+                    return Err(StoreError::Unrecoverable {
+                        object: obj,
+                        detail: format!("chunk ({row}, {col}) missing without a recorded loss"),
+                    });
+                }
+                end = end.max(self.charge_read(&loc, self.read_buf.len(), start, Lane::Foreground));
+                self.cache.insert(key, &self.read_buf);
+                payload.extend_from_slice(&self.read_buf);
+            }
+        }
+        Ok(GetResult {
+            payload,
+            latency_us: end - now,
+            degraded: false,
+            chunks_read: 0,
+        })
+    }
+
+    /// Degraded path: plan the minimal survivor fetch, fall back to a full
+    /// grid reconstruct when the simple row/column paths don't suffice.
+    fn get_degraded(&mut self, obj: u64, now: u64, start: u64) -> Result<GetResult, StoreError> {
+        let code = self.cfg.code;
+        let (nw, lw) = (code.network_width(), code.local_width());
+        let lost_at = |lost: &BTreeSet<ChunkKey>, row: u32, col: u32| {
+            lost.contains(&chunk_key(obj, row, col))
+        };
+        // Survivors to fetch, beyond the present data chunks.
+        let mut need: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut simple = true;
+        for row in 0..code.kn {
+            for col in 0..code.kl {
+                if !lost_at(&self.lost, row, col) {
+                    need.insert((row, col));
+                    continue;
+                }
+                let row_missing = (0..lw).filter(|&c| lost_at(&self.lost, row, c)).count() as u32;
+                if lw - row_missing >= code.kl {
+                    // Local path: any kl survivors of the row suffice.
+                    let mut taken = 0;
+                    for c in 0..lw {
+                        if !lost_at(&self.lost, row, c) && taken < code.kl {
+                            need.insert((row, c));
+                            taken += 1;
+                        }
+                    }
+                } else {
+                    // Network path: the column's survivors across all rows.
+                    let col_present: Vec<u32> =
+                        (0..nw).filter(|&r| !lost_at(&self.lost, r, col)).collect();
+                    if col_present.len() as u32 >= code.kn {
+                        for &r in &col_present {
+                            need.insert((r, col));
+                        }
+                    } else {
+                        simple = false;
+                    }
+                }
+            }
+        }
+        if !simple {
+            // Worst case: fetch every survivor and reconstruct the grid.
+            need = (0..nw)
+                .flat_map(|r| (0..lw).map(move |c| (r, c)))
+                .filter(|&(r, c)| !lost_at(&self.lost, r, c))
+                .collect();
+        }
+
+        // Fetch the survivors into a grid of Options.
+        let mut grid: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; lw as usize]; nw as usize];
+        let mut end = start;
+        let mut fetched = 0u64;
+        for &(row, col) in &need {
+            let key = chunk_key(obj, row, col);
+            if let Some(bytes) = self.cache.get(key) {
+                grid[row as usize][col as usize] = Some(bytes.to_vec());
+                fetched += 1;
+                continue;
+            }
+            let loc = self.mapper.chunk_at(obj, row, col);
+            if !self.backend.read_chunk(key, &mut self.read_buf)? {
+                continue; // inconsistent survivor: let the decoder decide
+            }
+            end = end.max(self.charge_read(&loc, self.read_buf.len(), start, Lane::Foreground));
+            self.cache.insert(key, &self.read_buf);
+            grid[row as usize][col as usize] = Some(self.read_buf.clone());
+            fetched += 1;
+        }
+
+        if !simple {
+            self.codec.reconstruct(&mut grid).map_err(|e| match e {
+                mlec_ec::EcError::TooManyErasures { present, needed } => {
+                    StoreError::Unrecoverable {
+                        object: obj,
+                        detail: format!("{present} survivors where {needed} are needed"),
+                    }
+                }
+                other => StoreError::Codec(other),
+            })?;
+        }
+
+        // Assemble the payload; decode what is missing.
+        let mut payload = Vec::with_capacity(self.cfg.payload_bytes());
+        for row in 0..code.kn {
+            for col in 0..code.kl {
+                if let Some(bytes) = &grid[row as usize][col as usize] {
+                    payload.extend_from_slice(bytes);
+                    continue;
+                }
+                let (bytes, _) = self
+                    .codec
+                    .read_degraded(&grid, row as usize, col as usize)?;
+                payload.extend_from_slice(&bytes);
+            }
+        }
+        // Extra survivors = everything fetched that is not the object's own
+        // present data (those would have been read anyway).
+        let present_data = (0..code.kn)
+            .flat_map(|r| (0..code.kl).map(move |c| (r, c)))
+            .filter(|&(r, c)| !lost_at(&self.lost, r, c))
+            .count() as u64;
+        Ok(GetResult {
+            payload,
+            latency_us: end - now,
+            degraded: true,
+            chunks_read: fetched.saturating_sub(present_data),
+        })
+    }
+
+    /// Remove object `obj`; returns the virtual latency.
+    pub fn delete(&mut self, obj: u64, now: u64) -> Result<u64, StoreError> {
+        if self.versions.remove(&obj).is_none() {
+            return Err(StoreError::UnknownObject(obj));
+        }
+        let (nw, lw) = (self.cfg.code.network_width(), self.cfg.code.local_width());
+        let start = now + self.cfg.overhead_us;
+        let mut end = start;
+        for row in 0..nw {
+            for col in 0..lw {
+                let key = chunk_key(obj, row, col);
+                let loc = self.mapper.chunk_at(obj, row, col);
+                if self.backend.delete_chunk(key)? {
+                    // Metadata-only touch: seek, no payload transfer.
+                    end = end.max(self.arbiter.disk_io(loc.disk, 0, start, Lane::Foreground));
+                }
+                self.cache.invalidate(key);
+                if let Some(set) = self.by_disk.get_mut(&loc.disk) {
+                    set.remove(&key);
+                }
+                self.lost.remove(&key);
+            }
+        }
+        Ok(end - now)
+    }
+
+    /// Kill the first `n` racks at virtual time `now`; returns chunks lost.
+    pub fn kill_racks(&mut self, n: u32, now: u64) -> u64 {
+        let mut disks: Vec<DiskId> = Vec::new();
+        for rack in 0..n.min(self.cfg.geometry.racks) {
+            disks.extend(self.cfg.geometry.disks_in_rack(rack));
+        }
+        self.kill_disks(&disks, now)
+    }
+
+    /// Kill specific disks at virtual time `now`; every chunk they held is
+    /// lost, affected stripes are queued for rebuild after the detection
+    /// delay, and the disks are replaced by empty spares (same ids).
+    pub fn kill_disks(&mut self, disks: &[DiskId], now: u64) -> u64 {
+        let mut affected: BTreeSet<u64> = BTreeSet::new();
+        let mut lost_chunks = 0u64;
+        for &disk in disks {
+            let Some(keys) = self.by_disk.remove(&disk) else {
+                continue;
+            };
+            for key in keys {
+                let _ = self.backend.delete_chunk(key);
+                self.cache.invalidate(key);
+                self.lost.insert(key);
+                affected.insert(key >> 12);
+                lost_chunks += 1;
+            }
+        }
+        let ready_at = now + self.cfg.detect_us;
+        for stripe in affected {
+            self.repair.enqueue(stripe, ready_at);
+        }
+        lost_chunks
+    }
+
+    /// Run queued rebuilds whose start time falls at or before `deadline`.
+    /// Call with `u64::MAX` to drain the queue completely.
+    pub fn pump_repairs(&mut self, deadline: u64) {
+        while let Some((stream, start, stripe)) = self.repair.pop_ready(deadline) {
+            let end = self.repair_stripe(stripe, start);
+            let gap = self.arbiter.repair_pacing_gap_us(end.saturating_sub(start));
+            self.repair.complete(stream, end, gap);
+        }
+    }
+
+    /// Rebuild one stripe: read the surviving grid, reconstruct, write the
+    /// lost chunks back to the replacement disks. Returns the finish time.
+    fn repair_stripe(&mut self, stripe: u64, start: u64) -> u64 {
+        let (nw, lw) = (self.cfg.code.network_width(), self.cfg.code.local_width());
+        let lost_keys: Vec<ChunkKey> = self
+            .lost
+            .range(chunk_key(stripe, 0, 0)..=chunk_key(stripe, nw - 1, lw - 1))
+            .copied()
+            .collect();
+        if lost_keys.is_empty() {
+            // Overwritten or deleted while queued: nothing to rebuild.
+            self.repair.skipped_stripes += 1;
+            return start;
+        }
+        // Read every survivor (R_FCO-style full-grid rebuild).
+        let mut grid: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; lw as usize]; nw as usize];
+        let mut read_end = start;
+        for row in 0..nw {
+            for col in 0..lw {
+                let key = chunk_key(stripe, row, col);
+                if self.lost.contains(&key) {
+                    continue;
+                }
+                if self
+                    .backend
+                    .read_chunk(key, &mut self.read_buf)
+                    .unwrap_or(false)
+                {
+                    let loc = self.mapper.chunk_at(stripe, row, col);
+                    read_end = read_end.max(self.charge_read(
+                        &loc,
+                        self.read_buf.len(),
+                        start,
+                        Lane::Repair,
+                    ));
+                    grid[row as usize][col as usize] = Some(self.read_buf.clone());
+                }
+            }
+        }
+        match self.codec.reconstruct(&mut grid) {
+            Ok((local, network)) => {
+                self.repaired_local_chunks += local as u64;
+                self.repaired_network_chunks += network as u64;
+            }
+            Err(_) => {
+                // Beyond tolerance: give up on this stripe for good.
+                self.repair.unrecoverable_stripes += 1;
+                for key in lost_keys {
+                    self.lost.remove(&key);
+                }
+                return read_end;
+            }
+        }
+        // Write the rebuilt chunks after the decode fan-in completes.
+        let mut end = read_end;
+        for key in lost_keys {
+            let (_, row, col) = crate::backend::key_parts(key);
+            let Some(bytes) = grid[row as usize][col as usize].take() else {
+                continue;
+            };
+            let loc = self.mapper.chunk_at(stripe, row, col);
+            let rack = self.mapper.rack_of(&loc);
+            let arrived = self.arbiter.rack_xfer(rack, bytes.len(), read_end);
+            end = end.max(
+                self.arbiter
+                    .disk_io(loc.disk, bytes.len(), arrived, Lane::Repair),
+            );
+            if self.backend.write_chunk(key, &bytes).is_ok() {
+                self.by_disk.entry(loc.disk).or_default().insert(key);
+                self.lost.remove(&key);
+            }
+        }
+        self.repair.repaired_stripes += 1;
+        end
+    }
+
+    /// Disk read then cross-rack hop; returns the delivery time.
+    fn charge_read(&mut self, loc: &ChunkLocation, bytes: usize, start: u64, lane: Lane) -> u64 {
+        let read_done = self.arbiter.disk_io(loc.disk, bytes, start, lane);
+        let rack = self.mapper.rack_of(loc);
+        self.arbiter.rack_xfer(rack, bytes, read_done)
+    }
+
+    /// Current version of `obj`, if live.
+    pub fn version_of(&self, obj: u64) -> Option<u64> {
+        self.versions.get(&obj).copied()
+    }
+
+    /// Live object count.
+    pub fn live_objects(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Chunks currently lost to failures and not yet rebuilt.
+    pub fn lost_chunks(&self) -> usize {
+        self.lost.len()
+    }
+
+    /// Degraded reads served so far.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads
+    }
+
+    /// `(locally_repaired, network_repaired)` chunk counts from rebuilds.
+    pub fn repaired_chunks(&self) -> (u64, u64) {
+        (self.repaired_local_chunks, self.repaired_network_chunks)
+    }
+
+    /// The repair scheduler (queue depth, completion time, stripe counts).
+    pub fn repair(&self) -> &RepairScheduler {
+        &self.repair
+    }
+
+    /// The chunk cache (hit statistics).
+    pub fn cache(&self) -> &ChunkCache {
+        &self.cache
+    }
+
+    /// The bandwidth arbiter (lane totals).
+    pub fn arbiter(&self) -> &BandwidthArbiter {
+        &self.arbiter
+    }
+
+    /// The backend (chunk counts; tests inspect it directly).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn store() -> MlecStore<MemBackend> {
+        MlecStore::new(StoreConfig::small_test(), MemBackend::new()).unwrap()
+    }
+
+    fn payload(cfg: &StoreConfig, tag: u8) -> Vec<u8> {
+        (0..cfg.payload_bytes())
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(tag))
+            .collect()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut s = store();
+        let p = payload(s.config(), 7);
+        let put = s.put(3, &p, 0).unwrap();
+        assert_eq!(put.version, 0);
+        assert!(put.latency_us > 0);
+        let got = s.get(3, 10_000).unwrap();
+        assert_eq!(got.payload, p);
+        assert!(!got.degraded);
+        assert_eq!(got.chunks_read, 0);
+        // A second put bumps the version.
+        assert_eq!(s.put(3, &p, 20_000).unwrap().version, 1);
+        assert_eq!(s.version_of(3), Some(1));
+    }
+
+    #[test]
+    fn get_and_delete_of_unknown_object_fail() {
+        let mut s = store();
+        assert!(matches!(s.get(9, 0), Err(StoreError::UnknownObject(9))));
+        assert!(matches!(s.delete(9, 0), Err(StoreError::UnknownObject(9))));
+    }
+
+    #[test]
+    fn rack_kill_forces_degraded_reads_then_repair_heals() {
+        let mut s = store();
+        let p = payload(s.config(), 3);
+        for obj in 0..8u64 {
+            s.put(obj, &p, obj * 1_000).unwrap();
+        }
+        let lost = s.kill_racks(1, 100_000);
+        assert!(lost > 0, "a rack kill must lose chunks");
+
+        // Reads still return the exact bytes; damaged stripes go degraded.
+        let mut degraded = 0;
+        for obj in 0..8u64 {
+            let got = s.get(obj, 200_000).unwrap();
+            assert_eq!(got.payload, p, "object {obj}");
+            if got.degraded {
+                degraded += 1;
+                assert!(got.chunks_read > 0);
+            }
+        }
+        assert!(degraded > 0, "some stripe must touch the killed rack");
+        assert_eq!(s.degraded_reads(), degraded);
+
+        // Drain the rebuild; everything heals.
+        s.pump_repairs(u64::MAX);
+        assert_eq!(s.lost_chunks(), 0);
+        assert!(s.repair().done_at().is_some());
+        assert!(s.repair().repaired_stripes > 0);
+        let (l, n) = s.repaired_chunks();
+        assert_eq!(l + n, lost);
+        // Post-repair reads are healthy again.
+        let t = s.repair().done_at().unwrap() + 1;
+        for obj in 0..8u64 {
+            let got = s.get(obj, t).unwrap();
+            assert_eq!(got.payload, p);
+            assert!(!got.degraded, "object {obj} should be healed");
+        }
+    }
+
+    #[test]
+    fn detection_delay_gates_repair_start() {
+        let mut s = store();
+        let p = payload(s.config(), 1);
+        for obj in 0..8u64 {
+            s.put(obj, &p, 0).unwrap();
+        }
+        let lost = s.kill_racks(1, 50_000);
+        assert!(lost > 0, "eight stripes must touch the killed rack");
+        let detect = s.config().detect_us;
+        // Nothing may start before the detection window elapses.
+        s.pump_repairs(50_000 + detect - 1);
+        assert_eq!(s.repair().repaired_stripes + s.repair().skipped_stripes, 0);
+        s.pump_repairs(u64::MAX);
+        assert_eq!(s.lost_chunks(), 0);
+        assert!(s.repair().done_at().unwrap() > 50_000 + detect);
+    }
+
+    #[test]
+    fn overwrite_heals_lost_chunks_without_repair() {
+        let mut s = store();
+        let p = payload(s.config(), 5);
+        s.put(0, &p, 0).unwrap();
+        s.kill_racks(1, 10_000);
+        if s.lost_chunks() == 0 {
+            return; // placement missed rack 0 entirely — nothing to check
+        }
+        let p2 = payload(s.config(), 6);
+        s.put(0, &p2, 20_000).unwrap();
+        assert_eq!(s.lost_chunks(), 0, "overwrite re-creates every chunk");
+        let got = s.get(0, 30_000).unwrap();
+        assert_eq!(got.payload, p2);
+        assert!(!got.degraded);
+        // The queued repair finds nothing to do.
+        s.pump_repairs(u64::MAX);
+        assert_eq!(s.repair().repaired_stripes, 0);
+        assert!(s.repair().skipped_stripes > 0);
+    }
+
+    #[test]
+    fn delete_removes_all_chunks_and_latency_is_positive() {
+        let mut s = store();
+        let p = payload(s.config(), 9);
+        s.put(4, &p, 0).unwrap();
+        let total = s.config().code.network_width() * s.config().code.local_width();
+        assert_eq!(s.backend().chunk_count(), total as usize);
+        let lat = s.delete(4, 10_000).unwrap();
+        assert!(lat > 0);
+        assert_eq!(s.backend().chunk_count(), 0);
+        assert_eq!(s.live_objects(), 0);
+    }
+
+    #[test]
+    fn beyond_tolerance_reads_report_unrecoverable() {
+        let mut s = store();
+        let p = payload(s.config(), 2);
+        s.put(0, &p, 0).unwrap();
+        // Killing two racks exceeds p_n = 1 for stripes with two rows
+        // there; killing ALL racks certainly kills every stripe.
+        s.kill_racks(s.config().geometry.racks, 1_000);
+        match s.get(0, 2_000) {
+            Err(StoreError::Unrecoverable { object, .. }) => assert_eq!(object, 0),
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Seeded property tests: after ANY tolerable combination of disk/rack
+//! kills, `get` returns bytes identical to the original `put` payload.
+//!
+//! "Tolerable" follows the code's algebra: a stripe survives when every
+//! row is locally recoverable (≤ `p_l` chunks lost in the row) except for
+//! at most `p_n` rows that may be lost outright. The generator below
+//! draws random kill sets *by construction* inside that envelope —
+//! whole-rack kills (≤ `p_n` racks) plus per-row disk kills (≤ `p_l`
+//! each) — so every case must decode exactly.
+
+use mlec_runner::{SeedStream, SplitMix64};
+use mlec_store::{payload_for, MemBackend, MlecStore, StoreConfig};
+
+fn fresh_store() -> MlecStore<MemBackend> {
+    MlecStore::new(StoreConfig::small_test(), MemBackend::new()).unwrap()
+}
+
+fn load_objects(store: &mut MlecStore<MemBackend>, pay: &SeedStream, n: u64) {
+    let plen = store.config().payload_bytes();
+    for obj in 0..n {
+        let payload = payload_for(pay, obj, 0, plen);
+        store.put(obj, &payload, obj * 1_000).unwrap();
+    }
+}
+
+#[test]
+fn get_survives_any_tolerable_kill_combination() {
+    let pay = SeedStream::new(7, "durability/payload");
+    let kills = SeedStream::new(7, "durability/kills");
+    let objects = 12u64;
+
+    for case in 0..40u64 {
+        let mut store = fresh_store();
+        load_objects(&mut store, &pay, objects);
+        let cfg = *store.config();
+        let geometry = cfg.geometry;
+        let mut rng = SplitMix64::new(kills.trial_seed(case));
+
+        // Tolerable by construction: at most p_n whole racks...
+        let whole_racks = (rng.next_u64() % u64::from(cfg.code.pn + 1)) as u32;
+        let first_rack = rng.next_u32() % (geometry.racks - whole_racks + 1);
+        for rack in first_rack..first_rack + whole_racks {
+            let disks: Vec<u32> = geometry.disks_in_rack(rack).collect();
+            store.kill_disks(&disks, 100_000);
+        }
+        // ...plus scattered disks in the *other* racks, at most p_l per
+        // rack (a row never spans racks, so ≤ p_l disk losses per rack
+        // keep every surviving row locally recoverable).
+        for rack in 0..geometry.racks {
+            if (first_rack..first_rack + whole_racks).contains(&rack) {
+                continue;
+            }
+            let k = (rng.next_u64() % u64::from(cfg.code.pl + 1)) as usize;
+            let mut disks: Vec<u32> = geometry.disks_in_rack(rack).collect();
+            for i in 0..k {
+                let j = i + (rng.next_u64() as usize) % (disks.len() - i);
+                disks.swap(i, j);
+            }
+            store.kill_disks(&disks[..k], 100_000);
+        }
+
+        // Every object must read back bit-exactly, degraded or not.
+        let plen = cfg.payload_bytes();
+        for obj in 0..objects {
+            let got = store
+                .get(obj, 200_000)
+                .unwrap_or_else(|e| panic!("case {case}, object {obj}: {e}"));
+            assert_eq!(
+                got.payload,
+                payload_for(&pay, obj, 0, plen),
+                "case {case}, object {obj} (degraded={})",
+                got.degraded
+            );
+        }
+
+        // And the rebuild heals everything the codec can reach.
+        store.pump_repairs(u64::MAX);
+        assert_eq!(
+            store.repair().unrecoverable_stripes,
+            0,
+            "case {case}: tolerable damage must never be unrecoverable"
+        );
+        assert_eq!(store.lost_chunks(), 0, "case {case}");
+        for obj in 0..objects {
+            let got = store.get(obj, 10_000_000).unwrap();
+            assert_eq!(got.payload, payload_for(&pay, obj, 0, plen));
+            assert!(!got.degraded, "case {case}: object {obj} not healed");
+        }
+    }
+}
+
+#[test]
+fn per_row_overload_is_still_recoverable_within_network_tolerance() {
+    // Kill p_l + 1 disks in one rack: rows there lose local
+    // recoverability only if all lost disks hit the same row — either
+    // way the network level (p_n = 1 lost row) must absorb it.
+    let pay = SeedStream::new(11, "durability/overload");
+    let mut store = fresh_store();
+    load_objects(&mut store, &pay, 8);
+    let cfg = *store.config();
+    let kill_count = (cfg.code.pl + 1) as usize;
+    let disks: Vec<u32> = cfg.geometry.disks_in_rack(0).take(kill_count).collect();
+    store.kill_disks(&disks, 50_000);
+    let plen = cfg.payload_bytes();
+    for obj in 0..8u64 {
+        let got = store.get(obj, 100_000).unwrap();
+        assert_eq!(got.payload, payload_for(&pay, obj, 0, plen), "object {obj}");
+    }
+    store.pump_repairs(u64::MAX);
+    assert_eq!(store.lost_chunks(), 0);
+}

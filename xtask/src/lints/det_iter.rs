@@ -20,6 +20,7 @@ const SCOPE: &[&str] = &[
     "crates/analysis/src/",
     "crates/core/src/",
     "crates/topology/src/",
+    "crates/store/src/",
 ];
 
 /// L3: no nondeterministically ordered collections in result paths.

@@ -28,6 +28,7 @@ const SCOPE: &[&str] = &[
     "crates/sim/src/",
     "crates/analysis/src/",
     "crates/core/src/",
+    "crates/store/src/",
 ];
 
 /// The kernel owns randomness; everything else asks the kernel.
