@@ -3,10 +3,22 @@
 //! behind decode planning. Run with `cargo bench --bench gf_kernels`;
 //! `-- --fast --check BENCH_gf.json` gates against the committed
 //! baseline, `-- --json BENCH_gf.json` refreshes it.
+//!
+//! The `gf_mul_add_slice/*` rows go through the runtime SIMD dispatcher
+//! (printed at startup); `gf_mul_add_scalar/*` pins the portable u64
+//! fallback, so the committed baseline documents the SIMD-vs-scalar ratio
+//! on the machine that produced it.
+//!
+//! Committed baseline `min`s are the recorded `--json` output plus ~25%
+//! slow-side headroom: virtualized CI hosts drift in effective clock speed
+//! between runs, which would trip a tight 25% gate on noise alone, while
+//! the regressions this gate exists to catch (losing vector dispatch is
+//! a 10x+ slowdown) clear any reasonable headroom. Medians are the
+//! recorded values, kept as noise context.
 
 use mlec_bench::microbench::{black_box, Harness};
 use mlec_gf::matrix::Matrix;
-use mlec_gf::slice::{mul_add_slice, mul_slice, xor_slice};
+use mlec_gf::slice::{mul_add_slice, mul_add_slice_scalar, mul_slice, xor_slice};
 
 fn bench_mul_add_slice(h: &mut Harness) {
     for size in [4 * 1024, 128 * 1024, 1024 * 1024] {
@@ -16,6 +28,17 @@ fn bench_mul_add_slice(h: &mut Harness) {
             mul_add_slice(black_box(0x57), black_box(&input), black_box(&mut out));
         });
     }
+}
+
+fn bench_mul_add_scalar(h: &mut Harness) {
+    // Forced-scalar twin of gf_mul_add_slice/131072: the baseline ratio
+    // between the two is the SIMD speedup on the baseline machine.
+    let size = 128 * 1024;
+    let input: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+    let mut out = vec![0u8; size];
+    h.bench_bytes("gf_mul_add_scalar/131072", size as u64, || {
+        mul_add_slice_scalar(black_box(0x57), black_box(&input), black_box(&mut out));
+    });
 }
 
 fn bench_xor_slice(h: &mut Harness) {
@@ -55,8 +78,10 @@ fn bench_matrix_rank(h: &mut Harness) {
 }
 
 fn main() -> std::process::ExitCode {
+    println!("gf kernel dispatch: {}", mlec_gf::simd::kernel_name());
     let mut h = Harness::from_args();
     bench_mul_add_slice(&mut h);
+    bench_mul_add_scalar(&mut h);
     bench_xor_slice(&mut h);
     bench_mul_slice(&mut h);
     bench_matrix_invert(&mut h);

@@ -1,15 +1,32 @@
 //! Minimal self-contained micro-benchmark harness for the `benches/`
 //! targets (`harness = false`): warm up, size the batch to a target wall
-//! time, time several batches, and report the median ns/iter (plus MB/s
-//! when a byte throughput is declared). No external framework needed.
+//! time, time several batches, and report ns/iter (plus MB/s when a byte
+//! throughput is declared). No external framework needed.
 //!
-//! Baseline-tracked targets use [`Harness`], which adds three flags after
+//! # Which statistic gates what
+//!
+//! Each measurement times several batches and keeps two statistics:
+//!
+//! - **min** — the fastest batch. Timing noise (scheduler preemption,
+//!   frequency transitions) only ever *inflates* a batch, so the min is the
+//!   low-variance statistic. **Regression gating (`--check`) compares
+//!   min-vs-min, always.**
+//! - **median** — the middle batch; reported alongside for context on how
+//!   noisy the run was (a median far above the min means a noisy machine,
+//!   not a slow kernel).
+//!
+//! Baselines written by `--json` record *both* under each name
+//! (`{"name": {"min": ns, "median": ns}}`); legacy flat baselines
+//! (`{"name": ns}`) are read as min-only. The ungrouped [`fn@bench`] /
+//! [`Group`] helpers (no baseline tracking) print the median.
+//!
+//! Baseline-tracked targets use [`Harness`], which adds four flags after
 //! `cargo bench --bench <name> --`:
 //!
 //! - `--fast` — shorter batches (CI smoke budget);
-//! - `--json PATH` — dump `{name: ns_per_iter}` results as JSON;
-//! - `--check PATH` — compare against a committed baseline and exit
-//!   non-zero on a > `--max-regress` percent slowdown (default 25).
+//! - `--json PATH` — dump per-name `{min, median}` results as JSON;
+//! - `--check PATH` — compare min ns/iter against a committed baseline and
+//!   exit non-zero on a > `--max-regress` percent slowdown (default 25).
 
 use mlec_runner::Json;
 use std::path::PathBuf;
@@ -74,8 +91,22 @@ fn time_ns_per_iter<F: FnMut()>(f: F) -> u64 {
     samples_with_budget(f, BATCHES, BATCH_SECONDS)[BATCHES / 2]
 }
 
-fn time_min_with_budget<F: FnMut()>(f: F, batches: usize, batch_seconds: f64) -> u64 {
-    samples_with_budget(f, batches, batch_seconds)[0]
+/// Both gate and context statistics from one set of batches (see the
+/// module docs for which is which).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Fastest batch, ns/iter — the regression-gated statistic.
+    pub min: u64,
+    /// Median batch, ns/iter — noise context, never gated on.
+    pub median: u64,
+}
+
+fn stats_with_budget<F: FnMut()>(f: F, batches: usize, batch_seconds: f64) -> BatchStats {
+    let samples = samples_with_budget(f, batches, batch_seconds);
+    BatchStats {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+    }
 }
 
 /// Sorted per-batch ns/iter samples under the given budget.
@@ -110,7 +141,7 @@ pub struct Harness {
     json: Option<PathBuf>,
     check: Option<PathBuf>,
     max_regress_pct: f64,
-    results: Vec<(String, u64)>,
+    results: Vec<(String, BatchStats)>,
 }
 
 impl Harness {
@@ -143,37 +174,43 @@ impl Harness {
         h
     }
 
-    /// Time `f`, print ns/iter, and record it under `name`.
+    /// Time `f`, print min (and median) ns/iter, and record both under
+    /// `name`.
     pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
-        let ns = self.measure(f);
-        println!("{name:<40} {:>14} ns/iter", group_digits(ns));
-        self.results.push((name.to_string(), ns));
-    }
-
-    /// Like [`Harness::bench`], also printing MB/s for `bytes` per iter.
-    pub fn bench_bytes<F: FnMut()>(&mut self, name: &str, bytes: u64, f: F) {
-        let ns = self.measure(f);
-        let mbs = bytes as f64 / (ns as f64 / 1e9) / 1e6;
+        let stats = self.measure(f);
         println!(
-            "{name:<40} {:>14} ns/iter {mbs:>10.0} MB/s",
-            group_digits(ns)
+            "{name:<40} {:>14} ns/iter (median {})",
+            group_digits(stats.min),
+            group_digits(stats.median)
         );
-        self.results.push((name.to_string(), ns));
+        self.results.push((name.to_string(), stats));
     }
 
-    /// Baseline-tracked measurements use the *minimum* over batches, not
-    /// the median: timing noise only ever inflates a batch, so the min is
-    /// the stable statistic to regression-gate on.
-    fn measure<F: FnMut()>(&self, f: F) -> u64 {
+    /// Like [`Harness::bench`], also printing MB/s for `bytes` per iter
+    /// (computed from the min, the gated statistic).
+    pub fn bench_bytes<F: FnMut()>(&mut self, name: &str, bytes: u64, f: F) {
+        let stats = self.measure(f);
+        let mbs = bytes as f64 / (stats.min as f64 / 1e9) / 1e6;
+        println!(
+            "{name:<40} {:>14} ns/iter {mbs:>10.0} MB/s (median {})",
+            group_digits(stats.min),
+            group_digits(stats.median)
+        );
+        self.results.push((name.to_string(), stats));
+    }
+
+    /// Baseline-tracked measurements keep min *and* median over batches;
+    /// regression gating uses the min (see module docs).
+    fn measure<F: FnMut()>(&self, f: F) -> BatchStats {
         if self.fast {
-            time_min_with_budget(f, FAST_BATCHES, FAST_BATCH_SECONDS)
+            stats_with_budget(f, FAST_BATCHES, FAST_BATCH_SECONDS)
         } else {
-            time_min_with_budget(f, BATCHES, BATCH_SECONDS)
+            stats_with_budget(f, BATCHES, BATCH_SECONDS)
         }
     }
 
     /// Results recorded so far, in execution order.
-    pub fn results(&self) -> &[(String, u64)] {
+    pub fn results(&self) -> &[(String, BatchStats)] {
         &self.results
     }
 
@@ -185,7 +222,15 @@ impl Harness {
             let obj = Json::Obj(
                 self.results
                     .iter()
-                    .map(|(n, ns)| (n.clone(), Json::U64(*ns)))
+                    .map(|(n, stats)| {
+                        (
+                            n.clone(),
+                            Json::Obj(vec![
+                                ("min".to_string(), Json::U64(stats.min)),
+                                ("median".to_string(), Json::U64(stats.median)),
+                            ]),
+                        )
+                    })
                     .collect(),
             );
             if let Err(e) = std::fs::write(path, obj.to_string_pretty() + "\n") {
@@ -224,18 +269,28 @@ impl Harness {
         };
         let mut failures = Vec::new();
         for (name, value) in entries {
-            let Some(base_ns) = value.as_u64().filter(|&ns| ns > 0) else {
-                failures.push(format!("{name}: baseline entry is not a positive integer"));
+            // The gate statistic is always the min: structured entries
+            // carry it under "min" (alongside an ungated "median"); legacy
+            // flat integers *are* the min.
+            let base_min = match value {
+                Json::Obj(_) => value.get("min").and_then(Json::as_u64),
+                _ => value.as_u64(),
+            };
+            let Some(base_ns) = base_min.filter(|&ns| ns > 0) else {
+                failures.push(format!(
+                    "{name}: baseline entry has no positive integer min"
+                ));
                 continue;
             };
-            let Some((_, ns)) = self.results.iter().find(|(n, _)| n == name) else {
+            let Some((_, stats)) = self.results.iter().find(|(n, _)| n == name) else {
                 failures.push(format!("{name}: in the baseline but not measured"));
                 continue;
             };
-            let pct = (*ns as f64 / base_ns as f64 - 1.0) * 100.0;
+            let ns = stats.min;
+            let pct = (ns as f64 / base_ns as f64 - 1.0) * 100.0;
             if pct > self.max_regress_pct {
                 failures.push(format!(
-                    "{name}: {ns} ns/iter vs baseline {base_ns} ({pct:+.1}% > {:.0}%)",
+                    "{name}: min {ns} ns/iter vs baseline min {base_ns} ({pct:+.1}% > {:.0}%)",
                     self.max_regress_pct
                 ));
             }
@@ -272,7 +327,7 @@ mod tests {
         assert_eq!(group_digits(1234567), "1,234,567");
     }
 
-    fn harness_with(results: &[(&str, u64)], max_regress_pct: f64) -> Harness {
+    fn harness_with(results: &[(&str, u64, u64)], max_regress_pct: f64) -> Harness {
         Harness {
             fast: false,
             json: None,
@@ -280,7 +335,15 @@ mod tests {
             max_regress_pct,
             results: results
                 .iter()
-                .map(|(n, v)| ((*n).to_string(), *v))
+                .map(|(n, min, median)| {
+                    (
+                        (*n).to_string(),
+                        BatchStats {
+                            min: *min,
+                            median: *median,
+                        },
+                    )
+                })
                 .collect(),
         }
     }
@@ -295,32 +358,54 @@ mod tests {
 
     #[test]
     fn baseline_check_passes_within_threshold() {
+        // Legacy flat-integer baselines are read as min-only.
         let path = baseline_file("pass", r#"{"a": 100, "b": 200}"#);
         // +24% and -50%: both inside a 25% regression budget.
-        let h = harness_with(&[("a", 124), ("b", 100)], 25.0);
+        let h = harness_with(&[("a", 124, 130), ("b", 100, 110)], 25.0);
         assert!(h.check_against(&path).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn baseline_check_reads_structured_entries_and_gates_on_min() {
+        let path = baseline_file(
+            "structured",
+            r#"{"a": {"min": 100, "median": 120}, "b": {"min": 200, "median": 210}}"#,
+        );
+        // a's median regressed wildly (500 vs 120) but its min is within
+        // budget: the gate must look only at min and pass.
+        let h = harness_with(&[("a", 110, 500), ("b", 190, 205)], 25.0);
+        assert!(h.check_against(&path).is_ok());
+        // And a min regression must fail even with a fine median.
+        let h = harness_with(&[("a", 200, 120), ("b", 190, 205)], 25.0);
+        let failures = h.check_against(&path).unwrap_err();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("a: min 200"));
         let _ = std::fs::remove_file(path);
     }
 
     #[test]
     fn baseline_check_fails_on_regression_and_missing_result() {
         let path = baseline_file("fail", r#"{"a": 100, "gone": 50}"#);
-        let h = harness_with(&[("a", 130)], 25.0);
+        let h = harness_with(&[("a", 130, 140)], 25.0);
         let failures = h.check_against(&path).unwrap_err();
         assert_eq!(failures.len(), 2, "{failures:?}");
-        assert!(failures.iter().any(|f| f.contains("a: 130")));
+        assert!(failures.iter().any(|f| f.contains("a: min 130")));
         assert!(failures.iter().any(|f| f.contains("gone")));
         let _ = std::fs::remove_file(path);
     }
 
     #[test]
     fn baseline_check_rejects_unreadable_baseline() {
-        let h = harness_with(&[("a", 1)], 25.0);
+        let h = harness_with(&[("a", 1, 1)], 25.0);
         assert!(h
             .check_against(&PathBuf::from("/nonexistent/b.json"))
             .is_err());
         let path = baseline_file("garbage", "not json");
         assert!(h.check_against(&path).is_err());
+        let path2 = baseline_file("no-min", r#"{"a": {"median": 5}}"#);
+        assert!(h.check_against(&path2).is_err());
         let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(path2);
     }
 }

@@ -939,7 +939,7 @@ experiment!(Fig10, FIG10_INFO, run_fig10);
 static FIG11_INFO: ExperimentInfo = ExperimentInfo {
     name: "fig11",
     title: "Figure 11",
-    description: "single-core (k+p) encoding throughput heatmap",
+    description: "(k+p) encoding throughput heatmap (single-core default, threads=N)",
     paper_ref: "§5.1.1, Fig 11",
     modes: &[Mode::Measured],
     params: params![
@@ -949,6 +949,12 @@ static FIG11_INFO: ExperimentInfo = ExperimentInfo {
         ("pstep", U64, "2", "p grid step"),
         ("chunk_kb", U64, "128", "chunk size in KiB"),
         ("mb", U64, "64", "minimum MiB encoded per cell"),
+        (
+            "threads",
+            U64,
+            "1",
+            "worker threads per stripe encode (1 = paper's single-core setup)"
+        ),
     ],
     fast: &[("kmax", "10"), ("pmax", "5"), ("mb", "8")],
 };
@@ -960,13 +966,18 @@ fn run_fig11(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
     let pstep = (ctx.u64("pstep") as usize).max(1);
     let chunk = ctx.u64("chunk_kb") as usize * 1024;
     let min_bytes = ctx.u64("mb") as usize * 1024 * 1024;
+    let threads = ctx.u64("threads") as usize;
 
     let ks: Vec<usize> = (2..=kmax).step_by(kstep).collect();
     let ps: Vec<usize> = (1..=pmax).step_by(pstep).collect();
     let mut out = ExperimentOutput::new();
-    w!(out.text, "grid: k in {ks:?}\n      p in {ps:?}\n");
+    w!(
+        out.text,
+        "grid: k in {ks:?}\n      p in {ps:?}\n      threads = {threads} (kernel: {})\n",
+        mlec_gf::simd::kernel_name()
+    );
 
-    let cells = fig11_encoding_throughput(&ks, &ps, chunk, min_bytes);
+    let cells = fig11_encoding_throughput(&ks, &ps, chunk, min_bytes, threads);
 
     // Render the heatmap rows (p down the side, k across).
     {
@@ -1049,6 +1060,12 @@ static FIG12_INFO: ExperimentInfo = ExperimentInfo {
             "MiB encoded while calibrating the kernel cost model"
         ),
         (
+            "threads",
+            U64,
+            "1",
+            "worker threads for the calibration encode (models an N-core encoder)"
+        ),
+        (
             "failures",
             U64,
             "48",
@@ -1087,12 +1104,14 @@ static FIG12_FAMILIES: &[&str] = &["C/C", "C/D", "Loc-Cp-S", "Loc-Dp-S", "Net-Cp
 
 fn run_fig12(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
     let mb = ctx.u64("mb") as usize * 1024 * 1024;
-    let model = ThroughputModel::calibrate(128 * 1024, mb);
+    let threads = ctx.u64("threads") as usize;
+    let model = ThroughputModel::calibrate_threads(128 * 1024, mb, threads);
     let mut out = ExperimentOutput::new();
     w!(
         out.text,
-        "calibrated kernel rate: {:.0} MB/s of multiply work\n",
-        model.rate_mb_per_s
+        "calibrated kernel rate: {:.0} MB/s of multiply work ({threads} thread(s), kernel: {})\n",
+        model.rate_mb_per_s,
+        mlec_gf::simd::kernel_name()
     );
     if ctx.mode == Mode::Sim {
         let failures = ctx.u64("failures") as u32;
@@ -1184,6 +1203,12 @@ static FIG15_INFO: ExperimentInfo = ExperimentInfo {
             "MiB encoded while calibrating the kernel cost model"
         ),
         (
+            "threads",
+            U64,
+            "1",
+            "worker threads for the calibration encode (models an N-core encoder)"
+        ),
+        (
             "rel_err",
             F64,
             "0.1",
@@ -1208,7 +1233,8 @@ static FIG15_INFO: ExperimentInfo = ExperimentInfo {
 
 fn run_fig15(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
     let mb = ctx.u64("mb") as usize * 1024 * 1024;
-    let model = ThroughputModel::calibrate(128 * 1024, mb);
+    let threads = ctx.u64("threads") as usize;
+    let model = ThroughputModel::calibrate_threads(128 * 1024, mb, threads);
     let mut out = ExperimentOutput::new();
     if ctx.mode == Mode::Sim {
         let rel_err = ctx.f64("rel_err");

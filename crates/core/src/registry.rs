@@ -276,6 +276,12 @@ impl ExperimentCtx {
                         value: value.to_string(),
                         expected: "integer (0 = all cores)".to_string(),
                     })?;
+                    // Experiments that also declare `threads` in their
+                    // schema (fig11/fig12/fig15: encode-side parallelism)
+                    // receive the same value there — one knob, both layers.
+                    if let Some(spec) = info.param("threads") {
+                        ctx.values.insert(spec.name, value.to_string());
+                    }
                 }
                 "manifests" => ctx.runner.manifest_dir = Some(PathBuf::from(value)),
                 _ => match info.param(key) {
@@ -291,7 +297,14 @@ impl ExperimentCtx {
                     }
                     None => {
                         let mut allowed: Vec<&str> = info.params.iter().map(|p| p.name).collect();
-                        allowed.extend(["mode", "out", "threads", "manifests"]);
+                        // Global keys, deduped against the schema (an
+                        // experiment may declare `threads` to opt into it
+                        // as a real parameter).
+                        for global in ["mode", "out", "threads", "manifests"] {
+                            if !allowed.contains(&global) {
+                                allowed.push(global);
+                            }
+                        }
                         return Err(ExperimentError::UnknownParam {
                             name: key.to_string(),
                             allowed: allowed.join(", "),

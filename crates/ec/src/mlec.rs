@@ -119,6 +119,123 @@ impl MlecCodec {
         Ok(stripe)
     }
 
+    /// Multi-core [`MlecCodec::encode`]: the `k_l` independent network
+    /// columns of step 1 and the `k_n + p_n` independent local stripes of
+    /// step 2 are distributed round-robin over `threads` scoped worker
+    /// threads. Work units are fixed (column index, row index) — never a
+    /// function of the thread count — and each unit runs the same codec
+    /// calls as the serial path, so the stripe grid is **bit-identical**
+    /// to [`MlecCodec::encode`] for every thread count.
+    ///
+    /// # Errors
+    /// Same shape errors as [`MlecCodec::encode`].
+    pub fn encode_parallel<T: AsRef<[u8]> + Sync>(
+        &self,
+        data: &[T],
+        threads: usize,
+    ) -> Result<MlecStripe, EcError> {
+        if threads <= 1 {
+            return self.encode(data);
+        }
+        let kn = self.network.data_shards();
+        let kl = self.local.data_shards();
+        let pn = self.network.parity_shards();
+        if data.len() != kn * kl {
+            return Err(EcError::ShapeMismatch(format!(
+                "expected {} data chunks, got {}",
+                kn * kl,
+                data.len()
+            )));
+        }
+        let len = data[0].as_ref().len();
+        if data.iter().any(|d| d.as_ref().len() != len) {
+            return Err(EcError::ShapeMismatch(
+                "data chunks differ in length".into(),
+            ));
+        }
+
+        // Step 1: network parities, one independent unit per local-chunk
+        // position (column). Worker `w` owns columns `w, w + workers, …`.
+        let data_rows: Vec<Vec<&[u8]>> = (0..kn)
+            .map(|j| (0..kl).map(|i| data[j * kl + i].as_ref()).collect())
+            .collect();
+        let workers = threads.min(kl.max(1));
+        let mut col_parities: Vec<Vec<Vec<u8>>> = vec![Vec::new(); kl];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let data_rows = &data_rows;
+                handles.push(scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut i = w;
+                    while i < kl {
+                        let column: Vec<&[u8]> = (0..kn).map(|j| data_rows[j][i]).collect();
+                        let mut parity = vec![vec![0u8; len]; pn];
+                        self.network
+                            .encode_into(&column, &mut parity)
+                            .expect("column shapes checked above");
+                        mine.push((i, parity));
+                        i += workers;
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                for (i, parity) in h.join().expect("network-encode worker panicked") {
+                    col_parities[i] = parity;
+                }
+            }
+        });
+
+        // Assemble the k_n + p_n network rows of local data chunks.
+        let mut rows: Vec<Vec<Vec<u8>>> = (0..kn)
+            .map(|j| {
+                (0..kl)
+                    .map(|i| data[j * kl + i].as_ref().to_vec())
+                    .collect()
+            })
+            .collect();
+        for pj in 0..pn {
+            rows.push(
+                col_parities
+                    .iter_mut()
+                    .map(|col| std::mem::take(&mut col[pj]))
+                    .collect(),
+            );
+        }
+
+        // Step 2: local encode, one independent unit per row.
+        let nrows = rows.len();
+        let workers = threads.min(nrows.max(1));
+        let mut stripe: MlecStripe = vec![Vec::new(); nrows];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let rows = &rows;
+                handles.push(scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut j = w;
+                    while j < nrows {
+                        mine.push((
+                            j,
+                            self.local
+                                .encode(&rows[j])
+                                .expect("row shapes checked above"),
+                        ));
+                        j += workers;
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                for (j, full) in h.join().expect("local-encode worker panicked") {
+                    stripe[j] = full;
+                }
+            }
+        });
+        Ok(stripe)
+    }
+
     /// Degraded read: return the content of chunk `(row, col)` from a
     /// stripe with erasures, touching as few chunks as possible — the read
     /// path equivalent of `R_MIN`'s repair planning. Preference order:
@@ -327,6 +444,26 @@ mod tests {
         {
             assert_eq!(dp, l0 ^ l1, "byte {b}");
         }
+    }
+
+    #[test]
+    fn encode_parallel_bit_identical_across_thread_counts() {
+        let codec = MlecCodec::new(3, 2, 4, 2).unwrap();
+        let data = sample_data(12, 512);
+        let serial = codec.encode(&data).unwrap();
+        for threads in [0usize, 1, 2, 3, 5, 11] {
+            let parallel = codec.encode_parallel(&data, threads).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn encode_parallel_shape_errors() {
+        let codec = MlecCodec::new(2, 1, 2, 1).unwrap();
+        assert!(codec.encode_parallel(&sample_data(3, 8), 4).is_err());
+        let mut data = sample_data(4, 8);
+        data[2].pop();
+        assert!(codec.encode_parallel(&data, 4).is_err());
     }
 
     #[test]

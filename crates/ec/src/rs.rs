@@ -14,6 +14,15 @@ use mlec_gf::field::{gf_div, gf_inv};
 use mlec_gf::matrix::Matrix;
 use mlec_gf::slice::{dot_into, mul_add_slice};
 
+/// Segment size of the chunked multi-core encode path
+/// ([`ReedSolomon::encode_into_parallel`]). Boundaries are a fixed
+/// function of the stripe length — never of the thread count — which is
+/// what makes the parallel output bit-identical to the serial path. 64 KiB
+/// keeps a segment's working set (`k` data segments + `p` parity segments)
+/// around L2 size for paper-scale stripes while leaving enough segments to
+/// spread a 128 KiB+ chunk across cores.
+pub const PARALLEL_SEGMENT_BYTES: usize = 64 * 1024;
+
 /// A systematic `(k + p)` Reed–Solomon codec.
 ///
 /// Shards `0..k` are data, shards `k..k+p` are parity. Any `k` of the
@@ -96,6 +105,22 @@ impl ReedSolomon {
         Ok(len)
     }
 
+    fn check_parity_shape(&self, parity: &[Vec<u8>], len: usize) -> Result<(), EcError> {
+        if parity.len() != self.p {
+            return Err(EcError::ShapeMismatch(format!(
+                "expected {} parity buffers, got {}",
+                self.p,
+                parity.len()
+            )));
+        }
+        if parity.iter().any(|b| b.len() != len) {
+            return Err(EcError::ShapeMismatch(
+                "parity buffer length mismatch".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Encode `k` data shards into `k + p` shards (data copied through,
     /// parities computed).
     pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Result<Vec<Vec<u8>>, EcError> {
@@ -121,22 +146,83 @@ impl ReedSolomon {
         parity: &mut [Vec<u8>],
     ) -> Result<(), EcError> {
         let len = self.check_data_shape(data)?;
-        if parity.len() != self.p {
-            return Err(EcError::ShapeMismatch(format!(
-                "expected {} parity buffers, got {}",
-                self.p,
-                parity.len()
-            )));
-        }
-        if parity.iter().any(|b| b.len() != len) {
-            return Err(EcError::ShapeMismatch(
-                "parity buffer length mismatch".into(),
-            ));
-        }
+        self.check_parity_shape(parity, len)?;
         let refs: Vec<&[u8]> = data.iter().map(std::convert::AsRef::as_ref).collect();
         for (pi, buf) in parity.iter_mut().enumerate() {
             dot_into(self.generator.row(self.k + pi), &refs, buf);
         }
+        Ok(())
+    }
+
+    /// Multi-core [`ReedSolomon::encode_into`]: the stripe is split at
+    /// fixed [`PARALLEL_SEGMENT_BYTES`] boundaries and the segments are
+    /// distributed round-robin over `threads` scoped worker threads, each
+    /// computing all `p` parities for its byte ranges.
+    ///
+    /// Because the segment boundaries are a function of the stripe length
+    /// only (never of `threads`) and GF arithmetic is exact, every output
+    /// byte is produced by the same operations in the same order as the
+    /// serial path — the result is **bit-identical** to
+    /// [`ReedSolomon::encode_into`] for every thread count.
+    ///
+    /// `threads <= 1`, or stripes of at most one segment, fall through to
+    /// the serial path (no thread is ever spawned for work that cannot
+    /// split).
+    ///
+    /// # Errors
+    /// Shape errors if `data` or `parity` counts/lengths are inconsistent.
+    pub fn encode_into_parallel<T: AsRef<[u8]> + Sync>(
+        &self,
+        data: &[T],
+        parity: &mut [Vec<u8>],
+        threads: usize,
+    ) -> Result<(), EcError> {
+        // Per-worker work list: (segment index, that segment's slice of
+        // every parity buffer).
+        type SegmentWork<'a> = Vec<(usize, Vec<&'a mut [u8]>)>;
+        let len = self.check_data_shape(data)?;
+        self.check_parity_shape(parity, len)?;
+        if threads <= 1 || len <= PARALLEL_SEGMENT_BYTES {
+            let refs: Vec<&[u8]> = data.iter().map(std::convert::AsRef::as_ref).collect();
+            for (pi, buf) in parity.iter_mut().enumerate() {
+                dot_into(self.generator.row(self.k + pi), &refs, buf);
+            }
+            return Ok(());
+        }
+        let refs: Vec<&[u8]> = data.iter().map(std::convert::AsRef::as_ref).collect();
+        let nseg = len.div_ceil(PARALLEL_SEGMENT_BYTES);
+        // Regroup the parity buffers into per-segment bundles: segment
+        // `si` owns bytes `si * SEG ..` of every parity buffer.
+        let mut per_seg: Vec<Vec<&mut [u8]>> =
+            (0..nseg).map(|_| Vec::with_capacity(self.p)).collect();
+        for buf in parity.iter_mut() {
+            for (si, seg) in buf.chunks_mut(PARALLEL_SEGMENT_BYTES).enumerate() {
+                per_seg[si].push(seg);
+            }
+        }
+        // Static round-robin assignment: worker `w` owns segments
+        // `w, w + workers, …` — disjoint buffers, no locking.
+        let workers = threads.min(nseg);
+        let mut assignments: Vec<SegmentWork> = (0..workers).map(|_| Vec::new()).collect();
+        for (si, segs) in per_seg.into_iter().enumerate() {
+            assignments[si % workers].push((si, segs));
+        }
+        std::thread::scope(|scope| {
+            for mine in assignments {
+                let refs = &refs;
+                scope.spawn(move || {
+                    for (si, mut segs) in mine {
+                        let start = si * PARALLEL_SEGMENT_BYTES;
+                        let seg_len = segs[0].len();
+                        let seg_refs: Vec<&[u8]> =
+                            refs.iter().map(|d| &d[start..start + seg_len]).collect();
+                        for (pi, seg) in segs.iter_mut().enumerate() {
+                            dot_into(self.generator.row(self.k + pi), &seg_refs, seg);
+                        }
+                    }
+                });
+            }
+        });
         Ok(())
     }
 
@@ -430,6 +516,45 @@ mod tests {
         rs.encode_into(&data, &mut parity).unwrap();
         assert_eq!(parity[0], full[6]);
         assert_eq!(parity[1], full[7]);
+    }
+
+    #[test]
+    fn encode_into_parallel_bit_identical_across_thread_counts() {
+        // Stripe long enough for several 64 KiB segments, with a ragged
+        // tail so the last segment is short.
+        let len = 3 * PARALLEL_SEGMENT_BYTES + 12_345;
+        let rs = ReedSolomon::new(6, 3).unwrap();
+        let data = sample_data(6, len);
+        let mut serial = vec![vec![0u8; len]; 3];
+        rs.encode_into(&data, &mut serial).unwrap();
+        for threads in [0usize, 1, 2, 3, 7, 16] {
+            let mut parallel = vec![vec![0xffu8; len]; 3];
+            rs.encode_into_parallel(&data, &mut parallel, threads)
+                .unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn encode_into_parallel_short_stripe_falls_through() {
+        // A stripe of one segment or less must not spawn and must match.
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 100);
+        let mut serial = vec![vec![0u8; 100]; 2];
+        rs.encode_into(&data, &mut serial).unwrap();
+        let mut parallel = vec![vec![0u8; 100]; 2];
+        rs.encode_into_parallel(&data, &mut parallel, 8).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn encode_into_parallel_shape_errors() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 16);
+        let mut wrong_count = vec![vec![0u8; 16]];
+        assert!(rs.encode_into_parallel(&data, &mut wrong_count, 4).is_err());
+        let mut wrong_len = vec![vec![0u8; 16], vec![0u8; 15]];
+        assert!(rs.encode_into_parallel(&data, &mut wrong_len, 4).is_err());
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   ([`slice::mul_slice`], [`slice::mul_add_slice`]) that the encoding
 //!   throughput experiment (paper Fig. 11) measures. They use per-coefficient
 //!   split nibble tables so each output byte costs two table lookups and one
-//!   XOR.
+//!   XOR — or, via [`mod@simd`], two vector table shuffles per 16/32 bytes.
+//! - [`mod@simd`]: runtime-dispatched SIMD versions of the slice kernels
+//!   (AVX2 / SSSE3 `pshufb` on `x86_64`, NEON on `aarch64`), detected once and
+//!   cached, with the portable u64 loop as the universal fallback. Gated
+//!   behind the on-by-default `simd` crate feature;
+//!   `--no-default-features` forces the scalar path on every target.
 //! - [`matrix`]: dense matrices over GF(2^8) with Gauss–Jordan inversion,
 //!   rank, and the Vandermonde/Cauchy constructions used to build systematic
 //!   generator matrices.
@@ -29,12 +34,14 @@
 //!
 //! # Unsafe code
 //!
-//! The only `unsafe` in the workspace lives in [`mod@slice`]: the
-//! u64-batched inner loops of [`slice::xor_slice`] and
-//! [`slice::mul_add_slice`] use unaligned pointer reads/writes. Every
-//! block carries a `// SAFETY:` comment and a `debug_assert!` bounds
-//! invariant (both enforced by `cargo xtask lint`), and the kernels run
-//! under Miri in CI (`cargo miri test -p mlec-gf`) with
+//! The only `unsafe` in the workspace lives in [`mod@slice`] and
+//! [`mod@simd`]: the u64-batched fallback loops use unaligned pointer
+//! reads/writes, and the SIMD kernels add `target_feature` contracts plus
+//! vector loads/stores. Every block carries a `// SAFETY:` comment and a
+//! `debug_assert!` bounds invariant (both enforced by `cargo xtask lint`),
+//! the dispatcher only selects a SIMD kernel after runtime feature
+//! detection, and the scalar cores run under Miri in CI (`cargo miri test
+//! -p mlec-gf`, where dispatch always picks the fallback) with
 //! `#[cfg(miri)]`-scaled exhaustive tests.
 
 // Unsafe hygiene: every unsafe operation inside an unsafe fn still needs
@@ -43,6 +50,7 @@
 
 pub mod field;
 pub mod matrix;
+pub mod simd;
 pub mod slice;
 pub mod tables;
 

@@ -1,0 +1,481 @@
+//! Runtime-dispatched SIMD GF(2^8) kernels behind the safe API in
+//! [`crate::slice`].
+//!
+//! This is the split-table technique Intel ISA-L uses for the paper's
+//! Fig. 11 comparator: a coefficient's [`NibbleTable`] (two 16-entry
+//! tables) fits in two vector registers, so one 16-byte table shuffle
+//! (`pshufb` on `x86_64`, `tbl` on `aarch64`) multiplies 16/32 bytes by the
+//! coefficient at once — two shuffles and two XORs per vector versus two
+//! scalar table lookups and an XOR *per byte* in the fallback.
+//!
+//! Dispatch policy:
+//! - **`x86_64`** (with the `simd` crate feature, on by default): AVX2
+//!   (32-byte blocks) when the CPU has it, else SSSE3 (16-byte blocks),
+//!   detected once via `is_x86_feature_detected!` and cached.
+//! - **aarch64** (with `simd`): NEON `vqtbl1q_u8`, unconditionally — NEON
+//!   is baseline on aarch64.
+//! - **everything else** — other architectures, `--no-default-features`
+//!   builds, and Miri runs — the portable u64 batch loop in
+//!   [`crate::slice`]. Under Miri the dispatcher always picks the scalar
+//!   kernel so the unsafe fallback cores (the ones Miri can actually
+//!   interpret) get interpreted coverage.
+//!
+//! Every SIMD core is `unsafe fn` solely because of its `target_feature`
+//! contract plus raw-pointer loads/stores; the dispatcher is the single
+//! call site and upholds the CPU-feature precondition by construction.
+//! Equivalence with the scalar fallback is enforced by the exhaustive
+//! property tests at the bottom of this file (all 256 coefficients ×
+//! unaligned offsets × lengths straddling every vector-width boundary).
+
+use crate::slice::NibbleTable;
+
+/// The kernel family selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable u64 batch loop (universal fallback).
+    Scalar,
+    /// SSSE3 `pshufb` split-table kernel, 16-byte blocks (`x86_64`).
+    Ssse3,
+    /// AVX2 `vpshufb` split-table kernel, 32-byte blocks (`x86_64`).
+    Avx2,
+    /// NEON `tbl` split-table kernel, 16-byte blocks (aarch64).
+    Neon,
+}
+
+impl Kernel {
+    fn detect() -> Kernel {
+        // Miri interprets the scalar cores; SIMD intrinsics would be
+        // rejected, and the fallback is exactly what we want covered.
+        if cfg!(miri) {
+            return Kernel::Scalar;
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Kernel::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("ssse3") {
+                return Kernel::Ssse3;
+            }
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        {
+            return Kernel::Neon;
+        }
+        #[allow(unreachable_code)]
+        Kernel::Scalar
+    }
+
+    /// Human-readable name (`"scalar"`, `"ssse3"`, `"avx2"`, `"neon"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Ssse3 => "ssse3",
+            Kernel::Avx2 => "avx2",
+            Kernel::Neon => "neon",
+        }
+    }
+}
+
+/// The kernel the slice entry points dispatch to, detected at first use
+/// and cached for the life of the process.
+pub fn active_kernel() -> Kernel {
+    use std::sync::OnceLock;
+    static KERNEL: OnceLock<Kernel> = OnceLock::new();
+    *KERNEL.get_or_init(Kernel::detect)
+}
+
+/// Name of the active kernel — for benchmark banners and diagnostics.
+pub fn kernel_name() -> &'static str {
+    active_kernel().name()
+}
+
+/// `out[i] = t.mul(input[i])` via the active kernel.
+pub(crate) fn mul_dispatch(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+    dispatch::<false>(t, input, out);
+}
+
+/// `out[i] ^= t.mul(input[i])` via the active kernel.
+pub(crate) fn mul_add_dispatch(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+    dispatch::<true>(t, input, out);
+}
+
+/// Shared dispatcher: `ACC` selects accumulate (`^=`) vs overwrite (`=`).
+fn dispatch<const ACC: bool>(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(input.len(), out.len());
+    match active_kernel() {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: `active_kernel` returns `Avx2`/`Ssse3` only after
+        // `is_x86_feature_detected!` confirmed the CPU supports the
+        // feature, satisfying each kernel's target-feature contract; the
+        // slices were length-checked by the caller.
+        Kernel::Avx2 => unsafe { x86::mul_avx2::<ACC>(t, input, out) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: as above — SSSE3 was runtime-detected before selection.
+        Kernel::Ssse3 => unsafe { x86::mul_ssse3::<ACC>(t, input, out) },
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        // SAFETY: NEON is an architectural baseline on aarch64, so the
+        // target-feature contract holds on every aarch64 CPU.
+        Kernel::Neon => unsafe { neon::mul_neon::<ACC>(t, input, out) },
+        _ => scalar::<ACC>(t, input, out),
+    }
+}
+
+/// `out[i] ^= input[i]` via the active kernel. Only AVX2 beats the u64
+/// batch loop on pure XOR (no table shuffle involved), so everything else
+/// falls through to the scalar core.
+pub(crate) fn xor_dispatch(input: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(input.len(), out.len());
+    match active_kernel() {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        // SAFETY: `Avx2` is only selected after runtime detection; the
+        // slices were length-checked by the caller.
+        Kernel::Avx2 => unsafe { x86::xor_avx2(input, out) },
+        _ => crate::slice::xor_scalar(input, out),
+    }
+}
+
+/// Scalar leg of the dispatcher.
+fn scalar<const ACC: bool>(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+    if ACC {
+        crate::slice::mul_add_scalar(t, input, out);
+    } else {
+        crate::slice::mul_scalar(t, input, out);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use crate::slice::NibbleTable;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// SSSE3 split-table multiply over 16-byte blocks: `pshufb` looks up
+    /// both nibbles of 16 input bytes in one instruction each.
+    ///
+    /// # Safety
+    /// Caller must guarantee the CPU supports SSSE3 and
+    /// `input.len() == out.len()` (with `input` and `out` disjoint, which
+    /// the `&`/`&mut` borrows already enforce).
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_ssse3<const ACC: bool>(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+        let len = input.len();
+        let blocks = len / 16;
+        // SAFETY: `[u8; 16]` and `__m128i` have identical size with no
+        // padding; `loadu` imposes no alignment requirement.
+        let lo_t = unsafe { _mm_loadu_si128(t.lo.as_ptr().cast()) };
+        // SAFETY: as above for the high-nibble table.
+        let hi_t = unsafe { _mm_loadu_si128(t.hi.as_ptr().cast()) };
+        let mask = _mm_set1_epi8(0x0f);
+        let src = input.as_ptr();
+        let dst = out.as_mut_ptr();
+        for b in 0..blocks {
+            let off = b * 16;
+            // Bounds invariant: the widest access touches bytes
+            // `off..off + 16`, and `off + 16 <= blocks * 16 <= len`.
+            debug_assert!(off + 16 <= len, "pshufb block out of bounds");
+            // SAFETY: `off + 16 <= len` (invariant above) keeps every
+            // 16-byte unaligned load/store inside its slice (lengths
+            // equal per the function contract); `input` and `out` come
+            // from a shared and an exclusive reference, so the regions
+            // are disjoint.
+            unsafe {
+                let x = _mm_loadu_si128(src.add(off).cast());
+                // pshufb with the high bit of every index clear (the 0x0f
+                // mask guarantees this) selects table[idx & 0xf] per lane.
+                let lo = _mm_shuffle_epi8(lo_t, _mm_and_si128(x, mask));
+                let hi = _mm_shuffle_epi8(hi_t, _mm_and_si128(_mm_srli_epi64(x, 4), mask));
+                let prod = _mm_xor_si128(lo, hi);
+                let res = if ACC {
+                    _mm_xor_si128(_mm_loadu_si128(dst.add(off).cast()), prod)
+                } else {
+                    prod
+                };
+                _mm_storeu_si128(dst.add(off).cast(), res);
+            }
+        }
+        tail::<ACC>(t, input, out, blocks * 16);
+    }
+
+    /// AVX2 split-table multiply over 32-byte blocks. `vpshufb` shuffles
+    /// within each 128-bit lane, so the 16-entry tables are broadcast to
+    /// both lanes and the per-lane semantics match the SSSE3 kernel.
+    ///
+    /// # Safety
+    /// Caller must guarantee the CPU supports AVX2 and
+    /// `input.len() == out.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_avx2<const ACC: bool>(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+        let len = input.len();
+        let blocks = len / 32;
+        // SAFETY: `[u8; 16]` and `__m128i` have identical size with no
+        // padding; `loadu` imposes no alignment requirement.
+        let lo128 = unsafe { _mm_loadu_si128(t.lo.as_ptr().cast()) };
+        // SAFETY: as above for the high-nibble table.
+        let hi128 = unsafe { _mm_loadu_si128(t.hi.as_ptr().cast()) };
+        let lo_t = _mm256_broadcastsi128_si256(lo128);
+        let hi_t = _mm256_broadcastsi128_si256(hi128);
+        let mask = _mm256_set1_epi8(0x0f);
+        let src = input.as_ptr();
+        let dst = out.as_mut_ptr();
+        for b in 0..blocks {
+            let off = b * 32;
+            // Bounds invariant: bytes `off..off + 32` with
+            // `off + 32 <= blocks * 32 <= len`.
+            debug_assert!(off + 32 <= len, "avx2 block out of bounds");
+            // SAFETY: `off + 32 <= len` (invariant above) keeps every
+            // 32-byte unaligned load/store inside its slice (lengths
+            // equal per the function contract); the `&`/`&mut` borrows
+            // keep source and destination disjoint.
+            unsafe {
+                let x = _mm256_loadu_si256(src.add(off).cast());
+                let lo = _mm256_shuffle_epi8(lo_t, _mm256_and_si256(x, mask));
+                let hi = _mm256_shuffle_epi8(hi_t, _mm256_and_si256(_mm256_srli_epi64(x, 4), mask));
+                let prod = _mm256_xor_si256(lo, hi);
+                let res = if ACC {
+                    _mm256_xor_si256(_mm256_loadu_si256(dst.add(off).cast()), prod)
+                } else {
+                    prod
+                };
+                _mm256_storeu_si256(dst.add(off).cast(), res);
+            }
+        }
+        tail::<ACC>(t, input, out, blocks * 32);
+    }
+
+    /// AVX2 XOR over 32-byte blocks.
+    ///
+    /// # Safety
+    /// Caller must guarantee the CPU supports AVX2 and
+    /// `input.len() == out.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn xor_avx2(input: &[u8], out: &mut [u8]) {
+        let len = input.len();
+        let blocks = len / 32;
+        let src = input.as_ptr();
+        let dst = out.as_mut_ptr();
+        for b in 0..blocks {
+            let off = b * 32;
+            // Bounds invariant: bytes `off..off + 32` with
+            // `off + 32 <= blocks * 32 <= len`.
+            debug_assert!(off + 32 <= len, "avx2 block out of bounds");
+            // SAFETY: `off + 32 <= len` keeps both unaligned accesses in
+            // bounds (lengths equal per the function contract); borrows
+            // keep the regions disjoint.
+            unsafe {
+                let a = _mm256_loadu_si256(src.add(off).cast());
+                let y = _mm256_loadu_si256(dst.add(off).cast());
+                _mm256_storeu_si256(dst.add(off).cast(), _mm256_xor_si256(a, y));
+            }
+        }
+        for i in blocks * 32..len {
+            out[i] ^= input[i];
+        }
+    }
+
+    /// Scalar tail for the bytes after the last full vector block.
+    fn tail<const ACC: bool>(t: &NibbleTable, input: &[u8], out: &mut [u8], from: usize) {
+        for i in from..input.len() {
+            if ACC {
+                out[i] ^= t.mul(input[i]);
+            } else {
+                out[i] = t.mul(input[i]);
+            }
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod neon {
+    use crate::slice::NibbleTable;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::aarch64::*;
+
+    /// NEON split-table multiply over 16-byte blocks: `vqtbl1q_u8` is the
+    /// aarch64 equivalent of `pshufb` (out-of-range indices yield 0, and
+    /// the 0x0f mask / 4-bit shift keep every index in 0..16).
+    ///
+    /// # Safety
+    /// Caller must guarantee NEON support (architectural baseline on
+    /// aarch64) and `input.len() == out.len()`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn mul_neon<const ACC: bool>(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+        let len = input.len();
+        let blocks = len / 16;
+        // SAFETY: the table arrays are 16 valid bytes each; vld1q_u8 is
+        // an unaligned 16-byte load.
+        let (lo_t, hi_t) = unsafe { (vld1q_u8(t.lo.as_ptr()), vld1q_u8(t.hi.as_ptr())) };
+        let mask = vdupq_n_u8(0x0f);
+        let src = input.as_ptr();
+        let dst = out.as_mut_ptr();
+        for b in 0..blocks {
+            let off = b * 16;
+            // Bounds invariant: bytes `off..off + 16` with
+            // `off + 16 <= blocks * 16 <= len`.
+            debug_assert!(off + 16 <= len, "neon block out of bounds");
+            // SAFETY: `off + 16 <= len` (invariant above) keeps every
+            // 16-byte unaligned load/store inside its slice (lengths
+            // equal per the function contract); the `&`/`&mut` borrows
+            // keep source and destination disjoint.
+            unsafe {
+                let x = vld1q_u8(src.add(off));
+                let lo = vqtbl1q_u8(lo_t, vandq_u8(x, mask));
+                let hi = vqtbl1q_u8(hi_t, vshrq_n_u8(x, 4));
+                let prod = veorq_u8(lo, hi);
+                let res = if ACC {
+                    veorq_u8(vld1q_u8(dst.add(off)), prod)
+                } else {
+                    prod
+                };
+                vst1q_u8(dst.add(off), res);
+            }
+        }
+        for i in blocks * 16..len {
+            if ACC {
+                out[i] ^= t.mul(input[i]);
+            } else {
+                out[i] = t.mul(input[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::gf_mul;
+    use crate::slice::{mul_add_slice, mul_add_slice_scalar, mul_slice, xor_slice};
+
+    /// Coefficient sweep: every coefficient natively; a structurally
+    /// interesting subset under Miri (the interpreter is ~1000× slower,
+    /// and the dispatcher pins Miri to the scalar kernel anyway).
+    fn sweep_coeffs() -> Vec<u8> {
+        if cfg!(miri) {
+            vec![0, 1, 2, 0x1d, 0x53, 0x80, 0xff]
+        } else {
+            (0..=255).collect()
+        }
+    }
+
+    /// Lengths straddling every vector-width boundary the kernels block
+    /// on: the u64 word (8), the SSSE3/NEON block (16), the AVX2 block
+    /// (32), and a two-AVX2-block run (64), each with the scalar tail in
+    /// every phase.
+    fn sweep_lens() -> Vec<usize> {
+        let mut lens: Vec<usize> = (0..=40).collect();
+        lens.extend(61..=70);
+        if cfg!(miri) {
+            lens.retain(|l| l % 3 == 0 || matches!(l, 7 | 8 | 15 | 16 | 31 | 32 | 63 | 64 | 65));
+        }
+        lens
+    }
+
+    /// Deterministic "random" fill — keeps the sweep seeded without
+    /// pulling an RNG into the kernel crate.
+    fn fill(seed: u64, len: usize) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                (state >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_detection_is_cached_and_consistent() {
+        let k = active_kernel();
+        assert_eq!(k, active_kernel());
+        assert_eq!(k.name(), kernel_name());
+        if cfg!(miri) || cfg!(not(feature = "simd")) {
+            assert_eq!(k, Kernel::Scalar);
+        }
+    }
+
+    /// The headline equivalence sweep: the dispatched kernel must agree
+    /// with both the pure-field reference and the forced-scalar fallback
+    /// for all 256 coefficients × unaligned offsets 0..9 × lengths
+    /// straddling the vector-width boundaries.
+    #[test]
+    fn simd_and_scalar_mul_add_agree() {
+        let lens = sweep_lens();
+        let max_len = *lens.iter().max().unwrap();
+        for c in sweep_coeffs() {
+            for start in 0..9usize {
+                let backing = fill(u64::from(c) * 31 + start as u64, start + max_len);
+                for &len in &lens {
+                    let input = &backing[start..start + len];
+                    let out0 = fill(u64::from(c) ^ 0xabcd, len);
+                    let mut dispatched = out0.clone();
+                    mul_add_slice(c, input, &mut dispatched);
+                    let mut scalar = out0.clone();
+                    mul_add_slice_scalar(c, input, &mut scalar);
+                    let reference: Vec<u8> = out0
+                        .iter()
+                        .zip(input)
+                        .map(|(&o, &x)| o ^ gf_mul(c, x))
+                        .collect();
+                    assert_eq!(dispatched, reference, "c={c} start={start} len={len}");
+                    assert_eq!(dispatched, scalar, "c={c} start={start} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_mul_agree() {
+        for c in sweep_coeffs() {
+            for start in 0..9usize {
+                for len in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 40, 64, 65] {
+                    let backing = fill(u64::from(c) * 17 + start as u64, start + len);
+                    let input = &backing[start..];
+                    let mut dispatched = vec![0x5a; len];
+                    mul_slice(c, input, &mut dispatched);
+                    let reference: Vec<u8> = input.iter().map(|&x| gf_mul(c, x)).collect();
+                    assert_eq!(dispatched, reference, "c={c} start={start} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_xor_agree() {
+        for start in 0..9usize {
+            for len in [0usize, 1, 7, 8, 9, 16, 31, 32, 33, 63, 64, 65, 100] {
+                let backing = fill(start as u64 + 99, start + len);
+                let input = &backing[start..];
+                let out0 = fill(start as u64 * 7 + 1, len);
+                let mut dispatched = out0.clone();
+                xor_slice(input, &mut dispatched);
+                let mut scalar = out0.clone();
+                crate::slice::xor_scalar(input, &mut scalar);
+                let reference: Vec<u8> = out0.iter().zip(input).map(|(&o, &x)| o ^ x).collect();
+                assert_eq!(dispatched, reference, "start={start} len={len}");
+                assert_eq!(dispatched, scalar, "start={start} len={len}");
+            }
+        }
+    }
+
+    /// Large-buffer spot check: one encode-sized block through every
+    /// public kernel against the scalar core, catching any block-loop
+    /// stride bug a short sweep might miss.
+    #[test]
+    fn large_buffer_equivalence() {
+        let len = if cfg!(miri) {
+            1 << 10
+        } else {
+            (128 << 10) + 13
+        };
+        let input = fill(0xfeed, len);
+        let out0 = fill(0xbeef, len);
+        for c in [2u8, 0x1d, 0x8e, 0xff] {
+            let mut fast = out0.clone();
+            mul_add_slice(c, &input, &mut fast);
+            let mut slow = out0.clone();
+            mul_add_slice_scalar(c, &input, &mut slow);
+            assert_eq!(fast, slow, "c={c}");
+        }
+    }
+}

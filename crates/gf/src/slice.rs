@@ -4,13 +4,23 @@
 //! These are the inner loops of erasure encoding: producing one parity chunk
 //! from `k` data chunks is `k` calls to [`mul_add_slice`]. The paper's
 //! Fig. 11 measures exactly this path (via Intel ISA-L in the original; here
-//! via the split-nibble scalar kernel, which has the same asymptotic shape:
-//! throughput falls with wider `k` and more parities `p`).
+//! via the same split-nibble technique ISA-L uses, runtime-dispatched to
+//! SIMD table-shuffle kernels in [`crate::simd`] with the same asymptotic
+//! shape: throughput falls with wider `k` and more parities `p`).
 //!
-//! Two implementations are provided and cross-checked:
-//! - [`mul_add_slice`]: split 4-bit tables (32 bytes of table per
+//! The public entry points ([`mul_slice`], [`mul_add_slice`], [`xor_slice`])
+//! are safe and dispatch to the fastest kernel the CPU supports (AVX2 /
+//! SSSE3 `pshufb` on `x86_64`, NEON `tbl` on `aarch64`, the portable u64 batch
+//! loop everywhere else — see [`crate::simd::kernel_name`]). The u64
+//! fallback cores live in this module; [`mul_add_slice_scalar`] exposes the
+//! fallback directly so benchmarks and equivalence tests can compare the
+//! two paths on the same host.
+//!
+//! Two table shapes are provided and cross-checked:
+//! - [`NibbleTable`]: split 4-bit tables (32 bytes of table per
 //!   coefficient, built on the fly; stays in L1 regardless of how many
-//!   coefficients a generator matrix has).
+//!   coefficients a generator matrix has, and small enough to live in two
+//!   vector registers for the SIMD kernels).
 //! - [`MulTable`]: a full 256-entry table per coefficient for callers that
 //!   reuse one coefficient across many stripes.
 
@@ -21,8 +31,8 @@ use crate::field::gf_mul;
 /// multiplication over bitwise decomposition.
 #[derive(Clone, Copy)]
 pub struct NibbleTable {
-    lo: [u8; 16],
-    hi: [u8; 16],
+    pub(crate) lo: [u8; 16],
+    pub(crate) hi: [u8; 16],
 }
 
 impl NibbleTable {
@@ -78,9 +88,7 @@ pub fn mul_slice(c: u8, input: &[u8], out: &mut [u8]) {
         1 => out.copy_from_slice(input),
         _ => {
             let t = NibbleTable::new(c);
-            for (o, &x) in out.iter_mut().zip(input) {
-                *o = t.mul(x);
-            }
+            crate::simd::mul_dispatch(&t, input, out);
         }
     }
 }
@@ -97,49 +105,92 @@ pub fn mul_add_slice(c: u8, input: &[u8], out: &mut [u8]) {
         1 => xor_slice(input, out),
         _ => {
             let t = NibbleTable::new(c);
-            let len = input.len();
-            // The u64 batch loop covers exactly `words * 8` bytes; the
-            // scalar tail below finishes the rest.
-            let words = len / 8;
-            let src = input.as_ptr();
-            let dst = out.as_mut_ptr();
-            for w in 0..words {
-                let off = w * 8;
-                // Bounds invariant of the batch: the widest access touches
-                // bytes `off..off + 8`, and `off + 8 <= words * 8 <= len`.
-                debug_assert!(off + 8 <= len, "u64 batch out of bounds");
-                // SAFETY: `off + 8 <= len` (invariant above) keeps the
-                // 8-byte unaligned read inside `input`, whose length was
-                // asserted equal to `out`'s; reads via raw pointer impose
-                // no alignment beyond the unaligned load itself.
-                let x = unsafe { src.add(off).cast::<u64>().read_unaligned() };
-                // Shift-based lane extraction/packing is its own inverse
-                // regardless of endianness, so `z` holds `t.mul` of each
-                // byte of `x` in matching lanes.
-                let mut z = 0u64;
-                for lane in 0..8 {
-                    let byte = (x >> (lane * 8)) as u8;
-                    z |= u64::from(t.mul(byte)) << (lane * 8);
-                }
-                // SAFETY: same bounds invariant on `out` (equal length,
-                // `off + 8 <= len`). `input` and `out` come from a shared
-                // and an exclusive reference respectively, so the source
-                // and destination regions cannot overlap.
-                unsafe {
-                    let y = dst.add(off).cast::<u64>().read_unaligned();
-                    dst.add(off).cast::<u64>().write_unaligned(y ^ z);
-                }
-            }
-            for i in words * 8..len {
-                out[i] ^= t.mul(input[i]);
-            }
+            crate::simd::mul_add_dispatch(&t, input, out);
         }
     }
 }
 
-/// `out[i] ^= input[i]`, batched over unaligned `u64` words.
+/// [`mul_add_slice`] pinned to the portable u64 fallback kernel, bypassing
+/// SIMD dispatch. Exists so benchmarks can report the scalar-vs-SIMD ratio
+/// on one host and so equivalence tests can compare the two paths; regular
+/// callers want [`mul_add_slice`].
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mul_add_slice_scalar(c: u8, input: &[u8], out: &mut [u8]) {
+    assert_eq!(input.len(), out.len(), "slice length mismatch");
+    match c {
+        0 => {}
+        1 => xor_scalar(input, out),
+        _ => {
+            let t = NibbleTable::new(c);
+            mul_add_scalar(&t, input, out);
+        }
+    }
+}
+
+/// Portable `out[i] = t.mul(input[i])` core (byte-at-a-time; the two table
+/// lookups dominate, so u64 batching buys nothing without SIMD shuffles).
+pub(crate) fn mul_scalar(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(input.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(input) {
+        *o = t.mul(x);
+    }
+}
+
+/// Portable u64-batched `out[i] ^= t.mul(input[i])` core — the universal
+/// fallback behind [`mul_add_slice`] when no SIMD kernel is available.
+pub(crate) fn mul_add_scalar(t: &NibbleTable, input: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(input.len(), out.len());
+    let len = input.len();
+    // The u64 batch loop covers exactly `words * 8` bytes; the
+    // scalar tail below finishes the rest.
+    let words = len / 8;
+    let src = input.as_ptr();
+    let dst = out.as_mut_ptr();
+    for w in 0..words {
+        let off = w * 8;
+        // Bounds invariant of the batch: the widest access touches
+        // bytes `off..off + 8`, and `off + 8 <= words * 8 <= len`.
+        debug_assert!(off + 8 <= len, "u64 batch out of bounds");
+        // SAFETY: `off + 8 <= len` (invariant above) keeps the
+        // 8-byte unaligned read inside `input`, whose length equals
+        // `out`'s (debug-asserted here, asserted by every public
+        // caller); reads via raw pointer impose no alignment beyond
+        // the unaligned load itself.
+        let x = unsafe { src.add(off).cast::<u64>().read_unaligned() };
+        // Shift-based lane extraction/packing is its own inverse
+        // regardless of endianness, so `z` holds `t.mul` of each
+        // byte of `x` in matching lanes.
+        let mut z = 0u64;
+        for lane in 0..8 {
+            let byte = (x >> (lane * 8)) as u8;
+            z |= u64::from(t.mul(byte)) << (lane * 8);
+        }
+        // SAFETY: same bounds invariant on `out` (equal length,
+        // `off + 8 <= len`). `input` and `out` come from a shared
+        // and an exclusive reference respectively, so the source
+        // and destination regions cannot overlap.
+        unsafe {
+            let y = dst.add(off).cast::<u64>().read_unaligned();
+            dst.add(off).cast::<u64>().write_unaligned(y ^ z);
+        }
+    }
+    for i in words * 8..len {
+        out[i] ^= t.mul(input[i]);
+    }
+}
+
+/// `out[i] ^= input[i]`, dispatched to the widest XOR kernel available
+/// (AVX2 on capable `x86_64`, the unaligned-u64 batch loop elsewhere).
 pub fn xor_slice(input: &[u8], out: &mut [u8]) {
     assert_eq!(input.len(), out.len(), "slice length mismatch");
+    crate::simd::xor_dispatch(input, out);
+}
+
+/// Portable u64-batched XOR core — fallback behind [`xor_slice`].
+pub(crate) fn xor_scalar(input: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(input.len(), out.len());
     let len = input.len();
     let words = len / 8;
     let src = input.as_ptr();
@@ -150,9 +201,10 @@ pub fn xor_slice(input: &[u8], out: &mut [u8]) {
         // `off + 8 <= words * 8 <= len`.
         debug_assert!(off + 8 <= len, "u64 batch out of bounds");
         // SAFETY: `off + 8 <= len` (invariant above) keeps both 8-byte
-        // unaligned accesses inside their slices (lengths asserted equal);
-        // the shared `input` borrow and exclusive `out` borrow guarantee
-        // the regions are disjoint.
+        // unaligned accesses inside their slices (lengths debug-asserted
+        // equal here, asserted by every public caller); the shared
+        // `input` borrow and exclusive `out` borrow guarantee the
+        // regions are disjoint.
         unsafe {
             let a = src.add(off).cast::<u64>().read_unaligned();
             let b = dst.add(off).cast::<u64>().read_unaligned();

@@ -19,6 +19,7 @@ pub struct ChunkCache {
     order: BTreeMap<u64, ChunkKey>,
     hits: u64,
     misses: u64,
+    accesses: u64,
 }
 
 impl ChunkCache {
@@ -31,27 +32,30 @@ impl ChunkCache {
             order: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            accesses: 0,
         }
     }
 
-    /// Look up a chunk, refreshing its recency on hit.
+    /// Look up a chunk, refreshing its recency on hit. A single B-tree
+    /// descent: the hit path updates the entry through the same `get_mut`
+    /// borrow that found it (the recency maps are disjoint fields, so the
+    /// borrows don't conflict).
     pub fn get(&mut self, key: ChunkKey) -> Option<&[u8]> {
+        self.accesses += 1;
         if self.capacity == 0 {
             self.misses += 1;
             return None;
         }
-        let Some((old_tick, _)) = self.entries.get(&key) else {
+        let Some(entry) = self.entries.get_mut(&key) else {
             self.misses += 1;
             return None;
         };
-        let old_tick = *old_tick;
         self.hits += 1;
         self.tick += 1;
-        let tick = self.tick;
+        let old_tick = entry.0;
+        entry.0 = self.tick;
         self.order.remove(&old_tick);
-        self.order.insert(tick, key);
-        let entry = self.entries.get_mut(&key).expect("checked above");
-        entry.0 = tick;
+        self.order.insert(self.tick, key);
         Some(&entry.1)
     }
 
@@ -101,6 +105,11 @@ impl ChunkCache {
     /// `(hits, misses)` since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Total lookups since construction; always `hits + misses`.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
     }
 
     /// Hit rate in `[0, 1]` (0 when never queried).
@@ -160,5 +169,33 @@ mod tests {
         c.insert(1, b"a");
         assert!(c.get(1).is_none());
         assert!(c.is_empty());
+        assert_eq!(c.accesses(), 1); // disabled lookups still count
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn stats_invariant_hits_plus_misses_equals_accesses() {
+        // Drive a deterministic mixed workload and check the counter
+        // invariant after every single operation — this is the regression
+        // test for the old get()'s double-descent path, where a divergence
+        // between the hit bookkeeping and the entry update could go unseen.
+        let mut c = ChunkCache::new(3);
+        for i in 0..500u64 {
+            match i % 7 {
+                0 | 1 => c.insert(i % 5, &[i as u8]),
+                2 => c.invalidate(i % 4),
+                _ => {
+                    let _ = c.get(i % 6);
+                }
+            }
+            let (hits, misses) = c.stats();
+            assert_eq!(hits + misses, c.accesses(), "invariant broken after op {i}");
+            assert!(c.len() <= 3);
+        }
+        let (hits, misses) = c.stats();
+        assert!(
+            hits > 0 && misses > 0,
+            "workload should mix hits and misses"
+        );
     }
 }

@@ -37,8 +37,10 @@ fn bucket_of(v: u64) -> usize {
     ((msb - 5) * SUBS + EXACT - SUBS + sub) as usize
 }
 
-/// Upper edge (inclusive representative) of bucket `i`: the midpoint of
-/// the bucket's value range, so quantiles are centered estimates.
+/// Midpoint representative of bucket `i`: the center of the bucket's value
+/// range, so quantile estimates are unbiased within a bucket (worst-case
+/// relative error `width/2 / lower_edge <= 1/64` in the log range). Exact
+/// buckets represent themselves.
 fn representative(i: usize) -> u64 {
     let i = i as u64;
     if i < EXACT {
@@ -183,6 +185,57 @@ mod tests {
             assert_eq!(a.quantile(q), pooled.quantile(q));
         }
         assert!((a.mean() - pooled.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn representative_round_trips_every_bucket() {
+        // Exhaustive over all 1920 buckets: the representative must land
+        // back in its own bucket (midpoint, not the upper edge — the upper
+        // edge of the top octave would overflow u64), the bucket edges
+        // derived from first principles must map to the bucket, and the
+        // midpoint's relative error against either edge stays <= 1/32.
+        for i in 0..BUCKETS {
+            let rep = representative(i);
+            assert_eq!(bucket_of(rep), i, "representative({i})={rep} escapes");
+
+            let (lower, upper) = if (i as u64) < EXACT {
+                (i as u64, i as u64)
+            } else {
+                let octave = (i as u64 - EXACT) / SUBS;
+                let sub = (i as u64 - EXACT) % SUBS;
+                let base = 1u64 << (octave + 6);
+                let width = base / SUBS;
+                let lower = base + sub * width;
+                (lower, lower + (width - 1))
+            };
+            assert_eq!(bucket_of(lower), i, "lower edge {lower} of bucket {i}");
+            assert_eq!(bucket_of(upper), i, "upper edge {upper} of bucket {i}");
+            assert!(
+                lower <= rep && rep <= upper,
+                "rep {rep} outside [{lower}, {upper}]"
+            );
+
+            // Relative error bound at both edges (1/32 claimed, 1/64 actual).
+            if lower > 0 {
+                let err_low = (rep - lower) as f64 / lower as f64;
+                let err_high = (upper - rep) as f64 / upper as f64;
+                assert!(err_low <= 1.0 / 32.0, "bucket {i}: err_low={err_low}");
+                assert!(err_high <= 1.0 / 32.0, "bucket {i}: err_high={err_high}");
+            }
+        }
+        // Top bucket covers up to u64::MAX exactly, with no arithmetic
+        // overflow anywhere in the sweep above.
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn representative_is_strictly_monotonic() {
+        let mut prev = representative(0);
+        for i in 1..BUCKETS {
+            let r = representative(i);
+            assert!(r > prev, "representative not increasing at bucket {i}");
+            prev = r;
+        }
     }
 
     #[test]
