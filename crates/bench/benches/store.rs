@@ -14,7 +14,7 @@ use mlec_store::{payload_for, run_store_bench, BenchSpec, MemBackend, MlecStore,
 fn store_with(cache_chunks: usize) -> MlecStore<MemBackend> {
     let mut cfg = StoreConfig::small_test();
     cfg.cache_chunks = cache_chunks;
-    MlecStore::new(cfg, MemBackend::new()).unwrap()
+    MlecStore::new(cfg, |_| Ok(MemBackend::new())).unwrap()
 }
 
 fn main() -> std::process::ExitCode {
@@ -77,6 +77,24 @@ fn main() -> std::process::ExitCode {
     spec.load.objects = 32;
     h.bench("store_replay/200ops", || {
         black_box(run_store_bench(black_box(&spec)).unwrap());
+    });
+
+    // Serial vs epoch-sharded apply on the standard Zipf serving trace
+    // (get-dominated, as in the paper's foreground workload). The two
+    // produce bit-identical op logs (pinned by tests/shard_equivalence);
+    // this pair holds the sharded path's replay throughput win.
+    let mut replay = BenchSpec::small(4_000);
+    replay.store.chunk_bytes = 32_768; // paper-scale objects: 256 KiB payloads
+    replay.load.objects = 32;
+    replay.load.put_pct = 0;
+    replay.verify_every = 0;
+    replay.shards = 0;
+    h.bench("store_replay_serial/zipf4k", || {
+        black_box(run_store_bench(black_box(&replay)).unwrap());
+    });
+    replay.shards = 4;
+    h.bench("store_replay_sharded4/zipf4k", || {
+        black_box(run_store_bench(black_box(&replay)).unwrap());
     });
 
     h.finish()

@@ -308,6 +308,37 @@ fn store_bench_smoke_kill_gates_and_thread_invariant_oplog() {
 }
 
 #[test]
+fn store_bench_shard_sweep_oplog_identical() {
+    // `shards=` selects the apply engine (0 = monolithic serial, N >= 1 =
+    // epoch-sharded): the op log must be byte-identical either way, with
+    // a mid-trace kill in the window.
+    let dir = scratch("store-shards");
+    let base = [
+        "run",
+        "store_bench",
+        "ops=2000",
+        "objects=256",
+        "kill_at=600",
+        "verify_every=16",
+        "require_degraded=1",
+    ];
+    let mut logs = Vec::new();
+    for shards in ["0", "4"] {
+        let oplog = dir.join(format!("s{shards}.jsonl"));
+        let mut args: Vec<String> = base.iter().map(|s| (*s).to_string()).collect();
+        args.push(format!("shards={shards}"));
+        args.push(format!("oplog={}", oplog.display()));
+        args.push(format!("out={}", dir.display()));
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let out = mlec(&argv);
+        assert_eq!(status(&out), 0, "stderr: {}", stderr(&out));
+        logs.push(std::fs::read(&oplog).expect("op log written"));
+    }
+    assert!(!logs[0].is_empty());
+    assert_eq!(logs[0], logs[1], "op log differs across shard counts");
+}
+
+#[test]
 fn store_bench_gate_fails_without_a_kill() {
     // require_degraded=1 with no injection: nothing degrades, exit 1.
     let out = mlec(&[

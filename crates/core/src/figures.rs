@@ -2043,6 +2043,12 @@ static STORE_BENCH_INFO: ExperimentInfo = ExperimentInfo {
         ),
         ("batch", U64, "1024", "ops prepared per parallel batch"),
         (
+            "shards",
+            U64,
+            "0",
+            "apply-phase rack shards: 0 = monolithic serial apply, N >= 1 = epoch-sharded apply on N clock-domain shards (bit-identical output)"
+        ),
+        (
             "verify_every",
             U64,
             "64",
@@ -2091,6 +2097,7 @@ static STORE_BENCH_INFO: ExperimentInfo = ExperimentInfo {
         ("objects", "256"),
         ("kill_at", "600"),
         ("verify_every", "16"),
+        ("shards", "2"),
     ],
 };
 
@@ -2144,6 +2151,7 @@ fn store_bench_spec(ctx: &ExperimentCtx) -> Result<mlec_store::BenchSpec, Experi
             disks: ctx.u64("kill_disks") as u32,
         }),
         threads: ctx.runner.threads.max(1),
+        shards: ctx.u64("shards") as usize,
         batch: ctx.u64("batch").max(1) as usize,
         verify_every: ctx.u64("verify_every"),
         seed: ctx.u64("seed"),

@@ -1,19 +1,35 @@
-//! The trace-driven benchmark loop: batched prepare, serial apply,
-//! per-phase tail-latency accounting.
+//! The trace-driven benchmark loop: batched prepare, epoch-sharded or
+//! serial apply, per-phase tail-latency accounting.
 //!
 //! Each batch of trace ops is *prepared* in parallel ([`crate::iocore`]):
 //! put payloads are synthesized and erasure-encoded, expected read-back
 //! bytes regenerated for verification — all pure functions of
 //! `(object, version)` via seed streams, so no payload is ever stored
-//! twice. The ops are then *applied* serially in trace order against the
-//! store, which advances virtual time, pumps the repair scheduler, and
-//! yields one latency sample per op. Phases split at the failure
-//! injection: `steady` before the kill, `rebuild` from the kill until the
-//! last queued stripe is rebuilt, `recovered` after — the
-//! rebuild-vs-foreground interference measurement is the comparison of
-//! the `rebuild` histogram against `steady`.
+//! twice. The ops are then *applied* against the store, which advances
+//! virtual time, pumps the repair scheduler, and yields one latency
+//! sample per op.
+//!
+//! Apply has two interchangeable engines, selected by `shards=`:
+//!
+//! * `shards == 0` — the monolithic reference path: every op runs in
+//!   strict trace order through the store's full-stripe methods. This is
+//!   the oracle the equivalence tests compare against.
+//! * `shards >= 1` — the epoch scheduler ([`crate::epoch`]): a serial
+//!   walk commits version bookkeeping and decomposes each clean op into
+//!   per-rack row sub-ops; rack queues apply on `shards` clock-domain
+//!   shards and completion times max-join back per op. Kills and any op
+//!   during active repair (or a read of a repair-abandoned object) are
+//!   barriers: queues flush, then the op runs on the monolithic path.
+//!   Op logs and histograms are byte-identical to `shards == 0` for
+//!   every `(shards, threads)` combination.
+//!
+//! Phases split at the failure injection: `steady` before the kill,
+//! `rebuild` from the kill until the last queued stripe is rebuilt,
+//! `recovered` after — the rebuild-vs-foreground interference measurement
+//! is the comparison of the `rebuild` histogram against `steady`.
 
 use crate::backend::{ChunkBackend, FileBackend, MemBackend};
+use crate::epoch::{EpochQueues, SubAction, SubOp};
 use crate::histogram::LatencyHistogram;
 use crate::iocore::{batches, par_map};
 use crate::loadgen::{KillSpec, LoadGen, LoadSpec, OpKind, TraceOp};
@@ -30,7 +46,8 @@ use std::path::PathBuf;
 pub enum BackendChoice {
     /// In-memory chunks (default: byte movement without filesystem noise).
     Mem,
-    /// One file per chunk under the given directory.
+    /// One directory per rack of one-file-per-chunk storage, under the
+    /// given root.
     File(PathBuf),
 }
 
@@ -45,6 +62,10 @@ pub struct BenchSpec {
     pub kill: Option<KillSpec>,
     /// Prepare-phase threads (never affects results, only speed).
     pub threads: usize,
+    /// Apply-phase rack shards: 0 for the monolithic serial reference
+    /// path, `n >= 1` for the epoch scheduler with `n` clock-domain
+    /// shards (never affects results, only speed).
+    pub shards: usize,
     /// Ops prepared per batch.
     pub batch: usize,
     /// Verify read-back bytes on every op whose index is a multiple of
@@ -78,6 +99,7 @@ impl BenchSpec {
             },
             kill: None,
             threads: 1,
+            shards: 0,
             batch: 1024,
             verify_every: 16,
             seed: 42,
@@ -201,23 +223,161 @@ struct Prep {
     expected: Option<Vec<u8>>,
 }
 
+/// What one applied op measured; stitched into histograms and the op log
+/// in trace order regardless of which engine produced it.
+#[derive(Debug, Clone, Copy)]
+struct Outcome {
+    latency_us: u64,
+    degraded: bool,
+    chunks_read: u64,
+    phase: &'static str,
+}
+
+/// Op counters shared by both apply engines.
+#[derive(Default)]
+struct Tally {
+    puts: u64,
+    gets: u64,
+    deletes: u64,
+    misses: u64,
+    failed_gets: u64,
+    verified_inline: u64,
+}
+
+/// The phase an op at `at_us` completes in, given the kill time and the
+/// current rebuild completion time.
+fn phase_of(kill_time_us: Option<u64>, done_at: Option<u64>, at_us: u64) -> &'static str {
+    match kill_time_us {
+        None => "steady",
+        Some(_) => match done_at {
+            Some(done) if done <= at_us => "recovered",
+            _ => "rebuild",
+        },
+    }
+}
+
 /// Run a store benchmark to completion.
 pub fn run_store_bench(spec: &BenchSpec) -> Result<StoreBenchReport, StoreError> {
     spec.load.validate()?;
     match &spec.backend {
         BackendChoice::Mem => {
-            let store = MlecStore::new(spec.store, MemBackend::new())?;
+            let store = MlecStore::new(spec.store, |_| Ok(MemBackend::new()))?;
             run_inner(store, spec)
         }
         BackendChoice::File(dir) => {
-            let store = MlecStore::new(spec.store, FileBackend::open(dir.clone())?)?;
+            let store = MlecStore::new(spec.store, |rack| {
+                FileBackend::open(dir.join(format!("rack{rack:03}")))
+            })?;
             run_inner(store, spec)
         }
     }
 }
 
+/// Apply one op on the monolithic path: pump repairs to its arrival time,
+/// then run it in full against the store. Used for every op when
+/// `shards == 0`, and for barrier ops under the epoch scheduler.
+fn apply_serial_op<B: ChunkBackend>(
+    store: &mut MlecStore<B>,
+    prep: &Prep,
+    kill_time_us: Option<u64>,
+    overhead: u64,
+    tally: &mut Tally,
+) -> Result<Outcome, StoreError> {
+    let op = prep.op;
+    store.pump_repairs(op.at_us);
+    let phase = phase_of(kill_time_us, store.repair().done_at(), op.at_us);
+    let (latency_us, degraded, chunks_read) = match op.kind {
+        OpKind::Put => {
+            tally.puts += 1;
+            let stripe = prep.stripe.as_ref().expect("puts are prepared");
+            let res = store.put_encoded(op.object, stripe, op.at_us)?;
+            (res.latency_us, false, 0)
+        }
+        OpKind::Get => {
+            tally.gets += 1;
+            match store.get(op.object, op.at_us) {
+                Ok(got) => {
+                    if let Some(expected) = &prep.expected {
+                        if &got.payload != expected {
+                            return Err(StoreError::CorruptPayload(op.object));
+                        }
+                        tally.verified_inline += 1;
+                    }
+                    (got.latency_us, got.degraded, got.chunks_read)
+                }
+                Err(StoreError::UnknownObject(_)) => {
+                    tally.misses += 1;
+                    (overhead, false, 0)
+                }
+                Err(StoreError::Unrecoverable { .. }) => {
+                    tally.failed_gets += 1;
+                    (overhead, true, 0)
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        OpKind::Delete => {
+            tally.deletes += 1;
+            match store.delete(op.object, op.at_us) {
+                Ok(latency) => (latency, false, 0),
+                Err(StoreError::UnknownObject(_)) => {
+                    tally.misses += 1;
+                    (overhead, false, 0)
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    };
+    Ok(Outcome {
+        latency_us,
+        degraded,
+        chunks_read,
+        phase,
+    })
+}
+
+/// Flush the open epoch: apply the rack queues on the shards, max-join
+/// the per-row completion times, and resolve every pending op's outcome.
+/// The phase is computed at flush time from frozen kill/rebuild state —
+/// repairs only advance on the serial path, so it is the same value the
+/// serial engine would have computed op by op.
+#[allow(clippy::too_many_arguments)]
+fn flush_epoch<'a, B: ChunkBackend + Send>(
+    store: &mut MlecStore<B>,
+    queues: &mut EpochQueues<'a>,
+    pending: &mut Vec<usize>,
+    ends: &mut Vec<u64>,
+    prepared: &'a [Prep],
+    outcomes: &mut [Option<Outcome>],
+    shards: usize,
+    kill_time_us: Option<u64>,
+    tally: &mut Tally,
+    pending_verified: &mut u64,
+) -> Result<(), StoreError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    store.apply_epoch(queues, shards, ends)?;
+    let done_at = store.repair().done_at();
+    for (i, &slot) in pending.iter().enumerate() {
+        let op = prepared[slot].op;
+        outcomes[slot] = Some(Outcome {
+            latency_us: ends[i] - op.at_us,
+            degraded: false,
+            chunks_read: 0,
+            phase: phase_of(kill_time_us, done_at, op.at_us),
+        });
+    }
+    tally.verified_inline += *pending_verified;
+    *pending_verified = 0;
+    pending.clear();
+    ends.clear();
+    queues.clear();
+    Ok(())
+}
+
 #[allow(clippy::too_many_lines)]
-fn run_inner<B: ChunkBackend>(
+fn run_inner<B: ChunkBackend + Send>(
     mut store: MlecStore<B>,
     spec: &BenchSpec,
 ) -> Result<StoreBenchReport, StoreError> {
@@ -261,12 +421,18 @@ fn run_inner<B: ChunkBackend>(
     let mut expected_versions: BTreeMap<u64, u64> =
         (0..spec.load.objects).map(|o| (o, 0)).collect();
     let overhead = store.config().overhead_us;
+    let code = store.config().code;
+    let (nw, kn) = (code.network_width(), code.kn);
+    let row_bytes = code.kl as usize * chunk_bytes;
+    let racks = store.arbiter().racks();
 
-    let (mut puts, mut gets, mut deletes, mut misses) = (0u64, 0u64, 0u64, 0u64);
-    let mut failed_gets = 0u64;
-    let mut verified_inline = 0u64;
+    let mut tally = Tally::default();
     let mut kill_time_us: Option<u64> = None;
     let mut lost_chunks = 0u64;
+    // While true, every op runs serially: from the kill until the damage
+    // is fully repaired or abandoned, op outcomes depend on repair
+    // interleaving and must follow strict trace order.
+    let mut serial_window = false;
 
     for (lo, hi) in batches(gen.len(), spec.batch as u64) {
         // Serial pre-pass: predict versions so prepare can be pure.
@@ -312,81 +478,179 @@ fn run_inner<B: ChunkBackend>(
             }
         });
 
-        // Serial apply, strictly in trace order.
-        for prep in &prepared {
+        // Apply: the serial walk routes clean ops into per-rack epoch
+        // queues and runs barriers (and everything, when shards == 0)
+        // monolithically in trace order.
+        let n = prepared.len();
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; n];
+        let mut queues = EpochQueues::new(racks);
+        let mut pending: Vec<usize> = Vec::new();
+        let mut ends: Vec<u64> = Vec::new();
+        let mut pending_verified = 0u64;
+
+        for (slot, prep) in prepared.iter().enumerate() {
             let op = prep.op;
+            // A kill is a forced epoch boundary: flush so the disk index
+            // reflects every earlier write, then inject.
             if kill_time_us.is_none() {
                 if let Some(kill) = &spec.kill {
                     if kill.at_op == op.index {
+                        flush_epoch(
+                            &mut store,
+                            &mut queues,
+                            &mut pending,
+                            &mut ends,
+                            &prepared,
+                            &mut outcomes,
+                            spec.shards,
+                            kill_time_us,
+                            &mut tally,
+                            &mut pending_verified,
+                        )?;
                         lost_chunks = inject_kill(&mut store, kill, op.at_us);
                         kill_time_us = Some(op.at_us);
+                        serial_window = true;
                     }
                 }
             }
-            store.pump_repairs(op.at_us);
-            let phase: &'static str = match kill_time_us {
-                None => "steady",
-                Some(_) => match store.repair().done_at() {
-                    Some(done) if done <= op.at_us => "recovered",
-                    _ => "rebuild",
-                },
-            };
+            let barrier = spec.shards == 0
+                || serial_window
+                || (matches!(op.kind, OpKind::Get) && store.is_dead(op.object));
+            if barrier {
+                flush_epoch(
+                    &mut store,
+                    &mut queues,
+                    &mut pending,
+                    &mut ends,
+                    &prepared,
+                    &mut outcomes,
+                    spec.shards,
+                    kill_time_us,
+                    &mut tally,
+                    &mut pending_verified,
+                )?;
+                outcomes[slot] = Some(apply_serial_op(
+                    &mut store,
+                    prep,
+                    kill_time_us,
+                    overhead,
+                    &mut tally,
+                )?);
+                if serial_window && store.repair().pending() == 0 && store.lost_chunks() == 0 {
+                    serial_window = false;
+                }
+                continue;
+            }
 
-            let (latency, degraded, chunks_read) = match op.kind {
+            // Rack-decomposable: commit bookkeeping now (the serial walk
+            // is the single source of routing truth), queue row sub-ops.
+            let start = op.at_us + overhead;
+            match op.kind {
                 OpKind::Put => {
-                    puts += 1;
+                    tally.puts += 1;
+                    store.commit_put_version(op.object);
                     let stripe = prep.stripe.as_ref().expect("puts are prepared");
-                    let res = store.put_encoded(op.object, stripe, op.at_us)?;
-                    (res.latency_us, false, 0)
+                    for row in 0..nw {
+                        let rack = store.rack_of_row(op.object, row) as usize;
+                        queues.by_rack[rack].push(SubOp {
+                            slot: pending.len() as u32,
+                            obj: op.object,
+                            row,
+                            start,
+                            action: SubAction::Put(&stripe[row as usize]),
+                        });
+                    }
                 }
                 OpKind::Get => {
-                    gets += 1;
-                    match store.get(op.object, op.at_us) {
-                        Ok(got) => {
-                            if let Some(expected) = &prep.expected {
-                                if &got.payload != expected {
-                                    return Err(StoreError::CorruptPayload(op.object));
-                                }
-                                verified_inline += 1;
-                            }
-                            (got.latency_us, got.degraded, got.chunks_read)
-                        }
-                        Err(StoreError::UnknownObject(_)) => {
-                            misses += 1;
-                            (overhead, false, 0)
-                        }
-                        Err(StoreError::Unrecoverable { .. }) => {
-                            failed_gets += 1;
-                            (overhead, true, 0)
-                        }
-                        Err(other) => return Err(other),
+                    tally.gets += 1;
+                    if !store.exists(op.object) {
+                        tally.misses += 1;
+                        outcomes[slot] = Some(Outcome {
+                            latency_us: overhead,
+                            degraded: false,
+                            chunks_read: 0,
+                            phase: phase_of(kill_time_us, store.repair().done_at(), op.at_us),
+                        });
+                        continue;
+                    }
+                    if prep.expected.is_some() {
+                        pending_verified += 1;
+                    }
+                    for row in 0..kn {
+                        let rack = store.rack_of_row(op.object, row) as usize;
+                        let verify = prep
+                            .expected
+                            .as_ref()
+                            .map(|e| &e[row as usize * row_bytes..(row as usize + 1) * row_bytes]);
+                        queues.by_rack[rack].push(SubOp {
+                            slot: pending.len() as u32,
+                            obj: op.object,
+                            row,
+                            start,
+                            action: SubAction::Get { verify },
+                        });
                     }
                 }
                 OpKind::Delete => {
-                    deletes += 1;
-                    match store.delete(op.object, op.at_us) {
-                        Ok(latency) => (latency, false, 0),
-                        Err(StoreError::UnknownObject(_)) => {
-                            misses += 1;
-                            (overhead, false, 0)
-                        }
-                        Err(other) => return Err(other),
+                    tally.deletes += 1;
+                    if !store.commit_delete(op.object) {
+                        tally.misses += 1;
+                        outcomes[slot] = Some(Outcome {
+                            latency_us: overhead,
+                            degraded: false,
+                            chunks_read: 0,
+                            phase: phase_of(kill_time_us, store.repair().done_at(), op.at_us),
+                        });
+                        continue;
+                    }
+                    for row in 0..nw {
+                        let rack = store.rack_of_row(op.object, row) as usize;
+                        queues.by_rack[rack].push(SubOp {
+                            slot: pending.len() as u32,
+                            obj: op.object,
+                            row,
+                            start,
+                            action: SubAction::Delete,
+                        });
                     }
                 }
-            };
-            hists.entry(phase).or_default().record(latency);
-            if let Some(log) = &mut oplog {
-                log.log(&OpRecord {
-                    op: op.index,
-                    at_us: op.at_us,
-                    kind: op.kind,
-                    object: op.object,
-                    latency_us: latency,
-                    degraded,
-                    chunks_read,
-                    phase,
-                })?;
             }
+            ends.push(start);
+            pending.push(slot);
+        }
+        flush_epoch(
+            &mut store,
+            &mut queues,
+            &mut pending,
+            &mut ends,
+            &prepared,
+            &mut outcomes,
+            spec.shards,
+            kill_time_us,
+            &mut tally,
+            &mut pending_verified,
+        )?;
+
+        // Stitch: record histograms and the op log in trace-index order.
+        let mut records: Vec<OpRecord> = Vec::with_capacity(if oplog.is_some() { n } else { 0 });
+        for (slot, prep) in prepared.iter().enumerate() {
+            let oc = outcomes[slot].take().expect("every op resolves an outcome");
+            hists.entry(oc.phase).or_default().record(oc.latency_us);
+            if oplog.is_some() {
+                records.push(OpRecord {
+                    op: prep.op.index,
+                    at_us: prep.op.at_us,
+                    kind: prep.op.kind,
+                    object: prep.op.object,
+                    latency_us: oc.latency_us,
+                    degraded: oc.degraded,
+                    chunks_read: oc.chunks_read,
+                    phase: oc.phase,
+                });
+            }
+        }
+        if let Some(log) = &mut oplog {
+            log.log_batch(&records, spec.threads)?;
         }
     }
 
@@ -430,13 +694,13 @@ fn run_inner<B: ChunkBackend>(
     let (repaired_local_chunks, repaired_network_chunks) = store.repaired_chunks();
     Ok(StoreBenchReport {
         ops: gen.len(),
-        puts,
-        gets,
-        deletes,
-        misses,
+        puts: tally.puts,
+        gets: tally.gets,
+        deletes: tally.deletes,
+        misses: tally.misses,
         degraded_reads: store.degraded_reads(),
-        failed_gets,
-        verified_inline,
+        failed_gets: tally.failed_gets,
+        verified_inline: tally.verified_inline,
         verified_final,
         phases,
         kill_time_us,
@@ -447,7 +711,7 @@ fn run_inner<B: ChunkBackend>(
         unrecoverable_stripes: store.repair().unrecoverable_stripes,
         repaired_local_chunks,
         repaired_network_chunks,
-        cache_hit_rate: store.cache().hit_rate(),
+        cache_hit_rate: store.cache_hit_rate(),
         foreground_ios,
         foreground_bytes,
         repair_ios,
@@ -548,6 +812,35 @@ mod tests {
         spec.threads = 8;
         let multi = run_store_bench(&spec).unwrap();
         assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_report() {
+        let mut spec = BenchSpec::small(2_500);
+        spec.kill = Some(KillSpec {
+            at_op: 700,
+            racks: 1,
+            disks: 0,
+        });
+        spec.shards = 0;
+        let serial = run_store_bench(&spec).unwrap();
+        for shards in [1usize, 2, 4, 8] {
+            spec.shards = shards;
+            let sharded = run_store_bench(&spec).unwrap();
+            assert_eq!(serial, sharded, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_apply_handles_deletes_and_misses_identically() {
+        let mut spec = BenchSpec::small(2_000);
+        spec.load.delete_pct = 20;
+        spec.shards = 0;
+        let serial = run_store_bench(&spec).unwrap();
+        assert!(serial.misses > 0, "gets after deletes must miss");
+        spec.shards = 4;
+        let sharded = run_store_bench(&spec).unwrap();
+        assert_eq!(serial, sharded);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 /// input order exactly.
 ///
 /// Items are split into contiguous slices (one per thread); each thread
-/// maps its slice independently and the results are concatenated in slice
-/// order. `f` must be pure for the thread-count invariance to mean
+/// writes its results straight into the pre-sized output slots for its
+/// slice, so there is no per-thread intermediate `Vec` and no re-extend
+/// pass. `f` must be pure for the thread-count invariance to mean
 /// anything — nothing enforces that here beyond the `Fn(&T)` signature.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
@@ -28,17 +29,35 @@ where
         return items.iter().map(&f).collect();
     }
     let chunk = items.len().div_ceil(threads);
-    let mut out = Vec::with_capacity(items.len());
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    let slots = out.spare_capacity_mut();
+    // Pair each input slice with the output slot slice it will fill; the
+    // split is positional, so slot i always receives f(items[i]) no matter
+    // which thread computes it.
+    let mut rest = slots;
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
         for slice in items.chunks(chunk) {
+            let (head, tail) = rest.split_at_mut(slice.len());
+            rest = tail;
             let f = &f;
-            handles.push(scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()));
+            scope.spawn(move || {
+                for (item, slot) in slice.iter().zip(head.iter_mut()) {
+                    slot.write(f(item));
+                }
+            });
         }
-        for handle in handles {
-            out.extend(handle.join().expect("prepare thread panicked"));
-        }
+        // The scope joins every thread (propagating panics) before we
+        // assert initialization below.
     });
+    // SAFETY: the slices handed to the threads partition slots 0..len
+    // exactly (chunks() covers items exactly, and each thread writes one
+    // slot per item via MaybeUninit::write). The scope above has joined
+    // every worker, so all len slots are initialized; a worker panic
+    // propagates out of scope() before set_len runs, leaving out at its
+    // original length 0 with no elements to drop.
+    unsafe {
+        out.set_len(items.len());
+    }
     out
 }
 
@@ -68,6 +87,27 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, 4, |&x| x).is_empty());
         assert_eq!(par_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_with_more_threads_than_items() {
+        // threads > items.len(): chunks(1) spawns one thread per item and
+        // the slot partition must still cover the output exactly.
+        let items: Vec<u32> = (0..3).collect();
+        assert_eq!(par_map(&items, 64, |&x| x * 10), vec![0, 10, 20]);
+        // Two items, odd thread count.
+        assert_eq!(par_map(&[5u32, 6], 7, |&x| x + 1), vec![6, 7]);
+    }
+
+    #[test]
+    fn par_map_results_are_dropped_exactly_once() {
+        // Heap-owning results exercise the MaybeUninit path: a double
+        // drop or a leak would trip ASan/Miri and usually crashes plain
+        // test runs too.
+        let items: Vec<u64> = (0..100).collect();
+        let got = par_map(&items, 8, |&x| vec![x; 3]);
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().enumerate().all(|(i, v)| v == &vec![i as u64; 3]));
     }
 
     #[test]

@@ -9,13 +9,16 @@
 //! pluggable [`backend::ChunkBackend`] (in-memory or file-backed) behind a
 //! bounded deterministic LRU [`cache::ChunkCache`], and every byte moved —
 //! foreground reads/writes, degraded-read decode fan-in, online rebuild —
-//! reserves capacity on the [`arbiter::BandwidthArbiter`]'s per-disk and
+//! reserves capacity on the [`arbiter::ShardedArbiter`]'s per-disk and
 //! per-rack clocks. Latency is therefore *virtual* (a pure function of the
 //! op trace, the placement seed, and the §3 bandwidth parameters), which is
-//! what makes op logs bit-identical across thread counts: threads
-//! parallelize only the pure prepare work (payload synthesis, stripe
-//! encode, verification) inside the batched I/O core ([`iocore`]), while
-//! state mutation is applied in op order.
+//! what makes op logs bit-identical across thread and shard counts: threads
+//! parallelize the pure prepare work (payload synthesis, stripe encode,
+//! verification) inside the batched I/O core ([`iocore`]), and the epoch
+//! scheduler ([`epoch`]) applies rack-confined state mutation on per-rack
+//! shards whose clock domains never interact, merging completion times
+//! with a deterministic max-join. Order-sensitive ops (kills, anything
+//! under active repair) are epoch barriers and run on the monolithic path.
 //!
 //! The crate is driven by a deterministic trace-driven load generator
 //! ([`loadgen`], Zipf object popularity seeded via `mlec-runner` seed
@@ -25,10 +28,13 @@
 //! Facebook-warehouse study, made concrete. `mlec run store_bench` is the
 //! registry entry point.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod arbiter;
 pub mod backend;
 pub mod benchrun;
 pub mod cache;
+pub mod epoch;
 pub mod histogram;
 pub mod iocore;
 pub mod loadgen;
@@ -37,7 +43,7 @@ pub mod repair;
 pub mod stopwatch;
 pub mod store;
 
-pub use arbiter::{BandwidthArbiter, Lane};
+pub use arbiter::{BandwidthArbiter, Lane, RackClock, RateCard, ShardedArbiter};
 pub use backend::{ChunkBackend, ChunkKey, FileBackend, MemBackend};
 pub use benchrun::{
     payload_for, run_store_bench, BackendChoice, BenchSpec, PhaseSummary, StoreBenchReport,

@@ -85,6 +85,22 @@ impl OpLog {
         Ok(())
     }
 
+    /// Render a batch of records on up to `threads` threads and append
+    /// the lines in record order. The epoch scheduler collects one batch
+    /// of per-shard outcomes, stitches them back in trace-index order,
+    /// and hands them here — the bytes are exactly what `threads` calls
+    /// to [`OpLog::log`] would have produced, so the serial and sharded
+    /// paths stay file-identical.
+    pub fn log_batch(&mut self, records: &[OpRecord], threads: usize) -> Result<(), StoreError> {
+        let lines = crate::iocore::par_map(records, threads, OpRecord::to_json_line);
+        for line in &lines {
+            self.out.write_all(line.as_bytes())?;
+            self.out.write_all(b"\n")?;
+        }
+        self.records += records.len() as u64;
+        Ok(())
+    }
+
     /// Flush and return how many records were written.
     pub fn finish(mut self) -> Result<u64, StoreError> {
         self.out.flush()?;
@@ -113,6 +129,49 @@ mod tests {
             "{\"op\":7,\"t_us\":140,\"kind\":\"get\",\"obj\":42,\"lat_us\":475,\
              \"degraded\":true,\"chunks\":3,\"phase\":\"rebuild\"}"
         );
+    }
+
+    #[test]
+    fn log_batch_bytes_match_per_record_logging() {
+        let dir = std::env::temp_dir()
+            .join("mlec-store-tests")
+            .join(format!("oplog-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let records: Vec<OpRecord> = (0..64u64)
+            .map(|op| OpRecord {
+                op,
+                at_us: op * 17,
+                kind: if op % 3 == 0 {
+                    OpKind::Put
+                } else {
+                    OpKind::Get
+                },
+                object: op % 5,
+                latency_us: 100 + op,
+                degraded: op % 7 == 0,
+                chunks_read: op % 4,
+                phase: if op < 32 { "steady" } else { "rebuild" },
+            })
+            .collect();
+        let serial_path = dir.join("serial.jsonl");
+        let mut serial = OpLog::create(&serial_path).unwrap();
+        for rec in &records {
+            serial.log(rec).unwrap();
+        }
+        assert_eq!(serial.finish().unwrap(), 64);
+        for threads in [1usize, 4] {
+            let path = dir.join(format!("batch-{threads}.jsonl"));
+            let mut log = OpLog::create(&path).unwrap();
+            log.log_batch(&records[..40], threads).unwrap();
+            log.log_batch(&records[40..], threads).unwrap();
+            assert_eq!(log.finish().unwrap(), 64);
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                std::fs::read(&serial_path).unwrap(),
+                "threads={threads}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,9 +5,21 @@
 //! stripe index), placed by the deterministic
 //! [`mlec_topology::objectmap::ObjectMapper`] and stored chunk-by-chunk in
 //! a pluggable [`crate::backend::ChunkBackend`]. Every byte moved charges
-//! the [`crate::arbiter::BandwidthArbiter`]'s virtual clocks, so op
+//! the [`crate::arbiter::ShardedArbiter`]'s virtual clocks, so op
 //! latencies are a pure function of the op sequence — never of threads,
 //! backend speed, or wall time.
+//!
+//! The mutable state is partitioned along rack boundaries. Placement puts
+//! every column of a stripe row inside one rack (the local stripe is
+//! rack-local by construction, for every placement scheme), so a row is
+//! the natural unit of rack-confined work: all of its backend chunks, its
+//! cache entries, its disk clocks, and its uplink clock live in that
+//! rack's [`RackLane`] + [`crate::arbiter::RackClock`] pair. The row
+//! helpers on [`RackCtx`] are the single implementation of per-row
+//! charging — the monolithic `put`/`get`/`delete` methods drive them row
+//! by row, and the epoch executor ([`crate::epoch`]) drives the *same*
+//! helpers from per-rack shard queues, which is what makes the parallel
+//! apply bit-identical to the serial one.
 //!
 //! Failure model: killing a disk (or a whole rack) *loses* its chunks —
 //! they are removed from the backend and tracked in a `lost` set — and the
@@ -18,9 +30,12 @@
 //! the column over the network, else fetch the whole surviving grid and
 //! reconstruct. Affected stripes are queued on the
 //! [`crate::repair::RepairScheduler`] and rebuilt in the background,
-//! competing with foreground traffic for the same bandwidth.
+//! competing with foreground traffic for the same bandwidth. Repair and
+//! degraded reads are inherently cross-rack (decode fan-in), so they stay
+//! on the monolithic single-threaded paths — the epoch scheduler treats
+//! them as barriers.
 
-use crate::arbiter::{BandwidthArbiter, Lane};
+use crate::arbiter::{Lane, RackClock, RateCard, ShardedArbiter};
 use crate::backend::{chunk_key, ChunkBackend, ChunkKey};
 use crate::cache::ChunkCache;
 use crate::repair::RepairScheduler;
@@ -29,7 +44,7 @@ use mlec_ec::mlec::MlecStripe;
 use mlec_ec::MlecCodec;
 use mlec_sim::SimConfig;
 use mlec_topology::objectmap::{ChunkLocation, MapperCode, ObjectMapper};
-use mlec_topology::{DiskId, Geometry, MlecScheme};
+use mlec_topology::{DiskId, Geometry, MlecScheme, RackId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything that shapes a store instance.
@@ -45,7 +60,8 @@ pub struct StoreConfig {
     pub sim: SimConfig,
     /// Chunk payload size in bytes.
     pub chunk_bytes: usize,
-    /// LRU cache capacity in chunks (0 disables).
+    /// Total LRU cache capacity in chunks, divided evenly across the
+    /// per-rack cache shards (0 disables caching).
     pub cache_chunks: usize,
     /// Per-I/O disk positioning cost, µs.
     pub seek_us: u64,
@@ -114,31 +130,180 @@ pub struct GetResult {
     pub chunks_read: u64,
 }
 
+/// One rack's share of the store state: its chunks, its cache shard, its
+/// disk→chunk index, and a scratch read buffer. Exactly one shard owns a
+/// lane during an epoch, mirroring the clock-domain split in the arbiter.
+#[derive(Debug)]
+pub(crate) struct RackLane<B> {
+    pub(crate) backend: B,
+    pub(crate) cache: ChunkCache,
+    pub(crate) by_disk: BTreeMap<DiskId, BTreeSet<ChunkKey>>,
+    pub(crate) read_buf: Vec<u8>,
+}
+
+/// A borrowed single-rack execution context: the shared rate card, the
+/// rack's clock domain, its lane, and the (immutable) placement mapper.
+/// The row helpers below are the one implementation of per-row charging;
+/// both the monolithic store methods and the epoch shards go through them.
+pub(crate) struct RackCtx<'a, B> {
+    pub(crate) rates: &'a RateCard,
+    pub(crate) clock: &'a mut RackClock,
+    pub(crate) lane: &'a mut RackLane<B>,
+    pub(crate) mapper: &'a ObjectMapper,
+}
+
+impl<B: ChunkBackend> RackCtx<'_, B> {
+    /// Disk read then cross-rack hop; returns the delivery time.
+    fn charge_read(&mut self, loc: &ChunkLocation, bytes: usize, start: u64, lane: Lane) -> u64 {
+        let read_done = self.clock.disk_io(self.rates, loc.disk, bytes, start, lane);
+        self.clock.rack_xfer(self.rates, bytes, read_done)
+    }
+
+    /// Write one row's chunks: each travels the rack uplink, then lands on
+    /// its disk. Returns the completion time of the slowest chunk. Does
+    /// not touch the (store-global) `lost` set — the monolithic caller
+    /// heals it; epoch callers only run while it is empty.
+    pub(crate) fn put_row(
+        &mut self,
+        obj: u64,
+        row: u32,
+        chunks: &[Vec<u8>],
+        start: u64,
+    ) -> Result<u64, StoreError> {
+        let mut end = start;
+        for (col, data) in chunks.iter().enumerate() {
+            let col = col as u32;
+            let loc = self.mapper.chunk_at(obj, row, col);
+            let key = chunk_key(obj, row, col);
+            let arrived = self.clock.rack_xfer(self.rates, data.len(), start);
+            end = end.max(self.clock.disk_io(
+                self.rates,
+                loc.disk,
+                data.len(),
+                arrived,
+                Lane::Foreground,
+            ));
+            self.lane.backend.write_chunk(key, data)?;
+            self.lane.cache.invalidate(key);
+            self.lane.by_disk.entry(loc.disk).or_default().insert(key);
+        }
+        Ok(end)
+    }
+
+    /// Read one healthy row's data chunks. Cache hits cost no virtual
+    /// time; misses charge disk + uplink and populate the cache. When
+    /// `out` is `None` the payload bytes are not materialized (replay
+    /// mode: latency depends only on hit/miss and the clocks, so skipping
+    /// the copies cannot change the op log). `verify` carries this row's
+    /// expected bytes and is checked hit or miss.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn get_row(
+        &mut self,
+        obj: u64,
+        row: u32,
+        kl: u32,
+        chunk_bytes: usize,
+        start: u64,
+        verify: Option<&[u8]>,
+        mut out: Option<&mut Vec<u8>>,
+    ) -> Result<u64, StoreError> {
+        let mut end = start;
+        for col in 0..kl {
+            let key = chunk_key(obj, row, col);
+            let expected =
+                verify.map(|v| &v[col as usize * chunk_bytes..(col as usize + 1) * chunk_bytes]);
+            if let Some(bytes) = self.lane.cache.get(key) {
+                if let Some(exp) = expected {
+                    if bytes != exp {
+                        return Err(StoreError::CorruptPayload(obj));
+                    }
+                }
+                if let Some(dst) = out.as_deref_mut() {
+                    dst.extend_from_slice(bytes);
+                }
+                continue;
+            }
+            let loc = self.mapper.chunk_at(obj, row, col);
+            let lane = &mut *self.lane;
+            if !lane.backend.read_chunk(key, &mut lane.read_buf)? {
+                return Err(StoreError::Unrecoverable {
+                    object: obj,
+                    detail: format!("chunk ({row}, {col}) missing without a recorded loss"),
+                });
+            }
+            let bytes = self.lane.read_buf.len();
+            end = end.max(self.charge_read(&loc, bytes, start, Lane::Foreground));
+            self.lane.cache.insert(key, &self.lane.read_buf);
+            if let Some(exp) = expected {
+                if self.lane.read_buf.as_slice() != exp {
+                    return Err(StoreError::CorruptPayload(obj));
+                }
+            }
+            if let Some(dst) = out.as_deref_mut() {
+                dst.extend_from_slice(&self.lane.read_buf);
+            }
+        }
+        Ok(end)
+    }
+
+    /// Delete one row's chunks (all `lw` columns, data and parity).
+    /// Present chunks cost a metadata-only seek. Does not touch the
+    /// store-global `lost` set (see [`RackCtx::put_row`]).
+    pub(crate) fn delete_row(
+        &mut self,
+        obj: u64,
+        row: u32,
+        lw: u32,
+        start: u64,
+    ) -> Result<u64, StoreError> {
+        let mut end = start;
+        for col in 0..lw {
+            let key = chunk_key(obj, row, col);
+            let loc = self.mapper.chunk_at(obj, row, col);
+            if self.lane.backend.delete_chunk(key)? {
+                end = end.max(
+                    self.clock
+                        .disk_io(self.rates, loc.disk, 0, start, Lane::Foreground),
+                );
+            }
+            self.lane.cache.invalidate(key);
+            if let Some(set) = self.lane.by_disk.get_mut(&loc.disk) {
+                set.remove(&key);
+            }
+        }
+        Ok(end)
+    }
+}
+
 /// The MLEC object store over a chunk backend.
 #[derive(Debug)]
 pub struct MlecStore<B: ChunkBackend> {
-    cfg: StoreConfig,
-    mapper: ObjectMapper,
+    pub(crate) cfg: StoreConfig,
+    pub(crate) mapper: ObjectMapper,
     codec: MlecCodec,
-    backend: B,
-    cache: ChunkCache,
-    arbiter: BandwidthArbiter,
+    pub(crate) lanes: Vec<RackLane<B>>,
+    pub(crate) arbiter: ShardedArbiter,
     repair: RepairScheduler,
     /// Current version per live object.
     versions: BTreeMap<u64, u64>,
-    /// Which chunks each disk holds (drives kill + rebuild bookkeeping).
-    by_disk: BTreeMap<DiskId, BTreeSet<ChunkKey>>,
     /// Chunks destroyed by failures and not yet rebuilt.
     lost: BTreeSet<ChunkKey>,
+    /// Objects whose stripe loss exceeded the code's tolerance: repair
+    /// gave up on them, so reads fail until an overwrite or delete.
+    /// The epoch scheduler barriers gets on these (their partial charging
+    /// is order-dependent).
+    dead_objects: BTreeSet<u64>,
     degraded_reads: u64,
     repaired_local_chunks: u64,
     repaired_network_chunks: u64,
-    read_buf: Vec<u8>,
 }
 
 impl<B: ChunkBackend> MlecStore<B> {
-    /// Build a store over `backend`.
-    pub fn new(cfg: StoreConfig, backend: B) -> Result<MlecStore<B>, StoreError> {
+    /// Build a store with one backend per rack, from `backend_for(rack)`.
+    pub fn new<F>(cfg: StoreConfig, mut backend_for: F) -> Result<MlecStore<B>, StoreError>
+    where
+        F: FnMut(RackId) -> Result<B, StoreError>,
+    {
         let mapper = ObjectMapper::new(
             cfg.geometry,
             cfg.code,
@@ -152,21 +317,34 @@ impl<B: ChunkBackend> MlecStore<B> {
             cfg.code.kl as usize,
             cfg.code.pl as usize,
         )?;
+        let racks = cfg.geometry.racks.max(1);
+        let cache_per_rack = if cfg.cache_chunks == 0 {
+            0
+        } else {
+            cfg.cache_chunks.div_ceil(racks as usize)
+        };
+        let mut lanes = Vec::with_capacity(racks as usize);
+        for rack in 0..racks {
+            lanes.push(RackLane {
+                backend: backend_for(rack)?,
+                cache: ChunkCache::new(cache_per_rack),
+                by_disk: BTreeMap::new(),
+                read_buf: Vec::new(),
+            });
+        }
         Ok(MlecStore {
-            cache: ChunkCache::new(cfg.cache_chunks),
-            arbiter: BandwidthArbiter::new(&cfg.sim, cfg.seek_us),
+            arbiter: ShardedArbiter::new(&cfg.geometry, &cfg.sim, cfg.seek_us),
             repair: RepairScheduler::new(cfg.repair_streams),
             cfg,
             mapper,
             codec,
-            backend,
+            lanes,
             versions: BTreeMap::new(),
-            by_disk: BTreeMap::new(),
             lost: BTreeSet::new(),
+            dead_objects: BTreeSet::new(),
             degraded_reads: 0,
             repaired_local_chunks: 0,
             repaired_network_chunks: 0,
-            read_buf: Vec::new(),
         })
     }
 
@@ -178,6 +356,51 @@ impl<B: ChunkBackend> MlecStore<B> {
     /// The codec (for encoding payloads off-thread).
     pub fn codec(&self) -> &MlecCodec {
         &self.codec
+    }
+
+    /// The rack hosting row `row` of object `obj` — every column of a row
+    /// lives in one rack, which is what makes rows the unit of sharding.
+    pub(crate) fn rack_of_row(&self, obj: u64, row: u32) -> RackId {
+        self.mapper.rack_of(&self.mapper.chunk_at(obj, row, 0))
+    }
+
+    /// Borrow the single-rack context for `rack`: its clock domain, its
+    /// lane, and the shared rates/mapper.
+    pub(crate) fn rack_ctx(&mut self, rack: RackId) -> RackCtx<'_, B> {
+        let (rates, clocks) = self.arbiter.split();
+        RackCtx {
+            rates,
+            clock: &mut clocks[rack as usize],
+            lane: &mut self.lanes[rack as usize],
+            mapper: &self.mapper,
+        }
+    }
+
+    /// Is `obj` live (has a version)?
+    pub(crate) fn exists(&self, obj: u64) -> bool {
+        self.versions.contains_key(&obj)
+    }
+
+    /// Has repair given up on `obj`'s stripe?
+    pub(crate) fn is_dead(&self, obj: u64) -> bool {
+        self.dead_objects.contains(&obj)
+    }
+
+    /// Commit a put's version bump (the epoch scheduler does bookkeeping
+    /// serially at routing time; the chunk writes follow in the shards).
+    /// Mirrors the version arithmetic of [`MlecStore::put_encoded`].
+    pub(crate) fn commit_put_version(&mut self, obj: u64) -> u64 {
+        let version = self.versions.get(&obj).map_or(0, |v| v + 1);
+        self.versions.insert(obj, version);
+        self.dead_objects.remove(&obj);
+        version
+    }
+
+    /// Commit a delete's liveness change; `false` means the object did
+    /// not exist (a miss — nothing to queue).
+    pub(crate) fn commit_delete(&mut self, obj: u64) -> bool {
+        self.dead_objects.remove(&obj);
+        self.versions.remove(&obj).is_some()
     }
 
     /// Encode a payload into a stripe grid — pure, callable off-thread.
@@ -210,27 +433,17 @@ impl<B: ChunkBackend> MlecStore<B> {
         let start = now + self.cfg.overhead_us;
         let mut end = start;
         for row in 0..nw {
+            let rack = self.rack_of_row(obj, row);
+            let row_end = self
+                .rack_ctx(rack)
+                .put_row(obj, row, &stripe[row as usize], start)?;
+            end = end.max(row_end);
+            // Overwriting heals any lost chunks of this row.
             for col in 0..lw {
-                let loc = self.mapper.chunk_at(obj, row, col);
-                let key = chunk_key(obj, row, col);
-                let data = &stripe[row as usize][col as usize];
-                // Chunk travels the rack uplink, then lands on the disk.
-                let rack = self.mapper.rack_of(&loc);
-                let arrived = self.arbiter.rack_xfer(rack, data.len(), start);
-                end =
-                    end.max(
-                        self.arbiter
-                            .disk_io(loc.disk, data.len(), arrived, Lane::Foreground),
-                    );
-                self.backend.write_chunk(key, data)?;
-                self.cache.invalidate(key);
-                self.by_disk.entry(loc.disk).or_default().insert(key);
-                // Overwriting heals any lost chunks of this stripe.
-                self.lost.remove(&key);
+                self.lost.remove(&chunk_key(obj, row, col));
             }
         }
-        let version = self.versions.get(&obj).map_or(0, |v| v + 1);
-        self.versions.insert(obj, version);
+        let version = self.commit_put_version(obj);
         Ok(PutResult {
             version,
             latency_us: end - now,
@@ -255,12 +468,14 @@ impl<B: ChunkBackend> MlecStore<B> {
             )));
         }
         for row in 0..nw {
+            let rack = self.rack_of_row(obj, row) as usize;
             for col in 0..lw {
                 let loc = self.mapper.chunk_at(obj, row, col);
                 let key = chunk_key(obj, row, col);
-                self.backend
+                let lane = &mut self.lanes[rack];
+                lane.backend
                     .write_chunk(key, &stripe[row as usize][col as usize])?;
-                self.by_disk.entry(loc.disk).or_default().insert(key);
+                lane.by_disk.entry(loc.disk).or_default().insert(key);
             }
         }
         self.versions.insert(obj, 0);
@@ -286,26 +501,21 @@ impl<B: ChunkBackend> MlecStore<B> {
     /// Fast path: every data chunk is present.
     fn get_healthy(&mut self, obj: u64, now: u64, start: u64) -> Result<GetResult, StoreError> {
         let (kn, kl) = (self.cfg.code.kn, self.cfg.code.kl);
+        let chunk_bytes = self.cfg.chunk_bytes;
         let mut payload = Vec::with_capacity(self.cfg.payload_bytes());
         let mut end = start;
         for row in 0..kn {
-            for col in 0..kl {
-                let key = chunk_key(obj, row, col);
-                if let Some(bytes) = self.cache.get(key) {
-                    payload.extend_from_slice(bytes);
-                    continue;
-                }
-                let loc = self.mapper.chunk_at(obj, row, col);
-                if !self.backend.read_chunk(key, &mut self.read_buf)? {
-                    return Err(StoreError::Unrecoverable {
-                        object: obj,
-                        detail: format!("chunk ({row}, {col}) missing without a recorded loss"),
-                    });
-                }
-                end = end.max(self.charge_read(&loc, self.read_buf.len(), start, Lane::Foreground));
-                self.cache.insert(key, &self.read_buf);
-                payload.extend_from_slice(&self.read_buf);
-            }
+            let rack = self.rack_of_row(obj, row);
+            let row_end = self.rack_ctx(rack).get_row(
+                obj,
+                row,
+                kl,
+                chunk_bytes,
+                start,
+                None,
+                Some(&mut payload),
+            )?;
+            end = end.max(row_end);
         }
         Ok(GetResult {
             payload,
@@ -370,18 +580,22 @@ impl<B: ChunkBackend> MlecStore<B> {
         let mut fetched = 0u64;
         for &(row, col) in &need {
             let key = chunk_key(obj, row, col);
-            if let Some(bytes) = self.cache.get(key) {
+            let rack = self.rack_of_row(obj, row);
+            let mut ctx = self.rack_ctx(rack);
+            if let Some(bytes) = ctx.lane.cache.get(key) {
                 grid[row as usize][col as usize] = Some(bytes.to_vec());
                 fetched += 1;
                 continue;
             }
-            let loc = self.mapper.chunk_at(obj, row, col);
-            if !self.backend.read_chunk(key, &mut self.read_buf)? {
+            let loc = ctx.mapper.chunk_at(obj, row, col);
+            let lane = &mut *ctx.lane;
+            if !lane.backend.read_chunk(key, &mut lane.read_buf)? {
                 continue; // inconsistent survivor: let the decoder decide
             }
-            end = end.max(self.charge_read(&loc, self.read_buf.len(), start, Lane::Foreground));
-            self.cache.insert(key, &self.read_buf);
-            grid[row as usize][col as usize] = Some(self.read_buf.clone());
+            let bytes = ctx.lane.read_buf.len();
+            end = end.max(ctx.charge_read(&loc, bytes, start, Lane::Foreground));
+            ctx.lane.cache.insert(key, &ctx.lane.read_buf);
+            grid[row as usize][col as usize] = Some(ctx.lane.read_buf.clone());
             fetched += 1;
         }
 
@@ -427,25 +641,18 @@ impl<B: ChunkBackend> MlecStore<B> {
 
     /// Remove object `obj`; returns the virtual latency.
     pub fn delete(&mut self, obj: u64, now: u64) -> Result<u64, StoreError> {
-        if self.versions.remove(&obj).is_none() {
+        if !self.commit_delete(obj) {
             return Err(StoreError::UnknownObject(obj));
         }
         let (nw, lw) = (self.cfg.code.network_width(), self.cfg.code.local_width());
         let start = now + self.cfg.overhead_us;
         let mut end = start;
         for row in 0..nw {
+            let rack = self.rack_of_row(obj, row);
+            let row_end = self.rack_ctx(rack).delete_row(obj, row, lw, start)?;
+            end = end.max(row_end);
             for col in 0..lw {
-                let key = chunk_key(obj, row, col);
-                let loc = self.mapper.chunk_at(obj, row, col);
-                if self.backend.delete_chunk(key)? {
-                    // Metadata-only touch: seek, no payload transfer.
-                    end = end.max(self.arbiter.disk_io(loc.disk, 0, start, Lane::Foreground));
-                }
-                self.cache.invalidate(key);
-                if let Some(set) = self.by_disk.get_mut(&loc.disk) {
-                    set.remove(&key);
-                }
-                self.lost.remove(&key);
+                self.lost.remove(&chunk_key(obj, row, col));
             }
         }
         Ok(end - now)
@@ -467,12 +674,14 @@ impl<B: ChunkBackend> MlecStore<B> {
         let mut affected: BTreeSet<u64> = BTreeSet::new();
         let mut lost_chunks = 0u64;
         for &disk in disks {
-            let Some(keys) = self.by_disk.remove(&disk) else {
+            let rack = self.cfg.geometry.rack_of(disk) as usize;
+            let lane = &mut self.lanes[rack];
+            let Some(keys) = lane.by_disk.remove(&disk) else {
                 continue;
             };
             for key in keys {
-                let _ = self.backend.delete_chunk(key);
-                self.cache.invalidate(key);
+                let _ = lane.backend.delete_chunk(key);
+                lane.cache.invalidate(key);
                 self.lost.insert(key);
                 affected.insert(key >> 12);
                 lost_chunks += 1;
@@ -513,24 +722,23 @@ impl<B: ChunkBackend> MlecStore<B> {
         let mut grid: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; lw as usize]; nw as usize];
         let mut read_end = start;
         for row in 0..nw {
+            let rack = self.rack_of_row(stripe, row);
             for col in 0..lw {
                 let key = chunk_key(stripe, row, col);
                 if self.lost.contains(&key) {
                     continue;
                 }
-                if self
+                let mut ctx = self.rack_ctx(rack);
+                let loc = ctx.mapper.chunk_at(stripe, row, col);
+                let lane = &mut *ctx.lane;
+                if lane
                     .backend
-                    .read_chunk(key, &mut self.read_buf)
+                    .read_chunk(key, &mut lane.read_buf)
                     .unwrap_or(false)
                 {
-                    let loc = self.mapper.chunk_at(stripe, row, col);
-                    read_end = read_end.max(self.charge_read(
-                        &loc,
-                        self.read_buf.len(),
-                        start,
-                        Lane::Repair,
-                    ));
-                    grid[row as usize][col as usize] = Some(self.read_buf.clone());
+                    let bytes = ctx.lane.read_buf.len();
+                    read_end = read_end.max(ctx.charge_read(&loc, bytes, start, Lane::Repair));
+                    grid[row as usize][col as usize] = Some(ctx.lane.read_buf.clone());
                 }
             }
         }
@@ -540,8 +748,11 @@ impl<B: ChunkBackend> MlecStore<B> {
                 self.repaired_network_chunks += network as u64;
             }
             Err(_) => {
-                // Beyond tolerance: give up on this stripe for good.
+                // Beyond tolerance: give up on this stripe for good. Reads
+                // of the object now fail until it is overwritten, and the
+                // epoch scheduler must barrier them — mark it dead.
                 self.repair.unrecoverable_stripes += 1;
+                self.dead_objects.insert(stripe);
                 for key in lost_keys {
                     self.lost.remove(&key);
                 }
@@ -555,27 +766,22 @@ impl<B: ChunkBackend> MlecStore<B> {
             let Some(bytes) = grid[row as usize][col as usize].take() else {
                 continue;
             };
-            let loc = self.mapper.chunk_at(stripe, row, col);
-            let rack = self.mapper.rack_of(&loc);
-            let arrived = self.arbiter.rack_xfer(rack, bytes.len(), read_end);
-            end = end.max(
-                self.arbiter
-                    .disk_io(loc.disk, bytes.len(), arrived, Lane::Repair),
-            );
-            if self.backend.write_chunk(key, &bytes).is_ok() {
-                self.by_disk.entry(loc.disk).or_default().insert(key);
+            let rack = self.rack_of_row(stripe, row);
+            let ctx = self.rack_ctx(rack);
+            let loc = ctx.mapper.chunk_at(stripe, row, col);
+            let arrived = ctx.clock.rack_xfer(ctx.rates, bytes.len(), read_end);
+            end =
+                end.max(
+                    ctx.clock
+                        .disk_io(ctx.rates, loc.disk, bytes.len(), arrived, Lane::Repair),
+                );
+            if ctx.lane.backend.write_chunk(key, &bytes).is_ok() {
+                ctx.lane.by_disk.entry(loc.disk).or_default().insert(key);
                 self.lost.remove(&key);
             }
         }
         self.repair.repaired_stripes += 1;
         end
-    }
-
-    /// Disk read then cross-rack hop; returns the delivery time.
-    fn charge_read(&mut self, loc: &ChunkLocation, bytes: usize, start: u64, lane: Lane) -> u64 {
-        let read_done = self.arbiter.disk_io(loc.disk, bytes, start, lane);
-        let rack = self.mapper.rack_of(loc);
-        self.arbiter.rack_xfer(rack, bytes, read_done)
     }
 
     /// Current version of `obj`, if live.
@@ -608,19 +814,35 @@ impl<B: ChunkBackend> MlecStore<B> {
         &self.repair
     }
 
-    /// The chunk cache (hit statistics).
-    pub fn cache(&self) -> &ChunkCache {
-        &self.cache
+    /// Aggregate cache hit rate over all rack cache shards, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for lane in &self.lanes {
+            let (h, m) = lane.cache.stats();
+            hits += h;
+            misses += m;
+        }
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Chunks currently cached, over all rack cache shards.
+    pub fn cached_chunks(&self) -> usize {
+        self.lanes.iter().map(|l| l.cache.len()).sum()
     }
 
     /// The bandwidth arbiter (lane totals).
-    pub fn arbiter(&self) -> &BandwidthArbiter {
+    pub fn arbiter(&self) -> &ShardedArbiter {
         &self.arbiter
     }
 
-    /// The backend (chunk counts; tests inspect it directly).
-    pub fn backend(&self) -> &B {
-        &self.backend
+    /// Chunks stored, over all rack backends.
+    pub fn chunk_count(&self) -> usize {
+        self.lanes.iter().map(|l| l.backend.chunk_count()).sum()
     }
 }
 
@@ -630,7 +852,7 @@ mod tests {
     use crate::backend::MemBackend;
 
     fn store() -> MlecStore<MemBackend> {
-        MlecStore::new(StoreConfig::small_test(), MemBackend::new()).unwrap()
+        MlecStore::new(StoreConfig::small_test(), |_| Ok(MemBackend::new())).unwrap()
     }
 
     fn payload(cfg: &StoreConfig, tag: u8) -> Vec<u8> {
@@ -660,6 +882,35 @@ mod tests {
         let mut s = store();
         assert!(matches!(s.get(9, 0), Err(StoreError::UnknownObject(9))));
         assert!(matches!(s.delete(9, 0), Err(StoreError::UnknownObject(9))));
+    }
+
+    #[test]
+    fn rows_of_a_stripe_land_in_distinct_racks() {
+        // The sharding invariant: every column of a row shares one rack,
+        // and the rows of a stripe spread over distinct racks.
+        let s = store();
+        let (nw, lw) = (
+            s.config().code.network_width(),
+            s.config().code.local_width(),
+        );
+        for obj in 0..32u64 {
+            let mut row_racks = Vec::new();
+            for row in 0..nw {
+                let rack = s.rack_of_row(obj, row);
+                for col in 0..lw {
+                    let loc = s.mapper.chunk_at(obj, row, col);
+                    assert_eq!(
+                        s.mapper.rack_of(&loc),
+                        rack,
+                        "obj {obj} row {row} col {col}"
+                    );
+                }
+                row_racks.push(rack);
+            }
+            row_racks.sort_unstable();
+            row_racks.dedup();
+            assert_eq!(row_racks.len(), nw as usize, "obj {obj} rows share a rack");
+        }
     }
 
     #[test]
@@ -746,10 +997,10 @@ mod tests {
         let p = payload(s.config(), 9);
         s.put(4, &p, 0).unwrap();
         let total = s.config().code.network_width() * s.config().code.local_width();
-        assert_eq!(s.backend().chunk_count(), total as usize);
+        assert_eq!(s.chunk_count(), total as usize);
         let lat = s.delete(4, 10_000).unwrap();
         assert!(lat > 0);
-        assert_eq!(s.backend().chunk_count(), 0);
+        assert_eq!(s.chunk_count(), 0);
         assert_eq!(s.live_objects(), 0);
     }
 
@@ -765,5 +1016,23 @@ mod tests {
             Err(StoreError::Unrecoverable { object, .. }) => assert_eq!(object, 0),
             other => panic!("expected Unrecoverable, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn unrecoverable_stripe_is_marked_dead_after_repair_gives_up() {
+        let mut s = store();
+        let p = payload(s.config(), 4);
+        s.put(0, &p, 0).unwrap();
+        s.kill_racks(s.config().geometry.racks, 1_000);
+        assert!(!s.is_dead(0), "deadness is decided by repair, not the kill");
+        s.pump_repairs(u64::MAX);
+        assert!(s.is_dead(0));
+        assert_eq!(s.lost_chunks(), 0, "repair abandons the lost records");
+        assert!(s.repair().unrecoverable_stripes > 0);
+        // An overwrite revives the object.
+        s.put(0, &p, 2_000_000).unwrap();
+        assert!(!s.is_dead(0));
+        let got = s.get(0, 3_000_000).unwrap();
+        assert_eq!(got.payload, p);
     }
 }

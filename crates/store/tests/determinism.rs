@@ -1,6 +1,6 @@
 //! The headline determinism guarantee: the JSONL op log is bit-identical
-//! across thread counts — and across chunk backends, since latency is
-//! virtual time, never wall time.
+//! across thread counts and apply-shard counts — and across chunk
+//! backends, since latency is virtual time, never wall time.
 
 use mlec_store::{run_store_bench, BackendChoice, BenchSpec, KillSpec};
 use std::path::PathBuf;
@@ -41,6 +41,26 @@ fn oplog_is_bit_identical_across_thread_counts() {
     assert!(!logs[0].is_empty());
     assert_eq!(logs[0], logs[1], "1 vs 2 threads");
     assert_eq!(logs[0], logs[2], "1 vs 8 threads");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oplog_is_bit_identical_across_shard_counts() {
+    let dir = scratch("shards");
+    let mut logs = Vec::new();
+    for shards in [0usize, 1, 4] {
+        let mut spec = spec_with_kill(3_000);
+        spec.shards = shards;
+        let path = dir.join(format!("s{shards}.jsonl"));
+        spec.oplog = Some(path.clone());
+        let report = run_store_bench(&spec).unwrap();
+        assert_eq!(report.oplog_records, 3_000);
+        assert!(report.degraded_reads > 0);
+        logs.push(std::fs::read(&path).unwrap());
+    }
+    assert!(!logs[0].is_empty());
+    assert_eq!(logs[0], logs[1], "serial vs shards=1");
+    assert_eq!(logs[0], logs[2], "serial vs shards=4");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -12,7 +12,7 @@ use mlec_runner::{SeedStream, SplitMix64};
 use mlec_store::{payload_for, MemBackend, MlecStore, StoreConfig};
 
 fn fresh_store() -> MlecStore<MemBackend> {
-    MlecStore::new(StoreConfig::small_test(), MemBackend::new()).unwrap()
+    MlecStore::new(StoreConfig::small_test(), |_| Ok(MemBackend::new())).unwrap()
 }
 
 fn load_objects(store: &mut MlecStore<MemBackend>, pay: &SeedStream, n: u64) {

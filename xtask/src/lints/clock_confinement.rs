@@ -1,0 +1,58 @@
+//! L6 `clock-confinement`: the store's virtual-time determinism argument
+//! rests on every `busy_until` clock living inside a single rack's clock
+//! domain (`crates/store/src/arbiter.rs`) and being merged only at the
+//! epoch barrier (`crates/store/src/epoch.rs`). A stray `busy_until`
+//! field or mutation anywhere else in `crates/store/src/` would let two
+//! shards observe or advance the same clock concurrently, and the
+//! bit-identical op-log contract (`shards=N` vs the serial path) would
+//! break in ways no single-threaded test can catch. The lint bans any
+//! identifier ending in `busy_until` outside those two modules.
+
+use super::Lint;
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::Workspace;
+
+const SCOPE: &str = "crates/store/src/";
+
+/// Clock state lives in the rack clock domain; merges happen at the
+/// epoch barrier. Nothing else touches `busy_until`.
+const ALLOWED: &[&str] = &["crates/store/src/arbiter.rs", "crates/store/src/epoch.rs"];
+
+/// L6: shard clock state and merges confined to arbiter.rs / epoch.rs.
+pub struct ClockConfinement;
+
+impl Lint for ClockConfinement {
+    fn name(&self) -> &'static str {
+        "clock-confinement"
+    }
+
+    fn description(&self) -> &'static str {
+        "no busy_until clock state outside crates/store/src/{arbiter,epoch}.rs"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !file.rel.starts_with(SCOPE) || ALLOWED.contains(&file.rel.as_str()) {
+                continue;
+            }
+            for (_, t) in file.code() {
+                if let Tok::Ident(name) = &t.tok {
+                    if name.ends_with("busy_until") {
+                        out.push(Diagnostic {
+                            lint: self.name(),
+                            path: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`{name}` outside the rack clock domain (arbiter.rs) and the \
+                                 epoch barrier (epoch.rs): busy_until state touched anywhere \
+                                 else can race across apply shards and break the bit-identical \
+                                 op-log contract"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

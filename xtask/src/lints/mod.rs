@@ -2,6 +2,7 @@
 //! DESIGN.md's "Enforced invariants" section; `cargo xtask lint` runs all
 //! of them over the workspace and fails on any un-suppressed finding.
 
+mod clock_confinement;
 mod det_iter;
 mod registry_sync;
 mod rng_confinement;
@@ -11,6 +12,7 @@ mod wall_clock;
 use crate::diag::Diagnostic;
 use crate::source::Workspace;
 
+pub use clock_confinement::ClockConfinement;
 pub use det_iter::DeterministicIteration;
 pub use registry_sync::RegistrySchemaSync;
 pub use rng_confinement::RngConfinement;
@@ -27,7 +29,7 @@ pub trait Lint {
     fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
 }
 
-/// Every registered lint, in documentation order (L1–L5).
+/// Every registered lint, in documentation order (L1–L6).
 pub fn all() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(RngConfinement),
@@ -35,6 +37,7 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(DeterministicIteration),
         Box::new(SafetyComments),
         Box::new(RegistrySchemaSync),
+        Box::new(ClockConfinement),
     ]
 }
 

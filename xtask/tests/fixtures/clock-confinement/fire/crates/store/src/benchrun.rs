@@ -1,0 +1,12 @@
+//! Fixture: a module outside the clock domain / epoch barrier keeping and
+//! advancing its own `busy_until` state.
+
+pub struct SideClock {
+    pub uplink_busy_until: u64,
+}
+
+pub fn charge(clock: &mut SideClock, now: u64, dur: u64) -> u64 {
+    let start = clock.uplink_busy_until.max(now);
+    clock.uplink_busy_until = start + dur;
+    clock.uplink_busy_until
+}

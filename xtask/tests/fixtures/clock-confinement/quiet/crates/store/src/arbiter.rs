@@ -1,0 +1,12 @@
+//! Fixture: the rack clock domain itself owns `busy_until` state
+//! (exempt by path).
+
+pub struct RackClock {
+    pub uplink_busy_until: u64,
+}
+
+pub fn reserve(clock: &mut RackClock, now: u64, dur: u64) -> u64 {
+    let start = clock.uplink_busy_until.max(now);
+    clock.uplink_busy_until = start + dur;
+    clock.uplink_busy_until
+}

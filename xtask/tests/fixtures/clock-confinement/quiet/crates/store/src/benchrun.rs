@@ -1,0 +1,18 @@
+//! Fixture near-miss: `busy_until` appears only in a comment, in test
+//! code, and as a non-suffix substring — none is a violation.
+
+// The scheduler never reads busy_until directly; it asks the arbiter.
+pub fn route(op: u64, racks: u64) -> u64 {
+    // Suffix check, not substring: this ident must not fire.
+    let busy_until_flush = op % racks;
+    busy_until_flush
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe() {
+        let disk_busy_until = 7u64;
+        assert_eq!(disk_busy_until, 7);
+    }
+}

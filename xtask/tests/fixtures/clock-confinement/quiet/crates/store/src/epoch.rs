@@ -1,0 +1,7 @@
+//! Fixture: the epoch barrier may merge clock state (exempt by path).
+
+use crate::arbiter::RackClock;
+
+pub fn max_join(clocks: &[RackClock]) -> u64 {
+    clocks.iter().map(|c| c.uplink_busy_until).fold(0, u64::max)
+}

@@ -136,6 +136,25 @@ fn registry_sync_quiet_on_shared_static_helper_and_bias() {
     assert_quiet("registry-schema-sync");
 }
 
+// --- L6 clock-confinement ----------------------------------------------
+
+#[test]
+fn clock_confinement_fires_on_busy_until_outside_domain() {
+    let diags = fire("clock-confinement");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.path == "crates/store/src/benchrun.rs"
+                && d.message.contains("uplink_busy_until")),
+        "busy_until state outside arbiter/epoch not caught: {diags:?}"
+    );
+}
+
+#[test]
+fn clock_confinement_quiet_on_arbiter_epoch_comments_and_tests() {
+    assert_quiet("clock-confinement");
+}
+
 // --- allow machinery ---------------------------------------------------
 
 #[test]
