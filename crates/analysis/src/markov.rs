@@ -146,6 +146,51 @@ impl BirthDeathChain {
     pub fn absorb_hazard_per_hour(&self) -> f64 {
         1.0 / self.mean_time_to_absorb_hours()
     }
+
+    /// Stationary distribution over the transient states, treating the chain
+    /// as a truncation of an ergodic birth–death process (the absorbing leak
+    /// out of the top transient state is ignored — callers size the chain so
+    /// that state carries negligible mass). Detailed balance gives
+    /// `pi[m+1] = pi[m] * fail[m] / repair[m]`, normalized to sum to 1.
+    ///
+    /// This is the occupancy view of the chain: e.g. with states counting
+    /// concurrent repairs, `birth = (P - m) h` and `death = m / T`, the
+    /// result is the long-run distribution of in-flight repairs.
+    ///
+    /// # Panics
+    /// Panics if any repair rate is zero while the birth rate feeding that
+    /// state is positive (the truncated process would not be ergodic).
+    pub fn stationary_occupancy(&self) -> Vec<f64> {
+        let n = self.transient_states();
+        let mut pi = vec![0.0f64; n];
+        pi[0] = 1.0;
+        for m in 1..n {
+            if self.fail_rates[m - 1] == 0.0 {
+                // Upper states unreachable; they keep zero mass.
+                break;
+            }
+            assert!(
+                self.repair_rates[m - 1] > 0.0,
+                "stationary occupancy needs positive repair rates below reachable states"
+            );
+            pi[m] = pi[m - 1] * self.fail_rates[m - 1] / self.repair_rates[m - 1];
+        }
+        let z: f64 = pi.iter().sum();
+        for p in &mut pi {
+            *p /= z;
+        }
+        pi
+    }
+
+    /// Mean of [`BirthDeathChain::stationary_occupancy`]: the long-run
+    /// expected state (e.g. mean concurrent repairs in flight).
+    pub fn stationary_mean(&self) -> f64 {
+        self.stationary_occupancy()
+            .iter()
+            .enumerate()
+            .map(|(m, &p)| m as f64 * p)
+            .sum()
+    }
 }
 
 /// Durability in "nines": `-log10(PDL)` (paper §4.2.3: "99.999% durability
@@ -253,5 +298,66 @@ mod tests {
     #[should_panic]
     fn mismatched_rate_lengths_panic() {
         let _ = BirthDeathChain::new(vec![1.0, 1.0], vec![]);
+    }
+
+    #[test]
+    fn stationary_occupancy_is_geometric_for_constant_rates() {
+        // Constant birth la, constant death mu: truncated M/M/1, pi[m] ~ rho^m.
+        let (la, mu) = (0.02, 0.1);
+        let rho: f64 = la / mu;
+        let chain = BirthDeathChain::new(vec![la; 8], vec![mu; 7]);
+        let pi = chain.stationary_occupancy();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for m in 1..8 {
+            assert!(
+                (pi[m] / pi[m - 1] - rho).abs() < 1e-12,
+                "m={m}: {} vs {rho}",
+                pi[m] / pi[m - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_mean_matches_mm_infinity() {
+        // Birth la, death m*mu: truncated M/M/inf, occupancy ~ Poisson(la/mu)
+        // with mean la/mu once the truncation tail is negligible.
+        let (la, mu) = (0.05, 0.1);
+        let n = 20;
+        let fail = vec![la; n];
+        let repair: Vec<f64> = (1..n).map(|m| m as f64 * mu).collect();
+        let chain = BirthDeathChain::new(fail, repair);
+        let expect = la / mu;
+        assert!(
+            (chain.stationary_mean() - expect).abs() < 1e-9,
+            "mean={} expect={expect}",
+            chain.stationary_mean()
+        );
+    }
+
+    #[test]
+    fn stationary_occupancy_flow_balance() {
+        // In stationarity, upward flow out of m equals downward flow into m:
+        // pi[m] * fail[m] == pi[m+1] * repair[m].
+        let chain = BirthDeathChain::new(vec![0.3, 0.2, 0.1, 0.05], vec![0.5, 0.7, 0.9]);
+        let pi = chain.stationary_occupancy();
+        let repair = [0.5, 0.7, 0.9];
+        let fail = [0.3, 0.2, 0.1];
+        for m in 0..3 {
+            assert!(
+                (pi[m] * fail[m] - pi[m + 1] * repair[m]).abs() < 1e-14,
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_occupancy_handles_unreachable_states() {
+        // A zero birth rate cuts the chain: states above it carry no mass
+        // even when their repair rates are zero.
+        let chain = BirthDeathChain::new(vec![0.1, 0.0, 0.2], vec![0.5, 0.0]);
+        let pi = chain.stationary_occupancy();
+        assert_eq!(pi[2], 0.0);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((pi[1] / pi[0] - 0.2).abs() < 1e-12);
     }
 }

@@ -258,7 +258,7 @@ mod tests {
         // R_ALL < R_FCO <= R_HYB <= R_MIN for every scheme.
         for scheme in MlecScheme::ALL {
             let d = dep(scheme);
-            let vals: Vec<f64> = RepairMethod::ALL
+            let vals: Vec<f64> = RepairMethod::PAPER
                 .iter()
                 .map(|&m| mlec_durability_nines(&d, m))
                 .collect();
@@ -344,7 +344,7 @@ mod tests {
         // All schemes/methods land in the paper's Fig 10 range (roughly
         // 10-45 nines).
         for scheme in MlecScheme::ALL {
-            for method in RepairMethod::ALL {
+            for method in RepairMethod::PAPER {
                 let n = mlec_durability_nines(&dep(scheme), method);
                 assert!(n > 8.0 && n < 60.0, "{scheme} {method}: {n}");
             }

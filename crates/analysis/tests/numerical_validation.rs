@@ -192,7 +192,7 @@ mod splitting_properties {
             let dep = MlecDeployment::paper_default(scheme);
             let s1 = stage1_analytic(&dep);
             let phi_all = knowledge_survival_factor(&dep, RepairMethod::All, &s1);
-            for method in RepairMethod::ALL {
+            for method in RepairMethod::PAPER {
                 let phi = knowledge_survival_factor(&dep, method, &s1);
                 assert!((0.0..=1.0).contains(&phi));
                 assert!(phi <= phi_all + 1e-12);
@@ -212,7 +212,7 @@ mod splitting_properties {
             assert!(five >= one);
             // Sojourn ordering follows method ordering.
             let mut last = f64::INFINITY;
-            for m in RepairMethod::ALL {
+            for m in RepairMethod::PAPER {
                 let s = catastrophic_sojourn_hours(&dep, m);
                 assert!(s <= last + 1e-9, "sojourns must not increase: {m}");
                 last = s;

@@ -1,21 +1,29 @@
 //! Microbenchmarks of the simulation and analysis engines: event queue
-//! throughput, stripe-census updates, pool-year simulation rate (the
-//! paper's "years even with a 200-core simulation" motivation for
+//! throughput, stripe-census updates, catastrophic repair-plan
+//! construction across the strategy registry, pool-year simulation rate
+//! (the paper's "years even with a 200-core simulation" motivation for
 //! splitting), and the rare-event analysis kernels. Run with
-//! `cargo bench --bench simulation`.
+//! `cargo bench --bench simulation`; `-- --fast --check BENCH_sim.json`
+//! gates against the committed baseline, `-- --json BENCH_sim.json`
+//! refreshes it.
+//!
+//! Committed baseline `min`s are the recorded `--json` output plus ~25%
+//! slow-side headroom (see `gf_kernels.rs` for the rationale); medians
+//! are the recorded values, kept as noise context.
 
 use mlec_analysis::burst::mlec_burst_pdl;
 use mlec_analysis::chains::pool_chain;
-use mlec_bench::microbench::{bench, black_box};
+use mlec_bench::microbench::{black_box, Harness};
 use mlec_sim::census::StripeCensus;
 use mlec_sim::config::MlecDeployment;
 use mlec_sim::engine::EventQueue;
 use mlec_sim::failure::FailureModel;
 use mlec_sim::pool_sim::simulate_pool;
+use mlec_sim::repair::{inject_catastrophic, RepairMethod};
 use mlec_topology::MlecScheme;
 
-fn bench_event_queue() {
-    bench("event_queue_push_pop_10k", || {
+fn bench_event_queue(h: &mut Harness) {
+    h.bench("event_queue_push_pop_10k", || {
         let mut q = EventQueue::new();
         for i in 0..10_000u32 {
             q.schedule(((i * 2654435761) % 100_000) as f64, i);
@@ -28,8 +36,8 @@ fn bench_event_queue() {
     });
 }
 
-fn bench_census_update() {
-    bench("census_fail_and_drain", || {
+fn bench_census_update(h: &mut Harness) {
+    h.bench("census_fail_and_drain", || {
         let mut census = StripeCensus::new(120, 20, 9.375e8);
         for _ in 0..4 {
             census.add_disk_failure();
@@ -39,43 +47,68 @@ fn bench_census_update() {
     });
 }
 
-fn bench_pool_year_simulation() {
+fn bench_repair_plans(h: &mut Harness) {
+    // Full strategy registry x all four schemes: census injection plus the
+    // strategy's staged plan. This sits on the system simulator's
+    // per-mission setup path and the analytic figure rows, so plan
+    // construction must stay trivially cheap.
+    let deps: Vec<MlecDeployment> = MlecScheme::ALL
+        .iter()
+        .map(|&s| MlecDeployment::paper_default(s))
+        .collect();
+    h.bench("repair_plan_extended_all_schemes", || {
+        let mut traffic = 0.0;
+        for dep in &deps {
+            let injected = inject_catastrophic(black_box(dep));
+            for method in RepairMethod::EXTENDED {
+                let plan = method.strategy().plan(dep, &injected);
+                traffic += plan.cross_rack_traffic_tb;
+            }
+        }
+        black_box(traffic);
+    });
+}
+
+fn bench_pool_year_simulation(h: &mut Harness) {
     // Simulation rate in pool-years/second is the headline capacity number
     // for splitting stage 1.
     let model = FailureModel::Exponential { afr: 0.05 };
     let dep = MlecDeployment::paper_default(MlecScheme::CD);
     let mut seed = 0u64;
-    bench("dp_pool_sim_100y", || {
+    h.bench("dp_pool_sim_100y", || {
         seed += 1;
         black_box(simulate_pool(&dep, &model, 100.0, seed));
     });
     let dep_cp = MlecDeployment::paper_default(MlecScheme::CC);
     let mut seed = 0u64;
-    bench("cp_pool_sim_100y", || {
+    h.bench("cp_pool_sim_100y", || {
         seed += 1;
         black_box(simulate_pool(&dep_cp, &model, 100.0, seed));
     });
 }
 
-fn bench_markov_chain() {
+fn bench_markov_chain(h: &mut Harness) {
     let dep = MlecDeployment::paper_default(MlecScheme::CD);
-    bench("pool_chain_hazard", || {
+    h.bench("pool_chain_hazard", || {
         black_box(pool_chain(&dep).absorb_hazard_per_hour());
     });
 }
 
-fn bench_burst_cell() {
+fn bench_burst_cell(h: &mut Harness) {
     // One Fig 5 heatmap cell (60 failures over 3 racks, 20 samples).
     let dep = MlecDeployment::paper_default(MlecScheme::DD);
-    bench("fig5_cell_dd_y60_x3", || {
+    h.bench("fig5_cell_dd_y60_x3", || {
         black_box(mlec_burst_pdl(&dep, 60, 3, 20, 7));
     });
 }
 
-fn main() {
-    bench_event_queue();
-    bench_census_update();
-    bench_pool_year_simulation();
-    bench_markov_chain();
-    bench_burst_cell();
+fn main() -> std::process::ExitCode {
+    let mut h = Harness::from_args();
+    bench_event_queue(&mut h);
+    bench_census_update(&mut h);
+    bench_repair_plans(&mut h);
+    bench_pool_year_simulation(&mut h);
+    bench_markov_chain(&mut h);
+    bench_burst_cell(&mut h);
+    h.finish()
 }

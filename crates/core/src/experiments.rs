@@ -437,12 +437,19 @@ pub struct RepairMethodCell {
     pub local_time_h: f64,
 }
 
-/// Fig 8 + Fig 9: repair traffic and times for all methods × schemes.
+/// Fig 8 + Fig 9: repair traffic and times for the paper's methods ×
+/// schemes (the exact paper reproduction).
 pub fn fig8_fig9_repair_methods() -> Vec<RepairMethodCell> {
+    fig8_fig9_repair_methods_for(&RepairMethod::PAPER)
+}
+
+/// [`fig8_fig9_repair_methods`] for an explicit method list (the `method=`
+/// registry parameter; includes the beyond-the-paper strategies).
+pub fn fig8_fig9_repair_methods_for(methods: &[RepairMethod]) -> Vec<RepairMethodCell> {
     let mut out = Vec::new();
     for scheme in MlecScheme::ALL {
         let dep = paper_deployment(scheme);
-        for method in RepairMethod::ALL {
+        for &method in methods {
             let plan = plan_catastrophic_repair(&dep, method);
             out.push(RepairMethodCell {
                 scheme: scheme.name(),
@@ -492,6 +499,7 @@ pub fn fig8_fig9_repair_methods_sim(
     years_per_trial: f64,
     trials: u64,
     seed: u64,
+    methods: &[RepairMethod],
     opts: &HeatmapRunOpts,
 ) -> std::io::Result<Vec<RepairMethodSimCell>> {
     let mut out = Vec::new();
@@ -499,12 +507,12 @@ pub fn fig8_fig9_repair_methods_sim(
         let mut dep = paper_deployment(scheme);
         dep.config.afr = afr;
         let model = mlec_sim::failure::FailureModel::Exponential { afr };
-        for method in RepairMethod::ALL {
+        for &method in methods {
             let plan = plan_catastrophic_repair(&dep, method);
             let trial = mlec_sim::trials::SystemTrial {
                 dep: &dep,
                 model: &model,
-                method,
+                strategy: method.strategy(),
                 years: years_per_trial,
                 opts: mlec_sim::system_sim::SystemSimOptions::default(),
                 event_log: None,
@@ -570,7 +578,7 @@ pub fn fig10_durability() -> Vec<DurabilityCell> {
     let mut out = Vec::new();
     for scheme in MlecScheme::ALL {
         let dep = paper_deployment(scheme);
-        for method in RepairMethod::ALL {
+        for method in RepairMethod::PAPER {
             out.push(DurabilityCell {
                 scheme: scheme.name(),
                 method: method.name().to_string(),
@@ -651,7 +659,7 @@ pub fn fig10_durability_sim(
         let (s1_sim, report) =
             stage1_via_runner_logged(&dep, &model, years_per_trial, fb, &spec, sink.as_ref())?;
         let s1_analytic = stage1_analytic(&dep);
-        for method in RepairMethod::ALL {
+        for method in RepairMethod::PAPER {
             out.push(DurabilitySimCell {
                 scheme: scheme.name(),
                 method: method.name().to_string(),

@@ -12,13 +12,13 @@ use crate::experiments::{
     fig10_durability, fig10_durability_sim, fig11_encoding_throughput, fig12_mlec_vs_slec,
     fig12_mlec_vs_slec_sim, fig13_slec_burst_with, fig15_mlec_vs_lrc, fig15_mlec_vs_lrc_sim,
     fig16_lrc_burst_with, fig5_mlec_burst_with, fig7_catastrophic_prob, fig7_catastrophic_prob_sim,
-    fig8_fig9_repair_methods, fig8_fig9_repair_methods_sim, repair_traffic_comparison,
-    table2_and_fig6, HeatmapRunOpts, HeatmapSpec, RepairMethodSimCell,
+    fig8_fig9_repair_methods, fig8_fig9_repair_methods_for, fig8_fig9_repair_methods_sim,
+    repair_traffic_comparison, table2_and_fig6, HeatmapRunOpts, HeatmapSpec, RepairMethodSimCell,
 };
 use crate::figdata;
 use crate::registry::{
-    Experiment, ExperimentCtx, ExperimentError, ExperimentInfo, ExperimentOutput, Mode, ParamKind,
-    ParamSpec,
+    suggest_among, Experiment, ExperimentCtx, ExperimentError, ExperimentInfo, ExperimentOutput,
+    Mode, ParamKind, ParamSpec,
 };
 use crate::report::{ascii_table, fmt_value, render_heatmap};
 use mlec_analysis::markov::nines;
@@ -525,8 +525,14 @@ static FIG08_INFO: ExperimentInfo = ExperimentInfo {
             "whole-system missions per scheme x method (mode=sim)"
         ),
         ("seed", U64, "42", "root RNG seed (mode=sim)"),
+        (
+            "method",
+            Str,
+            "paper",
+            "repair methods: `paper` (R_ALL..R_MIN), `all` (adds R_LAYER, R_PIGGY), or a comma-separated label list"
+        ),
     ],
-    fast: &[("trials", "2"), ("years", "1")],
+    fast: &[("trials", "2"), ("years", "1"), ("method", "all")],
 };
 
 fn run_fig08(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
@@ -564,16 +570,17 @@ fn run_fig08(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
         out.artifact("fig08_sim", &cells);
         return Ok(out);
     }
+    let methods = parse_methods(ctx)?;
     let mut out = ExperimentOutput::new();
-    let cells = fig8_fig9_repair_methods();
-    let rows: Vec<Vec<String>> = METHODS
+    let cells = fig8_fig9_repair_methods_for(&methods);
+    let rows: Vec<Vec<String>> = methods
         .iter()
         .map(|m| {
-            let mut row = vec![m.to_string()];
+            let mut row = vec![m.name().to_string()];
             for s in SCHEMES {
                 let cell = cells
                     .iter()
-                    .find(|c| c.scheme == s && c.method == *m)
+                    .find(|c| c.scheme == s && c.method == m.name())
                     .expect("cell exists");
                 row.push(fmt_value(cell.cross_rack_tb));
             }
@@ -622,8 +629,14 @@ static FIG09_INFO: ExperimentInfo = ExperimentInfo {
             "whole-system missions per scheme x method (mode=sim)"
         ),
         ("seed", U64, "42", "root RNG seed (mode=sim)"),
+        (
+            "method",
+            Str,
+            "paper",
+            "repair methods: `paper` (R_ALL..R_MIN), `all` (adds R_LAYER, R_PIGGY), or a comma-separated label list"
+        ),
     ],
-    fast: &[("trials", "2"), ("years", "1")],
+    fast: &[("trials", "2"), ("years", "1"), ("method", "all")],
 };
 
 fn run_fig09(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
@@ -661,8 +674,9 @@ fn run_fig09(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentError> {
         out.artifact("fig09_sim", &cells);
         return Ok(out);
     }
+    let methods = parse_methods(ctx)?;
     let mut out = ExperimentOutput::new();
-    let cells = fig8_fig9_repair_methods();
+    let cells = fig8_fig9_repair_methods_for(&methods);
     let rows: Vec<Vec<String>> = cells
         .iter()
         .map(|c| {
@@ -712,14 +726,63 @@ fn repair_methods_sim_campaign(
     let years = ctx.f64("years");
     let trials = ctx.u64("trials");
     let seed = ctx.u64("seed");
+    let methods = parse_methods(ctx)?;
+    let labels: Vec<&str> = methods.iter().map(mlec_sim::RepairMethod::name).collect();
     let mut out = ExperimentOutput::new();
     w!(
         out.text,
         "sim mode: AFR {afr}, {trials} missions x {years} years per scheme x method, \
-         root seed {seed}\n"
+         root seed {seed}, methods {}\n",
+        labels.join(",")
     );
-    let cells = fig8_fig9_repair_methods_sim(afr, years, trials, seed, &ctx.runner)?;
+    let cells = fig8_fig9_repair_methods_sim(afr, years, trials, seed, &methods, &ctx.runner)?;
     Ok((cells, out))
+}
+
+/// Parse the `method=` parameter of fig08/fig09: `paper` (the four §2.4
+/// methods), `all` (paper plus `R_LAYER`/`R_PIGGY`), or a comma-separated
+/// list of labels (case-insensitive, deduplicated, order preserved).
+/// Unknown labels get a `suggest_among` did-you-mean hint.
+fn parse_methods(ctx: &ExperimentCtx) -> Result<Vec<RepairMethod>, ExperimentError> {
+    let raw = ctx.str("method");
+    match raw {
+        "paper" => return Ok(RepairMethod::PAPER.to_vec()),
+        "all" => return Ok(RepairMethod::EXTENDED.to_vec()),
+        _ => {}
+    }
+    let mut methods: Vec<RepairMethod> = Vec::new();
+    for label in raw.split(',').map(str::trim).filter(|l| !l.is_empty()) {
+        let Some(method) = RepairMethod::parse(label) else {
+            let mut candidates: Vec<&str> = RepairMethod::EXTENDED
+                .iter()
+                .map(mlec_sim::RepairMethod::name)
+                .collect();
+            candidates.extend(["paper", "all"]);
+            let hint = match suggest_among(label, &candidates) {
+                Some(s) => format!(" — did you mean `{s}`?"),
+                None => String::new(),
+            };
+            return Err(ExperimentError::BadValue {
+                name: "method".to_string(),
+                value: label.to_string(),
+                expected: format!(
+                    "`paper`, `all`, or labels from {}{hint}",
+                    RepairMethod::EXTENDED.map(|m| m.name()).join(", ")
+                ),
+            });
+        };
+        if !methods.contains(&method) {
+            methods.push(method);
+        }
+    }
+    if methods.is_empty() {
+        return Err(ExperimentError::BadValue {
+            name: "method".to_string(),
+            value: raw.to_string(),
+            expected: "a non-empty method list (e.g. `R_LAYER,R_PIGGY`)".to_string(),
+        });
+    }
+    Ok(methods)
 }
 
 fn repair_methods_sim_footer(out: &mut ExperimentOutput) {
@@ -1782,7 +1845,7 @@ fn run_validation(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentErr
         let trial = SystemTrial {
             dep: &dep,
             model: &model,
-            method: RepairMethod::Fco,
+            strategy: RepairMethod::Fco.strategy(),
             years,
             opts: SystemSimOptions::default(),
             event_log: None,

@@ -193,10 +193,18 @@ impl fmt::Display for ExperimentError {
                 mode,
                 supported,
             } => {
-                write!(
-                    f,
-                    "experiment `{name}` has no mode={mode} (supported: {supported})"
-                )
+                let candidates: Vec<&str> = supported.split(", ").collect();
+                match suggest_among(mode, &candidates) {
+                    Some(s) => write!(
+                        f,
+                        "experiment `{name}` has no mode={mode} — did you mean \
+                         `mode={s}`? (supported: {supported})"
+                    ),
+                    None => write!(
+                        f,
+                        "experiment `{name}` has no mode={mode} (supported: {supported})"
+                    ),
+                }
             }
             ExperimentError::Io(e) => write!(f, "campaign I/O: {e}"),
             ExperimentError::Dump(e) => write!(f, "{e}"),
@@ -439,17 +447,31 @@ fn edit_distance(a: &str, b: &str) -> usize {
 /// toward the lexicographically first candidate so the suggestion is
 /// stable.
 pub fn suggest(name: &str) -> Option<&'static str> {
-    let mut names: Vec<&'static str> = REGISTRY.iter().map(|e| e.info().name).collect();
+    let names: Vec<&'static str> = REGISTRY.iter().map(|e| e.info().name).collect();
+    suggest_among(name, &names)
+}
+
+/// The candidate closest to `input` under the same typo heuristics as
+/// [`suggest`] (unique prefix, then edit distance ≤ 2, lexicographic
+/// tie-break). Used for *parameter values* too: unknown `mode=`/`method=`
+/// values get the same did-you-mean treatment as experiment names.
+/// Matching is case-insensitive so `r_layer` suggests `R_LAYER`.
+pub fn suggest_among<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    let mut names: Vec<&'a str> = candidates.to_vec();
     names.sort_unstable();
-    let prefixed: Vec<&&str> = names.iter().filter(|n| n.starts_with(name)).collect();
+    let input_lc = input.to_ascii_lowercase();
+    let prefixed: Vec<&&str> = names
+        .iter()
+        .filter(|n| n.to_ascii_lowercase().starts_with(&input_lc))
+        .collect();
     if let [only] = prefixed[..] {
-        if !name.is_empty() {
+        if !input.is_empty() {
             return Some(only);
         }
     }
     names
         .iter()
-        .map(|n| (edit_distance(name, n), *n))
+        .map(|n| (edit_distance(&input_lc, &n.to_ascii_lowercase()), *n))
         .filter(|&(d, _)| d <= 2)
         .min_by_key(|&(d, n)| (d, n))
         .map(|(_, n)| n)
@@ -636,6 +658,55 @@ mod tests {
         // A hopeless name still gets the plain error.
         let msg = run_experiment("frobnicate", &[]).unwrap_err().to_string();
         assert!(!msg.contains("did you mean"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_mode_value_suggests_a_close_mode() {
+        // Parameter-value did-you-mean: `mode=sin` is a plausible typo of
+        // the supported `sim`.
+        let msg = run_experiment("fig08", &args(&["mode=sin"]))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("did you mean `mode=sim`"), "{msg}");
+        // A hopeless mode still lists the supported set without a hint.
+        let msg = run_experiment("fig08", &args(&["mode=zzzzzz"]))
+            .unwrap_err()
+            .to_string();
+        assert!(!msg.contains("did you mean"), "{msg}");
+        assert!(msg.contains("supported"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_method_value_suggests_a_close_label() {
+        let msg = run_experiment("fig08", &args(&["method=R_LAYR"]))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("did you mean `R_LAYER`"), "{msg}");
+        let msg = run_experiment("fig09", &args(&["method=piggy"]))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("did you mean `R_PIGGY`"), "{msg}");
+        // Unknown method values are usage errors (BadValue), so the driver
+        // exits 2, same as any malformed parameter.
+        assert!(matches!(
+            run_experiment("fig08", &args(&["method=R_NOPE,R_ALL"])),
+            Err(ExperimentError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run_experiment("fig08", &args(&["method=,"])),
+            Err(ExperimentError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn suggest_among_prefers_unique_prefix_then_distance() {
+        let candidates = ["R_ALL", "R_FCO", "R_HYB", "R_MIN", "R_LAYER", "R_PIGGY"];
+        assert_eq!(suggest_among("R_P", &candidates), Some("R_PIGGY"));
+        assert_eq!(suggest_among("r_fco", &candidates), Some("R_FCO"));
+        assert_eq!(suggest_among("R_LAYERS", &candidates), Some("R_LAYER"));
+        assert_eq!(suggest_among("nothing_close", &candidates), None);
+        // Ambiguous prefix falls back to edit distance.
+        assert_eq!(suggest_among("R_", &candidates), None);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The four catastrophic-pool repair methods (paper §2.4, Fig 4) and their
+//! Catastrophic-pool repair methods (paper §2.4, Fig 4) and their
 //! cross-rack traffic / repair-time accounting (Fig 8, Fig 9).
 //!
 //! The evaluated scenario is the paper's fault injection (§3): `p_l + 1`
@@ -7,15 +7,20 @@
 //!
 //! - *network volume*: bytes reconstructed via network-level parity;
 //! - *local volume*: bytes reconstructed by the local repairer;
-//! - *cross-rack traffic*: `network volume × (k_n reads + 1 write)`;
+//! - *cross-rack traffic*: `wire volume × (k_n reads + 1 write)`;
 //! - times from the Table 2 bandwidth model.
+//!
+//! [`RepairMethod`] is the lightweight `Copy` selector used by the CLI and
+//! the figure registry; the accounting itself lives in the pluggable
+//! [`crate::strategy::RepairStrategy`] layer, to which everything here
+//! delegates.
 
-use crate::bandwidth::{catastrophic_pool_repair_bw_mbs, hours_to_move, local_repair_bw_mbs};
 use crate::census::prob_cover_all;
 use crate::config::MlecDeployment;
 use mlec_topology::Placement;
 
-/// The four repair methods, from simplest to most optimized (§2.4).
+/// Repair-method selectors: the paper's four (§2.4) plus the two
+/// beyond-the-paper strategies layered on the [`crate::strategy`] seam.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RepairMethod {
     /// `R_ALL`: rebuild the entire local pool over the network. Black-box
@@ -30,15 +35,33 @@ pub enum RepairMethod {
     /// `R_MIN`: two-stage — network-repair just enough chunks to make every
     /// lost stripe locally recoverable, then finish locally.
     Min,
+    /// `R_LAYER`: gather-within-layer, decode-across (Hu et al.) — minimal
+    /// decoded partials cross racks, recoverable chunks stream directly.
+    Layer,
+    /// `R_PIGGY`: piggybacked sub-stripe scheduling (Rashmi et al.) —
+    /// trades extra same-rack reads for reduced cross-rack volume.
+    Piggy,
 }
 
 impl RepairMethod {
-    /// All methods in the paper's presentation order.
-    pub const ALL: [RepairMethod; 4] = [
+    /// The paper's four methods in its presentation order. Figures that
+    /// reproduce the paper exactly (fig08–fig10 defaults) iterate this.
+    pub const PAPER: [RepairMethod; 4] = [
         RepairMethod::All,
         RepairMethod::Fco,
         RepairMethod::Hyb,
         RepairMethod::Min,
+    ];
+
+    /// Every selector, paper methods first, then the beyond-the-paper
+    /// strategies (`R_LAYER`, `R_PIGGY`).
+    pub const EXTENDED: [RepairMethod; 6] = [
+        RepairMethod::All,
+        RepairMethod::Fco,
+        RepairMethod::Hyb,
+        RepairMethod::Min,
+        RepairMethod::Layer,
+        RepairMethod::Piggy,
     ];
 
     /// Paper label, e.g. `"R_HYB"`.
@@ -48,7 +71,16 @@ impl RepairMethod {
             RepairMethod::Fco => "R_FCO",
             RepairMethod::Hyb => "R_HYB",
             RepairMethod::Min => "R_MIN",
+            RepairMethod::Layer => "R_LAYER",
+            RepairMethod::Piggy => "R_PIGGY",
         }
+    }
+
+    /// Parse a paper-style label (`"R_HYB"`, case-insensitive).
+    pub fn parse(label: &str) -> Option<RepairMethod> {
+        RepairMethod::EXTENDED
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(label))
     }
 
     /// Whether the network repairer knows which exact chunks are lost
@@ -56,7 +88,7 @@ impl RepairMethod {
     /// chunk knowledge lets the system survive `p_n + 1` catastrophic pools
     /// with no actually-lost network stripe.
     pub fn has_chunk_knowledge(&self) -> bool {
-        !matches!(self, RepairMethod::All)
+        self.strategy().has_chunk_knowledge()
     }
 }
 
@@ -73,12 +105,17 @@ pub struct CatastrophicRepairPlan {
     pub network_volume_tb: f64,
     /// Bytes (TB) reconstructed by the local repairer.
     pub local_volume_tb: f64,
-    /// Cross-rack bytes moved: `network_volume * (k_n + 1)`.
+    /// Cross-rack bytes moved: `wire volume * (k_n + 1)`. The wire volume
+    /// equals the network volume for every strategy that ships full helper
+    /// chunks; piggybacked schedules move less.
     pub cross_rack_traffic_tb: f64,
     /// Network-phase repair time, hours (includes detection).
     pub network_time_h: f64,
     /// Local-phase repair time, hours.
     pub local_time_h: f64,
+    /// Extra same-rack companion reads (TB) spent to shrink the wire
+    /// volume. Zero for the four paper methods.
+    pub local_read_extra_tb: f64,
 }
 
 impl CatastrophicRepairPlan {
@@ -134,50 +171,16 @@ pub fn inject_catastrophic(dep: &MlecDeployment) -> InjectedFailure {
 }
 
 /// Plan a catastrophic-pool repair under the given method (Fig 8 / Fig 9).
+///
+/// Convenience wrapper over the strategy layer: computes the census and
+/// delegates to [`RepairMethod::strategy`]'s
+/// [`plan`](crate::strategy::RepairStrategy::plan).
 pub fn plan_catastrophic_repair(
     dep: &MlecDeployment,
     method: RepairMethod,
 ) -> CatastrophicRepairPlan {
     let injected = inject_catastrophic(dep);
-    let chunk_tb = dep.geometry.chunk_kb * 1e3 / 1e12;
-    let pool_capacity_tb = dep.local_pools().pool_capacity_tb();
-    let pl = dep.params.local.p as f64;
-
-    let (network_volume_tb, local_volume_tb, local_chunks_per_stripe) = match method {
-        RepairMethod::All => (pool_capacity_tb, 0.0, 0),
-        RepairMethod::Fco => (injected.failed_volume_tb, 0.0, 0),
-        RepairMethod::Hyb => (
-            injected.lost_chunk_volume_tb,
-            injected.failed_volume_tb - injected.lost_chunk_volume_tb,
-            1,
-        ),
-        RepairMethod::Min => {
-            // Stage 1: one network chunk per lost stripe brings it down to
-            // p_l failures (locally recoverable); stage 2 rebuilds the rest.
-            let per_stripe = (injected.failed_disks as f64 - pl).max(0.0);
-            let network = injected.lost_stripes * per_stripe * chunk_tb;
-            (
-                network,
-                injected.failed_volume_tb - network,
-                dep.params.local.p as u32,
-            )
-        }
-    };
-
-    let kn = dep.params.network.k as f64;
-    let cross_rack_traffic_tb = network_volume_tb * (kn + 1.0);
-    let network_time_h = dep.config.detection_hours
-        + hours_to_move(network_volume_tb, catastrophic_pool_repair_bw_mbs(dep));
-    let local_bw = local_repair_bw_mbs(dep, local_chunks_per_stripe.max(1), injected.failed_disks);
-    let local_time_h = hours_to_move(local_volume_tb, local_bw);
-
-    CatastrophicRepairPlan {
-        network_volume_tb,
-        local_volume_tb,
-        cross_rack_traffic_tb,
-        network_time_h,
-        local_time_h,
-    }
+    method.strategy().plan(dep, &injected)
 }
 
 #[cfg(test)]
@@ -310,6 +313,22 @@ mod tests {
         assert_eq!(RepairMethod::All.name(), "R_ALL");
         assert!(!RepairMethod::All.has_chunk_knowledge());
         assert!(RepairMethod::Min.has_chunk_knowledge());
-        assert_eq!(RepairMethod::ALL.len(), 4);
+        assert!(RepairMethod::Layer.has_chunk_knowledge());
+        assert!(RepairMethod::Piggy.has_chunk_knowledge());
+        assert_eq!(RepairMethod::PAPER.len(), 4);
+        assert_eq!(RepairMethod::EXTENDED.len(), 6);
+        assert_eq!(&RepairMethod::EXTENDED[..4], &RepairMethod::PAPER[..]);
+    }
+
+    #[test]
+    fn method_labels_round_trip() {
+        for method in RepairMethod::EXTENDED {
+            assert_eq!(RepairMethod::parse(method.name()), Some(method));
+            assert_eq!(
+                RepairMethod::parse(&method.name().to_ascii_lowercase()),
+                Some(method)
+            );
+        }
+        assert_eq!(RepairMethod::parse("R_NOPE"), None);
     }
 }

@@ -1,0 +1,424 @@
+//! Pluggable catastrophic-repair strategies.
+//!
+//! The paper's §2.4 methods were originally a closed enum with the volume
+//! accounting hardcoded in match arms. This module re-expresses each method
+//! as a [`RepairStrategy`]: an object that owns the *volume split* of one
+//! catastrophic-pool repair (network-rebuilt vs locally-rebuilt bytes, the
+//! bytes that actually cross rack boundaries, and any extra same-rack
+//! companion reads), while the shared accounting tail in
+//! [`RepairStrategy::plan`] turns that split into cross-rack traffic and
+//! staged repair times exactly the way `plan_catastrophic_repair` always has.
+//!
+//! Bit-exactness of the four paper ports is by construction: each strategy's
+//! [`RepairStrategy::split`] copies the corresponding match arm's expressions
+//! verbatim (same operations, same order), and the shared tail is the
+//! verbatim former function tail, so every intermediate `f64` is the same
+//! binary value as before the refactor. The pinned fig08/fig09 tests in
+//! `repair.rs` and the golden kernel-invariance tests in `system_sim.rs`
+//! hold the line.
+//!
+//! Beyond the paper, two traffic-reduced strategies ride on the seam:
+//!
+//! - [`RLayer`] — repair layering à la Hu et al. ("Optimal Repair Layering
+//!   for Erasure-Coded Data Centers"): surviving chunks of a lost stripe are
+//!   gathered *within* each layer (rack) and only the minimal decoded
+//!   partial crosses the rack boundary; the rest of the lost stripe is
+//!   re-expanded locally, while recoverable failed chunks stream directly
+//!   (R_FCO-style) so no local rebuild of them is needed.
+//! - [`RPiggy`] — piggybacked sub-stripe scheduling in the spirit of
+//!   Rashmi et al.'s Facebook-warehouse study: the repair of a lost chunk is
+//!   split into `f` sub-stripes and companion reads are piggybacked so only
+//!   a `γ = 1/2 + 1/(2f)` fraction of the helper bytes crosses racks, at
+//!   the cost of extra same-rack reads.
+
+use crate::bandwidth::{catastrophic_pool_repair_bw_mbs, hours_to_move, local_repair_bw_mbs};
+use crate::config::MlecDeployment;
+use crate::repair::{CatastrophicRepairPlan, InjectedFailure, RepairMethod};
+
+/// The volume split a strategy assigns to one catastrophic-pool repair.
+///
+/// All fields are in TB. The shared accounting tail
+/// ([`RepairStrategy::plan`]) derives traffic and times from this split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairSplit {
+    /// Bytes reconstructed via network-level parity.
+    pub network_volume_tb: f64,
+    /// Bytes that cross rack boundaries per `(k_n reads + 1 write)`
+    /// accounting unit. Equal to `network_volume_tb` for every strategy
+    /// that ships full helper chunks (the four paper methods and `R_LAYER`);
+    /// smaller for piggybacked schedules.
+    pub wire_volume_tb: f64,
+    /// Bytes reconstructed by the local repairer.
+    pub local_volume_tb: f64,
+    /// Failed chunks per stripe the local repairer rebuilds (drives the
+    /// Table 2 local-bandwidth model; `0` means "no local phase").
+    pub local_chunks_per_stripe: u32,
+    /// Extra same-rack companion reads (beyond the cross-rack helper
+    /// bytes) the strategy spends to reduce wire volume. Zero for the
+    /// four paper methods.
+    pub local_read_extra_tb: f64,
+}
+
+impl RepairSplit {
+    /// A split where every helper byte crosses racks (paper methods).
+    fn full_wire(
+        network_volume_tb: f64,
+        local_volume_tb: f64,
+        local_chunks_per_stripe: u32,
+    ) -> Self {
+        RepairSplit {
+            network_volume_tb,
+            wire_volume_tb: network_volume_tb,
+            local_volume_tb,
+            local_chunks_per_stripe,
+            local_read_extra_tb: 0.0,
+        }
+    }
+}
+
+/// A catastrophic-pool repair strategy (paper §2.4 seam).
+///
+/// A strategy owns its repair plan: the volume split ([`split`]), the
+/// cross-rack transfers-per-byte factor ([`cross_rack_transfers_per_byte`],
+/// `k_n` reads + 1 write by default), and — via the provided [`plan`] —
+/// the staged time accounting under the Table 2 bandwidth model.
+///
+/// [`split`]: RepairStrategy::split
+/// [`plan`]: RepairStrategy::plan
+/// [`cross_rack_transfers_per_byte`]: RepairStrategy::cross_rack_transfers_per_byte
+pub trait RepairStrategy: Sync {
+    /// The selector this strategy implements.
+    fn method(&self) -> RepairMethod;
+
+    /// Paper-style label, e.g. `"R_LAYER"`.
+    fn name(&self) -> &'static str {
+        self.method().name()
+    }
+
+    /// Whether the network repairer knows which exact chunks are lost
+    /// (everything but `R_ALL`). Drives the §4.2.3 F#1 durability effect.
+    fn has_chunk_knowledge(&self) -> bool {
+        true
+    }
+
+    /// Cross-rack transfers per wire byte: `k_n` helper reads plus the
+    /// rebuilt-chunk write. Strategies that reduce traffic do so by
+    /// shrinking [`RepairStrategy::split`]'s `wire_volume_tb`, not this
+    /// factor, so the `(k_n + 1)` accounting stays comparable across
+    /// methods.
+    fn cross_rack_transfers_per_byte(&self, dep: &MlecDeployment) -> f64 {
+        let kn = dep.params.network.k as f64;
+        kn + 1.0
+    }
+
+    /// The strategy-specific volume split for the given failure census.
+    fn split(&self, dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit;
+
+    /// Assemble the full repair plan: the shared accounting tail, identical
+    /// (expression for expression) to the pre-refactor
+    /// `plan_catastrophic_repair` so the four paper ports stay bit-exact.
+    fn plan(&self, dep: &MlecDeployment, injected: &InjectedFailure) -> CatastrophicRepairPlan {
+        let split = self.split(dep, injected);
+        let cross_rack_traffic_tb = split.wire_volume_tb * self.cross_rack_transfers_per_byte(dep);
+        let network_time_h = dep.config.detection_hours
+            + hours_to_move(split.wire_volume_tb, catastrophic_pool_repair_bw_mbs(dep));
+        let local_bw = local_repair_bw_mbs(
+            dep,
+            split.local_chunks_per_stripe.max(1),
+            injected.failed_disks,
+        );
+        let local_time_h = hours_to_move(split.local_volume_tb, local_bw);
+        CatastrophicRepairPlan {
+            network_volume_tb: split.network_volume_tb,
+            local_volume_tb: split.local_volume_tb,
+            cross_rack_traffic_tb,
+            network_time_h,
+            local_time_h,
+            local_read_extra_tb: split.local_read_extra_tb,
+        }
+    }
+}
+
+/// `R_MIN`'s stage-1 network volume: the minimal decode-across bytes that
+/// make every lost stripe locally recoverable (`f − p_l` chunks per lost
+/// stripe). Shared by [`RMin`] and [`RLayer`].
+fn min_stage1_network_tb(dep: &MlecDeployment, injected: &InjectedFailure) -> f64 {
+    let chunk_tb = dep.geometry.chunk_kb * 1e3 / 1e12;
+    let pl = dep.params.local.p as f64;
+    let per_stripe = (injected.failed_disks as f64 - pl).max(0.0);
+    injected.lost_stripes * per_stripe * chunk_tb
+}
+
+/// `R_ALL`: rebuild the entire local pool over the network.
+pub struct RAll;
+
+impl RepairStrategy for RAll {
+    fn method(&self) -> RepairMethod {
+        RepairMethod::All
+    }
+
+    fn has_chunk_knowledge(&self) -> bool {
+        false
+    }
+
+    fn split(&self, dep: &MlecDeployment, _injected: &InjectedFailure) -> RepairSplit {
+        let pool_capacity_tb = dep.local_pools().pool_capacity_tb();
+        RepairSplit::full_wire(pool_capacity_tb, 0.0, 0)
+    }
+}
+
+/// `R_FCO`: rebuild only the failed chunks over the network.
+pub struct RFco;
+
+impl RepairStrategy for RFco {
+    fn method(&self) -> RepairMethod {
+        RepairMethod::Fco
+    }
+
+    fn split(&self, _dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit {
+        RepairSplit::full_wire(injected.failed_volume_tb, 0.0, 0)
+    }
+}
+
+/// `R_HYB`: network repair for lost local stripes only; everything else
+/// repaired locally.
+pub struct RHyb;
+
+impl RepairStrategy for RHyb {
+    fn method(&self) -> RepairMethod {
+        RepairMethod::Hyb
+    }
+
+    fn split(&self, _dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit {
+        RepairSplit::full_wire(
+            injected.lost_chunk_volume_tb,
+            injected.failed_volume_tb - injected.lost_chunk_volume_tb,
+            1,
+        )
+    }
+}
+
+/// `R_MIN`: two-stage — network-repair just enough chunks to make every
+/// lost stripe locally recoverable, then finish locally.
+pub struct RMin;
+
+impl RepairStrategy for RMin {
+    fn method(&self) -> RepairMethod {
+        RepairMethod::Min
+    }
+
+    fn split(&self, dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit {
+        let network = min_stage1_network_tb(dep, injected);
+        RepairSplit::full_wire(
+            network,
+            injected.failed_volume_tb - network,
+            dep.params.local.p as u32,
+        )
+    }
+}
+
+/// `R_LAYER`: gather-within-layer, decode-across (Hu et al.).
+///
+/// Lost stripes are repaired by the minimal decode-across (`R_MIN`'s stage-1
+/// volume): surviving chunks are combined inside each rack so only one
+/// partial result per contribution crosses the rack boundary, and the
+/// remaining `p_l` chunks per lost stripe are re-expanded locally.
+/// Recoverable failed chunks (stripes not lost) stream directly over the
+/// network `R_FCO`-style, avoiding any local rebuild of them. On clustered
+/// local placement every stripe is lost, so the direct portion vanishes and
+/// `R_LAYER` degenerates to `R_MIN`'s traffic (with the same local phase).
+pub struct RLayer;
+
+impl RepairStrategy for RLayer {
+    fn method(&self) -> RepairMethod {
+        RepairMethod::Layer
+    }
+
+    fn split(&self, dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit {
+        let kn = dep.params.network.k as f64;
+        // Aggregated partials for lost stripes: the minimal decode-across
+        // volume, produced by in-rack gather of the k_n helper reads.
+        let aggregated = min_stage1_network_tb(dep, injected);
+        // Recoverable failed chunks ship directly (their stripes still have
+        // ≤ p_l failures, but streaming them network-side frees the local
+        // repairer for the lost-stripe re-expansion).
+        let direct = injected.failed_volume_tb - injected.lost_chunk_volume_tb;
+        let network = aggregated + direct;
+        RepairSplit {
+            network_volume_tb: network,
+            wire_volume_tb: network,
+            local_volume_tb: injected.lost_chunk_volume_tb - aggregated,
+            local_chunks_per_stripe: dep.params.local.p as u32,
+            // The in-rack gather still reads k_n helper bytes per
+            // aggregated byte; they just never cross a rack boundary.
+            local_read_extra_tb: aggregated * kn,
+        }
+    }
+}
+
+/// `R_PIGGY`: piggybacked sub-stripe scheduling (Rashmi et al.).
+///
+/// The repair of each lost chunk is split into `f` sub-stripes; companion
+/// reads piggyback the first sub-stripe's helpers so only a
+/// `γ = 1/2 + 1/(2f)` fraction of the helper bytes crosses racks, while the
+/// remaining `(1 − γ) · k_n` helper bytes per rebuilt byte are read from
+/// same-rack companions. Recoverable failed chunks stream at full wire
+/// volume (`R_FCO`-style); nothing is left for a local rebuild phase.
+pub struct RPiggy;
+
+impl RepairStrategy for RPiggy {
+    fn method(&self) -> RepairMethod {
+        RepairMethod::Piggy
+    }
+
+    fn split(&self, dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit {
+        let kn = dep.params.network.k as f64;
+        let f = injected.failed_disks as f64;
+        // Piggyback savings factor over the lost-chunk helper traffic:
+        // γ = 1/2 + 1/(2f) of the helper bytes still cross racks. With the
+        // injected f = p_l + 1 failures this is always ≥ 1/f, so R_PIGGY
+        // never undercuts R_MIN's minimal decode volume.
+        let gamma = 0.5 + 1.0 / (2.0 * f);
+        let direct = injected.failed_volume_tb - injected.lost_chunk_volume_tb;
+        let wire = gamma * injected.lost_chunk_volume_tb + direct;
+        RepairSplit {
+            network_volume_tb: injected.failed_volume_tb,
+            wire_volume_tb: wire,
+            local_volume_tb: 0.0,
+            local_chunks_per_stripe: 0,
+            local_read_extra_tb: (1.0 - gamma) * kn * injected.lost_chunk_volume_tb,
+        }
+    }
+}
+
+/// Every registered strategy, paper methods first, in presentation order.
+pub static STRATEGIES: [&dyn RepairStrategy; 6] = [&RAll, &RFco, &RHyb, &RMin, &RLayer, &RPiggy];
+
+impl RepairMethod {
+    /// The strategy object implementing this selector.
+    pub fn strategy(self) -> &'static dyn RepairStrategy {
+        match self {
+            RepairMethod::All => &RAll,
+            RepairMethod::Fco => &RFco,
+            RepairMethod::Hyb => &RHyb,
+            RepairMethod::Min => &RMin,
+            RepairMethod::Layer => &RLayer,
+            RepairMethod::Piggy => &RPiggy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::{inject_catastrophic, plan_catastrophic_repair};
+    use mlec_topology::MlecScheme;
+
+    fn dep(scheme: MlecScheme) -> MlecDeployment {
+        MlecDeployment::paper_default(scheme)
+    }
+
+    #[test]
+    fn registry_matches_selectors() {
+        assert_eq!(STRATEGIES.len(), RepairMethod::EXTENDED.len());
+        for (s, m) in STRATEGIES.iter().zip(RepairMethod::EXTENDED) {
+            assert_eq!(s.method(), m);
+            assert_eq!(s.name(), m.name());
+            assert_eq!(s.has_chunk_knowledge(), m.has_chunk_knowledge());
+        }
+    }
+
+    #[test]
+    fn paper_strategies_match_plan_function_bitwise() {
+        // The trait path and the convenience function must agree bit-for-bit
+        // (the function delegates, but keep the seam honest).
+        for scheme in MlecScheme::ALL {
+            let dep = dep(scheme);
+            let injected = inject_catastrophic(&dep);
+            for method in RepairMethod::EXTENDED {
+                let via_fn = plan_catastrophic_repair(&dep, method);
+                let via_trait = method.strategy().plan(&dep, &injected);
+                assert_eq!(via_fn, via_trait, "{scheme} {method}");
+            }
+        }
+    }
+
+    #[test]
+    fn layer_traffic_between_min_and_fco() {
+        for scheme in MlecScheme::ALL {
+            let dep = dep(scheme);
+            let min = plan_catastrophic_repair(&dep, RepairMethod::Min);
+            let fco = plan_catastrophic_repair(&dep, RepairMethod::Fco);
+            let layer = plan_catastrophic_repair(&dep, RepairMethod::Layer);
+            assert!(
+                layer.cross_rack_traffic_tb >= min.cross_rack_traffic_tb,
+                "{scheme}"
+            );
+            assert!(
+                layer.cross_rack_traffic_tb < fco.cross_rack_traffic_tb + 1e-9,
+                "{scheme}"
+            );
+        }
+        // Clustered locals: every stripe is lost, so R_LAYER degenerates to
+        // R_MIN's wire volume — 220 TB on C/C (paper Fig 8 scale).
+        let cc = plan_catastrophic_repair(&dep(MlecScheme::CC), RepairMethod::Layer);
+        assert!((cc.cross_rack_traffic_tb - 220.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn piggy_traffic_gamma_of_fco() {
+        // On C/C everything is lost-chunk volume: wire = γ · 80 TB with
+        // γ = 1/2 + 1/(2·4) = 0.625 → 550 TB of cross-rack traffic.
+        let cc = plan_catastrophic_repair(&dep(MlecScheme::CC), RepairMethod::Piggy);
+        assert!((cc.cross_rack_traffic_tb - 550.0).abs() < 0.5);
+        // And the shed helper bytes show up as same-rack companion reads.
+        assert!(cc.local_read_extra_tb > 0.0);
+        assert!((cc.local_read_extra_tb - 0.375 * 10.0 * 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn new_strategies_strictly_beat_rall_on_paper_deployments() {
+        for scheme in MlecScheme::ALL {
+            let dep = dep(scheme);
+            let all = plan_catastrophic_repair(&dep, RepairMethod::All);
+            for method in [RepairMethod::Layer, RepairMethod::Piggy] {
+                let plan = plan_catastrophic_repair(&dep, method);
+                assert!(
+                    plan.cross_rack_traffic_tb < all.cross_rack_traffic_tb,
+                    "{scheme} {method}: {} !< {}",
+                    plan.cross_rack_traffic_tb,
+                    all.cross_rack_traffic_tb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_strategies_conserve_failed_volume() {
+        for scheme in MlecScheme::ALL {
+            let dep = dep(scheme);
+            let injected = inject_catastrophic(&dep);
+            for method in [RepairMethod::Layer, RepairMethod::Piggy] {
+                let plan = plan_catastrophic_repair(&dep, method);
+                let total = plan.network_volume_tb + plan.local_volume_tb;
+                assert!(
+                    (total - injected.failed_volume_tb).abs() < 1e-6,
+                    "{scheme} {method}: {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn piggy_network_time_below_fco() {
+        // Fewer wire bytes through the same bottleneck: the network phase
+        // finishes sooner than R_FCO on every paper deployment.
+        for scheme in MlecScheme::ALL {
+            let dep = dep(scheme);
+            let fco = plan_catastrophic_repair(&dep, RepairMethod::Fco);
+            let piggy = plan_catastrophic_repair(&dep, RepairMethod::Piggy);
+            assert!(piggy.network_time_h < fco.network_time_h, "{scheme}");
+            assert!(piggy.local_time_h == 0.0, "{scheme}");
+        }
+    }
+}

@@ -31,7 +31,8 @@ use crate::engine::EventQueue;
 use crate::failure::{sample_poisson, FailureModel};
 use crate::importance::FailureBias;
 use crate::kernel::{ArrivalSource, HazardKernel, NoopObserver, SimObserver};
-use crate::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
+use crate::repair::{inject_catastrophic, RepairMethod};
+use crate::strategy::RepairStrategy;
 use mlec_topology::Placement;
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -87,21 +88,22 @@ pub fn simulate_system_trace(
     method: RepairMethod,
     seed: u64,
 ) -> SystemSimResult {
-    simulate_system_trace_observed(dep, trace, method, seed, &mut NoopObserver)
+    simulate_system_trace_observed(dep, trace, method.strategy(), seed, &mut NoopObserver)
 }
 
-/// [`simulate_system_trace`] with a [`SimObserver`] attached.
+/// [`simulate_system_trace`] with a [`SimObserver`] attached and the repair
+/// behaviour supplied as a [`RepairStrategy`] object.
 pub fn simulate_system_trace_observed<O: SimObserver>(
     dep: &MlecDeployment,
     trace: &crate::trace::FailureTrace,
-    method: RepairMethod,
+    strategy: &dyn RepairStrategy,
     seed: u64,
     observer: &mut O,
 ) -> SystemSimResult {
     let years = (trace.span_h() / HOURS_PER_YEAR).max(f64::MIN_POSITIVE);
     run_system(
         dep,
-        method,
+        strategy,
         years,
         seed,
         trace.arrival_source(dep.geometry.total_disks()),
@@ -153,7 +155,7 @@ pub fn simulate_system_opts(
     simulate_system_observed(
         dep,
         failure_model,
-        method,
+        method.strategy(),
         years,
         seed,
         opts,
@@ -161,14 +163,15 @@ pub fn simulate_system_opts(
     )
 }
 
-/// [`simulate_system_opts`] with a [`SimObserver`] attached: per-event
+/// [`simulate_system_opts`] with a [`SimObserver`] attached and the repair
+/// behaviour supplied as a [`RepairStrategy`] object: per-event
 /// callbacks for disk failures, catastrophic pools, network-repair
 /// completions, and data-loss events, plus degraded-interval accounting of
 /// each pool's network-repair sojourn.
 pub fn simulate_system_observed<O: SimObserver>(
     dep: &MlecDeployment,
     failure_model: &FailureModel,
-    method: RepairMethod,
+    strategy: &dyn RepairStrategy,
     years: f64,
     seed: u64,
     opts: SystemSimOptions,
@@ -180,7 +183,7 @@ pub fn simulate_system_observed<O: SimObserver>(
     };
     run_system(
         dep,
-        method,
+        strategy,
         years,
         seed,
         // One aggregate arrival process over every disk in the deployment;
@@ -226,7 +229,7 @@ struct RepairInFlight {
 
 fn run_system<O: SimObserver>(
     dep: &MlecDeployment,
-    method: RepairMethod,
+    strategy: &dyn RepairStrategy,
     years: f64,
     seed: u64,
     mut arrivals: ArrivalSource,
@@ -252,11 +255,11 @@ fn run_system<O: SimObserver>(
     let chunk_mb = dep.geometry.chunk_kb / 1e3;
     let total_stripes_per_pool = d as f64 * dep.geometry.chunks_per_disk() / w as f64;
 
-    // Repair plan for the configured method (identical for every pool).
-    let plan = plan_catastrophic_repair(dep, method);
+    // Repair plan for the configured strategy (identical for every pool).
     let injected = inject_catastrophic(dep);
+    let plan = strategy.plan(dep, &injected);
     let sojourn_h = plan.network_time_h;
-    let lost_frac = if method.has_chunk_knowledge() {
+    let lost_frac = if strategy.has_chunk_knowledge() {
         (injected.lost_stripes / injected.total_stripes).min(1.0)
     } else {
         1.0

@@ -9,7 +9,8 @@
 //! every day".
 
 use crate::config::{MlecDeployment, SimConfig, HOURS_PER_YEAR};
-use crate::repair::{plan_catastrophic_repair, RepairMethod};
+use crate::repair::{inject_catastrophic, RepairMethod};
+use crate::strategy::RepairStrategy;
 use mlec_ec::LrcParams;
 use mlec_topology::Geometry;
 
@@ -52,7 +53,19 @@ pub fn mlec_yearly_traffic_tb(
     method: RepairMethod,
     catastrophic_rate_per_system_year: f64,
 ) -> f64 {
-    let per_event = plan_catastrophic_repair(dep, method).cross_rack_traffic_tb;
+    mlec_yearly_traffic_strategy_tb(dep, method.strategy(), catastrophic_rate_per_system_year)
+}
+
+/// [`mlec_yearly_traffic_tb`] with the repair behaviour supplied as a
+/// [`RepairStrategy`] object (pluggable strategies, e.g. from
+/// [`crate::strategy::STRATEGIES`]).
+pub fn mlec_yearly_traffic_strategy_tb(
+    dep: &MlecDeployment,
+    strategy: &dyn RepairStrategy,
+    catastrophic_rate_per_system_year: f64,
+) -> f64 {
+    let injected = inject_catastrophic(dep);
+    let per_event = strategy.plan(dep, &injected).cross_rack_traffic_tb;
     catastrophic_rate_per_system_year * per_event
 }
 

@@ -12,7 +12,7 @@ use crate::failure::FailureModel;
 use crate::importance::FailureBias;
 use crate::kernel::SimObserver;
 use crate::pool_sim::simulate_pool_observed;
-use crate::repair::RepairMethod;
+use crate::strategy::RepairStrategy;
 use crate::system_sim::{simulate_system_observed, SystemSimOptions};
 use mlec_runner::{
     Accumulator, Json, Proportion, Summary, Trial, WeightedRate, WeightedWelford, Welford,
@@ -344,7 +344,9 @@ impl Accumulator for PoolAcc {
 pub struct SystemTrial<'a> {
     pub dep: &'a MlecDeployment,
     pub model: &'a FailureModel,
-    pub method: RepairMethod,
+    /// Catastrophic-repair behaviour for the mission; use
+    /// [`crate::RepairMethod::strategy`] to select a built-in one.
+    pub strategy: &'a dyn RepairStrategy,
     pub years: f64,
     pub opts: SystemSimOptions,
     /// Optional per-trial JSONL event log (`None` = no logging; the
@@ -378,7 +380,7 @@ impl Trial for SystemTrial<'_> {
         let result = simulate_system_observed(
             self.dep,
             self.model,
-            self.method,
+            self.strategy,
             self.years,
             seed,
             self.opts,
@@ -556,7 +558,7 @@ mod tests {
         let trial = SystemTrial {
             dep: &dep,
             model: &model,
-            method: RepairMethod::Fco,
+            strategy: crate::RepairMethod::Fco.strategy(),
             years: 0.5,
             opts: SystemSimOptions::default(),
             event_log: None,

@@ -5,7 +5,7 @@
 //! (`lost` empty, object not dead). The scheduler in
 //! [`crate::benchrun`] walks the trace serially, commits version
 //! bookkeeping op by op, decomposes each such op into per-row
-//! [`SubOp`]s — a row is entirely rack-local, see
+//! `SubOp`s — a row is entirely rack-local, see
 //! [`crate::store`] — and appends them to the owning rack's queue.
 //! Anything order-sensitive (kill injection, any op while chunks are
 //! lost or repairs queued, gets of dead objects) closes the epoch: the

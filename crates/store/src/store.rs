@@ -14,8 +14,8 @@
 //! rack-local by construction, for every placement scheme), so a row is
 //! the natural unit of rack-confined work: all of its backend chunks, its
 //! cache entries, its disk clocks, and its uplink clock live in that
-//! rack's [`RackLane`] + [`crate::arbiter::RackClock`] pair. The row
-//! helpers on [`RackCtx`] are the single implementation of per-row
+//! rack's `RackLane` + [`crate::arbiter::RackClock`] pair. The row
+//! helpers on `RackCtx` are the single implementation of per-row
 //! charging — the monolithic `put`/`get`/`delete` methods drive them row
 //! by row, and the epoch executor ([`crate::epoch`]) drives the *same*
 //! helpers from per-rack shard queues, which is what makes the parallel

@@ -49,7 +49,7 @@ fn main() {
     for scheme in MlecScheme::ALL {
         let dep = MlecDeployment::paper_default(scheme);
         print!("{:>8}", scheme.name());
-        for method in RepairMethod::ALL {
+        for method in RepairMethod::PAPER {
             let s1 = mlec_core::analysis::splitting::stage1_analytic(&dep);
             let pdl = stage2_pdl(&dep, method, &s1, 1.0);
             print!(" {:>10.1}", nines(pdl));

@@ -37,7 +37,7 @@ fn main() {
         "  {:8} {:>14} {:>12} {:>12}",
         "method", "cross-rack TB", "network h", "local h"
     );
-    for method in RepairMethod::ALL {
+    for method in RepairMethod::PAPER {
         let plan = system.plan_catastrophic_repair(method);
         println!(
             "  {:8} {:>14.1} {:>12.1} {:>12.1}",

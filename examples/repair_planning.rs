@@ -18,7 +18,7 @@ fn main() {
             "{:8} {:>14} {:>11} {:>10} {:>12} {:>24}",
             "method", "cross-rack TB", "network h", "local h", "nines", "needs cross-level API?"
         );
-        for method in RepairMethod::ALL {
+        for method in RepairMethod::EXTENDED {
             let plan = system.plan_catastrophic_repair(method);
             let nines = system.durability_nines(method);
             println!(

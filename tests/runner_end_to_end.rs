@@ -29,7 +29,7 @@ fn system_campaign_is_thread_count_invariant() {
     let trial = SystemTrial {
         dep: &dep,
         model: &model,
-        method: RepairMethod::Fco,
+        strategy: RepairMethod::Fco.strategy(),
         years: 0.25,
         opts: SystemSimOptions::default(),
         event_log: None,
