@@ -10,14 +10,15 @@
 //!   clustered/declustered gap);
 //! - **AFR sensitivity** (the 1%/yr assumption).
 
-use crate::chains::{lrc_durability_nines, pool_catastrophic_rate_per_year};
+use crate::chains::{lrc_durability_nines, pool_catastrophic_rate};
 use crate::markov::BirthDeathChain;
 use crate::splitting::mlec_durability_nines;
 use crate::tradeoff::ideal_lrc_undecodable_at_limit;
 use mlec_ec::LrcParams;
-use mlec_sim::bandwidth::single_disk_repair_bw_mbs;
-use mlec_sim::config::{MlecDeployment, HOURS_PER_YEAR};
+use mlec_sim::bandwidth::single_disk_repair_bw;
+use mlec_sim::config::MlecDeployment;
 use mlec_sim::repair::RepairMethod;
+use mlec_units::Volume;
 
 mlec_runner::impl_to_json!(AblationPoint { x, series, value });
 
@@ -105,17 +106,21 @@ pub fn spare_policy_comparison(dep: &MlecDeployment) -> (f64, f64) {
         dep.scheme.local == mlec_topology::Placement::Clustered,
         "spare policy ablation applies to clustered locals"
     );
-    let serial = pool_catastrophic_rate_per_year(dep);
+    let serial = pool_catastrophic_rate(dep).to_per_year();
 
     // Idealized parallel: m concurrent rebuilds de-escalate at rate m/T.
     let d = dep.local_pools().pool_size() as f64;
     let pl = dep.params.local.p;
-    let lambda = dep.config.disk_failure_rate_per_hour();
-    let t_disk = dep.config.detection_hours
-        + dep.geometry.disk_capacity_tb * 1e6 / single_disk_repair_bw_mbs(dep) / 3600.0;
+    let lambda = dep.config.disk_failure_rate().to_per_hour();
+    let t_disk = (dep.config.detection()
+        + Volume::from_tb(dep.geometry.disk_capacity_tb)
+            .transfer_time_mb(single_disk_repair_bw(dep)))
+    .to_hours();
     let fail: Vec<f64> = (0..=pl).map(|m| (d - m as f64) * lambda).collect();
     let repair: Vec<f64> = (1..=pl).map(|m| m as f64 / t_disk).collect();
-    let parallel = BirthDeathChain::new(fail, repair).absorb_hazard_per_hour() * HOURS_PER_YEAR;
+    let parallel = BirthDeathChain::new(fail, repair)
+        .absorb_hazard()
+        .to_per_year();
     (serial, parallel)
 }
 
@@ -175,7 +180,7 @@ mod tests {
         // than the ~30x gap to declustered pools.
         let gain = serial / parallel;
         assert!(gain > 3.0 && gain < 12.0, "gain={gain}");
-        let dp_rate = pool_catastrophic_rate_per_year(&dep(MlecScheme::CD));
+        let dp_rate = pool_catastrophic_rate(&dep(MlecScheme::CD)).to_per_year();
         // Note: rates are per *pool*; a Dp pool has 6x the disks, so compare
         // per disk: Dp per-disk rate must still undercut even the parallel-
         // spare Cp per-disk rate.

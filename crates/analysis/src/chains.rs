@@ -15,10 +15,11 @@
 //!   chunks at the declustered rate.
 
 use crate::markov::BirthDeathChain;
-use mlec_sim::bandwidth::{local_repair_bw_mbs, single_disk_repair_bw_mbs};
+use mlec_sim::bandwidth::{local_repair_bw, single_disk_repair_bw};
 use mlec_sim::census::prob_cover_all;
-use mlec_sim::config::{MlecDeployment, HOURS_PER_YEAR};
+use mlec_sim::config::MlecDeployment;
 use mlec_topology::Placement;
+use mlec_units::{Bandwidth, Duration, Rate, Volume};
 
 /// Build the catastrophic-failure chain of one local pool of `dep`.
 pub fn pool_chain(dep: &MlecDeployment) -> BirthDeathChain {
@@ -28,23 +29,25 @@ pub fn pool_chain(dep: &MlecDeployment) -> BirthDeathChain {
     }
 }
 
-/// Catastrophic events per pool-year of one local pool.
-pub fn pool_catastrophic_rate_per_year(dep: &MlecDeployment) -> f64 {
-    pool_chain(dep).absorb_hazard_per_hour() * HOURS_PER_YEAR
+/// Catastrophic-event rate of one local pool (per pool-year).
+pub fn pool_catastrophic_rate(dep: &MlecDeployment) -> Rate {
+    pool_chain(dep).absorb_hazard()
 }
 
-/// Catastrophic events per *system*-year (all pools; Fig 7's y-axis is this
-/// expressed as a probability, identical for rare events).
-pub fn system_catastrophic_rate_per_year(dep: &MlecDeployment) -> f64 {
-    pool_catastrophic_rate_per_year(dep) * dep.local_pools().num_pools() as f64
+/// Catastrophic-event rate of the whole system (all pools; Fig 7's y-axis
+/// is this expressed as a probability, identical for rare events).
+pub fn system_catastrophic_rate(dep: &MlecDeployment) -> Rate {
+    pool_catastrophic_rate(dep) * dep.local_pools().num_pools() as f64
 }
 
 fn clustered_pool_chain(dep: &MlecDeployment) -> BirthDeathChain {
     let d = dep.local_pools().pool_size() as f64;
     let pl = dep.params.local.p;
-    let lambda = dep.config.disk_failure_rate_per_hour();
-    let t_disk = dep.config.detection_hours
-        + dep.geometry.disk_capacity_tb * 1e6 / single_disk_repair_bw_mbs(dep) / 3600.0;
+    let lambda = dep.config.disk_failure_rate().to_per_hour();
+    let t_disk = (dep.config.detection()
+        + Volume::from_tb(dep.geometry.disk_capacity_tb)
+            .transfer_time_mb(single_disk_repair_bw(dep)))
+    .to_hours();
     let fail: Vec<f64> = (0..=pl).map(|m| (d - m as f64) * lambda).collect();
     // Rebuilds serialize on the pool's spare disk (paper Fig 2d: "repair to
     // spare disk" — one write target), so the de-escalation rate does not
@@ -59,7 +62,7 @@ fn declustered_pool_chain(dep: &MlecDeployment) -> BirthDeathChain {
     let d = pools.pool_size();
     let w = dep.local_width();
     let pl = dep.params.local.p;
-    let lambda = dep.config.disk_failure_rate_per_hour();
+    let lambda = dep.config.disk_failure_rate().to_per_hour();
     let chunk_mb = dep.geometry.chunk_kb / 1e3;
     let total_stripes = d as f64 * dep.geometry.chunks_per_disk() / w as f64;
 
@@ -70,7 +73,7 @@ fn declustered_pool_chain(dep: &MlecDeployment) -> BirthDeathChain {
         // that exists right after the m-th failure (priority rebuild).
         let class_m_stripes = total_stripes * prob_cover_all(d, w, m);
         let class_m_chunks = class_m_stripes * m as f64;
-        let bw = local_repair_bw_mbs(dep, 1, m);
+        let bw = local_repair_bw(dep, 1, m).to_mbs();
         let chunks_per_hour = bw * 3600.0 / chunk_mb;
         let drain_hours = if m == 1 {
             // State 1 must drain the whole disk's content.
@@ -84,23 +87,51 @@ fn declustered_pool_chain(dep: &MlecDeployment) -> BirthDeathChain {
     BirthDeathChain::new(fail, repair)
 }
 
+/// Inputs of [`generic_declustered_chain`]. The quantity fields keep the
+/// raw-`f64`-with-suffix convention (this is a parameter record, the same
+/// boundary role as `SimConfig`); the chain builder is the only consumer
+/// and does its arithmetic on the named fields directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeclusteredChainSpec {
+    /// Disks in the (declustered) pool.
+    pub pool_disks: u32,
+    /// Stripe width `k + p`.
+    pub width: u32,
+    /// Failures tolerated per stripe (`p` for MR codes).
+    pub tolerance: usize,
+    /// Per-disk failure rate, events/hour.
+    pub lambda_per_hour: f64,
+    /// Failure-detection delay, hours.
+    pub detection_hours: f64,
+    /// Per-disk capacity, TB.
+    pub disk_capacity_tb: f64,
+    /// Chunk size, KB.
+    pub chunk_kb: f64,
+    /// Chunks per disk.
+    pub chunks_per_disk: f64,
+    /// Bandwidth draining a whole failed disk (state 1), MB/s.
+    pub single_bw_mbs: f64,
+    /// Bandwidth draining multi-failure stripe classes (states ≥ 2), MB/s.
+    pub class_bw_mbs: f64,
+}
+
 /// Generic declustered-pool chain: `pool_disks` disks, stripes of
 /// `width`, absorption when some stripe reaches `tolerance + 1` failed
 /// chunks. `single_bw_mbs` drains a whole failed disk (state 1);
 /// `class_bw_mbs` drains the multi-failure stripe classes (states ≥ 2).
-#[allow(clippy::too_many_arguments)]
-pub fn generic_declustered_chain(
-    pool_disks: u32,
-    width: u32,
-    tolerance: usize,
-    lambda_per_hour: f64,
-    detection_hours: f64,
-    disk_capacity_tb: f64,
-    chunk_kb: f64,
-    chunks_per_disk: f64,
-    single_bw_mbs: f64,
-    class_bw_mbs: f64,
-) -> BirthDeathChain {
+pub fn generic_declustered_chain(spec: &DeclusteredChainSpec) -> BirthDeathChain {
+    let DeclusteredChainSpec {
+        pool_disks,
+        width,
+        tolerance,
+        lambda_per_hour,
+        detection_hours,
+        disk_capacity_tb,
+        chunk_kb,
+        chunks_per_disk,
+        single_bw_mbs,
+        class_bw_mbs,
+    } = *spec;
     let total_stripes = pool_disks as f64 * chunks_per_disk / width as f64;
     let chunk_mb = chunk_kb / 1e3;
     // Escalation from state m requires the new failed disk to intersect a
@@ -124,10 +155,12 @@ pub fn generic_declustered_chain(
     let mut repair = Vec::with_capacity(tolerance);
     for m in 1..=tolerance as u32 {
         let drain_hours = if m == 1 {
-            disk_capacity_tb * 1e6 / single_bw_mbs / 3600.0
+            Volume::from_tb(disk_capacity_tb)
+                .transfer_time_mb(Bandwidth::from_mbs(single_bw_mbs))
+                .to_hours()
         } else {
             let class_chunks = total_stripes * prob_cover_all(pool_disks, width, m) * m as f64;
-            class_chunks * chunk_mb / (class_bw_mbs * 3600.0)
+            class_chunks * chunk_mb / Bandwidth::from_mbs(class_bw_mbs).to_mb_per_hour()
         };
         repair.push(1.0 / (detection_hours + drain_hours));
     }
@@ -135,19 +168,20 @@ pub fn generic_declustered_chain(
 }
 
 /// Generic clustered-pool chain: `width` disks per pool, per-disk rebuild
-/// time `t_disk_hours`, absorption at `tolerance + 1` concurrent failures.
+/// time `t_disk`, absorption at `tolerance + 1` concurrent failures.
 /// Rebuilds serialize on the single spare disk (see
 /// [`pool_chain`]'s clustered variant).
 pub fn generic_clustered_chain(
     width: u32,
     tolerance: usize,
-    lambda_per_hour: f64,
-    t_disk_hours: f64,
+    lambda: Rate,
+    t_disk: Duration,
 ) -> BirthDeathChain {
+    let lambda_per_hour = lambda.to_per_hour();
     let fail: Vec<f64> = (0..=tolerance)
         .map(|m| (width as f64 - m as f64) * lambda_per_hour)
         .collect();
-    let repair: Vec<f64> = (1..=tolerance).map(|_| 1.0 / t_disk_hours).collect();
+    let repair: Vec<f64> = (1..=tolerance).map(|_| 1.0 / t_disk.to_hours()).collect();
     BirthDeathChain::new(fail, repair)
 }
 
@@ -161,30 +195,32 @@ pub fn slec_durability_nines(
 ) -> f64 {
     use mlec_topology::SlecPlacement as P;
     let w = params.width() as u32;
-    let lambda = config.disk_failure_rate_per_hour();
-    let disk_bw = config.disk_repair_bw_mbs();
-    let t_disk = config.detection_hours + geometry.disk_capacity_tb * 1e6 / disk_bw / 3600.0;
+    let lambda = config.disk_failure_rate();
+    let disk_bw = config.disk_repair_bw().to_mbs();
+    let t_disk = (config.detection()
+        + Volume::from_tb(geometry.disk_capacity_tb).transfer_time_mb(config.disk_repair_bw()))
+    .to_hours();
     let (chain, pools) = match placement {
         P::LocalCp | P::NetCp => {
-            let chain = generic_clustered_chain(w, params.p, lambda, t_disk);
+            let chain = generic_clustered_chain(w, params.p, lambda, Duration::from_hours(t_disk));
             (chain, geometry.total_disks() as f64 / w as f64)
         }
         P::LocalDp => {
             let d = geometry.disks_per_enclosure;
             let survivors = (d - 1) as f64;
             let single_bw = survivors * disk_bw / (params.k as f64 + 1.0);
-            let chain = generic_declustered_chain(
-                d,
-                w,
-                params.p,
-                lambda,
-                config.detection_hours,
-                geometry.disk_capacity_tb,
-                geometry.chunk_kb,
-                geometry.chunks_per_disk(),
-                single_bw,
-                single_bw,
-            );
+            let chain = generic_declustered_chain(&DeclusteredChainSpec {
+                pool_disks: d,
+                width: w,
+                tolerance: params.p,
+                lambda_per_hour: lambda.to_per_hour(),
+                detection_hours: config.detection_hours,
+                disk_capacity_tb: geometry.disk_capacity_tb,
+                chunk_kb: geometry.chunk_kb,
+                chunks_per_disk: geometry.chunks_per_disk(),
+                single_bw_mbs: single_bw,
+                class_bw_mbs: single_bw,
+            });
             (chain, geometry.total_enclosures() as f64)
         }
         P::NetDp => {
@@ -192,26 +228,29 @@ pub fn slec_durability_nines(
             // k reads + 1 write per rebuilt byte.
             let d = geometry.total_disks();
             let net_bw =
-                geometry.racks as f64 * config.rack_repair_bw_mbs() / (params.k as f64 + 1.0);
+                geometry.racks as f64 * config.rack_repair_bw().to_mbs() / (params.k as f64 + 1.0);
             let disk_side = (d - 1) as f64 * disk_bw / (params.k as f64 + 1.0);
             let bw = net_bw.min(disk_side);
-            let chain = generic_declustered_chain(
-                d,
-                w,
-                params.p,
-                lambda,
-                config.detection_hours,
-                geometry.disk_capacity_tb,
-                geometry.chunk_kb,
-                geometry.chunks_per_disk(),
-                bw,
-                bw,
-            );
+            let chain = generic_declustered_chain(&DeclusteredChainSpec {
+                pool_disks: d,
+                width: w,
+                tolerance: params.p,
+                lambda_per_hour: lambda.to_per_hour(),
+                detection_hours: config.detection_hours,
+                disk_capacity_tb: geometry.disk_capacity_tb,
+                chunk_kb: geometry.chunk_kb,
+                chunks_per_disk: geometry.chunks_per_disk(),
+                single_bw_mbs: bw,
+                class_bw_mbs: bw,
+            });
             (chain, 1.0)
         }
     };
-    let hazard = chain.absorb_hazard_per_hour() * HOURS_PER_YEAR; // per pool-yr
-    crate::markov::nines(crate::markov::pdl_from_hazard(hazard * pools, 1.0))
+    let hazard = chain.absorb_hazard() * pools; // per pool-yr, scaled to system
+    crate::markov::nines(crate::markov::pdl_from_hazard(
+        hazard,
+        Duration::from_years(1.0),
+    ))
 }
 
 /// One-year durability (in nines) of a declustered LRC over the geometry
@@ -226,28 +265,31 @@ pub fn lrc_durability_nines(
     undecodable_at_limit: f64,
 ) -> f64 {
     let w = params.width() as u32;
-    let lambda = config.disk_failure_rate_per_hour();
+    let lambda = config.disk_failure_rate();
     let d = geometry.total_disks();
     // Single-chunk repairs read the local group (k/l chunks); multi-failure
     // stripes may need a global decode (k reads). All traffic crosses racks.
     let group_reads = (params.k as f64 / params.l as f64).ceil();
-    let rack_bw_total = geometry.racks as f64 * config.rack_repair_bw_mbs();
+    let rack_bw_total = geometry.racks as f64 * config.rack_repair_bw().to_mbs();
     let single_bw = rack_bw_total / (group_reads + 1.0);
     let class_bw = rack_bw_total / (params.k as f64 + 1.0);
-    let chain = generic_declustered_chain(
-        d,
-        w,
-        params.r + 1,
-        lambda,
-        config.detection_hours,
-        geometry.disk_capacity_tb,
-        geometry.chunk_kb,
-        geometry.chunks_per_disk(),
-        single_bw,
-        class_bw,
-    );
-    let hazard = chain.absorb_hazard_per_hour() * HOURS_PER_YEAR * undecodable_at_limit.max(1e-300);
-    crate::markov::nines(crate::markov::pdl_from_hazard(hazard, 1.0))
+    let chain = generic_declustered_chain(&DeclusteredChainSpec {
+        pool_disks: d,
+        width: w,
+        tolerance: params.r + 1,
+        lambda_per_hour: lambda.to_per_hour(),
+        detection_hours: config.detection_hours,
+        disk_capacity_tb: geometry.disk_capacity_tb,
+        chunk_kb: geometry.chunk_kb,
+        chunks_per_disk: geometry.chunks_per_disk(),
+        single_bw_mbs: single_bw,
+        class_bw_mbs: class_bw,
+    });
+    let hazard = chain.absorb_hazard() * undecodable_at_limit.max(1e-300);
+    crate::markov::nines(crate::markov::pdl_from_hazard(
+        hazard,
+        Duration::from_years(1.0),
+    ))
 }
 
 #[cfg(test)]
@@ -263,10 +305,10 @@ mod tests {
     fn fig7_clustered_rate_magnitude() {
         // Paper Fig 7: C/C and D/C catastrophic probability below 0.001%
         // per year (1e-5 per system-year), but clearly above 1e-7.
-        let rate = system_catastrophic_rate_per_year(&dep(MlecScheme::CC));
+        let rate = system_catastrophic_rate(&dep(MlecScheme::CC)).to_per_year();
         assert!(rate < 1e-4 && rate > 1e-7, "rate={rate}");
         // D/C has the same local structure.
-        let rate_dc = system_catastrophic_rate_per_year(&dep(MlecScheme::DC));
+        let rate_dc = system_catastrophic_rate(&dep(MlecScheme::DC)).to_per_year();
         assert!((rate - rate_dc).abs() / rate < 1e-9);
     }
 
@@ -274,8 +316,8 @@ mod tests {
     fn fig7_declustered_orders_of_magnitude_better() {
         // Paper Fig 7: "the probability is almost 0.00001%" (1e-7) for C/D
         // and D/D — at least ~100x below the clustered schemes.
-        let cp = system_catastrophic_rate_per_year(&dep(MlecScheme::CC));
-        let dp = system_catastrophic_rate_per_year(&dep(MlecScheme::CD));
+        let cp = system_catastrophic_rate(&dep(MlecScheme::CC)).to_per_year();
+        let dp = system_catastrophic_rate(&dep(MlecScheme::CD)).to_per_year();
         assert!(dp < cp / 20.0, "cp={cp} dp={dp}");
         assert!(dp < 1e-5 && dp > 1e-10, "dp={dp}");
     }
@@ -283,8 +325,8 @@ mod tests {
     #[test]
     fn per_pool_rates_scale_with_pool_count() {
         let d = dep(MlecScheme::CC);
-        let per_pool = pool_catastrophic_rate_per_year(&d);
-        let system = system_catastrophic_rate_per_year(&d);
+        let per_pool = pool_catastrophic_rate(&d).to_per_year();
+        let system = system_catastrophic_rate(&d).to_per_year();
         assert!((system / per_pool - 2880.0).abs() < 1e-6);
     }
 
@@ -303,18 +345,18 @@ mod tests {
     #[test]
     fn higher_afr_higher_rate() {
         let mut d = dep(MlecScheme::CC);
-        let base = pool_catastrophic_rate_per_year(&d);
+        let base = pool_catastrophic_rate(&d).to_per_year();
         d.config.afr = 0.05;
-        let inflated = pool_catastrophic_rate_per_year(&d);
+        let inflated = pool_catastrophic_rate(&d).to_per_year();
         assert!(inflated > base * 100.0, "base={base} inflated={inflated}");
     }
 
     #[test]
     fn faster_detection_helps() {
         let mut d = dep(MlecScheme::CD);
-        let base = pool_catastrophic_rate_per_year(&d);
+        let base = pool_catastrophic_rate(&d).to_per_year();
         d.config.detection_hours = 1.0 / 60.0; // 1 minute
-        let fast = pool_catastrophic_rate_per_year(&d);
+        let fast = pool_catastrophic_rate(&d).to_per_year();
         assert!(fast < base, "base={base} fast={fast}");
     }
 
@@ -368,16 +410,16 @@ mod tests {
     fn generic_clustered_chain_matches_mlec_builder() {
         // The MLEC clustered local pool is an instance of the generic chain.
         let d = dep(MlecScheme::CC);
-        let lambda = d.config.disk_failure_rate_per_hour();
+        let lambda = d.config.disk_failure_rate();
         let t_disk = d.config.detection_hours
             + d.geometry.disk_capacity_tb * 1e6
-                / mlec_sim::bandwidth::single_disk_repair_bw_mbs(&d)
+                / mlec_sim::bandwidth::single_disk_repair_bw(&d).to_mbs()
                 / 3600.0;
-        let generic = generic_clustered_chain(20, 3, lambda, t_disk);
+        let generic = generic_clustered_chain(20, 3, lambda, Duration::from_hours(t_disk));
         let built = pool_chain(&d);
         assert!(
-            (generic.absorb_hazard_per_hour() - built.absorb_hazard_per_hour()).abs()
-                / built.absorb_hazard_per_hour()
+            (generic.absorb_hazard().to_per_hour() - built.absorb_hazard().to_per_hour()).abs()
+                / built.absorb_hazard().to_per_hour()
                 < 1e-12
         );
     }

@@ -10,6 +10,8 @@
 //! matrix), which is unconditionally stable — no matrix exponentials, no
 //! stiffness trouble at the 10^-40 probabilities the paper operates at.
 
+use mlec_units::{Duration, Rate};
+
 /// A birth–death chain with absorbing top state.
 ///
 /// `fail_rates[m]` is the failure (birth) rate out of state `m`
@@ -50,9 +52,10 @@ impl BirthDeathChain {
         self.fail_rates.len()
     }
 
-    /// Probability of having been absorbed by time `t_hours`, starting from
+    /// Probability of having been absorbed by time `t`, starting from
     /// state 0, computed by uniformization to relative tolerance ~1e-14.
-    pub fn absorb_prob(&self, t_hours: f64) -> f64 {
+    pub fn absorb_prob(&self, t: Duration) -> f64 {
+        let t_hours = t.to_hours();
         if t_hours <= 0.0 {
             return 0.0;
         }
@@ -117,9 +120,9 @@ impl BirthDeathChain {
         result.clamp(0.0, 1.0)
     }
 
-    /// Mean time to absorption from state 0, in hours (closed-form recursion
+    /// Mean time to absorption from state 0 (closed-form recursion
     /// for birth–death chains).
-    pub fn mean_time_to_absorb_hours(&self) -> f64 {
+    pub fn mean_time_to_absorb(&self) -> Duration {
         // Standard first-step recursion: with h[m] the expected time from
         // state m, solve the tridiagonal system by backward substitution.
         // For birth-death chains: h[m] = (1 + mu_m * h[m-1] + la_m * h[m+1])
@@ -131,20 +134,20 @@ impl BirthDeathChain {
         for m in 0..n {
             let la = self.fail_rates[m];
             if la == 0.0 {
-                return f64::INFINITY;
+                return Duration::from_hours(f64::INFINITY);
             }
             let mu = if m > 0 { self.repair_rates[m - 1] } else { 0.0 };
             gamma[m] = 1.0 / la + mu / la * if m > 0 { gamma[m - 1] } else { 0.0 };
         }
-        gamma.iter().sum()
+        Duration::from_hours(gamma.iter().sum())
     }
 
-    /// Long-run absorption hazard rate (events/hour) for rare-event chains:
+    /// Long-run absorption hazard rate for rare-event chains:
     /// `1 / mean_time_to_absorb`. For the chains in this suite, absorption
     /// within a mission time is ≪ 1, so the exponential approximation
     /// `PDL(t) ≈ 1 - exp(-hazard t)` is accurate.
-    pub fn absorb_hazard_per_hour(&self) -> f64 {
-        1.0 / self.mean_time_to_absorb_hours()
+    pub fn absorb_hazard(&self) -> Rate {
+        Rate::from_per_hour(1.0 / self.mean_time_to_absorb().to_hours())
     }
 
     /// Stationary distribution over the transient states, treating the chain
@@ -203,9 +206,12 @@ pub fn nines(pdl: f64) -> f64 {
     }
 }
 
-/// PDL over `t` given a constant hazard rate.
-pub fn pdl_from_hazard(hazard_per_hour: f64, t_hours: f64) -> f64 {
-    -(-hazard_per_hour * t_hours).exp_m1()
+/// PDL over `t` given a constant hazard rate. `Rate * Duration` is the
+/// dimensionless expected event count, so hours-vs-years mislabeling (the
+/// pre-units version took `per_hour`/`hours` parameters but was routinely
+/// fed per-year/years values) is unrepresentable.
+pub fn pdl_from_hazard(hazard: Rate, t: Duration) -> f64 {
+    -(-(hazard * t)).exp_m1()
 }
 
 #[cfg(test)]
@@ -218,13 +224,13 @@ mod tests {
         let chain = BirthDeathChain::new(vec![0.01], vec![]);
         for t in [1.0, 10.0, 100.0, 500.0] {
             let expect = 1.0 - (-0.01f64 * t).exp();
-            let got = chain.absorb_prob(t);
+            let got = chain.absorb_prob(Duration::from_hours(t));
             assert!(
                 (got - expect).abs() < 1e-10,
                 "t={t} got={got} expect={expect}"
             );
         }
-        assert!((chain.mean_time_to_absorb_hours() - 100.0).abs() < 1e-9);
+        assert!((chain.mean_time_to_absorb().to_hours() - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -234,16 +240,21 @@ mod tests {
         let t = 30.0;
         let lt: f64 = 0.1 * t;
         let expect = 1.0 - (-lt).exp() * (1.0 + lt);
-        assert!((chain.absorb_prob(t) - expect).abs() < 1e-9);
-        assert!((chain.mean_time_to_absorb_hours() - 20.0).abs() < 1e-9);
+        assert!((chain.absorb_prob(Duration::from_hours(t)) - expect).abs() < 1e-9);
+        assert!((chain.mean_time_to_absorb().to_hours() - 20.0).abs() < 1e-9);
     }
 
     #[test]
     fn repair_extends_lifetime() {
         let without = BirthDeathChain::new(vec![0.01, 0.01], vec![0.0]);
         let with = BirthDeathChain::new(vec![0.01, 0.01], vec![1.0]);
-        assert!(with.absorb_prob(100.0) < without.absorb_prob(100.0) / 10.0);
-        assert!(with.mean_time_to_absorb_hours() > without.mean_time_to_absorb_hours() * 10.0);
+        assert!(
+            with.absorb_prob(Duration::from_hours(100.0))
+                < without.absorb_prob(Duration::from_hours(100.0)) / 10.0
+        );
+        assert!(
+            with.mean_time_to_absorb().to_hours() > without.mean_time_to_absorb().to_hours() * 10.0
+        );
     }
 
     #[test]
@@ -252,8 +263,8 @@ mod tests {
         // uniformization result.
         let chain = BirthDeathChain::new(vec![1e-4, 1e-4, 1e-4], vec![0.1, 0.1]);
         let t = 8766.0;
-        let exact = chain.absorb_prob(t);
-        let approx = pdl_from_hazard(chain.absorb_hazard_per_hour(), t);
+        let exact = chain.absorb_prob(Duration::from_hours(t));
+        let approx = pdl_from_hazard(chain.absorb_hazard(), Duration::from_hours(t));
         assert!(
             (exact - approx).abs() / exact < 0.02,
             "exact={exact} approx={approx}"
@@ -268,7 +279,7 @@ mod tests {
         let la = 1e-6;
         let mu = 1e-2;
         let chain = BirthDeathChain::new(vec![n * la, (n - 1.0) * la], vec![mu]);
-        let mttdl = chain.mean_time_to_absorb_hours();
+        let mttdl = chain.mean_time_to_absorb().to_hours();
         let classic = mu / (n * (n - 1.0) * la * la);
         assert!(
             (mttdl - classic).abs() / classic < 0.01,
@@ -281,7 +292,7 @@ mod tests {
         let chain = BirthDeathChain::new(vec![1e-3, 1e-3, 1e-3], vec![0.05, 0.05]);
         let mut last = 0.0;
         for t in [1.0, 10.0, 100.0, 1000.0, 10000.0] {
-            let p = chain.absorb_prob(t);
+            let p = chain.absorb_prob(Duration::from_hours(t));
             assert!(p >= last, "t={t}");
             last = p;
         }
@@ -291,7 +302,11 @@ mod tests {
     fn nines_conversion() {
         assert!((nines(1e-5) - 5.0).abs() < 1e-12);
         assert_eq!(nines(0.0), f64::INFINITY);
-        assert!((pdl_from_hazard(1e-9, 8766.0) - 8.766e-6).abs() < 1e-9);
+        assert!(
+            (pdl_from_hazard(Rate::from_per_hour(1e-9), Duration::from_hours(8766.0)) - 8.766e-6)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

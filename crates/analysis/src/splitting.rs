@@ -12,15 +12,16 @@
 //! cross-level transparency (`R_FCO/R_HYB/R_MIN`) can exploit (paper §4.2.3
 //! F#1) while black-box `R_ALL` cannot.
 
-use crate::chains::pool_catastrophic_rate_per_year;
+use crate::chains::pool_catastrophic_rate;
 use crate::markov::nines;
 use mlec_runner::{run, RunReport, RunSpec, POISSON_ZERO_EVENT_UPPER_95};
-use mlec_sim::config::{MlecDeployment, HOURS_PER_YEAR};
+use mlec_sim::config::MlecDeployment;
 use mlec_sim::failure::FailureModel;
 use mlec_sim::importance::FailureBias;
 use mlec_sim::repair::{inject_catastrophic, plan_catastrophic_repair, RepairMethod};
 use mlec_sim::trials::{PoolAcc, PoolTrial};
 use mlec_topology::Placement;
+use mlec_units::{Duration, Rate};
 
 /// Stage-1 summary of catastrophic local-pool behaviour.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,7 +44,7 @@ pub struct Stage1 {
 pub fn stage1_analytic(dep: &MlecDeployment) -> Stage1 {
     let injected = inject_catastrophic(dep);
     Stage1 {
-        cat_rate_per_pool_year: pool_catastrophic_rate_per_year(dep),
+        cat_rate_per_pool_year: pool_catastrophic_rate(dep).to_per_year(),
         lost_stripes: injected.lost_stripes,
         stripes_per_pool: injected.total_stripes,
         unobserved: false,
@@ -147,8 +148,8 @@ pub fn stage1_via_runner_logged(
 /// How long a pool remains a lost-local-stripe contributor under the given
 /// repair method: until the network phase has rebuilt (or, for `R_MIN`, made
 /// locally recoverable) every lost stripe.
-pub fn catastrophic_sojourn_hours(dep: &MlecDeployment, method: RepairMethod) -> f64 {
-    plan_catastrophic_repair(dep, method).network_time_h
+pub fn catastrophic_sojourn(dep: &MlecDeployment, method: RepairMethod) -> Duration {
+    Duration::from_hours(plan_catastrophic_repair(dep, method).network_time_h)
 }
 
 /// The chunk-knowledge survival factor: probability that an overlap of
@@ -190,49 +191,53 @@ pub fn knowledge_survival_factor(dep: &MlecDeployment, method: RepairMethod, s1:
     }
 }
 
-/// Stage 2: probability of data loss over `mission_years`, combining the
-/// catastrophic-pool Poisson process with the overlap and knowledge factors.
+/// Stage 2: probability of data loss over the `mission` span, combining
+/// the catastrophic-pool Poisson process with the overlap and knowledge
+/// factors.
 pub fn stage2_pdl(
     dep: &MlecDeployment,
     method: RepairMethod,
     s1: &Stage1,
-    mission_years: f64,
+    mission: Duration,
 ) -> f64 {
     let lambda = s1.cat_rate_per_pool_year; // per pool-year
-    let sojourn_years = catastrophic_sojourn_hours(dep, method) / HOURS_PER_YEAR;
+    let sojourn_years = catastrophic_sojourn(dep, method).to_years();
     let pn = dep.params.network.p as u32;
     let phi = knowledge_survival_factor(dep, method, s1);
     let pools = dep.local_pools();
 
     // Rate (per year) at which a (p_n+1)-fold overlap forms: a new
     // catastrophic arrival while p_n others are already in their sojourn.
-    let loss_rate_per_year = match dep.scheme.network {
-        Placement::Clustered => {
-            let g = dep.network_width() as f64;
-            let n_np = pools.num_pools() as f64 / g;
-            let concurrent = binom(g - 1.0, pn) * (lambda * sojourn_years).powi(pn as i32);
-            n_np * g * lambda * concurrent
-        }
-        Placement::Declustered => {
-            let p_total = pools.num_pools() as f64;
-            let per_rack = pools.pools_per_rack() as f64;
-            // Overlapping pools must sit in distinct racks.
-            let mut distinct = 1.0;
-            for i in 1..=pn {
-                distinct *= (p_total - i as f64 * per_rack) / (p_total - i as f64);
+    let loss_rate = Rate::from_per_year(
+        match dep.scheme.network {
+            Placement::Clustered => {
+                let g = dep.network_width() as f64;
+                let n_np = pools.num_pools() as f64 / g;
+                let concurrent = binom(g - 1.0, pn) * (lambda * sojourn_years).powi(pn as i32);
+                n_np * g * lambda * concurrent
             }
-            let concurrent = binom(p_total - 1.0, pn) * (lambda * sojourn_years).powi(pn as i32);
-            p_total * lambda * concurrent * distinct
-        }
-    } * phi;
+            Placement::Declustered => {
+                let p_total = pools.num_pools() as f64;
+                let per_rack = pools.pools_per_rack() as f64;
+                // Overlapping pools must sit in distinct racks.
+                let mut distinct = 1.0;
+                for i in 1..=pn {
+                    distinct *= (p_total - i as f64 * per_rack) / (p_total - i as f64);
+                }
+                let concurrent =
+                    binom(p_total - 1.0, pn) * (lambda * sojourn_years).powi(pn as i32);
+                p_total * lambda * concurrent * distinct
+            }
+        } * phi,
+    );
 
-    -(-loss_rate_per_year * mission_years).exp_m1()
+    -(-(loss_rate * mission)).exp_m1()
 }
 
 /// One-year durability in nines for a deployment + repair method (Fig 10).
 pub fn mlec_durability_nines(dep: &MlecDeployment, method: RepairMethod) -> f64 {
     let s1 = stage1_analytic(dep);
-    nines(stage2_pdl(dep, method, &s1, 1.0))
+    nines(stage2_pdl(dep, method, &s1, Duration::from_years(1.0)))
 }
 
 fn binom(n: f64, k: u32) -> f64 {
@@ -374,7 +379,7 @@ mod tests {
         );
         assert!(s1.lost_stripes > 0.0, "falls back to injected census");
         // The bound flows through stage 2 into a finite durability floor.
-        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
+        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, Duration::from_years(1.0));
         assert!(pdl > 0.0 && pdl < 1.0, "pdl={pdl}");
         assert!(nines(pdl).is_finite());
     }
@@ -399,7 +404,7 @@ mod tests {
             assert_eq!(s1.lost_stripes, report.acc.mean_lost_stripes());
         }
         // Stage 2 accepts the simulated stage 1 and yields a plausible PDL.
-        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
+        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, Duration::from_years(1.0));
         assert!((0.0..=1.0).contains(&pdl));
     }
 
@@ -417,7 +422,7 @@ mod tests {
         assert!(!s1.unobserved);
         assert!(s1.cat_rate_per_pool_year > 0.0);
         assert!(report.acc.rate.ess() > 0.0);
-        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
+        let pdl = stage2_pdl(&d, RepairMethod::Fco, &s1, Duration::from_years(1.0));
         assert!(pdl > 0.0, "pdl={pdl}");
         assert!(nines(pdl).is_finite());
     }
@@ -426,8 +431,8 @@ mod tests {
     fn longer_mission_lower_durability() {
         let d = dep(MlecScheme::CC);
         let s1 = stage1_analytic(&d);
-        let one = stage2_pdl(&d, RepairMethod::Fco, &s1, 1.0);
-        let ten = stage2_pdl(&d, RepairMethod::Fco, &s1, 10.0);
+        let one = stage2_pdl(&d, RepairMethod::Fco, &s1, Duration::from_years(1.0));
+        let ten = stage2_pdl(&d, RepairMethod::Fco, &s1, Duration::from_years(10.0));
         assert!(ten > one * 5.0, "one={one} ten={ten}");
     }
 }

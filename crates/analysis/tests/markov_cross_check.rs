@@ -49,13 +49,13 @@ fn clustered_pool_rate_matches_markov_chain() {
 
     let d = dep.local_pools().pool_size() as f64;
     let pl = dep.params.local.p;
-    let lambda = dep.config.disk_failure_rate_per_hour();
+    let lambda = dep.config.disk_failure_rate().to_per_hour();
     let t_disk = dep.config.detection_hours
-        + dep.geometry.disk_capacity_tb * 1e6 / dep.config.disk_repair_bw_mbs() / 3600.0;
+        + dep.geometry.disk_capacity_tb * 1e6 / dep.config.disk_repair_bw().to_mbs() / 3600.0;
     let fail: Vec<f64> = (0..=pl).map(|m| (d - m as f64) * lambda).collect();
     let repair: Vec<f64> = (1..=pl).map(|m| m as f64 / t_disk).collect();
     let chain = BirthDeathChain::new(fail, repair);
-    let chain_rate = chain.absorb_hazard_per_hour() * HOURS_PER_YEAR;
+    let chain_rate = chain.absorb_hazard().to_per_year();
 
     let sim_rate = report.acc.rate_per_pool_year();
     let (lo, hi) = report.acc.rate.ci95();

@@ -8,6 +8,7 @@ use mlec_analysis::markov::{nines, pdl_from_hazard, BirthDeathChain};
 use mlec_runner::{SeedStream, SplitMix64};
 use mlec_sim::census::{hypergeom_pmf, ln_choose};
 use mlec_topology::Geometry;
+use mlec_units::Duration;
 
 /// One RNG per (property, case), derived exactly like runner trial seeds.
 fn case_rng(property: &str, case: u64) -> SplitMix64 {
@@ -104,7 +105,7 @@ fn markov_two_state_against_closed_form() {
         p1 += d1 * dt;
         dead += dd * dt;
     }
-    let exact = chain.absorb_prob(t_end);
+    let exact = chain.absorb_prob(Duration::from_hours(t_end));
     assert!(
         (exact - dead).abs() < 1e-4,
         "uniformization={exact} integration={dead}"
@@ -178,11 +179,12 @@ fn ln_choose_against_exact_integers() {
 
 mod splitting_properties {
     use mlec_analysis::splitting::{
-        catastrophic_sojourn_hours, knowledge_survival_factor, stage1_analytic, stage2_pdl,
+        catastrophic_sojourn, knowledge_survival_factor, stage1_analytic, stage2_pdl,
     };
     use mlec_sim::config::MlecDeployment;
     use mlec_sim::repair::RepairMethod;
     use mlec_topology::MlecScheme;
+    use mlec_units::Duration;
 
     /// The survival factor is a probability and never higher for a
     /// chunk-knowledge method than for `R_ALL`.
@@ -207,13 +209,13 @@ mod splitting_properties {
         for scheme in MlecScheme::ALL {
             let dep = MlecDeployment::paper_default(scheme);
             let s1 = stage1_analytic(&dep);
-            let one = stage2_pdl(&dep, RepairMethod::Fco, &s1, 1.0);
-            let five = stage2_pdl(&dep, RepairMethod::Fco, &s1, 5.0);
+            let one = stage2_pdl(&dep, RepairMethod::Fco, &s1, Duration::from_years(1.0));
+            let five = stage2_pdl(&dep, RepairMethod::Fco, &s1, Duration::from_years(5.0));
             assert!(five >= one);
             // Sojourn ordering follows method ordering.
             let mut last = f64::INFINITY;
             for m in RepairMethod::PAPER {
-                let s = catastrophic_sojourn_hours(&dep, m);
+                let s = catastrophic_sojourn(&dep, m).to_hours();
                 assert!(s <= last + 1e-9, "sojourns must not increase: {m}");
                 last = s;
             }
@@ -255,9 +257,9 @@ fn hazard_matches_uniformization() {
         let fail = vec![lam; states];
         let repair = vec![mu; states - 1];
         let chain = BirthDeathChain::new(fail, repair);
-        let t = 8766.0;
+        let t = Duration::from_hours(8766.0);
         let exact = chain.absorb_prob(t);
-        let approx = pdl_from_hazard(chain.absorb_hazard_per_hour(), t);
+        let approx = pdl_from_hazard(chain.absorb_hazard(), t);
         if exact <= 1e-300 {
             continue;
         }

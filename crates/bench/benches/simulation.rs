@@ -90,7 +90,7 @@ fn bench_pool_year_simulation(h: &mut Harness) {
 fn bench_markov_chain(h: &mut Harness) {
     let dep = MlecDeployment::paper_default(MlecScheme::CD);
     h.bench("pool_chain_hazard", || {
-        black_box(pool_chain(&dep).absorb_hazard_per_hour());
+        black_box(pool_chain(&dep).absorb_hazard().to_per_hour());
     });
 }
 

@@ -11,7 +11,7 @@
 use mlec_analysis::burst::{
     lrc_burst_sample, lrc_undecodable_by_count, mlec_burst_sample, slec_burst_sample,
 };
-use mlec_analysis::chains::system_catastrophic_rate_per_year;
+use mlec_analysis::chains::system_catastrophic_rate;
 use mlec_analysis::splitting::mlec_durability_nines;
 use mlec_analysis::tradeoff::{
     enumerate_lrc, enumerate_mlec, enumerate_slec, ideal_lrc_undecodable_at_limit, TradeoffPoint,
@@ -21,8 +21,8 @@ use mlec_ec::throughput::{measure_slec_mt, ThroughputModel};
 use mlec_ec::{Lrc, LrcParams, SlecParams};
 use mlec_runner::{run_with, trial_rng, GridOrder, GridTrial, HitTrial, Json, RunSpec, StopRule};
 use mlec_sim::bandwidth::{
-    catastrophic_pool_repair_bw_mbs, catastrophic_pool_repair_hours, repair_sizes_tb,
-    single_disk_repair_bw_mbs, single_disk_repair_hours,
+    catastrophic_pool_repair_bw, catastrophic_pool_repair_time, repair_sizes,
+    single_disk_repair_bw, single_disk_repair_time,
 };
 use mlec_sim::config::MlecDeployment;
 use mlec_sim::importance::FailureBias;
@@ -269,15 +269,16 @@ pub fn table2_and_fig6() -> Vec<RepairBandwidthRow> {
         .into_iter()
         .map(|scheme| {
             let dep = paper_deployment(scheme);
-            let (disk_tb, pool_tb) = repair_sizes_tb(&dep);
+            let (disk, pool) = repair_sizes(&dep);
+            let (disk_tb, pool_tb) = (disk.to_tb(), pool.to_tb());
             RepairBandwidthRow {
                 scheme: scheme.name(),
                 disk_size_tb: disk_tb,
-                disk_bw_mbs: single_disk_repair_bw_mbs(&dep),
+                disk_bw_mbs: single_disk_repair_bw(&dep).to_mbs(),
                 pool_size_tb: pool_tb,
-                pool_bw_mbs: catastrophic_pool_repair_bw_mbs(&dep),
-                disk_repair_hours: single_disk_repair_hours(&dep),
-                pool_repair_hours: catastrophic_pool_repair_hours(&dep),
+                pool_bw_mbs: catastrophic_pool_repair_bw(&dep).to_mbs(),
+                disk_repair_hours: single_disk_repair_time(&dep).to_hours(),
+                pool_repair_hours: catastrophic_pool_repair_time(&dep).to_hours(),
             }
         })
         .collect()
@@ -298,7 +299,7 @@ pub fn fig7_catastrophic_prob() -> Vec<CatastrophicProbRow> {
         .into_iter()
         .map(|scheme| CatastrophicProbRow {
             scheme: scheme.name(),
-            prob_per_year: system_catastrophic_rate_per_year(&paper_deployment(scheme)),
+            prob_per_year: system_catastrophic_rate(&paper_deployment(scheme)).to_per_year(),
         })
         .collect()
 }
@@ -408,7 +409,8 @@ pub fn fig7_catastrophic_prob_sim(
             rate_ci_low: summary.ci_low,
             rate_ci_high: summary.ci_high,
             prob_per_system_year: -(-s1.cat_rate_per_pool_year * pools).exp_m1(),
-            analytic_prob_per_system_year: -(-system_catastrophic_rate_per_year(&dep)).exp_m1(),
+            analytic_prob_per_system_year: -(-system_catastrophic_rate(&dep).to_per_year())
+                .exp_m1(),
             events: report.acc.events(),
             weighted_events: report.acc.rate.weighted_events(),
             ess: report.acc.rate.ess(),
@@ -634,6 +636,7 @@ pub fn fig10_durability_sim(
     opts: &HeatmapRunOpts,
 ) -> std::io::Result<Vec<DurabilitySimCell>> {
     use mlec_analysis::splitting::{stage1_analytic, stage1_via_runner_logged, stage2_pdl};
+    use mlec_units::Duration;
     let mut out = Vec::new();
     let sink = opts.event_log_sink()?;
     for scheme in MlecScheme::ALL {
@@ -664,10 +667,10 @@ pub fn fig10_durability_sim(
                 scheme: scheme.name(),
                 method: method.name().to_string(),
                 nines_sim_stage1: mlec_analysis::markov::nines(
-                    stage2_pdl(&dep, method, &s1_sim, 1.0).max(1e-300),
+                    stage2_pdl(&dep, method, &s1_sim, Duration::from_years(1.0)).max(1e-300),
                 ),
                 nines_analytic_stage1: mlec_analysis::markov::nines(
-                    stage2_pdl(&dep, method, &s1_analytic, 1.0).max(1e-300),
+                    stage2_pdl(&dep, method, &s1_analytic, Duration::from_years(1.0)).max(1e-300),
                 ),
                 events: report.acc.events(),
                 weighted_events: report.acc.rate.weighted_events(),
@@ -1035,25 +1038,26 @@ pub fn repair_traffic_comparison() -> Vec<TrafficRow> {
     let mut out = vec![
         TrafficRow {
             system: "Net-SLEC (7+3)".into(),
-            tb_per_day: traffic::net_slec_daily_traffic_tb(&g, &c, 7),
-            tb_per_year: traffic::net_slec_daily_traffic_tb(&g, &c, 7) * 365.25,
+            tb_per_day: traffic::net_slec_daily_traffic(&g, &c, 7).to_tb(),
+            tb_per_year: traffic::net_slec_daily_traffic(&g, &c, 7).to_tb() * 365.25,
         },
         TrafficRow {
             system: "Net-SLEC (14+6)".into(),
-            tb_per_day: traffic::net_slec_daily_traffic_tb(&g, &c, 14),
-            tb_per_year: traffic::net_slec_daily_traffic_tb(&g, &c, 14) * 365.25,
+            tb_per_day: traffic::net_slec_daily_traffic(&g, &c, 14).to_tb(),
+            tb_per_year: traffic::net_slec_daily_traffic(&g, &c, 14).to_tb() * 365.25,
         },
         TrafficRow {
             system: "LRC-Dp (14,2,4)".into(),
-            tb_per_day: traffic::lrc_daily_traffic_tb(&g, &c, LrcParams::paper_default()),
-            tb_per_year: traffic::lrc_daily_traffic_tb(&g, &c, LrcParams::paper_default()) * 365.25,
+            tb_per_day: traffic::lrc_daily_traffic(&g, &c, LrcParams::paper_default()).to_tb(),
+            tb_per_year: traffic::lrc_daily_traffic(&g, &c, LrcParams::paper_default()).to_tb()
+                * 365.25,
         },
     ];
     for scheme in MlecScheme::ALL {
         let dep = paper_deployment(scheme);
-        let rate = system_catastrophic_rate_per_year(&dep);
+        let rate = system_catastrophic_rate(&dep);
         for method in [RepairMethod::All, RepairMethod::Min] {
-            let yearly = traffic::mlec_yearly_traffic_tb(&dep, method, rate);
+            let yearly = traffic::mlec_yearly_traffic(&dep, method, rate).to_tb();
             out.push(TrafficRow {
                 system: format!("MLEC {} {}", scheme.name(), method.name()),
                 tb_per_day: yearly / 365.25,

@@ -1739,14 +1739,15 @@ fn run_paper_summary(_ctx: &ExperimentCtx) -> Result<ExperimentOutput, Experimen
         "100s of TB/day",
         format!(
             "{:.0} TB/day",
-            traffic::net_slec_daily_traffic_tb(&g, &c, 7)
+            traffic::net_slec_daily_traffic(&g, &c, 7).to_tb()
         ),
     );
-    let mlec_yearly = traffic::mlec_yearly_traffic_tb(
+    let mlec_yearly = traffic::mlec_yearly_traffic(
         &MlecDeployment::paper_default(MlecScheme::CC),
         RepairMethod::Min,
-        p("C/C"),
-    );
+        mlec_units::Rate::from_per_year(p("C/C")),
+    )
+    .to_tb();
     add(
         "§5.1.4",
         "MLEC repair traffic",
@@ -1869,7 +1870,12 @@ fn run_validation(ctx: &ExperimentCtx) -> Result<ExperimentOutput, ExperimentErr
         }
 
         let s1 = stage1_analytic(&dep);
-        let splitting_pdl = stage2_pdl(&dep, RepairMethod::Fco, &s1, years);
+        let splitting_pdl = stage2_pdl(
+            &dep,
+            RepairMethod::Fco,
+            &s1,
+            mlec_units::Duration::from_years(years),
+        );
         let summary = report.summary;
         rows.push(ValidationRow {
             scheme: scheme.name(),

@@ -27,6 +27,7 @@ pub use mlec_ec as ec;
 pub use mlec_gf as gf;
 pub use mlec_sim as sim;
 pub use mlec_topology as topology;
+pub use mlec_units as units;
 
 use mlec_analysis::splitting;
 use mlec_ec::MlecParams;
@@ -73,17 +74,17 @@ impl MlecSystem {
 
     /// Available repair bandwidth for a single disk failure (Table 2).
     pub fn single_disk_repair_bw_mbs(&self) -> f64 {
-        mlec_sim::bandwidth::single_disk_repair_bw_mbs(&self.deployment)
+        mlec_sim::bandwidth::single_disk_repair_bw(&self.deployment).to_mbs()
     }
 
     /// Available repair bandwidth for a catastrophic pool (Table 2).
     pub fn catastrophic_pool_repair_bw_mbs(&self) -> f64 {
-        mlec_sim::bandwidth::catastrophic_pool_repair_bw_mbs(&self.deployment)
+        mlec_sim::bandwidth::catastrophic_pool_repair_bw(&self.deployment).to_mbs()
     }
 
     /// Time to repair a single failed disk, hours (Fig 6a).
     pub fn single_disk_repair_hours(&self) -> f64 {
-        mlec_sim::bandwidth::single_disk_repair_hours(&self.deployment)
+        mlec_sim::bandwidth::single_disk_repair_time(&self.deployment).to_hours()
     }
 
     /// Traffic/time plan for repairing a catastrophic pool (Fig 8, Fig 9).
@@ -93,7 +94,7 @@ impl MlecSystem {
 
     /// Catastrophic local-pool probability per system-year (Fig 7).
     pub fn catastrophic_probability_per_year(&self) -> f64 {
-        mlec_analysis::chains::system_catastrophic_rate_per_year(&self.deployment)
+        mlec_analysis::chains::system_catastrophic_rate(&self.deployment).to_per_year()
     }
 
     /// One-year durability in nines under a repair method (Fig 10).
@@ -115,11 +116,12 @@ impl MlecSystem {
 
     /// Yearly cross-rack repair traffic under a method (§5.1.4).
     pub fn yearly_repair_traffic_tb(&self, method: RepairMethod) -> f64 {
-        mlec_sim::traffic::mlec_yearly_traffic_tb(
+        mlec_sim::traffic::mlec_yearly_traffic(
             &self.deployment,
             method,
-            self.catastrophic_probability_per_year(),
+            mlec_analysis::chains::system_catastrophic_rate(&self.deployment),
         )
+        .to_tb()
     }
 }
 

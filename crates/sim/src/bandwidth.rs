@@ -10,24 +10,22 @@
 //! | C/D    | 264 MB/s       | 250 MB/s              |
 //! | D/C    | 40 MB/s        | 1363 MB/s             |
 //! | D/D    | 264 MB/s       | 1363 MB/s             |
+//!
+//! All quantities are dimensioned ([`Bandwidth`], [`Volume`], [`Duration`]);
+//! escape to raw `f64` only at output boundaries via `.to_mbs()` / `.to_tb()`
+//! / `.to_hours()`.
 
 use crate::config::MlecDeployment;
 use mlec_topology::Placement;
+use mlec_units::{Bandwidth, Duration, Volume};
 
-/// Seconds per hour, for MB/s → TB/h conversions.
-const S_PER_H: f64 = 3600.0;
-
-/// Convert MB/s into TB/h.
-pub fn mbs_to_tb_per_hour(mbs: f64) -> f64 {
-    mbs * S_PER_H / 1e6
-}
-
-/// Time in hours to move `tb` terabytes at `mbs` MB/s.
-pub fn hours_to_move(tb: f64, mbs: f64) -> f64 {
-    if tb <= 0.0 {
-        0.0
+/// Time to move `volume` at `bw`, clamping non-positive volumes to zero
+/// (an empty repair finishes instantly rather than dividing by a rate).
+pub fn time_to_move(volume: Volume, bw: Bandwidth) -> Duration {
+    if volume.to_tb() <= 0.0 {
+        Duration::ZERO
     } else {
-        tb / mbs_to_tb_per_hour(mbs)
+        volume / bw
     }
 }
 
@@ -40,8 +38,8 @@ pub fn hours_to_move(tb: f64, mbs: f64) -> f64 {
 /// - Declustered local pool: all surviving pool disks share reads *and*
 ///   writes; each rebuilt byte costs `k_l` reads + 1 write on the pool's
 ///   aggregate disk bandwidth.
-pub fn single_disk_repair_bw_mbs(dep: &MlecDeployment) -> f64 {
-    let disk_bw = dep.config.disk_repair_bw_mbs();
+pub fn single_disk_repair_bw(dep: &MlecDeployment) -> Bandwidth {
+    let disk_bw = dep.config.disk_repair_bw();
     match dep.scheme.local {
         Placement::Clustered => disk_bw,
         Placement::Declustered => {
@@ -63,8 +61,8 @@ pub fn single_disk_repair_bw_mbs(dep: &MlecDeployment) -> f64 {
 /// - Network-declustered: all racks participate in reads and writes; each
 ///   rebuilt byte crosses the network `k_n` times for reads plus once for
 ///   the write, against the aggregate rack bandwidth.
-pub fn catastrophic_pool_repair_bw_mbs(dep: &MlecDeployment) -> f64 {
-    let rack_bw = dep.config.rack_repair_bw_mbs();
+pub fn catastrophic_pool_repair_bw(dep: &MlecDeployment) -> Bandwidth {
+    let rack_bw = dep.config.rack_repair_bw();
     match dep.scheme.network {
         Placement::Clustered => rack_bw,
         Placement::Declustered => {
@@ -83,12 +81,12 @@ pub fn catastrophic_pool_repair_bw_mbs(dep: &MlecDeployment) -> f64 {
 ///   `k_l` survivors keep up: `k_l * bw / k_l * m >= m * bw`).
 /// - Declustered: surviving pool disks share `k_l` reads + 1 write per
 ///   rebuilt byte.
-pub fn local_repair_bw_mbs(
+pub fn local_repair_bw(
     dep: &MlecDeployment,
     rebuilt_chunks_per_stripe: u32,
     failed_disks: u32,
-) -> f64 {
-    let disk_bw = dep.config.disk_repair_bw_mbs();
+) -> Bandwidth {
+    let disk_bw = dep.config.disk_repair_bw();
     match dep.scheme.local {
         Placement::Clustered => rebuilt_chunks_per_stripe as f64 * disk_bw,
         Placement::Declustered => {
@@ -100,25 +98,25 @@ pub fn local_repair_bw_mbs(
     }
 }
 
-/// Repair sizes for Table 2: `(single disk TB, catastrophic pool TB)`.
-pub fn repair_sizes_tb(dep: &MlecDeployment) -> (f64, f64) {
-    let disk = dep.geometry.disk_capacity_tb;
-    let pool = dep.local_pools().pool_capacity_tb();
+/// Repair sizes for Table 2: `(single disk, catastrophic pool)`.
+pub fn repair_sizes(dep: &MlecDeployment) -> (Volume, Volume) {
+    let disk = Volume::from_tb(dep.geometry.disk_capacity_tb);
+    let pool = Volume::from_tb(dep.local_pools().pool_capacity_tb());
     (disk, pool)
 }
 
-/// Repair time in hours for a single disk failure (Fig 6a), including the
+/// Repair time for a single disk failure (Fig 6a), including the
 /// failure-detection delay.
-pub fn single_disk_repair_hours(dep: &MlecDeployment) -> f64 {
-    let (disk_tb, _) = repair_sizes_tb(dep);
-    dep.config.detection_hours + hours_to_move(disk_tb, single_disk_repair_bw_mbs(dep))
+pub fn single_disk_repair_time(dep: &MlecDeployment) -> Duration {
+    let (disk, _) = repair_sizes(dep);
+    dep.config.detection() + time_to_move(disk, single_disk_repair_bw(dep))
 }
 
-/// Repair time in hours for a catastrophic local pool under `R_ALL` (Fig 6b),
+/// Repair time for a catastrophic local pool under `R_ALL` (Fig 6b),
 /// including the failure-detection delay.
-pub fn catastrophic_pool_repair_hours(dep: &MlecDeployment) -> f64 {
-    let (_, pool_tb) = repair_sizes_tb(dep);
-    dep.config.detection_hours + hours_to_move(pool_tb, catastrophic_pool_repair_bw_mbs(dep))
+pub fn catastrophic_pool_repair_time(dep: &MlecDeployment) -> Duration {
+    let (_, pool) = repair_sizes(dep);
+    dep.config.detection() + time_to_move(pool, catastrophic_pool_repair_bw(dep))
 }
 
 #[cfg(test)]
@@ -132,34 +130,38 @@ mod tests {
 
     #[test]
     fn table2_single_disk_bandwidth() {
-        assert!((single_disk_repair_bw_mbs(&dep(MlecScheme::CC)) - 40.0).abs() < 0.5);
-        assert!((single_disk_repair_bw_mbs(&dep(MlecScheme::DC)) - 40.0).abs() < 0.5);
-        assert!((single_disk_repair_bw_mbs(&dep(MlecScheme::CD)) - 264.0).abs() < 1.0);
-        assert!((single_disk_repair_bw_mbs(&dep(MlecScheme::DD)) - 264.0).abs() < 1.0);
+        assert!((single_disk_repair_bw(&dep(MlecScheme::CC)).to_mbs() - 40.0).abs() < 0.5);
+        assert!((single_disk_repair_bw(&dep(MlecScheme::DC)).to_mbs() - 40.0).abs() < 0.5);
+        assert!((single_disk_repair_bw(&dep(MlecScheme::CD)).to_mbs() - 264.0).abs() < 1.0);
+        assert!((single_disk_repair_bw(&dep(MlecScheme::DD)).to_mbs() - 264.0).abs() < 1.0);
     }
 
     #[test]
     fn table2_catastrophic_pool_bandwidth() {
-        assert!((catastrophic_pool_repair_bw_mbs(&dep(MlecScheme::CC)) - 250.0).abs() < 0.5);
-        assert!((catastrophic_pool_repair_bw_mbs(&dep(MlecScheme::CD)) - 250.0).abs() < 0.5);
-        assert!((catastrophic_pool_repair_bw_mbs(&dep(MlecScheme::DC)) - 1363.0).abs() < 1.0);
-        assert!((catastrophic_pool_repair_bw_mbs(&dep(MlecScheme::DD)) - 1363.0).abs() < 1.0);
+        assert!((catastrophic_pool_repair_bw(&dep(MlecScheme::CC)).to_mbs() - 250.0).abs() < 0.5);
+        assert!((catastrophic_pool_repair_bw(&dep(MlecScheme::CD)).to_mbs() - 250.0).abs() < 0.5);
+        assert!((catastrophic_pool_repair_bw(&dep(MlecScheme::DC)).to_mbs() - 1363.0).abs() < 1.0);
+        assert!((catastrophic_pool_repair_bw(&dep(MlecScheme::DD)).to_mbs() - 1363.0).abs() < 1.0);
     }
 
     #[test]
     fn table2_repair_sizes() {
-        assert_eq!(repair_sizes_tb(&dep(MlecScheme::CC)), (20.0, 400.0));
-        assert_eq!(repair_sizes_tb(&dep(MlecScheme::CD)), (20.0, 2400.0));
-        assert_eq!(repair_sizes_tb(&dep(MlecScheme::DC)), (20.0, 400.0));
-        assert_eq!(repair_sizes_tb(&dep(MlecScheme::DD)), (20.0, 2400.0));
+        let (disk, pool) = repair_sizes(&dep(MlecScheme::CC));
+        assert_eq!((disk.to_tb(), pool.to_tb()), (20.0, 400.0));
+        let (disk, pool) = repair_sizes(&dep(MlecScheme::CD));
+        assert_eq!((disk.to_tb(), pool.to_tb()), (20.0, 2400.0));
+        let (disk, pool) = repair_sizes(&dep(MlecScheme::DC));
+        assert_eq!((disk.to_tb(), pool.to_tb()), (20.0, 400.0));
+        let (disk, pool) = repair_sizes(&dep(MlecScheme::DD));
+        assert_eq!((disk.to_tb(), pool.to_tb()), (20.0, 2400.0));
     }
 
     #[test]
     fn fig6a_single_disk_times() {
         // C/C, D/C: 20 TB at 40 MB/s ≈ 139 h; C/D, D/D: ≈ 21 h (paper:
         // "C/D and D/D are 6x faster").
-        let slow = single_disk_repair_hours(&dep(MlecScheme::CC));
-        let fast = single_disk_repair_hours(&dep(MlecScheme::CD));
+        let slow = single_disk_repair_time(&dep(MlecScheme::CC)).to_hours();
+        let fast = single_disk_repair_time(&dep(MlecScheme::CD)).to_hours();
         assert!(
             (slow - (0.5 + 20.0e6 / 40.0 / 3600.0)).abs() < 0.1,
             "slow={slow}"
@@ -175,10 +177,10 @@ mod tests {
     fn fig6b_pool_repair_times_ordering() {
         // Paper F#2-4: C/D slowest (~2667 h), D/C fastest (~82 h), D/D a bit
         // slower than C/C (489 vs 444 h).
-        let cc = catastrophic_pool_repair_hours(&dep(MlecScheme::CC));
-        let cd = catastrophic_pool_repair_hours(&dep(MlecScheme::CD));
-        let dc = catastrophic_pool_repair_hours(&dep(MlecScheme::DC));
-        let dd = catastrophic_pool_repair_hours(&dep(MlecScheme::DD));
+        let cc = catastrophic_pool_repair_time(&dep(MlecScheme::CC)).to_hours();
+        let cd = catastrophic_pool_repair_time(&dep(MlecScheme::CD)).to_hours();
+        let dc = catastrophic_pool_repair_time(&dep(MlecScheme::DC)).to_hours();
+        let dd = catastrophic_pool_repair_time(&dep(MlecScheme::DD)).to_hours();
         assert!(
             cd > dd && dd > cc && cc > dc,
             "cc={cc} cd={cd} dc={dc} dd={dd}"
@@ -192,17 +194,27 @@ mod tests {
     #[test]
     fn local_phase_bandwidth() {
         // C/C local phase rebuilding 3 chunks/stripe: 3 spares writing.
-        let bw = local_repair_bw_mbs(&dep(MlecScheme::CC), 3, 4);
-        assert!((bw - 120.0).abs() < 1e-9);
+        let bw = local_repair_bw(&dep(MlecScheme::CC), 3, 4);
+        assert!((bw.to_mbs() - 120.0).abs() < 1e-9);
         // C/D with 4 failed: 116 survivors / 18.
-        let bw = local_repair_bw_mbs(&dep(MlecScheme::CD), 3, 4);
-        assert!((bw - 116.0 * 40.0 / 18.0).abs() < 1e-6);
+        let bw = local_repair_bw(&dep(MlecScheme::CD), 3, 4);
+        assert!((bw.to_mbs() - 116.0 * 40.0 / 18.0).abs() < 1e-6);
     }
 
     #[test]
     fn unit_conversions() {
-        assert!((mbs_to_tb_per_hour(1000.0) - 3.6).abs() < 1e-12);
-        assert_eq!(hours_to_move(0.0, 100.0), 0.0);
-        assert!((hours_to_move(3.6, 1000.0) - 1.0).abs() < 1e-12);
+        assert!((Bandwidth::from_mbs(1000.0).to_tb_per_hour() - 3.6).abs() < 1e-12);
+        assert_eq!(
+            time_to_move(Volume::ZERO, Bandwidth::from_mbs(100.0)),
+            Duration::ZERO
+        );
+        let t = time_to_move(Volume::from_tb(3.6), Bandwidth::from_mbs(1000.0));
+        assert!((t.to_hours() - 1.0).abs() < 1e-12);
+        // Bit-exact against the pre-migration inline formula.
+        let t = time_to_move(Volume::from_tb(400.0), Bandwidth::from_mbs(250.0));
+        assert_eq!(
+            t.to_hours().to_bits(),
+            (400.0_f64 / (250.0 * 3600.0 / 1e6)).to_bits()
+        );
     }
 }

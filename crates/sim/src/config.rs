@@ -3,9 +3,9 @@
 
 use mlec_ec::MlecParams;
 use mlec_topology::{Geometry, MlecScheme};
+use mlec_units::{Bandwidth, Duration, Rate};
 
-/// Hours in one (Julian) year, the unit conversions use throughout.
-pub const HOURS_PER_YEAR: f64 = 8766.0;
+pub use mlec_units::HOURS_PER_YEAR;
 
 /// Bandwidth, throttling, detection, and failure-rate parameters (§3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,19 +35,24 @@ impl SimConfig {
         }
     }
 
-    /// Throttled per-disk repair bandwidth in MB/s (40 in the paper).
-    pub fn disk_repair_bw_mbs(&self) -> f64 {
-        self.disk_bw_mbs * self.repair_fraction
+    /// Throttled per-disk repair bandwidth (40 MB/s in the paper).
+    pub fn disk_repair_bw(&self) -> Bandwidth {
+        Bandwidth::from_mbs(self.disk_bw_mbs) * self.repair_fraction
     }
 
-    /// Throttled per-rack cross-rack repair bandwidth in MB/s (250).
-    pub fn rack_repair_bw_mbs(&self) -> f64 {
-        self.rack_net_gbps * 1e9 / 8.0 / 1e6 * self.repair_fraction
+    /// Throttled per-rack cross-rack repair bandwidth (250 MB/s).
+    pub fn rack_repair_bw(&self) -> Bandwidth {
+        Bandwidth::from_gbps(self.rack_net_gbps) * self.repair_fraction
     }
 
-    /// Per-disk failure rate in events/hour.
-    pub fn disk_failure_rate_per_hour(&self) -> f64 {
-        self.afr / HOURS_PER_YEAR
+    /// Per-disk failure rate (the AFR, dimensioned).
+    pub fn disk_failure_rate(&self) -> Rate {
+        Rate::from_per_year(self.afr)
+    }
+
+    /// Failure-detection delay before a repair is triggered.
+    pub fn detection(&self) -> Duration {
+        Duration::from_hours(self.detection_hours)
     }
 }
 
@@ -106,15 +111,20 @@ mod tests {
     #[test]
     fn paper_bandwidths() {
         let c = SimConfig::paper_default();
-        assert!((c.disk_repair_bw_mbs() - 40.0).abs() < 1e-9);
-        assert!((c.rack_repair_bw_mbs() - 250.0).abs() < 1e-9);
+        assert!((c.disk_repair_bw().to_mbs() - 40.0).abs() < 1e-9);
+        assert!((c.rack_repair_bw().to_mbs() - 250.0).abs() < 1e-9);
     }
 
     #[test]
     fn failure_rate_units() {
         let c = SimConfig::paper_default();
         // 1% AFR: rate * hours-per-year == 0.01.
-        assert!((c.disk_failure_rate_per_hour() * HOURS_PER_YEAR - 0.01).abs() < 1e-12);
+        assert!((c.disk_failure_rate().to_per_hour() * HOURS_PER_YEAR - 0.01).abs() < 1e-12);
+        // The per-hour reading is bit-identical to the old inline division.
+        assert_eq!(
+            c.disk_failure_rate().to_per_hour().to_bits(),
+            (c.afr / HOURS_PER_YEAR).to_bits()
+        );
     }
 
     #[test]

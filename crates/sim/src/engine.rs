@@ -29,6 +29,7 @@ impl<E> Eq for Entry<E> {}
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        // PANICS: event times are finite by construction; a NaN here means a corrupted queue and must abort.
         other
             .time
             .partial_cmp(&self.time)

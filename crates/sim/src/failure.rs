@@ -56,9 +56,9 @@ impl FailureModel {
         }
     }
 
-    /// Mean time to failure in hours (infinite for an exhausted trace).
-    pub fn mttf_hours(&self) -> f64 {
-        match self {
+    /// Mean time to failure (infinite for an exhausted trace).
+    pub fn mttf(&self) -> mlec_units::Duration {
+        let hours = match self {
             FailureModel::Exponential { afr } => crate::config::HOURS_PER_YEAR / afr,
             FailureModel::Weibull { shape, scale_hours } => {
                 scale_hours * gamma_fn(1.0 + 1.0 / shape)
@@ -68,6 +68,7 @@ impl FailureModel {
                     f64::INFINITY
                 } else {
                     // Mean inter-arrival spacing of the trace.
+                    // PANICS: the enclosing branch established the trace has events.
                     let span = times.last().unwrap() - times.first().unwrap();
                     if times.len() > 1 {
                         span / (times.len() - 1) as f64
@@ -76,7 +77,8 @@ impl FailureModel {
                     }
                 }
             }
-        }
+        };
+        mlec_units::Duration::from_hours(hours)
     }
 }
 
@@ -147,6 +149,7 @@ pub(crate) fn gamma_fn(x: f64) -> f64 {
         std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
     } else {
         let x = x - 1.0;
+        // PANICS: `C` is a fixed non-empty Lanczos coefficient table.
         let mut a = C[0];
         let t = x + G + 0.5;
         for (i, &c) in C.iter().enumerate().skip(1) {
@@ -184,7 +187,7 @@ mod tests {
             shape: 1.0,
             scale_hours: 1000.0,
         };
-        assert!((model.mttf_hours() - 1000.0).abs() < 1.0);
+        assert!((model.mttf().to_hours() - 1000.0).abs() < 1.0);
         let mut rng = ChaCha12Rng::seed_from_u64(2);
         let n = 20_000;
         let mean: f64 = (0..n)
@@ -202,7 +205,7 @@ mod tests {
             scale_hours: 100.0,
         };
         let expected = 100.0 * (std::f64::consts::PI).sqrt() / 2.0;
-        assert!((model.mttf_hours() - expected).abs() < 0.01);
+        assert!((model.mttf().to_hours() - expected).abs() < 0.01);
     }
 
     #[test]

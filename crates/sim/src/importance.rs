@@ -93,12 +93,12 @@ impl FailureBias {
     /// Unbiased when the failure rate is already high enough (the
     /// multiplier would be ≤ 1) or when the model has no finite rate.
     pub fn auto(dep: &MlecDeployment, model: &FailureModel) -> FailureBias {
-        let rate = 1.0 / model.mttf_hours(); // per-disk failures/hour
+        let rate = 1.0 / model.mttf().to_hours(); // per-disk failures/hour
         if !rate.is_finite() || rate <= 0.0 {
             return FailureBias::NONE;
         }
         let d = dep.local_pools().pool_size();
-        let window_h = crate::bandwidth::single_disk_repair_hours(dep);
+        let window_h = crate::bandwidth::single_disk_repair_time(dep).to_hours();
         let others = (d.saturating_sub(1)).max(1) as f64;
         let mult = 2.0 / (others * rate * window_h);
         FailureBias {

@@ -43,6 +43,7 @@ use crate::kernel::{
     run_pool_policy, FailureOutcome, HazardKernel, NoopObserver, PoolPolicy, SimObserver,
 };
 use mlec_topology::Placement;
+use mlec_units::Volume;
 
 /// One catastrophic local-pool failure observed by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -227,7 +228,7 @@ fn finish_pool_run(
 fn per_disk_rate(model: &FailureModel) -> f64 {
     match model {
         FailureModel::Exponential { afr } => afr / HOURS_PER_YEAR,
-        FailureModel::Weibull { .. } => 1.0 / model.mttf_hours(),
+        FailureModel::Weibull { .. } => 1.0 / model.mttf().to_hours(),
         FailureModel::Trace { .. } => {
             panic!("trace-driven failures are not supported by the pool simulator")
         }
@@ -262,8 +263,10 @@ impl ClusteredPolicy {
             d,
             threshold: dep.params.local.p as u32 + 1,
             rate: per_disk_rate(failure_model),
-            repair_hours: dep.config.detection_hours
-                + dep.geometry.disk_capacity_tb * 1e6 / dep.config.disk_repair_bw_mbs() / 3600.0,
+            repair_hours: (dep.config.detection()
+                + Volume::from_tb(dep.geometry.disk_capacity_tb)
+                    .transfer_time_mb(dep.config.disk_repair_bw()))
+            .to_hours(),
             total_stripes: d as f64 * dep.geometry.chunks_per_disk() / dep.local_width() as f64,
             active: Vec::new(),
             max_concurrent: 0,
@@ -352,7 +355,7 @@ pub struct DeclusteredPolicy {
 /// The declustered drain-rate model, captured from the deployment so the
 /// policy carries no deployment borrow.
 struct DrainRate {
-    /// Precomputed `local_repair_bw_mbs(dep, 1, f) * 3600 / chunk_mb` for
+    /// Precomputed `local_repair_bw(dep, 1, f) * 3600 / chunk_mb` for
     /// each failed-disk count `f` in `0..=d`.
     chunks_per_hour: Vec<f64>,
 }
@@ -361,12 +364,14 @@ impl DrainRate {
     fn new(dep: &MlecDeployment, d: u32, chunk_mb: f64) -> DrainRate {
         DrainRate {
             chunks_per_hour: (0..=d)
-                .map(|f| crate::bandwidth::local_repair_bw_mbs(dep, 1, f) * 3600.0 / chunk_mb)
+                .map(|f| crate::bandwidth::local_repair_bw(dep, 1, f).to_mbs() * 3600.0 / chunk_mb)
                 .collect(),
         }
     }
 
     fn at(&self, failed: u32) -> f64 {
+        // PANICS: callers pass `failed <= d`, the inclusive bound the
+        // vector was built with.
         self.chunks_per_hour[failed as usize]
     }
 }

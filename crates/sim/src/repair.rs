@@ -18,6 +18,7 @@
 use crate::census::prob_cover_all;
 use crate::config::MlecDeployment;
 use mlec_topology::Placement;
+use mlec_units::{Duration, Volume};
 
 /// Repair-method selectors: the paper's four (§2.4) plus the two
 /// beyond-the-paper strategies layered on the [`crate::strategy`] seam.
@@ -99,6 +100,12 @@ impl std::fmt::Display for RepairMethod {
 }
 
 /// Volumes and timings of one catastrophic-pool repair.
+///
+/// This is the *rendering boundary* of the strategy layer: the fields are
+/// suffixed `f64`s (not [`Volume`]/[`Duration`] newtypes) because the plan
+/// feeds straight into figure JSON and CLI tables. All arithmetic that
+/// produces these numbers happens in typed quantities inside
+/// [`crate::strategy::RepairStrategy::plan`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatastrophicRepairPlan {
     /// Bytes (TB) reconstructed via network-level parity.
@@ -120,8 +127,8 @@ pub struct CatastrophicRepairPlan {
 
 impl CatastrophicRepairPlan {
     /// Total wall-clock repair time (the phases run back to back).
-    pub fn total_time_h(&self) -> f64 {
-        self.network_time_h + self.local_time_h
+    pub fn total_time(&self) -> Duration {
+        Duration::from_hours(self.network_time_h + self.local_time_h)
     }
 }
 
@@ -130,12 +137,12 @@ impl CatastrophicRepairPlan {
 pub struct InjectedFailure {
     /// Failed disks (`p_l + 1`).
     pub failed_disks: u32,
-    /// Total failed bytes (TB).
-    pub failed_volume_tb: f64,
+    /// Total failed bytes.
+    pub failed_volume: Volume,
     /// Expected lost local stripes.
     pub lost_stripes: f64,
-    /// Bytes (TB) in lost-stripe failed chunks.
-    pub lost_chunk_volume_tb: f64,
+    /// Bytes in lost-stripe failed chunks.
+    pub lost_chunk_volume: Volume,
     /// Stripes in the pool.
     pub total_stripes: f64,
 }
@@ -146,26 +153,26 @@ pub fn inject_catastrophic(dep: &MlecDeployment) -> InjectedFailure {
     let pools = dep.local_pools();
     let d = pools.pool_size();
     let w = dep.local_width();
-    let chunk_tb = dep.geometry.chunk_kb * 1e3 / 1e12;
+    let chunk = Volume::from_kb(dep.geometry.chunk_kb);
     let pool_chunks = d as f64 * dep.geometry.chunks_per_disk();
     let total_stripes = pool_chunks / w as f64;
-    let failed_volume_tb = f as f64 * dep.geometry.disk_capacity_tb;
+    let failed_volume = f as f64 * Volume::from_tb(dep.geometry.disk_capacity_tb);
 
-    let (lost_stripes, lost_chunk_volume_tb) = match dep.scheme.local {
+    let (lost_stripes, lost_chunk_volume) = match dep.scheme.local {
         // Clustered: every stripe spans the whole pool, so every stripe has
         // all f failed chunks — the entire failed volume is lost-stripe data.
-        Placement::Clustered => (total_stripes, failed_volume_tb),
+        Placement::Clustered => (total_stripes, failed_volume),
         // Declustered: only stripes covering all f failed disks are lost.
         Placement::Declustered => {
             let lost = total_stripes * prob_cover_all(d, w, f);
-            (lost, lost * f as f64 * chunk_tb)
+            (lost, lost * f as f64 * chunk)
         }
     };
     InjectedFailure {
         failed_disks: f,
-        failed_volume_tb,
+        failed_volume,
         lost_stripes,
-        lost_chunk_volume_tb,
+        lost_chunk_volume,
         total_stripes,
     }
 }
@@ -266,7 +273,7 @@ mod tests {
         let fco = plan_catastrophic_repair(&dep(MlecScheme::CD), RepairMethod::Fco);
         let hyb = plan_catastrophic_repair(&dep(MlecScheme::CD), RepairMethod::Hyb);
         assert!(hyb.local_time_h > 0.0);
-        let ratio = hyb.total_time_h() / fco.total_time_h();
+        let ratio = hyb.total_time().to_hours() / fco.total_time().to_hours();
         assert!(ratio > 0.8 && ratio < 1.2, "ratio={ratio}");
     }
 
@@ -277,14 +284,14 @@ mod tests {
         let fco = plan_catastrophic_repair(&dep(MlecScheme::CC), RepairMethod::Fco);
         let min = plan_catastrophic_repair(&dep(MlecScheme::CC), RepairMethod::Min);
         assert!(min.network_time_h < fco.network_time_h);
-        assert!(min.total_time_h() > fco.total_time_h());
+        assert!(min.total_time().to_hours() > fco.total_time().to_hours());
     }
 
     #[test]
     fn injection_census() {
         let inj = inject_catastrophic(&dep(MlecScheme::CD));
         assert_eq!(inj.failed_disks, 4);
-        assert!((inj.failed_volume_tb - 80.0).abs() < 1e-9);
+        assert!((inj.failed_volume.to_tb() - 80.0).abs() < 1e-9);
         // ~553k lost stripes (paper's R_HYB math).
         assert!(
             (inj.lost_stripes - 553_000.0).abs() < 2_000.0,
@@ -292,7 +299,7 @@ mod tests {
             inj.lost_stripes
         );
         let inj_c = inject_catastrophic(&dep(MlecScheme::CC));
-        assert!((inj_c.lost_chunk_volume_tb - 80.0).abs() < 1e-9);
+        assert!((inj_c.lost_chunk_volume.to_tb() - 80.0).abs() < 1e-9);
         assert!((inj_c.lost_stripes - inj_c.total_stripes).abs() < 1e-3);
     }
 

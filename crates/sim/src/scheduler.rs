@@ -13,6 +13,7 @@
 //! exactly (asserted in tests), so the analytic model is the 1-flow special
 //! case of this scheduler.
 
+use mlec_units::{Bandwidth, Volume};
 use std::collections::BTreeMap;
 
 /// Identifier of a capacity-constrained link.
@@ -51,10 +52,11 @@ impl Scheduler {
         Scheduler::default()
     }
 
-    /// Declare a link's capacity in MB/s. Redeclaring replaces it.
-    pub fn set_capacity(&mut self, link: LinkId, mbs: f64) {
-        assert!(mbs > 0.0, "capacity must be positive");
-        self.capacity.insert(link, mbs);
+    /// Declare a link's capacity. Redeclaring replaces it. Stored in MB/s
+    /// (numerically identical to the Flow record's MB-and-seconds space).
+    pub fn set_capacity(&mut self, link: LinkId, bw: Bandwidth) {
+        assert!(bw.to_mbs() > 0.0, "capacity must be positive");
+        self.capacity.insert(link, bw.to_mbs());
     }
 
     /// Add a flow.
@@ -187,13 +189,13 @@ impl Scheduler {
 pub fn paper_links(dep: &crate::config::MlecDeployment) -> Scheduler {
     let mut s = Scheduler::new();
     for rack in 0..dep.geometry.racks {
-        s.set_capacity(LinkId::RackNet(rack), dep.config.rack_repair_bw_mbs());
+        s.set_capacity(LinkId::RackNet(rack), dep.config.rack_repair_bw());
     }
     let pools = dep.local_pools();
     for pool in 0..pools.num_pools() {
         s.set_capacity(
             LinkId::PoolDisks(pool),
-            pools.pool_size() as f64 * dep.config.disk_repair_bw_mbs(),
+            pools.pool_size() as f64 * dep.config.disk_repair_bw(),
         );
     }
     s
@@ -207,9 +209,10 @@ pub fn catastrophic_repair_flow(
     dep: &crate::config::MlecDeployment,
     id: u64,
     target_pool: u32,
-    volume_mb: f64,
+    volume: Volume,
 ) -> Flow {
     use mlec_topology::Placement;
+    let volume_mb = volume.to_mb();
     let pools = dep.local_pools();
     let target_rack = pools.rack_of_pool(target_pool);
     let kn = dep.params.network.k as f64;
@@ -257,8 +260,8 @@ mod tests {
     #[test]
     fn single_flow_gets_bottleneck_rate() {
         let mut s = Scheduler::new();
-        s.set_capacity(LinkId::RackNet(0), 250.0);
-        s.set_capacity(LinkId::RackNet(1), 250.0);
+        s.set_capacity(LinkId::RackNet(0), Bandwidth::from_mbs(250.0));
+        s.set_capacity(LinkId::RackNet(1), Bandwidth::from_mbs(250.0));
         s.add_flow(Flow {
             id: 1,
             volume_mb: 1000.0,
@@ -276,7 +279,7 @@ mod tests {
         for (scheme, expect) in [(MlecScheme::CC, 250.0), (MlecScheme::DC, 1363.6)] {
             let dep = MlecDeployment::paper_default(scheme);
             let mut s = paper_links(&dep);
-            s.add_flow(catastrophic_repair_flow(&dep, 1, 7, 1e6));
+            s.add_flow(catastrophic_repair_flow(&dep, 1, 7, Volume::from_mb(1e6)));
             let rates = s.allocate();
             assert!(
                 (rates[&1] - expect).abs() / expect < 0.01,
@@ -291,8 +294,8 @@ mod tests {
         let dep = MlecDeployment::paper_default(MlecScheme::CC);
         let mut s = paper_links(&dep);
         // Pools 0 and 1 are both in rack 0: their writes share its ingress.
-        s.add_flow(catastrophic_repair_flow(&dep, 1, 0, 1e6));
-        s.add_flow(catastrophic_repair_flow(&dep, 2, 1, 1e6));
+        s.add_flow(catastrophic_repair_flow(&dep, 1, 0, Volume::from_mb(1e6)));
+        s.add_flow(catastrophic_repair_flow(&dep, 2, 1, Volume::from_mb(1e6)));
         let rates = s.allocate();
         assert!((rates[&1] - 125.0).abs() < 1.0, "{rates:?}");
         assert!((rates[&2] - 125.0).abs() < 1.0, "{rates:?}");
@@ -306,8 +309,18 @@ mod tests {
         // Rack group 0 (racks 0..12) and group 1 (racks 12..24).
         let pool_a = 0; // rack 0
         let pool_b = 13 * pools.pools_per_rack(); // rack 13
-        s.add_flow(catastrophic_repair_flow(&dep, 1, pool_a, 1e6));
-        s.add_flow(catastrophic_repair_flow(&dep, 2, pool_b, 1e6));
+        s.add_flow(catastrophic_repair_flow(
+            &dep,
+            1,
+            pool_a,
+            Volume::from_mb(1e6),
+        ));
+        s.add_flow(catastrophic_repair_flow(
+            &dep,
+            2,
+            pool_b,
+            Volume::from_mb(1e6),
+        ));
         let rates = s.allocate();
         assert!((rates[&1] - 250.0).abs() < 1.0, "{rates:?}");
         assert!((rates[&2] - 250.0).abs() < 1.0, "{rates:?}");
@@ -319,8 +332,8 @@ mod tests {
         // saturate at least one link per flow and give equal shares on the
         // shared bottleneck.
         let mut s = Scheduler::new();
-        s.set_capacity(LinkId::RackNet(0), 100.0);
-        s.set_capacity(LinkId::RackNet(1), 300.0);
+        s.set_capacity(LinkId::RackNet(0), Bandwidth::from_mbs(100.0));
+        s.set_capacity(LinkId::RackNet(1), Bandwidth::from_mbs(300.0));
         // Flows 1 and 2 share link 0; flow 3 only uses link 1.
         s.add_flow(Flow {
             id: 1,
@@ -347,7 +360,7 @@ mod tests {
     #[test]
     fn drain_orders_completions_correctly() {
         let mut s = Scheduler::new();
-        s.set_capacity(LinkId::RackNet(0), 100.0);
+        s.set_capacity(LinkId::RackNet(0), Bandwidth::from_mbs(100.0));
         s.add_flow(Flow {
             id: 1,
             volume_mb: 100.0,
@@ -377,7 +390,7 @@ mod tests {
                 &dep,
                 i,
                 (i as u32) * 37 % 2880,
-                1e6,
+                Volume::from_mb(1e6),
             ));
         }
         let rates = s.allocate();
@@ -393,9 +406,9 @@ mod tests {
             let cap = match l {
                 LinkId::RackNet(r) => {
                     let _ = r;
-                    dep.config.rack_repair_bw_mbs()
+                    dep.config.rack_repair_bw().to_mbs()
                 }
-                LinkId::PoolDisks(_) => 20.0 * dep.config.disk_repair_bw_mbs(),
+                LinkId::PoolDisks(_) => 20.0 * dep.config.disk_repair_bw().to_mbs(),
             };
             assert!(used <= cap + 1e-6, "{l:?}: {used} > {cap}");
         }
@@ -404,7 +417,7 @@ mod tests {
     #[test]
     fn remove_flow_frees_capacity() {
         let mut s = Scheduler::new();
-        s.set_capacity(LinkId::RackNet(0), 100.0);
+        s.set_capacity(LinkId::RackNet(0), Bandwidth::from_mbs(100.0));
         s.add_flow(Flow {
             id: 1,
             volume_mb: 1.0,

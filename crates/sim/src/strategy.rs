@@ -31,47 +31,48 @@
 //!   a `γ = 1/2 + 1/(2f)` fraction of the helper bytes crosses racks, at
 //!   the cost of extra same-rack reads.
 
-use crate::bandwidth::{catastrophic_pool_repair_bw_mbs, hours_to_move, local_repair_bw_mbs};
+use crate::bandwidth::{catastrophic_pool_repair_bw, local_repair_bw, time_to_move};
 use crate::config::MlecDeployment;
 use crate::repair::{CatastrophicRepairPlan, InjectedFailure, RepairMethod};
+use mlec_units::Volume;
 
 /// The volume split a strategy assigns to one catastrophic-pool repair.
 ///
-/// All fields are in TB. The shared accounting tail
-/// ([`RepairStrategy::plan`]) derives traffic and times from this split.
+/// The shared accounting tail ([`RepairStrategy::plan`]) derives traffic
+/// and times from this split.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepairSplit {
     /// Bytes reconstructed via network-level parity.
-    pub network_volume_tb: f64,
+    pub network_volume: Volume,
     /// Bytes that cross rack boundaries per `(k_n reads + 1 write)`
-    /// accounting unit. Equal to `network_volume_tb` for every strategy
+    /// accounting unit. Equal to `network_volume` for every strategy
     /// that ships full helper chunks (the four paper methods and `R_LAYER`);
     /// smaller for piggybacked schedules.
-    pub wire_volume_tb: f64,
+    pub wire_volume: Volume,
     /// Bytes reconstructed by the local repairer.
-    pub local_volume_tb: f64,
+    pub local_volume: Volume,
     /// Failed chunks per stripe the local repairer rebuilds (drives the
     /// Table 2 local-bandwidth model; `0` means "no local phase").
     pub local_chunks_per_stripe: u32,
     /// Extra same-rack companion reads (beyond the cross-rack helper
     /// bytes) the strategy spends to reduce wire volume. Zero for the
     /// four paper methods.
-    pub local_read_extra_tb: f64,
+    pub local_read_extra: Volume,
 }
 
 impl RepairSplit {
     /// A split where every helper byte crosses racks (paper methods).
     fn full_wire(
-        network_volume_tb: f64,
-        local_volume_tb: f64,
+        network_volume: Volume,
+        local_volume: Volume,
         local_chunks_per_stripe: u32,
     ) -> Self {
         RepairSplit {
-            network_volume_tb,
-            wire_volume_tb: network_volume_tb,
-            local_volume_tb,
+            network_volume,
+            wire_volume: network_volume,
+            local_volume,
             local_chunks_per_stripe,
-            local_read_extra_tb: 0.0,
+            local_read_extra: Volume::ZERO,
         }
     }
 }
@@ -103,7 +104,7 @@ pub trait RepairStrategy: Sync {
 
     /// Cross-rack transfers per wire byte: `k_n` helper reads plus the
     /// rebuilt-chunk write. Strategies that reduce traffic do so by
-    /// shrinking [`RepairStrategy::split`]'s `wire_volume_tb`, not this
+    /// shrinking [`RepairStrategy::split`]'s `wire_volume`, not this
     /// factor, so the `(k_n + 1)` accounting stays comparable across
     /// methods.
     fn cross_rack_transfers_per_byte(&self, dep: &MlecDeployment) -> f64 {
@@ -119,22 +120,22 @@ pub trait RepairStrategy: Sync {
     /// `plan_catastrophic_repair` so the four paper ports stay bit-exact.
     fn plan(&self, dep: &MlecDeployment, injected: &InjectedFailure) -> CatastrophicRepairPlan {
         let split = self.split(dep, injected);
-        let cross_rack_traffic_tb = split.wire_volume_tb * self.cross_rack_transfers_per_byte(dep);
-        let network_time_h = dep.config.detection_hours
-            + hours_to_move(split.wire_volume_tb, catastrophic_pool_repair_bw_mbs(dep));
-        let local_bw = local_repair_bw_mbs(
+        let cross_rack_traffic = split.wire_volume * self.cross_rack_transfers_per_byte(dep);
+        let network_time = dep.config.detection()
+            + time_to_move(split.wire_volume, catastrophic_pool_repair_bw(dep));
+        let local_bw = local_repair_bw(
             dep,
             split.local_chunks_per_stripe.max(1),
             injected.failed_disks,
         );
-        let local_time_h = hours_to_move(split.local_volume_tb, local_bw);
+        let local_time = time_to_move(split.local_volume, local_bw);
         CatastrophicRepairPlan {
-            network_volume_tb: split.network_volume_tb,
-            local_volume_tb: split.local_volume_tb,
-            cross_rack_traffic_tb,
-            network_time_h,
-            local_time_h,
-            local_read_extra_tb: split.local_read_extra_tb,
+            network_volume_tb: split.network_volume.to_tb(),
+            local_volume_tb: split.local_volume.to_tb(),
+            cross_rack_traffic_tb: cross_rack_traffic.to_tb(),
+            network_time_h: network_time.to_hours(),
+            local_time_h: local_time.to_hours(),
+            local_read_extra_tb: split.local_read_extra.to_tb(),
         }
     }
 }
@@ -142,11 +143,11 @@ pub trait RepairStrategy: Sync {
 /// `R_MIN`'s stage-1 network volume: the minimal decode-across bytes that
 /// make every lost stripe locally recoverable (`f − p_l` chunks per lost
 /// stripe). Shared by [`RMin`] and [`RLayer`].
-fn min_stage1_network_tb(dep: &MlecDeployment, injected: &InjectedFailure) -> f64 {
-    let chunk_tb = dep.geometry.chunk_kb * 1e3 / 1e12;
+fn min_stage1_network(dep: &MlecDeployment, injected: &InjectedFailure) -> Volume {
+    let chunk = Volume::from_kb(dep.geometry.chunk_kb);
     let pl = dep.params.local.p as f64;
     let per_stripe = (injected.failed_disks as f64 - pl).max(0.0);
-    injected.lost_stripes * per_stripe * chunk_tb
+    injected.lost_stripes * per_stripe * chunk
 }
 
 /// `R_ALL`: rebuild the entire local pool over the network.
@@ -162,8 +163,8 @@ impl RepairStrategy for RAll {
     }
 
     fn split(&self, dep: &MlecDeployment, _injected: &InjectedFailure) -> RepairSplit {
-        let pool_capacity_tb = dep.local_pools().pool_capacity_tb();
-        RepairSplit::full_wire(pool_capacity_tb, 0.0, 0)
+        let pool_capacity = Volume::from_tb(dep.local_pools().pool_capacity_tb());
+        RepairSplit::full_wire(pool_capacity, Volume::ZERO, 0)
     }
 }
 
@@ -176,7 +177,7 @@ impl RepairStrategy for RFco {
     }
 
     fn split(&self, _dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit {
-        RepairSplit::full_wire(injected.failed_volume_tb, 0.0, 0)
+        RepairSplit::full_wire(injected.failed_volume, Volume::ZERO, 0)
     }
 }
 
@@ -191,8 +192,8 @@ impl RepairStrategy for RHyb {
 
     fn split(&self, _dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit {
         RepairSplit::full_wire(
-            injected.lost_chunk_volume_tb,
-            injected.failed_volume_tb - injected.lost_chunk_volume_tb,
+            injected.lost_chunk_volume,
+            injected.failed_volume - injected.lost_chunk_volume,
             1,
         )
     }
@@ -208,10 +209,10 @@ impl RepairStrategy for RMin {
     }
 
     fn split(&self, dep: &MlecDeployment, injected: &InjectedFailure) -> RepairSplit {
-        let network = min_stage1_network_tb(dep, injected);
+        let network = min_stage1_network(dep, injected);
         RepairSplit::full_wire(
             network,
-            injected.failed_volume_tb - network,
+            injected.failed_volume - network,
             dep.params.local.p as u32,
         )
     }
@@ -238,20 +239,20 @@ impl RepairStrategy for RLayer {
         let kn = dep.params.network.k as f64;
         // Aggregated partials for lost stripes: the minimal decode-across
         // volume, produced by in-rack gather of the k_n helper reads.
-        let aggregated = min_stage1_network_tb(dep, injected);
+        let aggregated = min_stage1_network(dep, injected);
         // Recoverable failed chunks ship directly (their stripes still have
         // ≤ p_l failures, but streaming them network-side frees the local
         // repairer for the lost-stripe re-expansion).
-        let direct = injected.failed_volume_tb - injected.lost_chunk_volume_tb;
+        let direct = injected.failed_volume - injected.lost_chunk_volume;
         let network = aggregated + direct;
         RepairSplit {
-            network_volume_tb: network,
-            wire_volume_tb: network,
-            local_volume_tb: injected.lost_chunk_volume_tb - aggregated,
+            network_volume: network,
+            wire_volume: network,
+            local_volume: injected.lost_chunk_volume - aggregated,
             local_chunks_per_stripe: dep.params.local.p as u32,
             // The in-rack gather still reads k_n helper bytes per
             // aggregated byte; they just never cross a rack boundary.
-            local_read_extra_tb: aggregated * kn,
+            local_read_extra: aggregated * kn,
         }
     }
 }
@@ -279,14 +280,14 @@ impl RepairStrategy for RPiggy {
         // injected f = p_l + 1 failures this is always ≥ 1/f, so R_PIGGY
         // never undercuts R_MIN's minimal decode volume.
         let gamma = 0.5 + 1.0 / (2.0 * f);
-        let direct = injected.failed_volume_tb - injected.lost_chunk_volume_tb;
-        let wire = gamma * injected.lost_chunk_volume_tb + direct;
+        let direct = injected.failed_volume - injected.lost_chunk_volume;
+        let wire = gamma * injected.lost_chunk_volume + direct;
         RepairSplit {
-            network_volume_tb: injected.failed_volume_tb,
-            wire_volume_tb: wire,
-            local_volume_tb: 0.0,
+            network_volume: injected.failed_volume,
+            wire_volume: wire,
+            local_volume: Volume::ZERO,
             local_chunks_per_stripe: 0,
-            local_read_extra_tb: (1.0 - gamma) * kn * injected.lost_chunk_volume_tb,
+            local_read_extra: (1.0 - gamma) * kn * injected.lost_chunk_volume,
         }
     }
 }
@@ -402,7 +403,7 @@ mod tests {
                 let plan = plan_catastrophic_repair(&dep, method);
                 let total = plan.network_volume_tb + plan.local_volume_tb;
                 assert!(
-                    (total - injected.failed_volume_tb).abs() < 1e-6,
+                    (total - injected.failed_volume.to_tb()).abs() < 1e-6,
                     "{scheme} {method}: {total}"
                 );
             }

@@ -34,6 +34,7 @@ use crate::kernel::{ArrivalSource, HazardKernel, NoopObserver, SimObserver};
 use crate::repair::{inject_catastrophic, RepairMethod};
 use crate::strategy::RepairStrategy;
 use mlec_topology::Placement;
+use mlec_units::Volume;
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -265,10 +266,10 @@ fn run_system<O: SimObserver>(
         1.0
     };
 
-    let disk_repair_h = dep.config.detection_hours
-        + dep.geometry.disk_capacity_tb * 1e6
-            / crate::bandwidth::single_disk_repair_bw_mbs(dep)
-            / 3600.0;
+    let disk_repair_h = (dep.config.detection()
+        + Volume::from_tb(dep.geometry.disk_capacity_tb)
+            .transfer_time_mb(crate::bandwidth::single_disk_repair_bw(dep)))
+    .to_hours();
 
     let mut states: BTreeMap<u32, PoolState> = BTreeMap::new();
     // Catastrophic pools under network repair. Entries are removed by their
@@ -355,7 +356,7 @@ fn run_system<O: SimObserver>(
                 // Advance the pool's drain to `now`.
                 if census.failed_chunks() > 0.5 {
                     let f = census.failed_disks();
-                    let bw = crate::bandwidth::local_repair_bw_mbs(dep, 1, f);
+                    let bw = crate::bandwidth::local_repair_bw(dep, 1, f).to_mbs();
                     let cph = bw * 3600.0 / chunk_mb;
                     let start = drain_paused_until.max(*last_advanced);
                     if now > start {

@@ -259,6 +259,7 @@ pub fn synthesize_rules(geometry: &Geometry, rules: &[FailureRule], seed: u64) -
             events.push(TraceEvent {
                 time_h: t,
                 disk: *disks
+                    // PANICS: `gen_range(0..disks.len())` requires a non-empty selection and yields an in-range index.
                     .get(rng.gen_range(0..disks.len()))
                     .expect("non-empty selection"),
             });
@@ -282,6 +283,7 @@ pub fn detect_bursts(
         if let Some(last) = current.last() {
             if e.time_h - last.time_h > window_h {
                 if current.len() >= min_size {
+                    // PANICS: guarded by `current.len() >= min_size` with `min_size >= 1` (a burst has at least one event).
                     bursts.push((current[0].time_h, current.iter().map(|x| x.disk).collect()));
                 }
                 current.clear();
@@ -290,6 +292,7 @@ pub fn detect_bursts(
         current.push(e);
     }
     if current.len() >= min_size {
+        // PANICS: same guard as above: `current.len() >= min_size >= 1`.
         bursts.push((current[0].time_h, current.iter().map(|x| x.disk).collect()));
     }
     bursts
@@ -308,6 +311,7 @@ pub fn shuffle_disks(trace: &FailureTrace, geometry: &Geometry, seed: u64) -> Fa
             .iter()
             .map(|e| TraceEvent {
                 time_h: e.time_h,
+                // PANICS: the modulo keeps the index in bounds; `total_disks()` is nonzero for any valid geometry.
                 disk: disks[e.disk as usize % disks.len()],
             })
             .collect(),

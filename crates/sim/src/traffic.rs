@@ -7,71 +7,81 @@
 //! network when a local pool goes catastrophic — which is why its repair
 //! traffic is "a few TB every thousand of years" instead of "hundreds of TB
 //! every day".
+//!
+//! Traffic is returned as a [`Volume`] (per day or per year as each
+//! function documents); rates come in as [`Rate`] so hours-vs-years mixups
+//! are unrepresentable.
 
-use crate::config::{MlecDeployment, SimConfig, HOURS_PER_YEAR};
+use crate::config::{MlecDeployment, SimConfig};
 use crate::repair::{inject_catastrophic, RepairMethod};
 use crate::strategy::RepairStrategy;
 use mlec_ec::LrcParams;
 use mlec_topology::Geometry;
+use mlec_units::{Rate, Volume};
 
-/// Expected disk failures per day in the whole system.
-pub fn failures_per_day(geometry: &Geometry, config: &SimConfig) -> f64 {
-    geometry.total_disks() as f64 * config.afr / (HOURS_PER_YEAR / 24.0)
+/// Expected disk-failure rate of the whole system.
+pub fn system_disk_failure_rate(geometry: &Geometry, config: &SimConfig) -> Rate {
+    Rate::from_per_year(geometry.total_disks() as f64 * config.afr)
 }
 
-/// Daily cross-rack repair traffic of a network SLEC `(k + p)` in TB/day:
+/// Daily cross-rack repair traffic of a network SLEC `(k + p)`:
 /// every disk repair reads `k` chunks and writes 1 chunk across racks.
-pub fn net_slec_daily_traffic_tb(geometry: &Geometry, config: &SimConfig, k: usize) -> f64 {
-    failures_per_day(geometry, config) * geometry.disk_capacity_tb * (k as f64 + 1.0)
+pub fn net_slec_daily_traffic(geometry: &Geometry, config: &SimConfig, k: usize) -> Volume {
+    system_disk_failure_rate(geometry, config).to_per_day()
+        * Volume::from_tb(geometry.disk_capacity_tb)
+        * (k as f64 + 1.0)
 }
 
 /// Daily cross-rack repair traffic of a local SLEC: zero — all repair I/O
 /// stays inside the enclosure. (Rack-level failures are not repairable at
 /// all, which is the durability price Fig 13a/b shows.)
-pub fn local_slec_daily_traffic_tb() -> f64 {
-    0.0
+pub fn local_slec_daily_traffic() -> Volume {
+    Volume::ZERO
 }
 
-/// Daily cross-rack repair traffic of a declustered LRC in TB/day.
+/// Daily cross-rack repair traffic of a declustered LRC.
 ///
 /// Chunks are spread one-per-rack, so every repair crosses racks. A data or
 /// local-parity chunk is repaired from its local group (`k/l` reads); a
 /// global parity needs a full decode (`k` reads).
-pub fn lrc_daily_traffic_tb(geometry: &Geometry, config: &SimConfig, params: LrcParams) -> f64 {
+pub fn lrc_daily_traffic(geometry: &Geometry, config: &SimConfig, params: LrcParams) -> Volume {
     let n = params.width() as f64;
     let group_reads = (params.k as f64 / params.l as f64).ceil();
     let avg_reads =
         ((params.k + params.l) as f64 * group_reads + params.r as f64 * params.k as f64) / n;
-    failures_per_day(geometry, config) * geometry.disk_capacity_tb * (avg_reads + 1.0)
+    system_disk_failure_rate(geometry, config).to_per_day()
+        * Volume::from_tb(geometry.disk_capacity_tb)
+        * (avg_reads + 1.0)
 }
 
-/// Yearly cross-rack repair traffic of MLEC in TB/year, given the system's
-/// catastrophic-local-pool rate (events per system-year, from simulation or
-/// the analytic chain) and the repair method.
-pub fn mlec_yearly_traffic_tb(
+/// Yearly cross-rack repair traffic of MLEC, given the system's
+/// catastrophic-local-pool rate (from simulation or the analytic chain)
+/// and the repair method.
+pub fn mlec_yearly_traffic(
     dep: &MlecDeployment,
     method: RepairMethod,
-    catastrophic_rate_per_system_year: f64,
-) -> f64 {
-    mlec_yearly_traffic_strategy_tb(dep, method.strategy(), catastrophic_rate_per_system_year)
+    catastrophic_rate: Rate,
+) -> Volume {
+    mlec_yearly_traffic_strategy(dep, method.strategy(), catastrophic_rate)
 }
 
-/// [`mlec_yearly_traffic_tb`] with the repair behaviour supplied as a
+/// [`mlec_yearly_traffic`] with the repair behaviour supplied as a
 /// [`RepairStrategy`] object (pluggable strategies, e.g. from
 /// [`crate::strategy::STRATEGIES`]).
-pub fn mlec_yearly_traffic_strategy_tb(
+pub fn mlec_yearly_traffic_strategy(
     dep: &MlecDeployment,
     strategy: &dyn RepairStrategy,
-    catastrophic_rate_per_system_year: f64,
-) -> f64 {
+    catastrophic_rate: Rate,
+) -> Volume {
     let injected = inject_catastrophic(dep);
-    let per_event = strategy.plan(dep, &injected).cross_rack_traffic_tb;
-    catastrophic_rate_per_system_year * per_event
+    let per_event = Volume::from_tb(strategy.plan(dep, &injected).cross_rack_traffic_tb);
+    catastrophic_rate.to_per_year() * per_event
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::HOURS_PER_YEAR;
     use mlec_topology::MlecScheme;
 
     #[test]
@@ -79,8 +89,13 @@ mod tests {
         let g = Geometry::paper_default();
         let c = SimConfig::paper_default();
         // 57,600 disks at 1% AFR ≈ 1.58 failures/day.
-        let f = failures_per_day(&g, &c);
+        let f = system_disk_failure_rate(&g, &c).to_per_day();
         assert!((f - 1.577).abs() < 0.01, "f={f}");
+        // Bit-identical to the historical inline expression.
+        assert_eq!(
+            f.to_bits(),
+            (g.total_disks() as f64 * c.afr / (HOURS_PER_YEAR / 24.0)).to_bits()
+        );
     }
 
     #[test]
@@ -89,7 +104,7 @@ mod tests {
         // network traffic every day".
         let g = Geometry::paper_default();
         let c = SimConfig::paper_default();
-        let daily = net_slec_daily_traffic_tb(&g, &c, 7);
+        let daily = net_slec_daily_traffic(&g, &c, 7).to_tb();
         assert!(daily > 100.0 && daily < 500.0, "daily={daily}");
     }
 
@@ -100,8 +115,8 @@ mod tests {
         // SLEC — LRC must move less.
         let g = Geometry::paper_default();
         let c = SimConfig::paper_default();
-        let lrc = lrc_daily_traffic_tb(&g, &c, LrcParams::new(14, 2, 4));
-        let slec = net_slec_daily_traffic_tb(&g, &c, 14);
+        let lrc = lrc_daily_traffic(&g, &c, LrcParams::new(14, 2, 4)).to_tb();
+        let slec = net_slec_daily_traffic(&g, &c, 14).to_tb();
         assert!(lrc < slec, "lrc={lrc} slec={slec}");
         // ...but still a lot in absolute terms ("every repair still needs to
         // read and write over the network").
@@ -114,17 +129,19 @@ mod tests {
         // With a catastrophic rate of ~1e-5/system-year and R_MIN's 220 TB
         // per event, yearly traffic is ~2e-3 TB.
         let dep = MlecDeployment::paper_default(MlecScheme::CC);
-        let yearly = mlec_yearly_traffic_tb(&dep, RepairMethod::Min, 1e-5);
+        let yearly =
+            mlec_yearly_traffic(&dep, RepairMethod::Min, Rate::from_per_year(1e-5)).to_tb();
         assert!(yearly < 0.01, "yearly={yearly}");
         // Versus SLEC's ~92,000 TB/year: >7 orders of magnitude apart.
         let slec_yearly =
-            net_slec_daily_traffic_tb(&Geometry::paper_default(), &SimConfig::paper_default(), 7)
+            net_slec_daily_traffic(&Geometry::paper_default(), &SimConfig::paper_default(), 7)
+                .to_tb()
                 * 365.25;
         assert!(slec_yearly / yearly > 1e6);
     }
 
     #[test]
     fn local_slec_is_free_of_network_traffic() {
-        assert_eq!(local_slec_daily_traffic_tb(), 0.0);
+        assert_eq!(local_slec_daily_traffic(), Volume::ZERO);
     }
 }

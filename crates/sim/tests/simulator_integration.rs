@@ -39,7 +39,7 @@ fn repair_plans_are_internally_consistent() {
             // Chunk-level methods never move more than the failed bytes over
             // the network.
             if method != RepairMethod::All {
-                assert!(plan.network_volume_tb <= injected.failed_volume_tb + 1e-9);
+                assert!(plan.network_volume_tb <= injected.failed_volume.to_tb() + 1e-9);
             }
             // Times are non-negative and network time includes detection.
             assert!(plan.network_time_h >= dep.config.detection_hours);
@@ -162,7 +162,7 @@ fn injection_census_bounds() {
     for scheme in MlecScheme::ALL {
         let dep = paper(scheme);
         let injected = inject_catastrophic(&dep);
-        assert!(injected.lost_chunk_volume_tb <= injected.failed_volume_tb + 1e-9);
+        assert!(injected.lost_chunk_volume.to_tb() <= injected.failed_volume.to_tb() + 1e-9);
         assert!(injected.lost_stripes <= injected.total_stripes);
         assert!(injected.lost_stripes > 0.0);
     }

@@ -75,7 +75,7 @@ fn strategies_stay_inside_traffic_envelope_and_conserve_volume() {
                     // Every field is finite and non-negative (up to the
                     // census's float noise, ~1e-15 of the failed volume);
                     // the network stage always pays the detection delay.
-                    let noise = 1e-9 * injected.failed_volume_tb.max(1.0);
+                    let noise = 1e-9 * injected.failed_volume.to_tb().max(1.0);
                     for (name, v) in [
                         ("network_volume_tb", plan.network_volume_tb),
                         ("local_volume_tb", plan.local_volume_tb),
@@ -109,16 +109,57 @@ fn strategies_stay_inside_traffic_envelope_and_conserve_volume() {
                     if strategy.has_chunk_knowledge() {
                         let total = plan.network_volume_tb + plan.local_volume_tb;
                         assert!(
-                            (total - injected.failed_volume_tb).abs()
-                                <= 1e-9 * injected.failed_volume_tb.max(1.0),
+                            (total - injected.failed_volume.to_tb()).abs()
+                                <= 1e-9 * injected.failed_volume.to_tb().max(1.0),
                             "{ctx} {method}: network {} + local {} != failed {}",
                             plan.network_volume_tb,
                             plan.local_volume_tb,
-                            injected.failed_volume_tb
+                            injected.failed_volume.to_tb()
                         );
                     }
                 }
             }
         }
     }
+}
+
+/// Regression pin for the staged `T_s = volume / bandwidth` accounting on
+/// the paper's C/C deployment (Table 2 bandwidths, Fig 6 times). The
+/// hand-derived values:
+///
+/// - `R_ALL`: the whole 400 TB pool crosses racks; at the 250 MB/s
+///   (= 0.9 TB/h) catastrophic bandwidth that is 0.5 h detection +
+///   400/0.9 h ≈ 444.94 h, with no local phase.
+/// - `R_LAYER`: stage 1 aggregates 20 TB over the network
+///   (0.5 + 20/0.9 ≈ 22.72 h), then rebuilds the remaining 60 TB locally
+///   at 120 MB/s (= 0.432 TB/h): 60/0.432 ≈ 138.89 h.
+///
+/// Both times must also equal the typed `Volume / Bandwidth` quotient
+/// exactly — the plan's escape-hatch fields and the mlec-units algebra
+/// are the same arithmetic.
+#[test]
+fn staged_time_accounting_matches_volume_over_bandwidth() {
+    use mlec_sim::bandwidth::catastrophic_pool_repair_bw;
+    use mlec_units::{Duration, Volume};
+
+    let dep = MlecDeployment::paper_default(MlecScheme::CC);
+    let injected = inject_catastrophic(&dep);
+
+    let all = RepairMethod::All.strategy().plan(&dep, &injected);
+    assert!((all.network_volume_tb - 400.0).abs() < 1e-9);
+    assert!((all.network_time_h - (0.5 + 400.0 / 0.9)).abs() < 1e-9);
+    assert!((all.network_time_h - 444.944).abs() < 1e-2);
+    assert_eq!(all.local_time_h, 0.0);
+
+    let layer = RepairMethod::Layer.strategy().plan(&dep, &injected);
+    assert!((layer.network_volume_tb - 20.0).abs() < 1e-9);
+    assert!((layer.local_volume_tb - 60.0).abs() < 1e-9);
+    assert!((layer.network_time_h - (0.5 + 20.0 / 0.9)).abs() < 1e-9);
+    assert!((layer.local_time_h - 60.0 / 0.432).abs() < 1e-9);
+
+    // The typed algebra reproduces the plan's staged accounting bitwise:
+    // detection + wire / catastrophic_bw.
+    let typed: Duration = dep.config.detection()
+        + Volume::from_tb(all.network_volume_tb) / catastrophic_pool_repair_bw(&dep);
+    assert_eq!(typed.to_hours().to_bits(), all.network_time_h.to_bits());
 }

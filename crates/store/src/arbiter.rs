@@ -33,6 +33,7 @@
 
 use mlec_sim::SimConfig;
 use mlec_topology::{DiskId, Geometry, RackId};
+use mlec_units::Bandwidth;
 use std::collections::BTreeMap;
 
 /// Who is asking for bandwidth (accounting only; both lanes share clocks).
@@ -48,10 +49,10 @@ pub enum Lane {
 /// rates, seek cost, and the repair throttle as an exact rational.
 #[derive(Debug, Clone, Copy)]
 pub struct RateCard {
-    /// Disk throughput in bytes per virtual microsecond (= MB/s).
-    disk_bytes_per_us: f64,
-    /// Rack uplink throughput in bytes per virtual microsecond.
-    rack_bytes_per_us: f64,
+    /// Disk throughput; MB/s is numerically bytes per virtual microsecond.
+    disk_rate: Bandwidth,
+    /// Rack uplink throughput.
+    rack_rate: Bandwidth,
     /// Fixed per-I/O positioning cost on a disk, µs.
     seek_us: u64,
     /// Repair throttle fraction as a reduced rational `num/den`.
@@ -76,9 +77,8 @@ impl RateCard {
         let den = 1_000_000_000u64;
         let g = gcd(num, den);
         RateCard {
-            // MB/s is numerically bytes/µs.
-            disk_bytes_per_us: sim.disk_bw_mbs,
-            rack_bytes_per_us: sim.rack_net_gbps * 1e9 / 8.0 / 1e6,
+            disk_rate: Bandwidth::from_mbs(sim.disk_bw_mbs),
+            rack_rate: Bandwidth::from_gbps(sim.rack_net_gbps),
             seek_us,
             repair_num: num / g,
             repair_den: den / g,
@@ -87,12 +87,12 @@ impl RateCard {
 
     /// Duration of one disk I/O of `bytes`, µs (seek + transfer).
     pub fn disk_io_us(&self, bytes: usize) -> u64 {
-        self.seek_us + (bytes as f64 / self.disk_bytes_per_us).ceil() as u64
+        self.seek_us + (bytes as f64 / self.disk_rate.bytes_per_us()).ceil() as u64
     }
 
     /// Duration of one uplink transfer of `bytes`, µs.
     pub fn rack_xfer_us(&self, bytes: usize) -> u64 {
-        (bytes as f64 / self.rack_bytes_per_us).ceil() as u64
+        (bytes as f64 / self.rack_rate.bytes_per_us()).ceil() as u64
     }
 
     /// Pacing gap the repair scheduler must leave idle after occupying a
@@ -233,6 +233,7 @@ impl ShardedArbiter {
     /// completion time. The disk is busy until then.
     pub fn disk_io(&mut self, disk: DiskId, bytes: usize, now: u64, lane: Lane) -> u64 {
         let rack = self.rack_of(disk) as usize;
+        // PANICS: `rack_of` maps any disk id into `0..racks`, the clock-shard count.
         self.clocks[rack].disk_io(&self.rates, disk, bytes, now, lane)
     }
 
@@ -240,6 +241,7 @@ impl ShardedArbiter {
     /// starting no earlier than `now`; returns the completion time.
     pub fn rack_xfer(&mut self, rack: RackId, bytes: usize, now: u64) -> u64 {
         let rack = (rack as usize).min(self.clocks.len() - 1);
+        // PANICS: the index was just clamped to `clocks.len() - 1`, and the arbiter always has at least one rack clock.
         self.clocks[rack].rack_xfer(&self.rates, bytes, now)
     }
 

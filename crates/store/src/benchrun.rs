@@ -289,6 +289,7 @@ fn apply_serial_op<B: ChunkBackend>(
     let (latency_us, degraded, chunks_read) = match op.kind {
         OpKind::Put => {
             tally.puts += 1;
+            // PANICS: the prepare pass builds a stripe for every Put before replay starts.
             let stripe = prep.stripe.as_ref().expect("puts are prepared");
             let res = store.put_encoded(op.object, stripe, op.at_us)?;
             (res.latency_us, false, 0)
@@ -360,8 +361,11 @@ fn flush_epoch<'a, B: ChunkBackend + Send>(
     store.apply_epoch(queues, shards, ends)?;
     let done_at = store.repair().done_at();
     for (i, &slot) in pending.iter().enumerate() {
+        // PANICS: `pending` holds slot indices handed out by this replay loop; both vectors are sized to the trace.
         let op = prepared[slot].op;
+        // PANICS: `slot < outcomes.len()` (sized to the trace up front).
         outcomes[slot] = Some(Outcome {
+            // PANICS: `apply_epoch` returns one end time per pending sub-op batch, index-aligned with `pending`.
             latency_us: ends[i] - op.at_us,
             degraded: false,
             chunks_read: 0,
@@ -395,6 +399,7 @@ fn run_inner<B: ChunkBackend + Send>(
         let chunks: Vec<&[u8]> = payload.chunks(chunk_bytes).collect();
         codec
             .encode(&chunks)
+            // PANICS: the chunk split uses the codec's exact payload geometry; encode cannot reject it.
             .expect("payload length is exact by construction")
     };
     let stopwatch = spec.timing.then(crate::stopwatch::Stopwatch::start);
@@ -529,6 +534,7 @@ fn run_inner<B: ChunkBackend + Send>(
                     &mut tally,
                     &mut pending_verified,
                 )?;
+                // PANICS: `slot` enumerates `prepared`, and `outcomes` is sized to match.
                 outcomes[slot] = Some(apply_serial_op(
                     &mut store,
                     prep,
@@ -549,14 +555,17 @@ fn run_inner<B: ChunkBackend + Send>(
                 OpKind::Put => {
                     tally.puts += 1;
                     store.commit_put_version(op.object);
+                    // PANICS: the prepare pass builds a stripe for every Put before replay starts.
                     let stripe = prep.stripe.as_ref().expect("puts are prepared");
                     for row in 0..nw {
                         let rack = store.rack_of_row(op.object, row) as usize;
+                        // PANICS: `rack_of_row` maps into `0..racks`, the `by_rack` queue count.
                         queues.by_rack[rack].push(SubOp {
                             slot: pending.len() as u32,
                             obj: op.object,
                             row,
                             start,
+                            // PANICS: `row < nw`, the stripe's row count.
                             action: SubAction::Put(&stripe[row as usize]),
                         });
                     }
@@ -565,6 +574,7 @@ fn run_inner<B: ChunkBackend + Send>(
                     tally.gets += 1;
                     if !store.exists(op.object) {
                         tally.misses += 1;
+                        // PANICS: `slot` enumerates `prepared`, and `outcomes` is sized to match.
                         outcomes[slot] = Some(Outcome {
                             latency_us: overhead,
                             degraded: false,
@@ -581,7 +591,9 @@ fn run_inner<B: ChunkBackend + Send>(
                         let verify = prep
                             .expected
                             .as_ref()
+                            // PANICS: the expected buffer spans `nw * row_bytes` by construction, covering every row slice.
                             .map(|e| &e[row as usize * row_bytes..(row as usize + 1) * row_bytes]);
+                        // PANICS: `rack_of_row` maps into `0..racks`, the `by_rack` queue count.
                         queues.by_rack[rack].push(SubOp {
                             slot: pending.len() as u32,
                             obj: op.object,
@@ -595,6 +607,7 @@ fn run_inner<B: ChunkBackend + Send>(
                     tally.deletes += 1;
                     if !store.commit_delete(op.object) {
                         tally.misses += 1;
+                        // PANICS: `slot` enumerates `prepared`, and `outcomes` is sized to match.
                         outcomes[slot] = Some(Outcome {
                             latency_us: overhead,
                             degraded: false,
@@ -605,6 +618,7 @@ fn run_inner<B: ChunkBackend + Send>(
                     }
                     for row in 0..nw {
                         let rack = store.rack_of_row(op.object, row) as usize;
+                        // PANICS: `rack_of_row` maps into `0..racks`, the `by_rack` queue count.
                         queues.by_rack[rack].push(SubOp {
                             slot: pending.len() as u32,
                             obj: op.object,
@@ -634,6 +648,7 @@ fn run_inner<B: ChunkBackend + Send>(
         // Stitch: record histograms and the op log in trace-index order.
         let mut records: Vec<OpRecord> = Vec::with_capacity(if oplog.is_some() { n } else { 0 });
         for (slot, prep) in prepared.iter().enumerate() {
+            // PANICS: every trace slot was filled exactly once by the replay loop above.
             let oc = outcomes[slot].take().expect("every op resolves an outcome");
             hists.entry(oc.phase).or_default().record(oc.latency_us);
             if oplog.is_some() {

@@ -143,11 +143,13 @@ impl<B: ChunkBackend + Send> MlecStore<B> {
             if queue.is_empty() {
                 continue;
             }
+            // PANICS: `% shards` keeps the index in range; `shard_work` was built with `shards` buckets.
             shard_work[rack % shards].push((clock, lane, queue.as_slice()));
         }
 
         let mut merge = |outs: Vec<(u32, u64)>| {
             for (slot, end) in outs {
+                // PANICS: sub-op `slot`s were assigned from `0..ends.len()` when the epoch was queued.
                 let e = &mut ends[slot as usize];
                 *e = (*e).max(end);
             }
@@ -200,6 +202,7 @@ impl<B: ChunkBackend + Send> MlecStore<B> {
                 .collect();
             handles
                 .into_iter()
+                // PANICS: a panicked shard worker means a poisoned epoch; re-raising on the coordinator is correct.
                 .map(|h| h.join().expect("epoch shard worker panicked"))
                 .collect()
         });

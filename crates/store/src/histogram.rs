@@ -66,6 +66,7 @@ impl LatencyHistogram {
 
     /// Record one latency (µs).
     pub fn record(&mut self, us: u64) {
+        // PANICS: `bucket_of` saturates into the fixed bucket array.
         self.counts[bucket_of(us)] += 1;
         self.total += 1;
         self.sum = self.sum.saturating_add(us);

@@ -208,6 +208,7 @@ impl LoadGen {
                     object: object.min(spec.objects - 1),
                 }
             }
+            // PANICS: replay traces are generated with `index < ops.len()` (the spec's op count).
             LoadGen::Replay(ops) => ops[index as usize],
         }
     }

@@ -81,6 +81,7 @@ impl RepairScheduler {
     /// Record a rebuild that occupied `[.., end]` on `stream`; the stream
     /// then idles for `pacing_gap` to honor the repair bandwidth cap.
     pub fn complete(&mut self, stream: usize, end: u64, pacing_gap: u64) {
+        // PANICS: `stream` was handed out by this planner from `0..streams.len()`.
         self.streams[stream] = end + pacing_gap;
         self.last_end = self.last_end.max(end);
         if self.queue.is_empty() {

@@ -210,6 +210,7 @@ impl<B: ChunkBackend> RackCtx<'_, B> {
         let mut end = start;
         for col in 0..kl {
             let key = chunk_key(obj, row, col);
+            // PANICS: the verify buffer spans `k_l * chunk_bytes` by construction, covering every column slice.
             let expected =
                 verify.map(|v| &v[col as usize * chunk_bytes..(col as usize + 1) * chunk_bytes]);
             if let Some(bytes) = self.lane.cache.get(key) {
@@ -370,6 +371,7 @@ impl<B: ChunkBackend> MlecStore<B> {
         let (rates, clocks) = self.arbiter.split();
         RackCtx {
             rates,
+            // PANICS: `rack` comes from the geometry's rack mapping, bounded by the per-rack clock/lane counts.
             clock: &mut clocks[rack as usize],
             lane: &mut self.lanes[rack as usize],
             mapper: &self.mapper,
@@ -436,6 +438,7 @@ impl<B: ChunkBackend> MlecStore<B> {
             let rack = self.rack_of_row(obj, row);
             let row_end = self
                 .rack_ctx(rack)
+                // PANICS: `row < n_w`, the stripe's row count (encoded by this store's own codec).
                 .put_row(obj, row, &stripe[row as usize], start)?;
             end = end.max(row_end);
             // Overwriting heals any lost chunks of this row.
@@ -472,8 +475,10 @@ impl<B: ChunkBackend> MlecStore<B> {
             for col in 0..lw {
                 let loc = self.mapper.chunk_at(obj, row, col);
                 let key = chunk_key(obj, row, col);
+                // PANICS: `rack_of_row` maps into `0..racks`; `row`/`col` are bounded by the stripe geometry.
                 let lane = &mut self.lanes[rack];
                 lane.backend
+                    // PANICS: `row < n_w` and `col < k_l`, the encoded stripe's dimensions.
                     .write_chunk(key, &stripe[row as usize][col as usize])?;
                 lane.by_disk.entry(loc.disk).or_default().insert(key);
             }
@@ -583,6 +588,7 @@ impl<B: ChunkBackend> MlecStore<B> {
             let rack = self.rack_of_row(obj, row);
             let mut ctx = self.rack_ctx(rack);
             if let Some(bytes) = ctx.lane.cache.get(key) {
+                // PANICS: `grid` is an `n_w x w_l` matrix indexed by the same code geometry as the loop bounds.
                 grid[row as usize][col as usize] = Some(bytes.to_vec());
                 fetched += 1;
                 continue;
@@ -595,6 +601,7 @@ impl<B: ChunkBackend> MlecStore<B> {
             let bytes = ctx.lane.read_buf.len();
             end = end.max(ctx.charge_read(&loc, bytes, start, Lane::Foreground));
             ctx.lane.cache.insert(key, &ctx.lane.read_buf);
+            // PANICS: same grid bounds: `row < k_n`, `col < k_l` within the code geometry.
             grid[row as usize][col as usize] = Some(ctx.lane.read_buf.clone());
             fetched += 1;
         }
@@ -615,6 +622,7 @@ impl<B: ChunkBackend> MlecStore<B> {
         let mut payload = Vec::with_capacity(self.cfg.payload_bytes());
         for row in 0..code.kn {
             for col in 0..code.kl {
+                // PANICS: same grid bounds as the fetch loop above.
                 if let Some(bytes) = &grid[row as usize][col as usize] {
                     payload.extend_from_slice(bytes);
                     continue;
@@ -675,6 +683,7 @@ impl<B: ChunkBackend> MlecStore<B> {
         let mut lost_chunks = 0u64;
         for &disk in disks {
             let rack = self.cfg.geometry.rack_of(disk) as usize;
+            // PANICS: `rack_of` maps any disk id into `0..racks`, the lane count.
             let lane = &mut self.lanes[rack];
             let Some(keys) = lane.by_disk.remove(&disk) else {
                 continue;
@@ -738,6 +747,7 @@ impl<B: ChunkBackend> MlecStore<B> {
                 {
                     let bytes = ctx.lane.read_buf.len();
                     read_end = read_end.max(ctx.charge_read(&loc, bytes, start, Lane::Repair));
+                    // PANICS: `row`/`col` come from `chunk_at` locations within the code geometry, matching the grid dimensions.
                     grid[row as usize][col as usize] = Some(ctx.lane.read_buf.clone());
                 }
             }
@@ -763,6 +773,7 @@ impl<B: ChunkBackend> MlecStore<B> {
         let mut end = read_end;
         for key in lost_keys {
             let (_, row, col) = crate::backend::key_parts(key);
+            // PANICS: `key_parts` round-trips keys this store minted, so `row`/`col` sit inside the grid.
             let Some(bytes) = grid[row as usize][col as usize].take() else {
                 continue;
             };

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example durability_report`
 
-use mlec_core::analysis::chains::{pool_catastrophic_rate_per_year, pool_chain};
+use mlec_core::analysis::chains::{pool_catastrophic_rate, pool_chain};
 use mlec_core::analysis::markov::nines;
 use mlec_core::analysis::splitting::{stage1_from_simulation, stage2_pdl};
 use mlec_core::sim::config::MlecDeployment;
@@ -13,6 +13,7 @@ use mlec_core::sim::failure::FailureModel;
 use mlec_core::sim::pool_sim::simulate_pool;
 use mlec_core::sim::RepairMethod;
 use mlec_core::topology::MlecScheme;
+use mlec_core::units::Duration;
 
 fn main() {
     println!("Durability report for the paper's (10+2)/(17+3) deployment\n");
@@ -32,7 +33,7 @@ fn main() {
             sim_rate += r.events.len() as f64;
         }
         sim_rate /= years_per_run * runs as f64;
-        let chain_rate = pool_catastrophic_rate_per_year(&dep);
+        let chain_rate = pool_catastrophic_rate(&dep).to_per_year();
         println!(
             "  {scheme}: simulated {sim_rate:.3e} vs chain {chain_rate:.3e} catastrophic/pool-yr \
              (ratio {:.2})",
@@ -51,7 +52,7 @@ fn main() {
         print!("{:>8}", scheme.name());
         for method in RepairMethod::PAPER {
             let s1 = mlec_core::analysis::splitting::stage1_analytic(&dep);
-            let pdl = stage2_pdl(&dep, method, &s1, 1.0);
+            let pdl = stage2_pdl(&dep, method, &s1, Duration::from_years(1.0));
             print!(" {:>10.1}", nines(pdl));
         }
         println!();
@@ -73,7 +74,7 @@ fn main() {
         merged.pool_years,
         s1.cat_rate_per_pool_year
     );
-    let pdl = stage2_pdl(&dep, RepairMethod::Fco, &s1, 1.0);
+    let pdl = stage2_pdl(&dep, RepairMethod::Fco, &s1, Duration::from_years(1.0));
     println!(
         "  system durability at this AFR under R_FCO: {:.1} nines",
         nines(pdl)
@@ -85,6 +86,6 @@ fn main() {
     println!(
         "\n(declustered pool chain has {} transient states; mean time to catastrophic = {:.2e} years)",
         chain.transient_states(),
-        chain.mean_time_to_absorb_hours() / 8766.0
+        chain.mean_time_to_absorb().to_years()
     );
 }

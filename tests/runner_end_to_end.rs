@@ -3,7 +3,7 @@
 //! convergence of the runner-driven splitting estimator to the Markov
 //! model.
 
-use mlec_analysis::chains::pool_catastrophic_rate_per_year;
+use mlec_analysis::chains::pool_catastrophic_rate;
 use mlec_analysis::splitting::stage1_via_runner;
 use mlec_runner::{run, RunSpec, StopRule};
 use mlec_sim::config::MlecDeployment;
@@ -164,7 +164,7 @@ fn stage1_through_runner_converges_to_markov_chain() {
     );
     assert_eq!(s1.cat_rate_per_pool_year, report.acc.rate_per_pool_year());
 
-    let analytic = pool_catastrophic_rate_per_year(&dep);
+    let analytic = pool_catastrophic_rate(&dep).to_per_year();
     let (lo, hi) = (report.summary.ci_low, report.summary.ci_high);
     assert!(lo > 0.0 && hi > lo);
     assert!(

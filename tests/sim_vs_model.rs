@@ -4,7 +4,7 @@
 //! overlap.
 
 use mlec_core::analysis::burst::{mlec_burst_pdl, mlec_burst_pdl_direct_mc};
-use mlec_core::analysis::chains::pool_catastrophic_rate_per_year;
+use mlec_core::analysis::chains::pool_catastrophic_rate;
 use mlec_core::sim::config::MlecDeployment;
 use mlec_core::sim::failure::FailureModel;
 use mlec_core::sim::pool_sim::simulate_pool;
@@ -26,7 +26,7 @@ fn clustered_pool_sim_matches_markov_chain() {
         pool_years += r.pool_years;
     }
     let sim_rate = events as f64 / pool_years;
-    let chain_rate = pool_catastrophic_rate_per_year(&dep);
+    let chain_rate = pool_catastrophic_rate(&dep).to_per_year();
     assert!(events >= 30, "need statistics, got {events} events");
     let ratio = sim_rate / chain_rate;
     assert!(
@@ -52,7 +52,7 @@ fn declustered_pool_sim_matches_chain_magnitude() {
         pool_years += r.pool_years;
     }
     let sim_rate = events as f64 / pool_years.max(1e-9);
-    let chain_rate = pool_catastrophic_rate_per_year(&dep);
+    let chain_rate = pool_catastrophic_rate(&dep).to_per_year();
     // Order-of-magnitude agreement (the state abstraction costs accuracy).
     if events > 0 {
         let ratio = sim_rate / chain_rate;

@@ -35,6 +35,19 @@ impl std::fmt::Display for EngineError {
 /// suppressions in `<root>/lints.allow.toml` (if present), and return the
 /// surviving diagnostics sorted by path, line, and lint name.
 pub fn run_lints(root: &Path) -> Result<Vec<Diagnostic>, EngineError> {
+    run_lints_scoped(root, None)
+}
+
+/// Like [`run_lints`], optionally scoped to a set of workspace-relative
+/// file paths (the `--changed` mode). Lints still scan the *whole*
+/// workspace — cross-file lints (registry sync) need global context — but
+/// only diagnostics landing in the given files are reported, and the
+/// `unused-allow` pseudo-lint is silenced (entries for untouched files
+/// are unknowable from a partial view).
+pub fn run_lints_scoped(
+    root: &Path,
+    only_files: Option<&[String]>,
+) -> Result<Vec<Diagnostic>, EngineError> {
     let ws = source::Workspace::load(root)
         .map_err(|e| EngineError(format!("loading workspace at {}: {e}", root.display())))?;
     let mut diags = Vec::new();
@@ -51,6 +64,41 @@ pub fn run_lints(root: &Path) -> Result<Vec<Diagnostic>, EngineError> {
         allow::AllowFile::default()
     };
     let mut kept = allow.apply(diags);
+    if let Some(files) = only_files {
+        kept.retain(|d| d.lint != "unused-allow" && files.iter().any(|f| f == &d.path));
+    }
     kept.sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
     Ok(kept)
+}
+
+/// Workspace-relative paths of files changed against `HEAD` plus
+/// untracked files — the scope of `cargo xtask lint --changed`.
+pub fn git_changed_files(root: &Path) -> Result<Vec<String>, EngineError> {
+    let mut files = Vec::new();
+    for args in [
+        &["diff", "--name-only", "HEAD"][..],
+        &["ls-files", "--others", "--exclude-standard"][..],
+    ] {
+        let out = std::process::Command::new("git")
+            .args(args)
+            .current_dir(root)
+            .output()
+            .map_err(|e| EngineError(format!("running git {}: {e}", args.join(" "))))?;
+        if !out.status.success() {
+            return Err(EngineError(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            )));
+        }
+        files.extend(
+            String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .filter(|l| !l.is_empty())
+                .map(str::to_string),
+        );
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
 }

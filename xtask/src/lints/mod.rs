@@ -4,9 +4,11 @@
 
 mod clock_confinement;
 mod det_iter;
+mod panic_freedom;
 mod registry_sync;
 mod rng_confinement;
 mod safety;
+mod unit_discipline;
 mod wall_clock;
 
 use crate::diag::Diagnostic;
@@ -14,9 +16,11 @@ use crate::source::Workspace;
 
 pub use clock_confinement::ClockConfinement;
 pub use det_iter::DeterministicIteration;
+pub use panic_freedom::PanicFreedom;
 pub use registry_sync::RegistrySchemaSync;
 pub use rng_confinement::RngConfinement;
 pub use safety::SafetyComments;
+pub use unit_discipline::UnitDiscipline;
 pub use wall_clock::NoWallClock;
 
 /// One architectural lint.
@@ -29,7 +33,7 @@ pub trait Lint {
     fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
 }
 
-/// Every registered lint, in documentation order (L1–L6).
+/// Every registered lint, in documentation order (L1–L8).
 pub fn all() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(RngConfinement),
@@ -38,6 +42,8 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(SafetyComments),
         Box::new(RegistrySchemaSync),
         Box::new(ClockConfinement),
+        Box::new(UnitDiscipline),
+        Box::new(PanicFreedom),
     ]
 }
 

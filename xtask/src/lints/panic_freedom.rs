@@ -1,0 +1,109 @@
+//! L8 `panic-freedom`: the data plane (`crates/store/src/`,
+//! `crates/sim/src/`) must not panic on untrusted input or mid-campaign
+//! state. Every `.unwrap()`, `.expect(…)`, and direct slice/array index
+//! (`xs[i]`, `xs[a..b]`) outside `#[cfg(test)]` regions requires an
+//! attached `// PANICS:` comment justifying why the panic is unreachable
+//! (or is the correct response, e.g. a poisoned invariant) — mirroring
+//! L4's `// SAFETY:` contract for `unsafe`.
+//!
+//! Attachment rule (same as L4): walking backwards from the panic site, a
+//! comment containing `PANICS` must appear before any statement boundary
+//! (`;`, `{`, `}`) — i.e. the comment sits on the statement introducing
+//! the panic. One comment covers every panic site in its statement.
+
+use super::Lint;
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::{SourceFile, Workspace};
+
+const SCOPES: &[&str] = &["crates/store/src/", "crates/sim/src/"];
+
+/// L8: data-plane panics need an attached `// PANICS:` justification.
+pub struct PanicFreedom;
+
+impl Lint for PanicFreedom {
+    fn name(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/indexing in the store+sim data plane needs a // PANICS: comment"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+                continue;
+            }
+            for (i, t) in file.code() {
+                let what = match &t.tok {
+                    // `.unwrap()` / `.expect(` — method position only.
+                    Tok::Ident(s) if (s == "unwrap" || s == "expect") => {
+                        let dotted = matches!(
+                            i.checked_sub(1)
+                                .and_then(|p| file.tokens.get(p))
+                                .map(|t| &t.tok),
+                            Some(Tok::Punct('.'))
+                        );
+                        let called = matches!(
+                            file.tokens.get(i + 1).map(|t| &t.tok),
+                            Some(Tok::Punct('('))
+                        );
+                        if dotted && called {
+                            Some(format!("`.{s}()`"))
+                        } else {
+                            None
+                        }
+                    }
+                    // Direct indexing: `[` right after a value (identifier,
+                    // call result, or another index). Attribute brackets
+                    // (`#[…]`), types (`&[T]`), macros (`vec![…]`), and
+                    // array literals never follow a value token.
+                    Tok::Punct('[') => {
+                        let prev = i.checked_sub(1).and_then(|p| file.tokens.get(p));
+                        match prev.map(|t| &t.tok) {
+                            Some(Tok::Ident(name))
+                                if !matches!(
+                                    name.as_str(),
+                                    "mut" | "dyn" | "return" | "break" | "in" | "as"
+                                ) =>
+                            {
+                                Some(format!("indexing `{name}[…]`"))
+                            }
+                            Some(Tok::Punct(')' | ']')) => Some("indexing `…[…]`".to_string()),
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(what) = what {
+                    if !has_attached_panics_comment(file, i) {
+                        out.push(Diagnostic {
+                            lint: self.name(),
+                            path: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "{what} in the data plane without an attached `// PANICS:` \
+                                 comment justifying why it cannot fire"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Walk backwards from the panic site at `idx`: accept if a comment
+/// containing `PANICS` appears before any `;`/`{`/`}`.
+fn has_attached_panics_comment(file: &SourceFile, idx: usize) -> bool {
+    for t in file.tokens[..idx].iter().rev() {
+        match &t.tok {
+            Tok::Comment(text) if text.contains("PANICS") => return true,
+            Tok::Comment(_) => {}
+            Tok::Punct(';' | '{' | '}') => return false,
+            _ => {}
+        }
+    }
+    false
+}

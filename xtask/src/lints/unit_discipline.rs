@@ -1,0 +1,331 @@
+//! L7 `unit-discipline`: the physically-dimensioned quantities the paper's
+//! headline numbers are made of (repair volume in TB, bandwidth in MB/s,
+//! repair time in hours, hazard rates per year) must flow through the
+//! `mlec-units` newtypes, not bare `f64`s. Two checks over
+//! `crates/{sim,analysis,store}/src/`:
+//!
+//! 1. **Signatures**: a `pub fn` whose parameter name or own name carries
+//!    a dimension suffix (`_tb`, `_mbs`, `_hours`, `_per_year`, …) but is
+//!    typed bare `f64` is an error — the suffix is exactly the contract
+//!    the type system should own. Struct fields are deliberately *not*
+//!    linted: suffixed-f64 records (`CatastrophicRepairPlan`,
+//!    `SimConfig`, `DeclusteredChainSpec`) are documented rendering /
+//!    parsing boundaries.
+//! 2. **Expressions**: raw f64 arithmetic mixing two identifiers of
+//!    *different* unit classes in one statement (`wire_tb / bw_mbs`,
+//!    `rate_per_year * window_hours`) is flagged — that is the exact
+//!    shape of the TB·MB/s and hours-vs-years bugs the newtypes exist to
+//!    prevent. Same-class arithmetic (`a_tb + b_tb`) stays legal, and
+//!    method calls (`.to_tb()`) are never operands.
+//!
+//! Deliberate boundary sites carry reasoned `lints.allow.toml` entries.
+
+use super::Lint;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, Token};
+use crate::source::Workspace;
+
+const SCOPES: &[&str] = &[
+    "crates/sim/src/",
+    "crates/analysis/src/",
+    "crates/store/src/",
+];
+
+/// The unit class a dimension-suffixed identifier claims, e.g.
+/// `wire_tb` → `TB`. Two operands of different class in one raw-f64
+/// expression is a lint finding; suffix families that name the same
+/// physical unit (`_mbs`/`_mbps`) share a class.
+fn unit_class(name: &str) -> Option<&'static str> {
+    const SUFFIXES: &[(&str, &str)] = &[
+        ("_per_year", "per-year"),
+        ("_per_hour", "per-hour"),
+        ("_per_day", "per-day"),
+        ("_tb", "TB"),
+        ("_gb", "GB"),
+        ("_mbs", "MB/s"),
+        ("_mbps", "MB/s"),
+        ("_gbps", "Gbps"),
+        ("_mb", "MB"),
+        ("_kb", "KB"),
+        ("_hours", "hours"),
+        ("_years", "years"),
+        ("_secs", "seconds"),
+    ];
+    for (suffix, class) in SUFFIXES {
+        if name.ends_with(suffix) || name == &suffix[1..] {
+            return Some(class);
+        }
+    }
+    None
+}
+
+/// L7: dimension-suffixed quantities must be typed, not bare f64.
+pub struct UnitDiscipline;
+
+impl Lint for UnitDiscipline {
+    fn name(&self) -> &'static str {
+        "unit-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "dimension-suffixed pub fn params/returns must not be bare f64; no mixed-unit f64 arithmetic"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+                continue;
+            }
+            let code: Vec<(usize, &Token)> = file.code();
+            check_signatures(self.name(), &file.rel, &code, out);
+            check_expressions(self.name(), &file.rel, &code, out);
+        }
+    }
+}
+
+/// Is the significant token at `i` the start of a `pub … fn` item? If so,
+/// return the index of the `fn` keyword.
+fn pub_fn_at(code: &[(usize, &Token)], i: usize) -> Option<usize> {
+    if !matches!(&code[i].1.tok, Tok::Ident(s) if s == "pub") {
+        return None;
+    }
+    let mut j = i + 1;
+    // `pub(crate)` / `pub(in …)` visibility scope.
+    if matches!(code.get(j).map(|t| &t.1.tok), Some(Tok::Punct('('))) {
+        let mut depth = 0usize;
+        while let Some((_, t)) = code.get(j) {
+            match t.tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Qualifiers between visibility and `fn`.
+    while let Some((_, t)) = code.get(j) {
+        match &t.tok {
+            Tok::Ident(s) if s == "fn" => return Some(j),
+            Tok::Ident(s) if matches!(s.as_str(), "const" | "unsafe" | "async" | "extern") => {
+                j += 1;
+            }
+            Tok::Str(_) => j += 1, // extern "C"
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Check every `pub fn` signature: suffixed param names typed bare `f64`,
+/// and suffixed fn names returning bare `f64`.
+fn check_signatures(
+    lint: &'static str,
+    rel: &str,
+    code: &[(usize, &Token)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut i = 0usize;
+    while i < code.len() {
+        let Some(fn_kw) = pub_fn_at(code, i) else {
+            i += 1;
+            continue;
+        };
+        let Some((_, name_tok)) = code.get(fn_kw + 1) else {
+            break;
+        };
+        let Tok::Ident(fn_name) = &name_tok.tok else {
+            i = fn_kw + 1;
+            continue;
+        };
+        let mut j = fn_kw + 2;
+        // Skip generic parameters `<…>`.
+        if matches!(code.get(j).map(|t| &t.1.tok), Some(Tok::Punct('<'))) {
+            let mut depth = 0usize;
+            while let Some((_, t)) = code.get(j) {
+                match t.tok {
+                    Tok::Punct('<') => depth += 1,
+                    Tok::Punct('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !matches!(code.get(j).map(|t| &t.1.tok), Some(Tok::Punct('('))) {
+            i = j;
+            continue;
+        }
+        // Collect the parameter list, split on top-level commas.
+        let mut depth = 0usize;
+        let mut params: Vec<Vec<&Token>> = vec![Vec::new()];
+        let params_end;
+        loop {
+            let Some((_, t)) = code.get(j) else {
+                return; // truncated file
+            };
+            match t.tok {
+                Tok::Punct('(' | '[' | '{' | '<') => {
+                    if depth > 0 {
+                        params.last_mut().expect("non-empty").push(t);
+                    }
+                    depth += 1;
+                }
+                Tok::Punct(')' | ']' | '}' | '>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        params_end = j;
+                        break;
+                    }
+                    params.last_mut().expect("non-empty").push(t);
+                }
+                Tok::Punct(',') if depth == 1 => params.push(Vec::new()),
+                _ => {
+                    if depth > 0 {
+                        params.last_mut().expect("non-empty").push(t);
+                    }
+                }
+            }
+            j += 1;
+        }
+        for param in &params {
+            // `name : type` — the name is the last ident before the first
+            // top-level `:` (handles `mut x: f64`); `self` params have no
+            // colon and are skipped.
+            let Some(colon) = param.iter().position(|t| t.tok == Tok::Punct(':')) else {
+                continue;
+            };
+            let name = param[..colon].iter().rev().find_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            });
+            let (Some(name), Some(class)) = (name, name.and_then(|n| unit_class(n))) else {
+                continue;
+            };
+            let ty = &param[colon + 1..];
+            if matches!(ty, [t] if t.tok == Tok::Ident("f64".to_string())) {
+                out.push(Diagnostic {
+                    lint,
+                    path: rel.to_string(),
+                    line: param[colon].line,
+                    message: format!(
+                        "pub fn `{fn_name}` parameter `{name}` claims unit {class} in its \
+                         name but is typed bare `f64`; use the `mlec-units` newtype \
+                         (or add a reasoned lints.allow.toml boundary entry)"
+                    ),
+                });
+            }
+        }
+        // Return type: `-> f64` with a dimension-suffixed fn name.
+        if let Some(class) = unit_class(fn_name) {
+            let mut r = params_end + 1;
+            if matches!(code.get(r).map(|t| &t.1.tok), Some(Tok::Punct('-')))
+                && matches!(code.get(r + 1).map(|t| &t.1.tok), Some(Tok::Punct('>')))
+            {
+                r += 2;
+                let ret_f64 =
+                    matches!(code.get(r).map(|t| &t.1.tok), Some(Tok::Ident(s)) if s == "f64");
+                let terminated = match code.get(r + 1).map(|t| &t.1.tok) {
+                    Some(Tok::Punct('{' | ';')) => true,
+                    Some(Tok::Ident(s)) if s == "where" => true,
+                    _ => false,
+                };
+                if ret_f64 && terminated {
+                    out.push(Diagnostic {
+                        lint,
+                        path: rel.to_string(),
+                        line: name_tok.line,
+                        message: format!(
+                            "pub fn `{fn_name}` claims unit {class} in its name but \
+                             returns bare `f64`; return the `mlec-units` newtype \
+                             (or add a reasoned lints.allow.toml boundary entry)"
+                        ),
+                    });
+                }
+            }
+        }
+        i = params_end + 1;
+    }
+}
+
+/// Check for raw f64 arithmetic mixing two different unit classes inside
+/// one statement. An operand is a dimension-suffixed identifier adjacent
+/// to an arithmetic operator (`+ - * /`) that is not a call, a macro, or
+/// a struct-literal field name.
+fn check_expressions(
+    lint: &'static str,
+    rel: &str,
+    code: &[(usize, &Token)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut stmt: Vec<(usize, &Token)> = Vec::new();
+    for k in 0..code.len() {
+        let (_, t) = code[k];
+        if matches!(t.tok, Tok::Punct(';' | '{' | '}' | ',')) {
+            flag_mixed(lint, rel, &stmt, code, out);
+            stmt.clear();
+        } else {
+            stmt.push((k, t));
+        }
+    }
+    flag_mixed(lint, rel, &stmt, code, out);
+}
+
+fn flag_mixed(
+    lint: &'static str,
+    rel: &str,
+    stmt: &[(usize, &Token)],
+    code: &[(usize, &Token)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut operands: Vec<(&str, &str, u32)> = Vec::new(); // (name, class, line)
+    for &(k, t) in stmt {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let Some(class) = unit_class(name) else {
+            continue;
+        };
+        let next = code.get(k + 1).map(|t| &t.1.tok);
+        let next2 = code.get(k + 2).map(|t| &t.1.tok);
+        // Calls `foo_tb(…)`, macros `foo_tb!`, struct-literal fields /
+        // declarations `foo_tb:` are not value operands.
+        if matches!(next, Some(Tok::Punct('(' | '!' | ':'))) {
+            continue;
+        }
+        let prev = k.checked_sub(1).and_then(|p| code.get(p)).map(|t| &t.1.tok);
+        let op_before = matches!(prev, Some(Tok::Punct('+' | '-' | '*' | '/')));
+        // `-> foo_tb` is an arrow, not a subtraction.
+        let arrow_after =
+            matches!(next, Some(Tok::Punct('-'))) && matches!(next2, Some(Tok::Punct('>')));
+        let op_after = matches!(next, Some(Tok::Punct('+' | '-' | '*' | '/'))) && !arrow_after;
+        if op_before || op_after {
+            operands.push((name, class, t.line));
+        }
+    }
+    let Some((first_name, first_class, first_line)) = operands.first().copied() else {
+        return;
+    };
+    if let Some((other_name, other_class, _)) = operands.iter().find(|(_, c, _)| *c != first_class)
+    {
+        out.push(Diagnostic {
+            lint,
+            path: rel.to_string(),
+            line: first_line,
+            message: format!(
+                "raw f64 arithmetic mixes unit classes in one expression: \
+                 `{first_name}` ({first_class}) with `{other_name}` ({other_class}); \
+                 route the conversion through `mlec-units` \
+                 (or add a reasoned lints.allow.toml boundary entry)"
+            ),
+        });
+    }
+}

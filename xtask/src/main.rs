@@ -1,7 +1,7 @@
 //! `cargo xtask` — workspace automation. Currently one subcommand:
 //!
 //! ```text
-//! cargo xtask lint [--json] [--list] [--root DIR]
+//! cargo xtask lint [--json] [--list] [--changed] [--root DIR]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = lint violations, 2 = usage or engine error
@@ -10,10 +10,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask lint [--json] [--list] [--root DIR]
+const USAGE: &str = "usage: cargo xtask lint [--json] [--list] [--changed] [--root DIR]
 
   --json       emit the machine-readable diagnostics report on stdout
   --list       list registered lints and exit
+  --changed    report only findings in files changed vs git HEAD
+               (plus untracked files); unused-allow checking is skipped
   --root DIR   lint the workspace at DIR (default: CARGO manifest parent,
                falling back to the current directory)";
 
@@ -38,12 +40,14 @@ fn main() -> ExitCode {
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut list = false;
+    let mut changed = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--list" => list = true,
+            "--changed" => changed = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -76,7 +80,18 @@ fn lint(args: &[String]) -> ExitCode {
             .filter(|p| p.join("Cargo.toml").is_file())
             .unwrap_or_else(|| PathBuf::from("."))
     });
-    let diags = match xtask::run_lints(&root) {
+    let scope = if changed {
+        match xtask::git_changed_files(&root) {
+            Ok(files) => Some(files),
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+    let diags = match xtask::run_lints_scoped(&root, scope.as_deref()) {
         Ok(diags) => diags,
         Err(e) => {
             eprintln!("xtask lint: {e}");
@@ -92,7 +107,11 @@ fn lint(args: &[String]) -> ExitCode {
     }
     if diags.is_empty() {
         if !json {
-            println!("xtask lint: clean ({} lints)", xtask::lints::all().len());
+            let mode = if changed { " over changed files" } else { "" };
+            println!(
+                "xtask lint: clean ({} lints{mode})",
+                xtask::lints::all().len()
+            );
         }
         ExitCode::SUCCESS
     } else {

@@ -149,22 +149,27 @@ pub struct Workspace {
 }
 
 impl Workspace {
-    /// Load the lintable files under `root`.
+    /// Load the lintable files under `root`. File contents are read
+    /// sequentially (the walk is I/O bound and must stay ordered for
+    /// deterministic error reporting), then lexed in parallel across the
+    /// available cores; the final sort by `rel` keeps lint output
+    /// deterministic regardless of which thread parsed what.
     pub fn load(root: &Path) -> io::Result<Workspace> {
-        let mut files = Vec::new();
+        let mut sources: Vec<(String, String)> = Vec::new();
         let crates_dir = root.join("crates");
         if crates_dir.is_dir() {
             for entry in sorted_dir(&crates_dir)? {
                 let src = entry.join("src");
                 if src.is_dir() {
-                    load_tree(root, &src, &mut files)?;
+                    read_tree(root, &src, &mut sources)?;
                 }
             }
         }
         let root_src = root.join("src");
         if root_src.is_dir() {
-            load_tree(root, &root_src, &mut files)?;
+            read_tree(root, &root_src, &mut sources)?;
         }
+        let mut files = parse_parallel(sources);
         files.sort_by(|a, b| a.rel.cmp(&b.rel));
         Ok(Workspace {
             root: root.to_path_buf(),
@@ -188,10 +193,10 @@ fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(entries)
 }
 
-fn load_tree(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+fn read_tree(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
     for path in sorted_dir(dir)? {
         if path.is_dir() {
-            load_tree(root, &path, out)?;
+            read_tree(root, &path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             let rel = path
                 .strip_prefix(root)
@@ -201,10 +206,50 @@ fn load_tree(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<(
                 .collect::<Vec<_>>()
                 .join("/");
             let src = std::fs::read_to_string(&path)?;
-            out.push(SourceFile::parse(&rel, &src));
+            out.push((rel, src));
         }
     }
     Ok(())
+}
+
+/// Lex the gathered sources across the available cores. Ordering is not
+/// preserved here — the caller sorts by `rel`.
+fn parse_parallel(sources: Vec<(String, String)>) -> Vec<SourceFile> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(sources.len().max(1));
+    if workers <= 1 {
+        return sources
+            .into_iter()
+            .map(|(rel, src)| SourceFile::parse(&rel, &src))
+            .collect();
+    }
+    let queue = std::sync::Mutex::new(sources);
+    let mut files = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut parsed = Vec::new();
+                    loop {
+                        // PANICS: a poisoned queue means a worker panicked
+                        // mid-lex; re-raising on join is the right outcome.
+                        let next = queue.lock().expect("source queue").pop();
+                        match next {
+                            Some((rel, src)) => parsed.push(SourceFile::parse(&rel, &src)),
+                            None => return parsed,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            // PANICS: propagate a lexer panic instead of reporting a
+            // silently truncated workspace.
+            files.extend(h.join().expect("lint worker panicked"));
+        }
+    });
+    files
 }
 
 #[cfg(test)]

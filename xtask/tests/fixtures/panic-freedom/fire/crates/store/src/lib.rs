@@ -1,0 +1,13 @@
+//! Fixture: data-plane panic sites without a PANICS justification.
+
+pub fn lookup(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller promised digits")
+}

@@ -1,0 +1,41 @@
+//! Fixture: near-misses that panic-freedom must NOT flag.
+
+/// Annotated sites are fine.
+pub fn lookup(xs: &[u64], i: usize) -> u64 {
+    // PANICS: callers index within `xs.len()` by contract.
+    xs[i]
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    // PANICS: the caller checked non-emptiness.
+    *xs.first().unwrap()
+}
+
+/// Types, attributes, macros, and array literals use brackets without
+/// indexing anything.
+#[derive(Debug)]
+pub struct Wrap {
+    pub data: Vec<u8>,
+}
+
+pub fn build(n: usize) -> Vec<u64> {
+    let table: [u64; 4] = [0, 1, 2, 3];
+    let mut v = vec![table.len() as u64; n];
+    // PANICS: `v` has `n >= 1` elements in every caller.
+    v[0] = 1;
+    v
+}
+
+/// `unwrap_or` and friends are not `unwrap`.
+pub fn safe_parse(s: &str) -> u64 {
+    s.parse().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let xs = vec![1u64];
+        assert_eq!(*xs.first().unwrap(), xs[0]);
+    }
+}

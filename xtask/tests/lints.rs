@@ -155,6 +155,47 @@ fn clock_confinement_quiet_on_arbiter_epoch_comments_and_tests() {
     assert_quiet("clock-confinement");
 }
 
+// --- L7 unit-discipline ------------------------------------------------
+
+#[test]
+fn unit_discipline_fires_on_bare_f64_and_mixed_arithmetic() {
+    let diags = fire("unit-discipline");
+    // Signature checks: suffixed param and suffixed return.
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("`schedule_repair`") && d.message.contains("`volume_tb`")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("`sojourn_hours`") && d.message.contains("returns bare")));
+    // Expression checks: TB-vs-MB/s and rate-vs-span mixing.
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("`wire_tb`") && d.message.contains("`bw_mbs`")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("`rate_per_year`") && d.message.contains("`window_hours`")));
+}
+
+#[test]
+fn unit_discipline_quiet_on_newtypes_fields_and_same_class() {
+    assert_quiet("unit-discipline");
+}
+
+// --- L8 panic-freedom --------------------------------------------------
+
+#[test]
+fn panic_freedom_fires_on_unwrap_expect_and_indexing() {
+    let diags = fire("panic-freedom");
+    assert!(diags.iter().any(|d| d.message.contains("`.unwrap()`")));
+    assert!(diags.iter().any(|d| d.message.contains("`.expect()`")));
+    assert!(diags.iter().any(|d| d.message.contains("indexing `xs[")));
+}
+
+#[test]
+fn panic_freedom_quiet_on_annotated_sites_types_and_tests() {
+    assert_quiet("panic-freedom");
+}
+
 // --- allow machinery ---------------------------------------------------
 
 #[test]
